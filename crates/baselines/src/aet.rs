@@ -1,0 +1,151 @@
+//! AET: the kinetic reuse-time model for exact-LRU MRCs
+//! (Hu et al., ATC '16 / ToS '18), implemented as the related-work
+//! extension described in §6.1.
+//!
+//! AET collects only the *reuse time* distribution (references between two
+//! accesses to the same object). Let `P(t)` be the probability that a
+//! reference's reuse time exceeds `t` (cold misses count as infinite). The
+//! average eviction time `T(c)` of an LRU cache of size `c` satisfies
+//! `∫₀^{T} P(t) dt = c`, and the miss ratio is `P(T(c))`. Construction is a
+//! single prefix-sum sweep over the reuse-time histogram.
+
+use krr_core::hashing::KeyMap;
+use krr_core::histogram::SdHistogram;
+use krr_core::mrc::Mrc;
+
+/// One-pass AET profiler.
+#[derive(Debug, Clone)]
+pub struct Aet {
+    last: KeyMap<u64>,
+    rtd: SdHistogram,
+    clock: u64,
+}
+
+impl Default for Aet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aet {
+    /// Creates an AET profiler with exact (width-1) reuse-time bins.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_bin_width(1)
+    }
+
+    /// Creates an AET profiler with the given reuse-time bin width (larger
+    /// widths bound memory for very long traces).
+    #[must_use]
+    pub fn with_bin_width(w: u64) -> Self {
+        Self { last: KeyMap::default(), rtd: SdHistogram::new(w), clock: 0 }
+    }
+
+    /// Offers one reference.
+    pub fn access_key(&mut self, key: u64) {
+        self.clock += 1;
+        match self.last.insert(key, self.clock) {
+            Some(prev) => self.rtd.record(self.clock - prev),
+            None => self.rtd.record_cold(),
+        }
+    }
+
+    /// Distinct objects seen.
+    #[must_use]
+    pub fn distinct(&self) -> u64 {
+        self.last.len() as u64
+    }
+
+    /// Constructs the AET-approximated LRU MRC.
+    ///
+    /// Sweeps eviction time `T` over the reuse-time support, accumulating
+    /// `c(T) = Σ P(t)` and emitting `(c(T), P(T))`; stops once `c` covers
+    /// the working set.
+    #[must_use]
+    pub fn mrc(&self) -> Mrc {
+        let total = self.rtd.total();
+        if total == 0 {
+            return Mrc::from_points(vec![(0.0, 1.0)]);
+        }
+        let distinct = self.distinct() as f64;
+        let w = self.rtd.bin_width() as f64;
+        let mut points = vec![(0.0, 1.0)];
+        let mut seen = 0u64;
+        let mut c = 0.0f64;
+        for (_, count) in self.rtd.iter() {
+            // P(t) just *before* this bin's upper boundary.
+            let p_before = (total - seen) as f64 / total as f64;
+            seen += count;
+            let p_after = (total - seen) as f64 / total as f64;
+            // Trapezoidal step of the integral over one bin width.
+            c += w * 0.5 * (p_before + p_after);
+            points.push((c.min(distinct), p_after));
+            if c >= distinct {
+                break;
+            }
+        }
+        let mut mrc = Mrc::from_points(points);
+        mrc.make_monotone();
+        mrc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::olken::OlkenLru;
+    use krr_core::rng::Xoshiro256;
+
+    #[test]
+    fn loop_trace_yields_cliff_at_loop_size() {
+        let m = 100u64;
+        let mut a = Aet::new();
+        for i in 0..20_000u64 {
+            a.access_key(i % m);
+        }
+        let mrc = a.mrc();
+        // All reuse times are exactly m, so P(t)=~1 for t<m and ~0 after;
+        // the AET integral puts the cliff at c = m.
+        assert!(mrc.eval(80.0) > 0.9, "below cliff: {}", mrc.eval(80.0));
+        assert!(mrc.eval(101.0) < 0.02, "above cliff: {}", mrc.eval(101.0));
+    }
+
+    #[test]
+    fn tracks_olken_on_random_workload() {
+        let keys = 2_000u64;
+        let mut a = Aet::new();
+        let mut o = OlkenLru::new();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for _ in 0..200_000 {
+            let u = rng.unit();
+            let k = (u * u * keys as f64) as u64;
+            a.access_key(k);
+            o.access_key(k);
+        }
+        let sizes = krr_core::even_sizes(keys as f64, 20);
+        let mae = a.mrc().mae(&o.mrc(), &sizes);
+        assert!(mae < 0.03, "AET MAE {mae}");
+    }
+
+    #[test]
+    fn binned_variant_stays_close() {
+        let keys = 2_000u64;
+        let mut exact = Aet::new();
+        let mut binned = Aet::with_bin_width(16);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        for _ in 0..100_000 {
+            let u = rng.unit();
+            let k = (u * u * keys as f64) as u64;
+            exact.access_key(k);
+            binned.access_key(k);
+        }
+        let sizes = krr_core::even_sizes(keys as f64, 20);
+        let mae = exact.mrc().mae(&binned.mrc(), &sizes);
+        assert!(mae < 0.02, "binned AET MAE {mae}");
+    }
+
+    #[test]
+    fn empty_profiler_yields_unit_mrc() {
+        assert_eq!(Aet::new().mrc().eval(100.0), 1.0);
+    }
+}

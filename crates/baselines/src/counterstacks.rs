@@ -1,0 +1,262 @@
+//! CounterStacks (Wires et al., OSDI '14): LRU MRC construction from a
+//! stack of cardinality counters (§6.1).
+//!
+//! One counter is started every `interval` requests; every counter absorbs
+//! every request. For a request at time `t`, its LRU stack distance is the
+//! number of uniques since its previous access — so if it is *new* to the
+//! counter started at `s_{j+1}` but *old* to the one started at `s_j`, its
+//! previous access lies in `[s_j, s_{j+1})` and its distance is ≈ `c_j(t)`.
+//! Per processing chunk, `Δc_{j+1} − Δc_j` requests fall into that bucket.
+//! Requests new to even the oldest counter are cold misses.
+//!
+//! Space is bounded by **pruning**: a younger counter whose count converges
+//! within `(1 − δ)` of its older neighbour will track it forever and is
+//! dropped. Counters are HyperLogLogs, so both distances and counts are
+//! approximate — the trade-off the original paper makes for O(logM) space.
+
+use crate::hll::HyperLogLog;
+use krr_core::mrc::Mrc;
+
+struct Counter {
+    hll: HyperLogLog,
+    /// Estimate after the previous chunk.
+    prev_estimate: f64,
+}
+
+/// One-pass CounterStacks profiler.
+pub struct CounterStacks {
+    interval: usize,
+    precision: u8,
+    prune_delta: f64,
+    counters: Vec<Counter>,
+    buffer: Vec<u64>,
+    /// Weighted distance histogram (distance -> mass); f64 because chunk
+    /// attributions are normalized fractions.
+    bins: Vec<f64>,
+    cold: f64,
+    total: f64,
+    processed: u64,
+}
+
+impl CounterStacks {
+    /// Creates a profiler that starts a new counter every `interval`
+    /// requests (the "downsampling" knob; smaller = finer distances but
+    /// more counters) with the given HLL precision and pruning δ.
+    #[must_use]
+    pub fn new(interval: usize, precision: u8, prune_delta: f64) -> Self {
+        assert!(interval >= 1);
+        assert!((0.0..1.0).contains(&prune_delta));
+        Self {
+            interval,
+            precision,
+            prune_delta,
+            counters: Vec::new(),
+            buffer: Vec::with_capacity(interval),
+            bins: Vec::new(),
+            cold: 0.0,
+            total: 0.0,
+            processed: 0,
+        }
+    }
+
+    /// Profiler with the original paper's flavour of defaults, scaled for
+    /// in-memory use: 1K-request chunks, 2^12 registers, δ = 0.02.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(1_024, 12, 0.02)
+    }
+
+    /// Offers one reference.
+    pub fn access_key(&mut self, key: u64) {
+        self.processed += 1;
+        self.buffer.push(key);
+        if self.buffer.len() >= self.interval {
+            self.flush_chunk();
+        }
+    }
+
+    /// Number of live counters (space check).
+    #[must_use]
+    pub fn num_counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// References processed.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    fn flush_chunk(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        // A fresh counter covers this chunk onward.
+        self.counters
+            .push(Counter { hll: HyperLogLog::new(self.precision), prev_estimate: 0.0 });
+        for c in &mut self.counters {
+            for &key in &self.buffer {
+                c.hll.add(key);
+            }
+        }
+        let chunk_len = self.buffer.len() as f64;
+        self.buffer.clear();
+
+        // Distance attribution: counters[0] is the oldest. Δ_j = uniques
+        // this chunk that were new to counter j; a request new to counter
+        // j+1 but old to counter j has distance ≈ c_j (its estimate now).
+        //
+        // HLL deltas are noisy (error scales with the counter's absolute
+        // estimate, not the chunk size), so raw attributions can sum to far
+        // more than the chunk; normalize them to the exact chunk length to
+        // keep the histogram's total mass — and hence the cold fraction —
+        // correct.
+        let estimates: Vec<f64> = self.counters.iter().map(|c| c.hll.estimate()).collect();
+        let deltas: Vec<f64> = self
+            .counters
+            .iter()
+            .zip(&estimates)
+            .map(|(c, &e)| (e - c.prev_estimate).max(0.0))
+            .collect();
+        let newest = self.counters.len() - 1;
+        // (distance, raw mass) attributions for this chunk. Pair masses are
+        // kept *signed*: clamping at zero would turn zero-mean HLL noise
+        // into phantom positive mass that steals weight from the real
+        // buckets (measured: cold fraction 0.15 instead of 0.20 on a loop
+        // trace). Signed noise cancels across chunks instead.
+        let mut attributions: Vec<(u64, f64)> = Vec::with_capacity(self.counters.len() + 1);
+        let cold_raw = deltas[0];
+        for j in 0..newest {
+            let mass = deltas[j + 1] - deltas[j];
+            let distance = estimates[j].round().max(1.0) as u64;
+            attributions.push((distance, mass));
+        }
+        // Intra-chunk re-references: old even to the newest counter
+        // (started this chunk); their distance is below the chunk's unique
+        // count.
+        let intra = (chunk_len - deltas[newest]).max(0.0);
+        attributions.push(((estimates[newest] / 2.0).round().max(1.0) as u64, intra));
+        let raw_total: f64 = cold_raw + attributions.iter().map(|&(_, m)| m).sum::<f64>();
+        let norm = if raw_total > 0.0 { chunk_len / raw_total } else { 0.0 };
+        debug_assert!(norm.is_finite());
+        self.cold += cold_raw * norm;
+        for (distance, mass) in attributions {
+            let bin = (distance - 1) as usize;
+            if bin >= self.bins.len() {
+                self.bins.resize(bin + 1, 0.0);
+            }
+            self.bins[bin] += mass * norm;
+        }
+        self.total += chunk_len;
+        for (c, &e) in self.counters.iter_mut().zip(&estimates) {
+            c.prev_estimate = e;
+        }
+
+        // Prune younger counters that converged with their older neighbour.
+        let delta = self.prune_delta;
+        let mut j = 1;
+        while j < self.counters.len() {
+            let older = self.counters[j - 1].prev_estimate;
+            let younger = self.counters[j].prev_estimate;
+            if younger >= (1.0 - delta) * older && older > 0.0 {
+                self.counters.remove(j);
+            } else {
+                j += 1;
+            }
+        }
+    }
+
+    /// The approximated LRU MRC over everything processed so far
+    /// (flushes any buffered partial chunk).
+    pub fn mrc(&mut self) -> Mrc {
+        self.flush_chunk();
+        if self.total <= 0.0 {
+            return Mrc::from_points(vec![(0.0, 1.0)]);
+        }
+        let mut points = Vec::with_capacity(64);
+        points.push((0.0, 1.0));
+        let mut hits = 0.0;
+        for (bin, &mass) in self.bins.iter().enumerate() {
+            if mass == 0.0 {
+                continue;
+            }
+            hits += mass;
+            let miss = ((self.total - hits) / self.total).clamp(0.0, 1.0);
+            points.push(((bin + 1) as f64, miss));
+        }
+        let mut mrc = Mrc::from_points(points);
+        mrc.make_monotone();
+        mrc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::olken::OlkenLru;
+    use krr_core::rng::Xoshiro256;
+
+    fn skewed(keys: u64, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u = rng.unit();
+                (u * u * keys as f64) as u64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tracks_olken_on_skewed_workload() {
+        let keys = 20_000u64;
+        let trace = skewed(keys, 200_000, 1);
+        let mut cs = CounterStacks::with_defaults();
+        let mut o = OlkenLru::new();
+        for &k in &trace {
+            cs.access_key(k);
+            o.access_key(k);
+        }
+        let sizes = krr_core::even_sizes(keys as f64, 20);
+        let mae = cs.mrc().mae(&o.mrc(), &sizes);
+        assert!(mae < 0.06, "CounterStacks MAE {mae}");
+    }
+
+    #[test]
+    fn loop_cliff_is_located_correctly() {
+        let m = 5_000u64;
+        let mut cs = CounterStacks::new(512, 12, 0.02);
+        for i in 0..100_000u64 {
+            cs.access_key(i % m);
+        }
+        let mrc = cs.mrc();
+        // Cliff at the loop size, within HLL error.
+        assert!(mrc.eval(m as f64 * 0.7) > 0.9, "below cliff: {}", mrc.eval(m as f64 * 0.7));
+        assert!(mrc.eval(m as f64 * 1.3) < 0.15, "above cliff: {}", mrc.eval(m as f64 * 1.3));
+    }
+
+    #[test]
+    fn pruning_bounds_counter_count() {
+        let trace = skewed(50_000, 300_000, 2);
+        let mut cs = CounterStacks::new(512, 10, 0.05);
+        for &k in &trace {
+            cs.access_key(k);
+        }
+        // Without pruning there would be ~586 counters.
+        assert!(
+            cs.num_counters() < 120,
+            "pruning ineffective: {} counters",
+            cs.num_counters()
+        );
+    }
+
+    #[test]
+    fn partial_final_chunk_is_flushed_by_mrc() {
+        let mut cs = CounterStacks::new(1_000, 10, 0.02);
+        for i in 0..1_500u64 {
+            cs.access_key(i % 100);
+        }
+        let mrc = cs.mrc();
+        assert!(mrc.eval(200.0) < 0.3, "repeats must be visible: {}", mrc.eval(200.0));
+        assert_eq!(cs.processed(), 1_500);
+    }
+}

@@ -1,0 +1,146 @@
+//! HyperLogLog cardinality counter (Flajolet et al., 2007), the
+//! probabilistic counter CounterStacks replaces its Bloom filters with
+//! (§6.1).
+//!
+//! Standard 2^b-register formulation with the small-range linear-counting
+//! correction; 64-bit hashes make the large-range correction unnecessary.
+
+use krr_core::hashing::hash_key;
+
+/// HyperLogLog with `2^precision` 6-bit registers (stored as bytes).
+#[derive(Debug, Clone)]
+pub struct HyperLogLog {
+    precision: u8,
+    registers: Vec<u8>,
+}
+
+impl HyperLogLog {
+    /// Creates a counter with `precision` index bits (4..=16). Relative
+    /// error is ~`1.04 / sqrt(2^precision)`.
+    #[must_use]
+    pub fn new(precision: u8) -> Self {
+        assert!((4..=16).contains(&precision), "precision must be in 4..=16");
+        Self { precision, registers: vec![0; 1 << precision] }
+    }
+
+    /// Number of registers.
+    #[must_use]
+    pub fn registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Adds a key (idempotent for duplicates).
+    #[inline]
+    pub fn add(&mut self, key: u64) {
+        let h = hash_key(key);
+        let idx = (h >> (64 - self.precision)) as usize;
+        // Rank = position of the leftmost 1 in the remaining bits (1-based).
+        let rest = h << self.precision;
+        let rank = (rest.leading_zeros() as u8).min(64 - self.precision) + 1;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Estimated number of distinct keys added.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            n => 0.7213 / (1.0 + 1.079 / n as f64),
+        };
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-i32::from(r))).sum();
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m {
+            // Small-range correction: linear counting over empty registers.
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+
+    /// Merges another counter (same precision) into this one.
+    pub fn merge(&mut self, other: &HyperLogLog) {
+        assert_eq!(self.precision, other.precision, "precision mismatch");
+        for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
+            *a = (*a).max(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimates_zero() {
+        let h = HyperLogLog::new(10);
+        assert!(h.estimate() < 1.0);
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut h = HyperLogLog::new(10);
+        for _ in 0..1000 {
+            h.add(42);
+        }
+        assert!(h.estimate() < 2.0, "got {}", h.estimate());
+    }
+
+    #[test]
+    fn accuracy_across_cardinalities() {
+        let mut h = HyperLogLog::new(12); // ~1.6% relative error
+        let mut next_check = 100u64;
+        for n in 1..=1_000_000u64 {
+            h.add(n);
+            if n == next_check {
+                let est = h.estimate();
+                let rel = (est - n as f64).abs() / n as f64;
+                assert!(rel < 0.06, "n={n}: estimate {est} (rel {rel})");
+                next_check *= 10;
+            }
+        }
+    }
+
+    #[test]
+    fn small_range_linear_counting() {
+        let mut h = HyperLogLog::new(12);
+        for n in 0..50u64 {
+            h.add(n);
+        }
+        let est = h.estimate();
+        assert!((est - 50.0).abs() < 5.0, "got {est}");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = HyperLogLog::new(10);
+        let mut b = HyperLogLog::new(10);
+        let mut union = HyperLogLog::new(10);
+        for n in 0..5_000u64 {
+            a.add(n);
+            union.add(n);
+        }
+        for n in 2_500..7_500u64 {
+            b.add(n);
+            union.add(n);
+        }
+        a.merge(&b);
+        assert!((a.estimate() - union.estimate()).abs() < 1e-9);
+        let rel = (a.estimate() - 7_500.0).abs() / 7_500.0;
+        assert!(rel < 0.1, "union estimate {}", a.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "precision mismatch")]
+    fn merge_rejects_mismatched_precision() {
+        let mut a = HyperLogLog::new(10);
+        let b = HyperLogLog::new(11);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,37 @@
+//! # krr-baselines
+//!
+//! Baseline MRC techniques the paper compares against or builds on:
+//!
+//! * [`ostree`] — order-statistic treap (the balanced-tree substrate).
+//! * [`olken`] — Olken's exact LRU stack-distance algorithm, O(N·logM).
+//! * [`shards`] — SHARDS fixed-rate (± adjustment) and fixed-size variants.
+//! * [`aet`] — the AET reuse-time model (related-work extension, §6.1).
+//! * [`counterstacks`] / [`hll`] — CounterStacks over from-scratch
+//!   HyperLogLogs (related-work extension, §6.1).
+//! * [`statstack`] — StatStack's expected-stack-distance model (§6.1).
+//! * [`mimir`] — MIMIR's bucketed LRU stack (§6.1).
+//!
+//! All of these model *exact* LRU; the paper's point (Fig 5.2a) is that for
+//! Type A workloads and small K they misestimate a K-LRU cache badly, which
+//! is what `krr-core` fixes.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod aet;
+pub mod counterstacks;
+pub mod hll;
+pub mod mimir;
+pub mod olken;
+pub mod ostree;
+pub mod shards;
+pub mod statstack;
+
+pub use aet::Aet;
+pub use counterstacks::CounterStacks;
+pub use hll::HyperLogLog;
+pub use mimir::Mimir;
+pub use olken::OlkenLru;
+pub use statstack::StatStack;
+pub use ostree::OsTreap;
+pub use shards::{Shards, ShardsMax};

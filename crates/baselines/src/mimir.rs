@@ -1,0 +1,226 @@
+//! MIMIR's bucketed LRU stack (Saemundsson et al., SoCC '14; §6.1).
+//!
+//! The LRU stack is replaced by a sequence of `B` variable-size buckets in
+//! coarse recency order: re-referenced objects move to the newest bucket,
+//! and a hit in bucket `i` has stack distance between the sizes of all
+//! newer buckets and that plus bucket `i`'s own size — estimated here at
+//! the midpoint (MIMIR distributes it across the range; identical for the
+//! MRC up to bucket resolution ~1/B).
+//!
+//! Aging keeps buckets balanced: when the newest bucket reaches its fair
+//! share `⌈n/B⌉`, a fresh bucket opens; when the window exceeds `B`, the
+//! two oldest merge. O(B) per access here (bucket scan), O(M) space.
+
+use krr_core::hashing::KeyMap;
+use krr_core::histogram::SdHistogram;
+use krr_core::mrc::Mrc;
+use std::collections::VecDeque;
+
+/// One-pass MIMIR-style bucketed LRU profiler.
+#[derive(Debug)]
+pub struct Mimir {
+    /// Bucket id per key. Ids grow monotonically; ids older than the live
+    /// window belong (by merging) to the oldest live bucket.
+    bucket_of: KeyMap<u64>,
+    /// `(bucket id, object count)` from newest (front) to oldest (back).
+    counts: VecDeque<(u64, u64)>,
+    num_buckets: usize,
+    next_id: u64,
+    hist: SdHistogram,
+}
+
+impl Mimir {
+    /// Creates a profiler with `b >= 2` buckets (the MIMIR paper uses
+    /// B = 128).
+    #[must_use]
+    pub fn new(b: usize) -> Self {
+        assert!(b >= 2, "need at least two buckets");
+        let mut counts = VecDeque::with_capacity(b + 1);
+        counts.push_front((0u64, 0u64));
+        Self {
+            bucket_of: KeyMap::default(),
+            counts,
+            num_buckets: b,
+            next_id: 0,
+            hist: SdHistogram::new(1),
+        }
+    }
+
+    /// Number of tracked objects.
+    #[must_use]
+    pub fn distinct(&self) -> u64 {
+        self.bucket_of.len() as u64
+    }
+
+    /// Live bucket count (test use).
+    #[must_use]
+    pub fn num_live_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Offers one reference; returns the estimated stack distance for a
+    /// re-reference (`None` for cold misses).
+    pub fn access_key(&mut self, key: u64) -> Option<u64> {
+        let newest_id = self.counts.front().expect("non-empty").0;
+        let oldest_id = self.counts.back().expect("non-empty").0;
+        let distance = match self.bucket_of.insert(key, newest_id) {
+            None => {
+                // Cold: joins the newest bucket.
+                self.counts.front_mut().expect("non-empty").1 += 1;
+                None
+            }
+            Some(old_id) if old_id == newest_id => {
+                // Re-hit inside the newest bucket: distance within it.
+                let front = self.counts.front().expect("non-empty").1;
+                Some((front / 2).max(1))
+            }
+            Some(old_id) => {
+                // Ids below the live window merged into the oldest bucket.
+                let eff_id = old_id.max(oldest_id);
+                let mut below = 0u64;
+                let mut old_size = 1u64;
+                for &(id, count) in &self.counts {
+                    if id > eff_id {
+                        below += count;
+                    } else if id == eff_id {
+                        old_size = count.max(1);
+                        break;
+                    }
+                }
+                // Move: decrement the effective old bucket, join the newest.
+                for slot in &mut self.counts {
+                    if slot.0 == eff_id {
+                        slot.1 = slot.1.saturating_sub(1);
+                        break;
+                    }
+                }
+                self.counts.front_mut().expect("non-empty").1 += 1;
+                Some((below + old_size / 2).max(1))
+            }
+        };
+        match distance {
+            Some(d) => self.hist.record(d),
+            None => self.hist.record_cold(),
+        }
+        self.age_if_needed();
+        distance
+    }
+
+    /// Opens a fresh bucket when the newest reaches its fair share; merges
+    /// the two oldest when the window exceeds `B`.
+    fn age_if_needed(&mut self) {
+        let n = self.bucket_of.len() as u64;
+        let fair = n.div_ceil(self.num_buckets as u64).max(1);
+        if self.counts.front().expect("non-empty").1 < fair {
+            return;
+        }
+        self.next_id += 1;
+        self.counts.push_front((self.next_id, 0));
+        if self.counts.len() > self.num_buckets {
+            let (_, dropped) = self.counts.pop_back().expect("non-empty");
+            self.counts.back_mut().expect("non-empty").1 += dropped;
+        }
+    }
+
+    /// The MRC observed so far.
+    #[must_use]
+    pub fn mrc(&self) -> Mrc {
+        let mut mrc = Mrc::from_histogram(&self.hist, 1.0);
+        mrc.make_monotone();
+        mrc
+    }
+
+    /// Internal consistency check: bucket counts must sum to the number of
+    /// tracked objects (test use).
+    #[must_use]
+    pub fn counts_consistent(&self) -> bool {
+        self.counts.iter().map(|&(_, c)| c).sum::<u64>() == self.bucket_of.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::olken::OlkenLru;
+    use krr_core::rng::Xoshiro256;
+
+    #[test]
+    fn cold_then_hit() {
+        let mut m = Mimir::new(8);
+        assert_eq!(m.access_key(1), None);
+        let d = m.access_key(1);
+        assert!(d.is_some());
+        assert!(d.unwrap() >= 1);
+        assert!(m.counts_consistent());
+    }
+
+    #[test]
+    fn counts_stay_consistent_under_churn() {
+        let mut m = Mimir::new(16);
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        for i in 0..100_000u64 {
+            m.access_key(rng.below(2_000));
+            if i % 1_000 == 0 {
+                assert!(m.counts_consistent(), "drift at step {i}");
+            }
+        }
+        assert!(m.num_live_buckets() <= 16);
+    }
+
+    #[test]
+    fn loop_distances_near_loop_size() {
+        let loop_len = 1_000u64;
+        let mut m = Mimir::new(128);
+        for i in 0..20_000u64 {
+            m.access_key(i % loop_len);
+        }
+        let mrc = m.mrc();
+        // Bucketing smears the cliff by ~1/B; check it sits near the loop.
+        assert!(mrc.eval(loop_len as f64 * 0.7) > 0.85, "{}", mrc.eval(loop_len as f64 * 0.7));
+        assert!(mrc.eval(loop_len as f64 * 1.4) < 0.15, "{}", mrc.eval(loop_len as f64 * 1.4));
+    }
+
+    #[test]
+    fn tracks_olken_with_b128() {
+        let keys = 5_000u64;
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut m = Mimir::new(128);
+        let mut o = OlkenLru::new();
+        for _ in 0..200_000 {
+            let u = rng.unit();
+            let k = (u * u * keys as f64) as u64;
+            m.access_key(k);
+            o.access_key(k);
+        }
+        let sizes = krr_core::even_sizes(keys as f64, 20);
+        let mae = m.mrc().mae(&o.mrc(), &sizes);
+        assert!(mae < 0.05, "MIMIR MAE {mae}");
+    }
+
+    #[test]
+    fn coarser_buckets_are_less_accurate() {
+        let keys = 3_000u64;
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let trace: Vec<u64> = (0..100_000)
+            .map(|_| {
+                let u = rng.unit();
+                (u * u * keys as f64) as u64
+            })
+            .collect();
+        let mut o = OlkenLru::new();
+        for &k in &trace {
+            o.access_key(k);
+        }
+        let sizes = krr_core::even_sizes(keys as f64, 20);
+        let mae_of = |b: usize| {
+            let mut m = Mimir::new(b);
+            for &k in &trace {
+                m.access_key(k);
+            }
+            m.mrc().mae(&o.mrc(), &sizes)
+        };
+        let coarse = mae_of(4);
+        let fine = mae_of(256);
+        assert!(fine < coarse, "B=256 ({fine}) should beat B=4 ({coarse})");
+    }
+}

@@ -1,0 +1,289 @@
+//! Order-statistic treap: the balanced-search-tree substrate of Olken's
+//! O(N·logM) exact LRU stack algorithm (§2.1, [17]).
+//!
+//! Keys are unique `u64` timestamps. Besides insert/remove, the tree answers
+//! `count_greater(t)` — the number of keys strictly above `t` — in
+//! O(log n), which is exactly an LRU stack distance query. Nodes live in a
+//! slab with free-list reuse; heap priorities come from a deterministic
+//! xoshiro stream so the structure is reproducible.
+
+use krr_core::rng::Xoshiro256;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u64,
+    pri: u64,
+    left: u32,
+    right: u32,
+    /// Subtree size (this node included).
+    count: u32,
+}
+
+/// Order-statistic treap over unique `u64` keys.
+#[derive(Debug, Clone)]
+pub struct OsTreap {
+    nodes: Vec<Node>,
+    root: u32,
+    free: Vec<u32>,
+    rng: Xoshiro256,
+}
+
+impl Default for OsTreap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OsTreap {
+    /// Creates an empty tree.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            root: NIL,
+            free: Vec::new(),
+            rng: Xoshiro256::seed_from_u64(0x7EA9_u64),
+        }
+    }
+
+    /// Number of keys stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count(self.root) as usize
+    }
+
+    /// True if no key is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.root == NIL
+    }
+
+    #[inline]
+    fn count(&self, i: u32) -> u32 {
+        if i == NIL {
+            0
+        } else {
+            self.nodes[i as usize].count
+        }
+    }
+
+    #[inline]
+    fn fix(&mut self, i: u32) {
+        let (l, r) = (self.nodes[i as usize].left, self.nodes[i as usize].right);
+        self.nodes[i as usize].count = 1 + self.count(l) + self.count(r);
+    }
+
+    fn alloc(&mut self, key: u64) -> u32 {
+        let node = Node { key, pri: self.rng.next_u64(), left: NIL, right: NIL, count: 1 };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Splits subtree `i` into (keys <= `key`, keys > `key`).
+    fn split(&mut self, i: u32, key: u64) -> (u32, u32) {
+        if i == NIL {
+            return (NIL, NIL);
+        }
+        if self.nodes[i as usize].key <= key {
+            let right = self.nodes[i as usize].right;
+            let (a, b) = self.split(right, key);
+            self.nodes[i as usize].right = a;
+            self.fix(i);
+            (i, b)
+        } else {
+            let left = self.nodes[i as usize].left;
+            let (a, b) = self.split(left, key);
+            self.nodes[i as usize].left = b;
+            self.fix(i);
+            (a, i)
+        }
+    }
+
+    /// Merges subtrees `a` (all keys smaller) and `b`.
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].pri >= self.nodes[b as usize].pri {
+            let ar = self.nodes[a as usize].right;
+            let m = self.merge(ar, b);
+            self.nodes[a as usize].right = m;
+            self.fix(a);
+            a
+        } else {
+            let bl = self.nodes[b as usize].left;
+            let m = self.merge(a, bl);
+            self.nodes[b as usize].left = m;
+            self.fix(b);
+            b
+        }
+    }
+
+    /// Inserts `key`; panics in debug builds if it already exists.
+    pub fn insert(&mut self, key: u64) {
+        debug_assert!(!self.contains(key), "duplicate key {key}");
+        let node = self.alloc(key);
+        let (a, b) = self.split(self.root, key);
+        let left = self.merge(a, node);
+        self.root = self.merge(left, b);
+    }
+
+    /// Removes `key`; returns whether it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        if key == 0 {
+            // split(key-1) below would underflow; handle the smallest key
+            // by splitting at 0 and peeling the left part.
+            let (le, gt) = self.split(self.root, 0);
+            let found = le != NIL;
+            debug_assert!(self.count(le) <= 1);
+            if found {
+                self.free.push(le);
+            }
+            self.root = gt;
+            return found;
+        }
+        let (lt, ge) = self.split(self.root, key - 1);
+        let (eq, gt) = self.split(ge, key);
+        let found = eq != NIL;
+        debug_assert!(self.count(eq) <= 1, "keys must be unique");
+        if found {
+            self.free.push(eq);
+        }
+        let merged = self.merge(lt, gt);
+        self.root = merged;
+        found
+    }
+
+    /// True if `key` is stored.
+    #[must_use]
+    pub fn contains(&self, key: u64) -> bool {
+        let mut i = self.root;
+        while i != NIL {
+            let n = &self.nodes[i as usize];
+            match key.cmp(&n.key) {
+                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Less => i = n.left,
+                std::cmp::Ordering::Greater => i = n.right,
+            }
+        }
+        false
+    }
+
+    /// Number of stored keys strictly greater than `key` — an LRU stack
+    /// distance query when keys are last-access timestamps.
+    #[must_use]
+    pub fn count_greater(&self, key: u64) -> u64 {
+        let mut i = self.root;
+        let mut acc = 0u64;
+        while i != NIL {
+            let n = &self.nodes[i as usize];
+            if n.key > key {
+                acc += 1 + u64::from(self.count(n.right));
+                i = n.left;
+            } else {
+                i = n.right;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krr_core::rng::Xoshiro256;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut t = OsTreap::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            t.insert(k);
+        }
+        assert_eq!(t.len(), 5);
+        assert!(t.contains(3));
+        assert!(!t.contains(4));
+        assert!(t.remove(3));
+        assert!(!t.remove(3));
+        assert!(!t.contains(3));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn count_greater_matches_btreeset() {
+        let mut t = OsTreap::new();
+        let mut model = BTreeSet::new();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for _ in 0..20_000 {
+            let op = rng.below(3);
+            let key = rng.below(5_000);
+            match op {
+                0 => {
+                    if model.insert(key) {
+                        t.insert(key);
+                    }
+                }
+                1 => {
+                    assert_eq!(t.remove(key), model.remove(&key));
+                }
+                _ => {
+                    let expect = model.range(key + 1..).count() as u64;
+                    assert_eq!(t.count_greater(key), expect, "key {key}");
+                }
+            }
+            assert_eq!(t.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn remove_key_zero() {
+        let mut t = OsTreap::new();
+        t.insert(0);
+        t.insert(1);
+        assert!(t.remove(0));
+        assert!(!t.contains(0));
+        assert!(t.contains(1));
+        assert!(!t.remove(0));
+    }
+
+    #[test]
+    fn slab_reuse() {
+        let mut t = OsTreap::new();
+        for round in 0..10u64 {
+            for k in 0..100u64 {
+                t.insert(round * 1000 + k);
+            }
+            for k in 0..100u64 {
+                assert!(t.remove(round * 1000 + k));
+            }
+        }
+        assert!(t.nodes.len() <= 101, "slab grew to {}", t.nodes.len());
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        // Insert sorted keys — the worst case for an unbalanced BST — and
+        // check count_greater still answers fast (implicitly: no stack
+        // overflow and sane shape via a depth probe).
+        let mut t = OsTreap::new();
+        for k in 0..100_000u64 {
+            t.insert(k);
+        }
+        assert_eq!(t.count_greater(49_999), 50_000);
+        assert_eq!(t.count_greater(0), 99_999);
+        assert_eq!(t.count_greater(200_000), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! StatStack (Eklöv & Hagersten, ISPASS '10): expected LRU stack distances
+//! from the reuse-time distribution (§6.1).
+//!
+//! For a reference with reuse time `r` (references between consecutive
+//! accesses to the same object), StatStack estimates its stack distance as
+//! the expected number of the `r` intervening references whose *forward*
+//! reuse time outlives the window:
+//!
+//! ```text
+//! E[sd | r] = Σ_{j=1}^{r} P(forward reuse time > j)
+//! ```
+//!
+//! Under stationarity the forward reuse-time distribution equals the
+//! observed one, so the whole model reduces to a prefix sum over the
+//! reuse-time CCDF — the same ingredient AET integrates, reached from a
+//! different argument. Both are implemented here so the related-work claims
+//! can be checked against each other (they agree; see the tests).
+
+use krr_core::hashing::KeyMap;
+use krr_core::histogram::SdHistogram;
+use krr_core::mrc::Mrc;
+
+/// One-pass StatStack profiler.
+#[derive(Debug, Clone)]
+pub struct StatStack {
+    last: KeyMap<u64>,
+    rtd: SdHistogram,
+    clock: u64,
+}
+
+impl Default for StatStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatStack {
+    /// Creates a profiler with exact (width-1) reuse-time bins.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_bin_width(1)
+    }
+
+    /// Creates a profiler with the given reuse-time bin width.
+    #[must_use]
+    pub fn with_bin_width(w: u64) -> Self {
+        Self { last: KeyMap::default(), rtd: SdHistogram::new(w), clock: 0 }
+    }
+
+    /// Offers one reference.
+    pub fn access_key(&mut self, key: u64) {
+        self.clock += 1;
+        match self.last.insert(key, self.clock) {
+            Some(prev) => self.rtd.record(self.clock - prev),
+            None => self.rtd.record_cold(),
+        }
+    }
+
+    /// Distinct objects seen.
+    #[must_use]
+    pub fn distinct(&self) -> u64 {
+        self.last.len() as u64
+    }
+
+    /// Constructs the StatStack-approximated LRU MRC.
+    ///
+    /// One sweep computes, per reuse-time bin `r`, both the expected stack
+    /// distance `E[sd | r]` (prefix sum of the CCDF) and the reference mass
+    /// at that bin, then reads the MRC off the resulting stack-distance
+    /// distribution.
+    #[must_use]
+    pub fn mrc(&self) -> Mrc {
+        let total = self.rtd.total();
+        if total == 0 {
+            return Mrc::from_points(vec![(0.0, 1.0)]);
+        }
+        let w = self.rtd.bin_width() as f64;
+        // (expected stack distance, mass) per occupied reuse-time bin,
+        // in increasing reuse-time order. E[sd | r] is monotone in r, so
+        // the output points are naturally ordered.
+        let mut points = vec![(0.0, 1.0)];
+        let mut seen = 0u64;
+        let mut esd = 0.0f64;
+        let mut hits_below = 0u64;
+        for (_, count) in self.rtd.iter() {
+            // CCDF just before this bin (fraction of references whose reuse
+            // time is at least this bin's range; colds count as infinite).
+            let p_before = (total - seen) as f64 / total as f64;
+            seen += count;
+            let p_after = (total - seen) as f64 / total as f64;
+            // All count references in this bin land at stack distance
+            // ~esd + half the bin's increment.
+            let increment = w * 0.5 * (p_before + p_after);
+            esd += increment;
+            hits_below += count;
+            let miss = (total - hits_below) as f64 / total as f64;
+            // Emit every bin (empty ones too): flat stretches keep the
+            // piecewise-linear evaluation from turning a cliff into a ramp.
+            points.push((esd.max(1.0), miss));
+        }
+        let mut mrc = Mrc::from_points(points);
+        mrc.make_monotone();
+        mrc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aet::Aet;
+    use crate::olken::OlkenLru;
+    use krr_core::rng::Xoshiro256;
+
+    fn skewed(keys: u64, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u = rng.unit();
+                (u * u * keys as f64) as u64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn loop_trace_puts_cliff_at_loop_size() {
+        let m = 1_000u64;
+        let mut s = StatStack::new();
+        for i in 0..50_000u64 {
+            s.access_key(i % m);
+        }
+        let mrc = s.mrc();
+        assert!(mrc.eval(m as f64 * 0.8) > 0.9);
+        assert!(mrc.eval(m as f64 * 1.2) < 0.05);
+    }
+
+    #[test]
+    fn tracks_olken_on_skewed_workload() {
+        let keys = 5_000u64;
+        let trace = skewed(keys, 200_000, 1);
+        let mut s = StatStack::new();
+        let mut o = OlkenLru::new();
+        for &k in &trace {
+            s.access_key(k);
+            o.access_key(k);
+        }
+        let sizes = krr_core::even_sizes(keys as f64, 20);
+        let mae = s.mrc().mae(&o.mrc(), &sizes);
+        assert!(mae < 0.03, "StatStack MAE {mae}");
+    }
+
+    #[test]
+    fn agrees_with_aet() {
+        // Two reuse-time models, two derivations, one curve.
+        let keys = 5_000u64;
+        let trace = skewed(keys, 150_000, 2);
+        let mut s = StatStack::new();
+        let mut a = Aet::new();
+        for &k in &trace {
+            s.access_key(k);
+            a.access_key(k);
+        }
+        let sizes = krr_core::even_sizes(keys as f64, 20);
+        let mae = s.mrc().mae(&a.mrc(), &sizes);
+        assert!(mae < 0.01, "StatStack vs AET MAE {mae}");
+    }
+
+    #[test]
+    fn empty_profiler() {
+        assert_eq!(StatStack::new().mrc().eval(10.0), 1.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion: cache-simulator throughput — exact LRU vs K-LRU (per K) vs
+//! mini-Redis — the substrate cost behind every "actual MRC" in §5.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use krr_redis::{MiniRedis, SamplingMode};
+use krr_sim::{Cache, Capacity, ExactLru, KLruCache};
+use krr_trace::Request;
+use std::hint::black_box;
+
+fn trace() -> Vec<Request> {
+    let z = krr_trace::Zipf::new(100_000, 0.99);
+    let mut rng = krr_core::rng::Xoshiro256::seed_from_u64(9);
+    (0..200_000).map(|_| Request::get(z.sample(&mut rng), 200)).collect()
+}
+
+fn bench_caches(c: &mut Criterion) {
+    let reqs = trace();
+    let cap_objects = 20_000u64;
+    let cap_bytes = cap_objects * 200;
+    let mut g = c.benchmark_group("simulators");
+    g.throughput(Throughput::Elements(reqs.len() as u64));
+    g.sample_size(10);
+
+    g.bench_function("exact_lru", |b| {
+        b.iter(|| {
+            let mut cache = ExactLru::new(Capacity::Objects(cap_objects));
+            for r in &reqs {
+                black_box(cache.access(r));
+            }
+            cache.stats().hits
+        });
+    });
+    for k in [1u32, 5, 16] {
+        g.bench_function(format!("klru_k{k}"), |b| {
+            b.iter(|| {
+                let mut cache = KLruCache::new(Capacity::Objects(cap_objects), k, 3);
+                for r in &reqs {
+                    black_box(cache.access(r));
+                }
+                cache.stats().hits
+            });
+        });
+    }
+    for (name, mode) in [
+        ("mini_redis_clustered", SamplingMode::ClusteredWalk),
+        ("mini_redis_uniform", SamplingMode::UniformRandom),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut store = MiniRedis::with_mode(cap_bytes, 5, mode, 4);
+                for r in &reqs {
+                    black_box(store.access(r));
+                }
+                store.stats().hits
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_caches);
+criterion_main!(benches);

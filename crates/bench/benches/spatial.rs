@@ -1,0 +1,35 @@
+//! Criterion: effect of the spatial sampling rate on profiler cost (§2.4,
+//! §5.5) — cost should fall roughly linearly in R.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use krr_core::{KrrConfig, KrrModel};
+use std::hint::black_box;
+
+fn bench_rates(c: &mut Criterion) {
+    let z = krr_trace::Zipf::new(500_000, 0.9);
+    let mut rng = krr_core::rng::Xoshiro256::seed_from_u64(11);
+    let trace: Vec<u64> = (0..400_000).map(|_| z.sample(&mut rng)).collect();
+
+    let mut g = c.benchmark_group("spatial_rate");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.sample_size(10);
+    for &rate in &[1.0f64, 0.1, 0.01, 0.001] {
+        g.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |b, &rate| {
+            b.iter(|| {
+                let mut cfg = KrrConfig::new(5.0).seed(5);
+                if rate < 1.0 {
+                    cfg = cfg.sampling(rate);
+                }
+                let mut m = KrrModel::new(cfg);
+                for &k in &trace {
+                    m.access_key(k);
+                }
+                black_box(m.stats().sampled)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rates);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion: per-access cost of the three stack-update strategies across K
+//! and stack depth M — the micro-benchmark behind Table 5.3 / Fig 5.4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use krr_core::rng::Xoshiro256;
+use krr_core::update::{swap_chain, UpdaterKind};
+use krr_core::{KrrConfig, KrrModel, UpdaterKind as UK};
+use std::hint::black_box;
+
+/// Raw swap-chain generation at a fixed stack distance.
+fn bench_swap_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swap_chain");
+    for &phi in &[1u64 << 10, 1 << 16, 1 << 20] {
+        for &k in &[1.0f64, 5.0, 16.0] {
+            for kind in [UpdaterKind::TopDown, UpdaterKind::Backward] {
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{kind}/K={k}"), phi),
+                    &phi,
+                    |b, &phi| {
+                        let mut rng = Xoshiro256::seed_from_u64(1);
+                        let mut out = Vec::with_capacity(1024);
+                        b.iter(|| {
+                            out.clear();
+                            swap_chain(kind, black_box(phi), k, &mut rng, &mut out);
+                            black_box(out.len())
+                        });
+                    },
+                );
+            }
+            // The naive scan is only feasible at the small depth.
+            if phi <= 1 << 10 {
+                g.bench_with_input(
+                    BenchmarkId::new(format!("naive/K={k}"), phi),
+                    &phi,
+                    |b, &phi| {
+                        let mut rng = Xoshiro256::seed_from_u64(1);
+                        let mut out = Vec::with_capacity(1024);
+                        b.iter(|| {
+                            out.clear();
+                            swap_chain(UpdaterKind::Naive, black_box(phi), k, &mut rng, &mut out);
+                            black_box(out.len())
+                        });
+                    },
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+/// Whole-model throughput (lookup + chain + apply + histogram) on a Zipf
+/// stream, per updater.
+fn bench_model_throughput(c: &mut Criterion) {
+    let keys = 100_000u64;
+    let trace: Vec<u64> = {
+        let z = krr_trace::Zipf::new(keys, 0.9);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        (0..200_000).map(|_| z.sample(&mut rng)).collect()
+    };
+    let mut g = c.benchmark_group("model_throughput");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for updater in [UK::TopDown, UK::Backward] {
+        for &k in &[1.0f64, 5.0, 16.0] {
+            g.bench_function(format!("{updater}/K={k}"), |b| {
+                b.iter(|| {
+                    let mut m = KrrModel::new(KrrConfig::new(k).raw_k().updater(updater).seed(4));
+                    for &key in &trace {
+                        m.access_key(key);
+                    }
+                    black_box(m.histogram().total())
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_swap_chain, bench_model_throughput);
+criterion_main!(benches);

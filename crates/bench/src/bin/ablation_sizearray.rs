@@ -1,0 +1,86 @@
+//! Ablation (not in the paper's tables): the sizeArray base `b` (§4.4.1).
+//!
+//! A larger base means fewer maintained boundaries (cheaper updates) but
+//! coarser interpolation for byte-level stack distances. The paper uses
+//! b = 2; this sweep quantifies the accuracy/time trade-off for
+//! b ∈ {2, 4, 8, 16}, plus the with/without-replacement sampling ablation
+//! for the simulated ground truth.
+//!
+//! Run: `cargo run --release -p krr-bench --bin ablation_sizearray`
+
+use krr_bench::{actual_mrc_bytes, report, requests, scale, timed};
+use krr_core::{KrrConfig, KrrModel};
+use krr_sim::{simulate_mrc, Policy, Unit};
+use krr_trace::{msr, twitter};
+
+fn main() {
+    let n = requests();
+    let sc = scale();
+    let k = 8u32;
+    let bases = [2u64, 4, 8, 16];
+
+    let traces = vec![
+        ("msr_rsrch".to_string(), msr::profile(msr::MsrTrace::Rsrch).generate_var_size(n, 1, sc)),
+        (
+            "tw_cluster26.0".to_string(),
+            twitter::profile(twitter::TwitterCluster::C26_0).generate(n, 2, sc, true),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (name, trace) in &traces {
+        let (sim, caps) = actual_mrc_bytes(trace, k, 30, 3);
+        let sizes: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
+        for &b in &bases {
+            let (mrc, t) = timed(|| {
+                let mut m = KrrModel::new(KrrConfig::new(f64::from(k)).byte_level(b, 1024).seed(4));
+                for r in trace {
+                    m.access(r.key, r.size);
+                }
+                m.mrc()
+            });
+            let mae = sim.mae(&mrc, &sizes);
+            rows.push(vec![
+                name.clone(),
+                format!("{b}"),
+                format!("{mae:.5}"),
+                format!("{:.3}", t.as_secs_f64()),
+            ]);
+            csv.push(format!("{name},{b},{mae:.6},{:.4}", t.as_secs_f64()));
+        }
+    }
+    report::print_table(
+        "Ablation — sizeArray base (var-KRR, K=8)",
+        &["trace", "base", "MAE", "time (s)"],
+        &rows,
+    );
+
+    // Secondary ablation: with- vs without-replacement K-LRU ground truth
+    // (§3's claim that both versions behave alike for small K, large C).
+    let (name, trace) = &traces[0];
+    let (_, bytes) = krr_sim::working_set(trace);
+    let caps = krr_sim::even_capacities(bytes, 15);
+    let sizes: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
+    let with = simulate_mrc(
+        trace,
+        Policy::KLru { k, with_replacement: true },
+        Unit::Bytes,
+        &caps,
+        5,
+        krr_bench::threads(),
+    );
+    let without = simulate_mrc(
+        trace,
+        Policy::KLru { k, with_replacement: false },
+        Unit::Bytes,
+        &caps,
+        6,
+        krr_bench::threads(),
+    );
+    println!(
+        "\nwith- vs without-replacement K-LRU on {name}: MAE {:.5} (Proposition 1 vs 2)",
+        with.mae(&without, &sizes)
+    );
+    report::write_csv("ablation_sizearray", "trace,base,mae,seconds", &csv);
+}

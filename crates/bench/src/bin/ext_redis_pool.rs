@@ -1,0 +1,75 @@
+//! Extension experiment: why Redis approximates LRU well with only 5
+//! samples — the eviction pool (§5.7's machinery, ablated).
+//!
+//! Sweeps `maxmemory-samples` for the mini-Redis store against exact LRU
+//! and the poolless K-LRU simulator at the same K. The pool accumulates
+//! good candidates across eviction cycles, so mini-Redis at samples=5
+//! lands much closer to LRU than poolless K-LRU with K=5 — the design
+//! insight behind Redis 3.0's eviction rewrite.
+//!
+//! Run: `cargo run --release -p krr-bench --bin ext_redis_pool`
+
+use krr_bench::{report, requests, scale};
+use krr_redis::MiniRedis;
+use krr_sim::{Cache, Capacity, ExactLru, KLruCache};
+use krr_trace::{msr, Request};
+
+const OBJ: u32 = 200;
+
+fn main() {
+    let n = requests();
+    let sc = scale();
+    let raw = msr::profile(msr::MsrTrace::Prxy).generate(n, 0xE01, sc);
+    let trace: Vec<Request> = raw.iter().map(|r| Request::get(r.key, OBJ)).collect();
+    let (objects, _) = krr_sim::working_set(&trace);
+    let memory = objects * u64::from(OBJ) / 2;
+    println!(
+        "ext_redis_pool: msr_prxy, {} requests, {objects} objects, memory = 50% of WSS",
+        trace.len()
+    );
+
+    let mut lru = ExactLru::new(Capacity::Bytes(memory));
+    for r in &trace {
+        lru.access(r);
+    }
+    let lru_miss = lru.stats().miss_ratio();
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for samples in [1usize, 2, 3, 5, 10] {
+        let mut store = MiniRedis::new(memory, samples, 7);
+        let mut hits = 0u64;
+        for r in &trace {
+            if store.access(r) {
+                hits += 1;
+            }
+        }
+        let redis_miss = 1.0 - hits as f64 / trace.len() as f64;
+
+        let mut klru = KLruCache::new(Capacity::Bytes(memory), samples as u32, 7);
+        for r in &trace {
+            klru.access(r);
+        }
+        let klru_miss = klru.stats().miss_ratio();
+
+        rows.push(vec![
+            format!("{samples}"),
+            format!("{redis_miss:.4}"),
+            format!("{klru_miss:.4}"),
+            format!("{:.4}", redis_miss - lru_miss),
+            format!("{:.4}", klru_miss - lru_miss),
+        ]);
+        csv.push(format!("{samples},{redis_miss:.5},{klru_miss:.5},{lru_miss:.5}"));
+    }
+    report::print_table(
+        &format!("eviction-pool ablation (exact LRU miss = {lru_miss:.4})"),
+        &["samples", "mini-Redis", "poolless K-LRU", "Redis-LRU gap", "K-LRU-LRU gap"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: the gap to exact LRU collapses as samples grow; the persistent \
+         pool is worth roughly a couple of extra samples (visible at samples >= 5), which is \
+         why Redis ships samples=5 rather than something larger"
+    );
+    report::write_csv("ext_redis_pool", "samples,redis_miss,klru_miss,lru_miss", &csv);
+}

@@ -1,0 +1,88 @@
+//! Figure 5.1: actual vs predicted K-LRU MRCs for two representative
+//! traces — YCSB E (α = 1.5) and MSR src1 — with K ∈ {1, 4, 16}, plus the
+//! exact LRU curve.
+//!
+//! Run: `cargo run --release -p krr-bench --bin fig5_1`
+
+use krr_bench::{guarded_rate, krr_mrc, report, requests, scale, threads};
+use krr_sim::{even_capacities, simulate_mrc, Policy, Unit};
+use krr_trace::{msr, ycsb};
+
+fn main() {
+    let ks = [1u32, 4, 16];
+    let n = requests();
+    let sc = scale();
+
+    let traces: Vec<(String, Vec<krr_trace::Request>)> = vec![
+        ("ycsb_E_1.5".into(), {
+            let records = ((100_000.0 * sc) as u64).max(500);
+            let mut t = ycsb::WorkloadE::new(records, 1.5).generate(n, 5);
+            t.truncate(n);
+            t
+        }),
+        ("msr_src1".into(), msr::profile(msr::MsrTrace::Src1).generate(n, 6, sc)),
+    ];
+
+    for (name, trace) in &traces {
+        let (objects, _) = krr_sim::working_set(trace);
+        let caps = even_capacities(objects, 40);
+        let rate = guarded_rate(0.001, objects);
+        println!("\nfig5_1 [{name}]: {objects} objects, spatial rate {rate:.4}");
+
+        let lru = simulate_mrc(trace, Policy::ExactLru, Unit::Objects, &caps, 3, threads());
+        let mut columns: Vec<(String, krr_core::Mrc)> = vec![("LRU".into(), lru)];
+        for &k in &ks {
+            let actual = simulate_mrc(trace, Policy::klru(k), Unit::Objects, &caps, 4, threads());
+            let predicted = krr_mrc(trace, f64::from(k), 1.0, 7);
+            let spatial = krr_mrc(trace, f64::from(k), rate, 8);
+            columns.push((format!("actual_K{k}"), actual));
+            columns.push((format!("krr_K{k}"), predicted));
+            columns.push((format!("krr_sp_K{k}"), spatial));
+        }
+
+        let header: Vec<String> = std::iter::once("cache size".to_string())
+            .chain(columns.iter().map(|(n, _)| n.clone()))
+            .collect();
+        let rows: Vec<Vec<String>> = caps
+            .iter()
+            .step_by(4)
+            .map(|&c| {
+                std::iter::once(format!("{c}"))
+                    .chain(columns.iter().map(|(_, m)| format!("{:.3}", m.eval(c as f64))))
+                    .collect()
+            })
+            .collect();
+        report::print_table(
+            &format!("Fig 5.1 — {name}: actual vs predicted K-LRU MRCs"),
+            &header.iter().map(String::as_str).collect::<Vec<_>>(),
+            &rows,
+        );
+
+        // Per-K MAE summary (the figure's visual message, quantified).
+        let sizes: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
+        for &k in &ks {
+            let actual = &columns.iter().find(|(n, _)| n == &format!("actual_K{k}")).unwrap().1;
+            let krr = &columns.iter().find(|(n, _)| n == &format!("krr_K{k}")).unwrap().1;
+            let sp = &columns.iter().find(|(n, _)| n == &format!("krr_sp_K{k}")).unwrap().1;
+            println!(
+                "  K={k:<2}: MAE(KRR) = {:.5}, MAE(KRR+spatial) = {:.5}",
+                actual.mae(krr, &sizes),
+                actual.mae(sp, &sizes)
+            );
+        }
+
+        let csv_rows: Vec<String> = caps
+            .iter()
+            .map(|&c| {
+                let vals: Vec<String> =
+                    columns.iter().map(|(_, m)| format!("{:.5}", m.eval(c as f64))).collect();
+                format!("{c},{}", vals.join(","))
+            })
+            .collect();
+        let csv_header = std::iter::once("cache_size".to_string())
+            .chain(columns.iter().map(|(n, _)| n.clone()))
+            .collect::<Vec<_>>()
+            .join(",");
+        report::write_csv(&format!("fig5_1_{name}"), &csv_header, &csv_rows);
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 5.4: normalized average stack-update overhead against K = 1 for
+//! the YCSB, MSR and Twitter families (backward updater).
+//!
+//! Corollary 1: expected swap count grows ~linearly in K, so the overhead
+//! at K = 16 should be no more than a few times that of K = 1.
+//!
+//! Run: `cargo run --release -p krr-bench --bin fig5_4`
+
+use krr_bench::workloads::{all_specs, Family};
+use krr_bench::{report, requests, scale, timed};
+use krr_core::{KrrConfig, KrrModel};
+use std::collections::BTreeMap;
+
+fn main() {
+    let ks = [1u32, 2, 4, 8, 16, 32];
+    let n = requests();
+    let sc = scale();
+    println!("fig5_4: stack-update overhead vs K (backward update), {n} requests per trace");
+
+    // family -> per-K total seconds
+    let mut acc: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for spec in all_specs() {
+        let trace = spec.generate(n, 0xF54, sc);
+        for (i, &k) in ks.iter().enumerate() {
+            // Model with K' correction disabled so the measured cost is the
+            // pure effect of K on swap-chain length (as in the paper's
+            // stack-update accounting).
+            let (_, t) = timed(|| {
+                let mut m = KrrModel::new(KrrConfig::new(f64::from(k)).raw_k().seed(5));
+                for r in &trace {
+                    m.access_key(r.key);
+                }
+                std::hint::black_box(m.histogram().total())
+            });
+            acc.entry(spec.family.to_string()).or_insert_with(|| vec![0.0; ks.len()])[i] +=
+                t.as_secs_f64();
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for fam in [Family::Ycsb, Family::Msr, Family::Twitter] {
+        let times = &acc[&fam.to_string()];
+        let base = times[0];
+        let mut row = vec![fam.to_string()];
+        for (i, &k) in ks.iter().enumerate() {
+            row.push(format!("{:.2}", times[i] / base));
+            csv.push(format!("{fam},{k},{:.4},{:.6}", times[i] / base, times[i]));
+        }
+        rows.push(row);
+    }
+    let header: Vec<String> = std::iter::once("family".to_string())
+        .chain(ks.iter().map(|k| format!("K={k}")))
+        .collect();
+    report::print_table(
+        "Fig 5.4 — stack-update overhead normalized to K=1",
+        &header.iter().map(String::as_str).collect::<Vec<_>>(),
+        &rows,
+    );
+    println!("\npaper: overhead for K <= 16 is generally no more than 4x that of K = 1");
+    report::write_csv("fig5_4", "family,k,normalized,seconds", &csv);
+}

@@ -1,0 +1,78 @@
+//! Table 5.1: average MAE of KRR (and KRR + spatial sampling) against the
+//! simulated K-LRU MRC, per workload family, for K ∈ {1, 2, 4, 8, 16, 32}.
+//!
+//! Run: `cargo run --release -p krr-bench --bin table5_1`
+//! (set `KRR_REQS` / `KRR_SCALE` to grow the workloads)
+
+use krr_bench::workloads::{all_specs, Family};
+use krr_bench::{actual_mrc, guarded_rate, krr_mrc, report, requests, scale};
+use std::collections::BTreeMap;
+
+fn main() {
+    let ks = [1u32, 2, 4, 8, 16, 32];
+    let n = requests();
+    let sc = scale();
+    println!("table5_1: {} traces x K={ks:?}, {n} requests each, scale {sc}", all_specs().len());
+
+    // family -> k -> (sum of MAE, sum of MAE with sampling, count)
+    let mut acc: BTreeMap<(String, u32), (f64, f64, u32)> = BTreeMap::new();
+    let mut csv = Vec::new();
+
+    for spec in all_specs() {
+        let trace = spec.generate(n, 0xA11CE, sc);
+        let (objects, _) = krr_sim::working_set(&trace);
+        let rate = guarded_rate(0.001, objects);
+        for &k in &ks {
+            let (sim, caps) = actual_mrc(&trace, k, 40, 11);
+            let sizes: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
+            let full = krr_mrc(&trace, f64::from(k), 1.0, 22);
+            let sampled = krr_mrc(&trace, f64::from(k), rate, 33);
+            let mae_full = sim.mae(&full, &sizes);
+            let mae_samp = sim.mae(&sampled, &sizes);
+            let e = acc.entry((spec.family.to_string(), k)).or_insert((0.0, 0.0, 0));
+            e.0 += mae_full;
+            e.1 += mae_samp;
+            e.2 += 1;
+            csv.push(format!(
+                "{},{},{k},{mae_full:.6},{mae_samp:.6},{rate:.4}",
+                spec.name, spec.family
+            ));
+            println!("  {:<18} K={k:<2} MAE={mae_full:.5}  +spatial={mae_samp:.5}", spec.name);
+        }
+    }
+
+    // Assemble the paper's table: rows = family, cols = K (KRR block then
+    // KRR+spatial block).
+    let mut header = vec!["family".to_string()];
+    header.extend(ks.iter().map(|k| format!("KRR K={k}")));
+    header.extend(ks.iter().map(|k| format!("+Sp K={k}")));
+    let mut rows = Vec::new();
+    let mut overall = (0.0f64, 0.0f64, 0u32);
+    for fam in [Family::Msr, Family::Ycsb, Family::Twitter] {
+        let mut row = vec![fam.to_string()];
+        for &k in &ks {
+            let (s, _, c) = acc[&(fam.to_string(), k)];
+            row.push(format!("{:.5}", s / f64::from(c)));
+        }
+        for &k in &ks {
+            let (s, sp, c) = acc[&(fam.to_string(), k)];
+            row.push(format!("{:.5}", sp / f64::from(c)));
+            overall.0 += s;
+            overall.1 += sp;
+            overall.2 += c;
+        }
+        rows.push(row);
+    }
+    report::print_table(
+        "Table 5.1 — average MAE per family (KRR | KRR+spatial)",
+        &header.iter().map(String::as_str).collect::<Vec<_>>(),
+        &rows,
+    );
+    println!(
+        "\noverall average MAE: KRR {:.5}, KRR+spatial {:.5} (paper: 0.00099 / 0.0026)",
+        overall.0 / f64::from(overall.2),
+        overall.1 / f64::from(overall.2)
+    );
+
+    report::write_csv("table5_1", "trace,family,k,mae_krr,mae_krr_spatial,rate", &csv);
+}

@@ -1,0 +1,77 @@
+//! Table 5.4: running time on the merged "master" MSR trace —
+//! KRR top-down + spatial vs KRR backward + spatial vs SHARDS, all at the
+//! same sampling rate.
+//!
+//! The paper reports 39.1s / 22.4s / 19.7s at R = 0.001: backward KRR is
+//! competitive with SHARDS, top-down roughly 2x slower. KRR times are
+//! averaged over K ∈ {1, 2, 4, 8, 16, 32} as in the paper.
+//!
+//! Run: `cargo run --release -p krr-bench --bin table5_4`
+
+use krr_bench::{guarded_rate, report, requests, scale, timed};
+use krr_baselines::Shards;
+use krr_core::{KrrConfig, KrrModel, UpdaterKind};
+use krr_trace::msr;
+
+fn main() {
+    let n = requests() * 4; // the master trace merges 13 servers
+    let sc = scale();
+    let trace = msr::master_trace(n, 0x7AB4, sc);
+    let (objects, _) = krr_sim::working_set(&trace);
+    let rate = guarded_rate(0.001, objects);
+    let ks = [1u32, 2, 4, 8, 16, 32];
+    println!(
+        "table5_4: merged MSR master trace, {} requests, {objects} objects, R = {rate:.4}",
+        trace.len()
+    );
+
+    let krr_avg = |updater: UpdaterKind| -> f64 {
+        let mut total = 0.0;
+        for &k in &ks {
+            let (_, t) = timed(|| {
+                // Raw K (no K' correction) so the measured cost reflects the
+                // paper's per-K stack-update accounting.
+                let mut m = KrrModel::new(
+                    KrrConfig::new(f64::from(k)).raw_k().updater(updater).sampling(rate).seed(6),
+                );
+                for r in &trace {
+                    m.access_key(r.key);
+                }
+                std::hint::black_box(m.histogram().total())
+            });
+            total += t.as_secs_f64();
+        }
+        total / ks.len() as f64
+    };
+
+    let topdown = krr_avg(UpdaterKind::TopDown);
+    let backward = krr_avg(UpdaterKind::Backward);
+    let (_, shards_t) = timed(|| {
+        let mut s = Shards::new(rate);
+        for r in &trace {
+            s.access_key(r.key);
+        }
+        std::hint::black_box(s.counts())
+    });
+    let shards = shards_t.as_secs_f64();
+
+    report::print_table(
+        "Table 5.4 — master trace, time per full pass (KRR averaged over K=1..32)",
+        &["method", "time (s)", "vs SHARDS"],
+        &[
+            vec!["Top Down + Spatial".into(), format!("{topdown:.3}"), format!("{:.2}x", topdown / shards)],
+            vec!["Backward + Spatial".into(), format!("{backward:.3}"), format!("{:.2}x", backward / shards)],
+            vec!["SHARDS".into(), format!("{shards:.3}"), "1.00x".into()],
+        ],
+    );
+    println!("\npaper: 39.1s / 22.4s / 19.7s — backward ~ SHARDS, top-down ~2x slower");
+    report::write_csv(
+        "table5_4",
+        "method,seconds",
+        &[
+            format!("topdown_spatial,{topdown:.6}"),
+            format!("backward_spatial,{backward:.6}"),
+            format!("shards,{shards:.6}"),
+        ],
+    );
+}

@@ -1,0 +1,134 @@
+//! # krr-bench
+//!
+//! Experiment harness for the paper reproduction: shared workload registry,
+//! result emission, and measurement helpers used by the per-table/figure
+//! binaries (`fig1_1`, `table5_1`, …). See DESIGN.md §4 for the experiment
+//! index and EXPERIMENTS.md for recorded results.
+//!
+//! Scale knobs (environment variables):
+//!
+//! * `KRR_SCALE` — working-set scale factor applied to every workload
+//!   (default 0.1; the paper's full-size traces are 10x larger).
+//! * `KRR_REQS` — requests per trace (default 400_000).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod report;
+pub mod workloads;
+
+use krr_core::{even_sizes, KrrConfig, KrrModel, Mrc};
+use krr_sim::{even_capacities, simulate_mrc, Policy, Unit};
+use krr_trace::Request;
+use std::time::{Duration, Instant};
+
+/// Workload scale factor from `KRR_SCALE` (default 0.1).
+#[must_use]
+pub fn scale() -> f64 {
+    std::env::var("KRR_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.1)
+}
+
+/// Requests per trace from `KRR_REQS` (default 400_000).
+#[must_use]
+pub fn requests() -> usize {
+    std::env::var("KRR_REQS").ok().and_then(|s| s.parse().ok()).unwrap_or(400_000)
+}
+
+/// Number of simulation threads (default: available parallelism).
+#[must_use]
+pub fn threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// The paper's default spatial sampling rate, with the ≥8K-sampled-objects
+/// guard applied for a given working set.
+#[must_use]
+pub fn guarded_rate(base: f64, working_set: u64) -> f64 {
+    krr_core::sampling::rate_for_working_set(
+        base,
+        working_set,
+        krr_core::sampling::DEFAULT_MIN_SAMPLED_OBJECTS,
+    )
+}
+
+/// Runs the KRR model over a uniform-size trace and returns its MRC.
+#[must_use]
+pub fn krr_mrc(trace: &[Request], k: f64, rate: f64, seed: u64) -> Mrc {
+    let mut cfg = KrrConfig::new(k).seed(seed);
+    if rate < 1.0 {
+        cfg = cfg.sampling(rate);
+    }
+    let mut m = KrrModel::new(cfg);
+    for r in trace {
+        m.access_key(r.key);
+    }
+    m.mrc()
+}
+
+/// Runs the byte-level (var-KRR) model over a variable-size trace.
+#[must_use]
+pub fn var_krr_mrc(trace: &[Request], k: f64, rate: f64, seed: u64) -> Mrc {
+    let mut cfg = KrrConfig::new(k).byte_level(2, 1024).seed(seed);
+    if rate < 1.0 {
+        cfg = cfg.sampling(rate);
+    }
+    let mut m = KrrModel::new(cfg);
+    for r in trace {
+        m.access(r.key, r.size);
+    }
+    m.mrc()
+}
+
+/// Ground-truth K-LRU MRC by multi-size simulation over `n_sizes` even
+/// capacities (object granularity).
+#[must_use]
+pub fn actual_mrc(trace: &[Request], k: u32, n_sizes: usize, seed: u64) -> (Mrc, Vec<u64>) {
+    let (objects, _) = krr_sim::working_set(trace);
+    let caps = even_capacities(objects, n_sizes);
+    let mrc = simulate_mrc(trace, Policy::klru(k), Unit::Objects, &caps, seed, threads());
+    (mrc, caps)
+}
+
+/// Ground-truth byte-granularity K-LRU MRC.
+#[must_use]
+pub fn actual_mrc_bytes(trace: &[Request], k: u32, n_sizes: usize, seed: u64) -> (Mrc, Vec<u64>) {
+    let (_, bytes) = krr_sim::working_set(trace);
+    let caps = even_capacities(bytes, n_sizes);
+    let mrc = simulate_mrc(trace, Policy::klru(k), Unit::Bytes, &caps, seed, threads());
+    (mrc, caps)
+}
+
+/// MAE between two MRCs at `n` even sizes up to `max` (the paper's metric).
+#[must_use]
+pub fn mae_at(a: &Mrc, b: &Mrc, max: f64, n: usize) -> f64 {
+    a.mae(b, &even_sizes(max, n))
+}
+
+/// Times a closure, returning (result, wall time).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krr_trace::patterns;
+
+    #[test]
+    fn helpers_roundtrip() {
+        let trace = patterns::uniform_random(500, 20_000, 1);
+        let (mrc, caps) = actual_mrc(&trace, 4, 8, 2);
+        assert_eq!(caps.len(), 8);
+        let model = krr_mrc(&trace, 4.0, 1.0, 3);
+        let mae = mae_at(&mrc, &model, 500.0, 20);
+        assert!(mae < 0.02, "MAE {mae}");
+    }
+
+    #[test]
+    fn guarded_rate_applies_floor() {
+        assert_eq!(guarded_rate(0.001, 1000), 1.0);
+        assert!((guarded_rate(0.001, 100_000_000) - 0.001).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Result emission: aligned stdout tables plus CSV files under `results/`.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory where experiment CSVs are written (`results/` at the repo
+/// root, overridable with `KRR_RESULTS_DIR`).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("KRR_RESULTS_DIR").unwrap_or_else(|_| {
+        // The bench binaries run from the workspace root via `cargo run`.
+        "results".to_string()
+    });
+    PathBuf::from(dir)
+}
+
+/// Writes a CSV file `results/<name>.csv` with the given header and rows.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{header}");
+            for row in rows {
+                let _ = writeln!(f, "{row}");
+            }
+            println!("\n[wrote {}]", path.display());
+        }
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Prints a simple aligned table: a header row and data rows of equal arity.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: Vec<&str>| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(header.to_vec()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row.iter().map(String::as_str).collect()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "beta"],
+            &[vec!["1".into(), "2".into()], vec!["30".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("krr_report_test");
+        std::env::set_var("KRR_RESULTS_DIR", &dir);
+        write_csv("unit_test", "x,y", &["1,2".to_string()]);
+        let body = std::fs::read_to_string(dir.join("unit_test.csv")).unwrap();
+        assert_eq!(body, "x,y\n1,2\n");
+        std::env::remove_var("KRR_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,184 @@
+//! The evaluation workload registry (§5.2): 13 MSR profiles, YCSB C/E at
+//! three Zipf exponents, and 4 Twitter clusters, in uniform-size and
+//! variable-size flavours.
+
+use krr_trace::{msr, twitter, ycsb, Trace};
+
+/// Workload family, matching the grouping of Table 5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// MSR Cambridge-like block traces.
+    Msr,
+    /// YCSB core workloads.
+    Ycsb,
+    /// Twitter cache-cluster traces.
+    Twitter,
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Family::Msr => write!(f, "MSR"),
+            Family::Ycsb => write!(f, "YCSB"),
+            Family::Twitter => write!(f, "Twitter"),
+        }
+    }
+}
+
+/// A named workload that can be materialized at a given size.
+pub struct Spec {
+    /// Display name (e.g. `msr_src1`, `ycsb_E_1.5`, `tw_cluster34.1`).
+    pub name: String,
+    /// Family grouping.
+    pub family: Family,
+    gen: Box<dyn Fn(usize, u64, f64, bool) -> Trace + Send + Sync>,
+}
+
+impl Spec {
+    /// Materializes `n` uniform-size requests.
+    #[must_use]
+    pub fn generate(&self, n: usize, seed: u64, scale: f64) -> Trace {
+        (self.gen)(n, seed, scale, false)
+    }
+
+    /// Materializes `n` variable-size requests (families that have a size
+    /// model; YCSB stays uniform as in the paper).
+    #[must_use]
+    pub fn generate_var(&self, n: usize, seed: u64, scale: f64) -> Trace {
+        (self.gen)(n, seed, scale, true)
+    }
+}
+
+/// All 13 MSR specs.
+#[must_use]
+pub fn msr_specs() -> Vec<Spec> {
+    msr::MsrTrace::ALL
+        .iter()
+        .map(|&t| Spec {
+            name: format!("msr_{}", t.name()),
+            family: Family::Msr,
+            gen: Box::new(move |n, seed, scale, var| {
+                let p = msr::profile(t);
+                if var {
+                    p.generate_var_size(n, seed, scale)
+                } else {
+                    p.generate(n, seed, scale)
+                }
+            }),
+        })
+        .collect()
+}
+
+/// YCSB C and E at α ∈ {0.5, 0.99, 1.5} (6 specs). Record counts follow the
+/// scale factor.
+#[must_use]
+pub fn ycsb_specs() -> Vec<Spec> {
+    let mut out = Vec::new();
+    for &alpha in &[0.5f64, 0.99, 1.5] {
+        out.push(Spec {
+            name: format!("ycsb_C_{alpha}"),
+            family: Family::Ycsb,
+            gen: Box::new(move |n, seed, scale, _| {
+                let records = ((1_000_000.0 * scale) as u64).max(1_000);
+                ycsb::WorkloadC::new(records, alpha).generate(n, seed)
+            }),
+        });
+        out.push(Spec {
+            name: format!("ycsb_E_{alpha}"),
+            family: Family::Ycsb,
+            gen: Box::new(move |n, seed, scale, _| {
+                // Workload E touches many objects per scan; a smaller record
+                // count keeps request counts comparable.
+                let records = ((100_000.0 * scale) as u64).max(500);
+                let mut t = ycsb::WorkloadE::new(records, alpha).generate(n, seed);
+                t.truncate(n);
+                t
+            }),
+        });
+    }
+    out
+}
+
+/// The 4 Twitter cluster specs.
+#[must_use]
+pub fn twitter_specs() -> Vec<Spec> {
+    twitter::TwitterCluster::ALL
+        .iter()
+        .map(|&c| Spec {
+            name: format!("tw_{}", c.name()),
+            family: Family::Twitter,
+            gen: Box::new(move |n, seed, scale, var| {
+                twitter::profile(c).generate(n, seed, scale, var)
+            }),
+        })
+        .collect()
+}
+
+/// Everything, grouped as the paper groups them.
+#[must_use]
+pub fn all_specs() -> Vec<Spec> {
+    let mut v = msr_specs();
+    v.extend(ycsb_specs());
+    v.extend(twitter_specs());
+    v
+}
+
+/// Representative Type A / Type B traces for Fig 5.2.
+#[must_use]
+pub fn fig5_2_specs() -> (Vec<Spec>, Vec<Spec>) {
+    let name_in = |specs: &mut Vec<Spec>, names: &[&str]| -> Vec<Spec> {
+        let mut picked = Vec::new();
+        specs.retain_mut(|s| {
+            if names.contains(&s.name.as_str()) {
+                picked.push(Spec {
+                    name: s.name.clone(),
+                    family: s.family,
+                    gen: std::mem::replace(&mut s.gen, Box::new(|_, _, _, _| Vec::new())),
+                });
+                false
+            } else {
+                true
+            }
+        });
+        picked
+    };
+    let mut all = all_specs();
+    let type_a = name_in(
+        &mut all,
+        &["ycsb_E_1.5", "msr_src1", "msr_src2", "msr_web", "msr_proj", "tw_cluster34.1"],
+    );
+    let type_b = name_in(&mut all, &["msr_usr", "ycsb_C_0.99", "tw_cluster45.0"]);
+    (type_a, type_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete() {
+        let all = all_specs();
+        assert_eq!(all.len(), 13 + 6 + 4);
+        let names: std::collections::HashSet<&str> =
+            all.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), all.len(), "names must be unique");
+    }
+
+    #[test]
+    fn specs_generate_at_small_scale() {
+        for spec in all_specs() {
+            let t = spec.generate(5_000, 1, 0.02);
+            assert!(!t.is_empty(), "{}", spec.name);
+            assert!(t.len() <= 5_000 + 2, "{} overshoots", spec.name);
+        }
+    }
+
+    #[test]
+    fn fig5_2_split_covers_nine_traces() {
+        let (a, b) = fig5_2_specs();
+        assert_eq!(a.len(), 6);
+        assert_eq!(b.len(), 3);
+        let t = a[0].generate(1_000, 1, 0.02);
+        assert!(!t.is_empty());
+    }
+}

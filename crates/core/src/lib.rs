@@ -1,0 +1,63 @@
+//! # krr-core
+//!
+//! A from-scratch Rust implementation of **KRR**, the probabilistic stack
+//! algorithm of *Efficient Modeling of Random Sampling-Based LRU*
+//! (Yang, Wang & Wang, ICPP 2021), which constructs Miss Ratio Curves for
+//! random sampling-based LRU ("K-LRU") caches — the approximated LRU used by
+//! Redis — in a single pass over a trace.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use krr_core::{KrrConfig, KrrModel};
+//!
+//! // Model a Redis-style cache with maxmemory-samples = 5.
+//! let mut model = KrrModel::new(KrrConfig::new(5.0));
+//! for key in (0..10_000u64).chain(0..10_000) {
+//!     model.access_key(key);
+//! }
+//! let mrc = model.mrc();
+//! assert!(mrc.eval(10_000.0) < mrc.eval(10.0));
+//! ```
+//!
+//! ## Modules
+//!
+//! * [`stack`] — the array-backed KRR priority stack.
+//! * [`update`] — the three swap-chain samplers: naive O(M), top-down
+//!   O(log²M) (Algorithm 1), backward O(logM) (Algorithm 2).
+//! * [`prob`] — eviction-probability math (Propositions 1–2, Eq. 4.2).
+//! * [`sizearray`] — byte-level distances for variable object sizes.
+//! * [`sampling`] — SHARDS-style spatial sampling.
+//! * [`histogram`] / [`mrc`] — stack-distance histograms and MRCs.
+//! * [`model`] — the assembled one-pass profiler.
+//! * [`sharded`] — thread-parallel profiling over hash shards.
+//! * [`persist`] — plain-text persistence for histograms and MRCs.
+//! * [`rng`] / [`hashing`] — deterministic RNG and key hashing substrate.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod hashing;
+pub mod histogram;
+pub mod model;
+pub mod mrc;
+pub mod partition;
+pub mod persist;
+pub mod prob;
+pub mod rng;
+pub mod sampling;
+pub mod sharded;
+pub mod sizearray;
+pub mod stack;
+pub mod update;
+pub mod windowed;
+
+pub use histogram::SdHistogram;
+pub use model::{KrrConfig, KrrModel, ModelStats, SizeMode};
+pub use mrc::{even_sizes, Mrc};
+pub use sampling::SpatialFilter;
+pub use sharded::ShardedKrr;
+pub use sizearray::SizeArray;
+pub use stack::{Access, Entry, KrrStack};
+pub use update::UpdaterKind;
+pub use windowed::WindowedKrr;

@@ -1,0 +1,376 @@
+//! The end-to-end KRR profiler: one-pass MRC construction for K-LRU caches.
+//!
+//! [`KrrModel`] wires together the pieces of §4: the KRR stack with a
+//! configurable update strategy, the `K′ = K^1.4` recency correction, the
+//! SHARDS-style spatial sampling front-end, the optional byte-level
+//! `sizeArray`, and the stack-distance histogram from which the MRC is read.
+
+use crate::histogram::SdHistogram;
+use crate::mrc::Mrc;
+use crate::prob::k_prime;
+use crate::sampling::SpatialFilter;
+use crate::sizearray::SizeArray;
+use crate::stack::KrrStack;
+use crate::update::UpdaterKind;
+
+/// Granularity of stack distances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeMode {
+    /// Every object counts as one unit; MRC x-axis is object count.
+    Uniform,
+    /// Byte-level distances via a `sizeArray` with the given logarithmic
+    /// base (§4.4.1); MRC x-axis is bytes.
+    ByteLevel {
+        /// Logarithmic base of the sizeArray (paper uses 2).
+        base: u64,
+    },
+}
+
+/// Configuration for a [`KrrModel`].
+#[derive(Debug, Clone)]
+pub struct KrrConfig {
+    /// Sampling size `K` of the K-LRU cache being modeled.
+    pub k: f64,
+    /// Exponent of the K′ correction (§4.2); the model updates the stack
+    /// with `K′ = K^kprime_exponent`. The paper found 1.4 accurate.
+    pub kprime_exponent: f64,
+    /// Disable to run the stack with raw `K` (used by the ablation bench).
+    pub apply_kprime: bool,
+    /// Stack update strategy.
+    pub updater: UpdaterKind,
+    /// Spatial sampling rate `R ∈ (0, 1]`; 1.0 disables sampling.
+    pub sampling_rate: f64,
+    /// Apply the SHARDS-adj count correction under spatial sampling
+    /// (compensates hot-key sampling bias; default true).
+    pub spatial_adjustment: bool,
+    /// RNG seed for the stack updates.
+    pub seed: u64,
+    /// Distance granularity.
+    pub size_mode: SizeMode,
+    /// Histogram bin width in distance units (1 for exact object
+    /// histograms; larger for byte histograms).
+    pub bin_width: u64,
+}
+
+impl KrrConfig {
+    /// Configuration modeling a K-LRU cache with sampling size `k`, with the
+    /// paper's defaults: backward update, K′ correction on, no spatial
+    /// sampling, uniform sizes.
+    #[must_use]
+    pub fn new(k: f64) -> Self {
+        assert!(k >= 1.0, "sampling size must be >= 1");
+        Self {
+            k,
+            kprime_exponent: 1.4,
+            apply_kprime: true,
+            updater: UpdaterKind::Backward,
+            sampling_rate: 1.0,
+            spatial_adjustment: true,
+            seed: 0x5EED,
+            size_mode: SizeMode::Uniform,
+            bin_width: 1,
+        }
+    }
+
+    /// Sets the stack update strategy.
+    #[must_use]
+    pub fn updater(mut self, updater: UpdaterKind) -> Self {
+        self.updater = updater;
+        self
+    }
+
+    /// Enables spatial sampling at rate `r`.
+    #[must_use]
+    pub fn sampling(mut self, r: f64) -> Self {
+        self.sampling_rate = r;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Switches to byte-level distances with sizeArray base `base` and the
+    /// given histogram bin width in bytes.
+    #[must_use]
+    pub fn byte_level(mut self, base: u64, bin_width: u64) -> Self {
+        self.size_mode = SizeMode::ByteLevel { base };
+        self.bin_width = bin_width;
+        self
+    }
+
+    /// Disables the K′ correction (stack runs with raw `K`).
+    #[must_use]
+    pub fn raw_k(mut self) -> Self {
+        self.apply_kprime = false;
+        self
+    }
+
+    /// Overrides the K′ exponent.
+    #[must_use]
+    pub fn kprime_exponent(mut self, e: f64) -> Self {
+        self.kprime_exponent = e;
+        self
+    }
+
+    /// The effective sampling size the stack will use.
+    #[must_use]
+    pub fn effective_k(&self) -> f64 {
+        if self.apply_kprime {
+            k_prime(self.k, self.kprime_exponent)
+        } else {
+            self.k
+        }
+    }
+}
+
+/// Counters describing a completed (or in-progress) profiling run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelStats {
+    /// References offered to the model.
+    pub processed: u64,
+    /// References admitted by the spatial filter.
+    pub sampled: u64,
+    /// Distinct sampled objects (stack length).
+    pub distinct: u64,
+}
+
+fn krr_sizearray_bytes(sa: &SizeArray) -> usize {
+    sa.memory_bytes()
+}
+
+/// One-pass K-LRU MRC profiler.
+#[derive(Debug, Clone)]
+pub struct KrrModel {
+    config: KrrConfig,
+    filter: SpatialFilter,
+    stack: KrrStack,
+    sizes: Option<SizeArray>,
+    hist: SdHistogram,
+    processed: u64,
+    sampled: u64,
+}
+
+impl KrrModel {
+    /// Creates a profiler from a configuration.
+    #[must_use]
+    pub fn new(config: KrrConfig) -> Self {
+        let filter = if config.sampling_rate >= 1.0 {
+            SpatialFilter::all()
+        } else {
+            SpatialFilter::with_rate(config.sampling_rate)
+        };
+        let stack = KrrStack::new(config.effective_k(), config.updater, config.seed);
+        let sizes = match config.size_mode {
+            SizeMode::Uniform => None,
+            SizeMode::ByteLevel { base } => Some(SizeArray::new(base)),
+        };
+        let hist = SdHistogram::new(config.bin_width);
+        Self { config, filter, stack, sizes, hist, processed: 0, sampled: 0 }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &KrrConfig {
+        &self.config
+    }
+
+    /// Offers one reference to the model. `size` is the object size in
+    /// bytes; pass 1 (or use [`KrrModel::access_key`]) for uniform-size
+    /// workloads. Zero sizes are clamped to 1 byte.
+    pub fn access(&mut self, key: u64, size: u32) {
+        self.processed += 1;
+        if !self.filter.admits(key) {
+            return;
+        }
+        self.sampled += 1;
+        let size = size.max(1);
+        match self.sizes {
+            None => match self.stack.access(key, 1) {
+                crate::stack::Access::Hit { phi } => self.hist.record(phi),
+                crate::stack::Access::Cold { .. } => self.hist.record_cold(),
+            },
+            Some(ref mut sa) => {
+                match self.stack.position_of(key) {
+                    Some(phi) => {
+                        // Byte distance reflects the cache state before this
+                        // access, so compute it before any resize.
+                        let d = sa.distance(phi).max(1);
+                        let old = self.stack.entry_at(phi).expect("indexed entry").size;
+                        sa.on_resize(phi, old, size);
+                        self.stack.access(key, size);
+                        sa.apply(self.stack.last_chain(), self.stack.last_chain_sizes(), phi, size);
+                        self.hist.record(d);
+                    }
+                    None => {
+                        let acc = self.stack.access(key, size);
+                        sa.on_insert(size);
+                        sa.apply(self.stack.last_chain(), self.stack.last_chain_sizes(), acc.phi(), size);
+                        self.hist.record_cold();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Offers a uniform-size reference.
+    pub fn access_key(&mut self, key: u64) {
+        self.access(key, 1);
+    }
+
+    /// The miss ratio curve observed so far. Cache sizes are objects (or
+    /// bytes in byte-level mode); under spatial sampling the x-axis is
+    /// already expanded by `1/R` to full-trace scale and the SHARDS-adj
+    /// count correction is applied (unless disabled in the config).
+    #[must_use]
+    pub fn mrc(&self) -> Mrc {
+        let rate = self.filter.rate();
+        let mut mrc = if rate < 1.0 && self.config.spatial_adjustment {
+            let mut hist = self.hist.clone();
+            let expected = (self.processed as f64 * rate).round() as i64;
+            hist.apply_count_adjustment(expected - self.sampled as i64);
+            Mrc::from_histogram(&hist, self.filter.scale())
+        } else {
+            Mrc::from_histogram(&self.hist, self.filter.scale())
+        };
+        mrc.make_monotone();
+        mrc
+    }
+
+    /// The raw stack-distance histogram (sampled space).
+    #[must_use]
+    pub fn histogram(&self) -> &SdHistogram {
+        &self.hist
+    }
+
+    /// Run counters.
+    #[must_use]
+    pub fn stats(&self) -> ModelStats {
+        ModelStats {
+            processed: self.processed,
+            sampled: self.sampled,
+            distinct: self.stack.len() as u64,
+        }
+    }
+
+    /// Effective sampling rate of the spatial filter.
+    #[must_use]
+    pub fn sampling_rate(&self) -> f64 {
+        self.filter.rate()
+    }
+
+    /// Estimated heap footprint of the whole profiler in bytes: stack +
+    /// key index + histogram + optional sizeArray (§5.6).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.stack.memory_bytes()
+            + self.hist.memory_bytes()
+            + self.sizes.as_ref().map_or(0, krr_sizearray_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn effective_k_applies_correction() {
+        let cfg = KrrConfig::new(4.0);
+        assert!((cfg.effective_k() - 4f64.powf(1.4)).abs() < 1e-12);
+        assert_eq!(KrrConfig::new(4.0).raw_k().effective_k(), 4.0);
+        assert_eq!(KrrConfig::new(1.0).effective_k(), 1.0);
+    }
+
+    #[test]
+    fn cyclic_scan_is_all_cold_then_all_hits_at_full_size() {
+        let mut m = KrrModel::new(KrrConfig::new(4.0));
+        for _ in 0..3 {
+            for key in 0..500u64 {
+                m.access_key(key);
+            }
+        }
+        let stats = m.stats();
+        assert_eq!(stats.processed, 1500);
+        assert_eq!(stats.distinct, 500);
+        let mrc = m.mrc();
+        // A cache holding the whole working set misses only the 500 colds.
+        let expect = 500.0 / 1500.0;
+        assert!((mrc.eval(500.0) - expect).abs() < 1e-9);
+        assert_eq!(mrc.eval(0.0), 1.0);
+    }
+
+    #[test]
+    fn zipf_like_reuse_produces_decreasing_mrc() {
+        let mut m = KrrModel::new(KrrConfig::new(8.0));
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        for _ in 0..50_000 {
+            // Squared-uniform skews toward small keys.
+            let u = rng.unit();
+            let key = (u * u * 1000.0) as u64;
+            m.access_key(key);
+        }
+        let mrc = m.mrc();
+        assert!(mrc.eval(10.0) > mrc.eval(100.0));
+        assert!(mrc.eval(100.0) > mrc.eval(1000.0));
+    }
+
+    #[test]
+    fn sampled_model_tracks_full_model() {
+        let mut full = KrrModel::new(KrrConfig::new(4.0));
+        let mut sampled = KrrModel::new(KrrConfig::new(4.0).sampling(0.05));
+        let mut rng = Xoshiro256::seed_from_u64(77);
+        let keys = 200_000u64;
+        for _ in 0..400_000 {
+            let u = rng.unit();
+            let key = (u * u * keys as f64) as u64;
+            full.access_key(key);
+            sampled.access_key(key);
+        }
+        assert!(sampled.stats().sampled < full.stats().sampled / 10);
+        let sizes = crate::mrc::even_sizes(keys as f64, 20);
+        // ~7.5K sampled objects here; SHARDS error scales as 1/sqrt(n_s),
+        // so allow a little more than the paper's 8K-object guard implies.
+        let mae = full.mrc().mae(&sampled.mrc(), &sizes);
+        assert!(mae < 0.04, "spatially sampled MRC deviates by {mae}");
+    }
+
+    #[test]
+    fn byte_level_mode_records_byte_distances() {
+        let mut m = KrrModel::new(KrrConfig::new(4.0).byte_level(2, 64));
+        for key in 0..100u64 {
+            m.access(key, 128);
+        }
+        for key in 0..100u64 {
+            m.access(key, 128);
+        }
+        let mrc = m.mrc();
+        // 100 cold + 100 hits at byte distance <= 12800.
+        assert!((mrc.eval(12800.0) - 0.5).abs() < 1e-9);
+        assert_eq!(mrc.eval(63.0), 1.0);
+    }
+
+    #[test]
+    fn zero_size_clamped() {
+        let mut m = KrrModel::new(KrrConfig::new(2.0).byte_level(2, 1));
+        m.access(1, 0);
+        m.access(1, 0);
+        assert_eq!(m.histogram().total(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut m = KrrModel::new(KrrConfig::new(3.0).seed(seed));
+            let mut rng = Xoshiro256::seed_from_u64(5);
+            for _ in 0..20_000 {
+                m.access_key(rng.below(1000));
+            }
+            m.mrc()
+        };
+        assert_eq!(run(1).points(), run(1).points());
+    }
+}

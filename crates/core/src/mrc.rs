@@ -1,0 +1,242 @@
+//! Miss Ratio Curves and the MAE accuracy metric (§2.1, §5.3).
+
+use crate::histogram::SdHistogram;
+
+/// A miss ratio curve: monotone non-increasing miss ratio as a function of
+/// cache size (objects or bytes, matching how it was built).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mrc {
+    /// `(cache_size, miss_ratio)` points with strictly increasing sizes.
+    points: Vec<(f64, f64)>,
+}
+
+impl Mrc {
+    /// Builds an MRC from explicit points. Points are sorted by size;
+    /// duplicate sizes keep the last value.
+    #[must_use]
+    pub fn from_points(mut points: Vec<(f64, f64)>) -> Self {
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        points.dedup_by(|b, a| {
+            if (a.0 - b.0).abs() < f64::EPSILON {
+                a.1 = b.1;
+                true
+            } else {
+                false
+            }
+        });
+        Self { points }
+    }
+
+    /// Builds an MRC from a stack-distance histogram. `scale` multiplies the
+    /// cache-size axis — pass `1/R` when the histogram was collected under
+    /// spatial sampling with rate `R` (SHARDS expansion), else `1.0`.
+    #[must_use]
+    pub fn from_histogram(hist: &SdHistogram, scale: f64) -> Self {
+        let total = hist.total();
+        if total == 0 {
+            return Self { points: vec![(0.0, 1.0)] };
+        }
+        let mut points = Vec::with_capacity(hist.num_bins() + 1);
+        points.push((0.0, 1.0));
+        let mut hits = 0u64;
+        for (boundary, count) in hist.iter() {
+            hits += count;
+            let miss = (total - hits) as f64 / total as f64;
+            points.push((boundary as f64 * scale, miss));
+        }
+        Self { points }
+    }
+
+    /// The underlying points.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Miss ratio at `size` by linear interpolation between surrounding
+    /// points; clamps to the first/last point outside the covered range.
+    #[must_use]
+    pub fn eval(&self, size: f64) -> f64 {
+        match self.points.as_slice() {
+            [] => 1.0,
+            [only] => only.1,
+            points => {
+                if size <= points[0].0 {
+                    return points[0].1;
+                }
+                if size >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                // Largest index with points[i].0 <= size.
+                let i = points.partition_point(|p| p.0 <= size) - 1;
+                let (x0, y0) = points[i];
+                let (x1, y1) = points[i + 1];
+                let t = (size - x0) / (x1 - x0);
+                y0 + t * (y1 - y0)
+            }
+        }
+    }
+
+    /// Step evaluation: the miss ratio recorded at the largest point with
+    /// size ≤ `size` (the exact semantics of a histogram-derived MRC).
+    #[must_use]
+    pub fn eval_step(&self, size: f64) -> f64 {
+        if self.points.is_empty() {
+            return 1.0;
+        }
+        let i = self.points.partition_point(|p| p.0 <= size);
+        if i == 0 {
+            return 1.0;
+        }
+        self.points[i - 1].1
+    }
+
+    /// Largest cache size covered by the curve.
+    #[must_use]
+    pub fn max_size(&self) -> f64 {
+        self.points.last().map_or(0.0, |p| p.0)
+    }
+
+    /// Mean absolute error against `other`, evaluated at `sizes`
+    /// (the paper's accuracy metric, §5.3).
+    #[must_use]
+    pub fn mae(&self, other: &Mrc, sizes: &[f64]) -> f64 {
+        assert!(!sizes.is_empty(), "MAE needs at least one evaluation point");
+        let sum: f64 = sizes
+            .iter()
+            .map(|&s| (self.eval(s) - other.eval(s)).abs())
+            .sum();
+        sum / sizes.len() as f64
+    }
+
+    /// Enforces monotonicity (non-increasing miss ratio), fixing the small
+    /// inversions that probabilistic models can produce.
+    pub fn make_monotone(&mut self) {
+        let mut floor = f64::INFINITY;
+        for p in &mut self.points {
+            if p.1 > floor {
+                p.1 = floor;
+            } else {
+                floor = p.1;
+            }
+        }
+    }
+}
+
+/// `n` cache sizes evenly distributed over `(0, max]` — the paper's
+/// evaluation grid ("40 different cache sizes that are evenly distributed
+/// over the workload's working set size").
+#[must_use]
+pub fn even_sizes(max: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 1 && max > 0.0);
+    (1..=n).map(|i| max * i as f64 / n as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_histogram_basic() {
+        let mut h = SdHistogram::new(1);
+        h.record(1);
+        h.record(2);
+        h.record(2);
+        h.record_cold();
+        let mrc = Mrc::from_histogram(&h, 1.0);
+        assert_eq!(mrc.eval_step(0.0), 1.0);
+        assert_eq!(mrc.eval_step(1.0), 0.75);
+        assert_eq!(mrc.eval_step(2.0), 0.25);
+        assert_eq!(mrc.eval_step(100.0), 0.25);
+    }
+
+    #[test]
+    fn spatial_scale_expands_x_axis() {
+        let mut h = SdHistogram::new(1);
+        h.record(5);
+        let mrc = Mrc::from_histogram(&h, 1000.0);
+        assert_eq!(mrc.eval_step(4999.0), 1.0);
+        assert_eq!(mrc.eval_step(5000.0), 0.0);
+    }
+
+    #[test]
+    fn linear_eval_interpolates() {
+        let mrc = Mrc::from_points(vec![(0.0, 1.0), (10.0, 0.5), (20.0, 0.1)]);
+        assert!((mrc.eval(5.0) - 0.75).abs() < 1e-12);
+        assert!((mrc.eval(15.0) - 0.3).abs() < 1e-12);
+        assert_eq!(mrc.eval(-1.0), 1.0);
+        assert_eq!(mrc.eval(25.0), 0.1);
+    }
+
+    #[test]
+    fn histogram_mrc_is_monotone() {
+        let mut h = SdHistogram::new(2);
+        for d in [1u64, 1, 3, 7, 9, 9, 20, 2] {
+            h.record(d);
+        }
+        h.record_cold();
+        let mrc = Mrc::from_histogram(&h, 1.0);
+        let mut prev = f64::INFINITY;
+        for &(_, m) in mrc.points() {
+            assert!(m <= prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn mae_of_identical_curves_is_zero() {
+        let mrc = Mrc::from_points(vec![(0.0, 1.0), (10.0, 0.2)]);
+        let sizes = even_sizes(10.0, 40);
+        assert_eq!(mrc.mae(&mrc.clone(), &sizes), 0.0);
+    }
+
+    #[test]
+    fn mae_measures_offset() {
+        let a = Mrc::from_points(vec![(0.0, 0.5), (10.0, 0.5)]);
+        let b = Mrc::from_points(vec![(0.0, 0.3), (10.0, 0.3)]);
+        assert!((a.mae(&b, &even_sizes(10.0, 5)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn make_monotone_clips_inversions() {
+        let mut mrc = Mrc::from_points(vec![(0.0, 1.0), (1.0, 0.4), (2.0, 0.45), (3.0, 0.2)]);
+        mrc.make_monotone();
+        assert_eq!(mrc.points()[2].1, 0.4);
+        assert_eq!(mrc.points()[3].1, 0.2);
+    }
+
+    #[test]
+    fn even_sizes_covers_range() {
+        let s = even_sizes(100.0, 4);
+        assert_eq!(s, vec![25.0, 50.0, 75.0, 100.0]);
+    }
+
+    #[test]
+    fn eval_step_exact_boundaries() {
+        let mrc = Mrc::from_points(vec![(0.0, 1.0), (10.0, 0.4), (20.0, 0.1)]);
+        assert_eq!(mrc.eval_step(9.999), 1.0);
+        assert_eq!(mrc.eval_step(10.0), 0.4);
+        assert_eq!(mrc.eval_step(19.999), 0.4);
+        assert_eq!(mrc.eval_step(20.0), 0.1);
+    }
+
+    #[test]
+    fn empty_and_singleton_curves() {
+        let empty = Mrc::from_points(vec![]);
+        assert_eq!(empty.eval(5.0), 1.0);
+        assert_eq!(empty.eval_step(5.0), 1.0);
+        assert_eq!(empty.max_size(), 0.0);
+        let single = Mrc::from_points(vec![(3.0, 0.7)]);
+        assert_eq!(single.eval(0.0), 0.7);
+        assert_eq!(single.eval(100.0), 0.7);
+        assert_eq!(single.eval_step(2.0), 1.0);
+        assert_eq!(single.eval_step(3.0), 0.7);
+    }
+
+    #[test]
+    fn from_points_sorts_and_dedups() {
+        let mrc = Mrc::from_points(vec![(5.0, 0.5), (1.0, 0.9), (5.0, 0.4)]);
+        assert_eq!(mrc.points().len(), 2);
+        assert_eq!(mrc.points()[1], (5.0, 0.4));
+    }
+}

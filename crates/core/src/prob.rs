@@ -1,0 +1,267 @@
+//! Eviction-probability mathematics for K-LRU and KRR.
+//!
+//! Implements Propositions 1 and 2 of the paper (eviction probability of the
+//! rank-`d` object under random sampling with and without replacement), the
+//! KRR stay/swap probabilities of Eq. 4.1, the interval no-swap probability
+//! used by the top-down updater, the eviction-position CDF of Eq. 4.2 and its
+//! inverse used by the backward updater, and the expected swap count of
+//! Corollary 1.
+//!
+//! All functions take `k: f64` so the K′ = K^1.4 recency correction (§4.2)
+//! composes without rounding.
+
+/// Eviction probability of the object ranked `d` (1 = highest priority) in a
+/// cache of size `c` under K-LRU sampling *with* replacement (Proposition 1):
+/// `(d^K − (d−1)^K) / c^K`.
+#[must_use]
+pub fn eviction_prob_with_replacement(d: u64, c: u64, k: f64) -> f64 {
+    assert!(d >= 1 && d <= c, "rank {d} out of range for cache size {c}");
+    let c = c as f64;
+    let d = d as f64;
+    ((d / c).powf(k)) - (((d - 1.0) / c).powf(k))
+}
+
+/// Eviction probability of the object ranked `d` under K-LRU sampling
+/// *without* replacement (Proposition 2). `k` must be an integer here (a
+/// sample without replacement has an integral size); ranks `d < k` can never
+/// be evicted.
+#[must_use]
+pub fn eviction_prob_without_replacement(d: u64, c: u64, k: u64) -> f64 {
+    assert!(d >= 1 && d <= c, "rank {d} out of range for cache size {c}");
+    assert!(k >= 1 && k <= c, "sample size {k} out of range for cache size {c}");
+    if d < k {
+        return 0.0;
+    }
+    // Q = K * Π_{j=1}^{K-1} (d-j) / Π_{j=0}^{K-1} (C-j), computed as an
+    // interleaved product to stay in f64 range for large C.
+    let mut q = k as f64 / (c as f64);
+    for j in 1..k {
+        q *= (d - j) as f64 / (c - j) as f64;
+    }
+    q
+}
+
+/// Probability that the resident of stack position `i` *stays* in place
+/// during a KRR stack update (Eq. 4.1): `((i-1)/i)^K`.
+#[inline]
+#[must_use]
+pub fn stay_prob(i: u64, k: f64) -> f64 {
+    debug_assert!(i >= 1);
+    (((i - 1) as f64) / (i as f64)).powf(k)
+}
+
+/// Probability that *no* stack position in the inclusive interval `[a, b]`
+/// swaps during one update: `Π_{i=a}^{b} ((i-1)/i)^K = ((a-1)/b)^K`.
+///
+/// Returns 1.0 for an empty interval (`a > b`).
+#[inline]
+#[must_use]
+pub fn no_swap_prob(a: u64, b: u64, k: f64) -> f64 {
+    if a > b {
+        return 1.0;
+    }
+    debug_assert!(a >= 1);
+    (((a - 1) as f64) / (b as f64)).powf(k)
+}
+
+/// CDF of the eviction position in a KRR cache of size `c` (Eq. 4.2):
+/// `P(position ≤ i) = (i/c)^K`.
+#[inline]
+#[must_use]
+pub fn eviction_position_cdf(i: u64, c: u64, k: f64) -> f64 {
+    debug_assert!(i <= c);
+    ((i as f64) / (c as f64)).powf(k)
+}
+
+/// Inverse-CDF draw of the eviction position in a cache of size `c`:
+/// `⌈ r^(1/K) · c ⌉` for `r ∈ (0, 1]`, clamped to `[1, c]`.
+///
+/// This is the core step of the backward stack update (Algorithm 2), which
+/// calls it with `c = i - 1` to jump from swap position `i` to the next
+/// lower one.
+#[inline]
+#[must_use]
+pub fn sample_eviction_position(r: f64, c: u64, k: f64) -> u64 {
+    debug_assert!(r > 0.0 && r <= 1.0, "r must be in (0,1], got {r}");
+    debug_assert!(c >= 1);
+    let x = (r.powf(1.0 / k) * c as f64).ceil() as u64;
+    x.clamp(1, c)
+}
+
+/// Exact expectation of the number of interior swap positions for a
+/// reference at stack distance `phi`:
+/// `E[β] = Σ_{x=1}^{φ-1} (1 − ((x−1)/x)^K)` (Corollary 1).
+///
+/// O(φ); intended for tests and analysis, not the hot path.
+#[must_use]
+pub fn expected_swaps_exact(phi: u64, k: f64) -> f64 {
+    (1..phi).map(|x| 1.0 - stay_prob(x, k)).sum()
+}
+
+/// The paper's asymptotic bound for the expected swap count:
+/// `E[β] = O(K · ln φ)`; this returns `1 + K·ln(φ)` as a usable estimate.
+#[must_use]
+pub fn expected_swaps_bound(phi: u64, k: f64) -> f64 {
+    if phi <= 1 {
+        return 0.0;
+    }
+    1.0 + k * (phi as f64).ln()
+}
+
+/// The K′ recency-ordering correction of §4.2: for a K-LRU cache with
+/// sampling size `k`, the matching KRR model should use `K′ = k^exponent`,
+/// with `exponent ≈ 1.4` found empirically by the authors.
+#[inline]
+#[must_use]
+pub fn k_prime(k: f64, exponent: f64) -> f64 {
+    k.powf(exponent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn with_replacement_probs_sum_to_one() {
+        for &k in &[1.0, 2.0, 4.0, 7.3, 16.0] {
+            for &c in &[1u64, 2, 10, 1000] {
+                let sum: f64 = (1..=c)
+                    .map(|d| eviction_prob_with_replacement(d, c, k))
+                    .sum();
+                assert!(close(sum, 1.0, 1e-9), "K={k} C={c} sum={sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn without_replacement_probs_sum_to_one() {
+        for &k in &[1u64, 2, 5, 10] {
+            for &c in &[10u64, 100, 500] {
+                let sum: f64 = (1..=c)
+                    .map(|d| eviction_prob_without_replacement(d, c, k))
+                    .sum();
+                assert!(close(sum, 1.0, 1e-9), "K={k} C={c} sum={sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn k1_is_uniform_random_replacement() {
+        let c = 100;
+        for d in 1..=c {
+            assert!(close(eviction_prob_with_replacement(d, c, 1.0), 0.01, 1e-12));
+            assert!(close(eviction_prob_without_replacement(d, c, 1), 0.01, 1e-12));
+        }
+    }
+
+    #[test]
+    fn ranks_below_k_never_evicted_without_replacement() {
+        for d in 1..5u64 {
+            assert_eq!(eviction_prob_without_replacement(d, 100, 5), 0.0);
+        }
+        assert!(eviction_prob_without_replacement(5, 100, 5) > 0.0);
+    }
+
+    #[test]
+    fn two_sampling_versions_agree_for_small_k_large_c() {
+        // §3: "under relatively small K and large cache size, these two
+        // versions yield approximately the same eviction probability".
+        let c = 100_000;
+        let k = 5u64;
+        for &d in &[50_000u64, 90_000, 99_999, 100_000] {
+            let a = eviction_prob_with_replacement(d, c, k as f64);
+            let b = eviction_prob_without_replacement(d, c, k);
+            let rel = (a - b).abs() / a.max(b);
+            assert!(rel < 1e-3, "d={d}: with={a} without={b} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn low_rank_objects_have_higher_eviction_probability() {
+        let c = 1000;
+        let k = 8.0;
+        let mut prev = 0.0;
+        for d in 1..=c {
+            let q = eviction_prob_with_replacement(d, c, k);
+            assert!(q >= prev, "eviction probability must grow with rank");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn no_swap_prob_telescopes() {
+        for &k in &[1.0, 3.0, 5.5] {
+            let direct: f64 = (3..=17u64).map(|i| stay_prob(i, k)).product();
+            assert!(close(no_swap_prob(3, 17, k), direct, 1e-12));
+        }
+        assert_eq!(no_swap_prob(5, 4, 2.0), 1.0);
+    }
+
+    #[test]
+    fn eviction_cdf_matches_pmf_sum() {
+        let c = 200;
+        let k = 4.0;
+        let mut acc = 0.0;
+        for i in 1..=c {
+            acc += eviction_prob_with_replacement(i, c, k);
+            assert!(close(eviction_position_cdf(i, c, k), acc, 1e-9));
+        }
+    }
+
+    #[test]
+    fn inverse_cdf_clamps_and_covers_range() {
+        assert_eq!(sample_eviction_position(1e-300, 10, 2.0), 1);
+        assert_eq!(sample_eviction_position(1.0, 10, 2.0), 10);
+        // r just below the CDF at position i maps to i; just above maps to
+        // i+1 (exact boundaries are FP-sensitive and measure-zero).
+        let c = 10;
+        let k = 3.0;
+        for i in 1..c {
+            let cdf = eviction_position_cdf(i, c, k);
+            assert_eq!(sample_eviction_position(cdf * (1.0 - 1e-12), c, k), i);
+            assert_eq!(sample_eviction_position(cdf * (1.0 + 1e-9), c, k), i + 1);
+        }
+    }
+
+    #[test]
+    fn inverse_cdf_distribution_matches_pmf() {
+        use crate::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from_u64(123);
+        let c = 50u64;
+        let k = 6.0;
+        let draws = 400_000;
+        let mut counts = vec![0u64; c as usize + 1];
+        for _ in 0..draws {
+            counts[sample_eviction_position(rng.unit_open_low(), c, k) as usize] += 1;
+        }
+        for d in 1..=c {
+            let expect = eviction_prob_with_replacement(d, c, k) * draws as f64;
+            if expect > 2000.0 {
+                let dev = (counts[d as usize] as f64 - expect).abs() / expect;
+                assert!(dev < 0.08, "d={d} expected {expect} got {}", counts[d as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn expected_swaps_exact_is_logarithmic_in_phi() {
+        let k = 4.0;
+        let e1 = expected_swaps_exact(1_000, k);
+        let e2 = expected_swaps_exact(1_000_000, k);
+        // Growing phi by 1000x should add ~K*ln(1000) ≈ 27.6 swaps.
+        assert!(close(e2 - e1, k * 1000f64.ln(), 0.5), "delta {}", e2 - e1);
+        // And stay within the stated bound (plus slack for the +1 boundary).
+        assert!(e2 <= expected_swaps_bound(1_000_000, k) + 1.0);
+    }
+
+    #[test]
+    fn k_prime_correction() {
+        assert!(close(k_prime(1.0, 1.4), 1.0, 1e-12));
+        assert!(close(k_prime(4.0, 1.4), 4f64.powf(1.4), 1e-12));
+        assert!(k_prime(8.0, 1.4) > 8.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! The KRR stack: an array-backed priority stack with a hash index
+//! (§4.4 "Implementation").
+//!
+//! Objects live in a flat array ordered by stack position (index 0 is the
+//! stack top, position 1 in the paper's 1-based notation). A hash table maps
+//! each key to its array slot, so the stack distance of a reference is an
+//! O(1) lookup. A stack *update* moves only the objects on the swap chain
+//! produced by one of the [`crate::update`] strategies, which is what makes
+//! KRR cheap: the expected chain length is `O(K·logM)` (Corollary 1).
+
+use crate::hashing::KeyMap;
+use crate::rng::Xoshiro256;
+use crate::update::{self, UpdaterKind};
+
+/// One object resident on the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// Object key.
+    pub key: u64,
+    /// Object size in bytes (1 for uniform-size workloads).
+    pub size: u32,
+}
+
+/// Outcome of a single reference processed by [`KrrStack::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// First reference to the key. `stack_len` is the number of distinct
+    /// objects *after* the insertion (the paper's `γ_t`); the cold object is
+    /// attached to the stack end before the update, so its `φ = stack_len`.
+    Cold {
+        /// Distinct objects on the stack after insertion.
+        stack_len: u64,
+    },
+    /// Re-reference. `phi` is the 1-based stack position the object occupied
+    /// before the update — its (object-granularity) stack distance.
+    Hit {
+        /// Stack distance of the reference.
+        phi: u64,
+    },
+}
+
+impl Access {
+    /// Stack position the referenced object occupied before the update
+    /// (equal to the stack length for cold misses).
+    #[must_use]
+    pub fn phi(&self) -> u64 {
+        match *self {
+            Access::Cold { stack_len } => stack_len,
+            Access::Hit { phi } => phi,
+        }
+    }
+
+    /// True if this was the first reference to the key.
+    #[must_use]
+    pub fn is_cold(&self) -> bool {
+        matches!(self, Access::Cold { .. })
+    }
+}
+
+/// The KRR priority stack.
+///
+/// `k` is the *effective* sampling size used by the swap probabilities —
+/// callers modeling a K-LRU cache with sampling size `K` should pass
+/// `K′ = K^1.4` (see [`crate::prob::k_prime`]).
+#[derive(Debug, Clone)]
+pub struct KrrStack {
+    entries: Vec<Entry>,
+    index: KeyMap<u32>,
+    k: f64,
+    updater: UpdaterKind,
+    rng: Xoshiro256,
+    chain: Vec<u64>,
+    chain_sizes: Vec<u32>,
+}
+
+impl KrrStack {
+    /// Creates an empty stack with effective sampling size `k`, the given
+    /// update strategy, and a deterministic RNG seed.
+    #[must_use]
+    pub fn new(k: f64, updater: UpdaterKind, seed: u64) -> Self {
+        assert!(k >= 1.0, "effective sampling size must be >= 1, got {k}");
+        Self {
+            entries: Vec::new(),
+            index: KeyMap::default(),
+            k,
+            updater,
+            rng: Xoshiro256::seed_from_u64(seed),
+            chain: Vec::new(),
+            chain_sizes: Vec::new(),
+        }
+    }
+
+    /// Number of distinct objects on the stack (the paper's `γ_t` / `M`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no object has been referenced yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Effective sampling size `K′` in use.
+    #[must_use]
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+
+    /// Current 1-based stack position of `key`, if present.
+    #[must_use]
+    pub fn position_of(&self, key: u64) -> Option<u64> {
+        self.index.get(&key).map(|&i| u64::from(i) + 1)
+    }
+
+    /// Entry at 1-based stack position `pos`.
+    #[must_use]
+    pub fn entry_at(&self, pos: u64) -> Option<&Entry> {
+        self.entries.get(pos as usize - 1)
+    }
+
+    /// The swap chain of the most recent [`KrrStack::access`]: strictly
+    /// ascending 1-based positions starting at 1, excluding the implicit
+    /// terminal swap at `φ`. Empty when the last access had `φ = 1` (or no
+    /// access has happened).
+    #[must_use]
+    pub fn last_chain(&self) -> &[u64] {
+        &self.chain
+    }
+
+    /// Pre-update sizes of the entries that sat at [`Self::last_chain`]
+    /// positions, parallel to `last_chain()`. Needed by the byte-level
+    /// `sizeArray` maintenance (§4.4.1).
+    #[must_use]
+    pub fn last_chain_sizes(&self) -> &[u32] {
+        &self.chain_sizes
+    }
+
+    /// Processes one reference: finds the object's stack distance, samples a
+    /// swap chain with the configured strategy, and applies the cyclic shift
+    /// that moves the referenced object to the stack top.
+    pub fn access(&mut self, key: u64, size: u32) -> Access {
+        let (phi, result) = match self.index.get(&key) {
+            Some(&i) => {
+                let phi = u64::from(i) + 1;
+                // An object's recorded size may change on re-reference
+                // (e.g. an overwriting SET); keep the stack's view current.
+                self.entries[i as usize].size = size;
+                (phi, Access::Hit { phi })
+            }
+            None => {
+                let pos = self.entries.len() as u64 + 1;
+                assert!(pos <= u64::from(u32::MAX), "stack exceeds u32 index space");
+                self.entries.push(Entry { key, size });
+                self.index.insert(key, (pos - 1) as u32);
+                (pos, Access::Cold { stack_len: pos })
+            }
+        };
+        self.update(phi);
+        result
+    }
+
+    /// Samples the swap chain for a reference at stack distance `phi` and
+    /// applies it.
+    fn update(&mut self, phi: u64) {
+        self.chain.clear();
+        self.chain_sizes.clear();
+        if phi <= 1 {
+            return;
+        }
+        update::swap_chain(self.updater, phi, self.k, &mut self.rng, &mut self.chain);
+        debug_assert!(self.chain.first() == Some(&1));
+        debug_assert!(self.chain.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(*self.chain.last().unwrap() < phi);
+
+        // Record pre-update sizes for sizeArray maintenance, then perform the
+        // cyclic shift: entry at chain[j] moves down to chain[j+1] (the last
+        // one moves to φ) and the referenced object moves to the top.
+        self.chain_sizes
+            .extend(self.chain.iter().map(|&p| self.entries[p as usize - 1].size));
+
+        let referenced = self.entries[phi as usize - 1];
+        let mut dest = phi;
+        for &src in self.chain.iter().rev() {
+            let moved = self.entries[src as usize - 1];
+            self.entries[dest as usize - 1] = moved;
+            self.index.insert(moved.key, (dest - 1) as u32);
+            dest = src;
+        }
+        debug_assert_eq!(dest, 1);
+        self.entries[0] = referenced;
+        self.index.insert(referenced.key, 0);
+    }
+
+    /// Iterates entries from stack top to bottom (test/diagnostic use).
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter()
+    }
+
+    /// Estimated heap footprint in bytes: the entry array plus the key
+    /// index (§5.6's space-cost accounting).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        let entries = self.entries.capacity() * std::mem::size_of::<Entry>();
+        // hashbrown stores (key, value) pairs plus one control byte per
+        // slot at ~8/7 slack.
+        let index = self.index.capacity()
+            * (std::mem::size_of::<(u64, u32)>() + 1)
+            * 8
+            / 7;
+        entries + index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack(k: f64, updater: UpdaterKind) -> KrrStack {
+        KrrStack::new(k, updater, 0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn cold_misses_report_growing_stack() {
+        let mut s = stack(4.0, UpdaterKind::Backward);
+        for key in 0..100u64 {
+            match s.access(key, 1) {
+                Access::Cold { stack_len } => assert_eq!(stack_len, key + 1),
+                Access::Hit { .. } => panic!("unexpected hit"),
+            }
+        }
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn referenced_object_moves_to_top() {
+        for updater in [UpdaterKind::Naive, UpdaterKind::TopDown, UpdaterKind::Backward] {
+            let mut s = stack(4.0, updater);
+            for key in 0..50u64 {
+                s.access(key, 1);
+                assert_eq!(s.position_of(key), Some(1), "{updater:?}");
+            }
+            s.access(17, 1);
+            assert_eq!(s.position_of(17), Some(1));
+        }
+    }
+
+    #[test]
+    fn stack_remains_a_permutation() {
+        for updater in [UpdaterKind::Naive, UpdaterKind::TopDown, UpdaterKind::Backward] {
+            let mut s = stack(3.0, updater);
+            let mut rng = Xoshiro256::seed_from_u64(1);
+            for _ in 0..5000 {
+                let key = rng.below(200);
+                s.access(key, 1);
+            }
+            assert_eq!(s.len(), 200);
+            let mut seen = std::collections::HashSet::new();
+            for (i, e) in s.iter().enumerate() {
+                assert!(seen.insert(e.key), "duplicate key {} ({updater:?})", e.key);
+                assert_eq!(s.position_of(e.key), Some(i as u64 + 1), "index out of sync");
+            }
+        }
+    }
+
+    #[test]
+    fn immediate_rereference_has_distance_one() {
+        let mut s = stack(2.0, UpdaterKind::Backward);
+        s.access(1, 1);
+        assert_eq!(s.access(1, 1), Access::Hit { phi: 1 });
+    }
+
+    #[test]
+    fn large_k_behaves_like_lru() {
+        // With a huge effective K every interior position swaps, so the
+        // stack order equals exact LRU recency order.
+        let mut s = stack(1e6, UpdaterKind::Backward);
+        for key in 0..20u64 {
+            s.access(key, 1);
+        }
+        s.access(5, 1);
+        // LRU order now: 5, 19, 18, ..., 6, 4, 3, 2, 1, 0
+        let order: Vec<u64> = s.iter().map(|e| e.key).collect();
+        let mut expect = vec![5];
+        expect.extend((6..20).rev());
+        expect.extend((0..5).rev());
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn hit_distance_matches_position() {
+        let mut s = stack(4.0, UpdaterKind::TopDown);
+        for key in 0..30u64 {
+            s.access(key, 1);
+        }
+        let pos = s.position_of(3).unwrap();
+        assert_eq!(s.access(3, 1), Access::Hit { phi: pos });
+    }
+
+    #[test]
+    fn size_updates_on_rereference() {
+        let mut s = stack(2.0, UpdaterKind::Backward);
+        s.access(7, 100);
+        s.access(7, 250);
+        assert_eq!(s.entry_at(1).unwrap().size, 250);
+    }
+
+    #[test]
+    fn chain_sizes_parallel_chain() {
+        let mut s = stack(8.0, UpdaterKind::Backward);
+        for key in 0..200u64 {
+            s.access(key, (key % 7 + 1) as u32);
+        }
+        s.access(0, 1); // deep hit -> non-trivial chain
+        assert_eq!(s.last_chain().len(), s.last_chain_sizes().len());
+        assert!(!s.last_chain().is_empty());
+    }
+}

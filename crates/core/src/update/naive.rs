@@ -1,0 +1,54 @@
+//! Mattson's linear stack update, specialized to KRR (the paper's "Basic
+//! Stack" baseline in Table 5.3).
+//!
+//! Walks every interior position once and performs an independent Bernoulli
+//! draw with the stay probability `((i-1)/i)^K` of Eq. 4.1 — O(φ) per
+//! update, which is exactly the cost the two fast updaters eliminate.
+
+use crate::prob::stay_prob;
+use crate::rng::Xoshiro256;
+
+/// Appends the swap chain for distance `phi` by scanning positions top-down.
+pub fn naive_chain(phi: u64, k: f64, rng: &mut Xoshiro256, out: &mut Vec<u64>) {
+    debug_assert!(phi >= 2);
+    out.push(1);
+    for i in 2..phi {
+        if rng.unit() >= stay_prob(i, k) {
+            out.push(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_one_reproduces_mattsons_rr() {
+        // For K=1 the stay probability of position i is (i-1)/i, so the
+        // expected number of interior swaps over [2, φ-1] is the harmonic
+        // tail H(φ-1) - 1.
+        let phi = 500u64;
+        let trials = 20_000;
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut total = 0usize;
+        let mut out = Vec::new();
+        for _ in 0..trials {
+            out.clear();
+            naive_chain(phi, 1.0, &mut rng, &mut out);
+            total += out.len();
+        }
+        let harmonic: f64 = (1..phi).map(|i| 1.0 / i as f64).sum();
+        let got = total as f64 / trials as f64;
+        assert!((got - harmonic).abs() / harmonic < 0.05, "got {got} vs H={harmonic}");
+    }
+
+    #[test]
+    fn huge_k_swaps_every_position() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut out = Vec::new();
+        naive_chain(50, 1e9, &mut rng, &mut out);
+        let expect: Vec<u64> = (1..50).collect();
+        assert_eq!(out, expect);
+    }
+}

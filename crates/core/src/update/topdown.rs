@@ -1,0 +1,115 @@
+//! Approach I: top-down stack update (§4.3.1, Algorithm 1).
+//!
+//! Interior swap positions over `[2, φ-1]` are independent Bernoulli events,
+//! so the probability that an interval `[a, b]` contains *no* swap telescopes
+//! to `((a-1)/b)^K`. The updater descends a conceptual binary state-space
+//! tree: each node draws once to decide which half-intervals contain swaps,
+//! conditioned on the parent containing at least one. Proposition 3 bounds
+//! the expected number of visited nodes by O(K·log²M).
+//!
+//! Note: line 10 of the paper's pseudocode gates the recursion on
+//! `random() > (1/φ)^K`, while the no-swap probability of the interior
+//! interval `[2, φ-1]` is `(1/(φ-1))^K` by the paper's own telescoping
+//! formula (the pseudocode folds the always-swapping position φ into the
+//! interval). We use the exact interior probability so that all three
+//! updaters sample the same distribution — verified against each other in
+//! `update::tests`.
+
+use crate::prob::no_swap_prob;
+use crate::rng::Xoshiro256;
+
+/// Appends the swap chain for distance `phi` using recursive interval
+/// splitting. Emission order is ascending because the left child is always
+/// explored before the right one.
+pub fn topdown_chain(phi: u64, k: f64, rng: &mut Xoshiro256, out: &mut Vec<u64>) {
+    debug_assert!(phi >= 2);
+    out.push(1);
+    if phi < 3 {
+        return;
+    }
+    let (lo, hi) = (2u64, phi - 1);
+    let p_any = 1.0 - no_swap_prob(lo, hi, k);
+    if rng.unit() >= p_any {
+        return;
+    }
+    // Explicit DFS stack; pushing the right interval first makes the left
+    // one pop first, so positions are emitted in ascending order.
+    let mut pending: Vec<(u64, u64)> = vec![(lo, hi)];
+    while let Some((start, end)) = pending.pop() {
+        debug_assert!(start <= end);
+        if start == end {
+            out.push(start);
+            continue;
+        }
+        // mid = ⌈(start+end)/2⌉ splits into [start, mid-1] and [mid, end],
+        // both non-empty when start < end.
+        let mid = (start + end).div_ceil(2);
+        let nsw1 = no_swap_prob(start, mid - 1, k);
+        let nsw2 = no_swap_prob(mid, end, k);
+        let sw1 = 1.0 - nsw1;
+        let sw2 = 1.0 - nsw2;
+        let only1 = sw1 * nsw2;
+        let only2 = nsw1 * sw2;
+        let both = sw1 * sw2;
+        // Conditioned on >=1 swap in [start, end]; the three cases partition
+        // that event.
+        let weight = only1 + only2 + both;
+        debug_assert!(weight > 0.0);
+        let r = rng.unit() * weight;
+        if r < only1 {
+            pending.push((start, mid - 1));
+        } else if r < only1 + only2 {
+            pending.push((mid, end));
+        } else {
+            pending.push((mid, end));
+            pending.push((start, mid - 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_emits_position_one() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut out = Vec::new();
+        for phi in 2..40u64 {
+            out.clear();
+            topdown_chain(phi, 2.0, &mut rng, &mut out);
+            assert_eq!(out[0], 1);
+        }
+    }
+
+    #[test]
+    fn huge_k_selects_all_interior_positions() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut out = Vec::new();
+        topdown_chain(33, 1e9, &mut rng, &mut out);
+        let expect: Vec<u64> = (1..33).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn visited_node_count_is_polylogarithmic() {
+        // Indirect check on Proposition 3: the chain length (a lower bound
+        // on visited nodes) must be far below φ for large φ and small K.
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut out = Vec::new();
+        let phi = 1 << 20;
+        let k = 4.0;
+        let mut total = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            out.clear();
+            topdown_chain(phi, k, &mut rng, &mut out);
+            total += out.len();
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(
+            mean < 3.0 * k * (phi as f64).ln(),
+            "mean chain length {mean} not O(K logM)"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Windowed online profiling: MRCs that track the *current* workload
+//! phase instead of all history.
+//!
+//! A long-running profiler's cumulative histogram goes stale when the
+//! workload shifts (the DLRU adapter works around this by restarting its
+//! profilers). [`WindowedKrr`] generalizes that: two [`KrrModel`]s rotate
+//! every `window` references, and queries are answered from the blend of
+//! the full previous window and the in-progress one — bounded memory,
+//! bounded staleness, no cold-start gap at rotation.
+
+use crate::histogram::SdHistogram;
+use crate::model::{KrrConfig, KrrModel};
+use crate::mrc::Mrc;
+
+/// Rotating two-window KRR profiler.
+#[derive(Debug, Clone)]
+pub struct WindowedKrr {
+    config: KrrConfig,
+    window: u64,
+    current: KrrModel,
+    previous: Option<KrrModel>,
+    in_window: u64,
+    rotations: u64,
+}
+
+impl WindowedKrr {
+    /// Creates a profiler that rotates every `window > 0` references.
+    #[must_use]
+    pub fn new(config: KrrConfig, window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        let current = KrrModel::new(config.clone());
+        Self { config, window, current, previous: None, in_window: 0, rotations: 0 }
+    }
+
+    /// Offers one reference.
+    pub fn access(&mut self, key: u64, size: u32) {
+        if self.in_window >= self.window {
+            self.rotate();
+        }
+        self.current.access(key, size);
+        self.in_window += 1;
+    }
+
+    /// Offers a uniform-size reference.
+    pub fn access_key(&mut self, key: u64) {
+        self.access(key, 1);
+    }
+
+    fn rotate(&mut self) {
+        let mut cfg = self.config.clone();
+        // Fresh stack randomness per window, deterministically derived.
+        cfg.seed = self.config.seed ^ (self.rotations + 1).wrapping_mul(0x9E37_79B9);
+        let fresh = KrrModel::new(cfg);
+        self.previous = Some(std::mem::replace(&mut self.current, fresh));
+        self.in_window = 0;
+        self.rotations += 1;
+    }
+
+    /// Number of completed window rotations.
+    #[must_use]
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// The MRC over the last one-to-two windows of traffic: the merged
+    /// histograms of the previous (complete) and current (partial) windows.
+    #[must_use]
+    pub fn mrc(&self) -> Mrc {
+        match &self.previous {
+            None => self.current.mrc(),
+            Some(prev) => {
+                let mut merged: SdHistogram = prev.histogram().clone();
+                merged.merge(self.current.histogram());
+                // Both windows share the sampling rate; apply the count
+                // correction over the union.
+                let rate = self.current.sampling_rate();
+                if rate < 1.0 && self.config.spatial_adjustment {
+                    let processed =
+                        prev.stats().processed + self.current.stats().processed;
+                    let sampled = prev.stats().sampled + self.current.stats().sampled;
+                    let expected = (processed as f64 * rate).round() as i64;
+                    merged.apply_count_adjustment(expected - sampled as i64);
+                }
+                let mut mrc = Mrc::from_histogram(&merged, 1.0 / rate);
+                mrc.make_monotone();
+                mrc
+            }
+        }
+    }
+
+    /// References seen in the in-progress window.
+    #[must_use]
+    pub fn current_window_len(&self) -> u64 {
+        self.in_window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn no_rotation_behaves_like_plain_model() {
+        let cfg = KrrConfig::new(4.0).seed(1);
+        let mut w = WindowedKrr::new(cfg.clone(), 1_000_000);
+        let mut plain = KrrModel::new(cfg);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        for _ in 0..50_000 {
+            let key = rng.below(2_000);
+            w.access_key(key);
+            plain.access_key(key);
+        }
+        assert_eq!(w.rotations(), 0);
+        assert_eq!(w.mrc().points(), plain.mrc().points());
+    }
+
+    #[test]
+    fn rotations_happen_on_schedule() {
+        let mut w = WindowedKrr::new(KrrConfig::new(2.0), 1_000);
+        for key in 0..10_500u64 {
+            w.access_key(key % 300);
+        }
+        assert_eq!(w.rotations(), 10);
+        assert_eq!(w.current_window_len(), 500);
+    }
+
+    #[test]
+    fn windowed_mrc_tracks_a_phase_shift() {
+        // Phase 1: 500 hot keys. Phase 2: a different set of 5000 keys.
+        // After phase 2 has filled both windows, the windowed MRC must
+        // reflect phase 2's working set, while the cumulative model still
+        // blends both.
+        let cfg = KrrConfig::new(4.0).seed(3);
+        let mut windowed = WindowedKrr::new(cfg.clone(), 50_000);
+        let mut cumulative = KrrModel::new(cfg);
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        for _ in 0..150_000 {
+            let key = rng.below(500);
+            windowed.access_key(key);
+            cumulative.access_key(key);
+        }
+        for _ in 0..150_000 {
+            let key = 10_000 + rng.below(5_000);
+            windowed.access_key(key);
+            cumulative.access_key(key);
+        }
+        // Phase 2 miss ratio at 500 objects is high (working set 5000);
+        // the windowed view must say so.
+        let w = windowed.mrc().eval(500.0);
+        let c = cumulative.mrc().eval(500.0);
+        assert!(w > 0.5, "windowed should reflect the new phase: {w}");
+        assert!(w > c + 0.1, "windowed {w} must exceed cumulative blend {c}");
+        // And at 5000 objects the windowed curve should be near its floor.
+        assert!(windowed.mrc().eval(5_000.0) < 0.2);
+    }
+
+    #[test]
+    fn composes_with_spatial_sampling() {
+        let cfg = KrrConfig::new(4.0).seed(5).sampling(0.25);
+        let mut w = WindowedKrr::new(cfg, 40_000);
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        for _ in 0..120_000 {
+            w.access_key(rng.below(20_000));
+        }
+        let mrc = w.mrc();
+        assert!(mrc.max_size() > 10_000.0, "axis must be rescaled by 1/R");
+        assert!(mrc.eval(1.0) <= 1.0 && mrc.eval(1e9) >= 0.0);
+    }
+}

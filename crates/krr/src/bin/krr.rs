@@ -1,0 +1,440 @@
+//! `krr` — command-line front end for the KRR toolkit.
+//!
+//! ```text
+//! krr generate --workload msr:web --requests 1000000 --out trace.csv
+//! krr stats trace.csv
+//! krr model --k 5 --rate 0.01 trace.csv        # one-pass KRR MRC
+//! krr simulate --policy klru:5 --sizes 25 trace.csv
+//! krr compare --k 5 trace.csv                  # KRR vs ground truth
+//! ```
+//!
+//! Workload specs: `msr:<name>` (web, src1, …), `ycsb-c:<alpha>`,
+//! `ycsb-e:<alpha>`, `twitter:<cluster>` (26.0, 34.1, 45.0, 52.7),
+//! `zipf:<alpha>:<keys>`, `loop:<len>`.
+
+use krr::prelude::*;
+use krr::trace::{io as trace_io, msr, patterns, twitter, ycsb};
+use std::io::{BufReader, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "stats" => cmd_stats(rest),
+        "model" => cmd_model(rest),
+        "simulate" => cmd_simulate(rest),
+        "compare" => cmd_compare(rest),
+        "analyze" => cmd_analyze(rest),
+        "plot" => cmd_plot(rest),
+        "partition" => cmd_partition(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+krr — miss ratio curves for random sampling-based LRU caches
+
+USAGE:
+  krr generate --workload <spec> [--requests N] [--scale S] [--seed X]
+               [--var-size] [--out FILE]
+  krr stats <trace.csv>
+  krr model [--k K] [--rate R] [--updater backward|topdown|naive]
+            [--bytes] [--seed X] (<trace.csv> | --workload <spec> ...)
+  krr simulate [--policy lru|klru:K|klfu:K] [--sizes N] [--bytes]
+               (<trace.csv> | --workload <spec> ...)
+  krr compare [--k K] [--sizes N] (<trace.csv> | --workload <spec> ...)
+  krr analyze (<trace.csv> | --workload <spec> ...)
+  krr plot [--width W] [--height H] <mrc.csv> [<mrc.csv> ...]
+  krr partition --budget B [--quantum Q] <mrc.csv> [<mrc.csv> ...]
+
+WORKLOAD SPECS:
+  msr:<web|src1|src2|proj|usr|hm|rsrch|mds|prn|prxy|stg|ts|wdev>
+  ycsb-c:<alpha>   ycsb-e:<alpha>   twitter:<26.0|34.1|45.0|52.7>
+  zipf:<alpha>:<keys>   loop:<len>";
+
+/// Minimal flag parser: `--name value` pairs plus positional arguments.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if name == "var-size" || name == "bytes" {
+                    pairs.push((name.to_string(), "true".to_string()));
+                } else {
+                    let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                    pairs.push((name.to_string(), v.clone()));
+                }
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Self { pairs, positional })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+}
+
+fn build_workload(
+    spec: &str,
+    n: usize,
+    seed: u64,
+    scale: f64,
+    var_size: bool,
+) -> Result<Trace, String> {
+    let (kind, arg) = spec.split_once(':').ok_or_else(|| format!("bad workload spec {spec:?}"))?;
+    match kind {
+        "msr" => {
+            let t = msr::MsrTrace::ALL
+                .iter()
+                .find(|t| t.name() == arg)
+                .ok_or_else(|| format!("unknown MSR trace {arg:?}"))?;
+            let p = msr::profile(*t);
+            Ok(if var_size {
+                p.generate_var_size(n, seed, scale)
+            } else {
+                p.generate(n, seed, scale)
+            })
+        }
+        "ycsb-c" => {
+            let alpha: f64 = arg.parse().map_err(|_| format!("bad alpha {arg:?}"))?;
+            let records = ((1_000_000.0 * scale) as u64).max(1_000);
+            Ok(ycsb::WorkloadC::new(records, alpha).generate(n, seed))
+        }
+        "ycsb-e" => {
+            let alpha: f64 = arg.parse().map_err(|_| format!("bad alpha {arg:?}"))?;
+            let records = ((100_000.0 * scale) as u64).max(500);
+            let mut t = ycsb::WorkloadE::new(records, alpha).generate(n, seed);
+            t.truncate(n);
+            Ok(t)
+        }
+        "twitter" => {
+            let c = twitter::TwitterCluster::ALL
+                .iter()
+                .find(|c| c.name().trim_start_matches("cluster") == arg)
+                .ok_or_else(|| format!("unknown Twitter cluster {arg:?}"))?;
+            Ok(twitter::profile(*c).generate(n, seed, scale, var_size))
+        }
+        "zipf" => {
+            let (alpha, keys) =
+                arg.split_once(':').ok_or_else(|| "zipf spec is zipf:<alpha>:<keys>".to_string())?;
+            let alpha: f64 = alpha.parse().map_err(|_| format!("bad alpha {alpha:?}"))?;
+            let keys: u64 = keys.parse().map_err(|_| format!("bad key count {keys:?}"))?;
+            Ok(ycsb::WorkloadC::new(keys, alpha).generate(n, seed))
+        }
+        "loop" => {
+            let len: u64 = arg.parse().map_err(|_| format!("bad loop length {arg:?}"))?;
+            Ok(patterns::loop_trace(len, n))
+        }
+        other => Err(format!("unknown workload kind {other:?}")),
+    }
+}
+
+/// Loads the trace from a positional CSV path or synthesizes from flags.
+fn load_trace(f: &Flags) -> Result<Trace, String> {
+    if let Some(path) = f.positional.first() {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        return trace_io::read_csv(BufReader::new(file)).map_err(|e| e.to_string());
+    }
+    let spec = f.get("workload").ok_or("need a trace file or --workload <spec>")?;
+    build_workload(
+        spec,
+        f.num("requests", 400_000usize)?,
+        f.num("seed", 42u64)?,
+        f.num("scale", 0.1f64)?,
+        f.flag("var-size"),
+    )
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let spec = f.get("workload").ok_or("--workload <spec> is required")?;
+    let trace = build_workload(
+        spec,
+        f.num("requests", 400_000usize)?,
+        f.num("seed", 42u64)?,
+        f.num("scale", 0.1f64)?,
+        f.flag("var-size"),
+    )?;
+    match f.get("out") {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            trace_io::write_csv(std::io::BufWriter::new(file), &trace)
+                .map_err(|e| e.to_string())?;
+            eprintln!("wrote {} requests to {path}", trace.len());
+        }
+        None => {
+            trace_io::write_csv(std::io::stdout().lock(), &trace).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let trace = load_trace(&f)?;
+    let s = krr::trace::stats(&trace);
+    println!("requests:           {}", s.requests);
+    println!("distinct objects:   {}", s.distinct);
+    println!("working set bytes:  {}", s.working_set_bytes);
+    println!("set fraction:       {:.4}", s.set_fraction);
+    Ok(())
+}
+
+fn cmd_model(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let trace = load_trace(&f)?;
+    let k: f64 = f.num("k", 5.0)?;
+    let rate: f64 = f.num("rate", 1.0)?;
+    let updater = match f.get("updater").unwrap_or("backward") {
+        "backward" => UpdaterKind::Backward,
+        "topdown" | "top-down" => UpdaterKind::TopDown,
+        "naive" => UpdaterKind::Naive,
+        other => return Err(format!("unknown updater {other:?}")),
+    };
+    let mut cfg = KrrConfig::new(k).updater(updater).seed(f.num("seed", 1u64)?);
+    if rate < 1.0 {
+        cfg = cfg.sampling(rate);
+    }
+    if f.flag("bytes") {
+        cfg = cfg.byte_level(2, 4096);
+    }
+    let t0 = std::time::Instant::now();
+    let mut model = KrrModel::new(cfg);
+    for r in &trace {
+        model.access(r.key, r.size);
+    }
+    let elapsed = t0.elapsed();
+    let mrc = model.mrc();
+    let mut out = std::io::BufWriter::new(std::io::stdout().lock());
+    let _ = writeln!(out, "cache_size,miss_ratio");
+    // Downsample evenly to at most 2000 points so huge histograms stay
+    // plottable without chopping the tail off the curve.
+    let pts: Vec<(f64, f64)> =
+        mrc.points().iter().copied().filter(|&(x, _)| x > 0.0).collect();
+    let step = (pts.len() / 2_000).max(1);
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        if i % step != 0 && i != pts.len() - 1 {
+            continue;
+        }
+        // Ignore EPIPE so `krr model ... | head` exits cleanly.
+        if writeln!(out, "{x:.0},{y:.5}").is_err() {
+            break;
+        }
+    }
+    drop(out);
+    let st = model.stats();
+    eprintln!(
+        "processed {} refs ({} sampled, {} distinct) in {elapsed:?}",
+        st.processed, st.sampled, st.distinct
+    );
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let trace = load_trace(&f)?;
+    let n_sizes: usize = f.num("sizes", 25)?;
+    let bytes = f.flag("bytes");
+    let (objects, ws_bytes) = krr::sim::working_set(&trace);
+    let max = if bytes { ws_bytes } else { objects };
+    let caps = even_capacities(max, n_sizes);
+    let unit = if bytes { Unit::Bytes } else { Unit::Objects };
+    let policy_spec = f.get("policy").unwrap_or("klru:5");
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mrc = match policy_spec {
+        "lru" => simulate_mrc(&trace, Policy::ExactLru, unit, &caps, 1, threads),
+        spec if spec.starts_with("klru:") => {
+            let k: u32 = spec[5..].parse().map_err(|_| format!("bad policy {spec:?}"))?;
+            simulate_mrc(&trace, Policy::klru(k), unit, &caps, 1, threads)
+        }
+        spec if spec.starts_with("klfu:") => {
+            let k: u32 = spec[5..].parse().map_err(|_| format!("bad policy {spec:?}"))?;
+            // No Policy variant for LFU: run each size directly.
+            let mut points = vec![(0.0, 1.0)];
+            for &c in &caps {
+                let cap = if bytes { Capacity::Bytes(c) } else { Capacity::Objects(c) };
+                let mut cache = KLfuCache::new(cap, k, 1);
+                for r in &trace {
+                    cache.access(r);
+                }
+                points.push((c as f64, cache.stats().miss_ratio()));
+            }
+            Mrc::from_points(points)
+        }
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+    let mut out = std::io::BufWriter::new(std::io::stdout().lock());
+    let _ = writeln!(out, "cache_size,miss_ratio");
+    for &(x, y) in mrc.points().iter().filter(|&&(x, _)| x > 0.0) {
+        if writeln!(out, "{x:.0},{y:.5}").is_err() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let trace = load_trace(&f)?;
+    let k: u32 = f.num("k", 5)?;
+    let n_sizes: usize = f.num("sizes", 25)?;
+    let (objects, _) = krr::sim::working_set(&trace);
+    let caps = even_capacities(objects, n_sizes);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let sim = simulate_mrc(&trace, Policy::klru(k), Unit::Objects, &caps, 1, threads);
+    let mut model = KrrModel::new(KrrConfig::new(f64::from(k)).seed(2));
+    for r in &trace {
+        model.access_key(r.key);
+    }
+    let krr_mrc = model.mrc();
+    println!("cache_size,simulated,krr,abs_err");
+    let mut sum = 0.0;
+    for &c in &caps {
+        let a = sim.eval(c as f64);
+        let b = krr_mrc.eval(c as f64);
+        sum += (a - b).abs();
+        println!("{c},{a:.5},{b:.5},{:.5}", (a - b).abs());
+    }
+    eprintln!("MAE over {} sizes: {:.5}", caps.len(), sum / caps.len() as f64);
+    Ok(())
+}
+
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let trace = load_trace(&f)?;
+    let c = krr::trace::analyze::characterize(&trace);
+    println!("requests:        {}", c.requests);
+    println!("distinct keys:   {}", c.distinct);
+    println!("cold fraction:   {:.4}", c.cold_fraction);
+    match (c.median_reuse, c.p90_reuse) {
+        (Some(m), Some(p)) => println!("reuse time:      median {m}, p90 {p}"),
+        _ => println!("reuse time:      (no re-references)"),
+    }
+    println!("zipf exponent:   {:.2}", c.zipf_exponent);
+    println!("loop signature:  {:.3}", c.loop_signature);
+    println!(
+        "classification:  Type {} ({})",
+        if c.is_type_a() { "A" } else { "B" },
+        if c.is_type_a() {
+            "K-LRU sampling size matters; model it with KRR"
+        } else {
+            "K-insensitive; any K (or an LRU model) will do"
+        }
+    );
+    Ok(())
+}
+
+fn cmd_plot(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    if f.positional.is_empty() {
+        return Err("plot needs one or more cache_size,miss_ratio CSV files".into());
+    }
+    let mut curves = Vec::new();
+    for path in &f.positional {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let mrc = krr::core::persist::read_mrc(BufReader::new(file))
+            .map_err(|e| format!("{path}: {e}"))?;
+        curves.push((path.clone(), mrc));
+    }
+    let width: usize = f.num("width", 64)?;
+    let height: usize = f.num("height", 16)?;
+    print!("{}", render_ascii_mrc(&curves, width, height));
+    Ok(())
+}
+
+/// Renders MRCs as an ASCII chart: x = cache size (linear), y = miss ratio.
+fn render_ascii_mrc(curves: &[(String, krr::Mrc)], width: usize, height: usize) -> String {
+    let max_x = curves.iter().map(|(_, m)| m.max_size()).fold(0.0f64, f64::max).max(1.0);
+    let marks = ['*', 'o', '+', 'x', '#', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (ci, (_, mrc)) in curves.iter().enumerate() {
+        let mark = marks[ci % marks.len()];
+        for (col, x) in (0..width).map(|c| (c, max_x * (c as f64 + 0.5) / width as f64)) {
+            let y = mrc.eval(x).clamp(0.0, 1.0);
+            let row = ((1.0 - y) * (height as f64 - 1.0)).round() as usize;
+            grid[row][col] = mark;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = 1.0 - r as f64 / (height as f64 - 1.0);
+        out.push_str(&format!("{label:5.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("      +{}\n", "-".repeat(width)));
+    out.push_str(&format!("       0{:>w$.0}\n", max_x, w = width - 1));
+    for (ci, (name, _)) in curves.iter().enumerate() {
+        out.push_str(&format!("       {} = {}\n", marks[ci % marks.len()], name));
+    }
+    out
+}
+
+
+fn cmd_partition(args: &[String]) -> Result<(), String> {
+    use krr::core::partition::{allocate_greedy, allocate_optimal, Tenant};
+    let f = Flags::parse(args)?;
+    if f.positional.is_empty() {
+        return Err("partition needs one or more cache_size,miss_ratio CSV files".into());
+    }
+    let budget: u64 = f.num("budget", 0)?;
+    if budget == 0 {
+        return Err("--budget is required and must be positive".into());
+    }
+    let quantum: u64 = f.num("quantum", (budget / 100).max(1))?;
+    let mut tenants = Vec::new();
+    for path in &f.positional {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let mrc = krr::core::persist::read_mrc(BufReader::new(file))
+            .map_err(|e| format!("{path}: {e}"))?;
+        tenants.push(Tenant::new(path.clone(), mrc, 1.0));
+    }
+    let greedy = allocate_greedy(&tenants, budget, quantum);
+    let optimal = allocate_optimal(&tenants, budget, quantum);
+    println!("{:>32} {:>12} {:>12}", "tenant", "greedy", "optimal");
+    for (i, t) in tenants.iter().enumerate() {
+        println!("{:>32} {:>12} {:>12}", t.name, greedy.per_tenant[i], optimal.per_tenant[i]);
+    }
+    println!(
+        "total weighted miss:  greedy {:.4}   optimal {:.4}",
+        greedy.total_miss_rate, optimal.total_miss_rate
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! A small blocking RESP2 client for [`crate::server::Server`] (or any
+//! Redis-speaking endpoint that accepts the same command subset).
+
+use crate::resp::{read_value, write_value, Value};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Blocking RESP client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+    }
+
+    /// Sends a raw command (array of bulk strings) and returns the reply.
+    pub fn raw(&mut self, parts: &[&[u8]]) -> io::Result<Value> {
+        write_value(&mut self.writer, &Value::command(parts))?;
+        self.writer.flush()?;
+        read_value(&mut self.reader)
+    }
+
+    fn expect_ok(&mut self, v: Value) -> io::Result<()> {
+        match v {
+            Value::Simple(s) if s == "OK" => Ok(()),
+            Value::Error(e) => Err(io::Error::other(e)),
+            other => Err(io::Error::other(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// `PING` — returns true on PONG.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        Ok(matches!(self.raw(&[b"PING"])?, Value::Simple(s) if s == "PONG"))
+    }
+
+    /// `GET key` — true if the key was resident.
+    pub fn get(&mut self, key: u64) -> io::Result<bool> {
+        match self.raw(&[b"GET", key.to_string().as_bytes()])? {
+            Value::Bulk(Some(_)) => Ok(true),
+            Value::Bulk(None) => Ok(false),
+            Value::Error(e) => Err(io::Error::other(e)),
+            other => Err(io::Error::other(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// `SET key <value of `size` bytes>`.
+    pub fn set(&mut self, key: u64, size: u32) -> io::Result<()> {
+        let payload = vec![b'x'; size as usize];
+        let reply = self.raw(&[b"SET", key.to_string().as_bytes(), &payload])?;
+        self.expect_ok(reply)
+    }
+
+    /// `DBSIZE`.
+    pub fn dbsize(&mut self) -> io::Result<i64> {
+        match self.raw(&[b"DBSIZE"])? {
+            Value::Integer(n) => Ok(n),
+            other => Err(io::Error::other(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// `INFO` — the raw info text.
+    pub fn info(&mut self) -> io::Result<String> {
+        match self.raw(&[b"INFO"])? {
+            Value::Bulk(Some(data)) => {
+                String::from_utf8(data).map_err(|e| io::Error::other(e.to_string()))
+            }
+            other => Err(io::Error::other(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Cache-aside access: GET, and SET on miss. Returns true on hit.
+    pub fn access(&mut self, key: u64, size: u32) -> io::Result<bool> {
+        let hit = self.get(key)?;
+        if !hit {
+            self.set(key, size)?;
+        }
+        Ok(hit)
+    }
+}

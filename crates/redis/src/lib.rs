@@ -1,0 +1,31 @@
+//! # krr-redis
+//!
+//! A miniature Redis sufficient to validate KRR against a real
+//! approximated-LRU system (§5.7): the `dict.c`-style hash table with
+//! incremental rehashing and clustered key sampling, the 24-bit LRU clock,
+//! and the `evict.c` eviction pool driving `maxmemory-policy allkeys-lru`.
+//! A RESP2 [`server`]/[`client`] pair exposes the store over TCP so the
+//! §5.7 validation can run against an actual wire protocol.
+//!
+//! ```
+//! use krr_redis::{MiniRedis, SamplingMode};
+//!
+//! let mut store = MiniRedis::new(10_000, 5, 42); // 10 KB, samples=5
+//! store.set(1, 200);
+//! assert!(store.get(1));
+//! let _ = SamplingMode::ClusteredWalk;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod dict;
+pub mod resp;
+pub mod server;
+pub mod store;
+
+pub use client::Client;
+pub use dict::Dict;
+pub use server::Server;
+pub use store::{MiniRedis, SamplingMode, StoreStats, EVICTION_POOL_SIZE, LRU_BITS};

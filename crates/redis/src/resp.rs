@@ -1,0 +1,177 @@
+//! RESP2 (REdis Serialization Protocol) codec.
+//!
+//! The subset a cache workload needs: simple strings, errors, integers,
+//! bulk strings (including null) and arrays — enough to carry
+//! GET/SET/DEL/DBSIZE/INFO between [`crate::server`] and
+//! [`crate::client`]. Implemented from scratch on `BufRead`/`Write`.
+
+use std::io::{self, BufRead, Write};
+
+/// A RESP2 value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// `+OK\r\n`
+    Simple(String),
+    /// `-ERR ...\r\n`
+    Error(String),
+    /// `:42\r\n`
+    Integer(i64),
+    /// `$5\r\nhello\r\n`; `None` encodes the null bulk `$-1\r\n`.
+    Bulk(Option<Vec<u8>>),
+    /// `*2\r\n...`
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// Convenience: a non-null bulk string from bytes.
+    #[must_use]
+    pub fn bulk(data: impl Into<Vec<u8>>) -> Self {
+        Value::Bulk(Some(data.into()))
+    }
+
+    /// Convenience: the null bulk reply.
+    #[must_use]
+    pub fn null() -> Self {
+        Value::Bulk(None)
+    }
+
+    /// A command array of bulk strings.
+    #[must_use]
+    pub fn command(parts: &[&[u8]]) -> Self {
+        Value::Array(parts.iter().map(|p| Value::bulk(p.to_vec())).collect())
+    }
+}
+
+/// Writes one RESP value.
+pub fn write_value<W: Write>(w: &mut W, v: &Value) -> io::Result<()> {
+    match v {
+        Value::Simple(s) => write!(w, "+{s}\r\n"),
+        Value::Error(s) => write!(w, "-{s}\r\n"),
+        Value::Integer(i) => write!(w, ":{i}\r\n"),
+        Value::Bulk(None) => write!(w, "$-1\r\n"),
+        Value::Bulk(Some(data)) => {
+            write!(w, "${}\r\n", data.len())?;
+            w.write_all(data)?;
+            w.write_all(b"\r\n")
+        }
+        Value::Array(items) => {
+            write!(w, "*{}\r\n", items.len())?;
+            for item in items {
+                write_value(w, item)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn read_line<R: BufRead>(r: &mut R) -> io::Result<String> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
+    }
+    if !line.ends_with("\r\n") {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "line not CRLF-terminated"));
+    }
+    line.truncate(line.len() - 2);
+    Ok(line)
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads one RESP value.
+pub fn read_value<R: BufRead>(r: &mut R) -> io::Result<Value> {
+    let line = read_line(r)?;
+    let (tag, rest) = line.split_at(1);
+    match tag {
+        "+" => Ok(Value::Simple(rest.to_string())),
+        "-" => Ok(Value::Error(rest.to_string())),
+        ":" => rest.parse().map(Value::Integer).map_err(|_| invalid("bad integer")),
+        "$" => {
+            let len: i64 = rest.parse().map_err(|_| invalid("bad bulk length"))?;
+            if len < 0 {
+                return Ok(Value::Bulk(None));
+            }
+            let mut data = vec![0u8; len as usize];
+            r.read_exact(&mut data)?;
+            let mut crlf = [0u8; 2];
+            r.read_exact(&mut crlf)?;
+            if &crlf != b"\r\n" {
+                return Err(invalid("bulk not CRLF-terminated"));
+            }
+            Ok(Value::Bulk(Some(data)))
+        }
+        "*" => {
+            let len: i64 = rest.parse().map_err(|_| invalid("bad array length"))?;
+            if len < 0 {
+                return Ok(Value::Array(Vec::new()));
+            }
+            let mut items = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                items.push(read_value(r)?);
+            }
+            Ok(Value::Array(items))
+        }
+        other => Err(invalid(format!("unknown RESP tag {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        write_value(&mut buf, v).unwrap();
+        read_value(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn simple_and_error() {
+        assert_eq!(roundtrip(&Value::Simple("OK".into())), Value::Simple("OK".into()));
+        assert_eq!(roundtrip(&Value::Error("ERR nope".into())), Value::Error("ERR nope".into()));
+    }
+
+    #[test]
+    fn integers() {
+        for i in [0i64, 1, -1, i64::MAX, i64::MIN] {
+            assert_eq!(roundtrip(&Value::Integer(i)), Value::Integer(i));
+        }
+    }
+
+    #[test]
+    fn bulk_including_null_and_binary() {
+        assert_eq!(roundtrip(&Value::null()), Value::null());
+        assert_eq!(roundtrip(&Value::bulk(b"hello".to_vec())), Value::bulk(b"hello".to_vec()));
+        let binary = vec![0u8, 13, 10, 255, 36];
+        assert_eq!(roundtrip(&Value::bulk(binary.clone())), Value::bulk(binary));
+        assert_eq!(roundtrip(&Value::bulk(Vec::new())), Value::bulk(Vec::new()));
+    }
+
+    #[test]
+    fn nested_arrays() {
+        let v = Value::Array(vec![
+            Value::command(&[b"SET", b"k", b"v"]),
+            Value::Integer(7),
+            Value::null(),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn wire_format_matches_redis() {
+        let mut buf = Vec::new();
+        write_value(&mut buf, &Value::command(&[b"GET", b"key1"])).unwrap();
+        assert_eq!(buf, b"*2\r\n$3\r\nGET\r\n$4\r\nkey1\r\n");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(read_value(&mut "?wat\r\n".as_bytes()).is_err());
+        assert!(read_value(&mut "$5\r\nab\r\n".as_bytes()).is_err());
+        assert!(read_value(&mut ":notanum\r\n".as_bytes()).is_err());
+        assert!(read_value(&mut "+no-crlf".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! A TCP server exposing [`crate::MiniRedis`] over RESP2.
+//!
+//! Thread-per-connection with the store behind a mutex — the concurrency
+//! model real Redis avoids, but sufficient to validate KRR against a cache
+//! reached through an actual wire protocol (§5.7 ran against a live Redis
+//! instance). Supported commands: `GET`, `SET`, `DEL`, `DBSIZE`, `INFO`,
+//! `PING`, `SHUTDOWN`.
+
+use crate::resp::{read_value, write_value, Value};
+use crate::store::MiniRedis;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a running server.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    store: Arc<Mutex<MiniRedis>>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server on an ephemeral localhost port.
+    pub fn start(store: MiniRedis) -> io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let store = Arc::new(Mutex::new(store));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_store = Arc::clone(&store);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            // Non-blocking accept loop so SHUTDOWN can terminate us.
+            listener.set_nonblocking(true).expect("set_nonblocking");
+            let mut workers = Vec::new();
+            while !accept_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((conn, _)) => {
+                        let store = Arc::clone(&accept_store);
+                        let stop = Arc::clone(&accept_stop);
+                        workers.push(std::thread::spawn(move || {
+                            let _ = serve_connection(conn, &store, &stop);
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        Ok(Server { addr, store, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The server's socket address.
+    #[must_use]
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the store's counters.
+    #[must_use]
+    pub fn stats(&self) -> crate::store::StoreStats {
+        self.store.lock().expect("store poisoned").stats()
+    }
+
+    /// Stops the accept loop and waits for workers.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn parse_key(data: &[u8]) -> Option<u64> {
+    std::str::from_utf8(data).ok()?.parse().ok()
+}
+
+fn serve_connection(
+    conn: TcpStream,
+    store: &Mutex<MiniRedis>,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    conn.set_nodelay(true)?;
+    // A read timeout lets idle workers notice the stop flag instead of
+    // blocking forever in `read` (which would deadlock `shutdown` while a
+    // client holds its connection open).
+    conn.set_read_timeout(Some(std::time::Duration::from_millis(50)))?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut writer = BufWriter::new(conn);
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        // Probe for data without committing to a full-message read; a
+        // timeout mid-probe keeps the buffered stream consistent.
+        use std::io::BufRead;
+        match reader.fill_buf() {
+            Ok([]) => return Ok(()), // clean EOF
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let request = match read_value(&mut reader) {
+            Ok(v) => v,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let reply = handle(&request, store, stop);
+        write_value(&mut writer, &reply)?;
+        use std::io::Write;
+        writer.flush()?;
+    }
+}
+
+fn handle(request: &Value, store: &Mutex<MiniRedis>, stop: &AtomicBool) -> Value {
+    let Value::Array(parts) = request else {
+        return Value::Error("ERR expected command array".into());
+    };
+    let mut args = Vec::with_capacity(parts.len());
+    for p in parts {
+        match p {
+            Value::Bulk(Some(data)) => args.push(data.as_slice()),
+            _ => return Value::Error("ERR expected bulk-string arguments".into()),
+        }
+    }
+    let Some((cmd, rest)) = args.split_first() else {
+        return Value::Error("ERR empty command".into());
+    };
+    match cmd.to_ascii_uppercase().as_slice() {
+        b"PING" => Value::Simple("PONG".into()),
+        b"GET" => {
+            let [key] = rest else { return Value::Error("ERR wrong arity for GET".into()) };
+            let Some(key) = parse_key(key) else {
+                return Value::Error("ERR keys are u64 in mini-redis".into());
+            };
+            let hit = store.lock().expect("store poisoned").get(key);
+            if hit {
+                // The store tracks sizes, not payloads; return a marker.
+                Value::bulk(b"1".to_vec())
+            } else {
+                Value::null()
+            }
+        }
+        b"SET" => {
+            let [key, value] = rest else {
+                return Value::Error("ERR wrong arity for SET".into());
+            };
+            let Some(key) = parse_key(key) else {
+                return Value::Error("ERR keys are u64 in mini-redis".into());
+            };
+            store.lock().expect("store poisoned").set(key, value.len() as u32);
+            Value::Simple("OK".into())
+        }
+        b"DEL" => {
+            // Mini-redis has no user-facing delete; report 0 like a miss.
+            Value::Integer(0)
+        }
+        b"DBSIZE" => {
+            Value::Integer(store.lock().expect("store poisoned").len() as i64)
+        }
+        b"INFO" => {
+            let s = store.lock().expect("store poisoned");
+            let stats = s.stats();
+            let body = format!(
+                "# mini-redis\r\nkeys:{}\r\nused_memory:{}\r\nhits:{}\r\nmisses:{}\r\nevictions:{}\r\n",
+                s.len(),
+                s.used_memory(),
+                stats.hits,
+                stats.misses,
+                stats.evictions
+            );
+            Value::bulk(body.into_bytes())
+        }
+        b"SHUTDOWN" => {
+            stop.store(true, Ordering::Relaxed);
+            Value::Simple("OK".into())
+        }
+        other => Value::Error(format!("ERR unknown command {:?}", String::from_utf8_lossy(other))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    #[test]
+    fn get_set_over_the_wire() {
+        let mut server = Server::start(MiniRedis::new(100_000, 5, 1)).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert!(client.ping().unwrap());
+        assert!(!client.get(42).unwrap());
+        client.set(42, 200).unwrap();
+        assert!(client.get(42).unwrap());
+        assert_eq!(client.dbsize().unwrap(), 1);
+        let info = client.info().unwrap();
+        assert!(info.contains("keys:1"), "{info}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn eviction_happens_over_the_wire() {
+        let mut server = Server::start(MiniRedis::new(2_000, 5, 2)).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        for key in 0..100u64 {
+            client.set(key, 100).unwrap();
+        }
+        let n = client.dbsize().unwrap();
+        assert!(n <= 20, "dbsize {n} exceeds memory budget");
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_clients() {
+        let mut server = Server::start(MiniRedis::new(1_000_000, 5, 3)).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4u64)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    for i in 0..200u64 {
+                        client.set(c * 1_000 + i, 50).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(client.dbsize().unwrap(), 800);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_command_is_an_error_not_a_hangup() {
+        let mut server = Server::start(MiniRedis::new(10_000, 5, 4)).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let err = client.raw(&[b"FLUBBER"]).unwrap();
+        assert!(matches!(err, crate::resp::Value::Error(_)));
+        assert!(client.ping().unwrap(), "connection must survive errors");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,445 @@
+//! MiniRedis: an in-memory KV store reproducing Redis's approximated-LRU
+//! eviction machinery (§5.7's validation target).
+//!
+//! Faithful pieces:
+//!
+//! * `maxmemory` accounting in bytes with a per-entry overhead,
+//! * a 24-bit LRU clock with configurable resolution and wraparound
+//!   (`estimateObjectIdleTime` semantics),
+//! * the 16-entry **eviction pool** of `evict.c`: on each eviction cycle,
+//!   `maxmemory-samples` keys are sampled and merged into a pool kept
+//!   sorted by idle time; the best (most idle) live candidate is evicted.
+//!   The pool persists across evictions, which is what lets a small sample
+//!   size approximate LRU well,
+//! * two sampling backends: the default *clustered* bucket walk
+//!   (`dictGetSomeKeys`) and the fair `dictGetRandomKey` loop the paper's
+//!   footnote 3 discusses.
+
+use crate::dict::Dict;
+use krr_trace::{Op, Request};
+
+/// How eviction candidates are sampled from the keyspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// `dictGetSomeKeys`: fast clustered bucket walk (Redis default).
+    ClusteredWalk,
+    /// Repeated `dictGetRandomKey`: slower, near-uniform sampling.
+    UniformRandom,
+}
+
+/// Size of Redis's eviction pool (`EVPOOL_SIZE`).
+pub const EVICTION_POOL_SIZE: usize = 16;
+/// Width of the LRU clock in bits (`LRU_BITS`).
+pub const LRU_BITS: u32 = 24;
+const LRU_CLOCK_MAX: u64 = (1 << LRU_BITS) - 1;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    size: u32,
+    /// Truncated 24-bit LRU timestamp.
+    lru: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PoolSlot {
+    key: u64,
+    idle: u64,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// GETs that found the key.
+    pub hits: u64,
+    /// GETs that did not.
+    pub misses: u64,
+    /// Keys evicted to stay under `maxmemory`.
+    pub evictions: u64,
+}
+
+impl StoreStats {
+    /// Miss ratio over GETs.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A miniature Redis with `maxmemory-policy allkeys-lru`.
+#[derive(Debug)]
+pub struct MiniRedis {
+    dict: Dict<Entry>,
+    maxmemory: u64,
+    used_memory: u64,
+    samples: usize,
+    mode: SamplingMode,
+    pool: Vec<PoolSlot>,
+    /// Logical request counter driving the LRU clock.
+    ticks: u64,
+    /// Ticks per LRU clock unit (Redis uses wall-clock seconds; a
+    /// trace-driven store uses request counts).
+    clock_resolution: u64,
+    overhead_per_key: u64,
+    stats: StoreStats,
+    scratch: Vec<(u64, Entry)>,
+}
+
+impl MiniRedis {
+    /// Creates a store with `maxmemory` bytes, `maxmemory-samples = samples`
+    /// (Redis defaults to 5), and the default clustered sampling.
+    #[must_use]
+    pub fn new(maxmemory: u64, samples: usize, seed: u64) -> Self {
+        Self::with_mode(maxmemory, samples, SamplingMode::ClusteredWalk, seed)
+    }
+
+    /// Creates a store with an explicit sampling backend.
+    #[must_use]
+    pub fn with_mode(maxmemory: u64, samples: usize, mode: SamplingMode, seed: u64) -> Self {
+        assert!(maxmemory > 0 && samples >= 1);
+        Self {
+            dict: Dict::new(seed),
+            maxmemory,
+            used_memory: 0,
+            samples,
+            mode,
+            pool: Vec::with_capacity(EVICTION_POOL_SIZE),
+            ticks: 0,
+            clock_resolution: 1,
+            overhead_per_key: 0,
+            stats: StoreStats::default(),
+        scratch: Vec::new(),
+        }
+    }
+
+    /// Sets the per-key metadata overhead added to every object's size
+    /// (Redis entries carry dict/robj overhead; default 0 keeps experiments
+    /// in pure value bytes).
+    pub fn set_overhead_per_key(&mut self, bytes: u64) {
+        self.overhead_per_key = bytes;
+    }
+
+    /// Sets how many requests advance the LRU clock by one unit. Larger
+    /// values emulate Redis's coarse seconds-resolution clock.
+    pub fn set_clock_resolution(&mut self, ticks: u64) {
+        assert!(ticks >= 1);
+        self.clock_resolution = ticks;
+    }
+
+    /// Current truncated LRU clock.
+    fn lru_clock(&self) -> u32 {
+        ((self.ticks / self.clock_resolution) & LRU_CLOCK_MAX) as u32
+    }
+
+    /// Idle time of an entry, handling 24-bit wraparound as
+    /// `estimateObjectIdleTime` does.
+    fn idle_time(&self, lru: u32) -> u64 {
+        let now = u64::from(self.lru_clock());
+        let then = u64::from(lru);
+        if now >= then {
+            now - then
+        } else {
+            now + (LRU_CLOCK_MAX + 1) - then
+        }
+    }
+
+    /// Number of resident keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// True if no key is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.dict.is_empty()
+    }
+
+    /// Bytes accounted against `maxmemory`.
+    #[must_use]
+    pub fn used_memory(&self) -> u64 {
+        self.used_memory
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// GET: returns true on hit and refreshes the key's LRU stamp.
+    pub fn get(&mut self, key: u64) -> bool {
+        self.ticks += 1;
+        let clock = self.lru_clock();
+        match self.dict.get_mut(key) {
+            Some(e) => {
+                e.lru = clock;
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// SET: installs/updates `key` with `size` bytes, evicting under
+    /// `maxmemory` pressure first (as `freeMemoryIfNeeded` runs before the
+    /// write command executes).
+    pub fn set(&mut self, key: u64, size: u32) {
+        self.ticks += 1;
+        let size = u64::from(size.max(1)) + self.overhead_per_key;
+        if size > self.maxmemory {
+            // Object can never fit; Redis would OOM-error the write.
+            return;
+        }
+        let existing = self.dict.get(key).map(|e| u64::from(e.size));
+        let incoming = match existing {
+            Some(old) => self.used_memory - old - self.overhead_per_key + size,
+            None => self.used_memory + size,
+        };
+        let mut needed = incoming;
+        while needed > self.maxmemory {
+            if !self.evict_one(key) {
+                break;
+            }
+            needed = match self.dict.get(key).map(|e| u64::from(e.size)) {
+                Some(old) => self.used_memory - old - self.overhead_per_key + size,
+                None => self.used_memory + size,
+            };
+        }
+        let clock = self.lru_clock();
+        let stored = Entry { size: (size - self.overhead_per_key) as u32, lru: clock };
+        match self.dict.insert(key, stored) {
+            Some(old) => {
+                self.used_memory =
+                    self.used_memory - u64::from(old.size) - self.overhead_per_key + size;
+            }
+            None => self.used_memory += size,
+        }
+    }
+
+    /// Cache-aside access used by trace replay: GET, and on miss (or on an
+    /// explicit SET request) install the object. Returns true on hit.
+    pub fn access(&mut self, req: &Request) -> bool {
+        let hit = self.get(req.key);
+        if req.op == Op::Set || !hit {
+            self.set(req.key, req.size);
+        }
+        hit
+    }
+
+    /// One `performEvictions` cycle: sample, merge into the pool, evict the
+    /// best candidate. Returns false if nothing could be evicted.
+    /// `protect` is the key currently being written and must survive.
+    fn evict_one(&mut self, protect: u64) -> bool {
+        if self.dict.is_empty() {
+            return false;
+        }
+        // Fill the pool from a fresh sample.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        match self.mode {
+            SamplingMode::ClusteredWalk => {
+                self.dict.get_some_keys(self.samples, &mut scratch);
+            }
+            SamplingMode::UniformRandom => {
+                scratch.clear();
+                for _ in 0..self.samples {
+                    if let Some(kv) = self.dict.random_key() {
+                        scratch.push(kv);
+                    }
+                }
+            }
+        }
+        for &(key, entry) in scratch.iter() {
+            if key == protect {
+                continue;
+            }
+            let idle = self.idle_time(entry.lru);
+            self.pool_insert(key, idle);
+        }
+        self.scratch = scratch;
+
+        // Evict the most idle live pool entry (pool is sorted ascending).
+        while let Some(slot) = self.pool.pop() {
+            if let Some(entry) = self.dict.peek(slot.key).copied() {
+                // Stale idle values are fine (Redis re-checks existence but
+                // not idleness); evict it.
+                let _ = entry;
+                let removed = self.dict.remove(slot.key).expect("peeked key vanished");
+                self.used_memory -= u64::from(removed.size) + self.overhead_per_key;
+                self.stats.evictions += 1;
+                return true;
+            }
+            // Key no longer exists; drop the stale slot and continue.
+        }
+        // Pool exhausted without a live candidate (can happen early);
+        // fall back to evicting any sampled key, then any key at all.
+        let fallback = self
+            .scratch
+            .iter()
+            .map(|&(k, _)| k)
+            .find(|&k| k != protect)
+            .or_else(|| self.dict.iter().map(|(k, _)| k).find(|&k| k != protect));
+        if let Some(key) = fallback {
+            if let Some(removed) = self.dict.remove(key) {
+                self.used_memory -= u64::from(removed.size) + self.overhead_per_key;
+                self.stats.evictions += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts a candidate into the idle-sorted pool, mirroring
+    /// `evictionPoolPopulate`: better (more idle) candidates displace worse
+    /// ones when the pool is full; duplicates keep the larger idle time.
+    fn pool_insert(&mut self, key: u64, idle: u64) {
+        if let Some(existing) = self.pool.iter_mut().find(|s| s.key == key) {
+            existing.idle = existing.idle.max(idle);
+            self.pool.sort_by_key(|s| s.idle);
+            return;
+        }
+        if self.pool.len() < EVICTION_POOL_SIZE {
+            let pos = self.pool.partition_point(|s| s.idle < idle);
+            self.pool.insert(pos, PoolSlot { key, idle });
+        } else if idle > self.pool[0].idle {
+            self.pool.remove(0);
+            let pos = self.pool.partition_point(|s| s.idle < idle);
+            self.pool.insert(pos, PoolSlot { key, idle });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut r = MiniRedis::new(10_000, 5, 1);
+        r.set(1, 100);
+        assert!(r.get(1));
+        assert!(!r.get(2));
+        assert_eq!(r.used_memory(), 100);
+        let s = r.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn overwrite_adjusts_memory() {
+        let mut r = MiniRedis::new(10_000, 5, 1);
+        r.set(1, 100);
+        r.set(1, 250);
+        assert_eq!(r.used_memory(), 250);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn maxmemory_is_enforced() {
+        let mut r = MiniRedis::new(1_000, 5, 2);
+        for k in 0..100u64 {
+            r.set(k, 100);
+            assert!(r.used_memory() <= 1_000, "over budget at key {k}");
+        }
+        assert_eq!(r.len(), 10);
+        assert!(r.stats().evictions >= 90);
+    }
+
+    #[test]
+    fn eviction_prefers_idle_keys() {
+        let mut r = MiniRedis::new(1_000, 10, 3);
+        for k in 0..10u64 {
+            r.set(k, 100);
+        }
+        // Touch keys 1..10 repeatedly; key 0 goes stale.
+        for _ in 0..50 {
+            for k in 1..10u64 {
+                r.get(k);
+            }
+        }
+        // Insert new keys, forcing evictions; key 0 should die early.
+        for k in 100..105u64 {
+            r.set(k, 100);
+        }
+        let zero_alive = r.get(0);
+        let hot_alive = (1..10u64).filter(|&k| r.get(k)).count();
+        assert!(!zero_alive, "stale key should have been evicted");
+        assert!(hot_alive >= 5, "hot keys mostly survive, {hot_alive} alive");
+    }
+
+    #[test]
+    fn oversized_value_rejected() {
+        let mut r = MiniRedis::new(100, 5, 4);
+        r.set(1, 1_000);
+        assert!(!r.get(1));
+        assert_eq!(r.used_memory(), 0);
+    }
+
+    #[test]
+    fn per_key_overhead_counts() {
+        let mut r = MiniRedis::new(1_000, 5, 5);
+        r.set_overhead_per_key(50);
+        r.set(1, 100);
+        assert_eq!(r.used_memory(), 150);
+    }
+
+    #[test]
+    fn lru_clock_wraparound_idle() {
+        let mut r = MiniRedis::new(1_000, 5, 6);
+        // Force the clock near the 24-bit boundary.
+        r.ticks = LRU_CLOCK_MAX - 1;
+        r.set(1, 10);
+        let lru_at_set = r.dict.peek(1).unwrap().lru;
+        r.ticks += 10; // wraps past 2^24
+        let idle = r.idle_time(lru_at_set);
+        assert_eq!(idle, 10);
+    }
+
+    #[test]
+    fn both_sampling_modes_enforce_memory() {
+        for mode in [SamplingMode::ClusteredWalk, SamplingMode::UniformRandom] {
+            let mut r = MiniRedis::with_mode(5_000, 5, mode, 7);
+            for i in 0..20_000u64 {
+                r.access(&Request::get(i % 200, 100));
+            }
+            assert!(r.used_memory() <= 5_000);
+            assert_eq!(r.len(), 50);
+            // With a loop of 200 keys and room for 50, most GETs miss.
+            assert!(r.stats().miss_ratio() > 0.5);
+        }
+    }
+
+    #[test]
+    fn approximates_lru_with_default_samples() {
+        // Skewed workload: the miss ratio with samples=10 should be close
+        // to exact LRU's (the Redis design claim the paper quotes).
+        use krr_core::rng::Xoshiro256;
+        use krr_sim::{Cache, Capacity, ExactLru};
+        let mut redis = MiniRedis::new(50_000, 10, 8);
+        let mut lru = ExactLru::new(Capacity::Bytes(50_000));
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let mut redis_hits = 0u64;
+        let mut lru_hits = 0u64;
+        let n = 200_000;
+        for _ in 0..n {
+            let u = rng.unit();
+            let key = (u * u * 5_000.0) as u64;
+            let req = Request::get(key, 100);
+            if redis.access(&req) {
+                redis_hits += 1;
+            }
+            if lru.access(&req) {
+                lru_hits += 1;
+            }
+        }
+        let a = redis_hits as f64 / n as f64;
+        let b = lru_hits as f64 / n as f64;
+        assert!((a - b).abs() < 0.03, "mini-redis hit {a} vs LRU {b}");
+    }
+}

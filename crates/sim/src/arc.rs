@@ -1,0 +1,275 @@
+//! ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST '03).
+//!
+//! The paper's §6.2 names ARC as the canonical *non-stack* policy: it
+//! violates the inclusion property, so no one-pass stack model exists and
+//! MRCs must come from (miniature) simulation. This implementation follows
+//! the published algorithm: recency list `T1` and frequency list `T2` with
+//! ghost lists `B1`/`B2`, and the adaptation parameter `p` nudged on ghost
+//! hits.
+//!
+//! Object-granularity only (ARC's published form is for fixed-size pages).
+
+use crate::{Cache, CacheStats, Capacity};
+use krr_core::hashing::KeyMap;
+use krr_trace::Request;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum List {
+    T1,
+    T2,
+    B1,
+    B2,
+}
+
+/// Adaptive Replacement Cache.
+#[derive(Debug)]
+pub struct ArcCache {
+    c: usize,
+    p: usize,
+    /// MRU at the front.
+    t1: VecDeque<u64>,
+    t2: VecDeque<u64>,
+    b1: VecDeque<u64>,
+    b2: VecDeque<u64>,
+    whereis: KeyMap<List>,
+    stats: CacheStats,
+}
+
+impl ArcCache {
+    /// Creates an ARC cache holding `capacity` objects.
+    #[must_use]
+    pub fn new(capacity: Capacity) -> Self {
+        let c = capacity.limit() as usize;
+        assert!(c > 0, "capacity must be positive");
+        Self {
+            c,
+            p: 0,
+            t1: VecDeque::new(),
+            t2: VecDeque::new(),
+            b1: VecDeque::new(),
+            b2: VecDeque::new(),
+            whereis: KeyMap::default(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Resident object count (`|T1| + |T2|`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.t1.len() + self.t2.len()
+    }
+
+    /// True if nothing is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The adaptation parameter `p` (target size of T1).
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    fn remove_from(list: &mut VecDeque<u64>, key: u64) {
+        if let Some(pos) = list.iter().position(|&k| k == key) {
+            list.remove(pos);
+        }
+    }
+
+    /// REPLACE(x): evict the LRU page of T1 or T2 into its ghost list,
+    /// steered by `p`.
+    fn replace(&mut self, in_b2: bool) {
+        let t1_len = self.t1.len();
+        if t1_len > 0 && (t1_len > self.p || (in_b2 && t1_len == self.p)) {
+            if let Some(victim) = self.t1.pop_back() {
+                self.b1.push_front(victim);
+                self.whereis.insert(victim, List::B1);
+            }
+        } else if let Some(victim) = self.t2.pop_back() {
+            self.b2.push_front(victim);
+            self.whereis.insert(victim, List::B2);
+        } else if let Some(victim) = self.t1.pop_back() {
+            self.b1.push_front(victim);
+            self.whereis.insert(victim, List::B1);
+        }
+    }
+}
+
+impl Cache for ArcCache {
+    fn access(&mut self, req: &Request) -> bool {
+        let key = req.key;
+        match self.whereis.get(&key).copied() {
+            // Case I: hit in T1 or T2 -> move to MRU of T2.
+            Some(List::T1) => {
+                self.stats.hits += 1;
+                Self::remove_from(&mut self.t1, key);
+                self.t2.push_front(key);
+                self.whereis.insert(key, List::T2);
+                true
+            }
+            Some(List::T2) => {
+                self.stats.hits += 1;
+                Self::remove_from(&mut self.t2, key);
+                self.t2.push_front(key);
+                true
+            }
+            // Case II: ghost hit in B1 -> favour recency (grow p).
+            Some(List::B1) => {
+                self.stats.misses += 1;
+                let delta = (self.b2.len() / self.b1.len().max(1)).max(1);
+                self.p = (self.p + delta).min(self.c);
+                self.replace(false);
+                Self::remove_from(&mut self.b1, key);
+                self.t2.push_front(key);
+                self.whereis.insert(key, List::T2);
+                false
+            }
+            // Case III: ghost hit in B2 -> favour frequency (shrink p).
+            Some(List::B2) => {
+                self.stats.misses += 1;
+                let delta = (self.b1.len() / self.b2.len().max(1)).max(1);
+                self.p = self.p.saturating_sub(delta);
+                self.replace(true);
+                Self::remove_from(&mut self.b2, key);
+                self.t2.push_front(key);
+                self.whereis.insert(key, List::T2);
+                false
+            }
+            // Case IV: complete miss.
+            None => {
+                self.stats.misses += 1;
+                let l1 = self.t1.len() + self.b1.len();
+                let l2 = self.t2.len() + self.b2.len();
+                if l1 == self.c {
+                    if self.t1.len() < self.c {
+                        if let Some(g) = self.b1.pop_back() {
+                            self.whereis.remove(&g);
+                        }
+                        self.replace(false);
+                    } else if let Some(victim) = self.t1.pop_back() {
+                        self.whereis.remove(&victim);
+                    }
+                } else if l1 < self.c && l1 + l2 >= self.c {
+                    if l1 + l2 == 2 * self.c {
+                        if let Some(g) = self.b2.pop_back() {
+                            self.whereis.remove(&g);
+                        }
+                    }
+                    self.replace(false);
+                }
+                self.t1.push_front(key);
+                self.whereis.insert(key, List::T1);
+                false
+            }
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::ExactLru;
+    use krr_core::rng::Xoshiro256;
+
+    fn get(key: u64) -> Request {
+        Request::unit(key)
+    }
+
+    #[test]
+    fn basic_hit_miss() {
+        let mut a = ArcCache::new(Capacity::Objects(2));
+        assert!(!a.access(&get(1)));
+        assert!(a.access(&get(1)));
+        assert!(!a.access(&get(2)));
+        assert!(!a.access(&get(3)));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut a = ArcCache::new(Capacity::Objects(50));
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for _ in 0..50_000 {
+            a.access(&get(rng.below(500)));
+            assert!(a.len() <= 50, "resident {}", a.len());
+            // Ghost lists are bounded too: |L1| <= c, |L1|+|L2| <= 2c.
+            assert!(a.t1.len() + a.b1.len() <= 50);
+            assert!(a.t1.len() + a.b1.len() + a.t2.len() + a.b2.len() <= 100);
+        }
+    }
+
+    #[test]
+    fn whereis_stays_consistent() {
+        let mut a = ArcCache::new(Capacity::Objects(20));
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        for _ in 0..20_000 {
+            a.access(&get(rng.below(200)));
+        }
+        assert_eq!(
+            a.whereis.len(),
+            a.t1.len() + a.t2.len() + a.b1.len() + a.b2.len(),
+            "index count mismatch"
+        );
+        for (&k, &l) in &a.whereis {
+            let list = match l {
+                List::T1 => &a.t1,
+                List::T2 => &a.t2,
+                List::B1 => &a.b1,
+                List::B2 => &a.b2,
+            };
+            assert!(list.contains(&k), "{k} not in its recorded list");
+        }
+    }
+
+    #[test]
+    fn scan_resistant_unlike_lru() {
+        // Hot set of 80 keys in a 100-object cache, plus a long one-shot
+        // scan; ARC's frequency list keeps the hot set alive.
+        let cap = Capacity::Objects(100);
+        let mut arc = ArcCache::new(cap);
+        let mut lru = ExactLru::new(cap);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut arc_hits = 0u64;
+        let mut lru_hits = 0u64;
+        let mut scan_key = 10_000u64;
+        for _ in 0..200_000 {
+            let r = if rng.unit() < 0.5 {
+                get(rng.below(80))
+            } else {
+                scan_key += 1;
+                get(scan_key)
+            };
+            if arc.access(&r) {
+                arc_hits += 1;
+            }
+            if lru.access(&r) {
+                lru_hits += 1;
+            }
+        }
+        assert!(
+            arc_hits as f64 > lru_hits as f64 * 1.2,
+            "ARC {arc_hits} should beat LRU {lru_hits} under scanning"
+        );
+    }
+
+    #[test]
+    fn adaptation_parameter_moves() {
+        // A working set slightly larger than the cache keeps evicted keys
+        // returning while they are still in the ghost lists, which is what
+        // drives the p adaptation.
+        let mut a = ArcCache::new(Capacity::Objects(20));
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let mut p_values = std::collections::HashSet::new();
+        for _ in 0..30_000u64 {
+            a.access(&get(rng.below(35)));
+            p_values.insert(a.p());
+        }
+        assert!(p_values.len() > 1, "p never adapted");
+    }
+}

@@ -1,0 +1,224 @@
+//! Count–min sketch and the TinyLFU admission/eviction score.
+//!
+//! The sketch estimates per-key frequencies in sublinear space; TinyLFU
+//! (Einziger et al.) uses it to compare an incoming object's frequency
+//! against a would-be victim's, which is also directly usable as a
+//! frequency-based [`crate::sampled::EvictionScore`] — a sketch-backed
+//! alternative to the per-object Morris counters of
+//! [`crate::klfu::KLfuCache`], closing the loop on the paper's
+//! "other metrics, such as access frequency" future work (§7).
+
+use crate::sampled::{EvictionScore, ObjectMeta};
+use krr_core::hashing::hash_key;
+use krr_core::rng::mix64;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Count–min sketch with conservative update and periodic halving (the
+/// TinyLFU "reset" that keeps estimates fresh).
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    rows: usize,
+    width: usize,
+    counters: Vec<u32>,
+    additions: u64,
+    /// Halve all counters after this many additions (0 disables aging).
+    reset_period: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `rows >= 1` hash rows of `width >= 16`
+    /// counters, aging every `reset_period` additions.
+    #[must_use]
+    pub fn new(rows: usize, width: usize, reset_period: u64) -> Self {
+        assert!(rows >= 1 && width >= 16);
+        Self { rows, width, counters: vec![0; rows * width], additions: 0, reset_period }
+    }
+
+    /// A TinyLFU-flavoured default sized for ~`capacity` tracked objects.
+    #[must_use]
+    pub fn for_capacity(capacity: u64) -> Self {
+        let width = (capacity as usize * 4).next_power_of_two().max(64);
+        Self::new(4, width, capacity.saturating_mul(10).max(1))
+    }
+
+    #[inline]
+    fn slot(&self, row: usize, key: u64) -> usize {
+        let h = mix64(hash_key(key) ^ (row as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        row * self.width + (h as usize & (self.width - 1))
+    }
+
+    /// Records one occurrence of `key` (conservative update).
+    pub fn add(&mut self, key: u64) {
+        let est = self.estimate(key);
+        for row in 0..self.rows {
+            let i = self.slot(row, key);
+            if u64::from(self.counters[i]) == est {
+                self.counters[i] = self.counters[i].saturating_add(1);
+            }
+        }
+        self.additions += 1;
+        if self.reset_period > 0 && self.additions >= self.reset_period {
+            self.halve();
+        }
+    }
+
+    /// Frequency estimate (an overestimate, never an underestimate between
+    /// halvings).
+    #[must_use]
+    pub fn estimate(&self, key: u64) -> u64 {
+        (0..self.rows)
+            .map(|row| u64::from(self.counters[self.slot(row, key)]))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// TinyLFU aging: halve every counter.
+    fn halve(&mut self) {
+        for c in &mut self.counters {
+            *c /= 2;
+        }
+        self.additions /= 2;
+    }
+
+    /// Total additions since the last halving (test/diagnostic use).
+    #[must_use]
+    pub fn additions(&self) -> u64 {
+        self.additions
+    }
+}
+
+/// A sketch-backed frequency eviction score: lower estimated frequency is
+/// evicted first, with recency (last access) as the tiebreaker. Sharing
+/// the sketch with the cache's touch path is the caller's job — see
+/// [`TinyLfuScore::sketch`].
+#[derive(Debug, Clone)]
+pub struct TinyLfuScore {
+    sketch: Rc<RefCell<CountMinSketch>>,
+}
+
+impl TinyLfuScore {
+    /// Creates a score with a sketch sized for `capacity` objects.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        Self { sketch: Rc::new(RefCell::new(CountMinSketch::for_capacity(capacity))) }
+    }
+
+    /// Handle to the shared sketch; call `borrow_mut().add(key)` on every
+    /// reference before the cache access.
+    #[must_use]
+    pub fn sketch(&self) -> Rc<RefCell<CountMinSketch>> {
+        Rc::clone(&self.sketch)
+    }
+}
+
+impl EvictionScore for TinyLfuScore {
+    fn score(&self, meta: &ObjectMeta, _now: u64) -> f64 {
+        // Estimated frequency, with recency as an epsilon tiebreaker so
+        // equal-frequency victims fall back to LRU order.
+        self.sketch.borrow().estimate(meta.key) as f64 + meta.last_access as f64 * 1e-12
+    }
+}
+
+impl TinyLfuScore {
+    /// Frequency score for an explicit key (diagnostic entry point).
+    #[must_use]
+    pub fn score_key(&self, key: u64) -> u64 {
+        self.sketch.borrow().estimate(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krr_core::rng::Xoshiro256;
+
+    #[test]
+    fn estimates_track_true_counts() {
+        let mut cms = CountMinSketch::new(4, 1 << 12, 0);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            let u = rng.unit();
+            let key = (u * u * 500.0) as u64;
+            cms.add(key);
+            *truth.entry(key).or_insert(0u64) += 1;
+        }
+        for (&key, &count) in &truth {
+            let est = cms.estimate(key);
+            assert!(est >= count, "CMS must never underestimate ({est} < {count})");
+            if count > 1_000 {
+                let rel = (est - count) as f64 / count as f64;
+                assert!(rel < 0.05, "hot key {key}: est {est} vs {count}");
+            }
+        }
+    }
+
+    #[test]
+    fn never_seen_keys_estimate_near_zero() {
+        let mut cms = CountMinSketch::new(4, 1 << 12, 0);
+        for key in 0..1_000u64 {
+            cms.add(key % 50);
+        }
+        let ghost_max =
+            (10_000..10_100u64).map(|k| cms.estimate(k)).max().unwrap_or(0);
+        assert!(ghost_max <= 2, "ghost estimate {ghost_max}");
+    }
+
+    #[test]
+    fn halving_ages_old_traffic() {
+        let mut cms = CountMinSketch::new(4, 1 << 10, 1_000);
+        for _ in 0..999 {
+            cms.add(7);
+        }
+        assert!(cms.estimate(7) >= 999);
+        cms.add(7); // triggers the halving
+        assert!(cms.estimate(7) <= 500, "estimate {} after halving", cms.estimate(7));
+    }
+
+    #[test]
+    fn sketch_backed_cache_keeps_frequent_objects() {
+        use crate::sampled::SampledCache;
+        use crate::{Cache, Capacity};
+        use krr_trace::Request;
+        let score = TinyLfuScore::new(200);
+        let sketch = score.sketch();
+        let mut cache = SampledCache::new(Capacity::Objects(100), 10, score, 3);
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let mut scan = 1_000_000u64;
+        let mut hot_hits = 0u64;
+        let mut hot_refs = 0u64;
+        for _ in 0..100_000 {
+            let key = if rng.unit() < 0.6 {
+                rng.below(80)
+            } else {
+                scan += 1;
+                scan
+            };
+            sketch.borrow_mut().add(key);
+            let hit = cache.access(&Request::unit(key));
+            if key < 80 {
+                hot_refs += 1;
+                if hit {
+                    hot_hits += 1;
+                }
+            }
+        }
+        let hot_ratio = hot_hits as f64 / hot_refs as f64;
+        assert!(hot_ratio > 0.9, "hot keys should nearly always hit ({hot_ratio})");
+    }
+
+    #[test]
+    fn score_key_prefers_frequent_objects() {
+        let score = TinyLfuScore::new(1_000);
+        {
+            let sketch = score.sketch();
+            let mut s = sketch.borrow_mut();
+            for _ in 0..100 {
+                s.add(1);
+            }
+            s.add(2);
+        }
+        assert!(score.score_key(1) > score.score_key(2));
+    }
+}

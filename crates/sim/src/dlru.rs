@@ -1,0 +1,213 @@
+//! DLRU: dynamically configured sampling size (Wang, Yang & Wang,
+//! MEMSYS '20) — the application that motivated the paper (§1).
+//!
+//! A K-LRU cache whose `K` is re-tuned online: a bank of lightweight KRR
+//! profilers (one per candidate `K`, fed spatially sampled references)
+//! predicts each candidate's miss ratio at the cache's current capacity;
+//! at every epoch boundary the cache switches to the best predicted `K`
+//! and the profilers restart, so decisions track the *current* regime
+//! rather than the whole history.
+//! On Type A workloads different `K` win at different cache sizes
+//! (Fig 1.1), so the adaptive cache tracks the per-size winner without
+//! ever simulating alternatives.
+
+use crate::klru::KLruCache;
+use crate::{Cache, CacheStats, Capacity};
+use krr_core::{KrrConfig, KrrModel};
+use krr_trace::Request;
+
+/// K-LRU cache with online, KRR-driven adaptation of the sampling size.
+pub struct DLruCache {
+    cache: KLruCache,
+    capacity: Capacity,
+    candidates: Vec<u32>,
+    models: Vec<KrrModel>,
+    rate: f64,
+    seed: u64,
+    epoch: u64,
+    accesses: u64,
+    switches: u64,
+}
+
+impl DLruCache {
+    /// Creates an adaptive cache choosing among `candidates` (must be
+    /// non-empty; the first is the initial `K`), re-deciding every
+    /// `epoch` requests using KRR profilers at spatial rate `rate`.
+    #[must_use]
+    pub fn new(
+        capacity: Capacity,
+        candidates: &[u32],
+        epoch: u64,
+        rate: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(!candidates.is_empty() && epoch > 0);
+        let models = Self::fresh_models(candidates, rate, seed);
+        Self {
+            cache: KLruCache::new(capacity, candidates[0], seed),
+            capacity,
+            candidates: candidates.to_vec(),
+            models,
+            rate,
+            seed,
+            epoch,
+            accesses: 0,
+            switches: 0,
+        }
+    }
+
+    fn fresh_models(candidates: &[u32], rate: f64, seed: u64) -> Vec<KrrModel> {
+        candidates
+            .iter()
+            .map(|&k| {
+                let mut cfg = KrrConfig::new(f64::from(k)).seed(seed ^ u64::from(k));
+                if rate < 1.0 {
+                    cfg = cfg.sampling(rate);
+                }
+                KrrModel::new(cfg)
+            })
+            .collect()
+    }
+
+    /// The sampling size currently in use.
+    #[must_use]
+    pub fn current_k(&self) -> u32 {
+        self.cache.k()
+    }
+
+    /// How many times the cache has switched `K`.
+    #[must_use]
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Predicted miss ratio of each candidate at the current capacity.
+    #[must_use]
+    pub fn predictions(&self) -> Vec<(u32, f64)> {
+        let c = self.capacity.limit() as f64;
+        self.candidates
+            .iter()
+            .zip(&self.models)
+            .map(|(&k, m)| (k, m.mrc().eval(c)))
+            .collect()
+    }
+
+    fn maybe_adapt(&mut self) {
+        if self.accesses % self.epoch != 0 {
+            return;
+        }
+        let preds = self.predictions();
+        let Some(&(best_k, best_miss)) =
+            preds.iter().min_by(|a, b| a.1.total_cmp(&b.1))
+        else {
+            return;
+        };
+        // Hysteresis: only switch for a clear win, and never on a profiler
+        // that hasn't seen enough samples yet.
+        let current = preds
+            .iter()
+            .find(|&&(k, _)| k == self.cache.k())
+            .map_or(1.0, |&(_, m)| m);
+        let enough = self
+            .models
+            .first()
+            .map(|m| m.stats().sampled > 1_000)
+            .unwrap_or(false);
+        if enough && best_k != self.cache.k() && best_miss + 0.01 < current {
+            // K only parameterizes eviction sampling, so switching it keeps
+            // every cached object — the flexibility §1 credits random
+            // sampling caches with ("one can dynamically configure the
+            // sampling size").
+            self.cache.set_k(best_k);
+            self.switches += 1;
+        }
+        // Restart the profilers so the next decision reflects the current
+        // workload regime, not the whole history.
+        self.models =
+            Self::fresh_models(&self.candidates, self.rate, self.seed ^ self.accesses);
+    }
+}
+
+impl Cache for DLruCache {
+    fn access(&mut self, req: &Request) -> bool {
+        self.accesses += 1;
+        for m in &mut self.models {
+            m.access(req.key, req.size);
+        }
+        self.maybe_adapt();
+        self.cache.access(req)
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krr_trace::patterns;
+
+    /// Loop of L keys through a cache of 0.6·L: K=1 (random replacement)
+    /// hits ~25% while LRU-like large K thrashes to ~0%. DLRU must discover
+    /// K=1.
+    #[test]
+    fn adapts_to_small_k_below_a_loop_cliff() {
+        let loop_len = 5_000u64;
+        let cap = Capacity::Objects(3_000);
+        let trace = patterns::loop_trace(loop_len, 400_000);
+        let mut dlru = DLruCache::new(cap, &[32, 4, 1], 20_000, 1.0, 1);
+        assert_eq!(dlru.current_k(), 32, "starts at the first candidate");
+        for r in &trace {
+            dlru.access(r);
+        }
+        assert_eq!(dlru.current_k(), 1, "should settle on K=1 for a loop");
+        assert!(dlru.switches() >= 1);
+
+        // And it must actually outperform the fixed initial choice.
+        let mut fixed = KLruCache::new(cap, 32, 1);
+        for r in &trace {
+            fixed.access(r);
+        }
+        let adaptive_miss = dlru.stats().miss_ratio();
+        let fixed_miss = fixed.stats().miss_ratio();
+        assert!(
+            adaptive_miss < fixed_miss - 0.05,
+            "adaptive {adaptive_miss} vs fixed-K32 {fixed_miss}"
+        );
+    }
+
+    /// On a K-insensitive (Type B) workload the predictions tie within the
+    /// hysteresis margin, so DLRU should not flap.
+    #[test]
+    fn stays_put_on_type_b_workloads() {
+        let trace = patterns::uniform_random(2_000, 200_000, 3);
+        let mut dlru = DLruCache::new(Capacity::Objects(1_000), &[4, 1, 16], 20_000, 1.0, 2);
+        for r in &trace {
+            dlru.access(r);
+        }
+        assert!(dlru.switches() <= 1, "switched {} times", dlru.switches());
+    }
+
+    #[test]
+    fn stats_accumulate_across_switches() {
+        let trace = patterns::loop_trace(1_000, 100_000);
+        let mut dlru = DLruCache::new(Capacity::Objects(600), &[16, 1], 10_000, 1.0, 4);
+        for r in &trace {
+            dlru.access(r);
+        }
+        let s = dlru.stats();
+        assert_eq!(s.hits + s.misses, trace.len() as u64);
+    }
+
+    #[test]
+    fn predictions_cover_all_candidates() {
+        let mut dlru = DLruCache::new(Capacity::Objects(100), &[1, 2, 4], 1_000, 1.0, 5);
+        for r in patterns::uniform_random(500, 5_000, 6) {
+            dlru.access(&r);
+        }
+        let p = dlru.predictions();
+        assert_eq!(p.len(), 3);
+        assert!(p.iter().all(|&(_, m)| (0.0..=1.0).contains(&m)));
+    }
+}

@@ -1,0 +1,292 @@
+//! A generic random sampling-based cache, parameterized by its eviction
+//! score — the family the paper's introduction surveys (K-LRU in Redis,
+//! sampled LFU, Hyperbolic caching, LHD) and its conclusion proposes to
+//! model next.
+//!
+//! On eviction, sample `K` residents and evict the one whose
+//! [`EvictionScore`] is lowest. [`crate::klru::KLruCache`] and
+//! [`crate::klfu::KLfuCache`] remain the tuned concrete implementations;
+//! this module exists to host *function-based* policies like
+//! [`HyperbolicScore`] (Blankstein et al., ATC '17: priority =
+//! hits / time-in-cache) and to make new priority functions one small impl
+//! away.
+
+use crate::{Cache, CacheStats, Capacity};
+use krr_core::hashing::KeyMap;
+use krr_core::rng::Xoshiro256;
+use krr_trace::Request;
+
+/// Per-object bookkeeping visible to scoring functions.
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectMeta {
+    /// Object key (lets sketch-backed scores look frequencies up).
+    pub key: u64,
+    /// Logical clock value when the object was inserted.
+    pub inserted_at: u64,
+    /// Logical clock value of the most recent access.
+    pub last_access: u64,
+    /// Number of hits since insertion (the insertion itself excluded).
+    pub hits: u64,
+    /// Object size in bytes.
+    pub size: u32,
+}
+
+/// An eviction priority: *lower scores are evicted first*.
+pub trait EvictionScore {
+    /// Scores `meta` at logical time `now`.
+    fn score(&self, meta: &ObjectMeta, now: u64) -> f64;
+}
+
+/// Recency score: sampled LRU (equivalent to [`crate::klru::KLruCache`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LruScore;
+
+impl EvictionScore for LruScore {
+    fn score(&self, meta: &ObjectMeta, _now: u64) -> f64 {
+        meta.last_access as f64
+    }
+}
+
+/// Hyperbolic caching (Blankstein et al., ATC '17): priority is the
+/// object's hit *rate* over its lifetime in cache, `hits / age`; per-byte
+/// when `per_byte` is set (their cost-aware variant with cost = size).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HyperbolicScore {
+    /// Divide the score by object size (prefer evicting big cold objects).
+    pub per_byte: bool,
+}
+
+impl EvictionScore for HyperbolicScore {
+    fn score(&self, meta: &ObjectMeta, now: u64) -> f64 {
+        let age = (now.saturating_sub(meta.inserted_at)).max(1) as f64;
+        // +1: the insertion reference counts as the first hit, as in the
+        // paper's estimator.
+        let base = (meta.hits + 1) as f64 / age;
+        if self.per_byte {
+            base / f64::from(meta.size.max(1))
+        } else {
+            base
+        }
+    }
+}
+
+/// Random sampling-based cache generic over the eviction score.
+#[derive(Debug)]
+pub struct SampledCache<S: EvictionScore> {
+    score: S,
+    capacity: Capacity,
+    k: u32,
+    map: KeyMap<u32>,
+    slots: Vec<(u64, ObjectMeta)>,
+    clock: u64,
+    used_bytes: u64,
+    rng: Xoshiro256,
+    stats: CacheStats,
+}
+
+impl<S: EvictionScore> SampledCache<S> {
+    /// Creates a cache with sampling size `k` and the given scoring
+    /// function.
+    #[must_use]
+    pub fn new(capacity: Capacity, k: u32, score: S, seed: u64) -> Self {
+        assert!(capacity.limit() > 0 && k >= 1);
+        Self {
+            score,
+            capacity,
+            k,
+            map: KeyMap::default(),
+            slots: Vec::new(),
+            clock: 0,
+            used_bytes: 0,
+            rng: Xoshiro256::seed_from_u64(seed),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Resident object count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if nothing is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Bytes resident.
+    #[must_use]
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    fn used(&self) -> u64 {
+        match self.capacity {
+            Capacity::Objects(_) => self.slots.len() as u64,
+            Capacity::Bytes(_) => self.used_bytes,
+        }
+    }
+
+    fn evict_one(&mut self) {
+        let n = self.slots.len();
+        debug_assert!(n > 0);
+        let mut victim = self.rng.below_usize(n);
+        let mut victim_score = self.score.score(&self.slots[victim].1, self.clock);
+        for _ in 1..self.k {
+            let cand = self.rng.below_usize(n);
+            let s = self.score.score(&self.slots[cand].1, self.clock);
+            if s < victim_score {
+                victim = cand;
+                victim_score = s;
+            }
+        }
+        let removed = self.slots.swap_remove(victim);
+        self.map.remove(&removed.0);
+        self.used_bytes -= u64::from(removed.1.size);
+        if victim < self.slots.len() {
+            self.map.insert(self.slots[victim].0, victim as u32);
+        }
+    }
+
+    fn remove_key(&mut self, key: u64) {
+        if let Some(&i) = self.map.get(&key) {
+            let i = i as usize;
+            let removed = self.slots.swap_remove(i);
+            self.map.remove(&removed.0);
+            self.used_bytes -= u64::from(removed.1.size);
+            if i < self.slots.len() {
+                self.map.insert(self.slots[i].0, i as u32);
+            }
+        }
+    }
+}
+
+impl<S: EvictionScore> Cache for SampledCache<S> {
+    fn access(&mut self, req: &Request) -> bool {
+        self.clock += 1;
+        let size = req.size.max(1);
+        if let Some(&i) = self.map.get(&req.key) {
+            self.stats.hits += 1;
+            let meta = &mut self.slots[i as usize].1;
+            meta.last_access = self.clock;
+            meta.hits += 1;
+            let old = meta.size;
+            meta.size = size;
+            self.used_bytes = self.used_bytes - u64::from(old) + u64::from(size);
+            while self.used() > self.capacity.limit() && self.slots.len() > 1 {
+                self.evict_one();
+            }
+            if self.used() > self.capacity.limit() {
+                self.remove_key(req.key);
+            }
+            return true;
+        }
+        self.stats.misses += 1;
+        if u64::from(size) > self.capacity.limit() {
+            return false;
+        }
+        let need = match self.capacity {
+            Capacity::Objects(_) => 1,
+            Capacity::Bytes(_) => u64::from(size),
+        };
+        while self.used() + need > self.capacity.limit() {
+            self.evict_one();
+        }
+        let meta =
+            ObjectMeta { key: req.key, inserted_at: self.clock, last_access: self.clock, hits: 0, size };
+        let i = self.slots.len() as u32;
+        self.slots.push((req.key, meta));
+        self.map.insert(req.key, i);
+        self.used_bytes += u64::from(size);
+        false
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::klru::KLruCache;
+    use krr_core::rng::Xoshiro256;
+
+    fn get(key: u64) -> Request {
+        Request::unit(key)
+    }
+
+    #[test]
+    fn lru_score_matches_klru_statistically() {
+        // Same policy, two implementations: miss ratios must agree.
+        let cap = Capacity::Objects(200);
+        let mut generic = SampledCache::new(cap, 5, LruScore, 1);
+        let mut tuned = KLruCache::new(cap, 5, 2);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..200_000 {
+            let u = rng.unit();
+            let r = get((u * u * 2_000.0) as u64);
+            generic.access(&r);
+            tuned.access(&r);
+        }
+        let a = generic.stats().miss_ratio();
+        let b = tuned.stats().miss_ratio();
+        assert!((a - b).abs() < 0.01, "generic {a} vs tuned {b}");
+    }
+
+    #[test]
+    fn hyperbolic_beats_sampled_lru_under_scan_pollution() {
+        // Hyperbolic's hit-rate priority ejects one-shot scan objects fast.
+        let cap = Capacity::Objects(1_000);
+        let mut hyper = SampledCache::new(cap, 10, HyperbolicScore::default(), 4);
+        let mut lru = KLruCache::new(cap, 10, 4);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut scan = 1_000_000u64;
+        for _ in 0..300_000 {
+            let r = if rng.unit() < 0.3 {
+                scan += 1;
+                get(scan)
+            } else {
+                let u = rng.unit();
+                get((u * u * 3_000.0) as u64)
+            };
+            hyper.access(&r);
+            lru.access(&r);
+        }
+        let h = hyper.stats().miss_ratio();
+        let l = lru.stats().miss_ratio();
+        assert!(h < l - 0.01, "hyperbolic {h} should beat K-LRU {l}");
+    }
+
+    #[test]
+    fn per_byte_variant_prefers_evicting_large_objects() {
+        let cap = Capacity::Bytes(10_000);
+        let mut c = SampledCache::new(cap, 10, HyperbolicScore { per_byte: true }, 6);
+        // Insert equally-hot small and large objects, then churn.
+        for round in 0..200u64 {
+            for k in 0..50u64 {
+                c.access(&Request::get(k, 20)); // small
+                c.access(&Request::get(1_000 + k, 400)); // large
+            }
+            let _ = round;
+        }
+        let small_alive = (0..50u64).filter(|&k| c.map.contains_key(&k)).count();
+        let large_alive = (0..50u64).filter(|&k| c.map.contains_key(&(1_000 + k))).count();
+        assert!(
+            small_alive > large_alive,
+            "per-byte scoring should keep small objects ({small_alive} vs {large_alive})"
+        );
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut c = SampledCache::new(Capacity::Bytes(1_000), 3, HyperbolicScore::default(), 7);
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        for _ in 0..20_000 {
+            c.access(&Request::get(rng.below(300), (rng.below(90) + 10) as u32));
+            assert!(c.used_bytes() <= 1_000);
+        }
+        assert_eq!(c.map.len(), c.slots.len());
+    }
+}

@@ -1,0 +1,242 @@
+//! W-TinyLFU (Einziger, Friedman & Manes): windowed admission caching —
+//! the modern sketch-based design the paper's "other metrics" future work
+//! points toward, and the strongest practical foil for the sampled
+//! policies in the zoo.
+//!
+//! Structure: a small LRU **window** absorbs arrivals; on window overflow
+//! the evictee is offered to the **main** segmented-LRU region
+//! (probation + protected), where admission is decided by comparing
+//! count–min-sketch frequencies of the candidate and the main region's
+//! would-be victim. Object granularity (the published form).
+
+use crate::cms::CountMinSketch;
+use crate::{Cache, CacheStats, Capacity};
+use krr_core::hashing::KeyMap;
+use krr_trace::Request;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Window,
+    Probation,
+    Protected,
+}
+
+/// W-TinyLFU cache.
+#[derive(Debug)]
+pub struct WTinyLfuCache {
+    window_cap: usize,
+    probation_cap: usize,
+    protected_cap: usize,
+    /// MRU at the front for every queue.
+    window: VecDeque<u64>,
+    probation: VecDeque<u64>,
+    protected: VecDeque<u64>,
+    whereis: KeyMap<Segment>,
+    sketch: CountMinSketch,
+    stats: CacheStats,
+}
+
+impl WTinyLfuCache {
+    /// Creates a cache with the published default split: 1% window, and
+    /// an 80/20 protected/probation main region.
+    #[must_use]
+    pub fn new(capacity: Capacity) -> Self {
+        let c = capacity.limit() as usize;
+        assert!(c >= 4, "capacity must be at least 4 objects");
+        let window_cap = (c / 100).max(1);
+        let main = c - window_cap;
+        let protected_cap = main * 4 / 5;
+        let probation_cap = main - protected_cap;
+        Self {
+            window_cap,
+            probation_cap: probation_cap.max(1),
+            protected_cap: protected_cap.max(1),
+            window: VecDeque::new(),
+            probation: VecDeque::new(),
+            protected: VecDeque::new(),
+            whereis: KeyMap::default(),
+            sketch: CountMinSketch::for_capacity(c as u64),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Resident object count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.window.len() + self.probation.len() + self.protected.len()
+    }
+
+    /// True if nothing is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn remove_from(list: &mut VecDeque<u64>, key: u64) {
+        if let Some(pos) = list.iter().position(|&k| k == key) {
+            list.remove(pos);
+        }
+    }
+
+    /// Moves a probation hit into protected, demoting the protected LRU
+    /// back to probation when over budget.
+    fn promote(&mut self, key: u64) {
+        Self::remove_from(&mut self.probation, key);
+        self.protected.push_front(key);
+        self.whereis.insert(key, Segment::Protected);
+        if self.protected.len() > self.protected_cap {
+            if let Some(demoted) = self.protected.pop_back() {
+                self.probation.push_front(demoted);
+                self.whereis.insert(demoted, Segment::Probation);
+            }
+        }
+    }
+
+    /// Offers `candidate` (evicted from the window) to the main region.
+    fn admit_to_main(&mut self, candidate: u64) {
+        if self.probation.len() + self.protected.len()
+            < self.probation_cap + self.protected_cap
+        {
+            self.probation.push_front(candidate);
+            self.whereis.insert(candidate, Segment::Probation);
+            return;
+        }
+        // TinyLFU admission duel against the probation LRU.
+        let Some(&victim) = self.probation.back() else {
+            // Probation empty but main full: everything is protected;
+            // reject the candidate (it will return via the sketch if hot).
+            self.whereis.remove(&candidate);
+            return;
+        };
+        if self.sketch.estimate(candidate) > self.sketch.estimate(victim) {
+            self.probation.pop_back();
+            self.whereis.remove(&victim);
+            self.probation.push_front(candidate);
+            self.whereis.insert(candidate, Segment::Probation);
+        } else {
+            self.whereis.remove(&candidate);
+        }
+    }
+}
+
+impl Cache for WTinyLfuCache {
+    fn access(&mut self, req: &Request) -> bool {
+        let key = req.key;
+        self.sketch.add(key);
+        match self.whereis.get(&key).copied() {
+            Some(Segment::Window) => {
+                self.stats.hits += 1;
+                Self::remove_from(&mut self.window, key);
+                self.window.push_front(key);
+                true
+            }
+            Some(Segment::Probation) => {
+                self.stats.hits += 1;
+                self.promote(key);
+                true
+            }
+            Some(Segment::Protected) => {
+                self.stats.hits += 1;
+                Self::remove_from(&mut self.protected, key);
+                self.protected.push_front(key);
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                self.window.push_front(key);
+                self.whereis.insert(key, Segment::Window);
+                if self.window.len() > self.window_cap {
+                    if let Some(evictee) = self.window.pop_back() {
+                        self.admit_to_main(evictee);
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::klru::KLruCache;
+    use krr_core::rng::Xoshiro256;
+
+    fn get(key: u64) -> Request {
+        Request::unit(key)
+    }
+
+    #[test]
+    fn basic_hit_miss() {
+        let mut c = WTinyLfuCache::new(Capacity::Objects(100));
+        assert!(!c.access(&get(1)));
+        assert!(c.access(&get(1)));
+        assert!(c.len() <= 100);
+    }
+
+    #[test]
+    fn capacity_bounded_under_churn() {
+        let mut c = WTinyLfuCache::new(Capacity::Objects(64));
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for _ in 0..50_000 {
+            c.access(&get(rng.below(1_000)));
+            assert!(c.len() <= 64, "resident {}", c.len());
+        }
+        assert_eq!(
+            c.whereis.len(),
+            c.len(),
+            "index must track exactly the resident set"
+        );
+    }
+
+    #[test]
+    fn scan_resistance_beats_sampled_lru() {
+        // Hot Zipf set + one-shot scan stream: the admission filter should
+        // refuse the scan keys and keep the hot set.
+        let cap = Capacity::Objects(500);
+        let mut wt = WTinyLfuCache::new(cap);
+        let mut klru = KLruCache::new(cap, 5, 2);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut scan = 10_000_000u64;
+        let mut wt_hits = 0u64;
+        let mut klru_hits = 0u64;
+        let n = 300_000;
+        for _ in 0..n {
+            let r = if rng.unit() < 0.35 {
+                scan += 1;
+                get(scan)
+            } else {
+                let u = rng.unit();
+                get((u * u * 2_000.0) as u64)
+            };
+            if wt.access(&r) {
+                wt_hits += 1;
+            }
+            if klru.access(&r) {
+                klru_hits += 1;
+            }
+        }
+        assert!(
+            wt_hits > klru_hits,
+            "W-TinyLFU {wt_hits} should beat K-LRU {klru_hits} under scans"
+        );
+    }
+
+    #[test]
+    fn hot_keys_reach_protected() {
+        let mut c = WTinyLfuCache::new(Capacity::Objects(200));
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        for _ in 0..20_000 {
+            let u = rng.unit();
+            c.access(&get((u * u * 400.0) as u64));
+        }
+        assert!(!c.protected.is_empty(), "hot keys should be promoted");
+        // The hottest key must be protected by now.
+        assert_eq!(c.whereis.get(&0).copied(), Some(Segment::Protected));
+    }
+}

@@ -1,0 +1,190 @@
+//! Workload characterization: the statistics the paper's §5.2-§5.3
+//! reasoning rests on, computed from any trace.
+//!
+//! * reuse-time distribution summaries (how recency-friendly a trace is),
+//! * popularity skew via a maximum-likelihood-ish Zipf exponent fit over
+//!   the rank-frequency curve,
+//! * working-set growth (cold-miss curve),
+//! * a Type A/B indicator: the mass of near-constant reuse times (loop
+//!   signature) — traces with a strong loop signature are the ones where
+//!   the K-LRU sampling size matters (Fig 5.2).
+
+use crate::request::Request;
+use krr_core::hashing::KeyMap;
+
+/// Summary statistics of a trace's reuse structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Characterization {
+    /// Total requests.
+    pub requests: u64,
+    /// Distinct keys.
+    pub distinct: u64,
+    /// Cold-miss (compulsory) fraction.
+    pub cold_fraction: f64,
+    /// Median reuse time (references), if any re-references exist.
+    pub median_reuse: Option<u64>,
+    /// 90th-percentile reuse time.
+    pub p90_reuse: Option<u64>,
+    /// Fitted Zipf exponent of the key popularity distribution.
+    pub zipf_exponent: f64,
+    /// Fraction of re-references whose reuse time falls in the modal
+    /// quarter-octave bucket (±1) — near 1.0 for pure loops, near 0 for
+    /// recency/frequency traffic.
+    pub loop_signature: f64,
+}
+
+impl Characterization {
+    /// Heuristic Type A/B classification (Fig 5.2): loop-dominated traces
+    /// are the K-sensitive ones.
+    #[must_use]
+    pub fn is_type_a(&self) -> bool {
+        self.loop_signature > 0.2
+    }
+}
+
+/// Characterizes a trace in two passes (reuse times, then rank-frequency).
+#[must_use]
+pub fn characterize(trace: &[Request]) -> Characterization {
+    let mut last: KeyMap<u64> = KeyMap::default();
+    let mut freq: KeyMap<u64> = KeyMap::default();
+    let mut reuse_times: Vec<u64> = Vec::new();
+    for (t, r) in trace.iter().enumerate() {
+        let now = t as u64 + 1;
+        if let Some(prev) = last.insert(r.key, now) {
+            reuse_times.push(now - prev);
+        }
+        *freq.entry(r.key).or_insert(0) += 1;
+    }
+    let requests = trace.len() as u64;
+    let distinct = last.len() as u64;
+    let cold_fraction = if requests == 0 { 0.0 } else { distinct as f64 / requests as f64 };
+
+    reuse_times.sort_unstable();
+    let pct = |p: f64| -> Option<u64> {
+        if reuse_times.is_empty() {
+            None
+        } else {
+            let idx = ((reuse_times.len() - 1) as f64 * p).round() as usize;
+            Some(reuse_times[idx])
+        }
+    };
+    let median_reuse = pct(0.5);
+    let p90_reuse = pct(0.9);
+
+    Characterization {
+        requests,
+        distinct,
+        cold_fraction,
+        median_reuse,
+        p90_reuse,
+        zipf_exponent: fit_zipf(&freq),
+        loop_signature: loop_signature(&reuse_times),
+    }
+}
+
+/// Least-squares slope of log(frequency) vs log(rank) over the top ranks —
+/// the standard quick Zipf-exponent estimate.
+fn fit_zipf(freq: &KeyMap<u64>) -> f64 {
+    let mut counts: Vec<u64> = freq.values().copied().collect();
+    if counts.is_empty() {
+        return 0.0;
+    }
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    // Head-of-distribution fit: tail ranks are noise-dominated.
+    let take = counts.len().clamp(1, 1_000);
+    let pts: Vec<(f64, f64)> = counts[..take]
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, &c)| (((i + 1) as f64).ln(), (c as f64).ln()))
+        .collect();
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return 0.0;
+    }
+    // Slope is negative for Zipf; report the positive exponent.
+    (-(n * sxy - sx * sy) / denom).max(0.0)
+}
+
+/// Fraction of re-references in the modal log-scale reuse-time bucket and
+/// its two neighbours.
+fn loop_signature(sorted_reuse: &[u64]) -> f64 {
+    if sorted_reuse.is_empty() {
+        return 0.0;
+    }
+    // Log-scale buckets (quarter-octave) over reuse times.
+    let bucket = |r: u64| ((r.max(1) as f64).log2() * 4.0).floor() as i64;
+    let mut counts: std::collections::HashMap<i64, u64> = std::collections::HashMap::new();
+    for &r in sorted_reuse {
+        *counts.entry(bucket(r)).or_insert(0) += 1;
+    }
+    let (&modal, _) = counts.iter().max_by_key(|(_, &c)| c).expect("non-empty");
+    let near: u64 = (modal - 1..=modal + 1).map(|b| counts.get(&b).copied().unwrap_or(0)).sum();
+    near as f64 / sorted_reuse.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns;
+    use crate::ycsb::WorkloadC;
+
+    #[test]
+    fn loop_trace_has_strong_loop_signature() {
+        let c = characterize(&patterns::loop_trace(1_000, 50_000));
+        assert!(c.loop_signature > 0.95, "signature {}", c.loop_signature);
+        assert!(c.is_type_a());
+        assert_eq!(c.median_reuse, Some(1_000));
+        assert_eq!(c.distinct, 1_000);
+    }
+
+    #[test]
+    fn zipf_trace_exponent_is_recovered() {
+        for theta in [0.6f64, 0.99] {
+            let mut w = WorkloadC::new(20_000, theta);
+            w.scrambled = false;
+            let trace = w.generate(400_000, 1);
+            let c = characterize(&trace);
+            assert!(
+                (c.zipf_exponent - theta).abs() < 0.15,
+                "theta {theta}: fitted {}",
+                c.zipf_exponent
+            );
+            assert!(!c.is_type_a(), "Zipf is Type B (signature {})", c.loop_signature);
+        }
+    }
+
+    #[test]
+    fn sequential_trace_is_all_cold() {
+        let c = characterize(&patterns::sequential(10_000));
+        assert_eq!(c.cold_fraction, 1.0);
+        assert_eq!(c.median_reuse, None);
+        assert_eq!(c.loop_signature, 0.0);
+    }
+
+    #[test]
+    fn msr_type_a_vs_type_b_classification() {
+        use crate::msr;
+        let a = characterize(&msr::profile(msr::MsrTrace::Src2).generate(200_000, 2, 0.05));
+        let b = characterize(&msr::profile(msr::MsrTrace::Prxy).generate(200_000, 3, 0.05));
+        assert!(a.loop_signature > b.loop_signature, "{} vs {}", a.loop_signature, b.loop_signature);
+        assert!(a.is_type_a());
+        assert!(!b.is_type_a());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let c = characterize(&[]);
+        assert_eq!(c.requests, 0);
+        assert_eq!(c.cold_fraction, 0.0);
+        assert_eq!(c.zipf_exponent, 0.0);
+    }
+}

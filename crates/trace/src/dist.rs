@@ -1,0 +1,160 @@
+//! Object-size distributions for variable-size workloads (§4.4.1, §5.4).
+//!
+//! The Twitter characterization (Yang et al., OSDI '20) reports heavily
+//! skewed value sizes; we provide lognormal and bounded-Pareto samplers
+//! (implemented from scratch — inverse CDF for Pareto, Box–Muller for the
+//! normal underlying the lognormal) plus the simple shapes used in tests.
+//! Sizes are *stable per key*: the same key always gets the same size,
+//! derived from a hash-seeded draw, mirroring real objects.
+
+use krr_core::hashing::hash_key;
+use krr_core::rng::Xoshiro256;
+
+/// A distribution over object sizes in bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizeDist {
+    /// Every object has the same size.
+    Fixed(u32),
+    /// Uniform over `[lo, hi]`.
+    Uniform {
+        /// Smallest size.
+        lo: u32,
+        /// Largest size.
+        hi: u32,
+    },
+    /// Bounded Pareto with minimum `scale`, tail index `shape`, truncated
+    /// at `cap`.
+    Pareto {
+        /// Minimum size (the Pareto scale parameter).
+        scale: f64,
+        /// Tail index (smaller = heavier tail).
+        shape: f64,
+        /// Upper truncation in bytes.
+        cap: u32,
+    },
+    /// Lognormal with the given parameters of the underlying normal,
+    /// truncated at `cap`.
+    LogNormal {
+        /// Mean of `ln(size)`.
+        mu: f64,
+        /// Std-dev of `ln(size)`.
+        sigma: f64,
+        /// Upper truncation in bytes.
+        cap: u32,
+    },
+}
+
+impl SizeDist {
+    /// Draws a size using `rng`. Results are clamped to `[1, cap]` where a
+    /// cap applies.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u32 {
+        match *self {
+            SizeDist::Fixed(s) => s.max(1),
+            SizeDist::Uniform { lo, hi } => {
+                assert!(lo <= hi);
+                let lo = lo.max(1);
+                lo + rng.below(u64::from(hi - lo) + 1) as u32
+            }
+            SizeDist::Pareto { scale, shape, cap } => {
+                // Inverse CDF: x = scale / U^{1/shape}.
+                let u = rng.unit_open_low();
+                let x = scale / u.powf(1.0 / shape);
+                (x.round() as u64).clamp(1, u64::from(cap.max(1))) as u32
+            }
+            SizeDist::LogNormal { mu, sigma, cap } => {
+                // Box–Muller transform.
+                let u1 = rng.unit_open_low();
+                let u2 = rng.unit();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let x = (mu + sigma * z).exp();
+                (x.round() as u64).clamp(1, u64::from(cap.max(1))) as u32
+            }
+        }
+    }
+
+    /// The stable size of `key`: a single draw from a generator seeded by
+    /// `hash(key) ^ seed`, so it is reproducible and independent across keys.
+    #[must_use]
+    pub fn size_for_key(&self, key: u64, seed: u64) -> u32 {
+        match *self {
+            SizeDist::Fixed(s) => s.max(1),
+            _ => {
+                let mut rng = Xoshiro256::seed_from_u64(hash_key(key) ^ seed);
+                self.sample(&mut rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_fixed() {
+        let d = SizeDist::Fixed(200);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 200);
+        }
+        assert_eq!(SizeDist::Fixed(0).sample(&mut rng), 1, "zero clamps to 1");
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let d = SizeDist::Uniform { lo: 10, hi: 20 };
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let s = d.sample(&mut rng);
+            assert!((10..=20).contains(&s));
+            seen.insert(s);
+        }
+        assert_eq!(seen.len(), 11);
+    }
+
+    #[test]
+    fn pareto_mean_matches_theory() {
+        // Untruncated Pareto mean = scale*shape/(shape-1); use a huge cap.
+        let d = SizeDist::Pareto { scale: 100.0, shape: 3.0, cap: u32::MAX };
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| f64::from(d.sample(&mut rng))).sum::<f64>() / n as f64;
+        let expect = 100.0 * 3.0 / 2.0;
+        assert!((mean - expect).abs() / expect < 0.03, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_cap() {
+        let d = SizeDist::Pareto { scale: 64.0, shape: 1.2, cap: 4096 };
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((64..=4096).contains(&s));
+        }
+    }
+
+    #[test]
+    fn lognormal_median_matches_theory() {
+        let d = SizeDist::LogNormal { mu: 6.0, sigma: 1.0, cap: u32::MAX };
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100_001).map(|_| d.sample(&mut rng)).collect();
+        v.sort_unstable();
+        let median = f64::from(v[50_000]);
+        let expect = 6.0f64.exp();
+        assert!((median - expect).abs() / expect < 0.05, "median {median} vs {expect}");
+    }
+
+    #[test]
+    fn size_for_key_is_stable_and_diverse() {
+        let d = SizeDist::LogNormal { mu: 5.0, sigma: 1.5, cap: 1 << 20 };
+        let mut distinct = std::collections::HashSet::new();
+        for key in 0..1000u64 {
+            let a = d.size_for_key(key, 99);
+            assert_eq!(a, d.size_for_key(key, 99), "must be stable per key");
+            distinct.insert(a);
+        }
+        assert!(distinct.len() > 500, "sizes should be diverse, got {}", distinct.len());
+        assert_ne!(d.size_for_key(1, 99), d.size_for_key(1, 100), "seed changes sizes");
+    }
+}

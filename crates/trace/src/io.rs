@@ -1,0 +1,87 @@
+//! Plain-text trace persistence: one request per line, `op,key,size`.
+//!
+//! Keeps generated workloads inspectable and lets the bench harness reuse
+//! expensive traces across runs without extra dependencies.
+
+use crate::request::{Op, Request, Trace};
+use std::io::{self, BufRead, Write};
+
+/// Writes a trace in CSV form (`get|set,key,size` per line).
+pub fn write_csv<W: Write>(mut w: W, trace: &[Request]) -> io::Result<()> {
+    for r in trace {
+        let op = match r.op {
+            Op::Get => "get",
+            Op::Set => "set",
+        };
+        writeln!(w, "{op},{},{}", r.key, r.size)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_csv`]. Blank lines and `#` comments are
+/// skipped; malformed lines produce an error naming the line number.
+pub fn read_csv<R: BufRead>(r: R) -> io::Result<Trace> {
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',');
+        fn parse<'a>(s: Option<&'a str>, what: &str, lineno: usize) -> io::Result<&'a str> {
+            s.map(str::trim).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: missing {what}", lineno + 1),
+                )
+            })
+        }
+        let op = match parse(parts.next(), "op", lineno)? {
+            "get" | "GET" => Op::Get,
+            "set" | "SET" => Op::Set,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: unknown op {other:?}", lineno + 1),
+                ))
+            }
+        };
+        let key = parse(parts.next(), "key", lineno)?.parse::<u64>().map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+        })?;
+        let size = parse(parts.next(), "size", lineno)?.parse::<u32>().map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+        })?;
+        out.push(Request { key, size, op });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let trace = vec![Request::get(1, 100), Request::set(42, 7), Request::unit(9)];
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &trace).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\nget,5,1\n";
+        let t = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(t, vec![Request::unit(5)]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(read_csv("frob,1,2\n".as_bytes()).is_err());
+        assert!(read_csv("get,notanumber,2\n".as_bytes()).is_err());
+        assert!(read_csv("get,1\n".as_bytes()).is_err());
+    }
+}

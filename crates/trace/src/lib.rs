@@ -1,0 +1,29 @@
+//! # krr-trace
+//!
+//! Workload substrate for the KRR reproduction: the request/trace model and
+//! from-scratch synthetic generators standing in for the paper's MSR, YCSB
+//! and Twitter traces (see DESIGN.md §2 for the substitution rationale).
+//!
+//! ```
+//! use krr_trace::ycsb::WorkloadC;
+//!
+//! let trace = WorkloadC::new(10_000, 0.99).generate(1_000, 42);
+//! assert_eq!(trace.len(), 1_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod analyze;
+pub mod dist;
+pub mod io;
+pub mod msr;
+pub mod patterns;
+pub mod real_traces;
+pub mod request;
+pub mod twitter;
+pub mod ycsb;
+pub mod zipf;
+
+pub use request::{stats, Op, Request, Trace, TraceStats};
+pub use zipf::{ScrambledZipf, Zipf};

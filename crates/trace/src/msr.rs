@@ -1,0 +1,379 @@
+//! Synthetic MSR-Cambridge-like block I/O traces (§5.2 substitution).
+//!
+//! The real MSR suite is 13 week-long enterprise server traces. What the
+//! paper's evaluation actually consumes is their *reuse structure*:
+//!
+//! * **Type A** traces (src1, src2, web, proj, …) show a large gap between
+//!   the exact-LRU MRC and the random-replacement (K=1) MRC, with miss
+//!   ratio improving as K grows (Fig 1.1) — the regime where modeling K
+//!   matters (Fig 5.2a).
+//! * **Type B** traces (usr, …) are dominated by concave Zipf-like reuse
+//!   where all K yield nearly the same MRC (Fig 5.2b).
+//!
+//! This generator synthesizes both families from a four-component mixture,
+//! each component in its own key subspace so their reuse structures don't
+//! dilute one another:
+//!
+//! 1. *Static Zipf hotspot* — frequency-driven reuse (K-insensitive; the
+//!    Type B backbone).
+//! 2. *Two cyclic loops of different lengths* — scan-like cyclic reuse.
+//!    Each loop puts a cliff in the exact-LRU MRC; K-LRU smooths the cliff,
+//!    so the K curves fan out and *cross* the LRU curve (small K wins below
+//!    a cliff, large K above) — the Fig 1.1 spread.
+//! 3. *Sequential runs* — one-off scans over the Zipf space (cold traffic
+//!    and cache pollution).
+//!
+//! Each named profile also carries a block-size distribution for the
+//! variable-size experiments (§5.4), sizes stable per key as in the paper's
+//! "first request size" convention.
+
+use crate::dist::SizeDist;
+use crate::request::{Request, Trace};
+use crate::zipf::Zipf;
+use krr_core::rng::Xoshiro256;
+
+/// The 13 MSR server identities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum MsrTrace {
+    Hm,
+    Mds,
+    Prn,
+    Proj,
+    Prxy,
+    Rsrch,
+    Src1,
+    Src2,
+    Stg,
+    Ts,
+    Usr,
+    Wdev,
+    Web,
+}
+
+impl MsrTrace {
+    /// All 13 server traces.
+    pub const ALL: [MsrTrace; 13] = [
+        MsrTrace::Hm,
+        MsrTrace::Mds,
+        MsrTrace::Prn,
+        MsrTrace::Proj,
+        MsrTrace::Prxy,
+        MsrTrace::Rsrch,
+        MsrTrace::Src1,
+        MsrTrace::Src2,
+        MsrTrace::Stg,
+        MsrTrace::Ts,
+        MsrTrace::Usr,
+        MsrTrace::Wdev,
+        MsrTrace::Web,
+    ];
+
+    /// Short lowercase name as used in the paper's figures (`msr_web` etc.).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            MsrTrace::Hm => "hm",
+            MsrTrace::Mds => "mds",
+            MsrTrace::Prn => "prn",
+            MsrTrace::Proj => "proj",
+            MsrTrace::Prxy => "prxy",
+            MsrTrace::Rsrch => "rsrch",
+            MsrTrace::Src1 => "src1",
+            MsrTrace::Src2 => "src2",
+            MsrTrace::Stg => "stg",
+            MsrTrace::Ts => "ts",
+            MsrTrace::Usr => "usr",
+            MsrTrace::Wdev => "wdev",
+            MsrTrace::Web => "web",
+        }
+    }
+}
+
+/// Parameterization of one synthetic server trace. Component probabilities
+/// (`p_loop1`, `p_loop2`, `p_seq`) need not sum to 1; the remainder goes to
+/// the static Zipf hotspot.
+#[derive(Debug, Clone)]
+pub struct MsrProfile {
+    /// Trace name.
+    pub name: &'static str,
+    /// Zipf-hotspot keyspace in blocks at scale 1.0 (other components get
+    /// proportional disjoint subspaces).
+    pub blocks: u64,
+    /// Zipf exponent of the static hotspot.
+    pub theta: f64,
+    /// Probability of an access to the short loop.
+    pub p_loop1: f64,
+    /// Short-loop length as a fraction of `blocks`.
+    pub loop1_frac: f64,
+    /// Probability of an access to the long loop.
+    pub p_loop2: f64,
+    /// Long-loop length as a fraction of `blocks`.
+    pub loop2_frac: f64,
+    /// Fraction of requests that are sequential-scan traffic.
+    pub p_seq: f64,
+    /// Mean sequential run length (geometric).
+    pub seq_len: u64,
+    /// Block-size distribution for variable-size mode.
+    pub block_size: SizeDist,
+}
+
+/// Returns the tuned profile for a named trace.
+#[must_use]
+pub fn profile(trace: MsrTrace) -> MsrProfile {
+    // I/O sizes are 512B-aligned-ish and heavy-tailed.
+    let small_io = SizeDist::Pareto { scale: 4096.0, shape: 1.8, cap: 65_536 };
+    let large_io = SizeDist::Pareto { scale: 8192.0, shape: 1.3, cap: 262_144 };
+    // (name, blocks, theta, p_loop1, loop1_frac, p_loop2, loop2_frac,
+    //  p_seq, seq_len, sizes)
+    let p = match trace {
+        // --- Type A: loop/scan dominated, K curves fan out & cross -----
+        MsrTrace::Src1 => ("src1", 400_000, 0.8, 0.30, 0.35, 0.25, 1.30, 0.10, 2_000, large_io.clone()),
+        MsrTrace::Src2 => ("src2", 120_000, 0.7, 0.35, 0.40, 0.25, 1.40, 0.05, 400, small_io.clone()),
+        MsrTrace::Web => ("web", 250_000, 0.9, 0.35, 0.40, 0.30, 1.40, 0.05, 800, small_io.clone()),
+        MsrTrace::Proj => ("proj", 600_000, 0.8, 0.30, 0.30, 0.30, 1.50, 0.10, 3_000, large_io.clone()),
+        MsrTrace::Rsrch => ("rsrch", 60_000, 0.8, 0.40, 0.35, 0.20, 1.20, 0.05, 200, small_io.clone()),
+        MsrTrace::Hm => ("hm", 90_000, 0.9, 0.30, 0.30, 0.20, 1.10, 0.05, 300, small_io.clone()),
+        MsrTrace::Stg => ("stg", 150_000, 0.7, 0.25, 0.30, 0.20, 1.20, 0.20, 1_500, large_io.clone()),
+        MsrTrace::Ts => ("ts", 70_000, 0.8, 0.35, 0.35, 0.20, 1.30, 0.08, 500, small_io.clone()),
+        // --- Type B: Zipf-dominated, K-insensitive --------------------
+        MsrTrace::Usr => ("usr", 500_000, 1.05, 0.00, 0.0, 0.00, 0.0, 0.05, 100, large_io.clone()),
+        MsrTrace::Prxy => ("prxy", 200_000, 1.1, 0.00, 0.0, 0.00, 0.0, 0.03, 50, small_io.clone()),
+        MsrTrace::Mds => ("mds", 120_000, 0.95, 0.05, 0.10, 0.03, 0.50, 0.08, 200, small_io.clone()),
+        MsrTrace::Prn => ("prn", 180_000, 1.0, 0.06, 0.10, 0.04, 0.60, 0.08, 300, small_io.clone()),
+        MsrTrace::Wdev => ("wdev", 50_000, 1.0, 0.05, 0.10, 0.03, 0.50, 0.05, 100, small_io),
+    };
+    MsrProfile {
+        name: p.0,
+        blocks: p.1,
+        theta: p.2,
+        p_loop1: p.3,
+        loop1_frac: p.4,
+        p_loop2: p.5,
+        loop2_frac: p.6,
+        p_seq: p.7,
+        seq_len: p.8,
+        block_size: p.9,
+    }
+}
+
+impl MsrProfile {
+    /// Generates `n` uniform-size requests with the working set scaled by
+    /// `scale` (e.g. 0.1 shrinks the trace for fast experiments).
+    #[must_use]
+    pub fn generate(&self, n: usize, seed: u64, scale: f64) -> Trace {
+        self.generate_inner(n, seed, scale, false)
+    }
+
+    /// Generates `n` variable-size requests; block sizes come from the
+    /// profile's distribution and are stable per key.
+    #[must_use]
+    pub fn generate_var_size(&self, n: usize, seed: u64, scale: f64) -> Trace {
+        self.generate_inner(n, seed, scale, true)
+    }
+
+    fn generate_inner(&self, n: usize, seed: u64, scale: f64, var: bool) -> Trace {
+        assert!(scale > 0.0);
+        let blocks = ((self.blocks as f64 * scale) as u64).max(16);
+        let loop1 = ((blocks as f64 * self.loop1_frac) as u64).max(1);
+        let loop2 = ((blocks as f64 * self.loop2_frac) as u64).max(1);
+        // Disjoint subspaces so component reuse structures stay intact.
+        let loop1_base = blocks;
+        let loop2_base = blocks + loop1;
+
+        let zipf = Zipf::new(blocks, self.theta);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n);
+
+        // Persistent state: loop pointers survive between bursts, which is
+        // what makes each pattern a true cycle.
+        let mut pos1 = 0u64;
+        let mut pos2 = 0u64;
+        let mut seq_remaining = 0u64;
+        let mut seq_next = 0u64;
+
+        for _ in 0..n {
+            let key = if seq_remaining > 0 {
+                seq_remaining -= 1;
+                let k = seq_next;
+                seq_next = (seq_next + 1) % blocks;
+                k
+            } else {
+                let r = rng.unit();
+                if r < self.p_loop1 {
+                    let k = loop1_base + pos1;
+                    pos1 = (pos1 + 1) % loop1;
+                    k
+                } else if r < self.p_loop1 + self.p_loop2 {
+                    let k = loop2_base + pos2;
+                    pos2 = (pos2 + 1) % loop2;
+                    k
+                } else if r < self.p_loop1 + self.p_loop2 + self.p_seq / self.seq_len as f64 {
+                    // Start a geometric-length sequential run at a random
+                    // offset. Each run emits ~seq_len requests, so the
+                    // *start* probability is p_seq / seq_len, making p_seq
+                    // the overall fraction of sequential requests.
+                    seq_next = rng.below(blocks);
+                    seq_remaining = 1 + (-(rng.unit_open_low().ln()) * self.seq_len as f64) as u64;
+                    let k = seq_next;
+                    seq_next = (seq_next + 1) % blocks;
+                    k
+                } else {
+                    zipf.sample(&mut rng)
+                }
+            };
+            let size = if var {
+                // Sizes correlate with the component: loop/scan regions
+                // carry larger blocks than the hot random region (cold
+                // streamed data is big, hot metadata small). This is what
+                // makes the uniform-size assumption visibly wrong
+                // (Fig 5.3a / Pan et al. [18]).
+                let s = self.block_size.size_for_key(key, seed ^ 0xB10C);
+                if key >= loop2_base {
+                    s.saturating_mul(6)
+                } else if key >= loop1_base {
+                    s.saturating_mul(3)
+                } else {
+                    s
+                }
+            } else {
+                1
+            };
+            out.push(Request::get(key, size));
+        }
+        out
+    }
+}
+
+/// The merged "master" MSR trace used in Table 5.4: all 13 server traces
+/// interleaved round-robin with disjoint keyspaces.
+#[must_use]
+pub fn master_trace(n: usize, seed: u64, scale: f64) -> Trace {
+    let per = n / MsrTrace::ALL.len() + 1;
+    let subs: Vec<Trace> = MsrTrace::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            let mut sub = profile(t).generate(per, seed.wrapping_add(i as u64), scale);
+            let offset = (i as u64 + 1) << 40;
+            for r in &mut sub {
+                r.key += offset;
+            }
+            sub
+        })
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    let mut idx = 0usize;
+    'outer: loop {
+        for sub in &subs {
+            if out.len() >= n {
+                break 'outer;
+            }
+            if let Some(&r) = sub.get(idx) {
+                out.push(r);
+            }
+        }
+        idx += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::stats;
+
+    #[test]
+    fn all_profiles_generate() {
+        for t in MsrTrace::ALL {
+            let p = profile(t);
+            let trace = p.generate(20_000, 1, 0.1);
+            assert_eq!(trace.len(), 20_000);
+            let s = stats(&trace);
+            assert!(s.distinct > 100, "{}: distinct {}", p.name, s.distinct);
+        }
+    }
+
+    #[test]
+    fn loop_components_live_in_their_own_subspaces() {
+        let p = profile(MsrTrace::Src2);
+        let scale = 0.05;
+        let blocks = (p.blocks as f64 * scale) as u64;
+        let loop1 = ((blocks as f64) * p.loop1_frac) as u64;
+        let loop2 = ((blocks as f64) * p.loop2_frac) as u64;
+        let trace = p.generate(100_000, 2, scale);
+        let in1 = trace.iter().filter(|r| r.key >= blocks && r.key < blocks + loop1).count();
+        let in2 = trace
+            .iter()
+            .filter(|r| r.key >= blocks + loop1 && r.key < blocks + loop1 + loop2)
+            .count();
+        let f1 = in1 as f64 / trace.len() as f64;
+        let f2 = in2 as f64 / trace.len() as f64;
+        assert!((f1 - p.p_loop1).abs() < 0.02, "short loop fraction {f1}");
+        assert!((f2 - p.p_loop2).abs() < 0.02, "long loop fraction {f2}");
+    }
+
+    #[test]
+    fn loops_are_cyclic() {
+        let p = profile(MsrTrace::Web);
+        let scale = 0.05;
+        let blocks = (p.blocks as f64 * scale) as u64;
+        let loop1 = ((blocks as f64) * p.loop1_frac) as u64;
+        let trace = p.generate(200_000, 3, scale);
+        // Consecutive accesses within the short loop advance by exactly 1
+        // (mod loop length).
+        let hits: Vec<u64> = trace
+            .iter()
+            .filter(|r| r.key >= blocks && r.key < blocks + loop1)
+            .map(|r| r.key - blocks)
+            .collect();
+        assert!(hits.len() > 1000);
+        for w in hits.windows(2) {
+            assert_eq!(w[1], (w[0] + 1) % loop1, "loop must cycle in order");
+        }
+    }
+
+    #[test]
+    fn type_b_traces_are_zipf_dominated() {
+        let p = profile(MsrTrace::Prxy);
+        let trace = p.generate(100_000, 3, 0.1);
+        let mut counts = std::collections::HashMap::new();
+        for r in &trace {
+            *counts.entry(r.key).or_insert(0u64) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        assert!(max > 2_000, "Zipf head should be hot, got {max}");
+    }
+
+    #[test]
+    fn var_size_is_stable_per_key() {
+        let p = profile(MsrTrace::Web);
+        let trace = p.generate_var_size(50_000, 4, 0.05);
+        let mut sizes = std::collections::HashMap::new();
+        for r in &trace {
+            let prev = sizes.insert(r.key, r.size);
+            if let Some(prev) = prev {
+                assert_eq!(prev, r.size, "key {} size changed", r.key);
+            }
+            assert!(r.size >= 1);
+        }
+        let distinct_sizes: std::collections::HashSet<u32> = sizes.values().copied().collect();
+        assert!(distinct_sizes.len() > 50, "sizes should be diverse");
+    }
+
+    #[test]
+    fn master_trace_has_disjoint_subspaces() {
+        let t = master_trace(13_000, 5, 0.02);
+        assert_eq!(t.len(), 13_000);
+        let spaces: std::collections::HashSet<u64> = t.iter().map(|r| r.key >> 40).collect();
+        assert_eq!(spaces.len(), 13, "all 13 keyspaces should appear");
+    }
+
+    #[test]
+    fn scale_shrinks_working_set() {
+        let p = profile(MsrTrace::Web);
+        let small = stats(&p.generate(50_000, 6, 0.01)).distinct;
+        let large = stats(&p.generate(50_000, 6, 0.2)).distinct;
+        assert!(large > small * 2);
+    }
+}

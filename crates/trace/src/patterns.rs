@@ -1,0 +1,123 @@
+//! Elementary access patterns: the analytical corner cases of §4.2.
+//!
+//! The paper identifies the cyclic loop ("repeatedly access objects with
+//! same recency order") as KRR's worst case, motivating the K′ correction.
+//! These generators make that case — and other classical patterns —
+//! available to tests and ablation benches.
+
+use crate::request::{Request, Trace};
+use krr_core::rng::Xoshiro256;
+
+/// Cyclic loop: `0, 1, …, m-1, 0, 1, …` — every access has stack distance
+/// exactly `m` under LRU.
+#[must_use]
+pub fn loop_trace(m: u64, n: usize) -> Trace {
+    assert!(m >= 1);
+    (0..n).map(|i| Request::unit(i as u64 % m)).collect()
+}
+
+/// Single sequential pass over `n` distinct keys (all cold misses).
+#[must_use]
+pub fn sequential(n: usize) -> Trace {
+    (0..n).map(|i| Request::unit(i as u64)).collect()
+}
+
+/// Uniform random accesses over `m` keys.
+#[must_use]
+pub fn uniform_random(m: u64, n: usize, seed: u64) -> Trace {
+    assert!(m >= 1);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..n).map(|_| Request::unit(rng.below(m))).collect()
+}
+
+/// Stack-depth-`d` reuse: repeatedly touches a window of `d` keys then
+/// slides by `stride`, exercising a specific stack-distance band.
+#[must_use]
+pub fn sliding_window(d: u64, stride: u64, n: usize) -> Trace {
+    assert!(d >= 1);
+    let mut out = Vec::with_capacity(n);
+    let mut base = 0u64;
+    'outer: loop {
+        for i in 0..d {
+            if out.len() >= n {
+                break 'outer;
+            }
+            out.push(Request::unit(base + i));
+        }
+        base += stride;
+    }
+    out
+}
+
+/// Interleaves multiple traces round-robin with disjoint keyspaces
+/// (sub-trace `i` gets keys offset by `(i+1) << 40`).
+#[must_use]
+pub fn interleave(traces: &[Trace], n: usize) -> Trace {
+    let mut out = Vec::with_capacity(n);
+    let mut idx = 0usize;
+    'outer: loop {
+        let mut any = false;
+        for (i, t) in traces.iter().enumerate() {
+            if out.len() >= n {
+                break 'outer;
+            }
+            if let Some(&r) = t.get(idx) {
+                out.push(Request { key: r.key + ((i as u64 + 1) << 40), ..r });
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        idx += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::stats;
+
+    #[test]
+    fn loop_trace_cycles() {
+        let t = loop_trace(5, 12);
+        let keys: Vec<u64> = t.iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1]);
+    }
+
+    #[test]
+    fn sequential_is_all_distinct() {
+        let t = sequential(100);
+        assert_eq!(stats(&t).distinct, 100);
+    }
+
+    #[test]
+    fn uniform_random_covers_keyspace() {
+        let t = uniform_random(50, 10_000, 1);
+        assert_eq!(stats(&t).distinct, 50);
+    }
+
+    #[test]
+    fn sliding_window_reuses_within_window() {
+        let t = sliding_window(4, 2, 10);
+        let keys: Vec<u64> = t.iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 2, 3, 4, 5, 4, 5]);
+    }
+
+    #[test]
+    fn interleave_keeps_subspaces_disjoint() {
+        let a = loop_trace(3, 6);
+        let b = sequential(6);
+        let t = interleave(&[a, b], 12);
+        assert_eq!(t.len(), 12);
+        let spaces: std::collections::HashSet<u64> = t.iter().map(|r| r.key >> 40).collect();
+        assert_eq!(spaces.len(), 2);
+    }
+
+    #[test]
+    fn interleave_stops_when_sources_exhaust() {
+        let t = interleave(&[sequential(2), sequential(3)], 100);
+        assert_eq!(t.len(), 5);
+    }
+}

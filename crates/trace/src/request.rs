@@ -1,0 +1,114 @@
+//! The trace request model shared by every workload and consumer.
+
+/// Operation type of a cache request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Read. A miss brings the object into the cache.
+    Get,
+    /// Write/insert. Always installs the (possibly resized) object.
+    Set,
+}
+
+/// One cache reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Object key.
+    pub key: u64,
+    /// Object size in bytes (1 in uniform-size experiments).
+    pub size: u32,
+    /// Operation type.
+    pub op: Op,
+}
+
+impl Request {
+    /// A GET with explicit size.
+    #[must_use]
+    pub fn get(key: u64, size: u32) -> Self {
+        Self { key, size, op: Op::Get }
+    }
+
+    /// A SET with explicit size.
+    #[must_use]
+    pub fn set(key: u64, size: u32) -> Self {
+        Self { key, size, op: Op::Set }
+    }
+
+    /// A uniform-size (1 unit) GET, the paper's standard conversion
+    /// ("we convert every request to a standard get/set operation with
+    /// uniform object size").
+    #[must_use]
+    pub fn unit(key: u64) -> Self {
+        Self::get(key, 1)
+    }
+}
+
+/// A materialized trace.
+pub type Trace = Vec<Request>;
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    /// Total requests.
+    pub requests: u64,
+    /// Distinct keys (the working set size `M`).
+    pub distinct: u64,
+    /// Total bytes across distinct keys, using each key's *first* size
+    /// (the paper's MSR convention).
+    pub working_set_bytes: u64,
+    /// Fraction of SET operations.
+    pub set_fraction: f64,
+}
+
+/// Computes [`TraceStats`] in one pass.
+#[must_use]
+pub fn stats(trace: &[Request]) -> TraceStats {
+    use krr_core::hashing::KeyMap;
+    let mut first_sizes: KeyMap<u32> = KeyMap::default();
+    let mut sets = 0u64;
+    for r in trace {
+        first_sizes.entry(r.key).or_insert(r.size.max(1));
+        if r.op == Op::Set {
+            sets += 1;
+        }
+    }
+    TraceStats {
+        requests: trace.len() as u64,
+        distinct: first_sizes.len() as u64,
+        working_set_bytes: first_sizes.values().map(|&s| u64::from(s)).sum(),
+        set_fraction: if trace.is_empty() { 0.0 } else { sets as f64 / trace.len() as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_counts_distinct_and_bytes() {
+        let trace = vec![
+            Request::get(1, 100),
+            Request::set(2, 50),
+            Request::get(1, 100),
+            Request::get(3, 25),
+        ];
+        let s = stats(&trace);
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.working_set_bytes, 175);
+        assert!((s.set_fraction - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_size_wins() {
+        let trace = vec![Request::get(9, 10), Request::set(9, 999)];
+        assert_eq!(stats(&trace).working_set_bytes, 10);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = stats(&[]);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.distinct, 0);
+        assert_eq!(s.set_fraction, 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Twitter-production-like KV cache traces (§5.2 substitution).
+//!
+//! Modeled on the OSDI '20 characterization of Twitter's in-memory cache
+//! clusters: Zipfian key popularity with cluster-specific skew, a get/set
+//! mix, and heavily skewed value sizes (lognormal body). The four cluster
+//! profiles mirror the sub-traces the paper evaluates (26.0, 34.1, 45.0,
+//! 52.7): cluster 34.1 carries a scan/loop component making it Type A in
+//! Fig 5.2, while 45.0 is Zipf-dominated Type B.
+
+use crate::dist::SizeDist;
+use crate::request::{Op, Request, Trace};
+use crate::zipf::ScrambledZipf;
+use krr_core::rng::Xoshiro256;
+
+/// The four Twitter cluster sub-traces used in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum TwitterCluster {
+    C26_0,
+    C34_1,
+    C45_0,
+    C52_7,
+}
+
+impl TwitterCluster {
+    /// All four clusters.
+    pub const ALL: [TwitterCluster; 4] = [
+        TwitterCluster::C26_0,
+        TwitterCluster::C34_1,
+        TwitterCluster::C45_0,
+        TwitterCluster::C52_7,
+    ];
+
+    /// Name as used in the paper's figures.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TwitterCluster::C26_0 => "cluster26.0",
+            TwitterCluster::C34_1 => "cluster34.1",
+            TwitterCluster::C45_0 => "cluster45.0",
+            TwitterCluster::C52_7 => "cluster52.7",
+        }
+    }
+}
+
+/// Parameterization of one cluster's trace.
+#[derive(Debug, Clone)]
+pub struct TwitterProfile {
+    /// Cluster name.
+    pub name: &'static str,
+    /// Key population at scale 1.0.
+    pub keys: u64,
+    /// Zipf exponent of key popularity.
+    pub theta: f64,
+    /// Fraction of SET operations.
+    pub set_ratio: f64,
+    /// Probability a request advances a persistent cyclic re-read pattern
+    /// (feed regeneration); gives the cluster a Type A component.
+    pub p_loop: f64,
+    /// Loop region as a fraction of the key population.
+    pub loop_frac: f64,
+    /// Value-size distribution (stable per key).
+    pub value_size: SizeDist,
+}
+
+/// Returns the tuned profile for a cluster.
+#[must_use]
+pub fn profile(cluster: TwitterCluster) -> TwitterProfile {
+    let small_vals = SizeDist::LogNormal { mu: 5.0, sigma: 1.2, cap: 65_536 };
+    let medium_vals = SizeDist::LogNormal { mu: 6.2, sigma: 1.5, cap: 262_144 };
+    let p = match cluster {
+        TwitterCluster::C26_0 => ("cluster26.0", 300_000, 0.95, 0.02, 0.20, 0.40, small_vals),
+        // Type A: strong cyclic component.
+        TwitterCluster::C34_1 => ("cluster34.1", 150_000, 0.80, 0.05, 0.50, 0.60, medium_vals),
+        // Type B: pure skewed reuse.
+        TwitterCluster::C45_0 => ("cluster45.0", 400_000, 1.00, 0.30, 0.00, 0.0, small_vals.clone()),
+        TwitterCluster::C52_7 => ("cluster52.7", 80_000, 1.10, 0.10, 0.15, 0.30, small_vals),
+    };
+    TwitterProfile {
+        name: p.0,
+        keys: p.1,
+        theta: p.2,
+        set_ratio: p.3,
+        p_loop: p.4,
+        loop_frac: p.5,
+        value_size: p.6,
+    }
+}
+
+impl TwitterProfile {
+    /// Generates `n` requests. `var_size` selects per-key lognormal value
+    /// sizes; otherwise every object is 1 unit.
+    #[must_use]
+    pub fn generate(&self, n: usize, seed: u64, scale: f64, var_size: bool) -> Trace {
+        assert!(scale > 0.0);
+        let keys = ((self.keys as f64 * scale) as u64).max(16);
+        let loop_len = ((keys as f64 * self.loop_frac) as u64).max(1);
+        let zipf = ScrambledZipf::new(keys, self.theta);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut loop_pos = 0u64;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let key = if rng.unit() < self.p_loop {
+                let k = loop_pos;
+                loop_pos = (loop_pos + 1) % loop_len;
+                // Loop keys live in their own subspace above the Zipf keys.
+                keys + k
+            } else {
+                zipf.sample(&mut rng)
+            };
+            let size = if var_size {
+                self.value_size.size_for_key(key, seed ^ 0x7017)
+            } else {
+                1
+            };
+            let op = if rng.unit() < self.set_ratio { Op::Set } else { Op::Get };
+            out.push(Request { key, size, op });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::stats;
+
+    #[test]
+    fn all_clusters_generate() {
+        for c in TwitterCluster::ALL {
+            let p = profile(c);
+            let t = p.generate(30_000, 1, 0.1, true);
+            assert_eq!(t.len(), 30_000);
+            let s = stats(&t);
+            assert!(s.distinct > 100, "{}", p.name);
+            let expected_sets = p.set_ratio;
+            assert!(
+                (s.set_fraction - expected_sets).abs() < 0.02,
+                "{}: set fraction {} vs {}",
+                p.name,
+                s.set_fraction,
+                expected_sets
+            );
+        }
+    }
+
+    #[test]
+    fn var_sizes_are_skewed_and_stable() {
+        let p = profile(TwitterCluster::C26_0);
+        let t = p.generate(50_000, 2, 0.1, true);
+        let mut per_key = std::collections::HashMap::new();
+        for r in &t {
+            let prev = per_key.insert(r.key, r.size);
+            if let Some(prev) = prev {
+                assert_eq!(prev, r.size);
+            }
+        }
+        let sizes: Vec<u32> = per_key.values().copied().collect();
+        let mean = sizes.iter().map(|&s| f64::from(s)).sum::<f64>() / sizes.len() as f64;
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        let median = f64::from(sorted[sorted.len() / 2]);
+        assert!(mean > 1.3 * median, "lognormal sizes should be right-skewed");
+    }
+
+    #[test]
+    fn uniform_mode_emits_unit_sizes() {
+        let t = profile(TwitterCluster::C45_0).generate(1000, 3, 0.1, false);
+        assert!(t.iter().all(|r| r.size == 1));
+    }
+
+    #[test]
+    fn type_a_cluster_has_loop_component() {
+        let p = profile(TwitterCluster::C34_1);
+        let keys = ((p.keys as f64) * 0.05) as u64;
+        let t = p.generate(100_000, 4, 0.05, false);
+        let loop_accesses = t.iter().filter(|r| r.key >= keys).count();
+        assert!(
+            (loop_accesses as f64 / t.len() as f64 - p.p_loop).abs() < 0.02,
+            "loop fraction off: {}",
+            loop_accesses as f64 / t.len() as f64
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! From-scratch YCSB core workloads C and E (§5.2).
+//!
+//! * **Workload C** — read-only; keys drawn from a scrambled Zipfian over
+//!   the record space.
+//! * **Workload E** — scan-dominant; each operation picks a scan *start*
+//!   key from a scrambled Zipfian and a scan *length* uniformly in
+//!   `[1, max_scan_len]`, then touches that many consecutive records. The
+//!   paper configures `max_scan_len` equal to the record count.
+//!
+//! Both emit one [`Request`] per touched record, matching how a trace-driven
+//! cache sees the workload.
+
+use crate::request::{Request, Trace};
+use crate::zipf::{ScrambledZipf, Zipf};
+use krr_core::rng::Xoshiro256;
+
+/// YCSB Workload C: 100% reads, Zipfian key popularity.
+#[derive(Debug, Clone)]
+pub struct WorkloadC {
+    records: u64,
+    theta: f64,
+    /// Scramble ranks across the keyspace (YCSB default). Disable to get a
+    /// plain Zipfian where key 0 is hottest.
+    pub scrambled: bool,
+}
+
+impl WorkloadC {
+    /// Creates Workload C over `records` keys with Zipf exponent `theta`.
+    #[must_use]
+    pub fn new(records: u64, theta: f64) -> Self {
+        assert!(records >= 1);
+        Self { records, theta, scrambled: true }
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Generates `n` requests.
+    #[must_use]
+    pub fn generate(&self, n: usize, seed: u64) -> Trace {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n);
+        if self.scrambled {
+            let z = ScrambledZipf::new(self.records, self.theta);
+            out.extend((0..n).map(|_| Request::unit(z.sample(&mut rng))));
+        } else {
+            let z = Zipf::new(self.records, self.theta);
+            out.extend((0..n).map(|_| Request::unit(z.sample(&mut rng))));
+        }
+        out
+    }
+}
+
+/// YCSB Workload E: scan-dominant.
+#[derive(Debug, Clone)]
+pub struct WorkloadE {
+    records: u64,
+    theta: f64,
+    max_scan_len: u64,
+}
+
+impl WorkloadE {
+    /// Creates Workload E with the paper's configuration:
+    /// `max_scan_len = records`.
+    #[must_use]
+    pub fn new(records: u64, theta: f64) -> Self {
+        Self::with_max_scan(records, theta, records)
+    }
+
+    /// Creates Workload E with an explicit maximum scan length.
+    #[must_use]
+    pub fn with_max_scan(records: u64, theta: f64, max_scan_len: u64) -> Self {
+        assert!(records >= 1 && max_scan_len >= 1);
+        Self { records, theta, max_scan_len }
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Generates *at least* `n` requests (the final scan runs to
+    /// completion, as a real scan would).
+    #[must_use]
+    pub fn generate(&self, n: usize, seed: u64) -> Trace {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let start_gen = ScrambledZipf::new(self.records, self.theta);
+        let mut out = Vec::with_capacity(n + self.max_scan_len as usize);
+        while out.len() < n {
+            let start = start_gen.sample(&mut rng);
+            let len = 1 + rng.below(self.max_scan_len);
+            for i in 0..len {
+                // Scans run forward and stop at the end of the keyspace,
+                // like a range scan over an ordered store.
+                let key = start + i;
+                if key >= self.records {
+                    break;
+                }
+                out.push(Request::unit(key));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_c_generates_exactly_n() {
+        let w = WorkloadC::new(10_000, 0.99);
+        let t = w.generate(5000, 1);
+        assert_eq!(t.len(), 5000);
+        assert!(t.iter().all(|r| r.key < 10_000 && r.size == 1));
+    }
+
+    #[test]
+    fn workload_c_is_skewed() {
+        let w = WorkloadC::new(10_000, 0.99);
+        let t = w.generate(100_000, 2);
+        let mut counts = std::collections::HashMap::new();
+        for r in &t {
+            *counts.entry(r.key).or_insert(0u64) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        // Zipf(0.99) head over 10K items carries a few percent of the mass.
+        assert!(max > 1_000, "hottest key only {max} hits");
+        // But the workload must still touch a large key population.
+        assert!(counts.len() > 3_000, "only {} distinct keys", counts.len());
+    }
+
+    #[test]
+    fn workload_e_scans_are_sequential() {
+        let w = WorkloadE::with_max_scan(1000, 0.99, 50);
+        let t = w.generate(10_000, 3);
+        assert!(t.len() >= 10_000);
+        // Count ascending-by-one adjacencies; scans dominate, so most
+        // consecutive pairs are sequential.
+        let seq = t.windows(2).filter(|w| w[1].key == w[0].key + 1).count();
+        assert!(seq as f64 / t.len() as f64 > 0.8, "sequential fraction too low");
+    }
+
+    #[test]
+    fn workload_e_paper_config_uses_full_scan_range() {
+        let w = WorkloadE::new(500, 1.5);
+        let t = w.generate(50_000, 4);
+        let distinct: std::collections::HashSet<u64> = t.iter().map(|r| r.key).collect();
+        // Full-range scans touch essentially the whole keyspace.
+        assert!(distinct.len() > 450);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = WorkloadE::new(200, 0.5);
+        assert_eq!(w.generate(1000, 9), w.generate(1000, 9));
+        assert_ne!(w.generate(1000, 9), w.generate(1000, 10));
+    }
+}

@@ -1,0 +1,257 @@
+//! Zipfian sampling over `{0, …, n-1}` for any exponent, plus YCSB's
+//! scrambled variant.
+//!
+//! Implements rejection-inversion sampling (Hörmann & Derflinger,
+//! "Rejection-inversion to generate variates from monotone discrete
+//! distributions", 1996) — exact for every exponent `s ≥ 0`, including the
+//! paper's α = 1.5 where YCSB's Gray-style approximation breaks down. This
+//! is the same construction used by Apache Commons'
+//! `RejectionInversionZipfSampler`.
+
+use krr_core::hashing::hash_key;
+use krr_core::rng::Xoshiro256;
+
+/// Zipfian distribution over ranks `1..=n` with `P(k) ∝ k^{-s}`, exposed
+/// 0-based as items `0..n` (item 0 is the hottest).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    threshold: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n >= 1` items with exponent `s >= 0`.
+    #[must_use]
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1, "need at least one item");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        let h_integral_x1 = h_integral(1.5, s) - 1.0;
+        let h_integral_n = h_integral(n as f64 + 0.5, s);
+        let threshold = 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);
+        Self { n, s, h_integral_x1, h_integral_n, threshold }
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent `s`.
+    #[must_use]
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws one item in `[0, n)`; item 0 is the most popular.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        loop {
+            let u = self.h_integral_n + rng.unit() * (self.h_integral_x1 - self.h_integral_n);
+            let x = h_integral_inverse(u, self.s);
+            // Candidate rank, clamped into [1, n].
+            let k64 = (x + 0.5).floor();
+            let k = if k64 < 1.0 {
+                1u64
+            } else if k64 >= self.n as f64 {
+                self.n
+            } else {
+                k64 as u64
+            };
+            let kf = k as f64;
+            if kf - x <= self.threshold || u >= h_integral(kf + 0.5, self.s) - h(kf, self.s) {
+                return k - 1;
+            }
+        }
+    }
+
+    /// Exact probability of item `k` (0-based); O(n) normalization on first
+    /// use is avoided by computing the unnormalized weight — callers that
+    /// need the pmf should use [`Zipf::pmf_table`].
+    #[must_use]
+    pub fn weight(&self, item: u64) -> f64 {
+        assert!(item < self.n);
+        ((item + 1) as f64).powf(-self.s)
+    }
+
+    /// Full normalized pmf (O(n); test/analysis use).
+    #[must_use]
+    pub fn pmf_table(&self) -> Vec<f64> {
+        let mut w: Vec<f64> = (0..self.n).map(|i| self.weight(i)).collect();
+        let z: f64 = w.iter().sum();
+        for p in &mut w {
+            *p /= z;
+        }
+        w
+    }
+}
+
+/// `H(x) = ∫ x^{-s} dx = (x^{1-s} - 1)/(1-s)`, continuous at `s = 1` where
+/// it equals `ln(x)`.
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - s) * log_x) * log_x
+}
+
+/// `h(x) = x^{-s}`.
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(x: f64, s: f64) -> f64 {
+    let mut t = x * (1.0 - s);
+    if t < -1.0 {
+        // Numerical guard from the reference implementation.
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// `ln(1+x)/x`, stable near 0.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `(e^x - 1)/x`, stable near 0.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+/// YCSB's scrambled Zipfian: Zipfian rank popularity, but ranks are hashed
+/// across the item space so the hot items are scattered rather than
+/// clustered at low keys.
+#[derive(Debug, Clone)]
+pub struct ScrambledZipf {
+    inner: Zipf,
+}
+
+impl ScrambledZipf {
+    /// Creates a scrambled sampler over `n` items with exponent `s`.
+    #[must_use]
+    pub fn new(n: u64, s: f64) -> Self {
+        Self { inner: Zipf::new(n, s) }
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.inner.n()
+    }
+
+    /// Draws one item in `[0, n)`.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        let rank = self.inner.sample(rng);
+        hash_key(rank) % self.inner.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_pmf(z: &Zipf, draws: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut counts = vec![0u64; z.n() as usize];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn matches_exact_pmf_for_all_paper_exponents() {
+        for &s in &[0.5f64, 0.99, 1.5] {
+            let z = Zipf::new(100, s);
+            let exact = z.pmf_table();
+            let got = empirical_pmf(&z, 400_000, 42);
+            for i in 0..100 {
+                if exact[i] > 0.005 {
+                    let dev = (got[i] - exact[i]).abs() / exact[i];
+                    assert!(dev < 0.05, "s={s} item={i}: {} vs {}", got[i], exact[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn s_zero_is_uniform() {
+        let z = Zipf::new(50, 0.0);
+        let got = empirical_pmf(&z, 500_000, 7);
+        for (i, &p) in got.iter().enumerate() {
+            assert!((p - 0.02).abs() < 0.002, "item {i}: {p}");
+        }
+    }
+
+    #[test]
+    fn s_one_is_handled() {
+        let z = Zipf::new(1000, 1.0);
+        let exact = z.pmf_table();
+        let got = empirical_pmf(&z, 300_000, 9);
+        assert!((got[0] - exact[0]).abs() / exact[0] < 0.05);
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let z = Zipf::new(1, 1.2);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(10_000_000, 0.99);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..100_000 {
+            assert!(z.sample(&mut rng) < 10_000_000);
+        }
+    }
+
+    #[test]
+    fn scrambled_preserves_popularity_mass_but_scatters_items() {
+        let n = 1000u64;
+        let sz = ScrambledZipf::new(n, 1.0);
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let draws = 200_000;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            counts[sz.sample(&mut rng) as usize] += 1;
+        }
+        // The hottest item should no longer be item 0 (with overwhelming
+        // probability), but the max popularity must match the Zipf head.
+        let (hot_item, &hot_count) = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap();
+        let z = Zipf::new(n, 1.0);
+        let head = z.pmf_table()[0];
+        assert!((hot_count as f64 / draws as f64 - head).abs() / head < 0.1);
+        assert_eq!(hash_key(0) % n, hot_item as u64);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let z = Zipf::new(500, 0.8);
+        let a: Vec<u64> = {
+            let mut rng = Xoshiro256::seed_from_u64(5);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = Xoshiro256::seed_from_u64(5);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,64 @@
+//! Capacity planning for a variable-object-size KV cache.
+//!
+//! The motivating use case of MRC work (§2.1): given a production-like
+//! workload, how much memory buys a target hit ratio? We profile a
+//! Twitter-like variable-size trace with the byte-level (var-KRR) model
+//! under spatial sampling — cheap enough to run online — and read the
+//! required capacity straight off the curve.
+//!
+//! Run with: `cargo run --release -p krr --example cache_sizing`
+
+use krr::prelude::*;
+
+fn main() {
+    let cluster = krr::trace::twitter::TwitterCluster::C26_0;
+    let profile = krr::trace::twitter::profile(cluster);
+    let trace = profile.generate(1_000_000, 7, 0.5, /* var_size = */ true);
+    let (objects, bytes) = krr::sim::working_set(&trace);
+    println!(
+        "workload {}: {} requests, {} objects, {:.1} MiB working set",
+        profile.name,
+        trace.len(),
+        objects,
+        bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    // Byte-level KRR for Redis's default K = 5, with 10% spatial sampling
+    // (the paper's guard: keep >= 8K sampled objects).
+    let rate = krr::core::sampling::rate_for_working_set(0.1, objects, 8 * 1024);
+    let mut model = KrrModel::new(KrrConfig::new(5.0).byte_level(2, 4096).sampling(rate));
+    for r in &trace {
+        model.access(r.key, r.size);
+    }
+    let mrc = model.mrc();
+
+    println!("\nmemory -> predicted miss ratio (var-KRR + spatial sampling @ R={rate:.3}):");
+    for frac in [0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let mem = bytes as f64 * frac;
+        println!("  {:>8.1} MiB: {:.4}", mem / (1024.0 * 1024.0), mrc.eval(mem));
+    }
+
+    // Find the smallest capacity achieving the miss-ratio target. (Cold
+    // misses put a floor on the reachable miss ratio for a finite trace, so
+    // the target is relative to that floor.)
+    let floor = mrc.eval(bytes as f64 * 2.0);
+    let target = floor + 0.05;
+    let step = bytes / 200;
+    let needed = (1..=200u64).map(|i| i * step).find(|&c| mrc.eval(c as f64) <= target);
+    match needed {
+        Some(c) => println!(
+            "\n=> {:.1} MiB reaches miss ratio <= {target:.3} ({}% of the working set)",
+            c as f64 / (1024.0 * 1024.0),
+            c * 100 / bytes
+        ),
+        None => println!("\n=> even the full working set misses more than {target:.3}"),
+    }
+
+    let s = model.stats();
+    println!(
+        "profiler touched only {} of {} references ({:.2}% sampled)",
+        s.sampled,
+        s.processed,
+        100.0 * s.sampled as f64 / s.processed as f64
+    );
+}

@@ -1,0 +1,76 @@
+//! Modeling sampled LFU — the paper's future-work direction (§7) — with
+//! miniature cache simulation (§6.2).
+//!
+//! Sampled LFU (Redis `allkeys-lfu`) is not a stack policy, so no KRR-style
+//! one-pass model exists for it. The generic fallback is miniature
+//! simulation: scaled-down caches over spatially sampled requests. This
+//! example builds MRCs for K-LFU and K-LRU on a scan-polluted workload and
+//! shows where LFU wins — and that the miniature prediction matches full
+//! simulation.
+//!
+//! Run with: `cargo run --release -p krr --example lfu_modeling`
+
+use krr::prelude::*;
+use krr::sim::{KLfuCache, MiniSim};
+
+fn main() {
+    // Zipf working set + 20% one-shot scan traffic: LFU's favourite regime.
+    let n = 600_000;
+    let zipf = krr::trace::ycsb::WorkloadC::new(20_000, 0.9).generate(n, 3);
+    let mut rng = krr::core::rng::Xoshiro256::seed_from_u64(4);
+    let trace: Vec<Request> = zipf
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            if rng.unit() < 0.2 {
+                Request::unit(1_000_000 + i as u64) // never re-referenced
+            } else {
+                r
+            }
+        })
+        .collect();
+    let (objects, _) = krr::sim::working_set(&trace);
+    let caps = even_capacities(20_000, 10);
+    println!("workload: {} requests, {objects} distinct objects (scan-polluted Zipf)", n);
+
+    // Miniature simulation at R = 10% for both policies.
+    // R chosen to keep sampled-key mass representative: at extreme Zipf
+    // skew a single unsampled hot key shifts every miniature miss ratio
+    // (the hot-key bias SHARDS-adj corrects in the KRR model).
+    let rate = 0.25;
+    let mut mini_lfu = MiniSim::new(&caps, rate, |c| Box::new(KLfuCache::new(c, 5, 7)), false);
+    let mut mini_lru = MiniSim::new(&caps, rate, |c| Box::new(KLruCache::new(c, 5, 7)), false);
+    for r in &trace {
+        mini_lfu.access(r);
+        mini_lru.access(r);
+    }
+
+    // Ground truth at three sizes.
+    println!("\n{:>10} {:>12} {:>12} {:>14} {:>14}", "cache", "K-LFU mini", "K-LRU mini", "K-LFU actual", "K-LRU actual");
+    for &c in caps.iter().step_by(3) {
+        let mut lfu = KLfuCache::new(Capacity::Objects(c), 5, 9);
+        let mut lru = KLruCache::new(Capacity::Objects(c), 5, 9);
+        for r in &trace {
+            lfu.access(r);
+            lru.access(r);
+        }
+        println!(
+            "{c:>10} {:>12.4} {:>12.4} {:>14.4} {:>14.4}",
+            mini_lfu.mrc().eval(c as f64),
+            mini_lru.mrc().eval(c as f64),
+            lfu.stats().miss_ratio(),
+            lru.stats().miss_ratio()
+        );
+    }
+
+    let (processed, sampled) = mini_lfu.counts();
+    println!(
+        "\nminiature simulation touched {sampled} of {processed} references \
+         ({:.1}%) per policy — one pass predicted the whole curve",
+        100.0 * sampled as f64 / processed as f64
+    );
+    println!(
+        "expected shape: K-LFU beats K-LRU at mid sizes (scan resistance), and \
+         each miniature column tracks its actual column"
+    );
+}

@@ -1,0 +1,65 @@
+//! Multi-tenant memory partitioning from KRR-built MRCs — the LAMA
+//! use case ([10] in the paper): profile each Redis instance's workload
+//! online, then divide a memory budget to minimize total misses.
+//!
+//! Three tenants with very different demand curves share one budget. The
+//! cliff-shaped (Type A) analytics tenant makes the allocation non-convex:
+//! the greedy sees zero marginal gain below the cliff and strands that
+//! tenant at nothing, while the exact DP funds it past the cliff and beats
+//! both the greedy and the equal split — the reason LAMA-style systems
+//! need whole-curve optimization, not local gradients.
+//!
+//! Run with: `cargo run --release -p krr --example memory_partitioning`
+
+use krr::core::partition::{allocate_greedy, allocate_optimal, Tenant};
+use krr::prelude::*;
+
+fn profile(trace: &[Request], k: f64) -> Mrc {
+    let mut model = KrrModel::new(KrrConfig::new(k).seed(9));
+    for r in trace {
+        model.access_key(r.key);
+    }
+    model.mrc()
+}
+
+fn main() {
+    let n = 400_000;
+    // Tenant A: Zipf session store, very hot.
+    let a = krr::trace::ycsb::WorkloadC::new(30_000, 1.1).generate(n, 1);
+    // Tenant B: loop-heavy analytics cache (Type A cliff).
+    let b = krr::trace::patterns::loop_trace(20_000, n);
+    // Tenant C: broad, mildly skewed catalogue.
+    let c = krr::trace::ycsb::WorkloadC::new(60_000, 0.7).generate(n, 2);
+
+    let tenants = vec![
+        Tenant::new("sessions", profile(&a, 5.0), 10_000.0),
+        Tenant::new("analytics", profile(&b, 5.0), 3_000.0),
+        Tenant::new("catalogue", profile(&c, 5.0), 2_000.0),
+    ];
+
+    let budget = 60_000u64;
+    let quantum = 1_000u64;
+    let equal: Vec<u64> = vec![budget / 3; 3];
+    let equal_miss: f64 =
+        tenants.iter().zip(&equal).map(|(t, &x)| t.miss_rate(x)).sum();
+    let greedy = allocate_greedy(&tenants, budget, quantum);
+    let optimal = allocate_optimal(&tenants, budget, quantum);
+
+    println!("budget: {budget} objects across {} tenants\n", tenants.len());
+    println!("{:>12} {:>12} {:>12} {:>12}", "tenant", "equal", "greedy", "optimal");
+    for (i, t) in tenants.iter().enumerate() {
+        println!(
+            "{:>12} {:>12} {:>12} {:>12}",
+            t.name, equal[i], greedy.per_tenant[i], optimal.per_tenant[i]
+        );
+    }
+    println!(
+        "\ntotal miss rate:  equal {:.0}/s   greedy {:.0}/s   optimal {:.0}/s",
+        equal_miss, greedy.total_miss_rate, optimal.total_miss_rate
+    );
+    println!(
+        "\nexpected shape: the DP beats the equal split; the greedy strands the \
+         cliff-shaped analytics tenant (zero marginal gain below its loop cliff) and \
+         can even lose to the equal split — non-convex MRCs need the exact allocator"
+    );
+}

@@ -1,0 +1,58 @@
+//! Online MRC profiling: the low-overhead deployment mode (§2.4, §5.5).
+//!
+//! Streams a long trace through KRR + spatial sampling (backward update,
+//! R = 0.01) as a sidecar profiler would, printing an MRC snapshot and the
+//! profiler's cost every window. The point of the paper's fast updaters is
+//! that this costs microseconds per thousand requests.
+//!
+//! Run with: `cargo run --release -p krr --example online_profiler`
+
+use krr::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let profile = krr::trace::msr::profile(krr::trace::msr::MsrTrace::Web);
+    let trace = profile.generate(2_000_000, 11, 0.5);
+    let (objects, _) = krr::sim::working_set(&trace);
+    let rate = krr::core::sampling::rate_for_working_set(0.01, objects, 8 * 1024);
+
+    let mut model = KrrModel::new(
+        KrrConfig::new(5.0).updater(UpdaterKind::Backward).sampling(rate).seed(3),
+    );
+
+    let window = 250_000usize;
+    let checkpoints = [0.1, 0.25, 0.5, 1.0];
+    println!("online profiling of msr_web (K=5, R={rate:.3}), window = {window} requests");
+    println!("{:>10} {:>10} {:>42} {:>12}", "requests", "sampled", "miss@10%/25%/50%/100% of WSS", "profile cost");
+
+    let mut spent = std::time::Duration::ZERO;
+    for (w, chunk) in trace.chunks(window).enumerate() {
+        let t0 = Instant::now();
+        for r in chunk {
+            model.access_key(r.key);
+        }
+        spent += t0.elapsed();
+        let mrc = model.mrc();
+        let misses: Vec<String> = checkpoints
+            .iter()
+            .map(|&f| format!("{:.3}", mrc.eval(objects as f64 * f)))
+            .collect();
+        let s = model.stats();
+        println!(
+            "{:>10} {:>10} {:>42} {:>9.1?} total",
+            (w + 1) * window,
+            s.sampled,
+            misses.join(" / "),
+            spent
+        );
+    }
+
+    let s = model.stats();
+    let per_million =
+        spent.as_secs_f64() * 1e6 / (s.processed as f64 / 1e6) / 1e6;
+    println!(
+        "\ntotal profiler time {spent:?} for {} requests ({per_million:.3} s per million) — \
+         cheap enough to run inline with a cache server",
+        s.processed
+    );
+}

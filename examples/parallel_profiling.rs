@@ -1,0 +1,52 @@
+//! Thread-parallel MRC profiling with sharded KRR.
+//!
+//! Hash-partition the key space into shards, give each its own KRR model,
+//! and run shards on worker threads — complementary spatial samples whose
+//! merged histogram covers every reference. Shows the accuracy staying
+//! put while wall-clock drops with cores (on multi-core machines).
+//!
+//! Run with: `cargo run --release -p krr --example parallel_profiling`
+
+use krr::core::sharded::ShardedKrr;
+use krr::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n = 2_000_000;
+    let workload = krr::trace::msr::profile(krr::trace::msr::MsrTrace::Proj);
+    let trace = workload.generate(n, 13, 0.2);
+    let refs: Vec<(u64, u32)> = trace.iter().map(|r| (r.key, 1)).collect();
+    let (objects, _) = krr::sim::working_set(&trace);
+    let k = 5.0;
+    println!("msr_proj: {n} requests, {objects} objects, K = {k}");
+
+    // Reference: the plain sequential model.
+    let t0 = Instant::now();
+    let mut plain = KrrModel::new(KrrConfig::new(k).seed(1));
+    for &(key, _) in &refs {
+        plain.access_key(key);
+    }
+    let seq_time = t0.elapsed();
+    let plain_mrc = plain.mrc();
+    println!("\nsequential KRR: {seq_time:?}");
+
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let sizes = even_sizes(objects as f64, 25);
+    for threads in [1, 2, cores.max(4)] {
+        let shards = 16;
+        let t0 = Instant::now();
+        let mut sharded = ShardedKrr::new(&KrrConfig::new(k).seed(2), shards);
+        sharded.process_parallel(&refs, threads);
+        let elapsed = t0.elapsed();
+        let mae = plain_mrc.mae(&sharded.mrc(), &sizes);
+        println!(
+            "sharded x{shards}, {threads:>2} thread(s): {elapsed:>10.2?}  \
+             (vs sequential MAE {mae:.5})"
+        );
+    }
+    println!(
+        "\nnote: each worker scans the whole trace and keeps only its shards' keys, so \
+         single-core machines see scan overhead instead of speedup; accuracy is \
+         thread-count-independent either way (deterministic per-shard seeds)."
+    );
+}

@@ -1,0 +1,45 @@
+//! Quickstart: build a Miss Ratio Curve for a Redis-style cache
+//! (`maxmemory-samples = 5`) in one pass over a skewed workload, and check
+//! it against a brute-force K-LRU simulation at a few sizes.
+//!
+//! Run with: `cargo run --release -p krr --example quickstart`
+
+use krr::prelude::*;
+
+fn main() {
+    // A YCSB-C-style read-only Zipfian workload: 50K objects, 500K requests.
+    let objects = 50_000u64;
+    let trace = krr::trace::ycsb::WorkloadC::new(objects, 0.99).generate(500_000, 42);
+
+    // One-pass KRR model of K-LRU with K = 5 (the Redis default).
+    let mut model = KrrModel::new(KrrConfig::new(5.0));
+    for r in &trace {
+        model.access_key(r.key);
+    }
+    let mrc = model.mrc();
+
+    println!("cache size -> predicted miss ratio (KRR, one pass)");
+    for frac in [0.05, 0.1, 0.25, 0.5, 0.75, 1.0] {
+        let size = objects as f64 * frac;
+        println!("  {:>8.0} objects: {:.4}", size, mrc.eval(size));
+    }
+
+    // Cross-check three sizes against the ground-truth simulator.
+    println!("\nvalidation against direct K-LRU simulation:");
+    for frac in [0.1, 0.5, 1.0] {
+        let size = (objects as f64 * frac) as u64;
+        let simulated =
+            krr::sim::miss_ratio(&trace, Policy::klru(5), Capacity::Objects(size), 7);
+        let predicted = mrc.eval(size as f64);
+        println!(
+            "  C={size:>6}: simulated {simulated:.4}  predicted {predicted:.4}  |err| {:.4}",
+            (simulated - predicted).abs()
+        );
+    }
+
+    let stats = model.stats();
+    println!(
+        "\nprocessed {} requests, {} distinct objects, in a single pass",
+        stats.processed, stats.distinct
+    );
+}

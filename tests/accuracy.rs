@@ -1,0 +1,147 @@
+//! Integration: KRR's MRC matches direct K-LRU simulation across workload
+//! families and K values — the paper's central accuracy claim (Table 5.1).
+
+use krr::prelude::*;
+use krr::trace::{msr, patterns, twitter, ycsb};
+
+fn krr_mrc(trace: &[Request], k: u32, seed: u64) -> Mrc {
+    let mut model = KrrModel::new(KrrConfig::new(f64::from(k)).seed(seed));
+    for r in trace {
+        model.access_key(r.key);
+    }
+    model.mrc()
+}
+
+fn mae_vs_simulation(trace: &[Request], k: u32) -> f64 {
+    let (objects, _) = krr::sim::working_set(trace);
+    let caps = even_capacities(objects, 20);
+    let sim = simulate_mrc(trace, Policy::klru(k), Unit::Objects, &caps, 1, 8);
+    let sizes: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
+    sim.mae(&krr_mrc(trace, k, 2), &sizes)
+}
+
+#[test]
+fn ycsb_c_accuracy_across_k() {
+    let trace = ycsb::WorkloadC::new(20_000, 0.99).generate(300_000, 1);
+    for k in [1u32, 2, 4, 8, 16] {
+        let mae = mae_vs_simulation(&trace, k);
+        assert!(mae < 0.01, "YCSB-C K={k}: MAE {mae}");
+    }
+}
+
+#[test]
+fn ycsb_e_accuracy() {
+    let trace = ycsb::WorkloadE::new(5_000, 1.5).generate(200_000, 2);
+    for k in [1u32, 4, 16] {
+        let mae = mae_vs_simulation(&trace, k);
+        assert!(mae < 0.02, "YCSB-E K={k}: MAE {mae}");
+    }
+}
+
+#[test]
+fn msr_type_a_accuracy() {
+    let trace = msr::profile(msr::MsrTrace::Src2).generate(300_000, 3, 0.1);
+    for k in [1u32, 4, 16] {
+        let mae = mae_vs_simulation(&trace, k);
+        assert!(mae < 0.015, "msr_src2 K={k}: MAE {mae}");
+    }
+}
+
+#[test]
+fn msr_type_b_accuracy() {
+    let trace = msr::profile(msr::MsrTrace::Usr).generate(300_000, 4, 0.05);
+    for k in [1u32, 8] {
+        let mae = mae_vs_simulation(&trace, k);
+        assert!(mae < 0.01, "msr_usr K={k}: MAE {mae}");
+    }
+}
+
+#[test]
+fn twitter_accuracy() {
+    let trace = twitter::profile(twitter::TwitterCluster::C34_1).generate(300_000, 5, 0.1, false);
+    for k in [2u32, 8] {
+        let mae = mae_vs_simulation(&trace, k);
+        assert!(mae < 0.015, "tw34.1 K={k}: MAE {mae}");
+    }
+}
+
+#[test]
+fn kprime_correction_improves_loop_worst_case() {
+    // §4.2: the loop pattern is KRR's worst case and K' = K^1.4 offsets it.
+    let trace = patterns::loop_trace(5_000, 200_000);
+    let (objects, _) = krr::sim::working_set(&trace);
+    let caps = even_capacities(objects, 20);
+    let sizes: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
+    let k = 8u32;
+    let sim = simulate_mrc(&trace, Policy::klru(k), Unit::Objects, &caps, 1, 8);
+
+    let corrected = KrrConfig::new(f64::from(k));
+    let raw = KrrConfig::new(f64::from(k)).raw_k();
+    let run = |cfg: KrrConfig| {
+        let mut m = KrrModel::new(cfg.seed(7));
+        for r in &trace {
+            m.access_key(r.key);
+        }
+        m.mrc()
+    };
+    let mae_corrected = sim.mae(&run(corrected), &sizes);
+    let mae_raw = sim.mae(&run(raw), &sizes);
+    assert!(
+        mae_corrected < mae_raw,
+        "K' correction should help on loops: {mae_corrected} vs {mae_raw}"
+    );
+    assert!(mae_corrected < 0.05, "corrected loop MAE {mae_corrected}");
+}
+
+#[test]
+fn k1_krr_equals_random_replacement() {
+    // When K = 1, KRR is Mattson's RR stack: statistically identical to
+    // random replacement.
+    let trace = patterns::loop_trace(1_000, 100_000);
+    let mae = mae_vs_simulation(&trace, 1);
+    assert!(mae < 0.01, "K=1 loop MAE {mae}");
+}
+
+#[test]
+fn large_k_krr_converges_to_lru() {
+    // §5.3: "as K increases the K-LRU converges to LRU".
+    let trace = msr::profile(msr::MsrTrace::Web).generate(200_000, 6, 0.05);
+    let (objects, _) = krr::sim::working_set(&trace);
+    let caps = even_capacities(objects, 20);
+    let sizes: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
+    let lru = simulate_mrc(&trace, Policy::ExactLru, Unit::Objects, &caps, 1, 8);
+    let krr64 = krr_mrc(&trace, 64, 8);
+    let mae = lru.mae(&krr64, &sizes);
+    assert!(mae < 0.02, "K=64 vs LRU MAE {mae}");
+}
+
+#[test]
+fn all_three_updaters_give_statistically_equal_mrcs() {
+    let trace = ycsb::WorkloadC::new(5_000, 0.99).generate(100_000, 9);
+    let sizes = even_sizes(5_000.0, 20);
+    let run = |u: UpdaterKind| {
+        let mut m = KrrModel::new(KrrConfig::new(4.0).updater(u).seed(11));
+        for r in &trace {
+            m.access_key(r.key);
+        }
+        m.mrc()
+    };
+    let naive = run(UpdaterKind::Naive);
+    let topdown = run(UpdaterKind::TopDown);
+    let backward = run(UpdaterKind::Backward);
+    assert!(naive.mae(&topdown, &sizes) < 0.005);
+    assert!(naive.mae(&backward, &sizes) < 0.005);
+    assert!(topdown.mae(&backward, &sizes) < 0.005);
+}
+
+#[test]
+fn without_replacement_simulation_close_to_with_replacement() {
+    // §3: for small K and large C the two sampling versions agree.
+    let trace = ycsb::WorkloadC::new(10_000, 0.99).generate(150_000, 10);
+    let caps = even_capacities(10_000, 10);
+    let with = simulate_mrc(&trace, Policy::KLru { k: 5, with_replacement: true }, Unit::Objects, &caps, 1, 8);
+    let without =
+        simulate_mrc(&trace, Policy::KLru { k: 5, with_replacement: false }, Unit::Objects, &caps, 1, 8);
+    let sizes: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
+    assert!(with.mae(&without, &sizes) < 0.01);
+}

@@ -1,0 +1,343 @@
+//! Property-based tests (proptest) over the core invariants: stack
+//! permutation safety, histogram/MRC consistency, probability identities,
+//! sizeArray exactness, and cache capacity enforcement.
+
+use krr::prelude::*;
+use krr::trace::Request;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The KRR stack stays a permutation of the referenced keys with a
+    /// consistent index, for any access sequence, K and updater.
+    #[test]
+    fn stack_permutation_invariant(
+        keys in prop::collection::vec(0u64..200, 1..400),
+        k in 1.0f64..40.0,
+        updater_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let updater = UpdaterKind::ALL[updater_idx];
+        let mut stack = krr::core::KrrStack::new(k, updater, seed);
+        let mut seen = std::collections::HashSet::new();
+        for &key in &keys {
+            stack.access(key, 1);
+            seen.insert(key);
+            prop_assert_eq!(stack.position_of(key), Some(1));
+        }
+        prop_assert_eq!(stack.len(), seen.len());
+        let mut on_stack = std::collections::HashSet::new();
+        for (i, e) in stack.iter().enumerate() {
+            prop_assert!(on_stack.insert(e.key));
+            prop_assert_eq!(stack.position_of(e.key), Some(i as u64 + 1));
+        }
+        prop_assert_eq!(on_stack, seen);
+    }
+
+    /// Histogram-derived MRCs are monotone non-increasing and bounded in
+    /// [0, 1] for arbitrary recorded distances.
+    #[test]
+    fn mrc_monotone_and_bounded(
+        distances in prop::collection::vec(1u64..100_000, 1..500),
+        colds in 0u64..50,
+        bin_width in 1u64..512,
+    ) {
+        let mut h = krr::core::SdHistogram::new(bin_width);
+        for &d in &distances {
+            h.record(d);
+        }
+        for _ in 0..colds {
+            h.record_cold();
+        }
+        let mrc = Mrc::from_histogram(&h, 1.0);
+        let mut prev = f64::INFINITY;
+        for &(_, m) in mrc.points() {
+            prop_assert!((0.0..=1.0).contains(&m));
+            prop_assert!(m <= prev + 1e-12);
+            prev = m;
+        }
+        // At infinite capacity only colds miss.
+        let total = distances.len() as u64 + colds;
+        let expect = colds as f64 / total as f64;
+        prop_assert!((mrc.eval(1e18) - expect).abs() < 1e-9);
+    }
+
+    /// Eviction probabilities (Prop. 1) form a distribution and the CDF
+    /// inverse roundtrips for random parameters.
+    #[test]
+    fn eviction_probability_identities(c in 1u64..2_000, k in 1.0f64..64.0) {
+        let sum: f64 = (1..=c)
+            .map(|d| krr::core::prob::eviction_prob_with_replacement(d, c, k))
+            .sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+        // Inverse CDF lands within the CDF bracket.
+        for r in [0.001, 0.37, 0.82, 1.0] {
+            let x = krr::core::prob::sample_eviction_position(r, c, k);
+            prop_assert!(x >= 1 && x <= c);
+            let lo = krr::core::prob::eviction_position_cdf(x - 1, c, k);
+            let hi = krr::core::prob::eviction_position_cdf(x, c, k);
+            prop_assert!(r >= lo - 1e-9 && r <= hi + 1e-9, "r={r} not in [{lo},{hi}]");
+        }
+    }
+
+    /// sizeArray boundary sums remain exact prefix sums under arbitrary
+    /// reference sequences with resizes.
+    #[test]
+    fn sizearray_exactness(
+        ops in prop::collection::vec((0u64..100, 1u32..1_000), 1..600),
+        base in 2u64..6,
+        seed in any::<u64>(),
+    ) {
+        let mut stack = krr::core::KrrStack::new(4.0, UpdaterKind::Backward, seed);
+        let mut sa = krr::core::SizeArray::new(base);
+        for &(key, size) in &ops {
+            match stack.position_of(key) {
+                Some(phi) => {
+                    let old = stack.entry_at(phi).unwrap().size;
+                    sa.on_resize(phi, old, size);
+                    let acc = stack.access(key, size);
+                    sa.apply(stack.last_chain(), stack.last_chain_sizes(), acc.phi(), size);
+                }
+                None => {
+                    let acc = stack.access(key, size);
+                    sa.on_insert(size);
+                    sa.apply(stack.last_chain(), stack.last_chain_sizes(), acc.phi(), size);
+                }
+            }
+        }
+        let sizes: Vec<u64> = stack.iter().map(|e| u64::from(e.size)).collect();
+        let mut bound = 1u64;
+        let mut t = 0u32;
+        while bound <= sizes.len() as u64 {
+            let naive: u64 = sizes[..bound as usize].iter().sum();
+            prop_assert_eq!(sa.distance(bound), naive);
+            t += 1;
+            bound = base.pow(t);
+        }
+        prop_assert_eq!(sa.total_bytes(), sizes.iter().sum::<u64>());
+    }
+
+    /// Caches never exceed capacity and never lie about hits.
+    #[test]
+    fn caches_enforce_capacity(
+        reqs in prop::collection::vec((0u64..300, 1u32..200), 1..800),
+        cap in 1u64..5_000,
+        k in 1u32..16,
+    ) {
+        let mut klru = KLruCache::new(Capacity::Bytes(cap), k, 1);
+        let mut lru = ExactLru::new(Capacity::Bytes(cap));
+        for &(key, size) in &reqs {
+            let r = Request::get(key, size);
+            klru.access(&r);
+            lru.access(&r);
+            prop_assert!(klru.used_bytes() <= cap, "K-LRU over budget");
+            prop_assert!(lru.used_bytes() <= cap, "LRU over budget");
+        }
+        let st = klru.stats();
+        prop_assert_eq!(st.hits + st.misses, reqs.len() as u64);
+    }
+
+    /// Spatial filtering is a pure function of the key: two filters with
+    /// the same rate agree, and admitted fraction ~= rate.
+    #[test]
+    fn spatial_filter_determinism(rate_millis in 1u64..1000) {
+        let rate = rate_millis as f64 / 1000.0;
+        let a = krr::core::SpatialFilter::with_rate(rate);
+        let b = krr::core::SpatialFilter::with_rate(rate);
+        let n = 20_000u64;
+        let mut admitted = 0u64;
+        for key in 0..n {
+            prop_assert_eq!(a.admits(key), b.admits(key));
+            if a.admits(key) {
+                admitted += 1;
+            }
+        }
+        let got = admitted as f64 / n as f64;
+        prop_assert!((got - rate).abs() < 0.02 + rate * 0.2, "rate {rate} got {got}");
+    }
+
+    /// The mini-Redis store never exceeds maxmemory and SET-then-GET always
+    /// hits immediately.
+    #[test]
+    fn mini_redis_memory_safety(
+        reqs in prop::collection::vec((0u64..200, 1u32..500), 1..500),
+        mem in 1_000u64..50_000,
+    ) {
+        let mut store = MiniRedis::new(mem, 5, 3);
+        for &(key, size) in &reqs {
+            store.set(key, size);
+            prop_assert!(store.used_memory() <= mem);
+            if u64::from(size) <= mem {
+                prop_assert!(store.get(key), "SET-then-GET must hit");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Zipf sampling stays in range, is deterministic per seed, and its
+    /// head is at least as popular as deep ranks.
+    #[test]
+    fn zipf_sampler_properties(
+        n in 2u64..20_000,
+        s_tenths in 0u32..25,
+        seed in any::<u64>(),
+    ) {
+        use krr::core::rng::Xoshiro256;
+        let s = f64::from(s_tenths) / 10.0;
+        let z = krr::trace::Zipf::new(n, s);
+        let mut a = Xoshiro256::seed_from_u64(seed);
+        let mut b = Xoshiro256::seed_from_u64(seed);
+        let mut head = 0u32;
+        let mut deep = 0u32;
+        for _ in 0..400 {
+            let x = z.sample(&mut a);
+            prop_assert_eq!(x, z.sample(&mut b), "determinism");
+            prop_assert!(x < n);
+            if x == 0 {
+                head += 1;
+            }
+            if x >= n / 2 {
+                deep += 1;
+            }
+        }
+        if s_tenths >= 10 && n >= 100 {
+            // Strong skew: item 0 alone should outdraw the entire deep
+            // half often enough to register.
+            prop_assert!(head + 5 >= deep / 10, "head {head} deep {deep}");
+        }
+    }
+
+    /// Size distributions respect their bounds for arbitrary parameters.
+    #[test]
+    fn size_distributions_bounded(
+        lo in 1u32..1_000,
+        span in 0u32..10_000,
+        shape_tenths in 10u32..40,
+        seed in any::<u64>(),
+    ) {
+        use krr::core::rng::Xoshiro256;
+        use krr::trace::dist::SizeDist;
+        let hi = lo + span;
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let u = SizeDist::Uniform { lo, hi };
+        let p = SizeDist::Pareto {
+            scale: f64::from(lo),
+            shape: f64::from(shape_tenths) / 10.0,
+            cap: hi,
+        };
+        for _ in 0..200 {
+            let s = u.sample(&mut rng);
+            prop_assert!(s >= lo && s <= hi);
+            let s = p.sample(&mut rng);
+            prop_assert!(s >= 1 && s <= hi.max(1));
+        }
+    }
+
+    /// Trace CSV IO roundtrips arbitrary traces.
+    #[test]
+    fn trace_io_roundtrip(
+        reqs in prop::collection::vec((any::<u64>(), 1u32..1_000_000, any::<bool>()), 0..200),
+    ) {
+        use krr::trace::{io, Op, Request};
+        let trace: Vec<Request> = reqs
+            .iter()
+            .map(|&(key, size, set)| Request {
+                key,
+                size,
+                op: if set { Op::Set } else { Op::Get },
+            })
+            .collect();
+        let mut buf = Vec::new();
+        io::write_csv(&mut buf, &trace).unwrap();
+        let back = io::read_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    /// Histogram persistence roundtrips arbitrary histograms.
+    #[test]
+    fn histogram_persist_roundtrip(
+        distances in prop::collection::vec(1u64..100_000, 0..200),
+        colds in 0u64..30,
+        width in 1u64..64,
+    ) {
+        let mut h = krr::core::SdHistogram::new(width);
+        for &d in &distances {
+            h.record(d);
+        }
+        for _ in 0..colds {
+            h.record_cold();
+        }
+        let mut buf = Vec::new();
+        krr::core::persist::write_histogram(&mut buf, &h).unwrap();
+        let back = krr::core::persist::read_histogram(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.total(), h.total());
+        prop_assert_eq!(back.cold(), h.cold());
+        for b in 0..h.num_bins() {
+            prop_assert_eq!(back.bin(b), h.bin(b));
+        }
+    }
+
+    /// Histogram merge is commutative and totals add up.
+    #[test]
+    fn histogram_merge_commutes(
+        xs in prop::collection::vec(1u64..10_000, 0..100),
+        ys in prop::collection::vec(1u64..10_000, 0..100),
+        width in 1u64..32,
+    ) {
+        let build = |ds: &[u64]| {
+            let mut h = krr::core::SdHistogram::new(width);
+            for &d in ds {
+                h.record(d);
+            }
+            h
+        };
+        let mut ab = build(&xs);
+        ab.merge(&build(&ys));
+        let mut ba = build(&ys);
+        ba.merge(&build(&xs));
+        prop_assert_eq!(ab.total(), ba.total());
+        for b in 0..ab.num_bins().max(ba.num_bins()) {
+            prop_assert_eq!(ab.bin(b), ba.bin(b), "bin {}", b);
+        }
+    }
+
+    /// The generic sampled cache with LruScore respects capacity and
+    /// accounting for arbitrary request streams.
+    #[test]
+    fn generic_sampled_cache_capacity(
+        reqs in prop::collection::vec((0u64..200, 1u32..300), 1..400),
+        cap in 100u64..5_000,
+        k in 1u32..12,
+    ) {
+        use krr::sim::sampled::{LruScore, SampledCache};
+        let mut c = SampledCache::new(Capacity::Bytes(cap), k, LruScore, 5);
+        for &(key, size) in &reqs {
+            c.access(&Request::get(key, size));
+            prop_assert!(c.used_bytes() <= cap);
+        }
+        let st = c.stats();
+        prop_assert_eq!(st.hits + st.misses, reqs.len() as u64);
+    }
+
+    /// OPT never loses to LRU (Belady optimality smoke test on random
+    /// small traces).
+    #[test]
+    fn opt_dominates_lru(
+        keys in prop::collection::vec(0u64..60, 50..400),
+        cap in 2u64..40,
+    ) {
+        use krr::sim::opt::{next_use_times, simulate_opt};
+        let trace: Vec<Request> = keys.iter().map(|&k| Request::unit(k)).collect();
+        let next = next_use_times(&trace);
+        let opt = simulate_opt(&trace, &next, cap).miss_ratio();
+        let mut lru = ExactLru::new(Capacity::Objects(cap));
+        for r in &trace {
+            lru.access(r);
+        }
+        prop_assert!(opt <= lru.stats().miss_ratio() + 1e-9);
+    }
+}

@@ -1,0 +1,93 @@
+//! Integration: the RESP wire path end-to-end — profile a workload through
+//! a TCP client against the mini-Redis server and validate the KRR
+//! prediction against the wire-measured miss ratio (§5.7, but over an
+//! actual protocol instead of an embedded store).
+
+use krr::prelude::*;
+use krr::redis::client::Client;
+use krr::redis::server::Server;
+use krr::redis::MiniRedis;
+use krr::trace::ycsb;
+
+const OBJ: u32 = 200;
+
+#[test]
+fn wire_miss_ratio_matches_embedded_store() {
+    let trace = ycsb::WorkloadC::new(2_000, 0.9).generate(20_000, 1);
+    let memory = 1_000 * u64::from(OBJ);
+
+    // Over the wire.
+    let mut server = Server::start(MiniRedis::new(memory, 5, 7)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let mut wire_hits = 0u64;
+    for r in &trace {
+        if client.access(r.key, OBJ).unwrap() {
+            wire_hits += 1;
+        }
+    }
+    let wire_miss = 1.0 - wire_hits as f64 / trace.len() as f64;
+    server.shutdown();
+
+    // Embedded.
+    let mut store = MiniRedis::new(memory, 5, 7);
+    let mut local_hits = 0u64;
+    for r in &trace {
+        if store.access(&Request::get(r.key, OBJ)) {
+            local_hits += 1;
+        }
+    }
+    let local_miss = 1.0 - local_hits as f64 / trace.len() as f64;
+
+    // Same store, same seed, same request stream -> identical decisions.
+    assert!(
+        (wire_miss - local_miss).abs() < 1e-9,
+        "wire {wire_miss} vs embedded {local_miss}"
+    );
+}
+
+#[test]
+fn krr_predicts_wire_measured_miss_ratio() {
+    let objects = 3_000u64;
+    let trace = ycsb::WorkloadC::new(objects, 0.99).generate(30_000, 2);
+    let memory = objects * u64::from(OBJ) / 2;
+
+    let mut server = Server::start(MiniRedis::new(memory, 5, 3)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let mut hits = 0u64;
+    for r in &trace {
+        if client.access(r.key, OBJ).unwrap() {
+            hits += 1;
+        }
+    }
+    let wire_miss = 1.0 - hits as f64 / trace.len() as f64;
+    server.shutdown();
+
+    let mut model = KrrModel::new(KrrConfig::new(5.0).seed(4));
+    for r in &trace {
+        model.access_key(r.key);
+    }
+    let predicted = model.mrc().eval(memory as f64 / f64::from(OBJ));
+    assert!(
+        (predicted - wire_miss).abs() < 0.05,
+        "KRR {predicted} vs wire-measured {wire_miss}"
+    );
+}
+
+#[test]
+fn info_counters_match_client_observations() {
+    let mut server = Server::start(MiniRedis::new(100_000, 5, 5)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for i in 0..500u64 {
+        if client.access(i % 100, 50).unwrap() {
+            hits += 1;
+        } else {
+            misses += 1;
+        }
+    }
+    let info = client.info().unwrap();
+    assert!(info.contains(&format!("hits:{hits}")), "{info}");
+    assert!(info.contains(&format!("misses:{misses}")), "{info}");
+    server.shutdown();
+}

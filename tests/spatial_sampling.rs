@@ -1,0 +1,83 @@
+//! Integration: spatial sampling preserves MRC shape (§2.4, Table 5.1's
+//! "KRR+Spatial Sampling" columns) while touching a small fraction of
+//! references.
+
+use krr::prelude::*;
+use krr::trace::{msr, ycsb};
+
+fn run(trace: &[Request], k: f64, rate: f64, seed: u64) -> (Mrc, krr::core::ModelStats) {
+    let mut m = KrrModel::new(KrrConfig::new(k).sampling(rate).seed(seed));
+    for r in trace {
+        m.access_key(r.key);
+    }
+    (m.mrc(), m.stats())
+}
+
+#[test]
+fn sampled_krr_tracks_full_krr_on_zipf() {
+    let objects = 200_000u64;
+    let trace = ycsb::WorkloadC::new(objects, 0.99).generate(600_000, 1);
+    let (full, _) = run(&trace, 5.0, 1.0, 2);
+    let rate = krr::core::sampling::rate_for_working_set(0.05, objects, 8 * 1024);
+    let (sampled, stats) = run(&trace, 5.0, rate, 2);
+    assert!(stats.sampled < stats.processed / 10, "sampling should skip most refs");
+    let sizes = even_sizes(objects as f64, 25);
+    let mae = full.mae(&sampled, &sizes);
+    assert!(mae < 0.02, "sampled vs full MAE {mae}");
+}
+
+#[test]
+fn sampled_krr_tracks_simulation_on_msr() {
+    let trace = msr::profile(msr::MsrTrace::Web).generate(500_000, 3, 0.3);
+    let (objects, _) = krr::sim::working_set(&trace);
+    let caps = even_capacities(objects, 15);
+    let sim = simulate_mrc(&trace, Policy::klru(4), Unit::Objects, &caps, 1, 8);
+    let rate = krr::core::sampling::rate_for_working_set(0.05, objects, 8 * 1024);
+    let (sampled, _) = run(&trace, 4.0, rate, 4);
+    let sizes: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
+    let mae = sim.mae(&sampled, &sizes);
+    assert!(mae < 0.03, "sampled KRR vs simulation MAE {mae}");
+}
+
+#[test]
+fn rate_guard_keeps_small_working_sets_accurate() {
+    // A working set of 5K objects at R=0.001 would sample ~5 objects; the
+    // guard must raise the rate to keep >= 8K expected samples (here: 1.0).
+    let objects = 5_000u64;
+    let rate = krr::core::sampling::rate_for_working_set(0.001, objects, 8 * 1024);
+    assert_eq!(rate, 1.0);
+}
+
+#[test]
+fn sampling_is_by_key_not_by_request() {
+    // Every reference to a sampled key must be observed: reuse structure is
+    // preserved. With per-request sampling the loop below would show cold
+    // misses for re-references.
+    let mut m = KrrModel::new(KrrConfig::new(2.0).sampling(0.2).seed(5));
+    for _ in 0..3 {
+        for key in 0..10_000u64 {
+            m.access_key(key);
+        }
+    }
+    let h = m.histogram();
+    // Sampled keys: each seen 3 times -> exactly 1/3 of sampled refs are cold.
+    let cold_frac = h.cold() as f64 / h.total() as f64;
+    assert!((cold_frac - 1.0 / 3.0).abs() < 1e-9, "cold fraction {cold_frac}");
+}
+
+#[test]
+fn scale_expands_x_axis_by_inverse_rate() {
+    let mut m = KrrModel::new(KrrConfig::new(2.0).sampling(0.25).seed(6));
+    for _ in 0..2 {
+        for key in 0..40_000u64 {
+            m.access_key(key);
+        }
+    }
+    let mrc = m.mrc();
+    // The full working set is 40K objects; the curve must extend to that
+    // scale (not the sampled ~10K).
+    assert!(mrc.max_size() > 30_000.0, "max size {}", mrc.max_size());
+    // Just past the working set only colds miss (half the refs). Sampling
+    // error can shift the cliff by a few percent, so evaluate at WSS + 10%.
+    assert!((mrc.eval(44_000.0) - 0.5).abs() < 0.05, "got {}", mrc.eval(44_000.0));
+}

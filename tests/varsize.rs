@@ -1,0 +1,103 @@
+//! Integration: byte-level (var-KRR) accuracy on variable-object-size
+//! workloads (§4.4.1, §5.4, Table 5.2 / Fig 5.3).
+
+use krr::prelude::*;
+use krr::trace::{msr, twitter};
+
+fn var_krr_mrc(trace: &[Request], k: u32, rate: f64, seed: u64) -> Mrc {
+    let mut cfg = KrrConfig::new(f64::from(k)).byte_level(2, 1024).seed(seed);
+    if rate < 1.0 {
+        cfg = cfg.sampling(rate);
+    }
+    let mut m = KrrModel::new(cfg);
+    for r in trace {
+        m.access(r.key, r.size);
+    }
+    m.mrc()
+}
+
+fn byte_truth(trace: &[Request], k: u32, caps: &[u64]) -> Mrc {
+    simulate_mrc(trace, Policy::klru(k), Unit::Bytes, caps, 1, 8)
+}
+
+#[test]
+fn var_krr_matches_byte_simulation_msr() {
+    let trace = msr::profile(msr::MsrTrace::Rsrch).generate_var_size(300_000, 1, 0.2);
+    let (_, bytes) = krr::sim::working_set(&trace);
+    let caps = even_capacities(bytes, 15);
+    let sizes: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
+    for k in [1u32, 8] {
+        let truth = byte_truth(&trace, k, &caps);
+        let mae = truth.mae(&var_krr_mrc(&trace, k, 1.0, 3), &sizes);
+        assert!(mae < 0.02, "msr_rsrch K={k}: var-KRR MAE {mae}");
+    }
+}
+
+#[test]
+fn var_krr_matches_byte_simulation_twitter() {
+    let trace =
+        twitter::profile(twitter::TwitterCluster::C52_7).generate(300_000, 2, 0.2, true);
+    let (_, bytes) = krr::sim::working_set(&trace);
+    let caps = even_capacities(bytes, 15);
+    let sizes: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
+    let k = 16u32;
+    let truth = byte_truth(&trace, k, &caps);
+    let mae = truth.mae(&var_krr_mrc(&trace, k, 1.0, 4), &sizes);
+    assert!(mae < 0.02, "tw52.7 K={k}: var-KRR MAE {mae}");
+}
+
+#[test]
+fn uniform_assumption_is_worse_on_skewed_sizes() {
+    // Fig 5.3(A): uni-KRR (object distances scaled by the mean size) can
+    // deviate; var-KRR must beat it on a size-skewed workload.
+    let trace =
+        twitter::profile(twitter::TwitterCluster::C34_1).generate(300_000, 5, 0.1, true);
+    let (objects, bytes) = krr::sim::working_set(&trace);
+    let mean = bytes as f64 / objects as f64;
+    let caps = even_capacities(bytes, 15);
+    let sizes: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
+    let k = 8u32;
+    let truth = byte_truth(&trace, k, &caps);
+
+    let var_mae = truth.mae(&var_krr_mrc(&trace, k, 1.0, 6), &sizes);
+    let mut uni = KrrModel::new(KrrConfig::new(f64::from(k)).seed(6));
+    for r in &trace {
+        uni.access_key(r.key);
+    }
+    let uni_scaled =
+        Mrc::from_points(uni.mrc().points().iter().map(|&(x, y)| (x * mean, y)).collect());
+    let uni_mae = truth.mae(&uni_scaled, &sizes);
+
+    assert!(var_mae < uni_mae, "var-KRR ({var_mae}) must beat uni-KRR ({uni_mae})");
+    assert!(var_mae < 0.02, "var-KRR MAE {var_mae}");
+}
+
+#[test]
+fn var_krr_with_spatial_sampling() {
+    let trace = msr::profile(msr::MsrTrace::Web).generate_var_size(400_000, 7, 0.3);
+    let (objects, bytes) = krr::sim::working_set(&trace);
+    let caps = even_capacities(bytes, 12);
+    let sizes: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
+    let k = 4u32;
+    let truth = byte_truth(&trace, k, &caps);
+    let rate = krr::core::sampling::rate_for_working_set(0.1, objects, 8 * 1024);
+    let mae = truth.mae(&var_krr_mrc(&trace, k, rate, 8), &sizes);
+    assert!(mae < 0.04, "var-KRR+spatial MAE {mae}");
+}
+
+#[test]
+fn size_changes_on_set_are_tracked() {
+    // Objects that get rewritten with different sizes must keep the model's
+    // byte accounting exact (the SizeArray::on_resize path).
+    let mut m = KrrModel::new(KrrConfig::new(4.0).byte_level(2, 1));
+    for round in 0..5u32 {
+        for key in 0..500u64 {
+            m.access(key, 100 + round * 50);
+        }
+    }
+    // Total bytes on the stack = 500 * final size.
+    let mrc = m.mrc();
+    let full = 500.0 * 300.0;
+    assert!(mrc.eval(full) < 0.21, "full-size miss {}", mrc.eval(full));
+    assert_eq!(mrc.eval(0.0), 1.0);
+}
