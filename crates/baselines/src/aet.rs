@@ -38,7 +38,11 @@ impl Aet {
     /// widths bound memory for very long traces).
     #[must_use]
     pub fn with_bin_width(w: u64) -> Self {
-        Self { last: KeyMap::default(), rtd: SdHistogram::new(w), clock: 0 }
+        Self {
+            last: KeyMap::default(),
+            rtd: SdHistogram::new(w),
+            clock: 0,
+        }
     }
 
     /// Offers one reference.

@@ -92,8 +92,10 @@ impl CounterStacks {
             return;
         }
         // A fresh counter covers this chunk onward.
-        self.counters
-            .push(Counter { hll: HyperLogLog::new(self.precision), prev_estimate: 0.0 });
+        self.counters.push(Counter {
+            hll: HyperLogLog::new(self.precision),
+            prev_estimate: 0.0,
+        });
         for c in &mut self.counters {
             for &key in &self.buffer {
                 c.hll.add(key);
@@ -137,7 +139,11 @@ impl CounterStacks {
         let intra = (chunk_len - deltas[newest]).max(0.0);
         attributions.push(((estimates[newest] / 2.0).round().max(1.0) as u64, intra));
         let raw_total: f64 = cold_raw + attributions.iter().map(|&(_, m)| m).sum::<f64>();
-        let norm = if raw_total > 0.0 { chunk_len / raw_total } else { 0.0 };
+        let norm = if raw_total > 0.0 {
+            chunk_len / raw_total
+        } else {
+            0.0
+        };
         debug_assert!(norm.is_finite());
         self.cold += cold_raw * norm;
         for (distance, mass) in attributions {
@@ -230,8 +236,16 @@ mod tests {
         }
         let mrc = cs.mrc();
         // Cliff at the loop size, within HLL error.
-        assert!(mrc.eval(m as f64 * 0.7) > 0.9, "below cliff: {}", mrc.eval(m as f64 * 0.7));
-        assert!(mrc.eval(m as f64 * 1.3) < 0.15, "above cliff: {}", mrc.eval(m as f64 * 1.3));
+        assert!(
+            mrc.eval(m as f64 * 0.7) > 0.9,
+            "below cliff: {}",
+            mrc.eval(m as f64 * 0.7)
+        );
+        assert!(
+            mrc.eval(m as f64 * 1.3) < 0.15,
+            "above cliff: {}",
+            mrc.eval(m as f64 * 1.3)
+        );
     }
 
     #[test]
@@ -256,7 +270,11 @@ mod tests {
             cs.access_key(i % 100);
         }
         let mrc = cs.mrc();
-        assert!(mrc.eval(200.0) < 0.3, "repeats must be visible: {}", mrc.eval(200.0));
+        assert!(
+            mrc.eval(200.0) < 0.3,
+            "repeats must be visible: {}",
+            mrc.eval(200.0)
+        );
         assert_eq!(cs.processed(), 1_500);
     }
 }

@@ -20,7 +20,10 @@ impl HyperLogLog {
     #[must_use]
     pub fn new(precision: u8) -> Self {
         assert!((4..=16).contains(&precision), "precision must be in 4..=16");
-        Self { precision, registers: vec![0; 1 << precision] }
+        Self {
+            precision,
+            registers: vec![0; 1 << precision],
+        }
     }
 
     /// Number of registers.
@@ -52,7 +55,11 @@ impl HyperLogLog {
             64 => 0.709,
             n => 0.7213 / (1.0 + 1.079 / n as f64),
         };
-        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-i32::from(r))).sum();
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2f64.powi(-i32::from(r)))
+            .sum();
         let raw = alpha * m * m / sum;
         if raw <= 2.5 * m {
             // Small-range correction: linear counting over empty registers.

@@ -32,6 +32,6 @@ pub use counterstacks::CounterStacks;
 pub use hll::HyperLogLog;
 pub use mimir::Mimir;
 pub use olken::OlkenLru;
-pub use statstack::StatStack;
 pub use ostree::OsTreap;
 pub use shards::{Shards, ShardsMax};
+pub use statstack::StatStack;

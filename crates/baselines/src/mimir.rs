@@ -176,8 +176,16 @@ mod tests {
         }
         let mrc = m.mrc();
         // Bucketing smears the cliff by ~1/B; check it sits near the loop.
-        assert!(mrc.eval(loop_len as f64 * 0.7) > 0.85, "{}", mrc.eval(loop_len as f64 * 0.7));
-        assert!(mrc.eval(loop_len as f64 * 1.4) < 0.15, "{}", mrc.eval(loop_len as f64 * 1.4));
+        assert!(
+            mrc.eval(loop_len as f64 * 0.7) > 0.85,
+            "{}",
+            mrc.eval(loop_len as f64 * 0.7)
+        );
+        assert!(
+            mrc.eval(loop_len as f64 * 1.4) < 0.15,
+            "{}",
+            mrc.eval(loop_len as f64 * 1.4)
+        );
     }
 
     #[test]

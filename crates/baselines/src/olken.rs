@@ -30,7 +30,12 @@ impl OlkenLru {
     /// Creates an empty profiler.
     #[must_use]
     pub fn new() -> Self {
-        Self { tree: OsTreap::new(), last: KeyMap::default(), hist: SdHistogram::new(1), clock: 0 }
+        Self {
+            tree: OsTreap::new(),
+            last: KeyMap::default(),
+            hist: SdHistogram::new(1),
+            clock: 0,
+        }
     }
 
     /// Processes one reference; returns the LRU stack distance, or `None`

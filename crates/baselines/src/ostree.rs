@@ -76,7 +76,13 @@ impl OsTreap {
     }
 
     fn alloc(&mut self, key: u64) -> u32 {
-        let node = Node { key, pri: self.rng.next_u64(), left: NIL, right: NIL, count: 1 };
+        let node = Node {
+            key,
+            pri: self.rng.next_u64(),
+            left: NIL,
+            right: NIL,
+            count: 1,
+        };
         match self.free.pop() {
             Some(i) => {
                 self.nodes[i as usize] = node;

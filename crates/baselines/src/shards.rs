@@ -42,7 +42,11 @@ impl Shards {
     #[must_use]
     pub fn with_adjustment(rate: f64, adjust: bool) -> Self {
         Self {
-            filter: if rate >= 1.0 { SpatialFilter::all() } else { SpatialFilter::with_rate(rate) },
+            filter: if rate >= 1.0 {
+                SpatialFilter::all()
+            } else {
+                SpatialFilter::with_rate(rate)
+            },
             tree: OsTreap::new(),
             last: KeyMap::default(),
             hist: SdHistogram::new(1),
@@ -192,8 +196,12 @@ impl ShardsMax {
     /// object at or above it and rescaling the histogram.
     fn shrink(&mut self) {
         let t_old = self.threshold;
-        let max_residue =
-            self.last.values().map(|&(_, r)| r).max().expect("shrink on empty tracker");
+        let max_residue = self
+            .last
+            .values()
+            .map(|&(_, r)| r)
+            .max()
+            .expect("shrink on empty tracker");
         let t_new = max_residue;
         debug_assert!(t_new < t_old);
         self.threshold = t_new;

@@ -44,7 +44,11 @@ impl StatStack {
     /// Creates a profiler with the given reuse-time bin width.
     #[must_use]
     pub fn with_bin_width(w: u64) -> Self {
-        Self { last: KeyMap::default(), rtd: SdHistogram::new(w), clock: 0 }
+        Self {
+            last: KeyMap::default(),
+            rtd: SdHistogram::new(w),
+            clock: 0,
+        }
     }
 
     /// Offers one reference.

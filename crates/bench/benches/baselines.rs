@@ -1,71 +1,68 @@
-//! Criterion: end-to-end one-pass profiler throughput — KRR (±spatial) vs
-//! the exact-LRU baselines (Olken, SHARDS, AET) — the comparison behind
-//! Table 5.4.
+//! End-to-end one-pass profiler throughput — KRR (±spatial) vs the
+//! exact-LRU baselines (Olken, SHARDS, AET) — the comparison behind
+//! Table 5.4. Gated behind the `bench-ext` feature (long-running).
+//!
+//! Pass `--metrics` to also dump the KRR run's metrics snapshot.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use krr_baselines::{Aet, OlkenLru, Shards};
+use krr_bench::microbench::Suite;
+use krr_core::metrics::MetricsRegistry;
 use krr_core::{KrrConfig, KrrModel};
-use std::hint::black_box;
+use std::sync::Arc;
 
-fn traces() -> Vec<u64> {
+fn trace() -> Vec<u64> {
     let z = krr_trace::Zipf::new(200_000, 0.99);
     let mut rng = krr_core::rng::Xoshiro256::seed_from_u64(7);
     (0..300_000).map(|_| z.sample(&mut rng)).collect()
 }
 
-fn bench_profilers(c: &mut Criterion) {
-    let trace = traces();
-    let mut g = c.benchmark_group("profilers");
-    g.throughput(Throughput::Elements(trace.len() as u64));
-    g.sample_size(10);
+fn main() {
+    let dump_metrics = std::env::args().any(|a| a == "--metrics");
+    let registry = dump_metrics.then(|| Arc::new(MetricsRegistry::new()));
+    let trace = trace();
+    let mut suite = Suite::new("profilers");
+    suite.throughput(trace.len() as u64);
 
-    g.bench_function("krr_backward_k5", |b| {
-        b.iter(|| {
-            let mut m = KrrModel::new(KrrConfig::new(5.0).seed(1));
-            for &k in &trace {
-                m.access_key(k);
-            }
-            black_box(m.histogram().total())
-        });
+    suite.bench("krr_backward_k5", || {
+        let mut m = KrrModel::new(KrrConfig::new(5.0).seed(1));
+        if let Some(reg) = &registry {
+            m.set_metrics(Arc::clone(reg));
+        }
+        for &k in &trace {
+            m.access_key(k);
+        }
+        m.histogram().total()
     });
-    g.bench_function("krr_backward_k5_spatial_0.05", |b| {
-        b.iter(|| {
-            let mut m = KrrModel::new(KrrConfig::new(5.0).sampling(0.05).seed(2));
-            for &k in &trace {
-                m.access_key(k);
-            }
-            black_box(m.histogram().total())
-        });
+    suite.bench("krr_backward_k5_spatial_0.05", || {
+        let mut m = KrrModel::new(KrrConfig::new(5.0).sampling(0.05).seed(2));
+        for &k in &trace {
+            m.access_key(k);
+        }
+        m.histogram().total()
     });
-    g.bench_function("olken", |b| {
-        b.iter(|| {
-            let mut o = OlkenLru::new();
-            for &k in &trace {
-                o.access_key(k);
-            }
-            black_box(o.distinct())
-        });
+    suite.bench("olken", || {
+        let mut o = OlkenLru::new();
+        for &k in &trace {
+            o.access_key(k);
+        }
+        o.distinct()
     });
-    g.bench_function("shards_0.05", |b| {
-        b.iter(|| {
-            let mut s = Shards::new(0.05);
-            for &k in &trace {
-                s.access_key(k);
-            }
-            black_box(s.counts())
-        });
+    suite.bench("shards_0.05", || {
+        let mut s = Shards::new(0.05);
+        for &k in &trace {
+            s.access_key(k);
+        }
+        s.counts().0
     });
-    g.bench_function("aet", |b| {
-        b.iter(|| {
-            let mut a = Aet::with_bin_width(16);
-            for &k in &trace {
-                a.access_key(k);
-            }
-            black_box(a.distinct())
-        });
+    suite.bench("aet", || {
+        let mut a = Aet::with_bin_width(16);
+        for &k in &trace {
+            a.access_key(k);
+        }
+        a.distinct()
     });
-    g.finish();
+    suite.finish();
+    if let Some(reg) = &registry {
+        println!("{}", reg.snapshot().render_info());
+    }
 }
-
-criterion_group!(benches, bench_profilers);
-criterion_main!(benches);

@@ -1,62 +1,78 @@
-//! Criterion: cache-simulator throughput — exact LRU vs K-LRU (per K) vs
-//! mini-Redis — the substrate cost behind every "actual MRC" in §5.
+//! Cache-simulator throughput — exact LRU vs K-LRU (per K) vs mini-Redis —
+//! the substrate cost behind every "actual MRC" in §5. Gated behind the
+//! `bench-ext` feature (long-running).
+//!
+//! Pass `--metrics` to also dump eviction metrics from the instrumented
+//! K-LRU and mini-Redis runs.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use krr_bench::microbench::Suite;
+use krr_core::metrics::MetricsRegistry;
 use krr_redis::{MiniRedis, SamplingMode};
 use krr_sim::{Cache, Capacity, ExactLru, KLruCache};
 use krr_trace::Request;
-use std::hint::black_box;
+use std::sync::Arc;
 
 fn trace() -> Vec<Request> {
     let z = krr_trace::Zipf::new(100_000, 0.99);
     let mut rng = krr_core::rng::Xoshiro256::seed_from_u64(9);
-    (0..200_000).map(|_| Request::get(z.sample(&mut rng), 200)).collect()
+    (0..200_000)
+        .map(|_| Request::get(z.sample(&mut rng), 200))
+        .collect()
 }
 
-fn bench_caches(c: &mut Criterion) {
+fn main() {
+    let dump_metrics = std::env::args().any(|a| a == "--metrics");
+    let registry = dump_metrics.then(|| Arc::new(MetricsRegistry::new()));
     let reqs = trace();
     let cap_objects = 20_000u64;
     let cap_bytes = cap_objects * 200;
-    let mut g = c.benchmark_group("simulators");
-    g.throughput(Throughput::Elements(reqs.len() as u64));
-    g.sample_size(10);
+    let mut suite = Suite::new("simulators");
+    suite.throughput(reqs.len() as u64);
 
-    g.bench_function("exact_lru", |b| {
-        b.iter(|| {
-            let mut cache = ExactLru::new(Capacity::Objects(cap_objects));
+    suite.bench("exact_lru", || {
+        let mut cache = ExactLru::new(Capacity::Objects(cap_objects));
+        for r in &reqs {
+            cache.access(r);
+        }
+        cache.stats().hits
+    });
+    for k in [1u32, 5, 16] {
+        suite.bench(&format!("klru_k{k}"), || {
+            let mut cache = KLruCache::new(Capacity::Objects(cap_objects), k, 3);
+            if let Some(reg) = &registry {
+                cache.set_metrics(Arc::clone(reg));
+            }
             for r in &reqs {
-                black_box(cache.access(r));
+                cache.access(r);
             }
             cache.stats().hits
         });
-    });
-    for k in [1u32, 5, 16] {
-        g.bench_function(format!("klru_k{k}"), |b| {
-            b.iter(|| {
-                let mut cache = KLruCache::new(Capacity::Objects(cap_objects), k, 3);
-                for r in &reqs {
-                    black_box(cache.access(r));
-                }
-                cache.stats().hits
-            });
-        });
     }
+    let mut last_store_metrics = None;
     for (name, mode) in [
         ("mini_redis_clustered", SamplingMode::ClusteredWalk),
         ("mini_redis_uniform", SamplingMode::UniformRandom),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut store = MiniRedis::with_mode(cap_bytes, 5, mode, 4);
-                for r in &reqs {
-                    black_box(store.access(r));
-                }
-                store.stats().hits
-            });
+        suite.bench(name, || {
+            let mut store = MiniRedis::with_mode(cap_bytes, 5, mode, 4);
+            for r in &reqs {
+                store.access(r);
+            }
+            let hits = store.stats().hits;
+            if dump_metrics {
+                last_store_metrics = Some(store.metrics().snapshot());
+            }
+            hits
         });
     }
-    g.finish();
+    suite.finish();
+    if let Some(reg) = &registry {
+        println!(
+            "# klru (aggregated over all K)\n{}",
+            reg.snapshot().render_info()
+        );
+    }
+    if let Some(snap) = &last_store_metrics {
+        println!("# mini-redis (last run)\n{}", snap.render_info());
+    }
 }
-
-criterion_group!(benches, bench_caches);
-criterion_main!(benches);

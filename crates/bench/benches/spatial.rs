@@ -1,35 +1,42 @@
-//! Criterion: effect of the spatial sampling rate on profiler cost (§2.4,
-//! §5.5) — cost should fall roughly linearly in R.
+//! Effect of the spatial sampling rate on profiler cost (§2.4, §5.5) —
+//! cost should fall roughly linearly in R. Gated behind the `bench-ext`
+//! feature (long-running).
+//!
+//! Pass `--metrics` to also dump the instrumented runs' snapshot (the
+//! `spatial_rejected` counter shows the filter doing the work).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use krr_bench::microbench::Suite;
+use krr_core::metrics::MetricsRegistry;
 use krr_core::{KrrConfig, KrrModel};
-use std::hint::black_box;
+use std::sync::Arc;
 
-fn bench_rates(c: &mut Criterion) {
+fn main() {
+    let dump_metrics = std::env::args().any(|a| a == "--metrics");
+    let registry = dump_metrics.then(|| Arc::new(MetricsRegistry::new()));
     let z = krr_trace::Zipf::new(500_000, 0.9);
     let mut rng = krr_core::rng::Xoshiro256::seed_from_u64(11);
     let trace: Vec<u64> = (0..400_000).map(|_| z.sample(&mut rng)).collect();
 
-    let mut g = c.benchmark_group("spatial_rate");
-    g.throughput(Throughput::Elements(trace.len() as u64));
-    g.sample_size(10);
+    let mut suite = Suite::new("spatial_rate");
+    suite.throughput(trace.len() as u64);
     for &rate in &[1.0f64, 0.1, 0.01, 0.001] {
-        g.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |b, &rate| {
-            b.iter(|| {
-                let mut cfg = KrrConfig::new(5.0).seed(5);
-                if rate < 1.0 {
-                    cfg = cfg.sampling(rate);
-                }
-                let mut m = KrrModel::new(cfg);
-                for &k in &trace {
-                    m.access_key(k);
-                }
-                black_box(m.stats().sampled)
-            });
+        suite.bench(&format!("rate={rate}"), || {
+            let mut cfg = KrrConfig::new(5.0).seed(5);
+            if rate < 1.0 {
+                cfg = cfg.sampling(rate);
+            }
+            let mut m = KrrModel::new(cfg);
+            if let Some(reg) = &registry {
+                m.set_metrics(Arc::clone(reg));
+            }
+            for &k in &trace {
+                m.access_key(k);
+            }
+            m.stats().sampled
         });
     }
-    g.finish();
+    suite.finish();
+    if let Some(reg) = &registry {
+        println!("{}", reg.snapshot().render_info());
+    }
 }
-
-criterion_group!(benches, bench_rates);
-criterion_main!(benches);

@@ -1,79 +1,95 @@
-//! Criterion: per-access cost of the three stack-update strategies across K
-//! and stack depth M — the micro-benchmark behind Table 5.3 / Fig 5.4.
+//! Per-access cost of the three stack-update strategies across K and stack
+//! depth M — the micro-benchmark behind Table 5.3 / Fig 5.4 — plus the
+//! metrics-overhead check: whole-model throughput with the observability
+//! layer off vs on must stay within a few percent.
+//!
+//! Pass `--metrics` to also dump the instrumented run's metrics snapshot.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use krr_bench::microbench::Suite;
+use krr_core::metrics::MetricsRegistry;
 use krr_core::rng::Xoshiro256;
 use krr_core::update::{swap_chain, UpdaterKind};
-use krr_core::{KrrConfig, KrrModel, UpdaterKind as UK};
+use krr_core::{KrrConfig, KrrModel};
 use std::hint::black_box;
+use std::sync::Arc;
 
-/// Raw swap-chain generation at a fixed stack distance.
-fn bench_swap_chain(c: &mut Criterion) {
-    let mut g = c.benchmark_group("swap_chain");
+fn bench_swap_chain(suite: &mut Suite) {
     for &phi in &[1u64 << 10, 1 << 16, 1 << 20] {
         for &k in &[1.0f64, 5.0, 16.0] {
-            for kind in [UpdaterKind::TopDown, UpdaterKind::Backward] {
-                g.bench_with_input(
-                    BenchmarkId::new(format!("{kind}/K={k}"), phi),
-                    &phi,
-                    |b, &phi| {
-                        let mut rng = Xoshiro256::seed_from_u64(1);
-                        let mut out = Vec::with_capacity(1024);
-                        b.iter(|| {
-                            out.clear();
-                            swap_chain(kind, black_box(phi), k, &mut rng, &mut out);
-                            black_box(out.len())
-                        });
-                    },
-                );
-            }
+            let mut kinds = vec![UpdaterKind::TopDown, UpdaterKind::Backward];
             // The naive scan is only feasible at the small depth.
             if phi <= 1 << 10 {
-                g.bench_with_input(
-                    BenchmarkId::new(format!("naive/K={k}"), phi),
-                    &phi,
-                    |b, &phi| {
-                        let mut rng = Xoshiro256::seed_from_u64(1);
-                        let mut out = Vec::with_capacity(1024);
-                        b.iter(|| {
-                            out.clear();
-                            swap_chain(UpdaterKind::Naive, black_box(phi), k, &mut rng, &mut out);
-                            black_box(out.len())
-                        });
-                    },
-                );
+                kinds.push(UpdaterKind::Naive);
+            }
+            for kind in kinds {
+                let mut rng = Xoshiro256::seed_from_u64(1);
+                let mut out = Vec::with_capacity(1024);
+                suite.bench(&format!("swap_chain/{kind}/K={k}/phi={phi}"), || {
+                    out.clear();
+                    swap_chain(kind, black_box(phi), k, &mut rng, &mut out);
+                    out.len()
+                });
             }
         }
     }
-    g.finish();
 }
 
-/// Whole-model throughput (lookup + chain + apply + histogram) on a Zipf
-/// stream, per updater.
-fn bench_model_throughput(c: &mut Criterion) {
-    let keys = 100_000u64;
-    let trace: Vec<u64> = {
-        let z = krr_trace::Zipf::new(keys, 0.9);
-        let mut rng = Xoshiro256::seed_from_u64(3);
-        (0..200_000).map(|_| z.sample(&mut rng)).collect()
-    };
-    let mut g = c.benchmark_group("model_throughput");
-    g.throughput(Throughput::Elements(trace.len() as u64));
-    for updater in [UK::TopDown, UK::Backward] {
+fn model_trace() -> Vec<u64> {
+    let z = krr_trace::Zipf::new(100_000, 0.9);
+    let mut rng = Xoshiro256::seed_from_u64(3);
+    (0..200_000).map(|_| z.sample(&mut rng)).collect()
+}
+
+fn bench_model_throughput(suite: &mut Suite, trace: &[u64]) {
+    suite.throughput(trace.len() as u64);
+    for updater in [UpdaterKind::TopDown, UpdaterKind::Backward] {
         for &k in &[1.0f64, 5.0, 16.0] {
-            g.bench_function(format!("{updater}/K={k}"), |b| {
-                b.iter(|| {
-                    let mut m = KrrModel::new(KrrConfig::new(k).raw_k().updater(updater).seed(4));
-                    for &key in &trace {
-                        m.access_key(key);
-                    }
-                    black_box(m.histogram().total())
-                });
+            suite.bench(&format!("model/{updater}/K={k}"), || {
+                let mut m = KrrModel::new(KrrConfig::new(k).raw_k().updater(updater).seed(4));
+                for &key in trace {
+                    m.access_key(key);
+                }
+                m.histogram().total()
             });
         }
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_swap_chain, bench_model_throughput);
-criterion_main!(benches);
+/// The ≤5% acceptance check: identical model runs, metrics detached vs
+/// attached. Returns the overhead of the instrumented run in percent.
+fn bench_metrics_overhead(suite: &mut Suite, trace: &[u64], dump: bool) -> f64 {
+    suite.throughput(trace.len() as u64);
+    let run = |registry: Option<Arc<MetricsRegistry>>| {
+        let mut m = KrrModel::new(KrrConfig::new(5.0).seed(4));
+        if let Some(reg) = registry {
+            m.set_metrics(reg);
+        }
+        for &key in trace {
+            m.access_key(key);
+        }
+        m.histogram().total()
+    };
+    let off = suite.bench("model/metrics=off/K=5", || run(None));
+    let registry = Arc::new(MetricsRegistry::new());
+    let reg = Arc::clone(&registry);
+    let on = suite.bench("model/metrics=on/K=5", move || run(Some(Arc::clone(&reg))));
+    let overhead = (on.median_ns as f64 / off.median_ns as f64 - 1.0) * 100.0;
+    println!(
+        "metrics overhead: {overhead:+.2}% (median {} -> {} ns)",
+        off.median_ns, on.median_ns
+    );
+    if dump {
+        println!("{}", registry.snapshot().render_info());
+    }
+    overhead
+}
+
+fn main() {
+    let dump_metrics = std::env::args().any(|a| a == "--metrics");
+    let mut suite = Suite::new("stack_update");
+    bench_swap_chain(&mut suite);
+    let trace = model_trace();
+    bench_model_throughput(&mut suite, &trace);
+    bench_metrics_overhead(&mut suite, &trace, dump_metrics);
+    suite.finish();
+}

@@ -9,8 +9,18 @@ use krr_bench::{actual_mrc, report, requests, scale};
 use krr_core::{KrrConfig, KrrModel};
 use krr_trace::{msr, patterns, ycsb, Request};
 
-fn mae_for_exponent(sim: &krr_core::Mrc, sizes: &[f64], trace: &[Request], k: u32, exponent: f64) -> f64 {
-    let mut m = KrrModel::new(KrrConfig::new(f64::from(k)).kprime_exponent(exponent).seed(42));
+fn mae_for_exponent(
+    sim: &krr_core::Mrc,
+    sizes: &[f64],
+    trace: &[Request],
+    k: u32,
+    exponent: f64,
+) -> f64 {
+    let mut m = KrrModel::new(
+        KrrConfig::new(f64::from(k))
+            .kprime_exponent(exponent)
+            .seed(42),
+    );
     for r in trace {
         m.access_key(r.key);
     }
@@ -23,9 +33,18 @@ fn main() {
     let exponents = [1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.8];
     let ks = [4u32, 8, 16];
     let traces: Vec<(&str, Vec<Request>)> = vec![
-        ("ycsb_C_0.99", ycsb::WorkloadC::new(((1e6 * sc) as u64).max(1000), 0.99).generate(n, 1)),
-        ("loop", patterns::loop_trace(((2e4 * sc * 10.0) as u64).max(1000), n)),
-        ("msr_web", msr::profile(msr::MsrTrace::Web).generate(n, 2, sc)),
+        (
+            "ycsb_C_0.99",
+            ycsb::WorkloadC::new(((1e6 * sc) as u64).max(1000), 0.99).generate(n, 1),
+        ),
+        (
+            "loop",
+            patterns::loop_trace(((2e4 * sc * 10.0) as u64).max(1000), n),
+        ),
+        (
+            "msr_web",
+            msr::profile(msr::MsrTrace::Web).generate(n, 2, sc),
+        ),
     ];
 
     let mut rows = Vec::new();

@@ -20,7 +20,10 @@ fn main() {
     let bases = [2u64, 4, 8, 16];
 
     let traces = vec![
-        ("msr_rsrch".to_string(), msr::profile(msr::MsrTrace::Rsrch).generate_var_size(n, 1, sc)),
+        (
+            "msr_rsrch".to_string(),
+            msr::profile(msr::MsrTrace::Rsrch).generate_var_size(n, 1, sc),
+        ),
         (
             "tw_cluster26.0".to_string(),
             twitter::profile(twitter::TwitterCluster::C26_0).generate(n, 2, sc, true),
@@ -64,7 +67,10 @@ fn main() {
     let sizes: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
     let with = simulate_mrc(
         trace,
-        Policy::KLru { k, with_replacement: true },
+        Policy::KLru {
+            k,
+            with_replacement: true,
+        },
         Unit::Bytes,
         &caps,
         5,
@@ -72,7 +78,10 @@ fn main() {
     );
     let without = simulate_mrc(
         trace,
-        Policy::KLru { k, with_replacement: false },
+        Policy::KLru {
+            k,
+            with_replacement: false,
+        },
         Unit::Bytes,
         &caps,
         6,

@@ -19,8 +19,14 @@ fn main() {
     let n = requests();
     let sc = scale();
     let traces: Vec<(&str, Vec<Request>)> = vec![
-        ("ycsb_C_0.99", ycsb::WorkloadC::new(((1e6 * sc) as u64).max(1000), 0.99).generate(n, 1)),
-        ("msr_web", msr::profile(msr::MsrTrace::Web).generate(n, 2, sc)),
+        (
+            "ycsb_C_0.99",
+            ycsb::WorkloadC::new(((1e6 * sc) as u64).max(1000), 0.99).generate(n, 1),
+        ),
+        (
+            "msr_web",
+            msr::profile(msr::MsrTrace::Web).generate(n, 2, sc),
+        ),
     ];
 
     for (name, trace) in &traces {
@@ -108,8 +114,12 @@ fn main() {
         ]);
         let mini_rate = guarded_rate(0.05, objects);
         let (mrc, t) = timed(|| {
-            let mut ms =
-                MiniSim::new(&caps, mini_rate, |c| Box::new(KLruCache::new(c, k, 13)), false);
+            let mut ms = MiniSim::new(
+                &caps,
+                mini_rate,
+                |c| Box::new(KLruCache::new(c, k, 13)),
+                false,
+            );
             for r in trace {
                 ms.access(r);
             }

@@ -11,9 +11,7 @@ use krr_sim::arc::ArcCache;
 use krr_sim::opt::opt_mrc;
 use krr_sim::sampled::{HyperbolicScore, SampledCache};
 use krr_sim::wtinylfu::WTinyLfuCache;
-use krr_sim::{
-    even_capacities, simulate_mrc, Cache, Capacity, KLfuCache, MiniSim, Policy, Unit,
-};
+use krr_sim::{even_capacities, simulate_mrc, Cache, Capacity, KLfuCache, MiniSim, Policy, Unit};
 use krr_trace::{msr, Request};
 
 fn curve_of(
@@ -40,7 +38,10 @@ fn main() {
     let trace = msr::profile(msr::MsrTrace::Web).generate(n, 0x200, sc);
     let (objects, _) = krr_sim::working_set(&trace);
     let caps = even_capacities(objects, 12);
-    println!("ext_policy_zoo: msr_web, {} requests, {objects} objects", trace.len());
+    println!(
+        "ext_policy_zoo: msr_web, {} requests, {objects} objects",
+        trace.len()
+    );
 
     let opt = opt_mrc(&trace, &caps);
     let lru = simulate_mrc(&trace, Policy::ExactLru, Unit::Objects, &caps, 1, threads());
@@ -77,7 +78,11 @@ fn main() {
         .iter()
         .map(|&c| {
             std::iter::once(format!("{c}"))
-                .chain(columns.iter().map(|(_, m)| format!("{:.3}", m.eval(c as f64))))
+                .chain(
+                    columns
+                        .iter()
+                        .map(|(_, m)| format!("{:.3}", m.eval(c as f64))),
+                )
                 .collect()
         })
         .collect();
@@ -96,13 +101,18 @@ fn main() {
         }
     }
     println!("\nOPT <= LRU violations: {violations} (expect 0)");
-    println!("ARC miniature-simulation MAE vs full ARC: {:.5}", arc.mae(&arc_mini, &sizes));
+    println!(
+        "ARC miniature-simulation MAE vs full ARC: {:.5}",
+        arc.mae(&arc_mini, &sizes)
+    );
 
     let csv: Vec<String> = caps
         .iter()
         .map(|&c| {
-            let vals: Vec<String> =
-                columns.iter().map(|(_, m)| format!("{:.5}", m.eval(c as f64))).collect();
+            let vals: Vec<String> = columns
+                .iter()
+                .map(|(_, m)| format!("{:.5}", m.eval(c as f64)))
+                .collect();
             format!("{c},{}", vals.join(","))
         })
         .collect();

@@ -59,11 +59,19 @@ fn main() {
             format!("{:.4}", redis_miss - lru_miss),
             format!("{:.4}", klru_miss - lru_miss),
         ]);
-        csv.push(format!("{samples},{redis_miss:.5},{klru_miss:.5},{lru_miss:.5}"));
+        csv.push(format!(
+            "{samples},{redis_miss:.5},{klru_miss:.5},{lru_miss:.5}"
+        ));
     }
     report::print_table(
         &format!("eviction-pool ablation (exact LRU miss = {lru_miss:.4})"),
-        &["samples", "mini-Redis", "poolless K-LRU", "Redis-LRU gap", "K-LRU-LRU gap"],
+        &[
+            "samples",
+            "mini-Redis",
+            "poolless K-LRU",
+            "Redis-LRU gap",
+            "K-LRU-LRU gap",
+        ],
         &rows,
     );
     println!(
@@ -71,5 +79,9 @@ fn main() {
          pool is worth roughly a couple of extra samples (visible at samples >= 5), which is \
          why Redis ships samples=5 rather than something larger"
     );
-    report::write_csv("ext_redis_pool", "samples,redis_miss,klru_miss,lru_miss", &csv);
+    report::write_csv(
+        "ext_redis_pool",
+        "samples,redis_miss,klru_miss,lru_miss",
+        &csv,
+    );
 }

@@ -63,8 +63,10 @@ fn main() {
     let csv_rows: Vec<String> = caps
         .iter()
         .map(|&c| {
-            let vals: Vec<String> =
-                curves.iter().map(|m| format!("{:.5}", m.eval(c as f64))).collect();
+            let vals: Vec<String> = curves
+                .iter()
+                .map(|m| format!("{:.5}", m.eval(c as f64)))
+                .collect();
             format!("{c},{}", vals.join(","))
         })
         .collect();

@@ -20,7 +20,10 @@ fn main() {
             t.truncate(n);
             t
         }),
-        ("msr_src1".into(), msr::profile(msr::MsrTrace::Src1).generate(n, 6, sc)),
+        (
+            "msr_src1".into(),
+            msr::profile(msr::MsrTrace::Src1).generate(n, 6, sc),
+        ),
     ];
 
     for (name, trace) in &traces {
@@ -48,7 +51,11 @@ fn main() {
             .step_by(4)
             .map(|&c| {
                 std::iter::once(format!("{c}"))
-                    .chain(columns.iter().map(|(_, m)| format!("{:.3}", m.eval(c as f64))))
+                    .chain(
+                        columns
+                            .iter()
+                            .map(|(_, m)| format!("{:.3}", m.eval(c as f64))),
+                    )
                     .collect()
             })
             .collect();
@@ -61,9 +68,21 @@ fn main() {
         // Per-K MAE summary (the figure's visual message, quantified).
         let sizes: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
         for &k in &ks {
-            let actual = &columns.iter().find(|(n, _)| n == &format!("actual_K{k}")).unwrap().1;
-            let krr = &columns.iter().find(|(n, _)| n == &format!("krr_K{k}")).unwrap().1;
-            let sp = &columns.iter().find(|(n, _)| n == &format!("krr_sp_K{k}")).unwrap().1;
+            let actual = &columns
+                .iter()
+                .find(|(n, _)| n == &format!("actual_K{k}"))
+                .unwrap()
+                .1;
+            let krr = &columns
+                .iter()
+                .find(|(n, _)| n == &format!("krr_K{k}"))
+                .unwrap()
+                .1;
+            let sp = &columns
+                .iter()
+                .find(|(n, _)| n == &format!("krr_sp_K{k}"))
+                .unwrap()
+                .1;
             println!(
                 "  K={k:<2}: MAE(KRR) = {:.5}, MAE(KRR+spatial) = {:.5}",
                 actual.mae(krr, &sizes),
@@ -74,8 +93,10 @@ fn main() {
         let csv_rows: Vec<String> = caps
             .iter()
             .map(|&c| {
-                let vals: Vec<String> =
-                    columns.iter().map(|(_, m)| format!("{:.5}", m.eval(c as f64))).collect();
+                let vals: Vec<String> = columns
+                    .iter()
+                    .map(|(_, m)| format!("{:.5}", m.eval(c as f64)))
+                    .collect();
                 format!("{c},{}", vals.join(","))
             })
             .collect();

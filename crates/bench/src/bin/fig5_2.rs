@@ -36,8 +36,10 @@ fn main() {
             }
             for (i, &c) in caps.iter().enumerate() {
                 let _ = i;
-                let vals: Vec<String> =
-                    curves.iter().map(|m| format!("{:.5}", m.eval(c as f64))).collect();
+                let vals: Vec<String> = curves
+                    .iter()
+                    .map(|m| format!("{:.5}", m.eval(c as f64)))
+                    .collect();
                 csv_rows.push(format!("{c},{},{:.5}", vals.join(","), lru.eval(c as f64)));
             }
             report::write_csv(
@@ -56,7 +58,10 @@ fn main() {
                 format!("{gap:.4}"),
                 format!("{k32_gap:.4}"),
             ]);
-            println!("{:<16} type {label}: K1-vs-LRU gap {gap:.4}, K32-vs-LRU {k32_gap:.4}", spec.name);
+            println!(
+                "{:<16} type {label}: K1-vs-LRU gap {gap:.4}, K32-vs-LRU {k32_gap:.4}",
+                spec.name
+            );
         }
     }
 

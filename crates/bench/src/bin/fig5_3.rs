@@ -18,7 +18,13 @@ fn uni_krr_mrc_bytes(trace: &[Request], k: f64, seed: u64) -> (Mrc, std::time::D
         for r in trace {
             m.access_key(r.key);
         }
-        Mrc::from_points(m.mrc().points().iter().map(|&(x, y)| (x * mean, y)).collect())
+        Mrc::from_points(
+            m.mrc()
+                .points()
+                .iter()
+                .map(|&(x, y)| (x * mean, y))
+                .collect(),
+        )
     })
 }
 
@@ -32,9 +38,19 @@ fn main() {
         ("msr_hm", msr::MsrTrace::Hm, 8),
     ]
     .into_iter()
-    .map(|(name, t, k)| (name.to_string(), msr::profile(t).generate_var_size(n, 0x53, sc), k))
+    .map(|(name, t, k)| {
+        (
+            name.to_string(),
+            msr::profile(t).generate_var_size(n, 0x53, sc),
+            k,
+        )
+    })
     .chain(twitter::TwitterCluster::ALL.iter().map(|&c| {
-        (format!("tw_{}", c.name()), twitter::profile(c).generate(n, 0x54, sc, true), 16u32)
+        (
+            format!("tw_{}", c.name()),
+            twitter::profile(c).generate(n, 0x54, sc, true),
+            16u32,
+        )
     }))
     .collect();
 
@@ -81,11 +97,22 @@ fn main() {
 
     report::print_table(
         "Fig 5.3 — uni-KRR vs var-KRR (MAE vs byte-granularity simulation, and model time)",
-        &["trace", "K", "uni-KRR MAE", "var-KRR MAE", "uni time (s)", "var time (s)"],
+        &[
+            "trace",
+            "K",
+            "uni-KRR MAE",
+            "var-KRR MAE",
+            "uni time (s)",
+            "var time (s)",
+        ],
         &rows,
     );
     println!(
         "\nexpected shape: var-KRR MAE ≪ uni-KRR MAE on size-skewed traces, at a small time premium"
     );
-    report::write_csv("fig5_3_summary", "trace,k,uni_mae,var_mae,uni_secs,var_secs", &csv);
+    report::write_csv(
+        "fig5_3_summary",
+        "trace,k,uni_mae,var_mae,uni_secs,var_secs",
+        &csv,
+    );
 }

@@ -32,8 +32,8 @@ fn main() {
                 }
                 std::hint::black_box(m.histogram().total())
             });
-            acc.entry(spec.family.to_string()).or_insert_with(|| vec![0.0; ks.len()])[i] +=
-                t.as_secs_f64();
+            acc.entry(spec.family.to_string())
+                .or_insert_with(|| vec![0.0; ks.len()])[i] += t.as_secs_f64();
         }
     }
 

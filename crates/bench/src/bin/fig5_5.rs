@@ -43,7 +43,10 @@ fn redis_mrc(trace: &[Request], mems: &[u64], mode: SamplingMode) -> Mrc {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("redis run panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("redis run panicked"))
+            .collect()
     });
     let mut points = vec![(0.0, 1.0)];
     points.extend(partials.into_iter().flatten());
@@ -63,7 +66,9 @@ fn main() {
         let total_bytes = objects * u64::from(OBJ);
         let mems = even_capacities(total_bytes, 50);
         let rate = guarded_rate(0.001, objects);
-        println!("\nfig5_5 [{name}]: {objects} objects x {OBJ}B, 50 Redis memory sizes, R={rate:.4}");
+        println!(
+            "\nfig5_5 [{name}]: {objects} objects x {OBJ}B, 50 Redis memory sizes, R={rate:.4}"
+        );
 
         let redis = redis_mrc(&trace, &mems, SamplingMode::ClusteredWalk);
         let redis_fair = redis_mrc(&trace, &mems, SamplingMode::UniformRandom);
@@ -79,14 +84,24 @@ fn main() {
 
         let sizes: Vec<f64> = mems.iter().map(|&m| m as f64).collect();
         let rows = vec![
-            vec!["KRR+spatial vs mini-Redis".to_string(), format!("{:.5}", redis.mae(&krr, &sizes))],
-            vec!["simulator vs mini-Redis".to_string(), format!("{:.5}", redis.mae(&sim, &sizes))],
+            vec![
+                "KRR+spatial vs mini-Redis".to_string(),
+                format!("{:.5}", redis.mae(&krr, &sizes)),
+            ],
+            vec![
+                "simulator vs mini-Redis".to_string(),
+                format!("{:.5}", redis.mae(&sim, &sizes)),
+            ],
             vec![
                 "simulator vs mini-Redis (fair sampling)".to_string(),
                 format!("{:.5}", redis_fair.mae(&sim, &sizes)),
             ],
         ];
-        report::print_table(&format!("Fig 5.5 — {name} (MAE over 50 sizes)"), &["pair", "MAE"], &rows);
+        report::print_table(
+            &format!("Fig 5.5 — {name} (MAE over 50 sizes)"),
+            &["pair", "MAE"],
+            &rows,
+        );
 
         let csv: Vec<String> = mems
             .iter()

@@ -41,15 +41,26 @@ fn main() {
             vec!["working set (objects)".into(), format!("{objects}")],
             vec!["spatial rate R".into(), format!("{rate:.4}")],
             vec!["tracked (sampled) objects".into(), format!("{tracked}")],
-            vec!["profiler footprint".into(), format!("{:.1} KiB", footprint as f64 / 1024.0)],
-            vec!["bytes per tracked object".into(), format!("{per_object:.1}")],
+            vec![
+                "profiler footprint".into(),
+                format!("{:.1} KiB", footprint as f64 / 1024.0),
+            ],
+            vec![
+                "bytes per tracked object".into(),
+                format!("{per_object:.1}"),
+            ],
             vec!["% of working set".into(), format!("{pct:.4}%")],
         ],
     );
-    println!("paper: 72 B/object; 0.036% of working set at R=0.001 with 200 B objects; <1 MB on Redis");
+    println!(
+        "paper: 72 B/object; 0.036% of working set at R=0.001 with 200 B objects; <1 MB on Redis"
+    );
 
     // ---- §5.7 profiler overhead on a live cache ----------------------
-    let kv: Vec<Request> = trace.iter().map(|r| Request::get(r.key, obj_size)).collect();
+    let kv: Vec<Request> = trace
+        .iter()
+        .map(|r| Request::get(r.key, obj_size))
+        .collect();
     let memory = working_set_bytes / 2; // "approximately 50% of the working set"
     let (_, base) = timed(|| {
         let mut store = MiniRedis::new(memory, 5, 2);
@@ -90,7 +101,11 @@ fn main() {
             ],
             vec![
                 "store + profiler (R=0.001)".into(),
-                format!("{:.3} s  ({:.2}% share)", with_paper_rate.as_secs_f64(), share(with_paper_rate)),
+                format!(
+                    "{:.3} s  ({:.2}% share)",
+                    with_paper_rate.as_secs_f64(),
+                    share(with_paper_rate)
+                ),
             ],
         ],
     );

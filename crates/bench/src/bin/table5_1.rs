@@ -12,7 +12,10 @@ fn main() {
     let ks = [1u32, 2, 4, 8, 16, 32];
     let n = requests();
     let sc = scale();
-    println!("table5_1: {} traces x K={ks:?}, {n} requests each, scale {sc}", all_specs().len());
+    println!(
+        "table5_1: {} traces x K={ks:?}, {n} requests each, scale {sc}",
+        all_specs().len()
+    );
 
     // family -> k -> (sum of MAE, sum of MAE with sampling, count)
     let mut acc: BTreeMap<(String, u32), (f64, f64, u32)> = BTreeMap::new();
@@ -29,7 +32,9 @@ fn main() {
             let sampled = krr_mrc(&trace, f64::from(k), rate, 33);
             let mae_full = sim.mae(&full, &sizes);
             let mae_samp = sim.mae(&sampled, &sizes);
-            let e = acc.entry((spec.family.to_string(), k)).or_insert((0.0, 0.0, 0));
+            let e = acc
+                .entry((spec.family.to_string(), k))
+                .or_insert((0.0, 0.0, 0));
             e.0 += mae_full;
             e.1 += mae_samp;
             e.2 += 1;
@@ -37,7 +42,10 @@ fn main() {
                 "{},{},{k},{mae_full:.6},{mae_samp:.6},{rate:.4}",
                 spec.name, spec.family
             ));
-            println!("  {:<18} K={k:<2} MAE={mae_full:.5}  +spatial={mae_samp:.5}", spec.name);
+            println!(
+                "  {:<18} K={k:<2} MAE={mae_full:.5}  +spatial={mae_samp:.5}",
+                spec.name
+            );
         }
     }
 
@@ -74,5 +82,9 @@ fn main() {
         overall.1 / f64::from(overall.2)
     );
 
-    report::write_csv("table5_1", "trace,family,k,mae_krr,mae_krr_spatial,rate", &csv);
+    report::write_csv(
+        "table5_1",
+        "trace,family,k,mae_krr,mae_krr_spatial,rate",
+        &csv,
+    );
 }

@@ -19,7 +19,10 @@ fn main() {
         specs.truncate(6);
     }
     specs.extend(twitter_specs());
-    println!("table5_2: {} var-size traces x K={ks:?}, {n} requests each", specs.len());
+    println!(
+        "table5_2: {} var-size traces x K={ks:?}, {n} requests each",
+        specs.len()
+    );
 
     let mut acc: BTreeMap<(String, u32), (f64, f64, u32)> = BTreeMap::new();
     let mut csv = Vec::new();
@@ -34,7 +37,9 @@ fn main() {
             let sampled = var_krr_mrc(&trace, f64::from(k), rate, 11);
             let mae_full = sim.mae(&full, &sizes);
             let mae_samp = sim.mae(&sampled, &sizes);
-            let e = acc.entry((spec.family.to_string(), k)).or_insert((0.0, 0.0, 0));
+            let e = acc
+                .entry((spec.family.to_string(), k))
+                .or_insert((0.0, 0.0, 0));
             e.0 += mae_full;
             e.1 += mae_samp;
             e.2 += 1;
@@ -42,7 +47,10 @@ fn main() {
                 "{},{},{k},{mae_full:.6},{mae_samp:.6},{rate:.4}",
                 spec.name, spec.family
             ));
-            println!("  {:<18} K={k:<2} varKRR={mae_full:.5}  +spatial={mae_samp:.5}", spec.name);
+            println!(
+                "  {:<18} K={k:<2} varKRR={mae_full:.5}  +spatial={mae_samp:.5}",
+                spec.name
+            );
         }
     }
 
@@ -63,5 +71,9 @@ fn main() {
         &["K", "Var-KRR MSR", "Var-KRR Twitter", "+Spatial MSR", "+Spatial Twitter"],
         &rows,
     );
-    report::write_csv("table5_2", "trace,family,k,mae_varkrr,mae_varkrr_spatial,rate", &csv);
+    report::write_csv(
+        "table5_2",
+        "trace,family,k,mae_varkrr,mae_varkrr_spatial,rate",
+        &csv,
+    );
 }

@@ -49,7 +49,12 @@ fn main() {
     let caps = even_capacities(objects, 25);
     let (_, sim_time) = timed(|| {
         for (i, &c) in caps.iter().enumerate() {
-            std::hint::black_box(miss_ratio(&trace, Policy::klru(5), Capacity::Objects(c), i as u64));
+            std::hint::black_box(miss_ratio(
+                &trace,
+                Policy::klru(5),
+                Capacity::Objects(c),
+                i as u64,
+            ));
         }
     });
 
@@ -89,7 +94,9 @@ fn main() {
          backward 6.5s (x8247), +spatial 0.39s / 0.07s"
     );
 
-    let csv: Vec<String> =
-        rows.iter().map(|(n, t)| format!("{n},{:.6}", t.as_secs_f64())).collect();
+    let csv: Vec<String> = rows
+        .iter()
+        .map(|(n, t)| format!("{n},{:.6}", t.as_secs_f64()))
+        .collect();
     report::write_csv("table5_3", "method,seconds", &csv);
 }

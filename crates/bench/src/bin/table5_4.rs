@@ -8,8 +8,8 @@
 //!
 //! Run: `cargo run --release -p krr-bench --bin table5_4`
 
-use krr_bench::{guarded_rate, report, requests, scale, timed};
 use krr_baselines::Shards;
+use krr_bench::{guarded_rate, report, requests, scale, timed};
 use krr_core::{KrrConfig, KrrModel, UpdaterKind};
 use krr_trace::msr;
 
@@ -32,7 +32,11 @@ fn main() {
                 // Raw K (no K' correction) so the measured cost reflects the
                 // paper's per-K stack-update accounting.
                 let mut m = KrrModel::new(
-                    KrrConfig::new(f64::from(k)).raw_k().updater(updater).sampling(rate).seed(6),
+                    KrrConfig::new(f64::from(k))
+                        .raw_k()
+                        .updater(updater)
+                        .sampling(rate)
+                        .seed(6),
                 );
                 for r in &trace {
                     m.access_key(r.key);
@@ -59,8 +63,16 @@ fn main() {
         "Table 5.4 — master trace, time per full pass (KRR averaged over K=1..32)",
         &["method", "time (s)", "vs SHARDS"],
         &[
-            vec!["Top Down + Spatial".into(), format!("{topdown:.3}"), format!("{:.2}x", topdown / shards)],
-            vec!["Backward + Spatial".into(), format!("{backward:.3}"), format!("{:.2}x", backward / shards)],
+            vec![
+                "Top Down + Spatial".into(),
+                format!("{topdown:.3}"),
+                format!("{:.2}x", topdown / shards),
+            ],
+            vec![
+                "Backward + Spatial".into(),
+                format!("{backward:.3}"),
+                format!("{:.2}x", backward / shards),
+            ],
             vec!["SHARDS".into(), format!("{shards:.3}"), "1.00x".into()],
         ],
     );

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod microbench;
 pub mod report;
 pub mod workloads;
 
@@ -25,19 +26,27 @@ use std::time::{Duration, Instant};
 /// Workload scale factor from `KRR_SCALE` (default 0.1).
 #[must_use]
 pub fn scale() -> f64 {
-    std::env::var("KRR_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.1)
+    std::env::var("KRR_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1)
 }
 
 /// Requests per trace from `KRR_REQS` (default 400_000).
 #[must_use]
 pub fn requests() -> usize {
-    std::env::var("KRR_REQS").ok().and_then(|s| s.parse().ok()).unwrap_or(400_000)
+    std::env::var("KRR_REQS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400_000)
 }
 
 /// Number of simulation threads (default: available parallelism).
 #[must_use]
 pub fn threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// The paper's default spatial sampling rate, with the ≥8K-sampled-objects
@@ -85,7 +94,14 @@ pub fn var_krr_mrc(trace: &[Request], k: f64, rate: f64, seed: u64) -> Mrc {
 pub fn actual_mrc(trace: &[Request], k: u32, n_sizes: usize, seed: u64) -> (Mrc, Vec<u64>) {
     let (objects, _) = krr_sim::working_set(trace);
     let caps = even_capacities(objects, n_sizes);
-    let mrc = simulate_mrc(trace, Policy::klru(k), Unit::Objects, &caps, seed, threads());
+    let mrc = simulate_mrc(
+        trace,
+        Policy::klru(k),
+        Unit::Objects,
+        &caps,
+        seed,
+        threads(),
+    );
     (mrc, caps)
 }
 

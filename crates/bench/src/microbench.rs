@@ -1,0 +1,170 @@
+//! A std-only micro-benchmark harness replacing the external `criterion`
+//! dependency, so the bench targets build and run with zero registry
+//! access (see the hermetic-test policy in README.md).
+//!
+//! The statistical model is deliberately simple: each benchmark runs a
+//! calibrated batch of iterations per sample, collects `samples` wall-time
+//! measurements, and reports min / median / p95 nanoseconds per iteration
+//! plus throughput when an element count is set. The median is robust to
+//! scheduler noise, which is all a repo-internal A/B comparison (e.g. the
+//! metrics-overhead gate) needs.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark's aggregated measurements, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample — the headline number.
+    pub median_ns: f64,
+    /// 95th-percentile sample.
+    pub p95_ns: f64,
+    /// Iterations executed per sample batch.
+    pub iters_per_sample: u64,
+}
+
+impl Measurement {
+    /// Elements per second at the median, given `elems` processed per
+    /// iteration.
+    #[must_use]
+    pub fn throughput(&self, elems: u64) -> f64 {
+        if self.median_ns <= 0.0 {
+            return f64::INFINITY;
+        }
+        elems as f64 * 1e9 / self.median_ns
+    }
+}
+
+/// A named group of benchmarks sharing a throughput element count, printed
+/// as an aligned table as results arrive.
+pub struct Suite {
+    name: String,
+    elems: Option<u64>,
+    warmup: Duration,
+    sample_time: Duration,
+    samples: usize,
+    results: Vec<(String, Measurement)>,
+}
+
+impl Suite {
+    /// Creates a suite with the default budget (3 warmup batches, 15
+    /// samples of >= 20ms each). `KRR_BENCH_FAST=1` shrinks the budget for
+    /// smoke runs.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        let fast = std::env::var("KRR_BENCH_FAST").is_ok();
+        println!("\n== {name} ==");
+        Self {
+            name: name.to_string(),
+            elems: None,
+            warmup: Duration::from_millis(if fast { 5 } else { 100 }),
+            sample_time: Duration::from_millis(if fast { 5 } else { 20 }),
+            samples: if fast { 5 } else { 15 },
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the per-iteration element count used for throughput reporting.
+    pub fn throughput(&mut self, elems: u64) -> &mut Self {
+        self.elems = Some(elems);
+        self
+    }
+
+    /// Runs one benchmark: `f` is a full iteration; its return value is
+    /// black-boxed so the optimizer cannot delete the work.
+    pub fn bench<T>(&mut self, label: &str, mut f: impl FnMut() -> T) -> Measurement {
+        // Calibrate: how many iterations fill one sample window?
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= self.sample_time || iters >= 1 << 30 {
+                break;
+            }
+            // Aim slightly past the window to converge in few rounds.
+            let target = self.sample_time.as_secs_f64() * 1.2;
+            let per = (dt.as_secs_f64() / iters as f64).max(1e-12);
+            iters = ((target / per).ceil() as u64).clamp(iters + 1, iters.saturating_mul(100));
+        }
+        // Warmup, then measure.
+        let t0 = Instant::now();
+        while t0.elapsed() < self.warmup {
+            black_box(f());
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t0.elapsed().as_secs_f64() * 1e9 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let m = Measurement {
+            min_ns: per_iter[0],
+            median_ns: per_iter[per_iter.len() / 2],
+            p95_ns: per_iter[(per_iter.len() * 95 / 100).min(per_iter.len() - 1)],
+            iters_per_sample: iters,
+        };
+        let tp = match self.elems {
+            Some(e) => format!("  {:>10.2} Melem/s", m.throughput(e) / 1e6),
+            None => String::new(),
+        };
+        println!(
+            "{:<40} {:>12.1} ns/iter  (min {:>10.1}, p95 {:>12.1}){tp}",
+            format!("{}/{label}", self.name),
+            m.median_ns,
+            m.min_ns,
+            m.p95_ns
+        );
+        self.results.push((label.to_string(), m));
+        m
+    }
+
+    /// Returns the measurement recorded under `label`, if any.
+    #[must_use]
+    pub fn get(&self, label: &str) -> Option<Measurement> {
+        self.results
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, m)| m)
+    }
+
+    /// Finishes the suite (prints a terminating newline for readability).
+    pub fn finish(&self) {
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        std::env::set_var("KRR_BENCH_FAST", "1");
+        let mut s = Suite::new("selftest");
+        let m = s.bench("sum", || (0..1000u64).sum::<u64>());
+        assert!(m.median_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.p95_ns);
+        assert!(s.get("sum").is_some());
+        s.finish();
+    }
+
+    #[test]
+    fn throughput_scales_with_elems() {
+        let m = Measurement {
+            min_ns: 1.0,
+            median_ns: 100.0,
+            p95_ns: 200.0,
+            iters_per_sample: 1,
+        };
+        assert!((m.throughput(100) - 1e9).abs() < 1e-3);
+    }
+}

@@ -55,7 +55,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .join("  ")
     };
     println!("{}", fmt_row(header.to_vec()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row.iter().map(String::as_str).collect()));
     }

@@ -145,7 +145,14 @@ pub fn fig5_2_specs() -> (Vec<Spec>, Vec<Spec>) {
     let mut all = all_specs();
     let type_a = name_in(
         &mut all,
-        &["ycsb_E_1.5", "msr_src1", "msr_src2", "msr_web", "msr_proj", "tw_cluster34.1"],
+        &[
+            "ycsb_E_1.5",
+            "msr_src1",
+            "msr_src2",
+            "msr_web",
+            "msr_proj",
+            "tw_cluster34.1",
+        ],
     );
     let type_b = name_in(&mut all, &["msr_usr", "ycsb_C_0.99", "tw_cluster45.0"]);
     (type_a, type_b)
@@ -159,8 +166,7 @@ mod tests {
     fn registry_is_complete() {
         let all = all_specs();
         assert_eq!(all.len(), 13 + 6 + 4);
-        let names: std::collections::HashSet<&str> =
-            all.iter().map(|s| s.name.as_str()).collect();
+        let names: std::collections::HashSet<&str> = all.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names.len(), all.len(), "names must be unique");
     }
 

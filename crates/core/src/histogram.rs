@@ -23,7 +23,12 @@ impl SdHistogram {
     #[must_use]
     pub fn new(bin_width: u64) -> Self {
         assert!(bin_width >= 1, "bin width must be positive");
-        Self { bin_width, bins: Vec::new(), cold: 0, total: 0 }
+        Self {
+            bin_width,
+            bins: Vec::new(),
+            cold: 0,
+            total: 0,
+        }
     }
 
     /// Records a reference at stack distance `d >= 1`.

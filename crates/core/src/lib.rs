@@ -31,7 +31,9 @@
 //! * [`histogram`] / [`mrc`] — stack-distance histograms and MRCs.
 //! * [`model`] — the assembled one-pass profiler.
 //! * [`sharded`] — thread-parallel profiling over hash shards.
-//! * [`persist`] — plain-text persistence for histograms and MRCs.
+//! * [`metrics`] — lock-free counters/histograms observing the pipeline.
+//! * [`persist`] — plain-text persistence for histograms, MRCs and
+//!   metrics snapshots.
 //! * [`rng`] / [`hashing`] — deterministic RNG and key hashing substrate.
 
 #![warn(missing_docs)]
@@ -39,6 +41,7 @@
 
 pub mod hashing;
 pub mod histogram;
+pub mod metrics;
 pub mod model;
 pub mod mrc;
 pub mod partition;
@@ -53,6 +56,7 @@ pub mod update;
 pub mod windowed;
 
 pub use histogram::SdHistogram;
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use model::{KrrConfig, KrrModel, ModelStats, SizeMode};
 pub use mrc::{even_sizes, Mrc};
 pub use sampling::SpatialFilter;

@@ -1,0 +1,601 @@
+//! Lock-free metrics for the KRR pipeline: atomic counters and
+//! log-bucketed histograms, aggregated in a [`MetricsRegistry`] that every
+//! stage (model, updaters, shards, simulators, mini-Redis) can share
+//! through an `Arc`.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path cost.** A production MRC profiler is judged by its
+//!    per-access overhead (Byrne's MRC survey; Inoue's multi-step LRU), so
+//!    every record is a handful of `Relaxed` atomic RMWs — no locks, no
+//!    allocation, no branching beyond one `Option` check in the caller.
+//!    Latency timing is *sampled* (callers time ~1/64 of accesses) because
+//!    reading the clock costs more than the work being measured.
+//! 2. **Concurrency.** Shard workers and server connection threads record
+//!    into the same registry concurrently; `AtomicU64` everywhere makes
+//!    that safe. Snapshots are *not* atomic across fields — they are
+//!    monotone-consistent, which is what monitoring needs.
+//! 3. **No dependencies.** Snapshots export to Redis-`INFO`-style text and
+//!    hand-rolled JSON; both formats are documented in DESIGN.md.
+//!
+//! ```
+//! use krr_core::metrics::MetricsRegistry;
+//! use std::sync::Arc;
+//!
+//! let reg = Arc::new(MetricsRegistry::new());
+//! reg.accesses.inc();
+//! reg.chain_len.record(17);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.accesses, 1);
+//! assert_eq!(snap.chain_len.count, 1);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Number of buckets in a [`LogHistogram`]: bucket 0 holds value 0, bucket
+/// `b >= 1` holds values with `ilog2(v) == b - 1`, i.e. `[2^(b-1), 2^b)`.
+pub const LOG_BUCKETS: usize = 65;
+
+/// A monotone event counter (`Relaxed` atomics; ~1 ns per increment).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log2-bucketed histogram of `u64` values (chain lengths, scan counts,
+/// nanosecond latencies, candidate ages). Recording is 4 `Relaxed` RMWs.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; LOG_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Index of the bucket holding `v`.
+#[inline]
+#[must_use]
+pub fn bucket_of(v: u64) -> usize {
+    match v.checked_ilog2() {
+        None => 0,
+        Some(b) => b as usize + 1,
+    }
+}
+
+/// Inclusive upper bound of bucket `b` (the value reported for percentile
+/// estimates).
+#[inline]
+#[must_use]
+pub fn bucket_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Values recorded so far.
+    #[inline]
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the histogram.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Non-atomic copy of a [`LogHistogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`bucket_of`]).
+    pub buckets: [u64; LOG_BUCKETS],
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket-resolution percentile estimate: the upper bound of the first
+    /// bucket whose cumulative count reaches `p` (0 < p <= 1) of the total.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cum = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target.max(1) {
+                return bucket_bound(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// `(bucket_upper_bound, count)` for occupied buckets.
+    #[must_use]
+    pub fn occupied(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| (bucket_bound(b), c))
+            .collect()
+    }
+}
+
+/// The shared registry: one instance observes a whole pipeline.
+///
+/// Sections (mirrored by [`MetricsSnapshot`] and the export formats):
+///
+/// * **model** — reference flow through [`crate::KrrModel`]: offered,
+///   spatially filtered, hits, cold misses.
+/// * **updater** — per-update work: swap-chain length and positions
+///   examined by the configured update strategy.
+/// * **latency** — sampled per-access wall time in nanoseconds.
+/// * **shards** — per-shard access balance and histogram merge cost for
+///   [`crate::ShardedKrr`].
+/// * **eviction** — simulator/store-side: evictions performed and the
+///   age (idle time) of sampled eviction candidates.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// References offered to the model (`KrrModel::access` calls).
+    pub accesses: Counter,
+    /// References rejected by the spatial filter.
+    pub spatial_rejected: Counter,
+    /// Re-references (finite stack distance).
+    pub hits: Counter,
+    /// First references (cold misses).
+    pub cold_misses: Counter,
+    /// Swap-chain length per stack update.
+    pub chain_len: LogHistogram,
+    /// Stack positions examined per update (the updater's work).
+    pub positions_scanned: LogHistogram,
+    /// Sampled per-access latency in nanoseconds (~1/64 of accesses).
+    pub access_ns: LogHistogram,
+    /// Histogram merges performed by `ShardedKrr::mrc`.
+    pub merges: Counter,
+    /// Total nanoseconds spent merging shard histograms.
+    pub merge_ns: Counter,
+    /// Evictions performed by a simulator or store.
+    pub evictions: Counter,
+    /// Idle time / age of sampled eviction candidates.
+    pub candidate_age: LogHistogram,
+    shard_accesses: OnceLock<Box<[Counter]>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates `n` per-shard access counters. First caller wins; later
+    /// calls with a different count are ignored (the registry observes one
+    /// sharded pipeline).
+    pub fn init_shards(&self, n: usize) {
+        let _ = self
+            .shard_accesses
+            .set((0..n).map(|_| Counter::new()).collect());
+    }
+
+    /// Records an access routed to shard `i` (no-op before
+    /// [`MetricsRegistry::init_shards`]).
+    #[inline]
+    pub fn shard_access(&self, i: usize) {
+        if let Some(shards) = self.shard_accesses.get() {
+            if let Some(c) = shards.get(i) {
+                c.inc();
+            }
+        }
+    }
+
+    /// Per-shard access counts (empty before `init_shards`).
+    #[must_use]
+    pub fn shard_counts(&self) -> Vec<u64> {
+        self.shard_accesses
+            .get()
+            .map(|s| s.iter().map(Counter::get).collect())
+            .unwrap_or_default()
+    }
+
+    /// Point-in-time copy of every metric.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            accesses: self.accesses.get(),
+            spatial_rejected: self.spatial_rejected.get(),
+            hits: self.hits.get(),
+            cold_misses: self.cold_misses.get(),
+            chain_len: self.chain_len.snapshot(),
+            positions_scanned: self.positions_scanned.snapshot(),
+            access_ns: self.access_ns.snapshot(),
+            merges: self.merges.get(),
+            merge_ns: self.merge_ns.get(),
+            evictions: self.evictions.get(),
+            candidate_age: self.candidate_age.snapshot(),
+            shard_accesses: self.shard_counts(),
+        }
+    }
+}
+
+/// Non-atomic copy of a [`MetricsRegistry`], exportable as `INFO` text or
+/// JSON.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// See [`MetricsRegistry::accesses`].
+    pub accesses: u64,
+    /// See [`MetricsRegistry::spatial_rejected`].
+    pub spatial_rejected: u64,
+    /// See [`MetricsRegistry::hits`].
+    pub hits: u64,
+    /// See [`MetricsRegistry::cold_misses`].
+    pub cold_misses: u64,
+    /// See [`MetricsRegistry::chain_len`].
+    pub chain_len: HistogramSnapshot,
+    /// See [`MetricsRegistry::positions_scanned`].
+    pub positions_scanned: HistogramSnapshot,
+    /// See [`MetricsRegistry::access_ns`].
+    pub access_ns: HistogramSnapshot,
+    /// See [`MetricsRegistry::merges`].
+    pub merges: u64,
+    /// See [`MetricsRegistry::merge_ns`].
+    pub merge_ns: u64,
+    /// See [`MetricsRegistry::evictions`].
+    pub evictions: u64,
+    /// See [`MetricsRegistry::candidate_age`].
+    pub candidate_age: HistogramSnapshot,
+    /// Per-shard access counts (empty when unsharded).
+    pub shard_accesses: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Largest relative deviation of any shard's access count from the
+    /// per-shard mean (0 = perfectly balanced; `None` when unsharded or
+    /// idle).
+    #[must_use]
+    pub fn shard_imbalance(&self) -> Option<f64> {
+        if self.shard_accesses.len() < 2 {
+            return None;
+        }
+        let total: u64 = self.shard_accesses.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let mean = total as f64 / self.shard_accesses.len() as f64;
+        self.shard_accesses
+            .iter()
+            .map(|&c| (c as f64 - mean).abs() / mean)
+            .fold(None, |acc: Option<f64>, d| {
+                Some(acc.map_or(d, |a| a.max(d)))
+            })
+    }
+
+    /// Renders Redis-`INFO`-style sections (`# section` headers,
+    /// `key:value` lines, CRLF terminators) — the wire format of the
+    /// mini-Redis `INFO`/`METRICS` command.
+    #[must_use]
+    pub fn render_info(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "# model\r\naccesses:{}\r\nspatial_rejected:{}\r\nhits:{}\r\ncold_misses:{}\r\n",
+            self.accesses, self.spatial_rejected, self.hits, self.cold_misses
+        );
+        let hist = |s: &mut String, name: &str, h: &HistogramSnapshot| {
+            let _ = write!(
+                s,
+                "{name}_count:{}\r\n{name}_mean:{:.2}\r\n{name}_p99:{}\r\n{name}_max:{}\r\n",
+                h.count,
+                h.mean(),
+                h.percentile(0.99),
+                h.max
+            );
+            let _ = write!(s, "{name}_buckets:");
+            for (i, (bound, count)) in h.occupied().iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{bound}={count}");
+            }
+            s.push_str("\r\n");
+        };
+        s.push_str("# updater\r\n");
+        hist(&mut s, "chain_len", &self.chain_len);
+        hist(&mut s, "positions_scanned", &self.positions_scanned);
+        s.push_str("# latency\r\n");
+        hist(&mut s, "access_ns", &self.access_ns);
+        let _ = write!(
+            s,
+            "# shards\r\nshard_count:{}\r\nmerges:{}\r\nmerge_ns:{}\r\n",
+            self.shard_accesses.len(),
+            self.merges,
+            self.merge_ns
+        );
+        let _ = write!(s, "shard_accesses:");
+        for (i, c) in self.shard_accesses.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{c}");
+        }
+        s.push_str("\r\n");
+        if let Some(im) = self.shard_imbalance() {
+            let _ = write!(s, "shard_imbalance:{im:.4}\r\n");
+        }
+        let _ = write!(s, "# eviction\r\nevictions:{}\r\n", self.evictions);
+        hist(&mut s, "candidate_age", &self.candidate_age);
+        s
+    }
+
+    /// Renders the snapshot as a single JSON object (schema in DESIGN.md).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        fn hist_json(h: &HistogramSnapshot) -> String {
+            let mut s = String::from("{");
+            let _ = write!(
+                s,
+                "\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.3},\"p99\":{},\"buckets\":[",
+                h.count,
+                h.sum,
+                h.max,
+                h.mean(),
+                h.percentile(0.99)
+            );
+            for (i, (bound, count)) in h.occupied().iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "[{bound},{count}]");
+            }
+            s.push_str("]}");
+            s
+        }
+        let mut s = String::from("{");
+        let _ = write!(
+            s,
+            "\"schema\":\"krr-metrics-v1\",\"model\":{{\"accesses\":{},\"spatial_rejected\":{},\"hits\":{},\"cold_misses\":{}}},",
+            self.accesses, self.spatial_rejected, self.hits, self.cold_misses
+        );
+        let _ = write!(
+            s,
+            "\"updater\":{{\"chain_len\":{},\"positions_scanned\":{}}},",
+            hist_json(&self.chain_len),
+            hist_json(&self.positions_scanned)
+        );
+        let _ = write!(
+            s,
+            "\"latency\":{{\"access_ns\":{}}},",
+            hist_json(&self.access_ns)
+        );
+        let _ = write!(
+            s,
+            "\"shards\":{{\"merges\":{},\"merge_ns\":{},\"accesses\":[",
+            self.merges, self.merge_ns
+        );
+        for (i, c) in self.shard_accesses.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{c}");
+        }
+        s.push_str("]},");
+        let _ = write!(
+            s,
+            "\"eviction\":{{\"evictions\":{},\"candidate_age\":{}}}",
+            self.evictions,
+            hist_json(&self.candidate_age)
+        );
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(64), u64::MAX);
+        // Every value lands in a bucket whose bound is >= the value.
+        for v in [0u64, 1, 2, 5, 63, 64, 1_000_000] {
+            assert!(bucket_bound(bucket_of(v)) >= v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn histogram_mean_and_percentile() {
+        let h = LogHistogram::new();
+        for v in [1u64, 1, 2, 4, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 108);
+        assert_eq!(s.max, 100);
+        assert!((s.mean() - 21.6).abs() < 1e-9);
+        // p50 lands in the bucket of the 3rd value (2 -> bound 3).
+        assert_eq!(s.percentile(0.5), 3);
+        // p100 caps at the observed max, not the bucket bound.
+        assert_eq!(s.percentile(1.0), 100);
+        assert_eq!(
+            HistogramSnapshot {
+                buckets: [0; LOG_BUCKETS],
+                count: 0,
+                sum: 0,
+                max: 0
+            }
+            .percentile(0.5),
+            0
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let threads = 8;
+        let per = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    for i in 0..per {
+                        reg.accesses.inc();
+                        reg.chain_len.record(i % 37);
+                    }
+                });
+            }
+        });
+        let s = reg.snapshot();
+        assert_eq!(s.accesses, threads * per);
+        assert_eq!(s.chain_len.count, threads * per);
+        assert_eq!(s.chain_len.buckets.iter().sum::<u64>(), threads * per);
+    }
+
+    #[test]
+    fn shard_counters_and_imbalance() {
+        let reg = MetricsRegistry::new();
+        assert!(reg.shard_counts().is_empty());
+        reg.shard_access(0); // no-op before init
+        reg.init_shards(4);
+        reg.init_shards(9); // ignored
+        for i in 0..4 {
+            for _ in 0..=(i * 10) {
+                reg.shard_access(i);
+            }
+        }
+        reg.shard_access(99); // out of range: ignored
+        let s = reg.snapshot();
+        assert_eq!(s.shard_accesses, vec![1, 11, 21, 31]);
+        let im = s.shard_imbalance().unwrap();
+        assert!(im > 0.5, "imbalance {im}");
+        let balanced = MetricsSnapshot {
+            shard_accesses: vec![10, 10],
+            ..s
+        };
+        assert_eq!(balanced.shard_imbalance(), Some(0.0));
+    }
+
+    #[test]
+    fn info_and_json_renderings_contain_sections() {
+        let reg = MetricsRegistry::new();
+        reg.accesses.add(3);
+        reg.hits.inc();
+        reg.chain_len.record(5);
+        reg.init_shards(2);
+        reg.shard_access(0);
+        let snap = reg.snapshot();
+        let info = snap.render_info();
+        for section in [
+            "# model",
+            "# updater",
+            "# latency",
+            "# shards",
+            "# eviction",
+        ] {
+            assert!(info.contains(section), "{section} missing from\n{info}");
+        }
+        assert!(info.contains("accesses:3"));
+        assert!(info.contains("chain_len_count:1"));
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"schema\":\"krr-metrics-v1\""));
+        assert!(json.contains("\"accesses\":3"));
+        // Brace balance as a cheap well-formedness check.
+        let open = json.matches(['{', '[']).count();
+        let close = json.matches(['}', ']']).count();
+        assert_eq!(open, close);
+    }
+}

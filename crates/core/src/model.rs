@@ -6,12 +6,14 @@
 //! `sizeArray`, and the stack-distance histogram from which the MRC is read.
 
 use crate::histogram::SdHistogram;
+use crate::metrics::MetricsRegistry;
 use crate::mrc::Mrc;
 use crate::prob::k_prime;
 use crate::sampling::SpatialFilter;
 use crate::sizearray::SizeArray;
 use crate::stack::KrrStack;
 use crate::update::UpdaterKind;
+use std::sync::Arc;
 
 /// Granularity of stack distances.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +154,15 @@ pub struct KrrModel {
     hist: SdHistogram,
     processed: u64,
     sampled: u64,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+/// What happened to one reference inside [`KrrModel::access`]; feeds the
+/// metrics layer without re-deriving state from the stack.
+enum Outcome {
+    Filtered,
+    Hit,
+    Cold,
 }
 
 impl KrrModel {
@@ -169,7 +180,28 @@ impl KrrModel {
             SizeMode::ByteLevel { base } => Some(SizeArray::new(base)),
         };
         let hist = SdHistogram::new(config.bin_width);
-        Self { config, filter, stack, sizes, hist, processed: 0, sampled: 0 }
+        Self {
+            config,
+            filter,
+            stack,
+            sizes,
+            hist,
+            processed: 0,
+            sampled: 0,
+            metrics: None,
+        }
+    }
+
+    /// Attaches a metrics registry; subsequent accesses record into it.
+    /// The default (detached) hot path costs one branch.
+    pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached metrics registry, if any.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
     }
 
     /// The configuration in use.
@@ -182,16 +214,52 @@ impl KrrModel {
     /// bytes; pass 1 (or use [`KrrModel::access_key`]) for uniform-size
     /// workloads. Zero sizes are clamped to 1 byte.
     pub fn access(&mut self, key: u64, size: u32) {
+        if self.metrics.is_none() {
+            self.access_inner(key, size);
+            return;
+        }
+        // Timing is sampled 1-in-64: the clock read costs about as much as
+        // a shallow update itself, so timing every access would violate the
+        // <=5% overhead budget the metrics layer is held to.
+        let timed = self.processed & 63 == 0;
+        let t0 = timed.then(std::time::Instant::now);
+        let outcome = self.access_inner(key, size);
+        let m = self.metrics.as_ref().expect("checked above");
+        m.accesses.inc();
+        match outcome {
+            Outcome::Filtered => m.spatial_rejected.inc(),
+            Outcome::Hit | Outcome::Cold => {
+                if matches!(outcome, Outcome::Hit) {
+                    m.hits.inc();
+                } else {
+                    m.cold_misses.inc();
+                }
+                m.chain_len.record(self.stack.last_chain().len() as u64);
+                m.positions_scanned.record(self.stack.last_scanned());
+            }
+        }
+        if let Some(t0) = t0 {
+            m.access_ns.record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    fn access_inner(&mut self, key: u64, size: u32) -> Outcome {
         self.processed += 1;
         if !self.filter.admits(key) {
-            return;
+            return Outcome::Filtered;
         }
         self.sampled += 1;
         let size = size.max(1);
         match self.sizes {
             None => match self.stack.access(key, 1) {
-                crate::stack::Access::Hit { phi } => self.hist.record(phi),
-                crate::stack::Access::Cold { .. } => self.hist.record_cold(),
+                crate::stack::Access::Hit { phi } => {
+                    self.hist.record(phi);
+                    Outcome::Hit
+                }
+                crate::stack::Access::Cold { .. } => {
+                    self.hist.record_cold();
+                    Outcome::Cold
+                }
             },
             Some(ref mut sa) => {
                 match self.stack.position_of(key) {
@@ -202,14 +270,26 @@ impl KrrModel {
                         let old = self.stack.entry_at(phi).expect("indexed entry").size;
                         sa.on_resize(phi, old, size);
                         self.stack.access(key, size);
-                        sa.apply(self.stack.last_chain(), self.stack.last_chain_sizes(), phi, size);
+                        sa.apply(
+                            self.stack.last_chain(),
+                            self.stack.last_chain_sizes(),
+                            phi,
+                            size,
+                        );
                         self.hist.record(d);
+                        Outcome::Hit
                     }
                     None => {
                         let acc = self.stack.access(key, size);
                         sa.on_insert(size);
-                        sa.apply(self.stack.last_chain(), self.stack.last_chain_sizes(), acc.phi(), size);
+                        sa.apply(
+                            self.stack.last_chain(),
+                            self.stack.last_chain_sizes(),
+                            acc.phi(),
+                            size,
+                        );
                         self.hist.record_cold();
+                        Outcome::Cold
                     }
                 }
             }

@@ -34,7 +34,9 @@ impl Mrc {
     pub fn from_histogram(hist: &SdHistogram, scale: f64) -> Self {
         let total = hist.total();
         if total == 0 {
-            return Self { points: vec![(0.0, 1.0)] };
+            return Self {
+                points: vec![(0.0, 1.0)],
+            };
         }
         let mut points = Vec::with_capacity(hist.num_bins() + 1);
         points.push((0.0, 1.0));

@@ -30,7 +30,11 @@ impl Tenant {
     /// Convenience constructor.
     #[must_use]
     pub fn new(name: impl Into<String>, mrc: Mrc, request_rate: f64) -> Self {
-        Self { name: name.into(), mrc, request_rate }
+        Self {
+            name: name.into(),
+            mrc,
+            request_rate,
+        }
     }
 
     /// Expected misses per unit time at the given allocation.
@@ -50,7 +54,11 @@ pub struct Allocation {
 }
 
 fn total_miss_rate(tenants: &[Tenant], alloc: &[u64]) -> f64 {
-    tenants.iter().zip(alloc).map(|(t, &a)| t.miss_rate(a)).sum()
+    tenants
+        .iter()
+        .zip(alloc)
+        .map(|(t, &a)| t.miss_rate(a))
+        .sum()
 }
 
 /// Greedy marginal-gain allocation: repeatedly grant one `quantum` to the
@@ -81,7 +89,10 @@ pub fn allocate_greedy(tenants: &[Tenant], budget: u64, quantum: u64) -> Allocat
         alloc[i] += quantum;
         remaining -= quantum;
     }
-    Allocation { total_miss_rate: total_miss_rate(tenants, &alloc), per_tenant: alloc }
+    Allocation {
+        total_miss_rate: total_miss_rate(tenants, &alloc),
+        per_tenant: alloc,
+    }
 }
 
 /// Exact allocation by dynamic programming over multiples of `quantum`.
@@ -128,7 +139,10 @@ pub fn allocate_optimal(tenants: &[Tenant], budget: u64, quantum: u64) -> Alloca
         alloc[i] = give as u64 * quantum;
         j -= give;
     }
-    Allocation { total_miss_rate: total_miss_rate(tenants, &alloc), per_tenant: alloc }
+    Allocation {
+        total_miss_rate: total_miss_rate(tenants, &alloc),
+        per_tenant: alloc,
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@
 //! ```
 
 use crate::histogram::SdHistogram;
+use crate::metrics::MetricsSnapshot;
 use crate::mrc::Mrc;
 use std::io::{self, BufRead, Write};
 
@@ -36,7 +37,10 @@ pub fn write_histogram<W: Write>(mut w: W, hist: &SdHistogram) -> io::Result<()>
 /// Reads a histogram written by [`write_histogram`].
 pub fn read_histogram<R: BufRead>(r: R) -> io::Result<SdHistogram> {
     let bad = |line: usize, msg: &str| {
-        io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {msg}", line + 1))
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("line {}: {msg}", line + 1),
+        )
     };
     let mut lines = Vec::new();
     for l in r.lines() {
@@ -59,7 +63,9 @@ pub fn read_histogram<R: BufRead>(r: R) -> io::Result<SdHistogram> {
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("bin_width") => {
-                let v = parts.next().ok_or_else(|| bad(i, "bin_width needs a value"))?;
+                let v = parts
+                    .next()
+                    .ok_or_else(|| bad(i, "bin_width needs a value"))?;
                 bin_width = Some(v.parse().map_err(|_| bad(i, "bad bin_width"))?);
             }
             Some("cold") => {
@@ -88,7 +94,10 @@ pub fn read_histogram<R: BufRead>(r: R) -> io::Result<SdHistogram> {
         }
     }
     if !ended {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "missing 'end' marker"));
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "missing 'end' marker",
+        ));
     }
     let w = bin_width.ok_or_else(|| bad(0, "missing bin_width"))?;
     let mut hist = SdHistogram::new(w);
@@ -104,6 +113,14 @@ pub fn read_histogram<R: BufRead>(r: R) -> io::Result<SdHistogram> {
         hist.record_cold();
     }
     Ok(hist)
+}
+
+/// Writes a metrics snapshot as one JSON document (`krr-metrics-v1`
+/// schema, see [`MetricsSnapshot::to_json`]) followed by a newline, so a
+/// checkpoint file of snapshots is newline-delimited JSON.
+pub fn write_metrics_json<W: Write>(mut w: W, snap: &MetricsSnapshot) -> io::Result<()> {
+    w.write_all(snap.to_json().as_bytes())?;
+    writeln!(w)
 }
 
 /// Writes an MRC as `cache_size,miss_ratio` CSV.
@@ -125,11 +142,17 @@ pub fn read_mrc<R: BufRead>(r: R) -> io::Result<Mrc> {
             continue;
         }
         let (x, y) = line.split_once(',').ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: no comma", i + 1))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: no comma", i + 1),
+            )
         })?;
         let parse = |s: &str| {
             s.trim().parse::<f64>().map_err(|_| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: bad number", i + 1))
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad number", i + 1),
+                )
             })
         };
         points.push((parse(x)?, parse(y)?));
@@ -159,13 +182,19 @@ mod tests {
             assert_eq!(back.bin(b), h.bin(b), "bin {b}");
         }
         // The derived MRCs must match exactly.
-        assert_eq!(Mrc::from_histogram(&back, 1.0), Mrc::from_histogram(&h, 1.0));
+        assert_eq!(
+            Mrc::from_histogram(&back, 1.0),
+            Mrc::from_histogram(&h, 1.0)
+        );
     }
 
     #[test]
     fn histogram_rejects_garbage() {
         assert!(read_histogram("not a header\n".as_bytes()).is_err());
-        assert!(read_histogram("krr-sdh v1\nbin_width 1\n".as_bytes()).is_err(), "missing end");
+        assert!(
+            read_histogram("krr-sdh v1\nbin_width 1\n".as_bytes()).is_err(),
+            "missing end"
+        );
         assert!(read_histogram("krr-sdh v1\nbin x y\nend\n".as_bytes()).is_err());
         assert!(read_histogram("krr-sdh v1\nfrob 1\nend\n".as_bytes()).is_err());
     }
@@ -191,5 +220,21 @@ mod tests {
     fn mrc_rejects_garbage() {
         assert!(read_mrc("1;2\n".as_bytes()).is_err());
         assert!(read_mrc("1,notanumber\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn metrics_json_is_newline_terminated() {
+        let reg = crate::metrics::MetricsRegistry::new();
+        reg.accesses.add(3);
+        reg.chain_len.record(5);
+        let mut buf = Vec::new();
+        write_metrics_json(&mut buf, &reg.snapshot()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.ends_with('\n'));
+        assert!(
+            !text[..text.len() - 1].contains('\n'),
+            "one line per snapshot"
+        );
+        assert!(text.contains("\"schema\":\"krr-metrics-v1\""));
     }
 }

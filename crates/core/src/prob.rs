@@ -28,7 +28,10 @@ pub fn eviction_prob_with_replacement(d: u64, c: u64, k: f64) -> f64 {
 #[must_use]
 pub fn eviction_prob_without_replacement(d: u64, c: u64, k: u64) -> f64 {
     assert!(d >= 1 && d <= c, "rank {d} out of range for cache size {c}");
-    assert!(k >= 1 && k <= c, "sample size {k} out of range for cache size {c}");
+    assert!(
+        k >= 1 && k <= c,
+        "sample size {k} out of range for cache size {c}"
+    );
     if d < k {
         return 0.0;
     }
@@ -153,8 +156,16 @@ mod tests {
     fn k1_is_uniform_random_replacement() {
         let c = 100;
         for d in 1..=c {
-            assert!(close(eviction_prob_with_replacement(d, c, 1.0), 0.01, 1e-12));
-            assert!(close(eviction_prob_without_replacement(d, c, 1), 0.01, 1e-12));
+            assert!(close(
+                eviction_prob_with_replacement(d, c, 1.0),
+                0.01,
+                1e-12
+            ));
+            assert!(close(
+                eviction_prob_without_replacement(d, c, 1),
+                0.01,
+                1e-12
+            ));
         }
     }
 
@@ -242,7 +253,11 @@ mod tests {
             let expect = eviction_prob_with_replacement(d, c, k) * draws as f64;
             if expect > 2000.0 {
                 let dev = (counts[d as usize] as f64 - expect).abs() / expect;
-                assert!(dev < 0.08, "d={d} expected {expect} got {}", counts[d as usize]);
+                assert!(
+                    dev < 0.08,
+                    "d={d} expected {expect} got {}",
+                    counts[d as usize]
+                );
             }
         }
     }

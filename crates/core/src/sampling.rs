@@ -28,7 +28,10 @@ impl SpatialFilter {
     /// Filter with sampling rate `rate` in `(0, 1]` over the default modulus.
     #[must_use]
     pub fn with_rate(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1], got {rate}");
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "rate must be in (0,1], got {rate}"
+        );
         let threshold = ((rate * DEFAULT_MODULUS as f64).round() as u64).max(1);
         Self::new(threshold.min(DEFAULT_MODULUS), DEFAULT_MODULUS)
     }

@@ -13,8 +13,11 @@
 //! shared mutable state; per-shard RNG seeds keep results identical at any
 //! thread count.
 
+use std::sync::Arc;
+
 use crate::hashing::hash_key;
 use crate::histogram::SdHistogram;
+use crate::metrics::MetricsRegistry;
 use crate::model::{KrrConfig, KrrModel, ModelStats};
 use crate::mrc::Mrc;
 
@@ -26,6 +29,7 @@ const SHARD_SALT: u64 = 0x5A8D_ED0F_1CE5_11AD;
 pub struct ShardedKrr {
     shards: Vec<KrrModel>,
     config: KrrConfig,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl ShardedKrr {
@@ -41,7 +45,21 @@ impl ShardedKrr {
                 KrrModel::new(cfg)
             })
             .collect();
-        Self { shards, config: config.clone() }
+        Self {
+            shards,
+            config: config.clone(),
+            metrics: None,
+        }
+    }
+
+    /// Attaches a metrics registry to every shard model and claims its
+    /// per-shard access counters (sized to this bank's shard count).
+    pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        metrics.init_shards(self.shards.len());
+        for s in &mut self.shards {
+            s.set_metrics(Arc::clone(&metrics));
+        }
+        self.metrics = Some(metrics);
     }
 
     /// Number of shards.
@@ -59,6 +77,9 @@ impl ShardedKrr {
     /// Offers one reference (sequential path).
     pub fn access(&mut self, key: u64, size: u32) {
         let s = self.shard_for(key);
+        if let Some(m) = &self.metrics {
+            m.shard_access(s);
+        }
         self.shards[s].access(key, size);
     }
 
@@ -81,15 +102,20 @@ impl ShardedKrr {
         for (i, m) in shards.into_iter().enumerate() {
             groups[i % threads].push((i, m));
         }
+        let metrics = self.metrics.clone();
         let done: Vec<Vec<(usize, KrrModel)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = groups
                 .into_iter()
                 .map(|mut group| {
+                    let metrics = metrics.clone();
                     scope.spawn(move || {
                         for &(key, size) in refs {
                             let s = (hash_key(key ^ SHARD_SALT) % n_shards as u64) as usize;
                             for (i, m) in &mut group {
                                 if *i == s {
+                                    if let Some(reg) = &metrics {
+                                        reg.shard_access(s);
+                                    }
                                     m.access(key, size);
                                     break;
                                 }
@@ -99,7 +125,10 @@ impl ShardedKrr {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
         });
         let mut shards: Vec<Option<KrrModel>> = (0..n_shards).map(|_| None).collect();
         for group in done {
@@ -107,13 +136,20 @@ impl ShardedKrr {
                 shards[i] = Some(m);
             }
         }
-        self.shards = shards.into_iter().map(|m| m.expect("shard returned")).collect();
+        self.shards = shards
+            .into_iter()
+            .map(|m| m.expect("shard returned"))
+            .collect();
     }
 
     /// Aggregate counters over all shards.
     #[must_use]
     pub fn stats(&self) -> ModelStats {
-        let mut total = ModelStats { processed: 0, sampled: 0, distinct: 0 };
+        let mut total = ModelStats {
+            processed: 0,
+            sampled: 0,
+            distinct: 0,
+        };
         for s in &self.shards {
             let st = s.stats();
             total.processed += st.processed;
@@ -128,9 +164,14 @@ impl ShardedKrr {
     /// size axis is expanded by `S/R`.
     #[must_use]
     pub fn mrc(&self) -> Mrc {
+        let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let mut merged = SdHistogram::new(self.config.bin_width);
         for s in &self.shards {
             merged.merge(s.histogram());
+        }
+        if let (Some(m), Some(t0)) = (&self.metrics, t0) {
+            m.merges.inc();
+            m.merge_ns.add(t0.elapsed().as_nanos() as u64);
         }
         let st = self.stats();
         let rate = self.shards.first().map_or(1.0, KrrModel::sampling_rate);
@@ -223,7 +264,10 @@ mod tests {
         let mut sharded = ShardedKrr::new(&cfg, 4);
         sharded.process_parallel(&refs, 4);
         let st = sharded.stats();
-        assert!(st.sampled < st.processed * 6 / 10, "sampling must still filter");
+        assert!(
+            st.sampled < st.processed * 6 / 10,
+            "sampling must still filter"
+        );
         let mut plain = KrrModel::new(KrrConfig::new(4.0).seed(8));
         for &(k, _) in &refs {
             plain.access_key(k);

@@ -26,7 +26,13 @@ impl SizeArray {
     #[must_use]
     pub fn new(base: u64) -> Self {
         assert!(base >= 2, "sizeArray base must be >= 2");
-        Self { base, bounds: Vec::new(), sums: Vec::new(), total: 0, len: 0 }
+        Self {
+            base,
+            bounds: Vec::new(),
+            sums: Vec::new(),
+            total: 0,
+            len: 0,
+        }
     }
 
     /// Logarithmic base in use.
@@ -173,12 +179,22 @@ mod tests {
                     let old = stack.entry_at(phi).unwrap().size;
                     sa.on_resize(phi, old, size);
                     let acc = stack.access(key, size);
-                    sa.apply(stack.last_chain(), stack.last_chain_sizes(), acc.phi(), size);
+                    sa.apply(
+                        stack.last_chain(),
+                        stack.last_chain_sizes(),
+                        acc.phi(),
+                        size,
+                    );
                 }
                 None => {
                     let acc = stack.access(key, size);
                     sa.on_insert(size);
-                    sa.apply(stack.last_chain(), stack.last_chain_sizes(), acc.phi(), size);
+                    sa.apply(
+                        stack.last_chain(),
+                        stack.last_chain_sizes(),
+                        acc.phi(),
+                        size,
+                    );
                 }
             }
         }

@@ -71,6 +71,7 @@ pub struct KrrStack {
     rng: Xoshiro256,
     chain: Vec<u64>,
     chain_sizes: Vec<u32>,
+    last_scanned: u64,
 }
 
 impl KrrStack {
@@ -87,6 +88,7 @@ impl KrrStack {
             rng: Xoshiro256::seed_from_u64(seed),
             chain: Vec::new(),
             chain_sizes: Vec::new(),
+            last_scanned: 0,
         }
     }
 
@@ -137,6 +139,15 @@ impl KrrStack {
         &self.chain_sizes
     }
 
+    /// Stack positions the update strategy examined during the most recent
+    /// [`KrrStack::access`] — the per-update work metric (chain length for
+    /// the backward updater, visited tree nodes for top-down, `φ − 1` for
+    /// the naive scan).
+    #[must_use]
+    pub fn last_scanned(&self) -> u64 {
+        self.last_scanned
+    }
+
     /// Processes one reference: finds the object's stack distance, samples a
     /// swap chain with the configured strategy, and applies the cyclic shift
     /// that moves the referenced object to the stack top.
@@ -166,10 +177,12 @@ impl KrrStack {
     fn update(&mut self, phi: u64) {
         self.chain.clear();
         self.chain_sizes.clear();
+        self.last_scanned = 0;
         if phi <= 1 {
             return;
         }
-        update::swap_chain(self.updater, phi, self.k, &mut self.rng, &mut self.chain);
+        self.last_scanned =
+            update::swap_chain(self.updater, phi, self.k, &mut self.rng, &mut self.chain);
         debug_assert!(self.chain.first() == Some(&1));
         debug_assert!(self.chain.windows(2).all(|w| w[0] < w[1]));
         debug_assert!(*self.chain.last().unwrap() < phi);
@@ -177,8 +190,11 @@ impl KrrStack {
         // Record pre-update sizes for sizeArray maintenance, then perform the
         // cyclic shift: entry at chain[j] moves down to chain[j+1] (the last
         // one moves to φ) and the referenced object moves to the top.
-        self.chain_sizes
-            .extend(self.chain.iter().map(|&p| self.entries[p as usize - 1].size));
+        self.chain_sizes.extend(
+            self.chain
+                .iter()
+                .map(|&p| self.entries[p as usize - 1].size),
+        );
 
         let referenced = self.entries[phi as usize - 1];
         let mut dest = phi;
@@ -205,10 +221,7 @@ impl KrrStack {
         let entries = self.entries.capacity() * std::mem::size_of::<Entry>();
         // hashbrown stores (key, value) pairs plus one control byte per
         // slot at ~8/7 slack.
-        let index = self.index.capacity()
-            * (std::mem::size_of::<(u64, u32)>() + 1)
-            * 8
-            / 7;
+        let index = self.index.capacity() * (std::mem::size_of::<(u64, u32)>() + 1) * 8 / 7;
         entries + index
     }
 }
@@ -235,7 +248,11 @@ mod tests {
 
     #[test]
     fn referenced_object_moves_to_top() {
-        for updater in [UpdaterKind::Naive, UpdaterKind::TopDown, UpdaterKind::Backward] {
+        for updater in [
+            UpdaterKind::Naive,
+            UpdaterKind::TopDown,
+            UpdaterKind::Backward,
+        ] {
             let mut s = stack(4.0, updater);
             for key in 0..50u64 {
                 s.access(key, 1);
@@ -248,7 +265,11 @@ mod tests {
 
     #[test]
     fn stack_remains_a_permutation() {
-        for updater in [UpdaterKind::Naive, UpdaterKind::TopDown, UpdaterKind::Backward] {
+        for updater in [
+            UpdaterKind::Naive,
+            UpdaterKind::TopDown,
+            UpdaterKind::Backward,
+        ] {
             let mut s = stack(3.0, updater);
             let mut rng = Xoshiro256::seed_from_u64(1);
             for _ in 0..5000 {
@@ -259,7 +280,11 @@ mod tests {
             let mut seen = std::collections::HashSet::new();
             for (i, e) in s.iter().enumerate() {
                 assert!(seen.insert(e.key), "duplicate key {} ({updater:?})", e.key);
-                assert_eq!(s.position_of(e.key), Some(i as u64 + 1), "index out of sync");
+                assert_eq!(
+                    s.position_of(e.key),
+                    Some(i as u64 + 1),
+                    "index out of sync"
+                );
             }
         }
     }

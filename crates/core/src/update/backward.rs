@@ -15,20 +15,25 @@ use crate::prob::sample_eviction_position;
 use crate::rng::Xoshiro256;
 
 /// Appends the swap chain for distance `phi` by sampling backward jumps,
-/// then reverses the buffer into ascending order.
-pub fn backward_chain(phi: u64, k: f64, rng: &mut Xoshiro256, out: &mut Vec<u64>) {
+/// then reverses the buffer into ascending order. Returns the number of
+/// positions examined, which for this updater equals the number of
+/// inverse-CDF draws (= chain length, Corollary 1's cost).
+pub fn backward_chain(phi: u64, k: f64, rng: &mut Xoshiro256, out: &mut Vec<u64>) -> u64 {
     debug_assert!(phi >= 2);
     let start = out.len();
     let inv_k = 1.0 / k;
     let mut i = phi;
+    let mut scanned = 0u64;
     while i > 1 {
         // x = ⌈ r^(1/K) · (i-1) ⌉, r ∈ (0, 1]
         let r = rng.unit_open_low();
         let x = sample_eviction_position_inv(r, i - 1, inv_k);
         out.push(x);
+        scanned += 1;
         i = x;
     }
     out[start..].reverse();
+    scanned
 }
 
 /// Same as [`sample_eviction_position`] but takes `1/K` precomputed, saving
@@ -101,6 +106,9 @@ mod tests {
         }
         let mean = total as f64 / trials as f64;
         let expect = crate::prob::expected_swaps_exact(phi, k);
-        assert!((mean - expect).abs() / expect < 0.1, "mean {mean} vs {expect}");
+        assert!(
+            (mean - expect).abs() / expect < 0.1,
+            "mean {mean} vs {expect}"
+        );
     }
 }

@@ -42,8 +42,11 @@ pub enum UpdaterKind {
 
 impl UpdaterKind {
     /// All strategies, for exhaustive testing.
-    pub const ALL: [UpdaterKind; 3] =
-        [UpdaterKind::Naive, UpdaterKind::TopDown, UpdaterKind::Backward];
+    pub const ALL: [UpdaterKind; 3] = [
+        UpdaterKind::Naive,
+        UpdaterKind::TopDown,
+        UpdaterKind::Backward,
+    ];
 }
 
 impl std::fmt::Display for UpdaterKind {
@@ -58,6 +61,8 @@ impl std::fmt::Display for UpdaterKind {
 
 /// Samples a swap chain for a reference at stack distance `phi` with
 /// effective sampling size `k`, appending ascending positions to `out`.
+/// Returns the number of stack positions the strategy examined (its work,
+/// fed to the `positions_scanned` metric).
 ///
 /// `out` is left empty when `phi <= 1` (a top-of-stack hit needs no update).
 #[inline]
@@ -67,10 +72,10 @@ pub fn swap_chain(
     k: f64,
     rng: &mut Xoshiro256,
     out: &mut Vec<u64>,
-) {
+) -> u64 {
     debug_assert!(out.is_empty());
     if phi <= 1 {
-        return;
+        return 0;
     }
     match kind {
         UpdaterKind::Naive => naive_chain(phi, k, rng, out),

@@ -8,8 +8,10 @@
 use crate::prob::stay_prob;
 use crate::rng::Xoshiro256;
 
-/// Appends the swap chain for distance `phi` by scanning positions top-down.
-pub fn naive_chain(phi: u64, k: f64, rng: &mut Xoshiro256, out: &mut Vec<u64>) {
+/// Appends the swap chain for distance `phi` by scanning positions
+/// top-down. Returns the number of stack positions examined (here the full
+/// interior, `phi - 1` — the O(φ) cost the fast updaters avoid).
+pub fn naive_chain(phi: u64, k: f64, rng: &mut Xoshiro256, out: &mut Vec<u64>) -> u64 {
     debug_assert!(phi >= 2);
     out.push(1);
     for i in 2..phi {
@@ -17,6 +19,7 @@ pub fn naive_chain(phi: u64, k: f64, rng: &mut Xoshiro256, out: &mut Vec<u64>) {
             out.push(i);
         }
     }
+    phi - 1
 }
 
 #[cfg(test)]
@@ -40,7 +43,10 @@ mod tests {
         }
         let harmonic: f64 = (1..phi).map(|i| 1.0 / i as f64).sum();
         let got = total as f64 / trials as f64;
-        assert!((got - harmonic).abs() / harmonic < 0.05, "got {got} vs H={harmonic}");
+        assert!(
+            (got - harmonic).abs() / harmonic < 0.05,
+            "got {got} vs H={harmonic}"
+        );
     }
 
     #[test]

@@ -20,23 +20,26 @@ use crate::rng::Xoshiro256;
 
 /// Appends the swap chain for distance `phi` using recursive interval
 /// splitting. Emission order is ascending because the left child is always
-/// explored before the right one.
-pub fn topdown_chain(phi: u64, k: f64, rng: &mut Xoshiro256, out: &mut Vec<u64>) {
+/// explored before the right one. Returns the number of state-space tree
+/// nodes visited (the quantity Proposition 3 bounds by O(K·log²M)).
+pub fn topdown_chain(phi: u64, k: f64, rng: &mut Xoshiro256, out: &mut Vec<u64>) -> u64 {
     debug_assert!(phi >= 2);
     out.push(1);
     if phi < 3 {
-        return;
+        return 1;
     }
     let (lo, hi) = (2u64, phi - 1);
     let p_any = 1.0 - no_swap_prob(lo, hi, k);
     if rng.unit() >= p_any {
-        return;
+        return 1;
     }
     // Explicit DFS stack; pushing the right interval first makes the left
     // one pop first, so positions are emitted in ascending order.
+    let mut visited = 1u64;
     let mut pending: Vec<(u64, u64)> = vec![(lo, hi)];
     while let Some((start, end)) = pending.pop() {
         debug_assert!(start <= end);
+        visited += 1;
         if start == end {
             out.push(start);
             continue;
@@ -65,6 +68,7 @@ pub fn topdown_chain(phi: u64, k: f64, rng: &mut Xoshiro256, out: &mut Vec<u64>)
             pending.push((start, mid - 1));
         }
     }
+    visited
 }
 
 #[cfg(test)]

@@ -29,7 +29,14 @@ impl WindowedKrr {
     pub fn new(config: KrrConfig, window: u64) -> Self {
         assert!(window > 0, "window must be positive");
         let current = KrrModel::new(config.clone());
-        Self { config, window, current, previous: None, in_window: 0, rotations: 0 }
+        Self {
+            config,
+            window,
+            current,
+            previous: None,
+            in_window: 0,
+            rotations: 0,
+        }
     }
 
     /// Offers one reference.
@@ -75,8 +82,7 @@ impl WindowedKrr {
                 // correction over the union.
                 let rate = self.current.sampling_rate();
                 if rate < 1.0 && self.config.spatial_adjustment {
-                    let processed =
-                        prev.stats().processed + self.current.stats().processed;
+                    let processed = prev.stats().processed + self.current.stats().processed;
                     let sampled = prev.stats().sampled + self.current.stats().sampled;
                     let expected = (processed as f64 * rate).round() as i64;
                     merged.apply_count_adjustment(expected - sampled as i64);

@@ -55,7 +55,8 @@ USAGE:
                [--var-size] [--out FILE]
   krr stats <trace.csv>
   krr model [--k K] [--rate R] [--updater backward|topdown|naive]
-            [--bytes] [--seed X] (<trace.csv> | --workload <spec> ...)
+            [--bytes] [--seed X] [--shards S] [--metrics]
+            [--metrics-out FILE] (<trace.csv> | --workload <spec> ...)
   krr simulate [--policy lru|klru:K|klfu:K] [--sizes N] [--bytes]
                (<trace.csv> | --workload <spec> ...)
   krr compare [--k K] [--sizes N] (<trace.csv> | --workload <spec> ...)
@@ -81,7 +82,7 @@ impl Flags {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                if name == "var-size" || name == "bytes" {
+                if name == "var-size" || name == "bytes" || name == "metrics" {
                     pairs.push((name.to_string(), "true".to_string()));
                 } else {
                     let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
@@ -95,13 +96,19 @@ impl Flags {
     }
 
     fn get(&self, name: &str) -> Option<&str> {
-        self.pairs.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
         }
     }
 
@@ -117,7 +124,9 @@ fn build_workload(
     scale: f64,
     var_size: bool,
 ) -> Result<Trace, String> {
-    let (kind, arg) = spec.split_once(':').ok_or_else(|| format!("bad workload spec {spec:?}"))?;
+    let (kind, arg) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad workload spec {spec:?}"))?;
     match kind {
         "msr" => {
             let t = msr::MsrTrace::ALL
@@ -151,14 +160,19 @@ fn build_workload(
             Ok(twitter::profile(*c).generate(n, seed, scale, var_size))
         }
         "zipf" => {
-            let (alpha, keys) =
-                arg.split_once(':').ok_or_else(|| "zipf spec is zipf:<alpha>:<keys>".to_string())?;
+            let (alpha, keys) = arg
+                .split_once(':')
+                .ok_or_else(|| "zipf spec is zipf:<alpha>:<keys>".to_string())?;
             let alpha: f64 = alpha.parse().map_err(|_| format!("bad alpha {alpha:?}"))?;
-            let keys: u64 = keys.parse().map_err(|_| format!("bad key count {keys:?}"))?;
+            let keys: u64 = keys
+                .parse()
+                .map_err(|_| format!("bad key count {keys:?}"))?;
             Ok(ycsb::WorkloadC::new(keys, alpha).generate(n, seed))
         }
         "loop" => {
-            let len: u64 = arg.parse().map_err(|_| format!("bad loop length {arg:?}"))?;
+            let len: u64 = arg
+                .parse()
+                .map_err(|_| format!("bad loop length {arg:?}"))?;
             Ok(patterns::loop_trace(len, n))
         }
         other => Err(format!("unknown workload kind {other:?}")),
@@ -171,7 +185,9 @@ fn load_trace(f: &Flags) -> Result<Trace, String> {
         let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
         return trace_io::read_csv(BufReader::new(file)).map_err(|e| e.to_string());
     }
-    let spec = f.get("workload").ok_or("need a trace file or --workload <spec>")?;
+    let spec = f
+        .get("workload")
+        .ok_or("need a trace file or --workload <spec>")?;
     build_workload(
         spec,
         f.num("requests", 400_000usize)?,
@@ -227,26 +243,54 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
         "naive" => UpdaterKind::Naive,
         other => return Err(format!("unknown updater {other:?}")),
     };
-    let mut cfg = KrrConfig::new(k).updater(updater).seed(f.num("seed", 1u64)?);
+    let mut cfg = KrrConfig::new(k)
+        .updater(updater)
+        .seed(f.num("seed", 1u64)?);
     if rate < 1.0 {
         cfg = cfg.sampling(rate);
     }
     if f.flag("bytes") {
         cfg = cfg.byte_level(2, 4096);
     }
-    let t0 = std::time::Instant::now();
-    let mut model = KrrModel::new(cfg);
-    for r in &trace {
-        model.access(r.key, r.size);
+    let shards: usize = f.num("shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards must be >= 1".into());
     }
+    let want_metrics = f.flag("metrics") || f.get("metrics-out").is_some();
+    let registry = want_metrics.then(|| std::sync::Arc::new(krr::core::MetricsRegistry::new()));
+    let t0 = std::time::Instant::now();
+    let (mrc, st) = if shards > 1 {
+        let mut bank = krr::core::sharded::ShardedKrr::new(&cfg, shards);
+        if let Some(reg) = &registry {
+            bank.set_metrics(std::sync::Arc::clone(reg));
+        }
+        let refs: Vec<(u64, u32)> = trace.iter().map(|r| (r.key, r.size)).collect();
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        bank.process_parallel(&refs, threads);
+        (bank.mrc(), bank.stats())
+    } else {
+        let mut model = KrrModel::new(cfg);
+        if let Some(reg) = &registry {
+            model.set_metrics(std::sync::Arc::clone(reg));
+        }
+        for r in &trace {
+            model.access(r.key, r.size);
+        }
+        (model.mrc(), model.stats())
+    };
     let elapsed = t0.elapsed();
-    let mrc = model.mrc();
     let mut out = std::io::BufWriter::new(std::io::stdout().lock());
     let _ = writeln!(out, "cache_size,miss_ratio");
     // Downsample evenly to at most 2000 points so huge histograms stay
     // plottable without chopping the tail off the curve.
-    let pts: Vec<(f64, f64)> =
-        mrc.points().iter().copied().filter(|&(x, _)| x > 0.0).collect();
+    let pts: Vec<(f64, f64)> = mrc
+        .points()
+        .iter()
+        .copied()
+        .filter(|&(x, _)| x > 0.0)
+        .collect();
     let step = (pts.len() / 2_000).max(1);
     for (i, &(x, y)) in pts.iter().enumerate() {
         if i % step != 0 && i != pts.len() - 1 {
@@ -258,11 +302,22 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
         }
     }
     drop(out);
-    let st = model.stats();
     eprintln!(
         "processed {} refs ({} sampled, {} distinct) in {elapsed:?}",
         st.processed, st.sampled, st.distinct
     );
+    if let Some(reg) = &registry {
+        let snap = reg.snapshot();
+        if f.flag("metrics") {
+            eprintln!("{}", snap.render_info());
+        }
+        if let Some(path) = f.get("metrics-out") {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            krr::core::persist::write_metrics_json(std::io::BufWriter::new(file), &snap)
+                .map_err(|e| e.to_string())?;
+            eprintln!("wrote metrics snapshot to {path}");
+        }
+    }
     Ok(())
 }
 
@@ -276,19 +331,29 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let caps = even_capacities(max, n_sizes);
     let unit = if bytes { Unit::Bytes } else { Unit::Objects };
     let policy_spec = f.get("policy").unwrap_or("klru:5");
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mrc = match policy_spec {
         "lru" => simulate_mrc(&trace, Policy::ExactLru, unit, &caps, 1, threads),
         spec if spec.starts_with("klru:") => {
-            let k: u32 = spec[5..].parse().map_err(|_| format!("bad policy {spec:?}"))?;
+            let k: u32 = spec[5..]
+                .parse()
+                .map_err(|_| format!("bad policy {spec:?}"))?;
             simulate_mrc(&trace, Policy::klru(k), unit, &caps, 1, threads)
         }
         spec if spec.starts_with("klfu:") => {
-            let k: u32 = spec[5..].parse().map_err(|_| format!("bad policy {spec:?}"))?;
+            let k: u32 = spec[5..]
+                .parse()
+                .map_err(|_| format!("bad policy {spec:?}"))?;
             // No Policy variant for LFU: run each size directly.
             let mut points = vec![(0.0, 1.0)];
             for &c in &caps {
-                let cap = if bytes { Capacity::Bytes(c) } else { Capacity::Objects(c) };
+                let cap = if bytes {
+                    Capacity::Bytes(c)
+                } else {
+                    Capacity::Objects(c)
+                };
                 let mut cache = KLfuCache::new(cap, k, 1);
                 for r in &trace {
                     cache.access(r);
@@ -316,7 +381,9 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let n_sizes: usize = f.num("sizes", 25)?;
     let (objects, _) = krr::sim::working_set(&trace);
     let caps = even_capacities(objects, n_sizes);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let sim = simulate_mrc(&trace, Policy::klru(k), Unit::Objects, &caps, 1, threads);
     let mut model = KrrModel::new(KrrConfig::new(f64::from(k)).seed(2));
     for r in &trace {
@@ -331,10 +398,13 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         sum += (a - b).abs();
         println!("{c},{a:.5},{b:.5},{:.5}", (a - b).abs());
     }
-    eprintln!("MAE over {} sizes: {:.5}", caps.len(), sum / caps.len() as f64);
+    eprintln!(
+        "MAE over {} sizes: {:.5}",
+        caps.len(),
+        sum / caps.len() as f64
+    );
     Ok(())
 }
-
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let f = Flags::parse(args)?;
@@ -381,7 +451,11 @@ fn cmd_plot(args: &[String]) -> Result<(), String> {
 
 /// Renders MRCs as an ASCII chart: x = cache size (linear), y = miss ratio.
 fn render_ascii_mrc(curves: &[(String, krr::Mrc)], width: usize, height: usize) -> String {
-    let max_x = curves.iter().map(|(_, m)| m.max_size()).fold(0.0f64, f64::max).max(1.0);
+    let max_x = curves
+        .iter()
+        .map(|(_, m)| m.max_size())
+        .fold(0.0f64, f64::max)
+        .max(1.0);
     let marks = ['*', 'o', '+', 'x', '#', '@'];
     let mut grid = vec![vec![' '; width]; height];
     for (ci, (_, mrc)) in curves.iter().enumerate() {
@@ -407,7 +481,6 @@ fn render_ascii_mrc(curves: &[(String, krr::Mrc)], width: usize, height: usize) 
     out
 }
 
-
 fn cmd_partition(args: &[String]) -> Result<(), String> {
     use krr::core::partition::{allocate_greedy, allocate_optimal, Tenant};
     let f = Flags::parse(args)?;
@@ -430,7 +503,10 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     let optimal = allocate_optimal(&tenants, budget, quantum);
     println!("{:>32} {:>12} {:>12}", "tenant", "greedy", "optimal");
     for (i, t) in tenants.iter().enumerate() {
-        println!("{:>32} {:>12} {:>12}", t.name, greedy.per_tenant[i], optimal.per_tenant[i]);
+        println!(
+            "{:>32} {:>12} {:>12}",
+            t.name, greedy.per_tenant[i], optimal.per_tenant[i]
+        );
     }
     println!(
         "total weighted miss:  greedy {:.4}   optimal {:.4}",

@@ -16,7 +16,10 @@ impl Client {
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
     }
 
     /// Sends a raw command (array of bulk strings) and returns the reply.
@@ -67,6 +70,16 @@ impl Client {
     /// `INFO` — the raw info text.
     pub fn info(&mut self) -> io::Result<String> {
         match self.raw(&[b"INFO"])? {
+            Value::Bulk(Some(data)) => {
+                String::from_utf8(data).map_err(|e| io::Error::other(e.to_string()))
+            }
+            other => Err(io::Error::other(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// `METRICS` — the raw `krr-metrics-v1` JSON snapshot.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.raw(&[b"METRICS"])? {
             Value::Bulk(Some(data)) => {
                 String::from_utf8(data).map_err(|e| io::Error::other(e.to_string()))
             }

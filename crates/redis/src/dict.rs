@@ -34,7 +34,10 @@ struct Table {
 
 impl Table {
     fn with_size(size: usize) -> Self {
-        Self { buckets: vec![NIL; size], used: 0 }
+        Self {
+            buckets: vec![NIL; size],
+            used: 0,
+        }
     }
 
     fn mask(&self) -> usize {
@@ -85,7 +88,11 @@ impl<V> Dict<V> {
     }
 
     fn alloc(&mut self, key: u64, value: V) -> u32 {
-        let node = Node { key, value, next: NIL };
+        let node = Node {
+            key,
+            value,
+            next: NIL,
+        };
         match self.free.pop() {
             Some(i) => {
                 self.nodes[i as usize] = node;
@@ -101,7 +108,9 @@ impl<V> Dict<V> {
     /// Migrates one non-empty bucket from table 0 to table 1 (plus skipping
     /// up to 10 empty buckets), mirroring `dictRehash(d, 1)`.
     fn rehash_step(&mut self) {
-        let Some(mut idx) = self.rehash_idx else { return };
+        let Some(mut idx) = self.rehash_idx else {
+            return;
+        };
         let mut empty_visits = 10;
         loop {
             if self.tables[0].used == 0 {
@@ -259,8 +268,11 @@ impl<V> Dict<V> {
             return;
         }
         self.rehash_step();
-        let max_mask =
-            if self.is_rehashing() { self.tables[1].mask() } else { self.tables[0].mask() };
+        let max_mask = if self.is_rehashing() {
+            self.tables[1].mask()
+        } else {
+            self.tables[0].mask()
+        };
         let mut idx = self.rng.next_u64() as usize & max_mask;
         let mut visited = 0usize;
         let max_buckets = (count * SOME_KEYS_BUCKET_FACTOR).max(1);
@@ -308,9 +320,9 @@ impl<V> Dict<V> {
                 // Pick a slot uniformly over both tables' bucket spaces,
                 // excluding already-migrated table-0 buckets.
                 let migrated = self.rehash_idx.unwrap_or(0);
-                let total =
-                    self.tables[0].buckets.len() - migrated.min(self.tables[0].buckets.len())
-                        + self.tables[1].buckets.len();
+                let total = self.tables[0].buckets.len()
+                    - migrated.min(self.tables[0].buckets.len())
+                    + self.tables[1].buckets.len();
                 let r = self.rng.below_usize(total);
                 let t0_remaining =
                     self.tables[0].buckets.len() - migrated.min(self.tables[0].buckets.len());
@@ -448,7 +460,10 @@ mod tests {
             // circular span
             idxs[0] + mask + 1 - idxs[idxs.len() - 1],
         );
-        assert!(span <= 160, "bucket span {span} too wide for a clustered walk");
+        assert!(
+            span <= 160,
+            "bucket span {span} too wide for a clustered walk"
+        );
     }
 
     #[test]

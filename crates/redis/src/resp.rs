@@ -68,10 +68,16 @@ fn read_line<R: BufRead>(r: &mut R) -> io::Result<String> {
     let mut line = String::new();
     let n = r.read_line(&mut line)?;
     if n == 0 {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed",
+        ));
     }
     if !line.ends_with("\r\n") {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "line not CRLF-terminated"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "line not CRLF-terminated",
+        ));
     }
     line.truncate(line.len() - 2);
     Ok(line)
@@ -88,7 +94,10 @@ pub fn read_value<R: BufRead>(r: &mut R) -> io::Result<Value> {
     match tag {
         "+" => Ok(Value::Simple(rest.to_string())),
         "-" => Ok(Value::Error(rest.to_string())),
-        ":" => rest.parse().map(Value::Integer).map_err(|_| invalid("bad integer")),
+        ":" => rest
+            .parse()
+            .map(Value::Integer)
+            .map_err(|_| invalid("bad integer")),
         "$" => {
             let len: i64 = rest.parse().map_err(|_| invalid("bad bulk length"))?;
             if len < 0 {
@@ -130,8 +139,14 @@ mod tests {
 
     #[test]
     fn simple_and_error() {
-        assert_eq!(roundtrip(&Value::Simple("OK".into())), Value::Simple("OK".into()));
-        assert_eq!(roundtrip(&Value::Error("ERR nope".into())), Value::Error("ERR nope".into()));
+        assert_eq!(
+            roundtrip(&Value::Simple("OK".into())),
+            Value::Simple("OK".into())
+        );
+        assert_eq!(
+            roundtrip(&Value::Error("ERR nope".into())),
+            Value::Error("ERR nope".into())
+        );
     }
 
     #[test]
@@ -144,7 +159,10 @@ mod tests {
     #[test]
     fn bulk_including_null_and_binary() {
         assert_eq!(roundtrip(&Value::null()), Value::null());
-        assert_eq!(roundtrip(&Value::bulk(b"hello".to_vec())), Value::bulk(b"hello".to_vec()));
+        assert_eq!(
+            roundtrip(&Value::bulk(b"hello".to_vec())),
+            Value::bulk(b"hello".to_vec())
+        );
         let binary = vec![0u8, 13, 10, 255, 36];
         assert_eq!(roundtrip(&Value::bulk(binary.clone())), Value::bulk(binary));
         assert_eq!(roundtrip(&Value::bulk(Vec::new())), Value::bulk(Vec::new()));

@@ -4,7 +4,11 @@
 //! model real Redis avoids, but sufficient to validate KRR against a cache
 //! reached through an actual wire protocol (§5.7 ran against a live Redis
 //! instance). Supported commands: `GET`, `SET`, `DEL`, `DBSIZE`, `INFO`,
-//! `PING`, `SHUTDOWN`.
+//! `METRICS`, `PING`, `SHUTDOWN`.
+//!
+//! `INFO` renders the store's counters plus the full metrics snapshot in
+//! Redis's `# section` / `key:value` text form; `METRICS` returns the same
+//! snapshot as one JSON document (`krr-metrics-v1`).
 
 use crate::resp::{read_value, write_value, Value};
 use crate::store::MiniRedis;
@@ -53,7 +57,12 @@ impl Server {
                 let _ = w.join();
             }
         });
-        Ok(Server { addr, store, stop, accept_thread: Some(accept_thread) })
+        Ok(Server {
+            addr,
+            store,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The server's socket address.
@@ -110,8 +119,7 @@ fn serve_connection(
             Ok([]) => return Ok(()), // clean EOF
             Ok(_) => {}
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 continue;
             }
@@ -146,7 +154,9 @@ fn handle(request: &Value, store: &Mutex<MiniRedis>, stop: &AtomicBool) -> Value
     match cmd.to_ascii_uppercase().as_slice() {
         b"PING" => Value::Simple("PONG".into()),
         b"GET" => {
-            let [key] = rest else { return Value::Error("ERR wrong arity for GET".into()) };
+            let [key] = rest else {
+                return Value::Error("ERR wrong arity for GET".into());
+            };
             let Some(key) = parse_key(key) else {
                 return Value::Error("ERR keys are u64 in mini-redis".into());
             };
@@ -165,20 +175,21 @@ fn handle(request: &Value, store: &Mutex<MiniRedis>, stop: &AtomicBool) -> Value
             let Some(key) = parse_key(key) else {
                 return Value::Error("ERR keys are u64 in mini-redis".into());
             };
-            store.lock().expect("store poisoned").set(key, value.len() as u32);
+            store
+                .lock()
+                .expect("store poisoned")
+                .set(key, value.len() as u32);
             Value::Simple("OK".into())
         }
         b"DEL" => {
             // Mini-redis has no user-facing delete; report 0 like a miss.
             Value::Integer(0)
         }
-        b"DBSIZE" => {
-            Value::Integer(store.lock().expect("store poisoned").len() as i64)
-        }
+        b"DBSIZE" => Value::Integer(store.lock().expect("store poisoned").len() as i64),
         b"INFO" => {
             let s = store.lock().expect("store poisoned");
             let stats = s.stats();
-            let body = format!(
+            let mut body = format!(
                 "# mini-redis\r\nkeys:{}\r\nused_memory:{}\r\nhits:{}\r\nmisses:{}\r\nevictions:{}\r\n",
                 s.len(),
                 s.used_memory(),
@@ -186,13 +197,22 @@ fn handle(request: &Value, store: &Mutex<MiniRedis>, stop: &AtomicBool) -> Value
                 stats.misses,
                 stats.evictions
             );
+            body.push_str("\r\n");
+            body.push_str(&s.metrics().snapshot().render_info());
             Value::bulk(body.into_bytes())
+        }
+        b"METRICS" => {
+            let snap = store.lock().expect("store poisoned").metrics().snapshot();
+            Value::bulk(snap.to_json().into_bytes())
         }
         b"SHUTDOWN" => {
             stop.store(true, Ordering::Relaxed);
             Value::Simple("OK".into())
         }
-        other => Value::Error(format!("ERR unknown command {:?}", String::from_utf8_lossy(other))),
+        other => Value::Error(format!(
+            "ERR unknown command {:?}",
+            String::from_utf8_lossy(other)
+        )),
     }
 }
 

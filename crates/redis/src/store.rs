@@ -15,7 +15,10 @@
 //!   (`dictGetSomeKeys`) and the fair `dictGetRandomKey` loop the paper's
 //!   footnote 3 discusses.
 
+use std::sync::Arc;
+
 use crate::dict::Dict;
+use krr_core::metrics::MetricsRegistry;
 use krr_trace::{Op, Request};
 
 /// How eviction candidates are sampled from the keyspace.
@@ -87,6 +90,7 @@ pub struct MiniRedis {
     overhead_per_key: u64,
     stats: StoreStats,
     scratch: Vec<(u64, Entry)>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl MiniRedis {
@@ -112,8 +116,16 @@ impl MiniRedis {
             clock_resolution: 1,
             overhead_per_key: 0,
             stats: StoreStats::default(),
-        scratch: Vec::new(),
+            scratch: Vec::new(),
+            metrics: Arc::new(MetricsRegistry::new()),
         }
+    }
+
+    /// The store's always-on metrics registry: GET outcomes, evictions,
+    /// and sampled-candidate idle ages (in LRU clock units).
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Sets the per-key metadata overhead added to every object's size
@@ -174,15 +186,18 @@ impl MiniRedis {
     /// GET: returns true on hit and refreshes the key's LRU stamp.
     pub fn get(&mut self, key: u64) -> bool {
         self.ticks += 1;
+        self.metrics.accesses.inc();
         let clock = self.lru_clock();
         match self.dict.get_mut(key) {
             Some(e) => {
                 e.lru = clock;
                 self.stats.hits += 1;
+                self.metrics.hits.inc();
                 true
             }
             None => {
                 self.stats.misses += 1;
+                self.metrics.cold_misses.inc();
                 false
             }
         }
@@ -214,7 +229,10 @@ impl MiniRedis {
             };
         }
         let clock = self.lru_clock();
-        let stored = Entry { size: (size - self.overhead_per_key) as u32, lru: clock };
+        let stored = Entry {
+            size: (size - self.overhead_per_key) as u32,
+            lru: clock,
+        };
         match self.dict.insert(key, stored) {
             Some(old) => {
                 self.used_memory =
@@ -261,6 +279,7 @@ impl MiniRedis {
                 continue;
             }
             let idle = self.idle_time(entry.lru);
+            self.metrics.candidate_age.record(idle);
             self.pool_insert(key, idle);
         }
         self.scratch = scratch;
@@ -274,6 +293,7 @@ impl MiniRedis {
                 let removed = self.dict.remove(slot.key).expect("peeked key vanished");
                 self.used_memory -= u64::from(removed.size) + self.overhead_per_key;
                 self.stats.evictions += 1;
+                self.metrics.evictions.inc();
                 return true;
             }
             // Key no longer exists; drop the stale slot and continue.
@@ -290,6 +310,7 @@ impl MiniRedis {
             if let Some(removed) = self.dict.remove(key) {
                 self.used_memory -= u64::from(removed.size) + self.overhead_per_key;
                 self.stats.evictions += 1;
+                self.metrics.evictions.inc();
                 return true;
             }
         }

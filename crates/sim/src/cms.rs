@@ -32,7 +32,13 @@ impl CountMinSketch {
     #[must_use]
     pub fn new(rows: usize, width: usize, reset_period: u64) -> Self {
         assert!(rows >= 1 && width >= 16);
-        Self { rows, width, counters: vec![0; rows * width], additions: 0, reset_period }
+        Self {
+            rows,
+            width,
+            counters: vec![0; rows * width],
+            additions: 0,
+            reset_period,
+        }
     }
 
     /// A TinyLFU-flavoured default sized for ~`capacity` tracked objects.
@@ -101,7 +107,9 @@ impl TinyLfuScore {
     /// Creates a score with a sketch sized for `capacity` objects.
     #[must_use]
     pub fn new(capacity: u64) -> Self {
-        Self { sketch: Rc::new(RefCell::new(CountMinSketch::for_capacity(capacity))) }
+        Self {
+            sketch: Rc::new(RefCell::new(CountMinSketch::for_capacity(capacity))),
+        }
     }
 
     /// Handle to the shared sketch; call `borrow_mut().add(key)` on every
@@ -146,7 +154,10 @@ mod tests {
         }
         for (&key, &count) in &truth {
             let est = cms.estimate(key);
-            assert!(est >= count, "CMS must never underestimate ({est} < {count})");
+            assert!(
+                est >= count,
+                "CMS must never underestimate ({est} < {count})"
+            );
             if count > 1_000 {
                 let rel = (est - count) as f64 / count as f64;
                 assert!(rel < 0.05, "hot key {key}: est {est} vs {count}");
@@ -160,8 +171,10 @@ mod tests {
         for key in 0..1_000u64 {
             cms.add(key % 50);
         }
-        let ghost_max =
-            (10_000..10_100u64).map(|k| cms.estimate(k)).max().unwrap_or(0);
+        let ghost_max = (10_000..10_100u64)
+            .map(|k| cms.estimate(k))
+            .max()
+            .unwrap_or(0);
         assert!(ghost_max <= 2, "ghost estimate {ghost_max}");
     }
 
@@ -173,7 +186,11 @@ mod tests {
         }
         assert!(cms.estimate(7) >= 999);
         cms.add(7); // triggers the halving
-        assert!(cms.estimate(7) <= 500, "estimate {} after halving", cms.estimate(7));
+        assert!(
+            cms.estimate(7) <= 500,
+            "estimate {} after halving",
+            cms.estimate(7)
+        );
     }
 
     #[test]
@@ -205,7 +222,10 @@ mod tests {
             }
         }
         let hot_ratio = hot_hits as f64 / hot_refs as f64;
-        assert!(hot_ratio > 0.9, "hot keys should nearly always hit ({hot_ratio})");
+        assert!(
+            hot_ratio > 0.9,
+            "hot keys should nearly always hit ({hot_ratio})"
+        );
     }
 
     #[test]

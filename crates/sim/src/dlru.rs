@@ -34,13 +34,7 @@ impl DLruCache {
     /// non-empty; the first is the initial `K`), re-deciding every
     /// `epoch` requests using KRR profilers at spatial rate `rate`.
     #[must_use]
-    pub fn new(
-        capacity: Capacity,
-        candidates: &[u32],
-        epoch: u64,
-        rate: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn new(capacity: Capacity, candidates: &[u32], epoch: u64, rate: f64, seed: u64) -> Self {
         assert!(!candidates.is_empty() && epoch > 0);
         let models = Self::fresh_models(candidates, rate, seed);
         Self {
@@ -97,9 +91,7 @@ impl DLruCache {
             return;
         }
         let preds = self.predictions();
-        let Some(&(best_k, best_miss)) =
-            preds.iter().min_by(|a, b| a.1.total_cmp(&b.1))
-        else {
+        let Some(&(best_k, best_miss)) = preds.iter().min_by(|a, b| a.1.total_cmp(&b.1)) else {
             return;
         };
         // Hysteresis: only switch for a clear win, and never on a profiler
@@ -123,8 +115,7 @@ impl DLruCache {
         }
         // Restart the profilers so the next decision reflects the current
         // workload regime, not the whole history.
-        self.models =
-            Self::fresh_models(&self.candidates, self.rate, self.seed ^ self.accesses);
+        self.models = Self::fresh_models(&self.candidates, self.rate, self.seed ^ self.accesses);
     }
 }
 

@@ -104,7 +104,9 @@ impl KLfuCache {
     /// Current frequency estimate of `key` (after decay), if resident.
     #[must_use]
     pub fn frequency_of(&self, key: u64) -> Option<u8> {
-        self.map.get(&key).map(|&i| self.decayed_counter(&self.slots[i as usize]))
+        self.map
+            .get(&key)
+            .map(|&i| self.decayed_counter(&self.slots[i as usize]))
     }
 
     fn used(&self) -> u64 {
@@ -274,7 +276,10 @@ mod tests {
             c.access(&get(k));
         }
         let survivors = (0..50u64).filter(|&k| c.frequency_of(k).is_some()).count();
-        assert!(survivors >= 45, "only {survivors}/50 hot keys survived the scan");
+        assert!(
+            survivors >= 45,
+            "only {survivors}/50 hot keys survived the scan"
+        );
     }
 
     #[test]

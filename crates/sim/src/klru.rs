@@ -7,8 +7,11 @@
 //! index, so uniform sampling is a single `below(len)` draw and removal is a
 //! `swap_remove`, both O(1).
 
+use std::sync::Arc;
+
 use crate::{Cache, CacheStats, Capacity};
 use krr_core::hashing::KeyMap;
+use krr_core::metrics::MetricsRegistry;
 use krr_core::rng::Xoshiro256;
 use krr_trace::Request;
 
@@ -31,6 +34,7 @@ pub struct KLruCache {
     used_bytes: u64,
     rng: Xoshiro256,
     stats: CacheStats,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl KLruCache {
@@ -56,7 +60,15 @@ impl KLruCache {
             used_bytes: 0,
             rng: Xoshiro256::seed_from_u64(seed),
             stats: CacheStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics registry; eviction counts and sampled-candidate
+    /// ages (in accesses, measured on the cache's logical clock) are
+    /// recorded into it.
+    pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        self.metrics = Some(metrics);
     }
 
     /// Number of resident objects.
@@ -111,9 +123,11 @@ impl KLruCache {
         let n = self.slots.len();
         debug_assert!(n > 0);
         let mut victim = self.rng.below_usize(n);
+        self.record_candidate_age(victim);
         if self.with_replacement {
             for _ in 1..self.k {
                 let cand = self.rng.below_usize(n);
+                self.record_candidate_age(cand);
                 if self.slots[cand].last_access < self.slots[victim].last_access {
                     victim = cand;
                 }
@@ -128,13 +142,24 @@ impl KLruCache {
                 let cand = self.rng.below_usize(n);
                 if !picked.contains(&cand) {
                     picked.push(cand);
+                    self.record_candidate_age(cand);
                     if self.slots[cand].last_access < self.slots[victim].last_access {
                         victim = cand;
                     }
                 }
             }
         }
+        if let Some(m) = &self.metrics {
+            m.evictions.inc();
+        }
         self.remove_slot(victim);
+    }
+
+    fn record_candidate_age(&self, slot: usize) {
+        if let Some(m) = &self.metrics {
+            m.candidate_age
+                .record(self.clock - self.slots[slot].last_access);
+        }
     }
 
     fn remove_slot(&mut self, i: usize) {
@@ -182,7 +207,11 @@ impl Cache for KLruCache {
             self.evict_one();
         }
         let i = self.slots.len() as u32;
-        self.slots.push(Slot { key: req.key, size, last_access: self.clock });
+        self.slots.push(Slot {
+            key: req.key,
+            size,
+            last_access: self.clock,
+        });
         self.map.insert(req.key, i);
         self.used_bytes += u64::from(size);
         false
@@ -237,8 +266,7 @@ mod tests {
             let order = cache.recency_order(); // most recent first, rank = idx+1
             let newcomer = c_size + t;
             cache.access(&get(newcomer));
-            let after: std::collections::HashSet<u64> =
-                cache.recency_order().into_iter().collect();
+            let after: std::collections::HashSet<u64> = cache.recency_order().into_iter().collect();
             let evicted: Vec<&u64> = before.difference(&after).collect();
             assert_eq!(evicted.len(), 1);
             let rank = order.iter().position(|k| k == evicted[0]).unwrap() as u64 + 1;
@@ -248,7 +276,10 @@ mod tests {
             let expect = eviction_prob_with_replacement(d, c_size, f64::from(k));
             let got = counts[d as usize] as f64 / trials as f64;
             let tol = 3.0 * (expect * (1.0 - expect) / trials as f64).sqrt() + 2e-3;
-            assert!((got - expect).abs() < tol, "rank {d}: got {got}, expected {expect}");
+            assert!(
+                (got - expect).abs() < tol,
+                "rank {d}: got {got}, expected {expect}"
+            );
         }
     }
 
@@ -266,8 +297,7 @@ mod tests {
             let order = cache.recency_order();
             let before: std::collections::HashSet<u64> = order.iter().copied().collect();
             cache.access(&get(c_size + t));
-            let after: std::collections::HashSet<u64> =
-                cache.recency_order().into_iter().collect();
+            let after: std::collections::HashSet<u64> = cache.recency_order().into_iter().collect();
             let evicted: Vec<&u64> = before.difference(&after).collect();
             let rank = order.iter().position(|k| k == evicted[0]).unwrap() as u64 + 1;
             counts[rank as usize] += 1;
@@ -280,7 +310,10 @@ mod tests {
             let expect = eviction_prob_without_replacement(d, c_size, u64::from(k));
             let got = counts[d as usize] as f64 / trials as f64;
             let tol = 3.0 * (expect * (1.0 - expect) / trials as f64).sqrt() + 2e-3;
-            assert!((got - expect).abs() < tol, "rank {d}: got {got}, expected {expect}");
+            assert!(
+                (got - expect).abs() < tol,
+                "rank {d}: got {got}, expected {expect}"
+            );
         }
     }
 
@@ -303,7 +336,10 @@ mod tests {
             }
         }
         assert_eq!(lru_hits, 0);
-        assert!(rr_hits > 100_000, "RR should hit most of the time, got {rr_hits}");
+        assert!(
+            rr_hits > 100_000,
+            "RR should hit most of the time, got {rr_hits}"
+        );
     }
 
     #[test]

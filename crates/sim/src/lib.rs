@@ -36,9 +36,9 @@ pub use klfu::KLfuCache;
 pub use klru::KLruCache;
 pub use lru::ExactLru;
 pub use minisim::MiniSim;
-pub use wtinylfu::WTinyLfuCache;
-pub use sampled::{EvictionScore, HyperbolicScore, LruScore, SampledCache};
 pub use mrc_sim::{even_capacities, miss_ratio, simulate_mrc, working_set, Policy, Unit};
+pub use sampled::{EvictionScore, HyperbolicScore, LruScore, SampledCache};
+pub use wtinylfu::WTinyLfuCache;
 
 use krr_trace::Request;
 

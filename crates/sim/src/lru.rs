@@ -123,7 +123,12 @@ impl ExactLru {
     }
 
     fn insert(&mut self, key: u64, size: u32) {
-        let node = Node { key, size, prev: NIL, next: NIL };
+        let node = Node {
+            key,
+            size,
+            prev: NIL,
+            next: NIL,
+        };
         let i = match self.free.pop() {
             Some(i) => {
                 self.nodes[i as usize] = node;
@@ -259,8 +264,7 @@ mod tests {
             let r = get(rng.below(50));
             small.access(&r);
             large.access(&r);
-            let big: std::collections::HashSet<u64> =
-                large.recency_order().into_iter().collect();
+            let big: std::collections::HashSet<u64> = large.recency_order().into_iter().collect();
             for k in small.recency_order() {
                 assert!(big.contains(&k), "inclusion violated for key {k}");
             }
@@ -271,7 +275,10 @@ mod tests {
     fn loop_larger_than_cache_never_hits() {
         let mut c = ExactLru::new(Capacity::Objects(10));
         for i in 0..1000u64 {
-            assert!(!c.access(&get(i % 11)), "LRU must thrash on loop > capacity");
+            assert!(
+                !c.access(&get(i % 11)),
+                "LRU must thrash on loop > capacity"
+            );
         }
     }
 

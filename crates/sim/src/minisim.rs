@@ -35,8 +35,11 @@ impl MiniSim {
         byte_capacities: bool,
     ) -> Self {
         assert!(!capacities.is_empty());
-        let filter =
-            if rate >= 1.0 { SpatialFilter::all() } else { SpatialFilter::with_rate(rate) };
+        let filter = if rate >= 1.0 {
+            SpatialFilter::all()
+        } else {
+            SpatialFilter::with_rate(rate)
+        };
         let minis = capacities
             .iter()
             .map(|&c| {
@@ -49,7 +52,12 @@ impl MiniSim {
                 (c, factory(cap))
             })
             .collect();
-        Self { filter, minis, processed: 0, sampled: 0 }
+        Self {
+            filter,
+            minis,
+            processed: 0,
+            sampled: 0,
+        }
     }
 
     /// Offers one request to every miniature cache (if its key samples in).
@@ -96,7 +104,10 @@ impl MiniSim {
     /// ratio estimator; diagnostic use).
     #[must_use]
     pub fn raw_miss_ratios(&self) -> Vec<(u64, f64)> {
-        self.minis.iter().map(|(c, cache)| (*c, cache.stats().miss_ratio())).collect()
+        self.minis
+            .iter()
+            .map(|(c, cache)| (*c, cache.stats().miss_ratio()))
+            .collect()
     }
 
     /// The interpolated MRC over the target capacities.
@@ -155,8 +166,7 @@ mod tests {
         let keys = 100_000u64;
         let trace = skewed_trace(keys, 400_000, 2);
         let caps = even_capacities(keys, 10);
-        let mut ms =
-            MiniSim::new(&caps, 0.05, |c| Box::new(KLruCache::new(c, 5, 7)), false);
+        let mut ms = MiniSim::new(&caps, 0.05, |c| Box::new(KLruCache::new(c, 5, 7)), false);
         for r in &trace {
             ms.access(r);
         }

@@ -33,15 +33,19 @@ impl Policy {
     /// Redis-style K-LRU (with replacement).
     #[must_use]
     pub fn klru(k: u32) -> Self {
-        Policy::KLru { k, with_replacement: true }
+        Policy::KLru {
+            k,
+            with_replacement: true,
+        }
     }
 
     fn build(&self, capacity: Capacity, seed: u64) -> Box<dyn Cache> {
         match *self {
             Policy::ExactLru => Box::new(ExactLru::new(capacity)),
-            Policy::KLru { k, with_replacement } => {
-                Box::new(KLruCache::with_mode(capacity, k, with_replacement, seed))
-            }
+            Policy::KLru {
+                k,
+                with_replacement,
+            } => Box::new(KLruCache::with_mode(capacity, k, with_replacement, seed)),
         }
     }
 }
@@ -110,7 +114,10 @@ pub fn simulate_mrc(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("simulation thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation thread panicked"))
+            .collect()
     });
     let mut points = Vec::with_capacity(capacities.len() + 1);
     points.push((0.0, 1.0));
@@ -133,7 +140,9 @@ pub fn working_set(trace: &[Request]) -> (u64, u64) {
 #[must_use]
 pub fn even_capacities(max: u64, n: usize) -> Vec<u64> {
     assert!(n >= 1 && max >= 1);
-    let mut v: Vec<u64> = (1..=n as u64).map(|i| (max * i / n as u64).max(1)).collect();
+    let mut v: Vec<u64> = (1..=n as u64)
+        .map(|i| (max * i / n as u64).max(1))
+        .collect();
     v.dedup();
     v
 }
@@ -171,7 +180,10 @@ mod tests {
         let m90 = mrc.eval(90.0);
         assert!((m50 - 0.80).abs() < 0.07, "m(50) = {m50}");
         assert!((m90 - 0.20).abs() < 0.10, "m(90) = {m90}");
-        assert!(mrc.eval(25.0) > m50 && m50 > mrc.eval(75.0), "smooth decrease");
+        assert!(
+            mrc.eval(25.0) > m50 && m50 > mrc.eval(75.0),
+            "smooth decrease"
+        );
     }
 
     #[test]
@@ -180,7 +192,11 @@ mod tests {
         let caps = even_capacities(500, 8);
         let par = simulate_mrc(&trace, Policy::klru(4), Unit::Objects, &caps, 3, 4);
         let seq = simulate_mrc(&trace, Policy::klru(4), Unit::Objects, &caps, 3, 1);
-        assert_eq!(par.points(), seq.points(), "determinism regardless of threading");
+        assert_eq!(
+            par.points(),
+            seq.points(),
+            "determinism regardless of threading"
+        );
     }
 
     #[test]

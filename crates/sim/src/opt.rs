@@ -103,7 +103,10 @@ mod tests {
             Request::unit(3),
             Request::unit(1),
         ];
-        assert_eq!(next_use_times(&trace), vec![2, usize::MAX, 4, usize::MAX, usize::MAX]);
+        assert_eq!(
+            next_use_times(&trace),
+            vec![2, usize::MAX, 4, usize::MAX, usize::MAX]
+        );
     }
 
     #[test]

@@ -193,8 +193,13 @@ impl<S: EvictionScore> Cache for SampledCache<S> {
         while self.used() + need > self.capacity.limit() {
             self.evict_one();
         }
-        let meta =
-            ObjectMeta { key: req.key, inserted_at: self.clock, last_access: self.clock, hits: 0, size };
+        let meta = ObjectMeta {
+            key: req.key,
+            inserted_at: self.clock,
+            last_access: self.clock,
+            hits: 0,
+            size,
+        };
         let i = self.slots.len() as u32;
         self.slots.push((req.key, meta));
         self.map.insert(req.key, i);
@@ -272,7 +277,9 @@ mod tests {
             let _ = round;
         }
         let small_alive = (0..50u64).filter(|&k| c.map.contains_key(&k)).count();
-        let large_alive = (0..50u64).filter(|&k| c.map.contains_key(&(1_000 + k))).count();
+        let large_alive = (0..50u64)
+            .filter(|&k| c.map.contains_key(&(1_000 + k)))
+            .count();
         assert!(
             small_alive > large_alive,
             "per-byte scoring should keep small objects ({small_alive} vs {large_alive})"

@@ -95,9 +95,7 @@ impl WTinyLfuCache {
 
     /// Offers `candidate` (evicted from the window) to the main region.
     fn admit_to_main(&mut self, candidate: u64) {
-        if self.probation.len() + self.protected.len()
-            < self.probation_cap + self.protected_cap
-        {
+        if self.probation.len() + self.protected.len() < self.probation_cap + self.protected_cap {
             self.probation.push_front(candidate);
             self.whereis.insert(candidate, Segment::Probation);
             return;

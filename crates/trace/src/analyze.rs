@@ -57,7 +57,11 @@ pub fn characterize(trace: &[Request]) -> Characterization {
     }
     let requests = trace.len() as u64;
     let distinct = last.len() as u64;
-    let cold_fraction = if requests == 0 { 0.0 } else { distinct as f64 / requests as f64 };
+    let cold_fraction = if requests == 0 {
+        0.0
+    } else {
+        distinct as f64 / requests as f64
+    };
 
     reuse_times.sort_unstable();
     let pct = |p: f64| -> Option<u64> {
@@ -127,7 +131,9 @@ fn loop_signature(sorted_reuse: &[u64]) -> f64 {
         *counts.entry(bucket(r)).or_insert(0) += 1;
     }
     let (&modal, _) = counts.iter().max_by_key(|(_, &c)| c).expect("non-empty");
-    let near: u64 = (modal - 1..=modal + 1).map(|b| counts.get(&b).copied().unwrap_or(0)).sum();
+    let near: u64 = (modal - 1..=modal + 1)
+        .map(|b| counts.get(&b).copied().unwrap_or(0))
+        .sum();
     near as f64 / sorted_reuse.len() as f64
 }
 
@@ -158,7 +164,11 @@ mod tests {
                 "theta {theta}: fitted {}",
                 c.zipf_exponent
             );
-            assert!(!c.is_type_a(), "Zipf is Type B (signature {})", c.loop_signature);
+            assert!(
+                !c.is_type_a(),
+                "Zipf is Type B (signature {})",
+                c.loop_signature
+            );
         }
     }
 
@@ -175,7 +185,12 @@ mod tests {
         use crate::msr;
         let a = characterize(&msr::profile(msr::MsrTrace::Src2).generate(200_000, 2, 0.05));
         let b = characterize(&msr::profile(msr::MsrTrace::Prxy).generate(200_000, 3, 0.05));
-        assert!(a.loop_signature > b.loop_signature, "{} vs {}", a.loop_signature, b.loop_signature);
+        assert!(
+            a.loop_signature > b.loop_signature,
+            "{} vs {}",
+            a.loop_signature,
+            b.loop_signature
+        );
         assert!(a.is_type_a());
         assert!(!b.is_type_a());
     }

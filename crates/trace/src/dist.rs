@@ -116,17 +116,28 @@ mod tests {
     #[test]
     fn pareto_mean_matches_theory() {
         // Untruncated Pareto mean = scale*shape/(shape-1); use a huge cap.
-        let d = SizeDist::Pareto { scale: 100.0, shape: 3.0, cap: u32::MAX };
+        let d = SizeDist::Pareto {
+            scale: 100.0,
+            shape: 3.0,
+            cap: u32::MAX,
+        };
         let mut rng = Xoshiro256::seed_from_u64(3);
         let n = 200_000;
         let mean: f64 = (0..n).map(|_| f64::from(d.sample(&mut rng))).sum::<f64>() / n as f64;
         let expect = 100.0 * 3.0 / 2.0;
-        assert!((mean - expect).abs() / expect < 0.03, "mean {mean} vs {expect}");
+        assert!(
+            (mean - expect).abs() / expect < 0.03,
+            "mean {mean} vs {expect}"
+        );
     }
 
     #[test]
     fn pareto_respects_scale_and_cap() {
-        let d = SizeDist::Pareto { scale: 64.0, shape: 1.2, cap: 4096 };
+        let d = SizeDist::Pareto {
+            scale: 64.0,
+            shape: 1.2,
+            cap: 4096,
+        };
         let mut rng = Xoshiro256::seed_from_u64(4);
         for _ in 0..10_000 {
             let s = d.sample(&mut rng);
@@ -136,25 +147,44 @@ mod tests {
 
     #[test]
     fn lognormal_median_matches_theory() {
-        let d = SizeDist::LogNormal { mu: 6.0, sigma: 1.0, cap: u32::MAX };
+        let d = SizeDist::LogNormal {
+            mu: 6.0,
+            sigma: 1.0,
+            cap: u32::MAX,
+        };
         let mut rng = Xoshiro256::seed_from_u64(5);
         let mut v: Vec<u32> = (0..100_001).map(|_| d.sample(&mut rng)).collect();
         v.sort_unstable();
         let median = f64::from(v[50_000]);
         let expect = 6.0f64.exp();
-        assert!((median - expect).abs() / expect < 0.05, "median {median} vs {expect}");
+        assert!(
+            (median - expect).abs() / expect < 0.05,
+            "median {median} vs {expect}"
+        );
     }
 
     #[test]
     fn size_for_key_is_stable_and_diverse() {
-        let d = SizeDist::LogNormal { mu: 5.0, sigma: 1.5, cap: 1 << 20 };
+        let d = SizeDist::LogNormal {
+            mu: 5.0,
+            sigma: 1.5,
+            cap: 1 << 20,
+        };
         let mut distinct = std::collections::HashSet::new();
         for key in 0..1000u64 {
             let a = d.size_for_key(key, 99);
             assert_eq!(a, d.size_for_key(key, 99), "must be stable per key");
             distinct.insert(a);
         }
-        assert!(distinct.len() > 500, "sizes should be diverse, got {}", distinct.len());
-        assert_ne!(d.size_for_key(1, 99), d.size_for_key(1, 100), "seed changes sizes");
+        assert!(
+            distinct.len() > 500,
+            "sizes should be diverse, got {}",
+            distinct.len()
+        );
+        assert_ne!(
+            d.size_for_key(1, 99),
+            d.size_for_key(1, 100),
+            "seed changes sizes"
+        );
     }
 }

@@ -47,12 +47,22 @@ pub fn read_csv<R: BufRead>(r: R) -> io::Result<Trace> {
                 ))
             }
         };
-        let key = parse(parts.next(), "key", lineno)?.parse::<u64>().map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
-        })?;
-        let size = parse(parts.next(), "size", lineno)?.parse::<u32>().map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
-        })?;
+        let key = parse(parts.next(), "key", lineno)?
+            .parse::<u64>()
+            .map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: {e}", lineno + 1),
+                )
+            })?;
+        let size = parse(parts.next(), "size", lineno)?
+            .parse::<u32>()
+            .map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: {e}", lineno + 1),
+                )
+            })?;
         out.push(Request { key, size, op });
     }
     Ok(out)

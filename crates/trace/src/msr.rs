@@ -122,26 +122,168 @@ pub struct MsrProfile {
 #[must_use]
 pub fn profile(trace: MsrTrace) -> MsrProfile {
     // I/O sizes are 512B-aligned-ish and heavy-tailed.
-    let small_io = SizeDist::Pareto { scale: 4096.0, shape: 1.8, cap: 65_536 };
-    let large_io = SizeDist::Pareto { scale: 8192.0, shape: 1.3, cap: 262_144 };
+    let small_io = SizeDist::Pareto {
+        scale: 4096.0,
+        shape: 1.8,
+        cap: 65_536,
+    };
+    let large_io = SizeDist::Pareto {
+        scale: 8192.0,
+        shape: 1.3,
+        cap: 262_144,
+    };
     // (name, blocks, theta, p_loop1, loop1_frac, p_loop2, loop2_frac,
     //  p_seq, seq_len, sizes)
     let p = match trace {
         // --- Type A: loop/scan dominated, K curves fan out & cross -----
-        MsrTrace::Src1 => ("src1", 400_000, 0.8, 0.30, 0.35, 0.25, 1.30, 0.10, 2_000, large_io.clone()),
-        MsrTrace::Src2 => ("src2", 120_000, 0.7, 0.35, 0.40, 0.25, 1.40, 0.05, 400, small_io.clone()),
-        MsrTrace::Web => ("web", 250_000, 0.9, 0.35, 0.40, 0.30, 1.40, 0.05, 800, small_io.clone()),
-        MsrTrace::Proj => ("proj", 600_000, 0.8, 0.30, 0.30, 0.30, 1.50, 0.10, 3_000, large_io.clone()),
-        MsrTrace::Rsrch => ("rsrch", 60_000, 0.8, 0.40, 0.35, 0.20, 1.20, 0.05, 200, small_io.clone()),
-        MsrTrace::Hm => ("hm", 90_000, 0.9, 0.30, 0.30, 0.20, 1.10, 0.05, 300, small_io.clone()),
-        MsrTrace::Stg => ("stg", 150_000, 0.7, 0.25, 0.30, 0.20, 1.20, 0.20, 1_500, large_io.clone()),
-        MsrTrace::Ts => ("ts", 70_000, 0.8, 0.35, 0.35, 0.20, 1.30, 0.08, 500, small_io.clone()),
+        MsrTrace::Src1 => (
+            "src1",
+            400_000,
+            0.8,
+            0.30,
+            0.35,
+            0.25,
+            1.30,
+            0.10,
+            2_000,
+            large_io.clone(),
+        ),
+        MsrTrace::Src2 => (
+            "src2",
+            120_000,
+            0.7,
+            0.35,
+            0.40,
+            0.25,
+            1.40,
+            0.05,
+            400,
+            small_io.clone(),
+        ),
+        MsrTrace::Web => (
+            "web",
+            250_000,
+            0.9,
+            0.35,
+            0.40,
+            0.30,
+            1.40,
+            0.05,
+            800,
+            small_io.clone(),
+        ),
+        MsrTrace::Proj => (
+            "proj",
+            600_000,
+            0.8,
+            0.30,
+            0.30,
+            0.30,
+            1.50,
+            0.10,
+            3_000,
+            large_io.clone(),
+        ),
+        MsrTrace::Rsrch => (
+            "rsrch",
+            60_000,
+            0.8,
+            0.40,
+            0.35,
+            0.20,
+            1.20,
+            0.05,
+            200,
+            small_io.clone(),
+        ),
+        MsrTrace::Hm => (
+            "hm",
+            90_000,
+            0.9,
+            0.30,
+            0.30,
+            0.20,
+            1.10,
+            0.05,
+            300,
+            small_io.clone(),
+        ),
+        MsrTrace::Stg => (
+            "stg",
+            150_000,
+            0.7,
+            0.25,
+            0.30,
+            0.20,
+            1.20,
+            0.20,
+            1_500,
+            large_io.clone(),
+        ),
+        MsrTrace::Ts => (
+            "ts",
+            70_000,
+            0.8,
+            0.35,
+            0.35,
+            0.20,
+            1.30,
+            0.08,
+            500,
+            small_io.clone(),
+        ),
         // --- Type B: Zipf-dominated, K-insensitive --------------------
-        MsrTrace::Usr => ("usr", 500_000, 1.05, 0.00, 0.0, 0.00, 0.0, 0.05, 100, large_io.clone()),
-        MsrTrace::Prxy => ("prxy", 200_000, 1.1, 0.00, 0.0, 0.00, 0.0, 0.03, 50, small_io.clone()),
-        MsrTrace::Mds => ("mds", 120_000, 0.95, 0.05, 0.10, 0.03, 0.50, 0.08, 200, small_io.clone()),
-        MsrTrace::Prn => ("prn", 180_000, 1.0, 0.06, 0.10, 0.04, 0.60, 0.08, 300, small_io.clone()),
-        MsrTrace::Wdev => ("wdev", 50_000, 1.0, 0.05, 0.10, 0.03, 0.50, 0.05, 100, small_io),
+        MsrTrace::Usr => (
+            "usr",
+            500_000,
+            1.05,
+            0.00,
+            0.0,
+            0.00,
+            0.0,
+            0.05,
+            100,
+            large_io.clone(),
+        ),
+        MsrTrace::Prxy => (
+            "prxy",
+            200_000,
+            1.1,
+            0.00,
+            0.0,
+            0.00,
+            0.0,
+            0.03,
+            50,
+            small_io.clone(),
+        ),
+        MsrTrace::Mds => (
+            "mds",
+            120_000,
+            0.95,
+            0.05,
+            0.10,
+            0.03,
+            0.50,
+            0.08,
+            200,
+            small_io.clone(),
+        ),
+        MsrTrace::Prn => (
+            "prn",
+            180_000,
+            1.0,
+            0.06,
+            0.10,
+            0.04,
+            0.60,
+            0.08,
+            300,
+            small_io.clone(),
+        ),
+        MsrTrace::Wdev => (
+            "wdev", 50_000, 1.0, 0.05, 0.10, 0.03, 0.50, 0.05, 100, small_io,
+        ),
     };
     MsrProfile {
         name: p.0,
@@ -302,7 +444,10 @@ mod tests {
         let loop1 = ((blocks as f64) * p.loop1_frac) as u64;
         let loop2 = ((blocks as f64) * p.loop2_frac) as u64;
         let trace = p.generate(100_000, 2, scale);
-        let in1 = trace.iter().filter(|r| r.key >= blocks && r.key < blocks + loop1).count();
+        let in1 = trace
+            .iter()
+            .filter(|r| r.key >= blocks && r.key < blocks + loop1)
+            .count();
         let in2 = trace
             .iter()
             .filter(|r| r.key >= blocks + loop1 && r.key < blocks + loop1 + loop2)

@@ -62,7 +62,10 @@ pub fn interleave(traces: &[Trace], n: usize) -> Trace {
                 break 'outer;
             }
             if let Some(&r) = t.get(idx) {
-                out.push(Request { key: r.key + ((i as u64 + 1) << 40), ..r });
+                out.push(Request {
+                    key: r.key + ((i as u64 + 1) << 40),
+                    ..r
+                });
                 any = true;
             }
         }

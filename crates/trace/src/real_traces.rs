@@ -18,7 +18,10 @@ use std::io::{self, BufRead};
 const MSR_BLOCK: u64 = 4096;
 
 fn bad(line: usize, msg: impl std::fmt::Display) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {msg}", line + 1))
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("line {}: {msg}", line + 1),
+    )
 }
 
 /// Parses an MSR Cambridge CSV stream into block-granularity requests.
@@ -59,7 +62,11 @@ pub fn read_msr_csv<R: BufRead>(r: R) -> io::Result<Trace> {
             .parse()
             .map_err(|e| bad(i, e))?;
         let first = offset / MSR_BLOCK;
-        let last = if size == 0 { first } else { (offset + size - 1) / MSR_BLOCK };
+        let last = if size == 0 {
+            first
+        } else {
+            (offset + size - 1) / MSR_BLOCK
+        };
         for block in first..=last {
             out.push(Request::get((disk << 40) | block, MSR_BLOCK as u32));
         }
@@ -94,7 +101,11 @@ pub fn read_twitter_trace<R: BufRead>(r: R) -> io::Result<Trace> {
             "set" | "add" | "replace" | "cas" | "append" | "prepend" | "incr" | "decr" => Op::Set,
             _ => continue,
         };
-        out.push(Request { key, size: size.max(1), op });
+        out.push(Request {
+            key,
+            size: size.max(1),
+            op,
+        });
     }
     Ok(out)
 }

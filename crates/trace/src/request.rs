@@ -24,13 +24,21 @@ impl Request {
     /// A GET with explicit size.
     #[must_use]
     pub fn get(key: u64, size: u32) -> Self {
-        Self { key, size, op: Op::Get }
+        Self {
+            key,
+            size,
+            op: Op::Get,
+        }
     }
 
     /// A SET with explicit size.
     #[must_use]
     pub fn set(key: u64, size: u32) -> Self {
-        Self { key, size, op: Op::Set }
+        Self {
+            key,
+            size,
+            op: Op::Set,
+        }
     }
 
     /// A uniform-size (1 unit) GET, the paper's standard conversion
@@ -75,7 +83,11 @@ pub fn stats(trace: &[Request]) -> TraceStats {
         requests: trace.len() as u64,
         distinct: first_sizes.len() as u64,
         working_set_bytes: first_sizes.values().map(|&s| u64::from(s)).sum(),
-        set_fraction: if trace.is_empty() { 0.0 } else { sets as f64 / trace.len() as f64 },
+        set_fraction: if trace.is_empty() {
+            0.0
+        } else {
+            sets as f64 / trace.len() as f64
+        },
     }
 }
 

@@ -66,14 +66,30 @@ pub struct TwitterProfile {
 /// Returns the tuned profile for a cluster.
 #[must_use]
 pub fn profile(cluster: TwitterCluster) -> TwitterProfile {
-    let small_vals = SizeDist::LogNormal { mu: 5.0, sigma: 1.2, cap: 65_536 };
-    let medium_vals = SizeDist::LogNormal { mu: 6.2, sigma: 1.5, cap: 262_144 };
+    let small_vals = SizeDist::LogNormal {
+        mu: 5.0,
+        sigma: 1.2,
+        cap: 65_536,
+    };
+    let medium_vals = SizeDist::LogNormal {
+        mu: 6.2,
+        sigma: 1.5,
+        cap: 262_144,
+    };
     let p = match cluster {
         TwitterCluster::C26_0 => ("cluster26.0", 300_000, 0.95, 0.02, 0.20, 0.40, small_vals),
         // Type A: strong cyclic component.
         TwitterCluster::C34_1 => ("cluster34.1", 150_000, 0.80, 0.05, 0.50, 0.60, medium_vals),
         // Type B: pure skewed reuse.
-        TwitterCluster::C45_0 => ("cluster45.0", 400_000, 1.00, 0.30, 0.00, 0.0, small_vals.clone()),
+        TwitterCluster::C45_0 => (
+            "cluster45.0",
+            400_000,
+            1.00,
+            0.30,
+            0.00,
+            0.0,
+            small_vals.clone(),
+        ),
         TwitterCluster::C52_7 => ("cluster52.7", 80_000, 1.10, 0.10, 0.15, 0.30, small_vals),
     };
     TwitterProfile {
@@ -113,7 +129,11 @@ impl TwitterProfile {
             } else {
                 1
             };
-            let op = if rng.unit() < self.set_ratio { Op::Set } else { Op::Get };
+            let op = if rng.unit() < self.set_ratio {
+                Op::Set
+            } else {
+                Op::Get
+            };
             out.push(Request { key, size, op });
         }
         out
@@ -160,7 +180,10 @@ mod tests {
         let mut sorted = sizes.clone();
         sorted.sort_unstable();
         let median = f64::from(sorted[sorted.len() / 2]);
-        assert!(mean > 1.3 * median, "lognormal sizes should be right-skewed");
+        assert!(
+            mean > 1.3 * median,
+            "lognormal sizes should be right-skewed"
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ impl WorkloadC {
     #[must_use]
     pub fn new(records: u64, theta: f64) -> Self {
         assert!(records >= 1);
-        Self { records, theta, scrambled: true }
+        Self {
+            records,
+            theta,
+            scrambled: true,
+        }
     }
 
     /// Number of records.
@@ -74,7 +78,11 @@ impl WorkloadE {
     #[must_use]
     pub fn with_max_scan(records: u64, theta: f64, max_scan_len: u64) -> Self {
         assert!(records >= 1 && max_scan_len >= 1);
-        Self { records, theta, max_scan_len }
+        Self {
+            records,
+            theta,
+            max_scan_len,
+        }
     }
 
     /// Number of records.
@@ -142,7 +150,10 @@ mod tests {
         // Count ascending-by-one adjacencies; scans dominate, so most
         // consecutive pairs are sequential.
         let seq = t.windows(2).filter(|w| w[1].key == w[0].key + 1).count();
-        assert!(seq as f64 / t.len() as f64 > 0.8, "sequential fraction too low");
+        assert!(
+            seq as f64 / t.len() as f64 > 0.8,
+            "sequential fraction too low"
+        );
     }
 
     #[test]

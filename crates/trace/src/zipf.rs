@@ -27,11 +27,20 @@ impl Zipf {
     #[must_use]
     pub fn new(n: u64, s: f64) -> Self {
         assert!(n >= 1, "need at least one item");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
         let h_integral_x1 = h_integral(1.5, s) - 1.0;
         let h_integral_n = h_integral(n as f64 + 0.5, s);
         let threshold = 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);
-        Self { n, s, h_integral_x1, h_integral_n, threshold }
+        Self {
+            n,
+            s,
+            h_integral_x1,
+            h_integral_n,
+            threshold,
+        }
     }
 
     /// Number of items.
@@ -143,7 +152,9 @@ impl ScrambledZipf {
     /// Creates a scrambled sampler over `n` items with exponent `s`.
     #[must_use]
     pub fn new(n: u64, s: f64) -> Self {
-        Self { inner: Zipf::new(n, s) }
+        Self {
+            inner: Zipf::new(n, s),
+        }
     }
 
     /// Number of items.

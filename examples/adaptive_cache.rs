@@ -19,7 +19,8 @@ fn main() {
     // Phase 1: MSR src2-like between its loop cliffs — large K wins there
     // (see the dynamic_k example). Phase 2: a pure loop of 45K keys just
     // above the cache size — K=1 (random replacement) wins by a mile.
-    let phase1 = krr::trace::msr::profile(krr::trace::msr::MsrTrace::Src2).generate(500_000, 1, 0.2);
+    let phase1 =
+        krr::trace::msr::profile(krr::trace::msr::MsrTrace::Src2).generate(500_000, 1, 0.2);
     let mut phase2 = patterns::loop_trace(45_000, 500_000);
     for r in &mut phase2 {
         r.key += 1 << 40; // disjoint keyspace

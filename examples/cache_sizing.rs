@@ -35,7 +35,11 @@ fn main() {
     println!("\nmemory -> predicted miss ratio (var-KRR + spatial sampling @ R={rate:.3}):");
     for frac in [0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let mem = bytes as f64 * frac;
-        println!("  {:>8.1} MiB: {:.4}", mem / (1024.0 * 1024.0), mrc.eval(mem));
+        println!(
+            "  {:>8.1} MiB: {:.4}",
+            mem / (1024.0 * 1024.0),
+            mrc.eval(mem)
+        );
     }
 
     // Find the smallest capacity achieving the miss-ratio target. (Cold
@@ -44,7 +48,9 @@ fn main() {
     let floor = mrc.eval(bytes as f64 * 2.0);
     let target = floor + 0.05;
     let step = bytes / 200;
-    let needed = (1..=200u64).map(|i| i * step).find(|&c| mrc.eval(c as f64) <= target);
+    let needed = (1..=200u64)
+        .map(|i| i * step)
+        .find(|&c| mrc.eval(c as f64) <= target);
     match needed {
         Some(c) => println!(
             "\n=> {:.1} MiB reaches miss ratio <= {target:.3} ({}% of the working set)",

@@ -13,7 +13,11 @@ use krr::prelude::*;
 fn evaluate(name: &str, trace: &[Request], cache_frac: f64) {
     let (objects, _) = krr::sim::working_set(trace);
     let cache = objects as f64 * cache_frac;
-    println!("\n{name}: {objects} objects, cache = {:.0} ({:.0}% of WSS)", cache, cache_frac * 100.0);
+    println!(
+        "\n{name}: {objects} objects, cache = {:.0} ({:.0}% of WSS)",
+        cache,
+        cache_frac * 100.0
+    );
     let mut best = (0u32, f64::INFINITY);
     for k in [1u32, 2, 4, 8, 16, 32] {
         let mut model = KrrModel::new(KrrConfig::new(f64::from(k)));
@@ -36,7 +40,11 @@ fn main() {
     // cliff, small K (closer to random replacement) avoids LRU's loop
     // thrashing; above the cliff large K wins. Probe both regimes.
     let type_a = krr::trace::msr::profile(krr::trace::msr::MsrTrace::Src2).generate(n, 1, 0.2);
-    evaluate("msr_src2 (Type A, below the long-loop cliff)", &type_a, 0.25);
+    evaluate(
+        "msr_src2 (Type A, below the long-loop cliff)",
+        &type_a,
+        0.25,
+    );
     evaluate("msr_src2 (Type A, between the cliffs)", &type_a, 0.45);
 
     // Type B: Zipf-dominated. K barely matters; pick K=1 and save the

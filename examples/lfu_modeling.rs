@@ -31,7 +31,10 @@ fn main() {
         .collect();
     let (objects, _) = krr::sim::working_set(&trace);
     let caps = even_capacities(20_000, 10);
-    println!("workload: {} requests, {objects} distinct objects (scan-polluted Zipf)", n);
+    println!(
+        "workload: {} requests, {objects} distinct objects (scan-polluted Zipf)",
+        n
+    );
 
     // Miniature simulation at R = 10% for both policies.
     // R chosen to keep sampled-key mass representative: at extreme Zipf
@@ -46,7 +49,10 @@ fn main() {
     }
 
     // Ground truth at three sizes.
-    println!("\n{:>10} {:>12} {:>12} {:>14} {:>14}", "cache", "K-LFU mini", "K-LRU mini", "K-LFU actual", "K-LRU actual");
+    println!(
+        "\n{:>10} {:>12} {:>12} {:>14} {:>14}",
+        "cache", "K-LFU mini", "K-LRU mini", "K-LFU actual", "K-LRU actual"
+    );
     for &c in caps.iter().step_by(3) {
         let mut lfu = KLfuCache::new(Capacity::Objects(c), 5, 9);
         let mut lru = KLruCache::new(Capacity::Objects(c), 5, 9);

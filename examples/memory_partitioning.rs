@@ -40,13 +40,22 @@ fn main() {
     let budget = 60_000u64;
     let quantum = 1_000u64;
     let equal: Vec<u64> = vec![budget / 3; 3];
-    let equal_miss: f64 =
-        tenants.iter().zip(&equal).map(|(t, &x)| t.miss_rate(x)).sum();
+    let equal_miss: f64 = tenants
+        .iter()
+        .zip(&equal)
+        .map(|(t, &x)| t.miss_rate(x))
+        .sum();
     let greedy = allocate_greedy(&tenants, budget, quantum);
     let optimal = allocate_optimal(&tenants, budget, quantum);
 
-    println!("budget: {budget} objects across {} tenants\n", tenants.len());
-    println!("{:>12} {:>12} {:>12} {:>12}", "tenant", "equal", "greedy", "optimal");
+    println!(
+        "budget: {budget} objects across {} tenants\n",
+        tenants.len()
+    );
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "tenant", "equal", "greedy", "optimal"
+    );
     for (i, t) in tenants.iter().enumerate() {
         println!(
             "{:>12} {:>12} {:>12} {:>12}",

@@ -17,13 +17,19 @@ fn main() {
     let rate = krr::core::sampling::rate_for_working_set(0.01, objects, 8 * 1024);
 
     let mut model = KrrModel::new(
-        KrrConfig::new(5.0).updater(UpdaterKind::Backward).sampling(rate).seed(3),
+        KrrConfig::new(5.0)
+            .updater(UpdaterKind::Backward)
+            .sampling(rate)
+            .seed(3),
     );
 
     let window = 250_000usize;
     let checkpoints = [0.1, 0.25, 0.5, 1.0];
     println!("online profiling of msr_web (K=5, R={rate:.3}), window = {window} requests");
-    println!("{:>10} {:>10} {:>42} {:>12}", "requests", "sampled", "miss@10%/25%/50%/100% of WSS", "profile cost");
+    println!(
+        "{:>10} {:>10} {:>42} {:>12}",
+        "requests", "sampled", "miss@10%/25%/50%/100% of WSS", "profile cost"
+    );
 
     let mut spent = std::time::Duration::ZERO;
     for (w, chunk) in trace.chunks(window).enumerate() {
@@ -48,8 +54,7 @@ fn main() {
     }
 
     let s = model.stats();
-    let per_million =
-        spent.as_secs_f64() * 1e6 / (s.processed as f64 / 1e6) / 1e6;
+    let per_million = spent.as_secs_f64() * 1e6 / (s.processed as f64 / 1e6) / 1e6;
     println!(
         "\ntotal profiler time {spent:?} for {} requests ({per_million:.3} s per million) — \
          cheap enough to run inline with a cache server",

@@ -30,7 +30,9 @@ fn main() {
     let plain_mrc = plain.mrc();
     println!("\nsequential KRR: {seq_time:?}");
 
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     let sizes = even_sizes(objects as f64, 25);
     for threads in [1, 2, cores.max(4)] {
         let shards = 16;

@@ -28,8 +28,7 @@ fn main() {
     println!("\nvalidation against direct K-LRU simulation:");
     for frac in [0.1, 0.5, 1.0] {
         let size = (objects as f64 * frac) as u64;
-        let simulated =
-            krr::sim::miss_ratio(&trace, Policy::klru(5), Capacity::Objects(size), 7);
+        let simulated = krr::sim::miss_ratio(&trace, Policy::klru(5), Capacity::Objects(size), 7);
         let predicted = mrc.eval(size as f64);
         println!(
             "  C={size:>6}: simulated {simulated:.4}  predicted {predicted:.4}  |err| {:.4}",

@@ -32,15 +32,22 @@ fn main() {
         uni.access_key(r.key);
     }
     let var_mrc = var.mrc();
-    let uni_points: Vec<(f64, f64)> =
-        uni.mrc().points().iter().map(|&(x, y)| (x * mean_size, y)).collect();
+    let uni_points: Vec<(f64, f64)> = uni
+        .mrc()
+        .points()
+        .iter()
+        .map(|&(x, y)| (x * mean_size, y))
+        .collect();
     let uni_mrc = Mrc::from_points(uni_points);
 
     // Ground truth: byte-capacity K-LRU simulation at 12 sizes.
     let caps = krr::sim::even_capacities(bytes, 12);
     let truth = simulate_mrc(&trace, Policy::klru(k), Unit::Bytes, &caps, 9, 8);
 
-    println!("\n{:>10}  {:>8}  {:>8}  {:>8}", "MiB", "actual", "var-KRR", "uni-KRR");
+    println!(
+        "\n{:>10}  {:>8}  {:>8}  {:>8}",
+        "MiB", "actual", "var-KRR", "uni-KRR"
+    );
     for &c in &caps {
         println!(
             "{:>10.1}  {:>8.4}  {:>8.4}  {:>8.4}",

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 gate: hermetic build + tests + formatting, no network, no registry.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo fmt --check
+
+echo "ci: OK"

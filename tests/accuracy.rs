@@ -139,9 +139,28 @@ fn without_replacement_simulation_close_to_with_replacement() {
     // §3: for small K and large C the two sampling versions agree.
     let trace = ycsb::WorkloadC::new(10_000, 0.99).generate(150_000, 10);
     let caps = even_capacities(10_000, 10);
-    let with = simulate_mrc(&trace, Policy::KLru { k: 5, with_replacement: true }, Unit::Objects, &caps, 1, 8);
-    let without =
-        simulate_mrc(&trace, Policy::KLru { k: 5, with_replacement: false }, Unit::Objects, &caps, 1, 8);
+    let with = simulate_mrc(
+        &trace,
+        Policy::KLru {
+            k: 5,
+            with_replacement: true,
+        },
+        Unit::Objects,
+        &caps,
+        1,
+        8,
+    );
+    let without = simulate_mrc(
+        &trace,
+        Policy::KLru {
+            k: 5,
+            with_replacement: false,
+        },
+        Unit::Objects,
+        &caps,
+        1,
+        8,
+    );
     let sizes: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
     assert!(with.mae(&without, &sizes) < 0.01);
 }

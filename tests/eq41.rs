@@ -1,0 +1,148 @@
+//! Statistical coverage of Eq. 4.1 — the stay probability `((i-1)/i)^K` —
+//! directly against live stacks driven by each updater, plus boundary-case
+//! unit tests for the backward sampler's inverse-CDF step
+//! `x = ⌈r^(1/K)·(i-1)⌉` (Eq. 4.2).
+
+mod support;
+
+use krr::core::prob::{eviction_position_cdf, sample_eviction_position, stay_prob};
+use krr::core::rng::Xoshiro256;
+use krr::core::{KrrStack, UpdaterKind};
+use support::Gen;
+
+/// Drives a real stack and measures, per interior position `i`, how often
+/// its resident *stays* across an update triggered by a deep reference.
+/// Eq. 4.1 says stay with probability `((i-1)/i)^K`; each empirical
+/// frequency must land within 3σ (binomial) of that.
+fn assert_stay_probability(updater: UpdaterKind, k: f64, depth: u64, trials: usize, seed: u64) {
+    let mut stack = KrrStack::new(k, updater, seed);
+    for key in 0..depth {
+        stack.access(key, 1);
+    }
+    // Reference the current bottom entry every trial, so each update has
+    // distance exactly `depth` and every interior position [2, depth-1]
+    // faces one Eq. 4.1 coin flip per trial. (The referenced object moves
+    // to the top and a chain-carried one drops to the bottom, so the stack
+    // stays a permutation of the same `depth` keys throughout.)
+    let mut stays = vec![0u64; depth as usize];
+    for _ in 0..trials {
+        let deep_key = stack.entry_at(depth).unwrap().key;
+        let before: Vec<u64> = (2..depth).map(|i| stack.entry_at(i).unwrap().key).collect();
+        stack.access(deep_key, 1);
+        for (idx, &key) in before.iter().enumerate() {
+            let i = idx as u64 + 2;
+            // The resident stayed iff position i was not on the swap chain,
+            // i.e. the same key still sits at i after the cyclic shift.
+            if stack.entry_at(i).map(|e| e.key) == Some(key) {
+                stays[i as usize] += 1;
+            }
+        }
+    }
+    let n = trials as f64;
+    for i in 2..depth {
+        let p = stay_prob(i, k);
+        let got = stays[i as usize] as f64 / n;
+        let sigma = (p * (1.0 - p) / n).sqrt();
+        assert!(
+            (got - p).abs() <= 3.0 * sigma + 1e-9,
+            "{updater} K={k} i={i}: stay freq {got:.4} vs Eq 4.1 {p:.4} (3σ = {:.4})",
+            3.0 * sigma
+        );
+    }
+}
+
+#[test]
+fn eq41_stay_probability_naive() {
+    assert_stay_probability(UpdaterKind::Naive, 3.0, 24, 40_000, 101);
+}
+
+#[test]
+fn eq41_stay_probability_topdown() {
+    assert_stay_probability(UpdaterKind::TopDown, 3.0, 24, 40_000, 102);
+}
+
+#[test]
+fn eq41_stay_probability_backward() {
+    assert_stay_probability(UpdaterKind::Backward, 3.0, 24, 40_000, 103);
+}
+
+#[test]
+fn eq41_stay_probability_fractional_kprime() {
+    // K′ = 5^1.4 ≈ 9.52 — the corrected effective K is fractional, and
+    // Eq. 4.1 must hold for it just as for integers.
+    let kp = krr::core::prob::k_prime(5.0, 1.4);
+    assert_stay_probability(UpdaterKind::Backward, kp, 20, 40_000, 104);
+}
+
+// ---- Inverse-CDF boundary cases: x = ⌈r^(1/K)·(i-1)⌉ over c = i-1 ----
+
+/// r → 0: the jump lands on position 1 (the clamp floor), never 0.
+#[test]
+fn inverse_cdf_r_near_zero_clamps_to_one() {
+    for &k in &[1.0f64, 2.0, 5.0, 9.52] {
+        for &c in &[1u64, 2, 10, 1_000_000] {
+            assert_eq!(sample_eviction_position(f64::MIN_POSITIVE, c, k), 1);
+            assert_eq!(sample_eviction_position(1e-300, c, k), 1);
+        }
+    }
+}
+
+/// r → 1: the draw is exactly c (the ceiling can't exceed the clamp cap,
+/// even when r^(1/K) rounds to slightly above 1).
+#[test]
+fn inverse_cdf_r_one_hits_cap() {
+    for &k in &[1.0f64, 2.0, 5.0, 9.52] {
+        for &c in &[1u64, 2, 10, 1_000_000] {
+            assert_eq!(sample_eviction_position(1.0, c, k), c);
+            assert_eq!(sample_eviction_position(1.0 - 1e-16, c, k), c);
+        }
+    }
+}
+
+/// i = 2 (c = 1): the smallest jump target — every draw must land on 1,
+/// which is what terminates the backward walk.
+#[test]
+fn inverse_cdf_c_one_always_returns_one() {
+    let mut rng = Xoshiro256::seed_from_u64(7);
+    for &k in &[1.0f64, 3.0, 9.52] {
+        for _ in 0..1_000 {
+            assert_eq!(sample_eviction_position(rng.unit_open_low(), 1, k), 1);
+        }
+    }
+}
+
+/// Fractional K′: draws still bracket the CDF exactly, i.e. the inverse
+/// really inverts `P(X ≤ i) = (i/c)^K` for non-integer K.
+#[test]
+fn inverse_cdf_brackets_cdf_for_fractional_k() {
+    let mut g = Gen::from_seed(0x4537_1341);
+    for _ in 0..2_000 {
+        let c = g.u64(1, 5_000);
+        let k = g.f64(1.0, 22.6); // spans K'=1..K'=16^1.4
+        let r = g.f64(1e-12, 1.0);
+        let x = sample_eviction_position(r, c, k);
+        assert!((1..=c).contains(&x));
+        let lo = eviction_position_cdf(x - 1, c, k);
+        let hi = eviction_position_cdf(x, c, k);
+        assert!(
+            r >= lo - 1e-9 && r <= hi + 1e-9,
+            "r={r} outside [{lo}, {hi}] (c={c} k={k})"
+        );
+    }
+}
+
+/// The ceiling boundary itself: r sitting exactly on the CDF of position i
+/// maps to i (⌈·⌉ of an exact integer), r infinitesimally above maps to
+/// i+1. Checked for a fractional K′ where boundaries are irrational.
+#[test]
+fn inverse_cdf_boundary_rounding() {
+    let c = 12u64;
+    let k = 2.5f64;
+    for i in 1..c {
+        let cdf = eviction_position_cdf(i, c, k);
+        // Exactly at (or a hair under) the boundary: still position i.
+        assert_eq!(sample_eviction_position(cdf * (1.0 - 1e-12), c, k), i);
+        // Just past it: the next position.
+        assert_eq!(sample_eviction_position(cdf * (1.0 + 1e-9), c, k), i + 1);
+    }
+}

@@ -72,7 +72,10 @@ fn klfu_resists_scans_better_than_klru() {
     }
     let a = lfu.stats().miss_ratio();
     let b = lru.stats().miss_ratio();
-    assert!(a < b - 0.02, "K-LFU {a} should beat K-LRU {b} under scan pollution");
+    assert!(
+        a < b - 0.02,
+        "K-LFU {a} should beat K-LRU {b} under scan pollution"
+    );
 }
 
 #[test]
@@ -194,5 +197,9 @@ fn trace_characterization_guides_modeling_choice() {
     let ca = krr::trace::analyze::characterize(&type_a);
     let cb = krr::trace::analyze::characterize(&type_b);
     assert!(ca.is_type_a() && !cb.is_type_a());
-    assert!(cb.zipf_exponent > 0.7, "usr is Zipf-dominated: {}", cb.zipf_exponent);
+    assert!(
+        cb.zipf_exponent > 0.7,
+        "usr is Zipf-dominated: {}",
+        cb.zipf_exponent
+    );
 }

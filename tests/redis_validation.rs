@@ -21,7 +21,10 @@ fn redis_miss_ratio(trace: &[Request], memory: u64, mode: SamplingMode, seed: u6
 
 fn redis_mrc(trace: &[Request], mems: &[u64], mode: SamplingMode) -> Mrc {
     let points: Vec<(f64, f64)> = std::iter::once((0.0, 1.0))
-        .chain(mems.iter().map(|&m| (m as f64, redis_miss_ratio(trace, m, mode, m ^ 0xFACE))))
+        .chain(
+            mems.iter()
+                .map(|&m| (m as f64, redis_miss_ratio(trace, m, mode, m ^ 0xFACE))),
+        )
         .collect();
     let mut mrc = Mrc::from_points(points);
     mrc.make_monotone();
@@ -42,7 +45,12 @@ fn krr_predicts_mini_redis() {
         model.access_key(r.key);
     }
     let krr = Mrc::from_points(
-        model.mrc().points().iter().map(|&(x, y)| (x * f64::from(OBJ), y)).collect(),
+        model
+            .mrc()
+            .points()
+            .iter()
+            .map(|&(x, y)| (x * f64::from(OBJ), y))
+            .collect(),
     );
     let sizes: Vec<f64> = mems.iter().map(|&m| m as f64).collect();
     let mae = redis.mae(&krr, &sizes);
@@ -59,12 +67,14 @@ fn simulator_matches_redis_with_uniform_sampling() {
     let mems = even_capacities(total_bytes, 8);
     let redis_uniform = redis_mrc(&trace, &mems, SamplingMode::UniformRandom);
 
-    let byte_trace: Vec<Request> =
-        trace.iter().map(|r| Request::get(r.key, OBJ)).collect();
+    let byte_trace: Vec<Request> = trace.iter().map(|r| Request::get(r.key, OBJ)).collect();
     let sim = simulate_mrc(&byte_trace, Policy::klru(K), Unit::Bytes, &mems, 4, 8);
     let sizes: Vec<f64> = mems.iter().map(|&m| m as f64).collect();
     let mae = redis_uniform.mae(&sim, &sizes);
-    assert!(mae < 0.025, "uniform-sampling mini-Redis vs simulator MAE {mae}");
+    assert!(
+        mae < 0.025,
+        "uniform-sampling mini-Redis vs simulator MAE {mae}"
+    );
 }
 
 #[test]
@@ -77,8 +87,7 @@ fn clustered_sampling_stays_close_but_can_deviate() {
     let total_bytes = objects * u64::from(OBJ);
     let mems = even_capacities(total_bytes, 8);
     let clustered = redis_mrc(&trace, &mems, SamplingMode::ClusteredWalk);
-    let byte_trace: Vec<Request> =
-        trace.iter().map(|r| Request::get(r.key, OBJ)).collect();
+    let byte_trace: Vec<Request> = trace.iter().map(|r| Request::get(r.key, OBJ)).collect();
     let sim = simulate_mrc(&byte_trace, Policy::klru(K), Unit::Bytes, &mems, 6, 8);
     let sizes: Vec<f64> = mems.iter().map(|&m| m as f64).collect();
     let mae = clustered.mae(&sim, &sizes);
@@ -94,10 +103,8 @@ fn eviction_pool_beats_poolless_sampling_at_approximating_lru() {
     let (objects, _) = krr::sim::working_set(&trace);
     let memory = objects * u64::from(OBJ) / 2;
     let redis_miss = redis_miss_ratio(&trace, memory, SamplingMode::ClusteredWalk, 8);
-    let byte_trace: Vec<Request> =
-        trace.iter().map(|r| Request::get(r.key, OBJ)).collect();
-    let lru_miss =
-        krr::sim::miss_ratio(&byte_trace, Policy::ExactLru, Capacity::Bytes(memory), 9);
+    let byte_trace: Vec<Request> = trace.iter().map(|r| Request::get(r.key, OBJ)).collect();
+    let lru_miss = krr::sim::miss_ratio(&byte_trace, Policy::ExactLru, Capacity::Bytes(memory), 9);
     assert!(
         (redis_miss - lru_miss).abs() < 0.03,
         "mini-Redis {redis_miss} vs LRU {lru_miss}"

@@ -91,3 +91,79 @@ fn info_counters_match_client_observations() {
     assert!(info.contains(&format!("misses:{misses}")), "{info}");
     server.shutdown();
 }
+
+/// First `name:<u64>` field in a Redis-INFO-style body.
+fn info_field(body: &str, name: &str) -> u64 {
+    body.lines()
+        .filter_map(|l| l.trim_end().strip_prefix(&format!("{name}:")))
+        .find_map(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("field {name} missing from\n{body}"))
+}
+
+/// `"name":<u64>` field in the METRICS JSON payload.
+fn json_field(json: &str, name: &str) -> u64 {
+    let pat = format!("\"{name}\":");
+    let at = json
+        .find(&pat)
+        .unwrap_or_else(|| panic!("field {name} missing from {json}"));
+    json[at + pat.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn info_exposes_metrics_sections() {
+    let mut server = Server::start(MiniRedis::new(4_000, 5, 9)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Working set larger than memory, so evictions happen too.
+    for i in 0..400u64 {
+        client.access(i % 120, 50).unwrap();
+    }
+    let info = client.info().unwrap();
+    for section in [
+        "# model",
+        "# updater",
+        "# latency",
+        "# shards",
+        "# eviction",
+    ] {
+        assert!(info.contains(section), "{section} missing from\n{info}");
+    }
+    assert_eq!(info_field(&info, "accesses"), 400);
+    assert!(info_field(&info, "evictions") > 0, "{info}");
+    server.shutdown();
+}
+
+#[test]
+fn metrics_command_counters_monotone_and_match_info() {
+    let mut server = Server::start(MiniRedis::new(4_000, 5, 11)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for i in 0..200u64 {
+        client.access(i % 60, 50).unwrap();
+    }
+    let first = client.metrics().unwrap();
+    assert!(first.contains("\"schema\":\"krr-metrics-v1\""), "{first}");
+    for i in 0..200u64 {
+        client.access(i % 60, 50).unwrap();
+    }
+    let second = client.metrics().unwrap();
+    for name in ["accesses", "hits", "evictions"] {
+        let (a, b) = (json_field(&first, name), json_field(&second, name));
+        assert!(b >= a, "{name} went backwards: {a} -> {b}");
+    }
+    assert_eq!(json_field(&second, "accesses"), 400);
+    // One sequential client, so INFO and METRICS see the same quiesced
+    // counters.
+    let info = client.info().unwrap();
+    for name in ["accesses", "hits", "cold_misses", "evictions"] {
+        assert_eq!(
+            info_field(&info, name),
+            json_field(&second, name),
+            "INFO and METRICS disagree on {name}"
+        );
+    }
+    server.shutdown();
+}

@@ -20,7 +20,10 @@ fn sampled_krr_tracks_full_krr_on_zipf() {
     let (full, _) = run(&trace, 5.0, 1.0, 2);
     let rate = krr::core::sampling::rate_for_working_set(0.05, objects, 8 * 1024);
     let (sampled, stats) = run(&trace, 5.0, rate, 2);
-    assert!(stats.sampled < stats.processed / 10, "sampling should skip most refs");
+    assert!(
+        stats.sampled < stats.processed / 10,
+        "sampling should skip most refs"
+    );
     let sizes = even_sizes(objects as f64, 25);
     let mae = full.mae(&sampled, &sizes);
     assert!(mae < 0.02, "sampled vs full MAE {mae}");
@@ -62,7 +65,10 @@ fn sampling_is_by_key_not_by_request() {
     let h = m.histogram();
     // Sampled keys: each seen 3 times -> exactly 1/3 of sampled refs are cold.
     let cold_frac = h.cold() as f64 / h.total() as f64;
-    assert!((cold_frac - 1.0 / 3.0).abs() < 1e-9, "cold fraction {cold_frac}");
+    assert!(
+        (cold_frac - 1.0 / 3.0).abs() < 1e-9,
+        "cold fraction {cold_frac}"
+    );
 }
 
 #[test]
@@ -79,5 +85,9 @@ fn scale_expands_x_axis_by_inverse_rate() {
     assert!(mrc.max_size() > 30_000.0, "max size {}", mrc.max_size());
     // Just past the working set only colds miss (half the refs). Sampling
     // error can shift the cliff by a few percent, so evaluate at WSS + 10%.
-    assert!((mrc.eval(44_000.0) - 0.5).abs() < 0.05, "got {}", mrc.eval(44_000.0));
+    assert!(
+        (mrc.eval(44_000.0) - 0.5).abs() < 0.05,
+        "got {}",
+        mrc.eval(44_000.0)
+    );
 }

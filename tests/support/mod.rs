@@ -1,0 +1,106 @@
+//! Deterministic in-tree property-test harness.
+//!
+//! A registry-free replacement for `proptest`, keeping the repo's tier-1
+//! path (`cargo build --release && cargo test -q`) hermetic. Each property
+//! runs `cases` times against inputs drawn from a [`Gen`] whose seed is
+//! derived from the property *name* and the case index — fully
+//! deterministic across runs and machines, no shrinking, no persistence
+//! files. When a case fails, the panic message names the property, the
+//! case index, and the case seed; replay it in a regular `#[test]` with
+//! [`Gen::from_seed`].
+
+// Shared by several test targets; each uses a different subset.
+#![allow(dead_code)]
+
+use krr::core::rng::{mix64, Xoshiro256};
+
+/// Deterministic input generator for one property case.
+pub struct Gen {
+    rng: Xoshiro256,
+    seed: u64,
+}
+
+impl Gen {
+    /// Generator seeded explicitly — used to replay a failing case as a
+    /// pinned regression test.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Gen {
+        Gen {
+            rng: Xoshiro256::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was built from (for failure reports).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    pub fn u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.rng.below(hi - lo)
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.unit() * (hi - lo)
+    }
+
+    /// Any `u64` (full range).
+    pub fn any_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// A vector of `len in [min_len, max_len)` elements drawn by `f`.
+    pub fn vec<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = self.usize(min_len, max_len);
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+/// Runs `body` against `cases` deterministically seeded generators. The
+/// per-case seed depends only on `name` and the case index, so failures
+/// reproduce exactly and independently of execution order.
+pub fn check(name: &str, cases: u64, mut body: impl FnMut(&mut Gen)) {
+    let base = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    });
+    for case in 0..cases {
+        let seed = mix64(base ^ mix64(case));
+        let mut gen = Gen::from_seed(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut gen)));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!(
+                "property {name:?} failed at case {case}/{cases} \
+                 (replay with Gen::from_seed({seed:#x})): {msg}"
+            );
+        }
+    }
+}

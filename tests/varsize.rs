@@ -35,8 +35,7 @@ fn var_krr_matches_byte_simulation_msr() {
 
 #[test]
 fn var_krr_matches_byte_simulation_twitter() {
-    let trace =
-        twitter::profile(twitter::TwitterCluster::C52_7).generate(300_000, 2, 0.2, true);
+    let trace = twitter::profile(twitter::TwitterCluster::C52_7).generate(300_000, 2, 0.2, true);
     let (_, bytes) = krr::sim::working_set(&trace);
     let caps = even_capacities(bytes, 15);
     let sizes: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
@@ -50,8 +49,7 @@ fn var_krr_matches_byte_simulation_twitter() {
 fn uniform_assumption_is_worse_on_skewed_sizes() {
     // Fig 5.3(A): uni-KRR (object distances scaled by the mean size) can
     // deviate; var-KRR must beat it on a size-skewed workload.
-    let trace =
-        twitter::profile(twitter::TwitterCluster::C34_1).generate(300_000, 5, 0.1, true);
+    let trace = twitter::profile(twitter::TwitterCluster::C34_1).generate(300_000, 5, 0.1, true);
     let (objects, bytes) = krr::sim::working_set(&trace);
     let mean = bytes as f64 / objects as f64;
     let caps = even_capacities(bytes, 15);
@@ -64,11 +62,19 @@ fn uniform_assumption_is_worse_on_skewed_sizes() {
     for r in &trace {
         uni.access_key(r.key);
     }
-    let uni_scaled =
-        Mrc::from_points(uni.mrc().points().iter().map(|&(x, y)| (x * mean, y)).collect());
+    let uni_scaled = Mrc::from_points(
+        uni.mrc()
+            .points()
+            .iter()
+            .map(|&(x, y)| (x * mean, y))
+            .collect(),
+    );
     let uni_mae = truth.mae(&uni_scaled, &sizes);
 
-    assert!(var_mae < uni_mae, "var-KRR ({var_mae}) must beat uni-KRR ({uni_mae})");
+    assert!(
+        var_mae < uni_mae,
+        "var-KRR ({var_mae}) must beat uni-KRR ({uni_mae})"
+    );
     assert!(var_mae < 0.02, "var-KRR MAE {var_mae}");
 }
 
