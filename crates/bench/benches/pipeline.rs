@@ -1,0 +1,170 @@
+//! A/B benchmark for the parallel profiling paths: sequential access loop
+//! vs the legacy scan-everything-per-thread `process_parallel_rescan` vs
+//! the streaming route-once `process_stream` pipeline, over a 1/2/4/8
+//! thread scaling curve.
+//!
+//! Writes machine-readable results to `BENCH_pipeline.json` at the repo
+//! root (schema `krr-bench-pipeline-v1`) so the perf trajectory is tracked
+//! across PRs. `KRR_BENCH_FAST=1` shrinks the trace for smoke runs.
+//!
+//! Besides timing, the run asserts the two correctness claims the numbers
+//! rest on: bit-identical MRCs across all paths and thread counts, and
+//! route-once hashing (pipeline hashes N keys total; rescan hashes T×N).
+
+use krr_core::metrics::MetricsRegistry;
+use krr_core::rng::Xoshiro256;
+use krr_core::sharded::ShardedKrr;
+use krr_core::KrrConfig;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SHARDS: usize = 16;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
+
+fn trace(n: usize) -> Vec<(u64, u32)> {
+    let z = krr_trace::Zipf::new(100_000, 0.9);
+    let mut rng = Xoshiro256::seed_from_u64(3);
+    (0..n).map(|_| (z.sample(&mut rng), 1)).collect()
+}
+
+/// Best-of-REPS wall time for one full profiling run.
+fn time_best(mut run: impl FnMut() -> ShardedKrr) -> (f64, ShardedKrr) {
+    let mut best = f64::INFINITY;
+    let mut bank = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let b = run();
+        best = best.min(t0.elapsed().as_secs_f64());
+        bank = Some(b);
+    }
+    (best, bank.expect("at least one rep"))
+}
+
+struct Row {
+    path: &'static str,
+    threads: usize,
+    secs: f64,
+    refs_per_sec: f64,
+}
+
+fn main() {
+    let fast = std::env::var("KRR_BENCH_FAST").is_ok();
+    let n = if fast { 40_000 } else { 400_000 };
+    let refs = trace(n);
+    let cfg = KrrConfig::new(5.0).seed(7);
+    println!("\n== pipeline ==  ({n} refs, {SHARDS} shards, best of {REPS})");
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut record = |path: &'static str, threads: usize, secs: f64| {
+        let rps = n as f64 / secs;
+        println!(
+            "{path:<12} threads={threads}  {secs:>8.4} s  {:>10.2} Mref/s",
+            rps / 1e6
+        );
+        rows.push(Row {
+            path,
+            threads,
+            secs,
+            refs_per_sec: rps,
+        });
+    };
+
+    // Golden: the sequential sharded loop.
+    let (t_seq, seq) = time_best(|| {
+        let mut bank = ShardedKrr::new(&cfg, SHARDS);
+        for &(k, s) in &refs {
+            bank.access(k, s);
+        }
+        bank
+    });
+    record("sequential", 1, t_seq);
+    let golden = seq.mrc();
+
+    for threads in THREADS {
+        let (t_old, old) = time_best(|| {
+            let mut bank = ShardedKrr::new(&cfg, SHARDS);
+            bank.process_parallel_rescan(&refs, threads);
+            bank
+        });
+        assert_eq!(
+            old.mrc().points(),
+            golden.points(),
+            "rescan diverged at threads={threads}"
+        );
+        record("rescan", threads, t_old);
+
+        let (t_new, new) = time_best(|| {
+            let mut bank = ShardedKrr::new(&cfg, SHARDS);
+            bank.process_stream(refs.iter().copied(), threads);
+            bank
+        });
+        assert_eq!(
+            new.mrc().points(),
+            golden.points(),
+            "pipeline diverged at threads={threads}"
+        );
+        record("pipeline", threads, t_new);
+    }
+
+    // Route-once accounting: N hashes for the pipeline, T×N for rescan.
+    let count_hashes = |f: &dyn Fn(&mut ShardedKrr)| {
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut bank = ShardedKrr::new(&cfg, SHARDS);
+        bank.set_metrics(Arc::clone(&reg));
+        f(&mut bank);
+        reg.snapshot().pipeline_keys_hashed
+    };
+    let pipeline_hashes = count_hashes(&|b| b.process_stream(refs.iter().copied(), 4));
+    let rescan_hashes = count_hashes(&|b| b.process_parallel_rescan(&refs, 4));
+    assert_eq!(
+        pipeline_hashes, n as u64,
+        "pipeline must hash each key once"
+    );
+    assert_eq!(rescan_hashes, 4 * n as u64, "rescan hashes T×N");
+    println!("keys hashed @4 threads: pipeline {pipeline_hashes}, rescan {rescan_hashes}");
+
+    let speedup_at = |threads: usize| {
+        let get = |path: &str| {
+            rows.iter()
+                .find(|r| r.path == path && r.threads == threads)
+                .expect("row recorded")
+                .secs
+        };
+        get("rescan") / get("pipeline")
+    };
+    for threads in THREADS {
+        println!(
+            "pipeline speedup over rescan @{threads} threads: {:.2}x",
+            speedup_at(threads)
+        );
+    }
+
+    let mut json = String::from("{\"schema\":\"krr-bench-pipeline-v1\",");
+    let _ = write!(
+        json,
+        "\"refs\":{n},\"shards\":{SHARDS},\"reps\":{REPS},\"keys_hashed\":{{\"pipeline_t4\":{pipeline_hashes},\"rescan_t4\":{rescan_hashes}}},\"results\":["
+    );
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"path\":\"{}\",\"threads\":{},\"seconds\":{:.6},\"refs_per_sec\":{:.0}}}",
+            r.path, r.threads, r.secs, r.refs_per_sec
+        );
+    }
+    let _ = write!(json, "],\"speedup_vs_rescan\":{{");
+    for (i, threads) in THREADS.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(json, "\"t{threads}\":{:.3}", speedup_at(*threads));
+    }
+    json.push_str("}}");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(out, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {out}\n");
+}

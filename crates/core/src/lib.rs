@@ -31,6 +31,7 @@
 //! * [`histogram`] / [`mrc`] — stack-distance histograms and MRCs.
 //! * [`model`] — the assembled one-pass profiler.
 //! * [`sharded`] — thread-parallel profiling over hash shards.
+//! * [`pipeline`] — streaming route-once batched router/worker pipeline.
 //! * [`metrics`] — lock-free counters/histograms observing the pipeline.
 //! * [`persist`] — plain-text persistence for histograms, MRCs and
 //!   metrics snapshots.
@@ -46,6 +47,7 @@ pub mod model;
 pub mod mrc;
 pub mod partition;
 pub mod persist;
+pub mod pipeline;
 pub mod prob;
 pub mod rng;
 pub mod sampling;
@@ -59,8 +61,9 @@ pub use histogram::SdHistogram;
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use model::{KrrConfig, KrrModel, ModelStats, SizeMode};
 pub use mrc::{even_sizes, Mrc};
+pub use pipeline::PipelineConfig;
 pub use sampling::SpatialFilter;
-pub use sharded::ShardedKrr;
+pub use sharded::{shard_of_hash, ShardedKrr};
 pub use sizearray::SizeArray;
 pub use stack::{Access, Entry, KrrStack};
 pub use update::UpdaterKind;

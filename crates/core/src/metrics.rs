@@ -213,6 +213,10 @@ impl HistogramSnapshot {
 /// * **latency** — sampled per-access wall time in nanoseconds.
 /// * **shards** — per-shard access balance and histogram merge cost for
 ///   [`crate::ShardedKrr`].
+/// * **pipeline** — the streaming route-once profiling pipeline
+///   (`crate::pipeline`): batches routed, bounded-channel stalls, keys
+///   hashed by the router (route-once ⇒ equals references routed),
+///   router/worker busy time, and per-shard queue-depth high-water marks.
 /// * **eviction** — simulator/store-side: evictions performed and the
 ///   age (idle time) of sampled eviction candidates.
 #[derive(Debug, Default)]
@@ -239,7 +243,21 @@ pub struct MetricsRegistry {
     pub evictions: Counter,
     /// Idle time / age of sampled eviction candidates.
     pub candidate_age: LogHistogram,
+    /// Batches handed to shard workers by the pipeline router.
+    pub pipeline_batches: Counter,
+    /// Bounded-channel-full events seen by the router (back-pressure: the
+    /// router had to block until a worker drained a batch).
+    pub pipeline_stalls: Counter,
+    /// Keys hashed while routing. The streaming pipeline hashes each
+    /// reference exactly once, so after a pipeline run this equals the
+    /// reference count N — the legacy rescan path records T·N instead.
+    pub pipeline_keys_hashed: Counter,
+    /// Nanoseconds the router thread spent hashing, batching and sending.
+    pub pipeline_router_busy_ns: Counter,
+    /// Total nanoseconds workers spent draining batches into shard models.
+    pub pipeline_worker_busy_ns: Counter,
     shard_accesses: OnceLock<Box<[Counter]>>,
+    queue_hwm: OnceLock<Box<[AtomicU64]>>,
 }
 
 impl MetricsRegistry {
@@ -249,24 +267,55 @@ impl MetricsRegistry {
         Self::default()
     }
 
-    /// Allocates `n` per-shard access counters. First caller wins; later
-    /// calls with a different count are ignored (the registry observes one
-    /// sharded pipeline).
+    /// Allocates `n` per-shard access counters and queue-depth high-water
+    /// marks. First caller wins; later calls with a different count are
+    /// ignored (the registry observes one sharded pipeline).
     pub fn init_shards(&self, n: usize) {
         let _ = self
             .shard_accesses
             .set((0..n).map(|_| Counter::new()).collect());
+        let _ = self
+            .queue_hwm
+            .set((0..n).map(|_| AtomicU64::new(0)).collect());
     }
 
     /// Records an access routed to shard `i` (no-op before
     /// [`MetricsRegistry::init_shards`]).
     #[inline]
     pub fn shard_access(&self, i: usize) {
+        self.shard_access_n(i, 1);
+    }
+
+    /// Records `n` accesses routed to shard `i` — the batched pipeline
+    /// counts a whole batch with one RMW instead of one per reference.
+    #[inline]
+    pub fn shard_access_n(&self, i: usize, n: u64) {
         if let Some(shards) = self.shard_accesses.get() {
             if let Some(c) = shards.get(i) {
-                c.inc();
+                c.add(n);
             }
         }
+    }
+
+    /// Raises shard `i`'s queue-depth high-water mark to `depth` if it is a
+    /// new maximum (no-op before [`MetricsRegistry::init_shards`]). `depth`
+    /// is the number of batches in flight for that shard after a send.
+    #[inline]
+    pub fn record_queue_depth(&self, i: usize, depth: u64) {
+        if let Some(hwm) = self.queue_hwm.get() {
+            if let Some(a) = hwm.get(i) {
+                a.fetch_max(depth, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Per-shard queue-depth high-water marks (empty before `init_shards`).
+    #[must_use]
+    pub fn queue_depth_hwm(&self) -> Vec<u64> {
+        self.queue_hwm
+            .get()
+            .map(|s| s.iter().map(|a| a.load(Ordering::Relaxed)).collect())
+            .unwrap_or_default()
     }
 
     /// Per-shard access counts (empty before `init_shards`).
@@ -294,6 +343,12 @@ impl MetricsRegistry {
             evictions: self.evictions.get(),
             candidate_age: self.candidate_age.snapshot(),
             shard_accesses: self.shard_counts(),
+            pipeline_batches: self.pipeline_batches.get(),
+            pipeline_stalls: self.pipeline_stalls.get(),
+            pipeline_keys_hashed: self.pipeline_keys_hashed.get(),
+            pipeline_router_busy_ns: self.pipeline_router_busy_ns.get(),
+            pipeline_worker_busy_ns: self.pipeline_worker_busy_ns.get(),
+            pipeline_queue_hwm: self.queue_depth_hwm(),
         }
     }
 }
@@ -326,6 +381,18 @@ pub struct MetricsSnapshot {
     pub candidate_age: HistogramSnapshot,
     /// Per-shard access counts (empty when unsharded).
     pub shard_accesses: Vec<u64>,
+    /// See [`MetricsRegistry::pipeline_batches`].
+    pub pipeline_batches: u64,
+    /// See [`MetricsRegistry::pipeline_stalls`].
+    pub pipeline_stalls: u64,
+    /// See [`MetricsRegistry::pipeline_keys_hashed`].
+    pub pipeline_keys_hashed: u64,
+    /// See [`MetricsRegistry::pipeline_router_busy_ns`].
+    pub pipeline_router_busy_ns: u64,
+    /// See [`MetricsRegistry::pipeline_worker_busy_ns`].
+    pub pipeline_worker_busy_ns: u64,
+    /// Per-shard queue-depth high-water marks (empty when unsharded).
+    pub pipeline_queue_hwm: Vec<u64>,
 }
 
 impl MetricsSnapshot {
@@ -403,6 +470,23 @@ impl MetricsSnapshot {
         if let Some(im) = self.shard_imbalance() {
             let _ = write!(s, "shard_imbalance:{im:.4}\r\n");
         }
+        let _ = write!(
+            s,
+            "# pipeline\r\nbatches:{}\r\nstalls:{}\r\nkeys_hashed:{}\r\nrouter_busy_ns:{}\r\nworker_busy_ns:{}\r\n",
+            self.pipeline_batches,
+            self.pipeline_stalls,
+            self.pipeline_keys_hashed,
+            self.pipeline_router_busy_ns,
+            self.pipeline_worker_busy_ns
+        );
+        let _ = write!(s, "queue_depth_hwm:");
+        for (i, c) in self.pipeline_queue_hwm.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{c}");
+        }
+        s.push_str("\r\n");
         let _ = write!(s, "# eviction\r\nevictions:{}\r\n", self.evictions);
         hist(&mut s, "candidate_age", &self.candidate_age);
         s
@@ -455,6 +539,22 @@ impl MetricsSnapshot {
             self.merges, self.merge_ns
         );
         for (i, c) in self.shard_accesses.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{c}");
+        }
+        s.push_str("]},");
+        let _ = write!(
+            s,
+            "\"pipeline\":{{\"batches\":{},\"stalls\":{},\"keys_hashed\":{},\"router_busy_ns\":{},\"worker_busy_ns\":{},\"queue_depth_hwm\":[",
+            self.pipeline_batches,
+            self.pipeline_stalls,
+            self.pipeline_keys_hashed,
+            self.pipeline_router_busy_ns,
+            self.pipeline_worker_busy_ns
+        );
+        for (i, c) in self.pipeline_queue_hwm.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
@@ -569,6 +669,24 @@ mod tests {
     }
 
     #[test]
+    fn queue_depth_high_water_marks() {
+        let reg = MetricsRegistry::new();
+        reg.record_queue_depth(0, 5); // no-op before init
+        assert!(reg.queue_depth_hwm().is_empty());
+        reg.init_shards(3);
+        reg.record_queue_depth(0, 2);
+        reg.record_queue_depth(0, 7);
+        reg.record_queue_depth(0, 4); // below the mark: ignored
+        reg.record_queue_depth(2, 1);
+        reg.record_queue_depth(9, 3); // out of range: ignored
+        assert_eq!(reg.queue_depth_hwm(), vec![7, 0, 1]);
+        reg.shard_access_n(1, 40);
+        assert_eq!(reg.shard_counts(), vec![0, 40, 0]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.pipeline_queue_hwm, vec![7, 0, 1]);
+    }
+
+    #[test]
     fn info_and_json_renderings_contain_sections() {
         let reg = MetricsRegistry::new();
         reg.accesses.add(3);
@@ -583,16 +701,21 @@ mod tests {
             "# updater",
             "# latency",
             "# shards",
+            "# pipeline",
             "# eviction",
         ] {
             assert!(info.contains(section), "{section} missing from\n{info}");
         }
         assert!(info.contains("accesses:3"));
         assert!(info.contains("chain_len_count:1"));
+        assert!(info.contains("keys_hashed:0"));
+        assert!(info.contains("queue_depth_hwm:0,0"));
         let json = snap.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"schema\":\"krr-metrics-v1\""));
         assert!(json.contains("\"accesses\":3"));
+        assert!(json.contains("\"pipeline\":{\"batches\":0"));
+        assert!(json.contains("\"queue_depth_hwm\":[0,0]"));
         // Brace balance as a cheap well-formedness check.
         let open = json.matches(['{', '[']).count();
         let close = json.matches(['}', ']']).count();

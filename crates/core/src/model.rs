@@ -214,8 +214,17 @@ impl KrrModel {
     /// bytes; pass 1 (or use [`KrrModel::access_key`]) for uniform-size
     /// workloads. Zero sizes are clamped to 1 byte.
     pub fn access(&mut self, key: u64, size: u32) {
+        self.access_hashed(key, size, crate::hashing::hash_key(key));
+    }
+
+    /// [`KrrModel::access`] for a key whose [`crate::hashing::hash_key`]
+    /// value is already known. The sharded router hashes each key once for
+    /// routing and passes the hash through here, so the spatial filter does
+    /// not hash a second time. `key_hash` MUST equal `hash_key(key)` —
+    /// anything else silently corrupts the spatial sample.
+    pub fn access_hashed(&mut self, key: u64, size: u32, key_hash: u64) {
         if self.metrics.is_none() {
-            self.access_inner(key, size);
+            self.access_inner(key, size, key_hash);
             return;
         }
         // Timing is sampled 1-in-64: the clock read costs about as much as
@@ -223,7 +232,7 @@ impl KrrModel {
         // <=5% overhead budget the metrics layer is held to.
         let timed = self.processed & 63 == 0;
         let t0 = timed.then(std::time::Instant::now);
-        let outcome = self.access_inner(key, size);
+        let outcome = self.access_inner(key, size, key_hash);
         let m = self.metrics.as_ref().expect("checked above");
         m.accesses.inc();
         match outcome {
@@ -243,9 +252,9 @@ impl KrrModel {
         }
     }
 
-    fn access_inner(&mut self, key: u64, size: u32) -> Outcome {
+    fn access_inner(&mut self, key: u64, size: u32, key_hash: u64) -> Outcome {
         self.processed += 1;
-        if !self.filter.admits(key) {
+        if !self.filter.admits_hashed(key_hash) {
             return Outcome::Filtered;
         }
         self.sampled += 1;

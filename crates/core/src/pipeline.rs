@@ -1,0 +1,279 @@
+//! Streaming, route-once, batched profiling pipeline.
+//!
+//! The naive way to parallelize sharded profiling — every worker scans the
+//! whole trace and keeps its shards' keys — does `T·N` routing work for `T`
+//! threads over `N` references and needs the entire trace resident in
+//! memory. This module replaces it with a router/worker topology:
+//!
+//! ```text
+//!             ┌──────────┐  bounded channel   ┌──────────┐
+//!  refs ────► │  router  │ ─── Batch(s=0,3) ─►│ worker 0 │ shards {0,3}
+//!  (any       │ hash once│ ─── Batch(s=1,4) ─►│ worker 1 │ shards {1,4}
+//!  iterator)  │  batch   │ ─── Batch(s=2,5) ─►│ worker 2 │ shards {2,5}
+//!             └──────────┘ ◄── recycled Vecs ─┴──────────┘
+//! ```
+//!
+//! * **Route once.** The router computes `hash_key(key)` exactly once per
+//!   reference; the shard index comes from the hash's high bits and the
+//!   spatial filter later consumes its low bits, so the hash rides along in
+//!   the batch and no stage ever re-hashes. Total hash work is `N`, not
+//!   `T·N`.
+//! * **Batching.** References are accumulated into per-shard buffers of
+//!   [`PipelineConfig::batch_size`] entries (default ~4K), amortizing
+//!   channel synchronization over thousands of references — the lever
+//!   Inoue's multi-step LRU exploits for batched cache replacement.
+//! * **Bounded channels + recycling.** Workers receive batches over
+//!   `std::sync::mpsc::sync_channel` queues of
+//!   [`PipelineConfig::queue_depth`] batches; a full queue stalls the
+//!   router (recorded in metrics) instead of ballooning memory. Drained
+//!   buffers return to the router over an unbounded recycle channel, so the
+//!   steady state allocates nothing.
+//! * **Streaming.** The input is any `Iterator<Item = (u64, u32)>`; traces
+//!   never need to be materialized as a slice, so multi-GB files profile in
+//!   constant memory.
+//!
+//! **Determinism.** Shard `s` is owned by exactly worker `s % threads`, the
+//! router emits a shard's batches in trace order, and the owning worker
+//! drains its FIFO channel in order — so every shard model observes exactly
+//! the subsequence it would see on the sequential path, in the same order.
+//! Results are bit-identical to [`crate::ShardedKrr::access`] loops at any
+//! thread count (tested in `sharded` and the `pipeline` integration suite).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::hashing::hash_key;
+use crate::metrics::MetricsRegistry;
+use crate::model::KrrModel;
+use crate::sharded::shard_of_hash;
+
+/// Tuning knobs for the streaming pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// References per batch (default 4096). Larger batches amortize channel
+    /// overhead further but add latency before a shard sees its keys and
+    /// grow resident buffer memory (`shards × batch_size × 24 B` plus
+    /// whatever is in flight).
+    pub batch_size: usize,
+    /// Bound of each worker's batch queue, in batches (default 4). When a
+    /// queue is full the router blocks — back-pressure instead of unbounded
+    /// buffering; each such event is recorded as a pipeline stall.
+    pub queue_depth: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 4096,
+            queue_depth: 4,
+        }
+    }
+}
+
+/// One routed batch: references (with their precomputed key hashes) all
+/// belonging to `shard`.
+struct Batch {
+    shard: usize,
+    refs: Vec<(u64, u32, u64)>,
+}
+
+/// Drives `refs` through `models` with `threads` workers plus the calling
+/// thread as router. Returns the models with every reference applied;
+/// per-shard reference order (and therefore every model's state) is
+/// identical to a sequential [`crate::ShardedKrr::access`] loop.
+pub(crate) fn run<I>(
+    models: Vec<KrrModel>,
+    refs: I,
+    threads: usize,
+    cfg: &PipelineConfig,
+    metrics: Option<&Arc<MetricsRegistry>>,
+) -> Vec<KrrModel>
+where
+    I: Iterator<Item = (u64, u32)>,
+{
+    let n_shards = models.len();
+    let threads = threads.clamp(1, n_shards);
+    let batch_size = cfg.batch_size.max(1);
+    let queue_depth = cfg.queue_depth.max(1);
+
+    // Worker w owns shards {s | s % threads == w}; shard s sits at local
+    // slot s / threads in its group, so workers route batches to models in
+    // O(1) without a scan.
+    let mut groups: Vec<Vec<KrrModel>> = (0..threads).map(|_| Vec::new()).collect();
+    for (s, m) in models.into_iter().enumerate() {
+        groups[s % threads].push(m);
+    }
+
+    // Batches in flight per shard, for the queue-depth high-water metric.
+    let depth: Vec<AtomicU64> = (0..n_shards).map(|_| AtomicU64::new(0)).collect();
+    let depth = &depth;
+
+    let mut senders: Vec<SyncSender<Batch>> = Vec::with_capacity(threads);
+    let mut receivers: Vec<Option<Receiver<Batch>>> = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let (tx, rx) = sync_channel::<Batch>(queue_depth);
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+    let (recycle_tx, recycle_rx) = std::sync::mpsc::channel::<Vec<(u64, u32, u64)>>();
+
+    let mut regrouped: Vec<Option<Vec<KrrModel>>> = (0..threads).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .zip(receivers.iter_mut())
+            .map(|(mut group, rx)| {
+                let rx = rx.take().expect("receiver consumed once");
+                let recycle_tx = recycle_tx.clone();
+                let metrics = metrics.cloned();
+                scope.spawn(move || {
+                    let mut busy_ns = 0u64;
+                    for batch in rx {
+                        let t0 = Instant::now();
+                        let model = &mut group[batch.shard / threads];
+                        for &(key, size, h) in &batch.refs {
+                            model.access_hashed(key, size, h);
+                        }
+                        depth[batch.shard].fetch_sub(1, Ordering::Relaxed);
+                        if let Some(reg) = &metrics {
+                            reg.shard_access_n(batch.shard, batch.refs.len() as u64);
+                        }
+                        busy_ns += t0.elapsed().as_nanos() as u64;
+                        let mut buf = batch.refs;
+                        buf.clear();
+                        let _ = recycle_tx.send(buf); // router may be gone
+                    }
+                    if let Some(reg) = &metrics {
+                        reg.pipeline_worker_busy_ns.add(busy_ns);
+                    }
+                    group
+                })
+            })
+            .collect();
+
+        // ---- Router (this thread) ----
+        let t_router = Instant::now();
+        let mut buffers: Vec<Vec<(u64, u32, u64)>> = (0..n_shards)
+            .map(|_| Vec::with_capacity(batch_size))
+            .collect();
+        let mut keys_hashed = 0u64;
+        let mut batches = 0u64;
+        let mut stalls = 0u64;
+        let mut dispatch = |s: usize, refs: Vec<(u64, u32, u64)>| {
+            let d = depth[s].fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(reg) = metrics {
+                reg.record_queue_depth(s, d);
+            }
+            batches += 1;
+            match senders[s % threads].try_send(Batch { shard: s, refs }) {
+                Ok(()) => {}
+                Err(TrySendError::Full(b)) => {
+                    stalls += 1;
+                    senders[s % threads].send(b).expect("worker disappeared");
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    // A worker panicked; the scope will propagate it.
+                    panic!("pipeline worker disconnected");
+                }
+            }
+        };
+        for (key, size) in refs {
+            let h = hash_key(key);
+            keys_hashed += 1;
+            let s = shard_of_hash(h, n_shards);
+            buffers[s].push((key, size, h));
+            if buffers[s].len() >= batch_size {
+                let fresh = recycle_rx
+                    .try_recv()
+                    .unwrap_or_else(|_| Vec::with_capacity(batch_size));
+                let full = std::mem::replace(&mut buffers[s], fresh);
+                dispatch(s, full);
+            }
+        }
+        for (s, buf) in buffers.into_iter().enumerate() {
+            if !buf.is_empty() {
+                dispatch(s, buf);
+            }
+        }
+        drop(dispatch);
+        drop(senders); // close the channels: workers drain and exit
+        if let Some(reg) = metrics {
+            reg.pipeline_keys_hashed.add(keys_hashed);
+            reg.pipeline_batches.add(batches);
+            reg.pipeline_stalls.add(stalls);
+            reg.pipeline_router_busy_ns
+                .add(t_router.elapsed().as_nanos() as u64);
+        }
+
+        for (w, h) in handles.into_iter().enumerate() {
+            regrouped[w] = Some(h.join().expect("pipeline worker panicked"));
+        }
+    });
+
+    // Undo the round-robin grouping: worker w's slot i is shard w + i·T.
+    let mut out: Vec<Option<KrrModel>> = (0..n_shards).map(|_| None).collect();
+    for (w, group) in regrouped.into_iter().enumerate() {
+        for (i, m) in group.expect("worker joined").into_iter().enumerate() {
+            out[w + i * threads] = Some(m);
+        }
+    }
+    out.into_iter()
+        .map(|m| m.expect("every shard returned"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::KrrConfig;
+    use crate::sharded::ShardedKrr;
+
+    fn refs(n: usize, keys: u64, seed: u64) -> Vec<(u64, u32)> {
+        let mut rng = crate::rng::Xoshiro256::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u = rng.unit();
+                ((u * u * keys as f64) as u64, 1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiny_batches_force_recycling_and_stalls_still_exact() {
+        let refs = refs(60_000, 4_000, 11);
+        let cfg = KrrConfig::new(4.0).seed(3);
+        let mut seq = ShardedKrr::new(&cfg, 5);
+        for &(k, s) in &refs {
+            seq.access(k, s);
+        }
+        // 16-entry batches over 60K refs exercise buffer recycling and
+        // queue back-pressure heavily.
+        let pcfg = PipelineConfig {
+            batch_size: 16,
+            queue_depth: 1,
+        };
+        let mut par = ShardedKrr::new(&cfg, 5);
+        par.process_stream_with(refs.iter().copied(), 3, &pcfg);
+        assert_eq!(par.mrc().points(), seq.mrc().points());
+        assert_eq!(par.stats(), seq.stats());
+    }
+
+    #[test]
+    fn degenerate_config_values_are_clamped() {
+        let refs = refs(5_000, 500, 12);
+        let cfg = KrrConfig::new(2.0).seed(4);
+        let mut seq = ShardedKrr::new(&cfg, 3);
+        for &(k, s) in &refs {
+            seq.access(k, s);
+        }
+        let pcfg = PipelineConfig {
+            batch_size: 0,
+            queue_depth: 0,
+        };
+        let mut par = ShardedKrr::new(&cfg, 3);
+        par.process_stream_with(refs.iter().copied(), 99, &pcfg);
+        assert_eq!(par.mrc().points(), seq.mrc().points());
+    }
+}

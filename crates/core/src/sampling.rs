@@ -46,7 +46,18 @@ impl SpatialFilter {
     #[inline]
     #[must_use]
     pub fn admits(&self, key: u64) -> bool {
-        hash_key(key) % self.modulus < self.threshold
+        self.admits_hashed(hash_key(key))
+    }
+
+    /// [`SpatialFilter::admits`] for a key whose [`hash_key`] value is
+    /// already in hand — the route-once path: the sharded router hashes
+    /// each key exactly once and passes the hash through, so admission
+    /// never re-hashes. Only the low `log2(modulus)` bits are consumed;
+    /// shard routing reads disjoint high bits of the same hash.
+    #[inline]
+    #[must_use]
+    pub fn admits_hashed(&self, key_hash: u64) -> bool {
+        key_hash % self.modulus < self.threshold
     }
 
     /// Effective sampling rate `R = T/P`.

@@ -9,9 +9,20 @@
 //! exact) while each distance estimate carries only the usual SHARDS-style
 //! scaling approximation.
 //!
-//! With `T` threads the O(N·K·logM) profiling work splits T-ways with no
-//! shared mutable state; per-shard RNG seeds keep results identical at any
-//! thread count.
+//! Every key is hashed exactly **once**: shard routing consumes the high
+//! 32 bits of [`hash_key`] and the models' spatial filter consumes the low
+//! 24 bits, disjoint slices of the same fully-avalanched hash (see
+//! [`shard_of_hash`]). The hash is computed at the entry point — the
+//! sequential [`ShardedKrr::access`] or the [`pipeline`](crate::pipeline)
+//! router — and passed through, so neither routing nor sampling ever
+//! re-hashes.
+//!
+//! The parallel path ([`ShardedKrr::process_stream`]) is a streaming,
+//! route-once, batched pipeline: a router thread hashes and batches
+//! references per shard, and per-shard workers drain batches over bounded
+//! channels. Total routing work is O(N) regardless of thread count, and
+//! per-shard RNG seeds plus deterministic per-shard order keep results
+//! bit-identical at any thread count.
 
 use std::sync::Arc;
 
@@ -20,9 +31,18 @@ use crate::histogram::SdHistogram;
 use crate::metrics::MetricsRegistry;
 use crate::model::{KrrConfig, KrrModel, ModelStats};
 use crate::mrc::Mrc;
+use crate::pipeline::{self, PipelineConfig};
 
-/// Salt decorrelating shard routing from the models' sampling hash.
-const SHARD_SALT: u64 = 0x5A8D_ED0F_1CE5_11AD;
+/// Maps an already-computed [`hash_key`] value to its owning shard.
+///
+/// Uses the hash's **high 32 bits** so the result is independent of the low
+/// 24 bits that [`crate::SpatialFilter`] consumes for spatial sampling —
+/// one hash serves both decisions without correlating them.
+#[inline]
+#[must_use]
+pub fn shard_of_hash(key_hash: u64, n_shards: usize) -> usize {
+    ((key_hash >> 32) % n_shards as u64) as usize
+}
 
 /// A bank of per-shard KRR models covering the whole key space.
 #[derive(Debug, Clone)]
@@ -71,16 +91,18 @@ impl ShardedKrr {
     /// The shard responsible for `key`.
     #[must_use]
     pub fn shard_for(&self, key: u64) -> usize {
-        (hash_key(key ^ SHARD_SALT) % self.shards.len() as u64) as usize
+        shard_of_hash(hash_key(key), self.shards.len())
     }
 
-    /// Offers one reference (sequential path).
+    /// Offers one reference (sequential path). The key is hashed once;
+    /// routing and the shard model's spatial filter share the hash.
     pub fn access(&mut self, key: u64, size: u32) {
-        let s = self.shard_for(key);
+        let h = hash_key(key);
+        let s = shard_of_hash(h, self.shards.len());
         if let Some(m) = &self.metrics {
             m.shard_access(s);
         }
-        self.shards[s].access(key, size);
+        self.shards[s].access_hashed(key, size, h);
     }
 
     /// Offers a uniform-size reference (sequential path).
@@ -88,12 +110,39 @@ impl ShardedKrr {
         self.access(key, 1);
     }
 
-    /// Processes a whole trace of `(key, size)` pairs with `threads`
-    /// worker threads. Shards are distributed round-robin over threads;
-    /// every thread scans the trace and handles only its shards' keys, so
-    /// there is no shared mutable state and the result is identical to the
-    /// sequential path.
+    /// Processes a whole in-memory trace of `(key, size)` pairs with
+    /// `threads` worker threads. Delegates to [`ShardedKrr::process_stream`];
+    /// kept for callers that already hold the trace as a slice.
     pub fn process_parallel(&mut self, refs: &[(u64, u32)], threads: usize) {
+        self.process_stream(refs.iter().copied(), threads);
+    }
+
+    /// Streams `refs` through the route-once batched pipeline with
+    /// `threads` worker threads (plus the calling thread as router). The
+    /// trace never needs to be materialized; results are bit-identical to
+    /// the sequential [`ShardedKrr::access`] loop at any thread count.
+    pub fn process_stream<I>(&mut self, refs: I, threads: usize)
+    where
+        I: Iterator<Item = (u64, u32)>,
+    {
+        self.process_stream_with(refs, threads, &PipelineConfig::default());
+    }
+
+    /// [`ShardedKrr::process_stream`] with explicit pipeline tuning.
+    pub fn process_stream_with<I>(&mut self, refs: I, threads: usize, cfg: &PipelineConfig)
+    where
+        I: Iterator<Item = (u64, u32)>,
+    {
+        let shards = std::mem::take(&mut self.shards);
+        self.shards = pipeline::run(shards, refs, threads, cfg, self.metrics.as_ref());
+    }
+
+    /// The pre-pipeline parallel path, kept as a benchmark baseline: every
+    /// worker re-scans the **full** trace, re-hashes every key (T×N total
+    /// hash work — watch `pipeline.keys_hashed`), and linear-scans its
+    /// shard group for the owner. Produces the same bit-identical result,
+    /// just slower; new code should use [`ShardedKrr::process_stream`].
+    pub fn process_parallel_rescan(&mut self, refs: &[(u64, u32)], threads: usize) {
         let n_shards = self.shards.len();
         let threads = threads.clamp(1, n_shards);
         let shards = std::mem::take(&mut self.shards);
@@ -110,16 +159,20 @@ impl ShardedKrr {
                     let metrics = metrics.clone();
                     scope.spawn(move || {
                         for &(key, size) in refs {
-                            let s = (hash_key(key ^ SHARD_SALT) % n_shards as u64) as usize;
+                            let h = hash_key(key);
+                            let s = shard_of_hash(h, n_shards);
                             for (i, m) in &mut group {
                                 if *i == s {
                                     if let Some(reg) = &metrics {
                                         reg.shard_access(s);
                                     }
-                                    m.access(key, size);
+                                    m.access_hashed(key, size, h);
                                     break;
                                 }
                             }
+                        }
+                        if let Some(reg) = &metrics {
+                            reg.pipeline_keys_hashed.add(refs.len() as u64);
                         }
                         group
                     })
@@ -253,7 +306,27 @@ mod tests {
             let mut par = ShardedKrr::new(&cfg, 6);
             par.process_parallel(&refs, threads);
             assert_eq!(par.mrc().points(), seq.mrc().points(), "threads={threads}");
+
+            let mut rescan = ShardedKrr::new(&cfg, 6);
+            rescan.process_parallel_rescan(&refs, threads);
+            assert_eq!(
+                rescan.mrc().points(),
+                seq.mrc().points(),
+                "rescan threads={threads}"
+            );
         }
+    }
+
+    #[test]
+    fn stream_equals_slice_path() {
+        let refs = skewed(8_000, 120_000, 10);
+        let cfg = KrrConfig::new(4.0).seed(6);
+        let mut slice = ShardedKrr::new(&cfg, 4);
+        slice.process_parallel(&refs, 4);
+        let mut stream = ShardedKrr::new(&cfg, 4);
+        stream.process_stream(refs.iter().copied(), 4);
+        assert_eq!(stream.mrc().points(), slice.mrc().points());
+        assert_eq!(stream.stats(), slice.stats());
     }
 
     #[test]
@@ -290,6 +363,17 @@ mod tests {
         for (i, &c) in counts.iter().enumerate() {
             let dev = (f64::from(c) - 10_000.0).abs() / 10_000.0;
             assert!(dev < 0.05, "shard {i} holds {c}");
+        }
+    }
+
+    #[test]
+    fn routing_and_sampling_bits_are_disjoint() {
+        // shard_of_hash must ignore the low 24 bits the SpatialFilter
+        // consumes: perturbing them never changes the shard.
+        for h in [0u64, 0xDEAD_BEEF_0000_0000, u64::MAX << 32] {
+            for low in [0u64, 1, 0xFF_FFFF] {
+                assert_eq!(shard_of_hash(h, 8), shard_of_hash(h | low, 8));
+            }
         }
     }
 }

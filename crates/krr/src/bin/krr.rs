@@ -55,8 +55,10 @@ USAGE:
                [--var-size] [--out FILE]
   krr stats <trace.csv>
   krr model [--k K] [--rate R] [--updater backward|topdown|naive]
-            [--bytes] [--seed X] [--shards S] [--metrics]
+            [--bytes] [--seed X] [--shards S] [--threads T] [--metrics]
             [--metrics-out FILE] (<trace.csv> | --workload <spec> ...)
+            (with --shards > 1, trace files are streamed through the
+             route-once pipeline and never fully materialized)
   krr simulate [--policy lru|klru:K|klfu:K] [--sizes N] [--bytes]
                (<trace.csv> | --workload <spec> ...)
   krr compare [--k K] [--sizes N] (<trace.csv> | --workload <spec> ...)
@@ -234,7 +236,6 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 
 fn cmd_model(args: &[String]) -> Result<(), String> {
     let f = Flags::parse(args)?;
-    let trace = load_trace(&f)?;
     let k: f64 = f.num("k", 5.0)?;
     let rate: f64 = f.num("rate", 1.0)?;
     let updater = match f.get("updater").unwrap_or("backward") {
@@ -258,19 +259,42 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
     }
     let want_metrics = f.flag("metrics") || f.get("metrics-out").is_some();
     let registry = want_metrics.then(|| std::sync::Arc::new(krr::core::MetricsRegistry::new()));
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads: usize = f.num("threads", default_threads)?;
+    if threads == 0 {
+        return Err("--threads must be >= 1".into());
+    }
     let t0 = std::time::Instant::now();
     let (mrc, st) = if shards > 1 {
         let mut bank = krr::core::sharded::ShardedKrr::new(&cfg, shards);
         if let Some(reg) = &registry {
             bank.set_metrics(std::sync::Arc::clone(reg));
         }
-        let refs: Vec<(u64, u32)> = trace.iter().map(|r| (r.key, r.size)).collect();
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        bank.process_parallel(&refs, threads);
+        if let Some(path) = f.positional.first() {
+            // Stream the file straight into the pipeline: the trace is
+            // never materialized, so file size doesn't bound memory.
+            let stream = trace_io::CsvStream::open(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut read_err = None;
+            let refs = stream.map_while(|res| match res {
+                Ok(r) => Some((r.key, r.size)),
+                Err(e) => {
+                    read_err = Some(e);
+                    None
+                }
+            });
+            bank.process_stream(refs, threads);
+            if let Some(e) = read_err {
+                return Err(e.to_string());
+            }
+        } else {
+            let trace = load_trace(&f)?;
+            bank.process_stream(trace.iter().map(|r| (r.key, r.size)), threads);
+        }
         (bank.mrc(), bank.stats())
     } else {
+        let trace = load_trace(&f)?;
         let mut model = KrrModel::new(cfg);
         if let Some(reg) = &registry {
             model.set_metrics(std::sync::Arc::clone(reg));

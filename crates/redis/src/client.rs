@@ -87,6 +87,18 @@ impl Client {
         }
     }
 
+    /// `MRC` — the online profiler's `cache_size,miss_ratio` CSV, or an
+    /// error if the server's store has profiling disabled.
+    pub fn mrc(&mut self) -> io::Result<String> {
+        match self.raw(&[b"MRC"])? {
+            Value::Bulk(Some(data)) => {
+                String::from_utf8(data).map_err(|e| io::Error::other(e.to_string()))
+            }
+            Value::Error(e) => Err(io::Error::other(e)),
+            other => Err(io::Error::other(format!("unexpected reply {other:?}"))),
+        }
+    }
+
     /// Cache-aside access: GET, and SET on miss. Returns true on hit.
     pub fn access(&mut self, key: u64, size: u32) -> io::Result<bool> {
         let hit = self.get(key)?;

@@ -4,7 +4,11 @@
 //! model real Redis avoids, but sufficient to validate KRR against a cache
 //! reached through an actual wire protocol (§5.7 ran against a live Redis
 //! instance). Supported commands: `GET`, `SET`, `DEL`, `DBSIZE`, `INFO`,
-//! `METRICS`, `PING`, `SHUTDOWN`.
+//! `METRICS`, `MRC`, `PING`, `SHUTDOWN`.
+//!
+//! `MRC` returns the online KRR profiler's current miss-ratio curve as a
+//! `cache_size,miss_ratio` CSV bulk string (an error if the store was built
+//! without [`MiniRedis::enable_mrc_profiling`]).
 //!
 //! `INFO` renders the store's counters plus the full metrics snapshot in
 //! Redis's `# section` / `key:value` text form; `METRICS` returns the same
@@ -205,6 +209,16 @@ fn handle(request: &Value, store: &Mutex<MiniRedis>, stop: &AtomicBool) -> Value
             let snap = store.lock().expect("store poisoned").metrics().snapshot();
             Value::bulk(snap.to_json().into_bytes())
         }
+        b"MRC" => match store.lock().expect("store poisoned").mrc_profile() {
+            Some(mrc) => {
+                let mut body = String::from("cache_size,miss_ratio\n");
+                for &(x, y) in mrc.points().iter().filter(|&&(x, _)| x > 0.0) {
+                    body.push_str(&format!("{x:.0},{y:.5}\n"));
+                }
+                Value::bulk(body.into_bytes())
+            }
+            None => Value::Error("ERR MRC profiling not enabled".into()),
+        },
         b"SHUTDOWN" => {
             stop.store(true, Ordering::Relaxed);
             Value::Simple("OK".into())
@@ -266,6 +280,33 @@ mod tests {
         }
         let mut client = Client::connect(addr).unwrap();
         assert_eq!(client.dbsize().unwrap(), 800);
+        server.shutdown();
+    }
+
+    #[test]
+    fn mrc_command_over_the_wire() {
+        let mut store = MiniRedis::new(1_000_000, 5, 9);
+        store.enable_mrc_profiling(&krr_core::KrrConfig::new(5.0).seed(7), 2);
+        let mut server = Server::start(store).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        for _ in 0..3 {
+            for key in 0..500u64 {
+                let _ = client.access(key, 50).unwrap();
+            }
+        }
+        let csv = client.mrc().unwrap();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("cache_size,miss_ratio"));
+        assert!(lines.next().is_some(), "curve has data points: {csv}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn mrc_without_profiling_is_an_error() {
+        let mut server = Server::start(MiniRedis::new(10_000, 5, 5)).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert!(client.mrc().is_err());
+        assert!(client.ping().unwrap(), "connection survives the error");
         server.shutdown();
     }
 

@@ -19,6 +19,9 @@ use std::sync::Arc;
 
 use crate::dict::Dict;
 use krr_core::metrics::MetricsRegistry;
+use krr_core::model::KrrConfig;
+use krr_core::mrc::Mrc;
+use krr_core::sharded::ShardedKrr;
 use krr_trace::{Op, Request};
 
 /// How eviction candidates are sampled from the keyspace.
@@ -91,6 +94,8 @@ pub struct MiniRedis {
     stats: StoreStats,
     scratch: Vec<(u64, Entry)>,
     metrics: Arc<MetricsRegistry>,
+    /// Optional online MRC profiler fed by the GET stream.
+    profiler: Option<ShardedKrr>,
 }
 
 impl MiniRedis {
@@ -118,7 +123,24 @@ impl MiniRedis {
             stats: StoreStats::default(),
             scratch: Vec::new(),
             metrics: Arc::new(MetricsRegistry::new()),
+            profiler: None,
         }
+    }
+
+    /// Turns on online MRC profiling: a sharded KRR bank observes every GET
+    /// (the read stream a cache's miss ratio is defined over) and shares the
+    /// store's metrics registry, so INFO/METRICS expose the profiler's
+    /// shard and pipeline counters. `shards` >= 1.
+    pub fn enable_mrc_profiling(&mut self, config: &KrrConfig, shards: usize) {
+        let mut bank = ShardedKrr::new(config, shards);
+        bank.set_metrics(Arc::clone(&self.metrics));
+        self.profiler = Some(bank);
+    }
+
+    /// The current MRC estimate, or `None` if profiling was never enabled.
+    #[must_use]
+    pub fn mrc_profile(&self) -> Option<Mrc> {
+        self.profiler.as_ref().map(ShardedKrr::mrc)
     }
 
     /// The store's always-on metrics registry: GET outcomes, evictions,
@@ -188,19 +210,23 @@ impl MiniRedis {
         self.ticks += 1;
         self.metrics.accesses.inc();
         let clock = self.lru_clock();
-        match self.dict.get_mut(key) {
+        let (hit, size) = match self.dict.get_mut(key) {
             Some(e) => {
                 e.lru = clock;
                 self.stats.hits += 1;
                 self.metrics.hits.inc();
-                true
+                (true, e.size)
             }
             None => {
                 self.stats.misses += 1;
                 self.metrics.cold_misses.inc();
-                false
+                (false, 1)
             }
+        };
+        if let Some(p) = &mut self.profiler {
+            p.access(key, size);
         }
+        hit
     }
 
     /// SET: installs/updates `key` with `size` bytes, evicting under
@@ -434,6 +460,26 @@ mod tests {
             // With a loop of 200 keys and room for 50, most GETs miss.
             assert!(r.stats().miss_ratio() > 0.5);
         }
+    }
+
+    #[test]
+    fn mrc_profiling_observes_the_get_stream() {
+        let mut r = MiniRedis::new(1_000_000, 5, 10);
+        assert!(r.mrc_profile().is_none());
+        r.enable_mrc_profiling(&KrrConfig::new(5.0).seed(1), 2);
+        for _ in 0..3 {
+            for k in 0..2_000u64 {
+                r.access(&Request::get(k, 100));
+            }
+        }
+        let mrc = r.mrc_profile().expect("profiling enabled");
+        // The trace has reuse, so a large cache must miss less than a
+        // tiny one.
+        assert!(mrc.eval(2_000.0) < mrc.eval(1.0));
+        // The profiler shares the store registry: every GET shows up in
+        // the per-shard counters.
+        let snap = r.metrics().snapshot();
+        assert_eq!(snap.shard_accesses.iter().sum::<u64>(), 6_000);
     }
 
     #[test]

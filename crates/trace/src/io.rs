@@ -2,9 +2,17 @@
 //!
 //! Keeps generated workloads inspectable and lets the bench harness reuse
 //! expensive traces across runs without extra dependencies.
+//!
+//! [`CsvStream`] is the streaming reader: an iterator of requests over any
+//! [`BufRead`] source that reuses one line buffer, so arbitrarily large
+//! trace files can feed the profiling pipeline in constant memory.
+//! [`read_csv`] is the convenience wrapper that collects the stream into a
+//! [`Trace`].
 
 use crate::request::{Op, Request, Trace};
-use std::io::{self, BufRead, Write};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
 
 /// Writes a trace in CSV form (`get|set,key,size` per line).
 pub fn write_csv<W: Write>(mut w: W, trace: &[Request]) -> io::Result<()> {
@@ -18,54 +26,117 @@ pub fn write_csv<W: Write>(mut w: W, trace: &[Request]) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads a trace written by [`write_csv`]. Blank lines and `#` comments are
-/// skipped; malformed lines produce an error naming the line number.
-pub fn read_csv<R: BufRead>(r: R) -> io::Result<Trace> {
-    let mut out = Vec::new();
-    for (lineno, line) in r.lines().enumerate() {
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.split(',');
-        fn parse<'a>(s: Option<&'a str>, what: &str, lineno: usize) -> io::Result<&'a str> {
-            s.map(str::trim).ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {}: missing {what}", lineno + 1),
-                )
-            })
-        }
-        let op = match parse(parts.next(), "op", lineno)? {
-            "get" | "GET" => Op::Get,
-            "set" | "SET" => Op::Set,
-            other => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {}: unknown op {other:?}", lineno + 1),
-                ))
-            }
-        };
-        let key = parse(parts.next(), "key", lineno)?
-            .parse::<u64>()
-            .map_err(|e| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {}: {e}", lineno + 1),
-                )
-            })?;
-        let size = parse(parts.next(), "size", lineno)?
-            .parse::<u32>()
-            .map_err(|e| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {}: {e}", lineno + 1),
-                )
-            })?;
-        out.push(Request { key, size, op });
+/// Streaming CSV trace reader: yields one [`Request`] per data line without
+/// materializing the trace. Blank lines and `#` comments are skipped;
+/// malformed lines yield an error naming the line number, after which the
+/// stream is fused (no further items).
+#[derive(Debug)]
+pub struct CsvStream<R: BufRead> {
+    reader: R,
+    line: String,
+    lineno: usize,
+    done: bool,
+}
+
+impl CsvStream<BufReader<File>> {
+    /// Opens a trace file for streaming.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Self::new(BufReader::new(File::open(path)?)))
     }
-    Ok(out)
+}
+
+impl<R: BufRead> CsvStream<R> {
+    /// Streams requests from any buffered reader.
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            line: String::new(),
+            lineno: 0,
+            done: false,
+        }
+    }
+}
+
+fn parse_line(line: &str, lineno: usize) -> io::Result<Request> {
+    let mut parts = line.split(',');
+    fn field<'a>(s: Option<&'a str>, what: &str, lineno: usize) -> io::Result<&'a str> {
+        s.map(str::trim).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: missing {what}", lineno + 1),
+            )
+        })
+    }
+    let op = match field(parts.next(), "op", lineno)? {
+        "get" | "GET" => Op::Get,
+        "set" | "SET" => Op::Set,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: unknown op {other:?}", lineno + 1),
+            ))
+        }
+    };
+    let key = field(parts.next(), "key", lineno)?
+        .parse::<u64>()
+        .map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+    let size = field(parts.next(), "size", lineno)?
+        .parse::<u32>()
+        .map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+    Ok(Request { key, size, op })
+}
+
+impl<R: BufRead> Iterator for CsvStream<R> {
+    type Item = io::Result<Request>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+            let lineno = self.lineno;
+            self.lineno += 1;
+            let line = self.line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parsed = parse_line(line, lineno);
+            if parsed.is_err() {
+                self.done = true;
+            }
+            return Some(parsed);
+        }
+    }
+}
+
+/// Reads a trace written by [`write_csv`], collecting the whole file in
+/// memory. Blank lines and `#` comments are skipped; malformed lines
+/// produce an error naming the line number. For large files prefer
+/// [`CsvStream`] and feed the iterator straight into the profiler.
+pub fn read_csv<R: BufRead>(r: R) -> io::Result<Trace> {
+    CsvStream::new(r).collect()
 }
 
 #[cfg(test)]
@@ -93,5 +164,30 @@ mod tests {
         assert!(read_csv("frob,1,2\n".as_bytes()).is_err());
         assert!(read_csv("get,notanumber,2\n".as_bytes()).is_err());
         assert!(read_csv("get,1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn stream_yields_incrementally_and_matches_collect() {
+        let text = "get,1,10\n# note\nset,2,20\n\nget,3,30\n";
+        let items: Vec<Request> = CsvStream::new(text.as_bytes())
+            .collect::<io::Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(items, read_csv(text.as_bytes()).unwrap());
+        assert_eq!(items.len(), 3);
+    }
+
+    #[test]
+    fn stream_is_fused_after_error() {
+        let mut s = CsvStream::new("get,1,1\nbogus,2,2\nget,3,3\n".as_bytes());
+        assert!(s.next().unwrap().is_ok());
+        assert!(s.next().unwrap().is_err());
+        assert!(s.next().is_none());
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn error_names_one_based_line_number() {
+        let err = read_csv("get,1,1\n\nget,zzz,3\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "got: {err}");
     }
 }

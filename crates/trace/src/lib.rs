@@ -25,5 +25,6 @@ pub mod twitter;
 pub mod ycsb;
 pub mod zipf;
 
+pub use io::CsvStream;
 pub use request::{stats, Op, Request, Trace, TraceStats};
 pub use zipf::{ScrambledZipf, Zipf};

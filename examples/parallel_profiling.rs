@@ -47,8 +47,9 @@ fn main() {
         );
     }
     println!(
-        "\nnote: each worker scans the whole trace and keeps only its shards' keys, so \
-         single-core machines see scan overhead instead of speedup; accuracy is \
-         thread-count-independent either way (deterministic per-shard seeds)."
+        "\nnote: process_parallel streams through the route-once pipeline — one router \
+         hashes each key once and batches it to the owning shard's worker, so total \
+         routing work is N regardless of thread count; results are bit-identical to \
+         the sequential path (deterministic per-shard order and seeds)."
     );
 }

@@ -7,4 +7,10 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo fmt --check
 
+# Optional perf tracking: KRR_CI_BENCH=1 refreshes BENCH_pipeline.json
+# (sequential vs rescan vs route-once pipeline throughput).
+if [ "${KRR_CI_BENCH:-0}" = "1" ]; then
+    cargo bench -q --offline -p krr-bench --bench pipeline
+fi
+
 echo "ci: OK"

@@ -1,0 +1,177 @@
+//! Integration: the streaming route-once profiling pipeline — edge cases,
+//! bit-identity across entry points, and the route-once hashing guarantee
+//! (total key hashes = N, not T×N).
+
+use std::sync::Arc;
+
+use krr::core::metrics::MetricsRegistry;
+use krr::core::pipeline::PipelineConfig;
+use krr::core::sharded::ShardedKrr;
+use krr::prelude::*;
+use krr::trace::io::CsvStream;
+use krr::trace::{io as trace_io, Request};
+
+fn skewed(keys: u64, n: usize, seed: u64) -> Vec<(u64, u32)> {
+    use krr::core::rng::Xoshiro256;
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u = rng.unit();
+            ((u * u * keys as f64) as u64, 1 + (u * 100.0) as u32)
+        })
+        .collect()
+}
+
+fn sequential(cfg: &KrrConfig, shards: usize, refs: &[(u64, u32)]) -> ShardedKrr {
+    let mut bank = ShardedKrr::new(cfg, shards);
+    for &(k, s) in refs {
+        bank.access(k, s);
+    }
+    bank
+}
+
+#[test]
+fn threads_exceed_shards() {
+    let refs = skewed(3_000, 50_000, 1);
+    let cfg = KrrConfig::new(5.0).seed(1);
+    let seq = sequential(&cfg, 2, &refs);
+    for threads in [3, 8, 64] {
+        let mut par = ShardedKrr::new(&cfg, 2);
+        par.process_stream(refs.iter().copied(), threads);
+        assert_eq!(par.mrc().points(), seq.mrc().points(), "threads={threads}");
+        assert_eq!(par.stats(), seq.stats());
+    }
+}
+
+#[test]
+fn single_shard_bank() {
+    let refs = skewed(2_000, 30_000, 2);
+    let cfg = KrrConfig::new(4.0).seed(2);
+    let seq = sequential(&cfg, 1, &refs);
+    let mut par = ShardedKrr::new(&cfg, 1);
+    par.process_stream(refs.iter().copied(), 4);
+    assert_eq!(par.mrc().points(), seq.mrc().points());
+}
+
+#[test]
+fn empty_trace() {
+    let cfg = KrrConfig::new(5.0).seed(3);
+    let mut bank = ShardedKrr::new(&cfg, 4);
+    bank.process_stream(std::iter::empty(), 4);
+    assert_eq!(bank.stats().processed, 0);
+    let seq = sequential(&cfg, 4, &[]);
+    assert_eq!(bank.mrc().points(), seq.mrc().points());
+}
+
+#[test]
+fn one_reference_trace() {
+    let cfg = KrrConfig::new(5.0).seed(4);
+    let refs = [(77u64, 3u32)];
+    let seq = sequential(&cfg, 4, &refs);
+    let mut par = ShardedKrr::new(&cfg, 4);
+    par.process_stream(refs.iter().copied(), 4);
+    assert_eq!(par.stats().processed, 1);
+    assert_eq!(par.mrc().points(), seq.mrc().points());
+}
+
+#[test]
+fn stream_slice_and_sequential_agree() {
+    let refs = skewed(8_000, 120_000, 5);
+    let cfg = KrrConfig::new(5.0).seed(5);
+    let seq = sequential(&cfg, 6, &refs);
+
+    let mut slice = ShardedKrr::new(&cfg, 6);
+    slice.process_parallel(&refs, 4);
+    assert_eq!(slice.mrc().points(), seq.mrc().points());
+
+    // Stream from actual CSV bytes, exercising the full file path.
+    let trace: Vec<Request> = refs.iter().map(|&(k, s)| Request::get(k, s)).collect();
+    let mut csv = Vec::new();
+    trace_io::write_csv(&mut csv, &trace).unwrap();
+    let mut streamed = ShardedKrr::new(&cfg, 6);
+    streamed.process_stream(
+        CsvStream::new(csv.as_slice()).map(|r| {
+            let r = r.expect("well-formed CSV");
+            (r.key, r.size)
+        }),
+        4,
+    );
+    assert_eq!(streamed.mrc().points(), seq.mrc().points());
+    assert_eq!(streamed.stats(), seq.stats());
+}
+
+#[test]
+fn rescan_baseline_agrees_too() {
+    let refs = skewed(5_000, 80_000, 6);
+    let cfg = KrrConfig::new(4.0).seed(6);
+    let seq = sequential(&cfg, 5, &refs);
+    for threads in [1, 2, 5] {
+        let mut old = ShardedKrr::new(&cfg, 5);
+        old.process_parallel_rescan(&refs, threads);
+        assert_eq!(old.mrc().points(), seq.mrc().points(), "threads={threads}");
+    }
+}
+
+#[test]
+fn route_once_hashes_each_key_exactly_once() {
+    let refs = skewed(4_000, 40_000, 7);
+    let n = refs.len() as u64;
+    let cfg = KrrConfig::new(5.0).seed(7);
+
+    let reg = Arc::new(MetricsRegistry::new());
+    let mut bank = ShardedKrr::new(&cfg, 8);
+    bank.set_metrics(Arc::clone(&reg));
+    bank.process_stream(refs.iter().copied(), 4);
+    assert_eq!(reg.snapshot().pipeline_keys_hashed, n, "pipeline is N");
+
+    // The legacy rescan path re-hashes the whole trace in every worker:
+    // T×N total — the cost the pipeline removes.
+    let reg_old = Arc::new(MetricsRegistry::new());
+    let mut old = ShardedKrr::new(&cfg, 8);
+    old.set_metrics(Arc::clone(&reg_old));
+    old.process_parallel_rescan(&refs, 4);
+    assert_eq!(
+        reg_old.snapshot().pipeline_keys_hashed,
+        4 * n,
+        "rescan is T×N"
+    );
+}
+
+#[test]
+fn pipeline_metrics_flow_to_renderings() {
+    let refs = skewed(4_000, 50_000, 8);
+    let cfg = KrrConfig::new(5.0).seed(8);
+    let reg = Arc::new(MetricsRegistry::new());
+    let mut bank = ShardedKrr::new(&cfg, 4);
+    bank.set_metrics(Arc::clone(&reg));
+    // Small batches so multiple batches (and likely stalls) occur.
+    bank.process_stream_with(
+        refs.iter().copied(),
+        2,
+        &PipelineConfig {
+            batch_size: 256,
+            queue_depth: 1,
+        },
+    );
+    let snap = reg.snapshot();
+    assert!(
+        snap.pipeline_batches >= 4,
+        "batches: {}",
+        snap.pipeline_batches
+    );
+    assert_eq!(snap.pipeline_keys_hashed, refs.len() as u64);
+    assert_eq!(snap.pipeline_queue_hwm.len(), 4);
+    assert!(snap.pipeline_queue_hwm.iter().all(|&d| d >= 1));
+    assert!(snap.pipeline_router_busy_ns > 0);
+    assert!(snap.pipeline_worker_busy_ns > 0);
+    // Per-shard access counters cover the whole trace.
+    assert_eq!(snap.shard_accesses.iter().sum::<u64>(), refs.len() as u64);
+    let info = snap.render_info();
+    assert!(info.contains("# pipeline"), "{info}");
+    assert!(
+        info.contains(&format!("keys_hashed:{}", refs.len())),
+        "{info}"
+    );
+    let json = snap.to_json();
+    assert!(json.contains("\"pipeline\":{\"batches\":"), "{json}");
+}

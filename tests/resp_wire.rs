@@ -128,12 +128,60 @@ fn info_exposes_metrics_sections() {
         "# updater",
         "# latency",
         "# shards",
+        "# pipeline",
         "# eviction",
     ] {
         assert!(info.contains(section), "{section} missing from\n{info}");
     }
     assert_eq!(info_field(&info, "accesses"), 400);
     assert!(info_field(&info, "evictions") > 0, "{info}");
+    server.shutdown();
+}
+
+#[test]
+fn pipeline_metrics_exposed_over_the_wire() {
+    // A store with online MRC profiling exposes the profiler's shard and
+    // pipeline counters through the same INFO/METRICS endpoints.
+    let mut store = MiniRedis::new(100_000, 5, 13);
+    store.enable_mrc_profiling(&KrrConfig::new(5.0).seed(2), 4);
+    let mut server = Server::start(store).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for i in 0..300u64 {
+        client.access(i % 90, 50).unwrap();
+    }
+    let info = client.info().unwrap();
+    assert!(info.contains("# pipeline"), "{info}");
+    for field in [
+        "batches",
+        "stalls",
+        "keys_hashed",
+        "router_busy_ns",
+        "worker_busy_ns",
+    ] {
+        let _ = info_field(&info, field);
+    }
+    assert!(info.contains("queue_depth_hwm:"), "{info}");
+    // The profiler feeds through the sequential path here, so the shard
+    // counters are live while the pipeline counters stay zero.
+    let json = client.metrics().unwrap();
+    assert!(json.contains("\"pipeline\":{\"batches\":"), "{json}");
+    assert!(json.contains("\"queue_depth_hwm\":["), "{json}");
+    let shard_total: u64 = {
+        // The model section's "accesses" is scalar; only the shards
+        // section carries "accesses":[...].
+        let pat = "\"accesses\":[";
+        let at = json.find(pat).map(|i| i + pat.len());
+        at.map_or(0, |i| {
+            json[i..]
+                .split(']')
+                .next()
+                .unwrap_or("")
+                .split(',')
+                .filter_map(|v| v.parse::<u64>().ok())
+                .sum()
+        })
+    };
+    assert_eq!(shard_total, 300, "{json}");
     server.shutdown();
 }
 
