@@ -10,6 +10,8 @@
 //!   HyperLogLogs (related-work extension, §6.1).
 //! * [`statstack`] — StatStack's expected-stack-distance model (§6.1).
 //! * [`mimir`] — MIMIR's bucketed LRU stack (§6.1).
+//! * [`watchdog`] — online accuracy watchdog: a spatially-sampled shadow
+//!   Olken profiler that tracks a live KRR model's drift.
 //!
 //! All of these model *exact* LRU; the paper's point (Fig 5.2a) is that for
 //! Type A workloads and small K they misestimate a K-LRU cache badly, which
@@ -26,6 +28,7 @@ pub mod olken;
 pub mod ostree;
 pub mod shards;
 pub mod statstack;
+pub mod watchdog;
 
 pub use aet::Aet;
 pub use counterstacks::CounterStacks;
@@ -35,3 +38,4 @@ pub use olken::OlkenLru;
 pub use ostree::OsTreap;
 pub use shards::{Shards, ShardsMax};
 pub use statstack::StatStack;
+pub use watchdog::{AccuracyWatchdog, WatchdogConfig, WatchdogReport};

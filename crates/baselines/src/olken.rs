@@ -71,6 +71,14 @@ impl OlkenLru {
         Mrc::from_histogram(&self.hist, 1.0)
     }
 
+    /// The MRC with the size axis expanded by `scale` — for a shadow
+    /// profiler fed a spatial sample at rate `R`, pass `1/R` to express
+    /// cache sizes at full-trace scale (the SHARDS construction).
+    #[must_use]
+    pub fn mrc_scaled(&self, scale: f64) -> Mrc {
+        Mrc::from_histogram(&self.hist, scale)
+    }
+
     /// The stack-distance histogram.
     #[must_use]
     pub fn histogram(&self) -> &SdHistogram {

@@ -1,0 +1,84 @@
+//! Tracing-overhead gate for the flight recorder: identical stack-update
+//! workloads with the recorder detached vs attached must stay within 5%
+//! of each other, since the recorder samples spans 1-in-16 and a disabled
+//! recorder compiles down to a branch on `None`. Also measures the raw
+//! cost of one `record()` (four relaxed atomic stores) and of draining a
+//! full ring to Chrome JSON, and writes `BENCH_obs.json` at the repo root
+//! for CI perf tracking (`KRR_CI_BENCH=1` in scripts/ci.sh).
+
+use krr_bench::microbench::Suite;
+use krr_core::obs::{FlightRecorder, Phase};
+use krr_core::rng::Xoshiro256;
+use krr_core::{KrrConfig, KrrModel};
+use std::fmt::Write as _;
+
+const OVERHEAD_LIMIT_PCT: f64 = 5.0;
+
+fn model_trace() -> Vec<u64> {
+    let z = krr_trace::Zipf::new(100_000, 0.9);
+    let mut rng = Xoshiro256::seed_from_u64(3);
+    (0..200_000).map(|_| z.sample(&mut rng)).collect()
+}
+
+/// One full model pass; the recorder (when present) traces the same
+/// stack updates `krr --trace-out` would.
+fn run_model(trace: &[u64], recorder: Option<&FlightRecorder>) -> u64 {
+    let mut m = KrrModel::new(KrrConfig::new(5.0).seed(4));
+    if let Some(rec) = recorder {
+        m.set_recorder(rec.register("bench-model"));
+    }
+    for &key in trace {
+        m.access_key(key);
+    }
+    m.histogram().total()
+}
+
+fn main() {
+    let mut suite = Suite::new("obs");
+    let trace = model_trace();
+    suite.throughput(trace.len() as u64);
+
+    let off = suite.bench("model/recorder=off/K=5", || run_model(&trace, None));
+    let recorder = FlightRecorder::new();
+    let on = suite.bench("model/recorder=on/K=5", || {
+        run_model(&trace, Some(&recorder))
+    });
+    let overhead = (on.median_ns / off.median_ns - 1.0) * 100.0;
+    println!(
+        "tracing overhead: {overhead:+.2}% (median {:.0} -> {:.0} ns, limit {OVERHEAD_LIMIT_PCT}%)",
+        off.median_ns, on.median_ns
+    );
+
+    // Raw recorder primitives, for the numbers in DESIGN.md §11.
+    suite.throughput(1);
+    let ring = FlightRecorder::new();
+    let rec = ring.register("raw");
+    let mut arg = 0u64;
+    let record = suite.bench("record/span", || {
+        arg = arg.wrapping_add(1);
+        rec.record(Phase::StackUpdate, arg, 17, arg);
+    });
+    let drain = suite.bench("drain/chrome_json", || ring.chrome_trace_json().len());
+    suite.finish();
+
+    let mut json = String::from("{\"schema\":\"krr-bench-obs-v1\",");
+    let _ = write!(
+        json,
+        "\"refs\":{},\"recorder_off_ns\":{:.1},\"recorder_on_ns\":{:.1},\
+         \"overhead_pct\":{overhead:.3},\"overhead_limit_pct\":{OVERHEAD_LIMIT_PCT},\
+         \"record_span_ns\":{:.1},\"drain_full_ring_ns\":{:.1}}}",
+        trace.len(),
+        off.median_ns,
+        on.median_ns,
+        record.median_ns,
+        drain.median_ns,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(out, &json).expect("write BENCH_obs.json");
+    println!("wrote {out}\n");
+
+    assert!(
+        overhead < OVERHEAD_LIMIT_PCT,
+        "flight-recorder overhead {overhead:.2}% exceeds the {OVERHEAD_LIMIT_PCT}% budget"
+    );
+}

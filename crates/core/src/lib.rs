@@ -33,6 +33,8 @@
 //! * [`sharded`] — thread-parallel profiling over hash shards.
 //! * [`pipeline`] — streaming route-once batched router/worker pipeline.
 //! * [`metrics`] — lock-free counters/histograms observing the pipeline.
+//! * [`obs`] — flight-recorder span tracing (Chrome trace export) and the
+//!   windowed stats timeline.
 //! * [`persist`] — plain-text persistence for histograms, MRCs and
 //!   metrics snapshots.
 //! * [`rng`] / [`hashing`] — deterministic RNG and key hashing substrate.
@@ -45,6 +47,7 @@ pub mod histogram;
 pub mod metrics;
 pub mod model;
 pub mod mrc;
+pub mod obs;
 pub mod partition;
 pub mod persist;
 pub mod pipeline;
@@ -61,6 +64,7 @@ pub use histogram::SdHistogram;
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use model::{KrrConfig, KrrModel, ModelStats, SizeMode};
 pub use mrc::{even_sizes, Mrc};
+pub use obs::{FlightRecorder, Phase, SpanEvent, StatsTimeline, ThreadRecorder};
 pub use pipeline::PipelineConfig;
 pub use sampling::SpatialFilter;
 pub use sharded::{shard_of_hash, ShardedKrr};

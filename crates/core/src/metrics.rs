@@ -68,6 +68,33 @@ impl Counter {
     }
 }
 
+/// A last-value-wins gauge (`Relaxed` store/load). Unlike a [`Counter`] it
+/// can move both ways — used for live readings such as the accuracy
+/// watchdog's current MAE.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Overwrites the current value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// A log2-bucketed histogram of `u64` values (chain lengths, scan counts,
 /// nanosecond latencies, candidate ages). Recording is 4 `Relaxed` RMWs.
 #[derive(Debug)]
@@ -190,6 +217,21 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// Windowed difference `self - earlier` for two snapshots of the same
+    /// histogram: bucket counts, count and sum subtract (saturating, so a
+    /// mismatched pair degrades to zeros instead of wrapping); `max` stays
+    /// the absolute maximum, since a windowed max is not recoverable from
+    /// two cumulative snapshots. Used by the stats timeline.
+    #[must_use]
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
+    }
+
     /// `(bucket_upper_bound, count)` for occupied buckets.
     #[must_use]
     pub fn occupied(&self) -> Vec<(u64, u64)> {
@@ -256,6 +298,15 @@ pub struct MetricsRegistry {
     pub pipeline_router_busy_ns: Counter,
     /// Total nanoseconds workers spent draining batches into shard models.
     pub pipeline_worker_busy_ns: Counter,
+    /// Shadow-vs-KRR comparisons performed by the accuracy watchdog.
+    pub watchdog_checks: Counter,
+    /// References admitted into the watchdog's shadow Olken profiler.
+    pub watchdog_shadow_refs: Counter,
+    /// Checks whose MAE exceeded the configured drift threshold.
+    pub watchdog_drift_events: Counter,
+    /// Latest MAE between the KRR MRC and the shadow Olken MRC, in parts
+    /// per million of miss ratio (MAE 0.0123 → 12300).
+    pub watchdog_mae_ppm: Gauge,
     shard_accesses: OnceLock<Box<[Counter]>>,
     queue_hwm: OnceLock<Box<[AtomicU64]>>,
 }
@@ -349,6 +400,10 @@ impl MetricsRegistry {
             pipeline_router_busy_ns: self.pipeline_router_busy_ns.get(),
             pipeline_worker_busy_ns: self.pipeline_worker_busy_ns.get(),
             pipeline_queue_hwm: self.queue_depth_hwm(),
+            watchdog_checks: self.watchdog_checks.get(),
+            watchdog_shadow_refs: self.watchdog_shadow_refs.get(),
+            watchdog_drift_events: self.watchdog_drift_events.get(),
+            watchdog_mae_ppm: self.watchdog_mae_ppm.get(),
         }
     }
 }
@@ -393,6 +448,14 @@ pub struct MetricsSnapshot {
     pub pipeline_worker_busy_ns: u64,
     /// Per-shard queue-depth high-water marks (empty when unsharded).
     pub pipeline_queue_hwm: Vec<u64>,
+    /// See [`MetricsRegistry::watchdog_checks`].
+    pub watchdog_checks: u64,
+    /// See [`MetricsRegistry::watchdog_shadow_refs`].
+    pub watchdog_shadow_refs: u64,
+    /// See [`MetricsRegistry::watchdog_drift_events`].
+    pub watchdog_drift_events: u64,
+    /// See [`MetricsRegistry::watchdog_mae_ppm`].
+    pub watchdog_mae_ppm: u64,
 }
 
 impl MetricsSnapshot {
@@ -487,6 +550,14 @@ impl MetricsSnapshot {
             let _ = write!(s, "{c}");
         }
         s.push_str("\r\n");
+        let _ = write!(
+            s,
+            "# watchdog\r\nchecks:{}\r\nshadow_refs:{}\r\ndrift_events:{}\r\nmae_ppm:{}\r\n",
+            self.watchdog_checks,
+            self.watchdog_shadow_refs,
+            self.watchdog_drift_events,
+            self.watchdog_mae_ppm
+        );
         let _ = write!(s, "# eviction\r\nevictions:{}\r\n", self.evictions);
         hist(&mut s, "candidate_age", &self.candidate_age);
         s
@@ -561,6 +632,14 @@ impl MetricsSnapshot {
             let _ = write!(s, "{c}");
         }
         s.push_str("]},");
+        let _ = write!(
+            s,
+            "\"watchdog\":{{\"checks\":{},\"shadow_refs\":{},\"drift_events\":{},\"mae_ppm\":{}}},",
+            self.watchdog_checks,
+            self.watchdog_shadow_refs,
+            self.watchdog_drift_events,
+            self.watchdog_mae_ppm
+        );
         let _ = write!(
             s,
             "\"eviction\":{{\"evictions\":{},\"candidate_age\":{}}}",
@@ -687,6 +766,58 @@ mod tests {
     }
 
     #[test]
+    fn gauge_overwrites_both_ways() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.set(500);
+        assert_eq!(g.get(), 500);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_delta_is_windowed() {
+        let h = LogHistogram::new();
+        h.record(4);
+        h.record(100);
+        let early = h.snapshot();
+        h.record(2);
+        h.record(2);
+        let late = h.snapshot();
+        let d = late.delta(&early);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 4);
+        assert_eq!(d.buckets[bucket_of(2)], 2);
+        assert_eq!(d.buckets[bucket_of(100)], 0);
+        // max stays absolute — the window's own max is unrecoverable.
+        assert_eq!(d.max, 100);
+        // Degenerate (swapped) pair saturates to zero instead of wrapping.
+        let swapped = early.delta(&late);
+        assert_eq!(swapped.count, 0);
+        assert_eq!(swapped.sum, 0);
+    }
+
+    #[test]
+    fn watchdog_fields_flow_to_renderings() {
+        let reg = MetricsRegistry::new();
+        reg.watchdog_checks.add(4);
+        reg.watchdog_shadow_refs.add(123);
+        reg.watchdog_drift_events.inc();
+        reg.watchdog_mae_ppm.set(7700);
+        let snap = reg.snapshot();
+        assert_eq!(snap.watchdog_checks, 4);
+        assert_eq!(snap.watchdog_mae_ppm, 7700);
+        let info = snap.render_info();
+        assert!(info.contains("# watchdog"));
+        assert!(info.contains("mae_ppm:7700"));
+        assert!(info.contains("drift_events:1"));
+        let json = snap.to_json();
+        assert!(json.contains(
+            "\"watchdog\":{\"checks\":4,\"shadow_refs\":123,\"drift_events\":1,\"mae_ppm\":7700}"
+        ));
+    }
+
+    #[test]
     fn info_and_json_renderings_contain_sections() {
         let reg = MetricsRegistry::new();
         reg.accesses.add(3);
@@ -702,6 +833,7 @@ mod tests {
             "# latency",
             "# shards",
             "# pipeline",
+            "# watchdog",
             "# eviction",
         ] {
             assert!(info.contains(section), "{section} missing from\n{info}");

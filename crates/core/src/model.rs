@@ -8,6 +8,7 @@
 use crate::histogram::SdHistogram;
 use crate::metrics::MetricsRegistry;
 use crate::mrc::Mrc;
+use crate::obs::{Phase, ThreadRecorder, DEEP_CHAIN_THRESHOLD};
 use crate::prob::k_prime;
 use crate::sampling::SpatialFilter;
 use crate::sizearray::SizeArray;
@@ -145,7 +146,7 @@ fn krr_sizearray_bytes(sa: &SizeArray) -> usize {
 }
 
 /// One-pass K-LRU MRC profiler.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct KrrModel {
     config: KrrConfig,
     filter: SpatialFilter,
@@ -155,6 +156,25 @@ pub struct KrrModel {
     processed: u64,
     sampled: u64,
     metrics: Option<Arc<MetricsRegistry>>,
+    recorder: Option<ThreadRecorder>,
+}
+
+impl Clone for KrrModel {
+    /// Clones the model state. The flight-recorder handle is NOT cloned
+    /// (a ring has exactly one writer); the clone starts detached.
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config.clone(),
+            filter: self.filter.clone(),
+            stack: self.stack.clone(),
+            sizes: self.sizes.clone(),
+            hist: self.hist.clone(),
+            processed: self.processed,
+            sampled: self.sampled,
+            metrics: self.metrics.clone(),
+            recorder: None,
+        }
+    }
 }
 
 /// What happened to one reference inside [`KrrModel::access`]; feeds the
@@ -189,6 +209,7 @@ impl KrrModel {
             processed: 0,
             sampled: 0,
             metrics: None,
+            recorder: None,
         }
     }
 
@@ -202,6 +223,22 @@ impl KrrModel {
     #[must_use]
     pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
         self.metrics.as_ref()
+    }
+
+    /// Attaches a flight-recorder handle; subsequent stack updates record
+    /// sampled [`Phase::StackUpdate`] spans (1 in 16) and unconditional
+    /// [`Phase::DeepUpdate`] markers for swap chains reaching
+    /// [`DEEP_CHAIN_THRESHOLD`]. Tracing observes the model without
+    /// touching its state, RNG, or reference order — the MRC is
+    /// bit-identical with or without a recorder. The default (detached)
+    /// hot path costs one branch.
+    pub fn set_recorder(&mut self, recorder: ThreadRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detaches and returns the flight-recorder handle, if any.
+    pub fn take_recorder(&mut self) -> Option<ThreadRecorder> {
+        self.recorder.take()
     }
 
     /// The configuration in use.
@@ -223,32 +260,52 @@ impl KrrModel {
     /// not hash a second time. `key_hash` MUST equal `hash_key(key)` —
     /// anything else silently corrupts the spatial sample.
     pub fn access_hashed(&mut self, key: u64, size: u32, key_hash: u64) {
-        if self.metrics.is_none() {
+        if self.metrics.is_none() && self.recorder.is_none() {
             self.access_inner(key, size, key_hash);
             return;
         }
         // Timing is sampled 1-in-64: the clock read costs about as much as
         // a shallow update itself, so timing every access would violate the
-        // <=5% overhead budget the metrics layer is held to.
-        let timed = self.processed & 63 == 0;
+        // <=5% overhead budget the metrics layer is held to. Traced stack
+        // updates are sampled 1-in-16 for the same reason — a span costs
+        // two clock reads — with deep chains always marked (clock read
+        // only on the rare deep path).
+        let timed = self.metrics.is_some() && self.processed & 63 == 0;
         let t0 = timed.then(std::time::Instant::now);
+        let traced = self.processed & 15 == 0;
+        let r0 = if traced {
+            self.recorder.as_ref().map(ThreadRecorder::now_ns)
+        } else {
+            None
+        };
         let outcome = self.access_inner(key, size, key_hash);
-        let m = self.metrics.as_ref().expect("checked above");
-        m.accesses.inc();
-        match outcome {
-            Outcome::Filtered => m.spatial_rejected.inc(),
-            Outcome::Hit | Outcome::Cold => {
-                if matches!(outcome, Outcome::Hit) {
-                    m.hits.inc();
-                } else {
-                    m.cold_misses.inc();
+        if let Some(m) = self.metrics.as_ref() {
+            m.accesses.inc();
+            match outcome {
+                Outcome::Filtered => m.spatial_rejected.inc(),
+                Outcome::Hit | Outcome::Cold => {
+                    if matches!(outcome, Outcome::Hit) {
+                        m.hits.inc();
+                    } else {
+                        m.cold_misses.inc();
+                    }
+                    m.chain_len.record(self.stack.last_chain().len() as u64);
+                    m.positions_scanned.record(self.stack.last_scanned());
                 }
-                m.chain_len.record(self.stack.last_chain().len() as u64);
-                m.positions_scanned.record(self.stack.last_scanned());
+            }
+            if let Some(t0) = t0 {
+                m.access_ns.record(t0.elapsed().as_nanos() as u64);
             }
         }
-        if let Some(t0) = t0 {
-            m.access_ns.record(t0.elapsed().as_nanos() as u64);
+        if let Some(rec) = self.recorder.as_ref() {
+            if !matches!(outcome, Outcome::Filtered) {
+                let chain = self.stack.last_chain().len() as u64;
+                if let Some(r0) = r0 {
+                    rec.record_since(Phase::StackUpdate, r0, chain);
+                } else if chain >= DEEP_CHAIN_THRESHOLD {
+                    rec.mark(Phase::DeepUpdate, chain);
+                }
+            }
         }
     }
 

@@ -47,6 +47,7 @@ use std::time::Instant;
 use crate::hashing::hash_key;
 use crate::metrics::MetricsRegistry;
 use crate::model::KrrModel;
+use crate::obs::{FlightRecorder, Phase};
 use crate::sharded::shard_of_hash;
 
 /// Tuning knobs for the streaming pipeline.
@@ -89,6 +90,7 @@ pub(crate) fn run<I>(
     threads: usize,
     cfg: &PipelineConfig,
     metrics: Option<&Arc<MetricsRegistry>>,
+    recorder: Option<&Arc<FlightRecorder>>,
 ) -> Vec<KrrModel>
 where
     I: Iterator<Item = (u64, u32)>,
@@ -124,17 +126,23 @@ where
         let handles: Vec<_> = groups
             .into_iter()
             .zip(receivers.iter_mut())
-            .map(|(mut group, rx)| {
+            .enumerate()
+            .map(|(w, (mut group, rx))| {
                 let rx = rx.take().expect("receiver consumed once");
                 let recycle_tx = recycle_tx.clone();
                 let metrics = metrics.cloned();
+                let rec = recorder.map(|r| r.register(&format!("worker-{w}")));
                 scope.spawn(move || {
                     let mut busy_ns = 0u64;
                     for batch in rx {
                         let t0 = Instant::now();
+                        let r0 = rec.as_ref().map(|r| r.now_ns());
                         let model = &mut group[batch.shard / threads];
                         for &(key, size, h) in &batch.refs {
                             model.access_hashed(key, size, h);
+                        }
+                        if let (Some(r), Some(r0)) = (&rec, r0) {
+                            r.record_since(Phase::WorkerBatch, r0, batch.refs.len() as u64);
                         }
                         depth[batch.shard].fetch_sub(1, Ordering::Relaxed);
                         if let Some(reg) = &metrics {
@@ -155,6 +163,7 @@ where
 
         // ---- Router (this thread) ----
         let t_router = Instant::now();
+        let router_rec = recorder.map(|r| r.register("router"));
         let mut buffers: Vec<Vec<(u64, u32, u64)>> = (0..n_shards)
             .map(|_| Vec::with_capacity(batch_size))
             .collect();
@@ -167,16 +176,24 @@ where
                 reg.record_queue_depth(s, d);
             }
             batches += 1;
+            let b0 = router_rec.as_ref().map(|r| r.now_ns());
             match senders[s % threads].try_send(Batch { shard: s, refs }) {
                 Ok(()) => {}
                 Err(TrySendError::Full(b)) => {
                     stalls += 1;
+                    let s0 = router_rec.as_ref().map(|r| r.now_ns());
                     senders[s % threads].send(b).expect("worker disappeared");
+                    if let (Some(r), Some(s0)) = (&router_rec, s0) {
+                        r.record_since(Phase::RouterStall, s0, s as u64);
+                    }
                 }
                 Err(TrySendError::Disconnected(_)) => {
                     // A worker panicked; the scope will propagate it.
                     panic!("pipeline worker disconnected");
                 }
+            }
+            if let (Some(r), Some(b0)) = (&router_rec, b0) {
+                r.record_since(Phase::RouterBatch, b0, s as u64);
             }
         };
         for (key, size) in refs {

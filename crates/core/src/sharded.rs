@@ -31,6 +31,7 @@ use crate::histogram::SdHistogram;
 use crate::metrics::MetricsRegistry;
 use crate::model::{KrrConfig, KrrModel, ModelStats};
 use crate::mrc::Mrc;
+use crate::obs::{FlightRecorder, Phase, ThreadRecorder};
 use crate::pipeline::{self, PipelineConfig};
 
 /// Maps an already-computed [`hash_key`] value to its owning shard.
@@ -45,11 +46,28 @@ pub fn shard_of_hash(key_hash: u64, n_shards: usize) -> usize {
 }
 
 /// A bank of per-shard KRR models covering the whole key space.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ShardedKrr {
     shards: Vec<KrrModel>,
     config: KrrConfig,
     metrics: Option<Arc<MetricsRegistry>>,
+    recorder: Option<Arc<FlightRecorder>>,
+    merge_recorder: Option<ThreadRecorder>,
+}
+
+impl Clone for ShardedKrr {
+    /// Clones the bank's model state. Flight-recorder handles are NOT
+    /// cloned (each ring has one writer); the clone starts detached —
+    /// call [`ShardedKrr::set_recorder`] again to re-attach.
+    fn clone(&self) -> Self {
+        Self {
+            shards: self.shards.clone(),
+            config: self.config.clone(),
+            metrics: self.metrics.clone(),
+            recorder: None,
+            merge_recorder: None,
+        }
+    }
 }
 
 impl ShardedKrr {
@@ -69,6 +87,8 @@ impl ShardedKrr {
             shards,
             config: config.clone(),
             metrics: None,
+            recorder: None,
+            merge_recorder: None,
         }
     }
 
@@ -80,6 +100,19 @@ impl ShardedKrr {
             s.set_metrics(Arc::clone(&metrics));
         }
         self.metrics = Some(metrics);
+    }
+
+    /// Attaches a flight recorder: each shard model gets its own
+    /// `shard-<i>` ring (stack-update spans), histogram merges record
+    /// [`Phase::Merge`] spans on a `merge` ring, and pipeline runs
+    /// register `router`/`worker-<w>` rings. Tracing is strictly
+    /// observational — MRCs stay bit-identical with or without it.
+    pub fn set_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            s.set_recorder(recorder.register(&format!("shard-{i}")));
+        }
+        self.merge_recorder = Some(recorder.register("merge"));
+        self.recorder = Some(recorder);
     }
 
     /// Number of shards.
@@ -134,7 +167,14 @@ impl ShardedKrr {
         I: Iterator<Item = (u64, u32)>,
     {
         let shards = std::mem::take(&mut self.shards);
-        self.shards = pipeline::run(shards, refs, threads, cfg, self.metrics.as_ref());
+        self.shards = pipeline::run(
+            shards,
+            refs,
+            threads,
+            cfg,
+            self.metrics.as_ref(),
+            self.recorder.as_ref(),
+        );
     }
 
     /// The pre-pipeline parallel path, kept as a benchmark baseline: every
@@ -218,6 +258,7 @@ impl ShardedKrr {
     #[must_use]
     pub fn mrc(&self) -> Mrc {
         let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
+        let r0 = self.merge_recorder.as_ref().map(ThreadRecorder::now_ns);
         let mut merged = SdHistogram::new(self.config.bin_width);
         for s in &self.shards {
             merged.merge(s.histogram());
@@ -225,6 +266,9 @@ impl ShardedKrr {
         if let (Some(m), Some(t0)) = (&self.metrics, t0) {
             m.merges.inc();
             m.merge_ns.add(t0.elapsed().as_nanos() as u64);
+        }
+        if let (Some(r), Some(r0)) = (&self.merge_recorder, r0) {
+            r.record_since(Phase::Merge, r0, self.shards.len() as u64);
         }
         let st = self.stats();
         let rate = self.shards.first().map_or(1.0, KrrModel::sampling_rate);

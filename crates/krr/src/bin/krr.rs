@@ -56,9 +56,14 @@ USAGE:
   krr stats <trace.csv>
   krr model [--k K] [--rate R] [--updater backward|topdown|naive]
             [--bytes] [--seed X] [--shards S] [--threads T] [--metrics]
-            [--metrics-out FILE] (<trace.csv> | --workload <spec> ...)
+            [--metrics-out FILE] [--trace-out FILE]
+            [--stats-every N] [--stats-out FILE]
+            (<trace.csv> | --workload <spec> ...)
             (with --shards > 1, trace files are streamed through the
-             route-once pipeline and never fully materialized)
+             route-once pipeline and never fully materialized;
+             --trace-out dumps a Chrome trace for ui.perfetto.dev,
+             --stats-every/--stats-out emit a krr-stats-v1 JSONL
+             timeline of windowed metric deltas)
   krr simulate [--policy lru|klru:K|klfu:K] [--sizes N] [--bytes]
                (<trace.csv> | --workload <spec> ...)
   krr compare [--k K] [--sizes N] (<trace.csv> | --workload <spec> ...)
@@ -257,8 +262,34 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
     if shards == 0 {
         return Err("--shards must be >= 1".into());
     }
-    let want_metrics = f.flag("metrics") || f.get("metrics-out").is_some();
+    let trace_out = f.get("trace-out").map(str::to_string);
+    let stats_out = f.get("stats-out").map(str::to_string);
+    let mut stats_every: u64 = f.num("stats-every", 0u64)?;
+    if stats_out.is_some() && stats_every == 0 {
+        stats_every = 100_000;
+    }
+    let want_metrics = f.flag("metrics") || f.get("metrics-out").is_some() || stats_every > 0;
     let registry = want_metrics.then(|| std::sync::Arc::new(krr::core::MetricsRegistry::new()));
+    let recorder = trace_out
+        .as_ref()
+        .map(|_| std::sync::Arc::new(krr::core::FlightRecorder::new()));
+    let mut timeline: Option<krr::core::StatsTimeline<Box<dyn Write>>> = if stats_every > 0 {
+        let reg = registry.as_ref().expect("stats imply a registry");
+        let out: Box<dyn Write> = match &stats_out {
+            Some(path) => {
+                let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+                Box::new(std::io::BufWriter::new(file))
+            }
+            None => Box::new(std::io::stderr()),
+        };
+        Some(krr::core::StatsTimeline::new(
+            std::sync::Arc::clone(reg),
+            out,
+            stats_every,
+        ))
+    } else {
+        None
+    };
     let default_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -266,31 +297,56 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
     if threads == 0 {
         return Err("--threads must be >= 1".into());
     }
+    // References seen so far; drives the stats timeline windows.
+    let mut seen: u64 = 0;
+    let mut stats_err: Option<std::io::Error> = None;
     let t0 = std::time::Instant::now();
     let (mrc, st) = if shards > 1 {
         let mut bank = krr::core::sharded::ShardedKrr::new(&cfg, shards);
         if let Some(reg) = &registry {
             bank.set_metrics(std::sync::Arc::clone(reg));
         }
+        if let Some(rec) = &recorder {
+            bank.set_recorder(std::sync::Arc::clone(rec));
+        }
+        let tick = |seen: &mut u64,
+                    timeline: &mut Option<krr::core::StatsTimeline<Box<dyn Write>>>,
+                    stats_err: &mut Option<std::io::Error>| {
+            *seen += 1;
+            if let Some(t) = timeline.as_mut() {
+                if let Err(e) = t.offer(*seen) {
+                    stats_err.get_or_insert(e);
+                }
+            }
+        };
         if let Some(path) = f.positional.first() {
             // Stream the file straight into the pipeline: the trace is
             // never materialized, so file size doesn't bound memory.
-            let stream = trace_io::CsvStream::open(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut stream = trace_io::CsvStream::open(path).map_err(|e| format!("{path}: {e}"))?;
+            if let Some(rec) = &recorder {
+                stream = stream.with_recorder(rec.register("csv-reader"), 0);
+            }
             let mut read_err = None;
-            let refs = stream.map_while(|res| match res {
-                Ok(r) => Some((r.key, r.size)),
-                Err(e) => {
-                    read_err = Some(e);
-                    None
-                }
-            });
+            let refs = stream
+                .map_while(|res| match res {
+                    Ok(r) => Some((r.key, r.size)),
+                    Err(e) => {
+                        read_err = Some(e);
+                        None
+                    }
+                })
+                .inspect(|_| tick(&mut seen, &mut timeline, &mut stats_err));
             bank.process_stream(refs, threads);
             if let Some(e) = read_err {
                 return Err(e.to_string());
             }
         } else {
             let trace = load_trace(&f)?;
-            bank.process_stream(trace.iter().map(|r| (r.key, r.size)), threads);
+            let refs = trace
+                .iter()
+                .map(|r| (r.key, r.size))
+                .inspect(|_| tick(&mut seen, &mut timeline, &mut stats_err));
+            bank.process_stream(refs, threads);
         }
         (bank.mrc(), bank.stats())
     } else {
@@ -299,11 +355,28 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
         if let Some(reg) = &registry {
             model.set_metrics(std::sync::Arc::clone(reg));
         }
+        if let Some(rec) = &recorder {
+            model.set_recorder(rec.register("model"));
+        }
         for r in &trace {
             model.access(r.key, r.size);
+            seen += 1;
+            if let Some(t) = timeline.as_mut() {
+                if let Err(e) = t.offer(seen) {
+                    stats_err.get_or_insert(e);
+                }
+            }
         }
         (model.mrc(), model.stats())
     };
+    if let Some(t) = timeline.as_mut() {
+        if let Err(e) = t.finish(seen) {
+            stats_err.get_or_insert(e);
+        }
+    }
+    if let Some(e) = stats_err {
+        return Err(format!("stats timeline: {e}"));
+    }
     let elapsed = t0.elapsed();
     let mut out = std::io::BufWriter::new(std::io::stdout().lock());
     let _ = writeln!(out, "cache_size,miss_ratio");
@@ -341,6 +414,17 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             eprintln!("wrote metrics snapshot to {path}");
         }
+    }
+    if let Some(t) = &timeline {
+        if let Some(path) = &stats_out {
+            eprintln!("wrote {} stats rows to {path}", t.rows());
+        }
+    }
+    if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        rec.write_chrome_trace(std::io::BufWriter::new(file))
+            .map_err(|e| e.to_string())?;
+        eprintln!("wrote Chrome trace to {path} (open it in ui.perfetto.dev)");
     }
     Ok(())
 }

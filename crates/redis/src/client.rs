@@ -99,6 +99,73 @@ impl Client {
         }
     }
 
+    /// `TRACE DUMP` — the server's flight-recorder rings as Chrome
+    /// trace-event JSON (load it in Perfetto or `chrome://tracing`).
+    pub fn trace_dump(&mut self) -> io::Result<String> {
+        match self.raw(&[b"TRACE", b"DUMP"])? {
+            Value::Bulk(Some(data)) => {
+                String::from_utf8(data).map_err(|e| io::Error::other(e.to_string()))
+            }
+            Value::Error(e) => Err(io::Error::other(e)),
+            other => Err(io::Error::other(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// `SLOWLOG LEN`.
+    pub fn slowlog_len(&mut self) -> io::Result<i64> {
+        match self.raw(&[b"SLOWLOG", b"LEN"])? {
+            Value::Integer(n) => Ok(n),
+            Value::Error(e) => Err(io::Error::other(e)),
+            other => Err(io::Error::other(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// `SLOWLOG RESET`.
+    pub fn slowlog_reset(&mut self) -> io::Result<()> {
+        let reply = self.raw(&[b"SLOWLOG", b"RESET"])?;
+        self.expect_ok(reply)
+    }
+
+    /// `SLOWLOG GET` — newest-first entries as
+    /// `(id, start_µs_since_server_start, duration_µs, argv)`.
+    #[allow(clippy::type_complexity)]
+    pub fn slowlog_get(&mut self) -> io::Result<Vec<(i64, i64, i64, Vec<Vec<u8>>)>> {
+        let Value::Array(items) = self.raw(&[b"SLOWLOG", b"GET"])? else {
+            return Err(io::Error::other("SLOWLOG GET: expected array"));
+        };
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            let Value::Array(fields) = item else {
+                return Err(io::Error::other("SLOWLOG entry: expected array"));
+            };
+            let [Value::Integer(id), Value::Integer(ts), Value::Integer(dur), Value::Array(argv)] =
+                fields.as_slice()
+            else {
+                return Err(io::Error::other("SLOWLOG entry: bad shape"));
+            };
+            let argv = argv
+                .iter()
+                .map(|a| match a {
+                    Value::Bulk(Some(data)) => Ok(data.clone()),
+                    _ => Err(io::Error::other("SLOWLOG argv: expected bulk")),
+                })
+                .collect::<io::Result<Vec<_>>>()?;
+            out.push((*id, *ts, *dur, argv));
+        }
+        Ok(out)
+    }
+
+    /// `CONFIG SET slowlog-log-slower-than <µs>`.
+    pub fn set_slowlog_threshold_us(&mut self, us: u64) -> io::Result<()> {
+        let reply = self.raw(&[
+            b"CONFIG",
+            b"SET",
+            b"slowlog-log-slower-than",
+            us.to_string().as_bytes(),
+        ])?;
+        self.expect_ok(reply)
+    }
+
     /// Cache-aside access: GET, and SET on miss. Returns true on hit.
     pub fn access(&mut self, key: u64, size: u32) -> io::Result<bool> {
         let hit = self.get(key)?;

@@ -4,7 +4,8 @@
 //! model real Redis avoids, but sufficient to validate KRR against a cache
 //! reached through an actual wire protocol (§5.7 ran against a live Redis
 //! instance). Supported commands: `GET`, `SET`, `DEL`, `DBSIZE`, `INFO`,
-//! `METRICS`, `MRC`, `PING`, `SHUTDOWN`.
+//! `METRICS`, `MRC`, `PING`, `SHUTDOWN`, `TRACE DUMP`,
+//! `SLOWLOG GET|LEN|RESET`, and `CONFIG GET|SET slowlog-log-slower-than`.
 //!
 //! `MRC` returns the online KRR profiler's current miss-ratio curve as a
 //! `cache_size,miss_ratio` CSV bulk string (an error if the store was built
@@ -13,29 +14,109 @@
 //! `INFO` renders the store's counters plus the full metrics snapshot in
 //! Redis's `# section` / `key:value` text form; `METRICS` returns the same
 //! snapshot as one JSON document (`krr-metrics-v1`).
+//!
+//! Every server carries an always-on [`FlightRecorder`]: each connection
+//! thread records a [`Phase::Command`] span per command into its own
+//! lock-free ring, and the store's profiler/watchdog rings are attached at
+//! startup. `TRACE DUMP` drains everything as Chrome trace-event JSON.
+//! Commands slower than a configurable threshold (default 10 000 µs, the
+//! Redis default) also land in the slow log, queryable with `SLOWLOG GET`
+//! in Redis's reply shape: `[id, start_µs, duration_µs, argv]`, where
+//! `start_µs` is measured from server start rather than the unix epoch
+//! (the hermetic test suite forbids wall-clock timestamps).
 
 use crate::resp::{read_value, write_value, Value};
 use crate::store::MiniRedis;
+use krr_core::obs::{FlightRecorder, Phase};
+use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Maximum retained slow-log entries (Redis's `slowlog-max-len` default).
+pub const SLOWLOG_MAX_LEN: usize = 128;
+/// Default `slowlog-log-slower-than` threshold in microseconds.
+pub const SLOWLOG_DEFAULT_THRESHOLD_US: u64 = 10_000;
+
+/// One slow command.
+#[derive(Debug, Clone)]
+struct SlowEntry {
+    id: u64,
+    /// Microseconds since server start when the command began.
+    start_us: u64,
+    dur_us: u64,
+    argv: Vec<Vec<u8>>,
+}
+
+/// The server's slow log: commands whose handling exceeded the threshold.
+#[derive(Debug)]
+struct SlowLog {
+    entries: Mutex<VecDeque<SlowEntry>>,
+    next_id: AtomicU64,
+    /// Threshold in microseconds; commands strictly slower are logged.
+    threshold_us: AtomicU64,
+}
+
+impl SlowLog {
+    fn new() -> Self {
+        Self {
+            entries: Mutex::new(VecDeque::new()),
+            next_id: AtomicU64::new(0),
+            threshold_us: AtomicU64::new(SLOWLOG_DEFAULT_THRESHOLD_US),
+        }
+    }
+
+    fn offer(&self, start_ns: u64, dur_ns: u64, argv: &[&[u8]]) {
+        if dur_ns <= self.threshold_us.load(Ordering::Relaxed) * 1_000 {
+            return;
+        }
+        let entry = SlowEntry {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            start_us: start_ns / 1_000,
+            dur_us: dur_ns / 1_000,
+            argv: argv.iter().map(|a| a.to_vec()).collect(),
+        };
+        let mut entries = self.entries.lock().expect("slowlog poisoned");
+        if entries.len() == SLOWLOG_MAX_LEN {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+    }
+}
+
+/// Observability state shared by all connection threads.
+struct ServerObs {
+    recorder: Arc<FlightRecorder>,
+    slowlog: SlowLog,
+    next_conn: AtomicU64,
+}
 
 /// Handle to a running server.
 pub struct Server {
     addr: std::net::SocketAddr,
     store: Arc<Mutex<MiniRedis>>,
     stop: Arc<AtomicBool>,
+    recorder: Arc<FlightRecorder>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Starts a server on an ephemeral localhost port.
-    pub fn start(store: MiniRedis) -> io::Result<Server> {
+    /// Starts a server on an ephemeral localhost port. The server's flight
+    /// recorder is attached to the store, so profiler/watchdog activity
+    /// shows up in `TRACE DUMP` alongside per-command spans.
+    pub fn start(mut store: MiniRedis) -> io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
+        let recorder = Arc::new(FlightRecorder::new());
+        store.set_recorder(Arc::clone(&recorder));
         let store = Arc::new(Mutex::new(store));
         let stop = Arc::new(AtomicBool::new(false));
+        let obs = Arc::new(ServerObs {
+            recorder: Arc::clone(&recorder),
+            slowlog: SlowLog::new(),
+            next_conn: AtomicU64::new(0),
+        });
         let accept_store = Arc::clone(&store);
         let accept_stop = Arc::clone(&stop);
         let accept_thread = std::thread::spawn(move || {
@@ -47,8 +128,9 @@ impl Server {
                     Ok((conn, _)) => {
                         let store = Arc::clone(&accept_store);
                         let stop = Arc::clone(&accept_stop);
+                        let obs = Arc::clone(&obs);
                         workers.push(std::thread::spawn(move || {
-                            let _ = serve_connection(conn, &store, &stop);
+                            let _ = serve_connection(conn, &store, &stop, &obs);
                         }));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -65,8 +147,16 @@ impl Server {
             addr,
             store,
             stop,
+            recorder,
             accept_thread: Some(accept_thread),
         })
+    }
+
+    /// The server's flight recorder (drained by `TRACE DUMP`, or directly
+    /// by an embedding test/benchmark).
+    #[must_use]
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
     }
 
     /// The server's socket address.
@@ -104,7 +194,10 @@ fn serve_connection(
     conn: TcpStream,
     store: &Mutex<MiniRedis>,
     stop: &AtomicBool,
+    obs: &ServerObs,
 ) -> io::Result<()> {
+    let conn_id = obs.next_conn.fetch_add(1, Ordering::Relaxed);
+    let rec = obs.recorder.register(&format!("conn-{conn_id}"));
     conn.set_nodelay(true)?;
     // A read timeout lets idle workers notice the stop flag instead of
     // blocking forever in `read` (which would deadlock `shutdown` while a
@@ -134,14 +227,47 @@ fn serve_connection(
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
             Err(e) => return Err(e),
         };
-        let reply = handle(&request, store, stop);
+        let t0 = rec.now_ns();
+        let reply = handle(&request, store, stop, obs);
+        let dur = rec.now_ns() - t0;
+        if let Value::Array(parts) = &request {
+            let argv: Vec<&[u8]> = parts
+                .iter()
+                .filter_map(|p| match p {
+                    Value::Bulk(Some(data)) => Some(data.as_slice()),
+                    _ => None,
+                })
+                .collect();
+            let tag = argv.first().map_or(0, |c| command_tag(c));
+            rec.record(Phase::Command, t0, dur, tag);
+            obs.slowlog.offer(t0, dur, &argv);
+        }
         write_value(&mut writer, &reply)?;
         use std::io::Write;
         writer.flush()?;
     }
 }
 
-fn handle(request: &Value, store: &Mutex<MiniRedis>, stop: &AtomicBool) -> Value {
+/// Stable numeric tag identifying a command in trace-event args.
+fn command_tag(cmd: &[u8]) -> u64 {
+    match cmd.to_ascii_uppercase().as_slice() {
+        b"PING" => 1,
+        b"GET" => 2,
+        b"SET" => 3,
+        b"DEL" => 4,
+        b"DBSIZE" => 5,
+        b"INFO" => 6,
+        b"METRICS" => 7,
+        b"MRC" => 8,
+        b"SHUTDOWN" => 9,
+        b"TRACE" => 10,
+        b"SLOWLOG" => 11,
+        b"CONFIG" => 12,
+        _ => 0,
+    }
+}
+
+fn handle(request: &Value, store: &Mutex<MiniRedis>, stop: &AtomicBool, obs: &ServerObs) -> Value {
     let Value::Array(parts) = request else {
         return Value::Error("ERR expected command array".into());
     };
@@ -223,6 +349,85 @@ fn handle(request: &Value, store: &Mutex<MiniRedis>, stop: &AtomicBool) -> Value
             stop.store(true, Ordering::Relaxed);
             Value::Simple("OK".into())
         }
+        b"TRACE" => match rest {
+            [sub] if sub.eq_ignore_ascii_case(b"DUMP") => {
+                Value::bulk(obs.recorder.chrome_trace_json().into_bytes())
+            }
+            _ => Value::Error("ERR usage: TRACE DUMP".into()),
+        },
+        b"SLOWLOG" => {
+            let Some((sub, sub_rest)) = rest.split_first() else {
+                return Value::Error("ERR usage: SLOWLOG GET|LEN|RESET".into());
+            };
+            match sub.to_ascii_uppercase().as_slice() {
+                b"GET" => {
+                    let count = match sub_rest {
+                        [] => SLOWLOG_MAX_LEN,
+                        [n] => match std::str::from_utf8(n).ok().and_then(|s| s.parse().ok()) {
+                            Some(n) => n,
+                            None => return Value::Error("ERR invalid SLOWLOG GET count".into()),
+                        },
+                        _ => return Value::Error("ERR usage: SLOWLOG GET [count]".into()),
+                    };
+                    let entries = obs.slowlog.entries.lock().expect("slowlog poisoned");
+                    // Newest first, like Redis.
+                    let items = entries
+                        .iter()
+                        .rev()
+                        .take(count)
+                        .map(|e| {
+                            Value::Array(vec![
+                                Value::Integer(e.id as i64),
+                                Value::Integer(e.start_us as i64),
+                                Value::Integer(e.dur_us as i64),
+                                Value::Array(
+                                    e.argv.iter().map(|a| Value::bulk(a.clone())).collect(),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    Value::Array(items)
+                }
+                b"LEN" => Value::Integer(
+                    obs.slowlog.entries.lock().expect("slowlog poisoned").len() as i64,
+                ),
+                b"RESET" => {
+                    obs.slowlog
+                        .entries
+                        .lock()
+                        .expect("slowlog poisoned")
+                        .clear();
+                    Value::Simple("OK".into())
+                }
+                _ => Value::Error("ERR usage: SLOWLOG GET|LEN|RESET".into()),
+            }
+        }
+        b"CONFIG" => match rest {
+            [sub, param] if sub.eq_ignore_ascii_case(b"GET") => {
+                if param.eq_ignore_ascii_case(b"slowlog-log-slower-than") {
+                    let v = obs.slowlog.threshold_us.load(Ordering::Relaxed);
+                    Value::Array(vec![
+                        Value::bulk(b"slowlog-log-slower-than".to_vec()),
+                        Value::bulk(v.to_string().into_bytes()),
+                    ])
+                } else {
+                    Value::Array(Vec::new())
+                }
+            }
+            [sub, param, value] if sub.eq_ignore_ascii_case(b"SET") => {
+                if !param.eq_ignore_ascii_case(b"slowlog-log-slower-than") {
+                    return Value::Error("ERR unknown CONFIG parameter".into());
+                }
+                match std::str::from_utf8(value).ok().and_then(|s| s.parse().ok()) {
+                    Some(us) => {
+                        obs.slowlog.threshold_us.store(us, Ordering::Relaxed);
+                        Value::Simple("OK".into())
+                    }
+                    None => Value::Error("ERR value must be microseconds (u64)".into()),
+                }
+            }
+            _ => Value::Error("ERR usage: CONFIG GET|SET slowlog-log-slower-than [us]".into()),
+        },
         other => Value::Error(format!(
             "ERR unknown command {:?}",
             String::from_utf8_lossy(other)

@@ -18,9 +18,11 @@
 use std::sync::Arc;
 
 use crate::dict::Dict;
+use krr_baselines::watchdog::{AccuracyWatchdog, WatchdogConfig, WatchdogReport};
 use krr_core::metrics::MetricsRegistry;
 use krr_core::model::KrrConfig;
 use krr_core::mrc::Mrc;
+use krr_core::obs::FlightRecorder;
 use krr_core::sharded::ShardedKrr;
 use krr_trace::{Op, Request};
 
@@ -96,6 +98,10 @@ pub struct MiniRedis {
     metrics: Arc<MetricsRegistry>,
     /// Optional online MRC profiler fed by the GET stream.
     profiler: Option<ShardedKrr>,
+    /// Optional shadow-Olken accuracy watchdog fed by the same stream.
+    watchdog: Option<AccuracyWatchdog>,
+    /// Optional flight recorder shared with the profiler and watchdog.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl MiniRedis {
@@ -124,6 +130,8 @@ impl MiniRedis {
             scratch: Vec::new(),
             metrics: Arc::new(MetricsRegistry::new()),
             profiler: None,
+            watchdog: None,
+            recorder: None,
         }
     }
 
@@ -134,7 +142,46 @@ impl MiniRedis {
     pub fn enable_mrc_profiling(&mut self, config: &KrrConfig, shards: usize) {
         let mut bank = ShardedKrr::new(config, shards);
         bank.set_metrics(Arc::clone(&self.metrics));
+        if let Some(rec) = &self.recorder {
+            bank.set_recorder(Arc::clone(rec));
+        }
         self.profiler = Some(bank);
+    }
+
+    /// Turns on the accuracy watchdog: a spatially-sampled shadow Olken
+    /// profiler observes the same GET stream as the MRC profiler and
+    /// periodically publishes the KRR-vs-shadow MAE (plus drift events)
+    /// into the store's metrics registry (`# watchdog` INFO section).
+    /// Checks only run while MRC profiling is enabled — without a KRR
+    /// curve there is nothing to compare.
+    pub fn enable_accuracy_watchdog(&mut self, config: WatchdogConfig) {
+        let mut dog = AccuracyWatchdog::new(config);
+        dog.set_metrics(Arc::clone(&self.metrics));
+        if let Some(rec) = &self.recorder {
+            dog.set_recorder(rec.register("watchdog"));
+        }
+        self.watchdog = Some(dog);
+    }
+
+    /// The watchdog's most recent comparison, if any have run.
+    #[must_use]
+    pub fn watchdog_report(&self) -> Option<WatchdogReport> {
+        self.watchdog
+            .as_ref()
+            .and_then(AccuracyWatchdog::last_report)
+    }
+
+    /// Attaches a flight recorder. The profiler bank (shard/router/worker
+    /// rings) and the watchdog pick it up immediately if already enabled;
+    /// enabling them later inherits it too.
+    pub fn set_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        if let Some(p) = &mut self.profiler {
+            p.set_recorder(Arc::clone(&recorder));
+        }
+        if let Some(d) = &mut self.watchdog {
+            d.set_recorder(recorder.register("watchdog"));
+        }
+        self.recorder = Some(recorder);
     }
 
     /// The current MRC estimate, or `None` if profiling was never enabled.
@@ -225,6 +272,12 @@ impl MiniRedis {
         };
         if let Some(p) = &mut self.profiler {
             p.access(key, size);
+            if let Some(dog) = &mut self.watchdog {
+                dog.observe(key);
+                if dog.check_due() {
+                    dog.check(&p.mrc());
+                }
+            }
         }
         hit
     }
@@ -480,6 +533,52 @@ mod tests {
         // the per-shard counters.
         let snap = r.metrics().snapshot();
         assert_eq!(snap.shard_accesses.iter().sum::<u64>(), 6_000);
+    }
+
+    #[test]
+    fn accuracy_watchdog_publishes_into_store_metrics() {
+        let mut r = MiniRedis::new(1_000_000, 5, 11);
+        r.enable_mrc_profiling(&KrrConfig::new(64.0).seed(2), 2);
+        r.enable_accuracy_watchdog(WatchdogConfig {
+            rate: 1.0,
+            check_every: 2_000,
+            mae_threshold: 0.5,
+            eval_points: 16,
+        });
+        for _ in 0..4 {
+            for k in 0..2_000u64 {
+                r.access(&Request::get(k, 100));
+            }
+        }
+        let report = r.watchdog_report().expect("watchdog checks ran");
+        assert!(report.checks >= 3, "got {} checks", report.checks);
+        let snap = r.metrics().snapshot();
+        assert_eq!(snap.watchdog_checks, report.checks);
+        assert!(snap.watchdog_shadow_refs > 0);
+        assert!(snap.render_info().contains("# watchdog"));
+    }
+
+    #[test]
+    fn recorder_traces_profiler_without_changing_the_mrc() {
+        let run = |with_recorder: bool| {
+            let mut r = MiniRedis::new(1_000_000, 5, 12);
+            let rec = Arc::new(FlightRecorder::with_capacity(1024));
+            if with_recorder {
+                r.set_recorder(Arc::clone(&rec));
+            }
+            r.enable_mrc_profiling(&KrrConfig::new(5.0).seed(3), 2);
+            for _ in 0..3 {
+                for k in 0..1_000u64 {
+                    r.access(&Request::get(k, 100));
+                }
+            }
+            (r.mrc_profile().expect("profiling on"), rec)
+        };
+        let (plain, _) = run(false);
+        let (traced, rec) = run(true);
+        assert_eq!(plain.points(), traced.points(), "tracing changed the MRC");
+        let (events, _) = rec.collect_events();
+        assert!(!events.is_empty(), "shard rings should hold stack updates");
     }
 
     #[test]

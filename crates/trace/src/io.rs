@@ -10,9 +10,16 @@
 //! [`Trace`].
 
 use crate::request::{Op, Request, Trace};
+use krr_core::obs::{Phase, ThreadRecorder};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::Path;
+
+/// Default [`CsvStream::with_recorder`] stall threshold: a buffered
+/// `read_line` normally costs tens of nanoseconds, so anything past 100 µs
+/// means the reader actually waited on the underlying source (disk seek,
+/// page-cache miss, slow pipe) and earns a [`Phase::CsvRead`] span.
+pub const CSV_STALL_THRESHOLD_NS: u64 = 100_000;
 
 /// Writes a trace in CSV form (`get|set,key,size` per line).
 pub fn write_csv<W: Write>(mut w: W, trace: &[Request]) -> io::Result<()> {
@@ -36,6 +43,7 @@ pub struct CsvStream<R: BufRead> {
     line: String,
     lineno: usize,
     done: bool,
+    recorder: Option<(ThreadRecorder, u64)>,
 }
 
 impl CsvStream<BufReader<File>> {
@@ -53,7 +61,25 @@ impl<R: BufRead> CsvStream<R> {
             line: String::new(),
             lineno: 0,
             done: false,
+            recorder: None,
         }
+    }
+
+    /// Attaches a flight-recorder handle: any `read_line` call that takes
+    /// at least `stall_threshold_ns` (0 ⇒ [`CSV_STALL_THRESHOLD_NS`]) is
+    /// recorded as a [`Phase::CsvRead`] span whose argument is the number
+    /// of bytes the slow call returned. Fast buffered reads stay silent,
+    /// so a healthy trace shows input stalls only when the source itself
+    /// stalls.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: ThreadRecorder, stall_threshold_ns: u64) -> Self {
+        let t = if stall_threshold_ns == 0 {
+            CSV_STALL_THRESHOLD_NS
+        } else {
+            stall_threshold_ns
+        };
+        self.recorder = Some((recorder, t));
+        self
     }
 }
 
@@ -105,7 +131,16 @@ impl<R: BufRead> Iterator for CsvStream<R> {
         }
         loop {
             self.line.clear();
-            match self.reader.read_line(&mut self.line) {
+            let r0 = self.recorder.as_ref().map(|(r, _)| r.now_ns());
+            let read = self.reader.read_line(&mut self.line);
+            if let (Some((rec, threshold)), Some(r0)) = (self.recorder.as_ref(), r0) {
+                let dur = rec.now_ns() - r0;
+                if dur >= *threshold {
+                    let bytes = read.as_ref().map_or(0, |&n| n as u64);
+                    rec.record(Phase::CsvRead, r0, dur, bytes);
+                }
+            }
+            match read {
                 Ok(0) => {
                     self.done = true;
                     return None;
@@ -183,6 +218,24 @@ mod tests {
         assert!(s.next().unwrap().is_err());
         assert!(s.next().is_none());
         assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn recorder_captures_slow_reads_and_leaves_data_unchanged() {
+        use krr_core::obs::FlightRecorder;
+        let text = "get,1,10\nset,2,20\nget,3,30\n";
+        let rec = FlightRecorder::with_capacity(64);
+        // Threshold 1 ns: every read counts as a "stall" so the test is
+        // timing-independent.
+        let stream = CsvStream::new(text.as_bytes()).with_recorder(rec.register("csv"), 1);
+        let items: Vec<Request> = stream.collect::<io::Result<Vec<_>>>().unwrap();
+        assert_eq!(items, read_csv(text.as_bytes()).unwrap());
+        let (events, _) = rec.collect_events();
+        // 3 data lines + the EOF probe.
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().all(|e| e.phase == Phase::CsvRead));
+        assert_eq!(events[0].arg, "get,1,10\n".len() as u64);
+        assert_eq!(events.last().unwrap().arg, 0, "EOF read returns 0 bytes");
     }
 
     #[test]

@@ -1,63 +1,120 @@
-//! Online MRC profiling: the low-overhead deployment mode (§2.4, §5.5).
+//! Online MRC profiling with the observability layer attached (§2.4, §5.5).
 //!
-//! Streams a long trace through KRR + spatial sampling (backward update,
-//! R = 0.01) as a sidecar profiler would, printing an MRC snapshot and the
-//! profiler's cost every window. The point of the paper's fast updaters is
-//! that this costs microseconds per thousand requests.
+//! Streams a *drifting* Zipf workload through KRR + spatial sampling the
+//! way a sidecar profiler would, with the two PR-3 observability tools
+//! running beside it:
+//!
+//! * a [`StatsTimeline`] emitting one `krr-stats-v1` JSON-Lines row per
+//!   window (windowed deltas of the shared metrics registry — the same
+//!   rows `krr model --stats-every N --stats-out f.jsonl` writes), and
+//! * an [`AccuracyWatchdog`]: a spatially-sampled shadow Olken profiler
+//!   whose KRR-vs-exact-LRU MAE is stable while the workload is
+//!   stationary, so a jump past the threshold flags the drift.
+//!
+//! The workload shifts twice — the hot-key skew flattens, then the key
+//! space moves entirely. Watch the MAE *trajectory*: it decays through
+//! the stationary warm-up, bumps back over the threshold when the skew
+//! flips (drift events), then falls when the key-space move floods both
+//! profilers with cold misses (K-LRU and LRU agree when everything
+//! misses — the watchdog gauge makes that regime change visible too).
 //!
 //! Run with: `cargo run --release -p krr --example online_profiler`
 
+use krr::baselines::{AccuracyWatchdog, WatchdogConfig};
+use krr::core::rng::Xoshiro256;
+use krr::core::{MetricsRegistry, StatsTimeline};
 use krr::prelude::*;
-use std::time::Instant;
+use std::sync::Arc;
+
+/// Three workload phases: same generator, drifting parameters.
+fn phases() -> Vec<(&'static str, krr::trace::Zipf, u64)> {
+    vec![
+        // Hot skewed working set.
+        (
+            "zipf(0.9) keys 0..100k",
+            krr::trace::Zipf::new(100_000, 0.9),
+            0,
+        ),
+        // Drift 1: the skew flattens — more of the tail is hot.
+        (
+            "zipf(0.5) keys 0..100k",
+            krr::trace::Zipf::new(100_000, 0.5),
+            0,
+        ),
+        // Drift 2: the key space moves wholesale.
+        (
+            "zipf(0.9) keys 300k..400k",
+            krr::trace::Zipf::new(100_000, 0.9),
+            300_000,
+        ),
+    ]
+}
 
 fn main() {
-    let profile = krr::trace::msr::profile(krr::trace::msr::MsrTrace::Web);
-    let trace = profile.generate(2_000_000, 11, 0.5);
-    let (objects, _) = krr::sim::working_set(&trace);
-    let rate = krr::core::sampling::rate_for_working_set(0.01, objects, 8 * 1024);
-
+    let reg = Arc::new(MetricsRegistry::new());
     let mut model = KrrModel::new(
-        KrrConfig::new(5.0)
+        KrrConfig::new(24.0)
             .updater(UpdaterKind::Backward)
-            .sampling(rate)
+            .sampling(0.1)
             .seed(3),
     );
+    model.set_metrics(Arc::clone(&reg));
 
-    let window = 250_000usize;
-    let checkpoints = [0.1, 0.25, 0.5, 1.0];
-    println!("online profiling of msr_web (K=5, R={rate:.3}), window = {window} requests");
-    println!(
-        "{:>10} {:>10} {:>42} {:>12}",
-        "requests", "sampled", "miss@10%/25%/50%/100% of WSS", "profile cost"
-    );
+    // Shadow profiler over ~5% of references; compare every 200k. The
+    // threshold sits just above this workload's stationary K-LRU-vs-LRU
+    // plateau (~0.119), so only warm-up and genuine shifts cross it.
+    let mut dog = AccuracyWatchdog::new(WatchdogConfig {
+        rate: 0.05,
+        check_every: 200_000,
+        mae_threshold: 0.12,
+        ..WatchdogConfig::default()
+    });
+    dog.set_metrics(Arc::clone(&reg));
 
-    let mut spent = std::time::Duration::ZERO;
-    for (w, chunk) in trace.chunks(window).enumerate() {
-        let t0 = Instant::now();
-        for r in chunk {
-            model.access_key(r.key);
+    // One stats row per 500k references, straight to stdout so the
+    // krr-stats-v1 shape is visible between the narrative lines.
+    let mut timeline = StatsTimeline::new(Arc::clone(&reg), std::io::stdout(), 500_000);
+
+    let per_phase = 1_000_000u64;
+    let mut rng = Xoshiro256::seed_from_u64(11);
+    let mut refs = 0u64;
+    let mut drift_events = 0u64;
+    for (name, zipf, offset) in phases() {
+        println!("--- phase: {name} ---");
+        for _ in 0..per_phase {
+            let key = zipf.sample(&mut rng) + offset;
+            model.access_key(key);
+            dog.observe(key);
+            refs += 1;
+            timeline.offer(refs).expect("stdout");
+            if dog.check_due() {
+                let report = dog.check(&model.mrc());
+                if report.drifted {
+                    drift_events += 1;
+                }
+                println!(
+                    "watchdog @{refs}: MAE vs shadow LRU = {:.4} ({} shadow refs){}",
+                    report.mae,
+                    report.shadow_refs,
+                    if report.drifted { "  <-- DRIFT" } else { "" }
+                );
+            }
         }
-        spent += t0.elapsed();
-        let mrc = model.mrc();
-        let misses: Vec<String> = checkpoints
-            .iter()
-            .map(|&f| format!("{:.3}", mrc.eval(objects as f64 * f)))
-            .collect();
-        let s = model.stats();
-        println!(
-            "{:>10} {:>10} {:>42} {:>9.1?} total",
-            (w + 1) * window,
-            s.sampled,
-            misses.join(" / "),
-            spent
-        );
     }
+    timeline.finish(refs).expect("stdout");
 
-    let s = model.stats();
-    let per_million = spent.as_secs_f64() * 1e6 / (s.processed as f64 / 1e6) / 1e6;
+    let snap = reg.snapshot();
     println!(
-        "\ntotal profiler time {spent:?} for {} requests ({per_million:.3} s per million) — \
-         cheap enough to run inline with a cache server",
-        s.processed
+        "\n{} refs, {} watchdog checks over {} shadow refs, {} drift events (live gauge {} ppm)",
+        refs,
+        snap.watchdog_checks,
+        snap.watchdog_shadow_refs,
+        snap.watchdog_drift_events,
+        snap.watchdog_mae_ppm,
+    );
+    assert_eq!(drift_events, snap.watchdog_drift_events);
+    println!(
+        "the same timeline/watchdog wiring runs inside `krr model --stats-every N` \
+         and the mini-Redis server (INFO '# watchdog', METRICS, TRACE DUMP, SLOWLOG)"
     );
 }

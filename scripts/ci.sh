@@ -8,9 +8,12 @@ cargo test -q --offline --workspace
 cargo fmt --check
 
 # Optional perf tracking: KRR_CI_BENCH=1 refreshes BENCH_pipeline.json
-# (sequential vs rescan vs route-once pipeline throughput).
+# (sequential vs rescan vs route-once pipeline throughput) and
+# BENCH_obs.json (flight-recorder off vs on; the obs bench exits nonzero
+# if tracing costs more than its 5% budget).
 if [ "${KRR_CI_BENCH:-0}" = "1" ]; then
     cargo bench -q --offline -p krr-bench --bench pipeline
+    cargo bench -q --offline -p krr-bench --bench obs
 fi
 
 echo "ci: OK"

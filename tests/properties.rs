@@ -652,3 +652,116 @@ fn regression_capacity_below_every_object_size() {
         assert_caches_enforce_capacity(&reqs, 8, k);
     }
 }
+
+/// `bucket_of`/`bucket_bound` round-trip: every value lands in the bucket
+/// whose bound range contains it, and bounds are monotone.
+#[test]
+fn histogram_bucket_roundtrip() {
+    use krr::core::metrics::{bucket_bound, bucket_of, LOG_BUCKETS};
+    check("histogram_bucket_roundtrip", 256, |g| {
+        let v = match g.usize(0, 3) {
+            0 => g.u64(0, 1 << 10),
+            1 => g.any_u64(),
+            // Powers of two and their neighbours: the bucket edges.
+            _ => {
+                let p = 1u64 << g.u32(0, 64);
+                p.saturating_add(g.u64(0, 3)).saturating_sub(1)
+            }
+        };
+        let b = bucket_of(v);
+        assert!(b < LOG_BUCKETS, "bucket index {b} out of range for {v}");
+        assert!(
+            v <= bucket_bound(b),
+            "{v} above its bucket bound {}",
+            bucket_bound(b)
+        );
+        if b > 0 {
+            assert!(
+                v > bucket_bound(b - 1),
+                "{v} also fits the previous bucket (bound {})",
+                bucket_bound(b - 1)
+            );
+        }
+    });
+    // Exhaustive edge sweep: bounds are strictly increasing and each
+    // bound maps back into its own bucket.
+    for b in 0..LOG_BUCKETS {
+        assert_eq!(bucket_of(bucket_bound(b)), b.min(64));
+        if b > 0 {
+            assert!(bucket_bound(b) > bucket_bound(b - 1));
+        }
+    }
+}
+
+/// Percentile estimates stay within bucket resolution of the true order
+/// statistic: for any recorded multiset, `percentile(p)` is an upper
+/// bound of the bucket holding the true p-quantile, and never exceeds
+/// the recorded max.
+#[test]
+fn histogram_percentile_brackets_true_quantile() {
+    use krr::core::metrics::{bucket_of, LogHistogram};
+    check("histogram_percentile_brackets_true_quantile", 128, |g| {
+        let mut values = g.vec(1, 300, |g| {
+            if g.bool() {
+                g.u64(0, 1 << 12)
+            } else {
+                g.any_u64() >> g.u32(0, 40)
+            }
+        });
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, values.len() as u64);
+        assert_eq!(snap.max, *values.last().unwrap());
+        for p in [0.0, 0.001, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let est = snap.percentile(p);
+            // The true order statistic under the same ceil(p*n) (min 1)
+            // rank convention.
+            let rank = ((p * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let truth = values[rank - 1];
+            assert!(est <= snap.max, "p{p}: estimate {est} above max");
+            assert!(
+                est >= truth,
+                "p{p}: estimate {est} below the true quantile {truth}"
+            );
+            // Same bucket (or clipped to max): bucket resolution is the
+            // promised error bound.
+            assert!(
+                bucket_of(est) == bucket_of(truth) || est == snap.max,
+                "p{p}: estimate {est} left the true quantile's bucket ({truth})"
+            );
+        }
+    });
+}
+
+/// Percentile boundary behaviour: empty histograms report 0 for every p,
+/// and a single-value histogram reports that value's bucket bound
+/// (clipped to the value itself, since max == value) for all p.
+#[test]
+fn histogram_percentile_boundaries() {
+    use krr::core::metrics::LogHistogram;
+    let empty = LogHistogram::new().snapshot();
+    for p in [0.0, 0.5, 1.0] {
+        assert_eq!(empty.percentile(p), 0);
+    }
+    check("histogram_percentile_boundaries", 128, |g| {
+        let v = g.any_u64() >> g.u32(0, 63);
+        let h = LogHistogram::new();
+        h.record(v);
+        let snap = h.snapshot();
+        // One sample: every percentile, including p=0 (clamped to rank 1)
+        // and p=1, is that sample, reported exactly thanks to the max
+        // clip.
+        for p in [0.0, 0.25, 1.0] {
+            assert_eq!(snap.percentile(p), v, "single-value histogram at p{p}");
+        }
+        // Delta against itself empties the window but keeps the absolute
+        // max, so percentiles collapse to 0-count behaviour.
+        let d = snap.delta(&snap);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.percentile(0.99), 0);
+    });
+}

@@ -215,3 +215,119 @@ fn metrics_command_counters_monotone_and_match_info() {
     }
     server.shutdown();
 }
+
+mod support;
+
+#[test]
+fn slowlog_over_the_wire() {
+    let mut server = Server::start(MiniRedis::new(100_000, 5, 17)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Default threshold is 10ms, so the in-memory fast path logs nothing.
+    for i in 0..50u64 {
+        client.access(i, 50).unwrap();
+    }
+    assert_eq!(
+        client.slowlog_len().unwrap(),
+        0,
+        "fast commands were logged"
+    );
+    // Threshold 0 logs every command that follows.
+    client.set_slowlog_threshold_us(0).unwrap();
+    client.set(1, 64).unwrap();
+    assert!(client.get(1).unwrap());
+    client.dbsize().unwrap();
+    let entries = client.slowlog_get().unwrap();
+    // Newest first, unique ascending ids, command argv preserved verbatim.
+    let ids: Vec<i64> = entries.iter().map(|e| e.0).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    assert_eq!(ids, sorted, "entries not newest-first: {ids:?}");
+    let argv0: Vec<&[u8]> = entries.iter().map(|e| e.3[0].as_slice()).collect();
+    // The newest logged entry is the SLOWLOG LEN probe... no: LEN ran
+    // before threshold 0 in this sequence, so the tail here is
+    // [DBSIZE, GET, SET, CONFIG] oldest-last.
+    assert_eq!(
+        argv0,
+        [b"DBSIZE" as &[u8], b"GET", b"SET", b"CONFIG"],
+        "unexpected slowlog commands"
+    );
+    let get_entry = entries.iter().find(|e| e.3[0] == b"GET").unwrap();
+    assert_eq!(get_entry.3[1], b"1", "GET argument not preserved");
+    assert!(get_entry.1 >= 0 && get_entry.2 >= 0, "negative timestamps");
+    // RESET clears history; with threshold 0 the RESET itself is the
+    // only survivor when LEN next looks.
+    client.slowlog_reset().unwrap();
+    assert_eq!(client.slowlog_len().unwrap(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn slowlog_config_roundtrip_over_the_wire() {
+    let mut server = Server::start(MiniRedis::new(10_000, 5, 19)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.set_slowlog_threshold_us(250).unwrap();
+    let reply = client
+        .raw(&[b"CONFIG", b"GET", b"slowlog-log-slower-than"])
+        .unwrap();
+    let krr::redis::resp::Value::Array(items) = reply else {
+        panic!("CONFIG GET: expected array, got {reply:?}");
+    };
+    assert_eq!(
+        items,
+        vec![
+            krr::redis::resp::Value::Bulk(Some(b"slowlog-log-slower-than".to_vec())),
+            krr::redis::resp::Value::Bulk(Some(b"250".to_vec())),
+        ]
+    );
+    server.shutdown();
+}
+
+#[test]
+fn trace_dump_returns_chrome_trace_with_command_spans() {
+    use support::json::{parse, Json};
+    let mut server = Server::start(MiniRedis::new(100_000, 5, 23)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for i in 0..200u64 {
+        client.access(i % 40, 50).unwrap();
+    }
+    let dump = client.trace_dump().unwrap();
+    let doc = parse(&dump).expect("TRACE DUMP must return valid JSON");
+    assert_eq!(
+        doc.get("otherData")
+            .and_then(|d| d.get("schema"))
+            .and_then(Json::as_str),
+        Some("krr-trace-v1")
+    );
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let mut conn_ring = false;
+    let mut command_spans = 0u64;
+    for ev in events {
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("M") => {
+                let name = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("");
+                conn_ring |= name.starts_with("conn-");
+            }
+            Some("X") => {
+                assert!(ev.get("ts").and_then(Json::as_num).is_some());
+                assert!(ev.get("dur").and_then(Json::as_num).is_some());
+                if ev.get("name").and_then(Json::as_str) == Some("command") {
+                    command_spans += 1;
+                }
+            }
+            other => panic!("unexpected ph {other:?}"),
+        }
+    }
+    assert!(conn_ring, "no conn-* thread registered in the trace");
+    // 200 GETs plus one SET per cold miss (40 distinct keys, all fit),
+    // and the default ring keeps the newest 8192 events, so every
+    // command span is still present.
+    assert_eq!(
+        command_spans, 240,
+        "expected 200 GET + 40 SET command spans"
+    );
+    server.shutdown();
+}

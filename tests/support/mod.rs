@@ -12,6 +12,8 @@
 // Shared by several test targets; each uses a different subset.
 #![allow(dead_code)]
 
+pub mod json;
+
 use krr::core::rng::{mix64, Xoshiro256};
 
 /// Deterministic input generator for one property case.
