@@ -1,5 +1,5 @@
 //! Order-statistic treap: the balanced-search-tree substrate of Olken's
-//! O(N·logM) exact LRU stack algorithm (§2.1, [17]).
+//! O(N·logM) exact LRU stack algorithm (§2.1, ref. \[17\]).
 //!
 //! Keys are unique `u64` timestamps. Besides insert/remove, the tree answers
 //! `count_greater(t)` — the number of keys strictly above `t` — in

@@ -149,6 +149,46 @@ impl SdHistogram {
             .enumerate()
             .map(move |(b, &c)| ((b as u64 + 1) * self.bin_width, c))
     }
+
+    /// Serializes the histogram into a `krr-ckpt-v1` payload (bin width,
+    /// cold count, total, raw bin counts). Unlike the `krr-sdh` text format
+    /// in [`crate::persist`], this is an O(bins) direct dump — suitable for
+    /// frequent checkpoints of histograms holding billions of references.
+    pub fn save_state(&self, enc: &mut crate::checkpoint::Enc) {
+        enc.put_u64(self.bin_width)
+            .put_u64(self.cold)
+            .put_u64(self.total)
+            .put_u64(self.bins.len() as u64);
+        for &b in &self.bins {
+            enc.put_u64(b);
+        }
+    }
+
+    /// Reconstructs a histogram from a [`SdHistogram::save_state`] payload.
+    pub fn load_state(dec: &mut crate::checkpoint::Dec<'_>) -> std::io::Result<Self> {
+        let bin_width = dec.u64()?;
+        if bin_width == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "histogram bin width 0 in checkpoint",
+            ));
+        }
+        let cold = dec.u64()?;
+        let total = dec.u64()?;
+        let n = usize::try_from(dec.u64()?).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "histogram length overflow")
+        })?;
+        let mut bins = Vec::with_capacity(n);
+        for _ in 0..n {
+            bins.push(dec.u64()?);
+        }
+        Ok(Self {
+            bin_width,
+            bins,
+            cold,
+            total,
+        })
+    }
 }
 
 #[cfg(test)]

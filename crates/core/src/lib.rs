@@ -20,6 +20,15 @@
 //! assert!(mrc.eval(10_000.0) < mrc.eval(10.0));
 //! ```
 //!
+//! ## Choosing `K` and `K'`
+//!
+//! [`KrrConfig::new`] takes the cache's sampling size `K` (Redis
+//! `maxmemory-samples`). The stack itself runs with the corrected
+//! `K' = K^1.4` (§4.2 of the paper, [`prob::k_prime`]); interior stack
+//! positions swap with probability `1 − ((i-1)/i)^K'` (Eq. 4.1), which is
+//! what makes one probabilistic stack model a K-LRU cache of *every* size
+//! in one pass.
+//!
 //! ## Modules
 //!
 //! * [`stack`] — the array-backed KRR priority stack.
@@ -37,11 +46,15 @@
 //!   windowed stats timeline.
 //! * [`persist`] — plain-text persistence for histograms, MRCs and
 //!   metrics snapshots.
+//! * [`checkpoint`] — the crash-safe `krr-ckpt-v1` binary checkpoint
+//!   format (CRC-guarded sections, atomic write-rename) behind
+//!   [`KrrModel::checkpoint`] / [`ShardedKrr::checkpoint`].
 //! * [`rng`] / [`hashing`] — deterministic RNG and key hashing substrate.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod checkpoint;
 pub mod hashing;
 pub mod histogram;
 pub mod metrics;
@@ -60,6 +73,7 @@ pub mod stack;
 pub mod update;
 pub mod windowed;
 
+pub use checkpoint::{CheckpointReader, CheckpointWriter};
 pub use histogram::SdHistogram;
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use model::{KrrConfig, KrrModel, ModelStats, SizeMode};

@@ -173,6 +173,22 @@ impl LogHistogram {
             max: self.max.load(Ordering::Relaxed),
         }
     }
+
+    /// Adds a snapshot's contents into this histogram (bucket counts,
+    /// count and sum accumulate; max raises the running maximum). Used to
+    /// carry metrics across a checkpoint/restore: restoring into a fresh
+    /// registry makes the counters continue where the crashed run left
+    /// off.
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        for (b, &c) in self.buckets.iter().zip(&snap.buckets) {
+            if c > 0 {
+                b.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
 }
 
 /// Non-atomic copy of a [`LogHistogram`].
@@ -241,6 +257,32 @@ impl HistogramSnapshot {
             .filter(|&(_, &c)| c > 0)
             .map(|(b, &c)| (bucket_bound(b), c))
             .collect()
+    }
+
+    /// Serializes the snapshot into a `krr-ckpt-v1` payload.
+    pub fn save_state(&self, enc: &mut crate::checkpoint::Enc) {
+        enc.put_u64(self.count).put_u64(self.sum).put_u64(self.max);
+        for &b in &self.buckets {
+            enc.put_u64(b);
+        }
+    }
+
+    /// Reconstructs a snapshot from a [`HistogramSnapshot::save_state`]
+    /// payload.
+    pub fn load_state(dec: &mut crate::checkpoint::Dec<'_>) -> std::io::Result<Self> {
+        let count = dec.u64()?;
+        let sum = dec.u64()?;
+        let max = dec.u64()?;
+        let mut buckets = [0u64; LOG_BUCKETS];
+        for b in &mut buckets {
+            *b = dec.u64()?;
+        }
+        Ok(Self {
+            buckets,
+            count,
+            sum,
+            max,
+        })
     }
 }
 
@@ -404,6 +446,46 @@ impl MetricsRegistry {
             watchdog_shadow_refs: self.watchdog_shadow_refs.get(),
             watchdog_drift_events: self.watchdog_drift_events.get(),
             watchdog_mae_ppm: self.watchdog_mae_ppm.get(),
+        }
+    }
+
+    /// Adds a snapshot's contents into this registry: counters and
+    /// histograms accumulate, gauges take the snapshot value, and the
+    /// per-shard vectors claim `init_shards` at the snapshot's shard count
+    /// before accumulating. Restoring a checkpointed
+    /// [`MetricsSnapshot`] into a fresh registry this way makes every
+    /// counter continue from where the interrupted run stopped.
+    pub fn absorb(&self, snap: &MetricsSnapshot) {
+        self.accesses.add(snap.accesses);
+        self.spatial_rejected.add(snap.spatial_rejected);
+        self.hits.add(snap.hits);
+        self.cold_misses.add(snap.cold_misses);
+        self.chain_len.absorb(&snap.chain_len);
+        self.positions_scanned.absorb(&snap.positions_scanned);
+        self.access_ns.absorb(&snap.access_ns);
+        self.merges.add(snap.merges);
+        self.merge_ns.add(snap.merge_ns);
+        self.evictions.add(snap.evictions);
+        self.candidate_age.absorb(&snap.candidate_age);
+        self.pipeline_batches.add(snap.pipeline_batches);
+        self.pipeline_stalls.add(snap.pipeline_stalls);
+        self.pipeline_keys_hashed.add(snap.pipeline_keys_hashed);
+        self.pipeline_router_busy_ns
+            .add(snap.pipeline_router_busy_ns);
+        self.pipeline_worker_busy_ns
+            .add(snap.pipeline_worker_busy_ns);
+        self.watchdog_checks.add(snap.watchdog_checks);
+        self.watchdog_shadow_refs.add(snap.watchdog_shadow_refs);
+        self.watchdog_drift_events.add(snap.watchdog_drift_events);
+        self.watchdog_mae_ppm.set(snap.watchdog_mae_ppm);
+        if !snap.shard_accesses.is_empty() {
+            self.init_shards(snap.shard_accesses.len());
+            for (i, &c) in snap.shard_accesses.iter().enumerate() {
+                self.shard_access_n(i, c);
+            }
+        }
+        for (i, &d) in snap.pipeline_queue_hwm.iter().enumerate() {
+            self.record_queue_depth(i, d);
         }
     }
 }
@@ -649,6 +731,92 @@ impl MetricsSnapshot {
         s.push('}');
         s
     }
+
+    /// Serializes the snapshot into a `krr-ckpt-v1` payload (the `METR`
+    /// checkpoint section).
+    pub fn save_state(&self, enc: &mut crate::checkpoint::Enc) {
+        enc.put_u64(self.accesses)
+            .put_u64(self.spatial_rejected)
+            .put_u64(self.hits)
+            .put_u64(self.cold_misses);
+        self.chain_len.save_state(enc);
+        self.positions_scanned.save_state(enc);
+        self.access_ns.save_state(enc);
+        enc.put_u64(self.merges)
+            .put_u64(self.merge_ns)
+            .put_u64(self.evictions);
+        self.candidate_age.save_state(enc);
+        enc.put_u64(self.shard_accesses.len() as u64);
+        for &c in &self.shard_accesses {
+            enc.put_u64(c);
+        }
+        enc.put_u64(self.pipeline_batches)
+            .put_u64(self.pipeline_stalls)
+            .put_u64(self.pipeline_keys_hashed)
+            .put_u64(self.pipeline_router_busy_ns)
+            .put_u64(self.pipeline_worker_busy_ns);
+        enc.put_u64(self.pipeline_queue_hwm.len() as u64);
+        for &c in &self.pipeline_queue_hwm {
+            enc.put_u64(c);
+        }
+        enc.put_u64(self.watchdog_checks)
+            .put_u64(self.watchdog_shadow_refs)
+            .put_u64(self.watchdog_drift_events)
+            .put_u64(self.watchdog_mae_ppm);
+    }
+
+    /// Reconstructs a snapshot from a [`MetricsSnapshot::save_state`]
+    /// payload.
+    pub fn load_state(dec: &mut crate::checkpoint::Dec<'_>) -> std::io::Result<Self> {
+        let accesses = dec.u64()?;
+        let spatial_rejected = dec.u64()?;
+        let hits = dec.u64()?;
+        let cold_misses = dec.u64()?;
+        let chain_len = HistogramSnapshot::load_state(dec)?;
+        let positions_scanned = HistogramSnapshot::load_state(dec)?;
+        let access_ns = HistogramSnapshot::load_state(dec)?;
+        let merges = dec.u64()?;
+        let merge_ns = dec.u64()?;
+        let evictions = dec.u64()?;
+        let candidate_age = HistogramSnapshot::load_state(dec)?;
+        let mut shard_accesses = Vec::new();
+        for _ in 0..dec.u64()? {
+            shard_accesses.push(dec.u64()?);
+        }
+        let pipeline_batches = dec.u64()?;
+        let pipeline_stalls = dec.u64()?;
+        let pipeline_keys_hashed = dec.u64()?;
+        let pipeline_router_busy_ns = dec.u64()?;
+        let pipeline_worker_busy_ns = dec.u64()?;
+        let mut pipeline_queue_hwm = Vec::new();
+        for _ in 0..dec.u64()? {
+            pipeline_queue_hwm.push(dec.u64()?);
+        }
+        Ok(Self {
+            accesses,
+            spatial_rejected,
+            hits,
+            cold_misses,
+            chain_len,
+            positions_scanned,
+            access_ns,
+            merges,
+            merge_ns,
+            evictions,
+            candidate_age,
+            shard_accesses,
+            pipeline_batches,
+            pipeline_stalls,
+            pipeline_keys_hashed,
+            pipeline_router_busy_ns,
+            pipeline_worker_busy_ns,
+            pipeline_queue_hwm,
+            watchdog_checks: dec.u64()?,
+            watchdog_shadow_refs: dec.u64()?,
+            watchdog_drift_events: dec.u64()?,
+            watchdog_mae_ppm: dec.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -815,6 +983,39 @@ mod tests {
         assert!(json.contains(
             "\"watchdog\":{\"checks\":4,\"shadow_refs\":123,\"drift_events\":1,\"mae_ppm\":7700}"
         ));
+    }
+
+    #[test]
+    fn snapshot_save_load_absorb_roundtrip() {
+        let reg = MetricsRegistry::new();
+        reg.accesses.add(42);
+        reg.hits.add(30);
+        reg.chain_len.record(9);
+        reg.chain_len.record(100);
+        reg.watchdog_mae_ppm.set(1234);
+        reg.init_shards(3);
+        reg.shard_access_n(1, 17);
+        reg.record_queue_depth(2, 5);
+        let snap = reg.snapshot();
+
+        let mut enc = crate::checkpoint::Enc::new();
+        snap.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let loaded = MetricsSnapshot::load_state(&mut crate::checkpoint::Dec::new(&bytes)).unwrap();
+
+        // Absorb into a fresh registry: counters continue where they were.
+        let fresh = MetricsRegistry::new();
+        fresh.absorb(&loaded);
+        fresh.accesses.inc();
+        let after = fresh.snapshot();
+        assert_eq!(after.accesses, 43);
+        assert_eq!(after.hits, 30);
+        assert_eq!(after.chain_len.count, 2);
+        assert_eq!(after.chain_len.sum, 109);
+        assert_eq!(after.chain_len.max, 100);
+        assert_eq!(after.watchdog_mae_ppm, 1234);
+        assert_eq!(after.shard_accesses, vec![0, 17, 0]);
+        assert_eq!(after.pipeline_queue_hwm, vec![0, 0, 5]);
     }
 
     #[test]

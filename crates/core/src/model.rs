@@ -5,6 +5,7 @@
 //! SHARDS-style spatial sampling front-end, the optional byte-level
 //! `sizeArray`, and the stack-distance histogram from which the MRC is read.
 
+use crate::checkpoint::{CheckpointReader, CheckpointWriter, Dec, Enc, SECTION_MODEL};
 use crate::histogram::SdHistogram;
 use crate::metrics::MetricsRegistry;
 use crate::mrc::Mrc;
@@ -127,6 +128,54 @@ impl KrrConfig {
         } else {
             self.k
         }
+    }
+
+    /// Serializes the configuration into a `krr-ckpt-v1` payload.
+    pub fn save_state(&self, enc: &mut Enc) {
+        enc.put_f64(self.k)
+            .put_f64(self.kprime_exponent)
+            .put_u8(u8::from(self.apply_kprime))
+            .put_u8(self.updater.to_tag())
+            .put_f64(self.sampling_rate)
+            .put_u8(u8::from(self.spatial_adjustment))
+            .put_u64(self.seed);
+        match self.size_mode {
+            SizeMode::Uniform => enc.put_u8(0).put_u64(0),
+            SizeMode::ByteLevel { base } => enc.put_u8(1).put_u64(base),
+        };
+        enc.put_u64(self.bin_width);
+    }
+
+    /// Reconstructs a configuration from a [`KrrConfig::save_state`]
+    /// payload.
+    pub fn load_state(dec: &mut Dec<'_>) -> std::io::Result<Self> {
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let k = dec.f64()?;
+        let kprime_exponent = dec.f64()?;
+        let apply_kprime = dec.u8()? != 0;
+        let updater = UpdaterKind::from_tag(dec.u8()?).ok_or_else(|| bad("unknown updater tag"))?;
+        let sampling_rate = dec.f64()?;
+        let spatial_adjustment = dec.u8()? != 0;
+        let seed = dec.u64()?;
+        let mode_tag = dec.u8()?;
+        let base = dec.u64()?;
+        let size_mode = match mode_tag {
+            0 => SizeMode::Uniform,
+            1 => SizeMode::ByteLevel { base },
+            _ => return Err(bad("unknown size-mode tag")),
+        };
+        let bin_width = dec.u64()?;
+        Ok(Self {
+            k,
+            kprime_exponent,
+            apply_kprime,
+            updater,
+            sampling_rate,
+            spatial_adjustment,
+            seed,
+            size_mode,
+            bin_width,
+        })
     }
 }
 
@@ -416,6 +465,75 @@ impl KrrModel {
             + self.hist.memory_bytes()
             + self.sizes.as_ref().map_or(0, krr_sizearray_bytes)
     }
+
+    /// Serializes the full model state — config, spatial filter, stack
+    /// (entries + RNG stream), optional sizeArray, histogram, and the
+    /// processed/sampled counters — into a `krr-ckpt-v1` payload. Everything
+    /// that influences future outputs is captured, so a restored model
+    /// continues *bit-identically*: feeding it the remaining trace yields
+    /// the same MRC as an uninterrupted run.
+    pub fn save_state(&self, enc: &mut Enc) {
+        self.config.save_state(enc);
+        enc.put_u64(self.filter.threshold())
+            .put_u64(self.filter.modulus());
+        self.stack.save_state(enc);
+        match &self.sizes {
+            None => {
+                enc.put_u8(0);
+            }
+            Some(sa) => {
+                enc.put_u8(1);
+                sa.save_state(enc);
+            }
+        }
+        self.hist.save_state(enc);
+        enc.put_u64(self.processed).put_u64(self.sampled);
+    }
+
+    /// Reconstructs a model from a [`KrrModel::save_state`] payload. The
+    /// restored model starts with no metrics registry or flight recorder
+    /// attached — re-attach them with [`KrrModel::set_metrics`] /
+    /// [`KrrModel::set_recorder`] if observability should continue.
+    pub fn load_state(dec: &mut Dec<'_>) -> std::io::Result<Self> {
+        let config = KrrConfig::load_state(dec)?;
+        let filter = SpatialFilter::new(dec.u64()?, dec.u64()?);
+        let stack = KrrStack::load_state(dec)?;
+        let sizes = match dec.u8()? {
+            0 => None,
+            _ => Some(SizeArray::load_state(dec)?),
+        };
+        let hist = SdHistogram::load_state(dec)?;
+        let processed = dec.u64()?;
+        let sampled = dec.u64()?;
+        Ok(Self {
+            config,
+            filter,
+            stack,
+            sizes,
+            hist,
+            processed,
+            sampled,
+            metrics: None,
+            recorder: None,
+        })
+    }
+
+    /// Writes a standalone `krr-ckpt-v1` checkpoint (one `MODL` section) to
+    /// `w`. See [`crate::checkpoint`] for the container format and
+    /// [`KrrModel::save_state`] for what is captured.
+    pub fn checkpoint<W: std::io::Write>(&self, w: W) -> std::io::Result<()> {
+        let mut ckpt = CheckpointWriter::new();
+        self.save_state(ckpt.section(SECTION_MODEL));
+        ckpt.write_to(w)
+    }
+
+    /// Restores a model from a checkpoint written by
+    /// [`KrrModel::checkpoint`], validating magic, version, and section
+    /// CRCs.
+    pub fn restore<R: std::io::Read>(r: R) -> std::io::Result<Self> {
+        let ckpt = CheckpointReader::read_from(r)?;
+        Self::load_state(&mut ckpt.require(SECTION_MODEL)?)
+    }
 }
 
 #[cfg(test)]
@@ -505,6 +623,31 @@ mod tests {
         m.access(1, 0);
         m.access(1, 0);
         assert_eq!(m.histogram().total(), 2);
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bit_identical() {
+        for cfg in [
+            KrrConfig::new(4.0).sampling(0.5).seed(11),
+            KrrConfig::new(8.0).byte_level(2, 64).seed(12),
+        ] {
+            let mut a = KrrModel::new(cfg);
+            let mut rng = Xoshiro256::seed_from_u64(21);
+            for _ in 0..20_000 {
+                a.access(rng.below(2000), (rng.below(100) + 1) as u32);
+            }
+            let mut bytes = Vec::new();
+            a.checkpoint(&mut bytes).unwrap();
+            let mut b = KrrModel::restore(&bytes[..]).unwrap();
+            for _ in 0..20_000 {
+                let key = rng.below(2000);
+                let size = (rng.below(100) + 1) as u32;
+                a.access(key, size);
+                b.access(key, size);
+            }
+            assert_eq!(a.stats(), b.stats());
+            assert_eq!(a.mrc().points(), b.mrc().points());
+        }
     }
 
     #[test]

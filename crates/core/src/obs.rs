@@ -430,6 +430,20 @@ impl<W: Write> StatsTimeline<W> {
         self.rows
     }
 
+    /// Continues a timeline across a checkpoint/restore: the interrupted
+    /// run already processed `refs` references and wrote `rows` rows, so
+    /// row numbering resumes at `rows`, deltas are taken against the
+    /// registry's *current* (restored) state, and the next window boundary
+    /// lands where the uninterrupted schedule would have put it. Call
+    /// after [`crate::MetricsRegistry::absorb`]-ing the checkpointed
+    /// snapshot and before the first [`StatsTimeline::offer`].
+    pub fn resume_at(&mut self, refs: u64, rows: u64) {
+        self.rows = rows;
+        self.prev_refs = refs;
+        self.next_at = (refs / self.every + 1) * self.every;
+        self.prev = self.reg.snapshot();
+    }
+
     /// Flushes and returns the underlying writer (e.g. to inspect rows
     /// written to an in-memory buffer).
     pub fn into_inner(mut self) -> io::Result<W> {

@@ -1,6 +1,7 @@
 //! MRC-driven memory partitioning — the cache-management application the
-//! paper's introduction motivates (LAMA [10], utility-based partitioning
-//! [20]): given each tenant's miss ratio curve and a total memory budget,
+//! paper's introduction motivates (LAMA, ref. \[10\]; utility-based
+//! partitioning, ref. \[20\]): given each tenant's miss ratio curve and a
+//! total memory budget,
 //! find the allocation minimizing the weighted total miss rate.
 //!
 //! Two allocators:

@@ -1,11 +1,17 @@
 //! Plain-text persistence for analysis artifacts: stack-distance
 //! histograms and MRCs.
 //!
-//! Online profilers checkpoint their histogram periodically (the MRC is a
+//! Online profilers export their histogram periodically (the MRC is a
 //! pure function of it), ship it off-box, and the analysis side rebuilds
 //! curves without replaying any traffic. The format is line-oriented,
 //! versioned, and deliberately trivial: no dependencies, greppable, and
 //! stable under append-only evolution.
+//!
+//! This module is for *analysis artifacts* meant to be read by humans and
+//! scripts. For crash-safe, bit-exact profiler state (RNG streams, stacks,
+//! counters) use the binary [`checkpoint`](crate::checkpoint) format
+//! instead — text round-trips of `f64`s and histograms are lossy by
+//! design here.
 //!
 //! ```text
 //! krr-sdh v1

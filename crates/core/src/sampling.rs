@@ -60,6 +60,19 @@ impl SpatialFilter {
         key_hash % self.modulus < self.threshold
     }
 
+    /// Admission threshold `T` (checkpointing: a filter round-trips exactly
+    /// via `SpatialFilter::new(threshold(), modulus())`).
+    #[must_use]
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Hash-space modulus `P`.
+    #[must_use]
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
     /// Effective sampling rate `R = T/P`.
     #[must_use]
     pub fn rate(&self) -> f64 {

@@ -13,9 +13,8 @@
 //! 32 bits of [`hash_key`] and the models' spatial filter consumes the low
 //! 24 bits, disjoint slices of the same fully-avalanched hash (see
 //! [`shard_of_hash`]). The hash is computed at the entry point — the
-//! sequential [`ShardedKrr::access`] or the [`pipeline`](crate::pipeline)
-//! router — and passed through, so neither routing nor sampling ever
-//! re-hashes.
+//! sequential [`ShardedKrr::access`] or the [`pipeline`] router — and
+//! passed through, so neither routing nor sampling ever re-hashes.
 //!
 //! The parallel path ([`ShardedKrr::process_stream`]) is a streaming,
 //! route-once, batched pipeline: a router thread hashes and batches
@@ -26,6 +25,7 @@
 
 use std::sync::Arc;
 
+use crate::checkpoint::{CheckpointReader, CheckpointWriter, Dec, Enc, SECTION_SHARDED};
 use crate::hashing::hash_key;
 use crate::histogram::SdHistogram;
 use crate::metrics::MetricsRegistry;
@@ -284,6 +284,63 @@ impl ShardedKrr {
         mrc.make_monotone();
         mrc
     }
+
+    /// Serializes the whole bank — template config plus every shard
+    /// model's full state (see [`KrrModel::save_state`]) — into a
+    /// `krr-ckpt-v1` payload.
+    pub fn save_state(&self, enc: &mut Enc) {
+        self.config.save_state(enc);
+        enc.put_u64(self.shards.len() as u64);
+        for s in &self.shards {
+            s.save_state(enc);
+        }
+    }
+
+    /// Reconstructs a bank from a [`ShardedKrr::save_state`] payload. Like
+    /// [`KrrModel::load_state`], the restored bank starts with metrics and
+    /// recorders detached; re-attach via [`ShardedKrr::set_metrics`] /
+    /// [`ShardedKrr::set_recorder`].
+    pub fn load_state(dec: &mut Dec<'_>) -> std::io::Result<Self> {
+        let config = KrrConfig::load_state(dec)?;
+        let n = usize::try_from(dec.u64()?).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "shard count overflow")
+        })?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "checkpoint has zero shards",
+            ));
+        }
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            shards.push(KrrModel::load_state(dec)?);
+        }
+        Ok(Self {
+            shards,
+            config,
+            metrics: None,
+            recorder: None,
+            merge_recorder: None,
+        })
+    }
+
+    /// Writes a standalone `krr-ckpt-v1` checkpoint (one `SHRD` section)
+    /// to `w`. Restoring and finishing the trace is bit-identical to an
+    /// uninterrupted run at any thread count — the invariant
+    /// `tests/checkpoint.rs` asserts at every batch boundary.
+    pub fn checkpoint<W: std::io::Write>(&self, w: W) -> std::io::Result<()> {
+        let mut ckpt = CheckpointWriter::new();
+        self.save_state(ckpt.section(SECTION_SHARDED));
+        ckpt.write_to(w)
+    }
+
+    /// Restores a bank from a checkpoint written by
+    /// [`ShardedKrr::checkpoint`], validating magic, version, and section
+    /// CRCs.
+    pub fn restore<R: std::io::Read>(r: R) -> std::io::Result<Self> {
+        let ckpt = CheckpointReader::read_from(r)?;
+        Self::load_state(&mut ckpt.require(SECTION_SHARDED)?)
+    }
 }
 
 #[cfg(test)]
@@ -392,6 +449,23 @@ mod tests {
         let sizes = crate::even_sizes(keys as f64, 20);
         let mae = sharded.mrc().mae(&plain.mrc(), &sizes);
         assert!(mae < 0.03, "sharded+sampled MAE {mae}");
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let refs = skewed(6_000, 60_000, 13);
+        let cfg = KrrConfig::new(4.0).seed(14).sampling(0.5);
+        let mut uninterrupted = ShardedKrr::new(&cfg, 4);
+        uninterrupted.process_stream(refs.iter().copied(), 3);
+
+        let mut a = ShardedKrr::new(&cfg, 4);
+        a.process_stream(refs[..30_000].iter().copied(), 3);
+        let mut bytes = Vec::new();
+        a.checkpoint(&mut bytes).unwrap();
+        let mut b = ShardedKrr::restore(&bytes[..]).unwrap();
+        b.process_stream(refs[30_000..].iter().copied(), 5);
+        assert_eq!(b.stats(), uninterrupted.stats());
+        assert_eq!(b.mrc().points(), uninterrupted.mrc().points());
     }
 
     #[test]

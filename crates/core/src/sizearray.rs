@@ -149,6 +149,43 @@ impl SizeArray {
         let frac = (phi - lo_pos) as f64 / (hi_pos - lo_pos) as f64;
         lo_sum + ((hi_sum - lo_sum) as f64 * frac).round() as u64
     }
+
+    /// Serializes the index into a `krr-ckpt-v1` payload (base, totals, and
+    /// the boundary/sum arrays).
+    pub fn save_state(&self, enc: &mut crate::checkpoint::Enc) {
+        enc.put_u64(self.base)
+            .put_u64(self.total)
+            .put_u64(self.len)
+            .put_u64(self.bounds.len() as u64);
+        for (&b, &s) in self.bounds.iter().zip(&self.sums) {
+            enc.put_u64(b).put_u64(s);
+        }
+    }
+
+    /// Reconstructs an index from a [`SizeArray::save_state`] payload.
+    pub fn load_state(dec: &mut crate::checkpoint::Dec<'_>) -> std::io::Result<Self> {
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let base = dec.u64()?;
+        if base < 2 {
+            return Err(bad("sizeArray base < 2 in checkpoint"));
+        }
+        let total = dec.u64()?;
+        let len = dec.u64()?;
+        let n = usize::try_from(dec.u64()?).map_err(|_| bad("sizeArray length overflow"))?;
+        let mut bounds = Vec::with_capacity(n);
+        let mut sums = Vec::with_capacity(n);
+        for _ in 0..n {
+            bounds.push(dec.u64()?);
+            sums.push(dec.u64()?);
+        }
+        Ok(Self {
+            base,
+            bounds,
+            sums,
+            total,
+            len,
+        })
+    }
 }
 
 #[inline]

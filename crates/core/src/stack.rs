@@ -8,9 +8,11 @@
 //! produced by one of the [`crate::update`] strategies, which is what makes
 //! KRR cheap: the expected chain length is `O(K·logM)` (Corollary 1).
 
+use crate::checkpoint::{Dec, Enc};
 use crate::hashing::KeyMap;
 use crate::rng::Xoshiro256;
 use crate::update::{self, UpdaterKind};
+use std::io;
 
 /// One object resident on the stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -214,6 +216,62 @@ impl KrrStack {
         self.entries.iter()
     }
 
+    /// Serializes the stack into a `krr-ckpt-v1` payload: `k`, updater tag,
+    /// RNG state, and the entry array in stack order. The key index is
+    /// derivable and not stored; per-access scratch (the last swap chain) is
+    /// transient and not stored.
+    pub fn save_state(&self, enc: &mut Enc) {
+        enc.put_f64(self.k).put_u8(self.updater.to_tag());
+        for w in self.rng.state() {
+            enc.put_u64(w);
+        }
+        enc.put_u64(self.entries.len() as u64);
+        for e in &self.entries {
+            enc.put_u64(e.key).put_u32(e.size);
+        }
+    }
+
+    /// Reconstructs a stack from a [`KrrStack::save_state`] payload,
+    /// rebuilding the key index from the entry array and resuming the RNG
+    /// stream exactly where it left off.
+    pub fn load_state(dec: &mut Dec<'_>) -> io::Result<Self> {
+        let k = dec.f64()?;
+        let updater = UpdaterKind::from_tag(dec.u8()?).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unknown updater tag in checkpoint",
+            )
+        })?;
+        let rng = Xoshiro256::from_state([dec.u64()?, dec.u64()?, dec.u64()?, dec.u64()?]);
+        let n = dec.u64()?;
+        let n = usize::try_from(n)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "stack length overflow"))?;
+        let mut entries = Vec::with_capacity(n);
+        let mut index = KeyMap::default();
+        for i in 0..n {
+            let key = dec.u64()?;
+            let size = dec.u32()?;
+            entries.push(Entry { key, size });
+            index.insert(key, i as u32);
+        }
+        if index.len() != entries.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "duplicate key in checkpointed stack",
+            ));
+        }
+        Ok(Self {
+            entries,
+            index,
+            k,
+            updater,
+            rng,
+            chain: Vec::new(),
+            chain_sizes: Vec::new(),
+            last_scanned: 0,
+        })
+    }
+
     /// Estimated heap footprint in bytes: the entry array plus the key
     /// index (§5.6's space-cost accounting).
     #[must_use]
@@ -329,6 +387,28 @@ mod tests {
         s.access(7, 100);
         s.access(7, 250);
         assert_eq!(s.entry_at(1).unwrap().size, 250);
+    }
+
+    #[test]
+    fn save_load_resumes_bit_identically() {
+        for updater in UpdaterKind::ALL {
+            let mut a = stack(5.0, updater);
+            let mut rng = Xoshiro256::seed_from_u64(2);
+            for _ in 0..3000 {
+                a.access(rng.below(300), 1);
+            }
+            let mut enc = Enc::new();
+            a.save_state(&mut enc);
+            let bytes = enc.into_bytes();
+            let mut b = KrrStack::load_state(&mut Dec::new(&bytes)).unwrap();
+            for _ in 0..3000 {
+                let key = rng.below(300);
+                assert_eq!(a.access(key, 1), b.access(key, 1), "{updater:?}");
+            }
+            let ea: Vec<_> = a.iter().collect();
+            let eb: Vec<_> = b.iter().collect();
+            assert_eq!(ea, eb, "{updater:?}");
+        }
     }
 
     #[test]

@@ -8,11 +8,11 @@
 //!
 //! The three strategies sample *identically distributed* chains:
 //!
-//! * [`naive`] — Mattson's linear scan, one Bernoulli draw per position,
+//! * `naive` — Mattson's linear scan, one Bernoulli draw per position,
 //!   O(φ) per update. The paper's "Basic Stack" baseline.
-//! * [`topdown`] — Approach I (Algorithm 1): recursive interval splitting,
+//! * `topdown` — Approach I (Algorithm 1): recursive interval splitting,
 //!   expected O(K·log²M) per update.
-//! * [`backward`] — Approach II (Algorithm 2): inverse-CDF jumps from `φ`
+//! * `backward` — Approach II (Algorithm 2): inverse-CDF jumps from `φ`
 //!   back to the top, expected O(K·logM) per update.
 //!
 //! Chains are emitted ascending, include position 1, and exclude the
@@ -47,6 +47,28 @@ impl UpdaterKind {
         UpdaterKind::TopDown,
         UpdaterKind::Backward,
     ];
+
+    /// Stable one-byte tag used by the `krr-ckpt-v1` checkpoint format.
+    #[must_use]
+    pub fn to_tag(self) -> u8 {
+        match self {
+            UpdaterKind::Naive => 0,
+            UpdaterKind::TopDown => 1,
+            UpdaterKind::Backward => 2,
+        }
+    }
+
+    /// Inverse of [`UpdaterKind::to_tag`]; `None` for unknown tags (e.g. a
+    /// checkpoint written by a newer build).
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(UpdaterKind::Naive),
+            1 => Some(UpdaterKind::TopDown),
+            2 => Some(UpdaterKind::Backward),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for UpdaterKind {

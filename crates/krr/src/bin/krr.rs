@@ -58,12 +58,18 @@ USAGE:
             [--bytes] [--seed X] [--shards S] [--threads T] [--metrics]
             [--metrics-out FILE] [--trace-out FILE]
             [--stats-every N] [--stats-out FILE]
+            [--checkpoint-every N] [--checkpoint-out FILE]
+            [--resume FILE]
             (<trace.csv> | --workload <spec> ...)
             (with --shards > 1, trace files are streamed through the
              route-once pipeline and never fully materialized;
              --trace-out dumps a Chrome trace for ui.perfetto.dev,
              --stats-every/--stats-out emit a krr-stats-v1 JSONL
-             timeline of windowed metric deltas)
+             timeline of windowed metric deltas;
+             --checkpoint-out writes an atomic krr-ckpt-v1 checkpoint
+             every --checkpoint-every refs (default 1000000), and
+             --resume restores one and finishes the same trace file
+             with bit-identical results)
   krr simulate [--policy lru|klru:K|klfu:K] [--sizes N] [--bytes]
                (<trace.csv> | --workload <spec> ...)
   krr compare [--k K] [--sizes N] (<trace.csv> | --workload <spec> ...)
@@ -262,6 +268,30 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
     if shards == 0 {
         return Err("--shards must be >= 1".into());
     }
+    let ckpt_out = f.get("checkpoint-out").map(str::to_string);
+    let mut ckpt_every: u64 = f.num("checkpoint-every", 0u64)?;
+    if ckpt_out.is_some() && ckpt_every == 0 {
+        ckpt_every = 1_000_000;
+    }
+    if ckpt_every > 0 && ckpt_out.is_none() {
+        return Err("--checkpoint-every needs --checkpoint-out <file>".into());
+    }
+    let resume_path = f.get("resume").map(str::to_string);
+    let checkpointing = ckpt_every > 0 || resume_path.is_some();
+    if checkpointing && f.positional.first().is_none() {
+        return Err(
+            "checkpointing needs a positional trace file (resume offsets refer to it)".into(),
+        );
+    }
+    // Open the checkpoint before any observability is wired up: restored
+    // metrics must land in the registry before the stats timeline takes
+    // its first snapshot.
+    let ckpt = match &resume_path {
+        Some(path) => {
+            Some(krr::core::CheckpointReader::open(path).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
     let trace_out = f.get("trace-out").map(str::to_string);
     let stats_out = f.get("stats-out").map(str::to_string);
     let mut stats_every: u64 = f.num("stats-every", 0u64)?;
@@ -273,11 +303,38 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
     let recorder = trace_out
         .as_ref()
         .map(|_| std::sync::Arc::new(krr::core::FlightRecorder::new()));
+    if let (Some(ckpt), Some(reg)) = (&ckpt, &registry) {
+        if let Some(mut dec) = ckpt.section(krr::core::checkpoint::SECTION_METRICS) {
+            let snap = krr::core::MetricsSnapshot::load_state(&mut dec)
+                .map_err(|e| format!("resume metrics: {e}"))?;
+            reg.absorb(&snap);
+        }
+    }
+    // (seen refs, trace byte offset, trace line number, stats rows written).
+    let resume_state = match &ckpt {
+        Some(ckpt) => {
+            let mut dec = ckpt
+                .require(krr::core::checkpoint::SECTION_STREAM)
+                .map_err(|e| format!("resume: {e}"))?;
+            Some(read_stream_state(&mut dec).map_err(|e| format!("resume stream state: {e}"))?)
+        }
+        None => None,
+    };
     let mut timeline: Option<krr::core::StatsTimeline<Box<dyn Write>>> = if stats_every > 0 {
         let reg = registry.as_ref().expect("stats imply a registry");
         let out: Box<dyn Write> = match &stats_out {
             Some(path) => {
-                let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+                // On resume, append: the previous run's rows stay and the
+                // timeline continues where the checkpoint left off.
+                let file = if resume_path.is_some() {
+                    std::fs::OpenOptions::new()
+                        .append(true)
+                        .create(true)
+                        .open(path)
+                } else {
+                    std::fs::File::create(path)
+                }
+                .map_err(|e| format!("{path}: {e}"))?;
                 Box::new(std::io::BufWriter::new(file))
             }
             None => Box::new(std::io::stderr()),
@@ -290,6 +347,9 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
     } else {
         None
     };
+    if let (Some((seen0, _, _, rows)), Some(t)) = (resume_state, timeline.as_mut()) {
+        t.resume_at(seen0, rows);
+    }
     let default_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -298,11 +358,25 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
         return Err("--threads must be >= 1".into());
     }
     // References seen so far; drives the stats timeline windows.
-    let mut seen: u64 = 0;
+    let mut seen: u64 = resume_state.map_or(0, |(s, _, _, _)| s);
     let mut stats_err: Option<std::io::Error> = None;
     let t0 = std::time::Instant::now();
-    let (mrc, st) = if shards > 1 {
-        let mut bank = krr::core::sharded::ShardedKrr::new(&cfg, shards);
+    let (mrc, st) = if shards > 1 || checkpointing {
+        let mut bank = match &ckpt {
+            Some(ckpt) => {
+                let mut dec = ckpt
+                    .require(krr::core::checkpoint::SECTION_SHARDED)
+                    .map_err(|e| format!("resume: {e}"))?;
+                let bank = krr::core::sharded::ShardedKrr::load_state(&mut dec)
+                    .map_err(|e| format!("resume: {e}"))?;
+                eprintln!(
+                    "resumed at {seen} refs ({} shards; model flags come from the checkpoint)",
+                    bank.num_shards()
+                );
+                bank
+            }
+            None => krr::core::sharded::ShardedKrr::new(&cfg, shards),
+        };
         if let Some(reg) = &registry {
             bank.set_metrics(std::sync::Arc::clone(reg));
         }
@@ -321,24 +395,74 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
         };
         if let Some(path) = f.positional.first() {
             // Stream the file straight into the pipeline: the trace is
-            // never materialized, so file size doesn't bound memory.
-            let mut stream = trace_io::CsvStream::open(path).map_err(|e| format!("{path}: {e}"))?;
+            // never materialized, so file size doesn't bound memory. On
+            // resume, seek past the prefix the checkpoint already covers.
+            let mut stream = match resume_state {
+                Some((_, off, lineno, _)) => {
+                    trace_io::CsvStream::open_at(path, off, lineno as usize)
+                }
+                None => trace_io::CsvStream::open(path),
+            }
+            .map_err(|e| format!("{path}: {e}"))?;
             if let Some(rec) = &recorder {
                 stream = stream.with_recorder(rec.register("csv-reader"), 0);
             }
-            let mut read_err = None;
-            let refs = stream
-                .map_while(|res| match res {
-                    Ok(r) => Some((r.key, r.size)),
-                    Err(e) => {
-                        read_err = Some(e);
-                        None
+            if checkpointing {
+                // Chunked: drain --checkpoint-every refs per pipeline run,
+                // then write an atomic checkpoint at the batch boundary.
+                // Chunk boundaries don't change results: per-shard order is
+                // global arrival order either way.
+                let chunk = if ckpt_every > 0 { ckpt_every } else { u64::MAX };
+                loop {
+                    let before = seen;
+                    let mut read_err = None;
+                    let refs = (&mut stream)
+                        .map_while(|res| match res {
+                            Ok(r) => Some((r.key, r.size)),
+                            Err(e) => {
+                                read_err = Some(e);
+                                None
+                            }
+                        })
+                        .inspect(|_| tick(&mut seen, &mut timeline, &mut stats_err))
+                        .take(usize::try_from(chunk).unwrap_or(usize::MAX));
+                    bank.process_stream(refs, threads);
+                    if let Some(e) = read_err {
+                        return Err(e.to_string());
                     }
-                })
-                .inspect(|_| tick(&mut seen, &mut timeline, &mut stats_err));
-            bank.process_stream(refs, threads);
-            if let Some(e) = read_err {
-                return Err(e.to_string());
+                    let advanced = seen - before;
+                    if let Some(out) = &ckpt_out {
+                        if advanced > 0 {
+                            write_model_checkpoint(
+                                out,
+                                &bank,
+                                registry.as_deref(),
+                                seen,
+                                stream.byte_offset(),
+                                stream.lineno() as u64,
+                                timeline.as_ref().map_or(0, |t| t.rows()),
+                            )?;
+                        }
+                    }
+                    if advanced < chunk {
+                        break;
+                    }
+                }
+            } else {
+                let mut read_err = None;
+                let refs = stream
+                    .map_while(|res| match res {
+                        Ok(r) => Some((r.key, r.size)),
+                        Err(e) => {
+                            read_err = Some(e);
+                            None
+                        }
+                    })
+                    .inspect(|_| tick(&mut seen, &mut timeline, &mut stats_err));
+                bank.process_stream(refs, threads);
+                if let Some(e) = read_err {
+                    return Err(e.to_string());
+                }
             }
         } else {
             let trace = load_trace(&f)?;
@@ -427,6 +551,40 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
         eprintln!("wrote Chrome trace to {path} (open it in ui.perfetto.dev)");
     }
     Ok(())
+}
+
+/// Decodes the `STRM` section: (seen refs, byte offset, line number,
+/// stats rows written).
+fn read_stream_state(
+    dec: &mut krr::core::checkpoint::Dec<'_>,
+) -> std::io::Result<(u64, u64, u64, u64)> {
+    Ok((dec.u64()?, dec.u64()?, dec.u64()?, dec.u64()?))
+}
+
+/// Writes one atomic `krr model` checkpoint: profiler bank (`SHRD`),
+/// metrics snapshot (`METR`, when metrics are on) and stream position
+/// (`STRM`).
+fn write_model_checkpoint(
+    path: &str,
+    bank: &krr::core::sharded::ShardedKrr,
+    registry: Option<&krr::core::MetricsRegistry>,
+    seen: u64,
+    byte_offset: u64,
+    lineno: u64,
+    stats_rows: u64,
+) -> Result<(), String> {
+    use krr::core::checkpoint::{SECTION_METRICS, SECTION_SHARDED, SECTION_STREAM};
+    let mut w = krr::core::CheckpointWriter::new();
+    bank.save_state(w.section(SECTION_SHARDED));
+    if let Some(reg) = registry {
+        reg.snapshot().save_state(w.section(SECTION_METRICS));
+    }
+    w.section(SECTION_STREAM)
+        .put_u64(seen)
+        .put_u64(byte_offset)
+        .put_u64(lineno)
+        .put_u64(stats_rows);
+    w.write_atomic(path).map_err(|e| format!("{path}: {e}"))
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {

@@ -6,12 +6,12 @@
 //!
 //! This facade re-exports the workspace crates:
 //!
-//! * [`core`](krr_core) — the KRR stack algorithm, fast updaters, spatial
+//! * [`core`] — the KRR stack algorithm, fast updaters, spatial
 //!   sampling, byte-level distances, and the [`KrrModel`] profiler.
-//! * [`trace`](krr_trace) — synthetic MSR/YCSB/Twitter-like workloads.
-//! * [`sim`](krr_sim) — ground-truth exact-LRU and K-LRU simulators.
-//! * [`redis`](krr_redis) — a mini-Redis with the real eviction machinery.
-//! * [`baselines`](krr_baselines) — Olken, SHARDS and AET LRU baselines.
+//! * [`trace`] — synthetic MSR/YCSB/Twitter-like workloads.
+//! * [`sim`] — ground-truth exact-LRU and K-LRU simulators.
+//! * [`redis`] — a mini-Redis with the real eviction machinery.
+//! * [`baselines`] — Olken, SHARDS and AET LRU baselines.
 //!
 //! ## Example: model a Redis cache (maxmemory-samples = 5)
 //!

@@ -111,6 +111,13 @@ impl Client {
         }
     }
 
+    /// `BGSAVE` — asks the server to write its configured checkpoint; an
+    /// error if no checkpoint path was set on the store.
+    pub fn bgsave(&mut self) -> io::Result<()> {
+        let reply = self.raw(&[b"BGSAVE"])?;
+        self.expect_ok(reply)
+    }
+
     /// `SLOWLOG LEN`.
     pub fn slowlog_len(&mut self) -> io::Result<i64> {
         match self.raw(&[b"SLOWLOG", b"LEN"])? {

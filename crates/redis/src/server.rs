@@ -4,8 +4,13 @@
 //! model real Redis avoids, but sufficient to validate KRR against a cache
 //! reached through an actual wire protocol (§5.7 ran against a live Redis
 //! instance). Supported commands: `GET`, `SET`, `DEL`, `DBSIZE`, `INFO`,
-//! `METRICS`, `MRC`, `PING`, `SHUTDOWN`, `TRACE DUMP`,
+//! `METRICS`, `MRC`, `PING`, `SHUTDOWN`, `BGSAVE`, `TRACE DUMP`,
 //! `SLOWLOG GET|LEN|RESET`, and `CONFIG GET|SET slowlog-log-slower-than`.
+//!
+//! `BGSAVE` writes an atomic `krr-ckpt-v1` checkpoint of the whole store
+//! (keyspace, counters, profiler, watchdog) to the path configured with
+//! [`MiniRedis::set_checkpoint_path`]; start a server from
+//! [`MiniRedis::restore_from`] to resume from one.
 //!
 //! `MRC` returns the online KRR profiler's current miss-ratio curve as a
 //! `cache_size,miss_ratio` CSV bulk string (an error if the store was built
@@ -263,6 +268,7 @@ fn command_tag(cmd: &[u8]) -> u64 {
         b"TRACE" => 10,
         b"SLOWLOG" => 11,
         b"CONFIG" => 12,
+        b"BGSAVE" => 13,
         _ => 0,
     }
 }
@@ -348,6 +354,14 @@ fn handle(request: &Value, store: &Mutex<MiniRedis>, stop: &AtomicBool, obs: &Se
         b"SHUTDOWN" => {
             stop.store(true, Ordering::Relaxed);
             Value::Simple("OK".into())
+        }
+        b"BGSAVE" => {
+            // Synchronous under the store lock: mini-redis has no fork, so
+            // "background" saving is a consistent foreground snapshot.
+            match store.lock().expect("store poisoned").bgsave() {
+                Ok(()) => Value::Simple("OK".into()),
+                Err(e) => Value::Error(format!("ERR BGSAVE: {e}")),
+            }
         }
         b"TRACE" => match rest {
             [sub] if sub.eq_ignore_ascii_case(b"DUMP") => {
@@ -511,6 +525,39 @@ mod tests {
         let mut server = Server::start(MiniRedis::new(10_000, 5, 5)).unwrap();
         let mut client = Client::connect(server.addr()).unwrap();
         assert!(client.mrc().is_err());
+        assert!(client.ping().unwrap(), "connection survives the error");
+        server.shutdown();
+    }
+
+    #[test]
+    fn bgsave_then_restore_on_start_resumes_the_dataset() {
+        let dir = std::env::temp_dir().join(format!("krr-srv-bgsave-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.ckpt");
+        let mut store = MiniRedis::new(1_000_000, 5, 31);
+        store.set_checkpoint_path(&path);
+        let mut server = Server::start(store).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        for key in 0..50u64 {
+            client.set(key, 100).unwrap();
+        }
+        client.bgsave().unwrap();
+        server.shutdown();
+
+        let restored = MiniRedis::restore_from(&path).unwrap();
+        let mut server = Server::start(restored).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert_eq!(client.dbsize().unwrap(), 50);
+        assert!(client.get(7).unwrap());
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bgsave_without_path_is_an_error() {
+        let mut server = Server::start(MiniRedis::new(10_000, 5, 32)).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert!(client.bgsave().is_err());
         assert!(client.ping().unwrap(), "connection survives the error");
         server.shutdown();
     }

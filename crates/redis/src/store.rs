@@ -15,11 +15,16 @@
 //!   (`dictGetSomeKeys`) and the fair `dictGetRandomKey` loop the paper's
 //!   footnote 3 discusses.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::dict::Dict;
 use krr_baselines::watchdog::{AccuracyWatchdog, WatchdogConfig, WatchdogReport};
-use krr_core::metrics::MetricsRegistry;
+use krr_core::checkpoint::{
+    CheckpointReader, CheckpointWriter, Dec, Enc, SECTION_METRICS, SECTION_SHARDED, SECTION_STORE,
+    SECTION_WATCHDOG,
+};
+use krr_core::metrics::{MetricsRegistry, MetricsSnapshot};
 use krr_core::model::KrrConfig;
 use krr_core::mrc::Mrc;
 use krr_core::obs::FlightRecorder;
@@ -95,6 +100,11 @@ pub struct MiniRedis {
     overhead_per_key: u64,
     stats: StoreStats,
     scratch: Vec<(u64, Entry)>,
+    /// Dict hash seed, remembered so a BGSAVE checkpoint can rebuild the
+    /// keyspace with the same bucket layout family.
+    seed: u64,
+    /// Where `BGSAVE` writes its checkpoint, if configured.
+    checkpoint_path: Option<PathBuf>,
     metrics: Arc<MetricsRegistry>,
     /// Optional online MRC profiler fed by the GET stream.
     profiler: Option<ShardedKrr>,
@@ -128,6 +138,8 @@ impl MiniRedis {
             overhead_per_key: 0,
             stats: StoreStats::default(),
             scratch: Vec::new(),
+            seed,
+            checkpoint_path: None,
             metrics: Arc::new(MetricsRegistry::new()),
             profiler: None,
             watchdog: None,
@@ -414,6 +426,153 @@ impl MiniRedis {
             self.pool.insert(pos, PoolSlot { key, idle });
         }
     }
+
+    /// Configures where [`MiniRedis::bgsave`] writes its checkpoint.
+    pub fn set_checkpoint_path<P: Into<PathBuf>>(&mut self, path: P) {
+        self.checkpoint_path = Some(path.into());
+    }
+
+    /// The configured `BGSAVE` target, if any.
+    #[must_use]
+    pub fn checkpoint_path(&self) -> Option<&Path> {
+        self.checkpoint_path.as_deref()
+    }
+
+    /// Serializes the store proper into a `krr-ckpt-v1` `STOR` payload:
+    /// configuration, memory accounting, hit/miss counters, the eviction
+    /// pool, and every resident `(key, size, lru)` entry sorted by key so
+    /// identical state always produces identical bytes.
+    pub fn save_state(&self, enc: &mut Enc) {
+        enc.put_u64(self.maxmemory)
+            .put_u64(self.samples as u64)
+            .put_u8(match self.mode {
+                SamplingMode::ClusteredWalk => 0,
+                SamplingMode::UniformRandom => 1,
+            })
+            .put_u64(self.seed)
+            .put_u64(self.clock_resolution)
+            .put_u64(self.overhead_per_key)
+            .put_u64(self.used_memory)
+            .put_u64(self.ticks)
+            .put_u64(self.stats.hits)
+            .put_u64(self.stats.misses)
+            .put_u64(self.stats.evictions);
+        enc.put_u64(self.pool.len() as u64);
+        for slot in &self.pool {
+            enc.put_u64(slot.key).put_u64(slot.idle);
+        }
+        let mut entries: Vec<(u64, Entry)> = self.dict.iter().map(|(k, e)| (k, *e)).collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        enc.put_u64(entries.len() as u64);
+        for (k, e) in entries {
+            enc.put_u64(k).put_u32(e.size).put_u32(e.lru);
+        }
+    }
+
+    /// Rebuilds a store from a [`MiniRedis::save_state`] payload. Resident
+    /// data, memory accounting, counters, the LRU clock, and the eviction
+    /// pool are restored exactly; the dict is re-seeded like the original
+    /// but re-inserted key-ascending, so bucket-chain order (and therefore
+    /// future eviction *sampling* walks) is statistically, not bitwise,
+    /// identical to the pre-crash process.
+    pub fn load_state(dec: &mut Dec<'_>) -> std::io::Result<Self> {
+        let invalid = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let maxmemory = dec.u64()?;
+        let samples = dec.u64()? as usize;
+        let mode = match dec.u8()? {
+            0 => SamplingMode::ClusteredWalk,
+            1 => SamplingMode::UniformRandom,
+            _ => return Err(invalid("unknown sampling mode tag in checkpoint")),
+        };
+        let seed = dec.u64()?;
+        if maxmemory == 0 || samples == 0 {
+            return Err(invalid("checkpoint has zero maxmemory or samples"));
+        }
+        let mut store = Self::with_mode(maxmemory, samples, mode, seed);
+        store.clock_resolution = dec.u64()?.max(1);
+        store.overhead_per_key = dec.u64()?;
+        let used_memory = dec.u64()?;
+        store.ticks = dec.u64()?;
+        store.stats = StoreStats {
+            hits: dec.u64()?,
+            misses: dec.u64()?,
+            evictions: dec.u64()?,
+        };
+        let pool_len = dec.u64()?;
+        for _ in 0..pool_len {
+            let key = dec.u64()?;
+            let idle = dec.u64()?;
+            store.pool.push(PoolSlot { key, idle });
+        }
+        let n = dec.u64()?;
+        for _ in 0..n {
+            let key = dec.u64()?;
+            let size = dec.u32()?;
+            let lru = dec.u32()?;
+            if store.dict.insert(key, Entry { size, lru }).is_some() {
+                return Err(invalid("duplicate key in store checkpoint"));
+            }
+        }
+        store.used_memory = used_memory;
+        Ok(store)
+    }
+
+    /// Writes a full `krr-ckpt-v1` checkpoint of the store — keyspace and
+    /// counters (`STOR`), metrics registry (`METR`), plus the profiler
+    /// (`SHRD`) and watchdog (`WDOG`) when enabled — atomically to `path`.
+    pub fn save_checkpoint<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let mut w = CheckpointWriter::new();
+        self.save_state(w.section(SECTION_STORE));
+        self.metrics
+            .snapshot()
+            .save_state(w.section(SECTION_METRICS));
+        if let Some(p) = &self.profiler {
+            p.save_state(w.section(SECTION_SHARDED));
+        }
+        if let Some(d) = &self.watchdog {
+            d.save_state(w.section(SECTION_WATCHDOG));
+        }
+        w.write_atomic(path)
+    }
+
+    /// `BGSAVE`: writes [`MiniRedis::save_checkpoint`] to the path set with
+    /// [`MiniRedis::set_checkpoint_path`], or fails with `InvalidInput` if
+    /// none was configured.
+    pub fn bgsave(&self) -> std::io::Result<()> {
+        match &self.checkpoint_path {
+            Some(path) => self.save_checkpoint(path),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "no checkpoint path configured",
+            )),
+        }
+    }
+
+    /// Restore-on-start: rebuilds a store from a
+    /// [`MiniRedis::save_checkpoint`] file. The profiler, watchdog, and
+    /// metrics counters come back when their sections are present, and the
+    /// checkpoint path is set to `path` so later `BGSAVE`s overwrite it.
+    pub fn restore_from<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let ckpt = CheckpointReader::open(&path)?;
+        let mut store = Self::load_state(&mut ckpt.require(SECTION_STORE)?)?;
+        if let Some(mut dec) = ckpt.section(SECTION_METRICS) {
+            store
+                .metrics
+                .absorb(&MetricsSnapshot::load_state(&mut dec)?);
+        }
+        if let Some(mut dec) = ckpt.section(SECTION_SHARDED) {
+            let mut bank = ShardedKrr::load_state(&mut dec)?;
+            bank.set_metrics(Arc::clone(&store.metrics));
+            store.profiler = Some(bank);
+        }
+        if let Some(mut dec) = ckpt.section(SECTION_WATCHDOG) {
+            let mut dog = AccuracyWatchdog::load_state(&mut dec)?;
+            dog.set_metrics(Arc::clone(&store.metrics));
+            store.watchdog = Some(dog);
+        }
+        store.checkpoint_path = Some(path.as_ref().to_path_buf());
+        Ok(store)
+    }
 }
 
 #[cfg(test)]
@@ -579,6 +738,42 @@ mod tests {
         assert_eq!(plain.points(), traced.points(), "tracing changed the MRC");
         let (events, _) = rec.collect_events();
         assert!(!events.is_empty(), "shard rings should hold stack updates");
+    }
+
+    #[test]
+    fn bgsave_restore_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("krr-bgsave-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.ckpt");
+        let mut r = MiniRedis::new(10_000, 5, 21);
+        r.enable_mrc_profiling(&KrrConfig::new(5.0).seed(4), 2);
+        for i in 0..5_000u64 {
+            r.access(&Request::get(i % 300, 100));
+        }
+        assert!(r.bgsave().is_err(), "no path configured yet");
+        r.set_checkpoint_path(&path);
+        r.bgsave().unwrap();
+        let mut b = MiniRedis::restore_from(&path).unwrap();
+        assert_eq!(b.len(), r.len());
+        assert_eq!(b.used_memory(), r.used_memory());
+        assert_eq!(b.stats(), r.stats());
+        assert_eq!(b.checkpoint_path(), Some(path.as_path()));
+        assert_eq!(
+            b.mrc_profile().unwrap().points(),
+            r.mrc_profile().unwrap().points(),
+            "restored profiler carries the same curve"
+        );
+        // Restored metrics counters match the saved snapshot.
+        assert_eq!(
+            b.metrics().snapshot().hits,
+            r.metrics().snapshot().hits,
+            "metrics counters survive restore"
+        );
+        // The restored keyspace answers GETs exactly like the original.
+        for k in 0..300u64 {
+            assert_eq!(b.get(k), r.get(k), "key {k}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::request::{Op, Request, Trace};
 use krr_core::obs::{Phase, ThreadRecorder};
 use std::fs::File;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Default [`CsvStream::with_recorder`] stall threshold: a buffered
@@ -42,6 +42,7 @@ pub struct CsvStream<R: BufRead> {
     reader: R,
     line: String,
     lineno: usize,
+    byte_offset: u64,
     done: bool,
     recorder: Option<(ThreadRecorder, u64)>,
 }
@@ -50,6 +51,21 @@ impl CsvStream<BufReader<File>> {
     /// Opens a trace file for streaming.
     pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
         Ok(Self::new(BufReader::new(File::open(path)?)))
+    }
+
+    /// Reopens a trace file at a position previously recorded by
+    /// [`CsvStream::byte_offset`] / [`CsvStream::lineno`] — the
+    /// checkpoint/resume path: `krr model --resume` seeks straight to the
+    /// first unprocessed line instead of replaying the prefix. Error
+    /// messages keep naming the original one-based line numbers because
+    /// `lineno` is restored alongside the offset.
+    pub fn open_at<P: AsRef<Path>>(path: P, byte_offset: u64, lineno: usize) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        file.seek(SeekFrom::Start(byte_offset))?;
+        let mut s = Self::new(BufReader::new(file));
+        s.byte_offset = byte_offset;
+        s.lineno = lineno;
+        Ok(s)
     }
 }
 
@@ -60,9 +76,27 @@ impl<R: BufRead> CsvStream<R> {
             reader,
             line: String::new(),
             lineno: 0,
+            byte_offset: 0,
             done: false,
             recorder: None,
         }
+    }
+
+    /// Bytes consumed from the underlying reader so far — always a line
+    /// boundary (blank/comment lines count), so the value can be handed to
+    /// [`CsvStream::open_at`] to resume exactly after the last yielded
+    /// request.
+    #[must_use]
+    pub fn byte_offset(&self) -> u64 {
+        self.byte_offset
+    }
+
+    /// Lines consumed so far (companion to [`CsvStream::byte_offset`];
+    /// restoring it keeps error messages' line numbers accurate after a
+    /// resume).
+    #[must_use]
+    pub fn lineno(&self) -> usize {
+        self.lineno
     }
 
     /// Attaches a flight-recorder handle: any `read_line` call that takes
@@ -145,7 +179,7 @@ impl<R: BufRead> Iterator for CsvStream<R> {
                     self.done = true;
                     return None;
                 }
-                Ok(_) => {}
+                Ok(n) => self.byte_offset += n as u64,
                 Err(e) => {
                     self.done = true;
                     return Some(Err(e));
@@ -242,5 +276,46 @@ mod tests {
     fn error_names_one_based_line_number() {
         let err = read_csv("get,1,1\n\nget,zzz,3\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("line 3"), "got: {err}");
+    }
+
+    #[test]
+    fn byte_offset_tracks_consumed_lines() {
+        let text = "get,1,10\n# note\nset,2,20\nget,3,30\n";
+        let mut s = CsvStream::new(text.as_bytes());
+        assert_eq!(s.byte_offset(), 0);
+        s.next().unwrap().unwrap();
+        assert_eq!(s.byte_offset(), "get,1,10\n".len() as u64);
+        assert_eq!(s.lineno(), 1);
+        // The comment line is consumed along with the next data line.
+        s.next().unwrap().unwrap();
+        assert_eq!(s.byte_offset(), "get,1,10\n# note\nset,2,20\n".len() as u64);
+        assert_eq!(s.lineno(), 3);
+        s.next().unwrap().unwrap();
+        assert_eq!(s.byte_offset(), text.len() as u64);
+        assert!(s.next().is_none());
+        assert_eq!(s.byte_offset(), text.len() as u64, "EOF adds nothing");
+    }
+
+    #[test]
+    fn open_at_resumes_exactly_after_prefix() {
+        let dir = std::env::temp_dir().join(format!("krr-csv-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let trace = vec![Request::get(1, 10), Request::set(2, 20), Request::unit(3)];
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &trace).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+
+        let mut s = CsvStream::open(&path).unwrap();
+        assert_eq!(s.next().unwrap().unwrap(), trace[0]);
+        let (off, line) = (s.byte_offset(), s.lineno());
+        drop(s);
+
+        let rest: Vec<Request> = CsvStream::open_at(&path, off, line)
+            .unwrap()
+            .collect::<io::Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(rest, trace[1..]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -5,7 +5,13 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+# Doctests, explicitly: documentation examples are part of the API
+# contract and must keep compiling and passing on their own.
+cargo test -q --offline --workspace --doc
 cargo fmt --check
+# Documentation gate: every public item documented, no broken intra-doc
+# links, rendered cleanly.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
 # Optional perf tracking: KRR_CI_BENCH=1 refreshes BENCH_pipeline.json
 # (sequential vs rescan vs route-once pipeline throughput) and

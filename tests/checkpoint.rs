@@ -1,0 +1,235 @@
+//! Crash-safety tests for the `krr-ckpt-v1` checkpoint subsystem.
+//!
+//! The contract under test is the paper-reproduction invariant the whole
+//! subsystem exists for: kill a profiling run at **any** batch boundary,
+//! restore from the last checkpoint, finish the trace, and the resulting
+//! MRC is bit-identical to an uninterrupted run. Alongside that, corrupted
+//! inputs (bad magic, future version, flipped bits, truncation) must be
+//! rejected with descriptive errors rather than yielding a silently wrong
+//! profiler.
+
+mod support;
+
+use krr::core::rng::Xoshiro256;
+use krr::core::sharded::ShardedKrr;
+use krr::core::{KrrConfig, KrrModel};
+use krr::redis::MiniRedis;
+use krr::trace::Request;
+
+/// A skewed, variable-size reference stream (quadratic key popularity).
+fn skewed_refs(n: usize, seed: u64) -> Vec<(u64, u32)> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u = rng.unit();
+            ((u * u * 4_000.0) as u64, 1 + rng.below(64) as u32)
+        })
+        .collect()
+}
+
+#[test]
+fn model_resume_is_bit_identical_at_every_batch_boundary() {
+    let refs = skewed_refs(8_000, 1);
+    let cfg = KrrConfig::new(5.0).sampling(0.5).seed(9);
+    let mut reference = KrrModel::new(cfg.clone());
+    for &(k, s) in &refs {
+        reference.access(k, s);
+    }
+    let ref_points = reference.mrc().points().to_vec();
+    let batch = 1_000;
+    for cut in (batch..refs.len()).step_by(batch) {
+        // Run to the boundary, "crash", restore, finish.
+        let mut pre = KrrModel::new(cfg.clone());
+        for &(k, s) in &refs[..cut] {
+            pre.access(k, s);
+        }
+        let mut bytes = Vec::new();
+        pre.checkpoint(&mut bytes).unwrap();
+        let mut resumed = KrrModel::restore(&bytes[..]).unwrap();
+        for &(k, s) in &refs[cut..] {
+            resumed.access(k, s);
+        }
+        assert_eq!(
+            resumed.mrc().points(),
+            ref_points.as_slice(),
+            "MRC diverged after resume at boundary {cut}"
+        );
+        assert_eq!(resumed.stats().processed, reference.stats().processed);
+        assert_eq!(resumed.stats().sampled, reference.stats().sampled);
+    }
+}
+
+#[test]
+fn sharded_resume_is_bit_identical_even_across_thread_counts() {
+    let refs = skewed_refs(12_000, 2);
+    let cfg = KrrConfig::new(8.0).seed(3);
+    let mut reference = ShardedKrr::new(&cfg, 4);
+    reference.process_stream(refs.iter().copied(), 3);
+    let ref_points = reference.mrc().points().to_vec();
+    // Boundaries chosen off the pipeline's internal batch size; per-shard
+    // order is global arrival order regardless of chunking or threads.
+    for cut in [1_000usize, 5_000, 11_999] {
+        let mut pre = ShardedKrr::new(&cfg, 4);
+        pre.process_stream(refs[..cut].iter().copied(), 2);
+        let mut bytes = Vec::new();
+        pre.checkpoint(&mut bytes).unwrap();
+        let mut resumed = ShardedKrr::restore(&bytes[..]).unwrap();
+        resumed.process_stream(refs[cut..].iter().copied(), 5);
+        assert_eq!(
+            resumed.mrc().points(),
+            ref_points.as_slice(),
+            "MRC diverged after resume at boundary {cut}"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_bytes_are_deterministic() {
+    let refs = skewed_refs(4_000, 5);
+    let make = || {
+        let mut m = ShardedKrr::new(&KrrConfig::new(5.0).seed(6), 3);
+        m.process_stream(refs.iter().copied(), 2);
+        let mut bytes = Vec::new();
+        m.checkpoint(&mut bytes).unwrap();
+        bytes
+    };
+    assert_eq!(make(), make(), "same state must serialize identically");
+}
+
+#[test]
+fn corrupted_checkpoints_are_rejected_with_clear_errors() {
+    let mut model = KrrModel::new(KrrConfig::new(5.0).seed(4));
+    for k in 0..2_000u64 {
+        model.access_key(k % 300);
+    }
+    let mut bytes = Vec::new();
+    model.checkpoint(&mut bytes).unwrap();
+    assert!(KrrModel::restore(&bytes[..]).is_ok(), "pristine file loads");
+
+    // Wrong magic: not one of ours.
+    let mut bad = bytes.clone();
+    bad[0] = b'X';
+    let err = KrrModel::restore(&bad[..]).unwrap_err();
+    assert!(err.to_string().contains("bad magic"), "got: {err}");
+
+    // A version from the future must be refused, not misparsed.
+    let mut future = bytes.clone();
+    future[7] = 9;
+    let err = KrrModel::restore(&future[..]).unwrap_err();
+    assert!(
+        err.to_string().contains("unsupported checkpoint version 9"),
+        "got: {err}"
+    );
+
+    // A single flipped payload bit fails the section CRC. Section layout
+    // after the 8-byte header: tag(4) + len(8) + payload + crc(4), so
+    // offset 24 is payload byte 4 of the first (MODL) section.
+    let mut flipped = bytes.clone();
+    flipped[24] ^= 0x01;
+    let err = KrrModel::restore(&flipped[..]).unwrap_err();
+    assert!(err.to_string().contains("crc mismatch"), "got: {err}");
+}
+
+#[test]
+fn truncated_checkpoints_are_rejected_at_every_cut() {
+    let mut model = KrrModel::new(KrrConfig::new(5.0).seed(7));
+    for k in 0..500u64 {
+        model.access_key(k % 100);
+    }
+    let mut bytes = Vec::new();
+    model.checkpoint(&mut bytes).unwrap();
+    // Every proper prefix must fail parsing or decoding — never produce a
+    // profiler from partial state.
+    for cut in [0, 4, 7, 8, 12, 20, bytes.len() / 2, bytes.len() - 1] {
+        let err = KrrModel::restore(&bytes[..cut]).unwrap_err();
+        assert!(
+            err.to_string().contains("truncated checkpoint"),
+            "cut {cut}: {err}"
+        );
+    }
+}
+
+#[test]
+fn metrics_counters_survive_a_model_checkpoint_cycle() {
+    use krr::core::checkpoint::{CheckpointReader, CheckpointWriter, SECTION_METRICS};
+    use krr::core::{MetricsRegistry, MetricsSnapshot};
+    use std::sync::Arc;
+
+    let reg = Arc::new(MetricsRegistry::new());
+    let mut bank = ShardedKrr::new(&KrrConfig::new(5.0).seed(8), 2);
+    bank.set_metrics(Arc::clone(&reg));
+    bank.process_stream(skewed_refs(6_000, 9).into_iter(), 2);
+    let before = reg.snapshot();
+    assert!(before.accesses > 0 && before.hits > 0);
+
+    let mut w = CheckpointWriter::new();
+    before.save_state(w.section(SECTION_METRICS));
+    let mut bytes = Vec::new();
+    w.write_to(&mut bytes).unwrap();
+
+    let r = CheckpointReader::from_bytes(&bytes).unwrap();
+    let snap = MetricsSnapshot::load_state(&mut r.require(SECTION_METRICS).unwrap()).unwrap();
+    let fresh = Arc::new(MetricsRegistry::new());
+    fresh.absorb(&snap);
+    let after = fresh.snapshot();
+    assert_eq!(after.accesses, before.accesses);
+    assert_eq!(after.hits, before.hits);
+    assert_eq!(after.cold_misses, before.cold_misses);
+    assert_eq!(after.shard_accesses, before.shard_accesses);
+}
+
+#[test]
+fn mini_redis_bgsave_restores_dataset_profiler_and_counters() {
+    let dir = std::env::temp_dir().join(format!("krr-ckpt-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("dump.ckpt");
+
+    let mut original = MiniRedis::new(200_000, 5, 11);
+    original.enable_mrc_profiling(&KrrConfig::new(5.0).seed(12), 2);
+    let mut rng = Xoshiro256::seed_from_u64(13);
+    for _ in 0..20_000 {
+        let u = rng.unit();
+        original.access(&Request::get((u * u * 2_000.0) as u64, 100));
+    }
+    original.set_checkpoint_path(&path);
+    original.bgsave().unwrap();
+
+    let mut restored = MiniRedis::restore_from(&path).unwrap();
+    assert_eq!(restored.len(), original.len());
+    assert_eq!(restored.used_memory(), original.used_memory());
+    assert_eq!(restored.stats(), original.stats());
+    assert_eq!(
+        restored.mrc_profile().unwrap().points(),
+        original.mrc_profile().unwrap().points()
+    );
+    // Identical GET streams keep identical dict membership afterwards.
+    for k in 0..2_000u64 {
+        assert_eq!(restored.get(k), original.get(k), "key {k}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn property_random_cut_points_resume_bit_identically() {
+    support::check("checkpoint::random_cuts", 12, |g| {
+        let n = g.usize(500, 4_000);
+        let refs = skewed_refs(n, g.any_u64());
+        let cfg = KrrConfig::new(g.f64(2.0, 16.0)).seed(g.any_u64());
+        let mut reference = KrrModel::new(cfg.clone());
+        for &(k, s) in &refs {
+            reference.access(k, s);
+        }
+        let cut = g.usize(1, n);
+        let mut pre = KrrModel::new(cfg);
+        for &(k, s) in &refs[..cut] {
+            pre.access(k, s);
+        }
+        let mut bytes = Vec::new();
+        pre.checkpoint(&mut bytes).unwrap();
+        let mut resumed = KrrModel::restore(&bytes[..]).unwrap();
+        for &(k, s) in &refs[cut..] {
+            resumed.access(k, s);
+        }
+        assert_eq!(resumed.mrc().points(), reference.mrc().points());
+    });
+}
