@@ -94,6 +94,18 @@ impl Aet {
     }
 }
 
+impl krr_core::footprint::Footprint for Aet {
+    fn footprint(&self) -> krr_core::footprint::FootprintReport {
+        let mut r = krr_core::footprint::FootprintReport::new();
+        r.add(
+            "aet_index",
+            krr_core::footprint::map_bytes(self.last.capacity(), std::mem::size_of::<(u64, u64)>()),
+        );
+        r.merge(&self.rtd.footprint());
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -196,6 +196,27 @@ impl CounterStacks {
     }
 }
 
+impl krr_core::footprint::Footprint for CounterStacks {
+    /// Counter slab + every HLL's register array + chunk buffer + weighted
+    /// bins — O(logM)-ish after pruning, the structure's selling point.
+    fn footprint(&self) -> krr_core::footprint::FootprintReport {
+        let mut r = krr_core::footprint::FootprintReport::new();
+        r.add(
+            "cs_counters",
+            self.counters.capacity() * std::mem::size_of::<Counter>(),
+        )
+        .add(
+            "cs_buffer",
+            self.buffer.capacity() * std::mem::size_of::<u64>(),
+        )
+        .add("cs_bins", self.bins.capacity() * std::mem::size_of::<f64>());
+        for c in &self.counters {
+            r.merge(&c.hll.footprint());
+        }
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

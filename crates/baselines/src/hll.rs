@@ -80,6 +80,14 @@ impl HyperLogLog {
     }
 }
 
+impl krr_core::footprint::Footprint for HyperLogLog {
+    fn footprint(&self) -> krr_core::footprint::FootprintReport {
+        let mut r = krr_core::footprint::FootprintReport::new();
+        r.add("hll_registers", self.registers.capacity());
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -138,6 +138,25 @@ impl Mimir {
     }
 }
 
+impl krr_core::footprint::Footprint for Mimir {
+    fn footprint(&self) -> krr_core::footprint::FootprintReport {
+        let mut r = krr_core::footprint::FootprintReport::new();
+        r.add(
+            "mimir_index",
+            krr_core::footprint::map_bytes(
+                self.bucket_of.capacity(),
+                std::mem::size_of::<(u64, u64)>(),
+            ),
+        )
+        .add(
+            "mimir_buckets",
+            self.counts.capacity() * std::mem::size_of::<(u64, u64)>(),
+        );
+        r.merge(&self.hist.footprint());
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

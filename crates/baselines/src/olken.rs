@@ -132,6 +132,20 @@ impl OlkenLru {
     }
 }
 
+impl krr_core::footprint::Footprint for OlkenLru {
+    /// Tree slab + key→time index + histogram: the O(M) exact-profiler
+    /// footprint KRR's sampled stack is compared against (§5.6).
+    fn footprint(&self) -> krr_core::footprint::FootprintReport {
+        let mut r = self.tree.footprint();
+        r.add(
+            "olken_index",
+            krr_core::footprint::map_bytes(self.last.capacity(), std::mem::size_of::<(u64, u64)>()),
+        );
+        r.merge(&self.hist.footprint());
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -207,6 +207,24 @@ impl OsTreap {
     }
 }
 
+impl krr_core::footprint::Footprint for OsTreap {
+    /// The node slab (at capacity) plus the free list — slab slots stay
+    /// allocated after removals, which is exactly what makes the tree's
+    /// footprint O(M) even when shrinking.
+    fn footprint(&self) -> krr_core::footprint::FootprintReport {
+        let mut r = krr_core::footprint::FootprintReport::new();
+        r.add(
+            "tree_nodes",
+            self.nodes.capacity() * std::mem::size_of::<Node>(),
+        )
+        .add(
+            "tree_free",
+            self.free.capacity() * std::mem::size_of::<u32>(),
+        );
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

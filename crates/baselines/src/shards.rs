@@ -254,6 +254,40 @@ impl ShardsMax {
     }
 }
 
+impl krr_core::footprint::Footprint for Shards {
+    fn footprint(&self) -> krr_core::footprint::FootprintReport {
+        let mut r = self.tree.footprint();
+        r.add(
+            "shards_index",
+            krr_core::footprint::map_bytes(self.last.capacity(), std::mem::size_of::<(u64, u64)>()),
+        );
+        r.merge(&self.hist.footprint());
+        r
+    }
+}
+
+impl krr_core::footprint::Footprint for ShardsMax {
+    fn footprint(&self) -> krr_core::footprint::FootprintReport {
+        let mut r = self.tree.footprint();
+        r.add(
+            "shards_index",
+            krr_core::footprint::map_bytes(
+                self.last.capacity(),
+                std::mem::size_of::<(u64, (u64, u64))>(),
+            ),
+        )
+        .add(
+            "shards_time_index",
+            krr_core::footprint::btree_bytes(self.by_time.len(), std::mem::size_of::<(u64, u64)>()),
+        )
+        .add(
+            "shards_bins",
+            self.bins.capacity() * std::mem::size_of::<f64>(),
+        );
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

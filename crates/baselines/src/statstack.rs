@@ -108,6 +108,18 @@ impl StatStack {
     }
 }
 
+impl krr_core::footprint::Footprint for StatStack {
+    fn footprint(&self) -> krr_core::footprint::FootprintReport {
+        let mut r = krr_core::footprint::FootprintReport::new();
+        r.add(
+            "statstack_index",
+            krr_core::footprint::map_bytes(self.last.capacity(), std::mem::size_of::<(u64, u64)>()),
+        );
+        r.merge(&self.rtd.footprint());
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

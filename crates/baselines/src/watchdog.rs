@@ -209,6 +209,7 @@ impl AccuracyWatchdog {
             if drifted {
                 m.watchdog_drift_events.inc();
             }
+            m.publish_footprint(&krr_core::footprint::Footprint::footprint(self));
         }
         if let (Some(rec), Some(r0)) = (&self.recorder, r0) {
             rec.record_since(Phase::WatchdogCheck, r0, (mae * 1e6).round() as u64);
@@ -296,6 +297,17 @@ impl AccuracyWatchdog {
             metrics: None,
             recorder: None,
         })
+    }
+}
+
+impl krr_core::footprint::Footprint for AccuracyWatchdog {
+    /// The shadow profiler's entire footprint under a single `shadow_olken`
+    /// label, so [`MetricsRegistry::publish_footprint`] routes it to the
+    /// `footprint_shadow_bytes` gauge without disturbing the model gauges.
+    fn footprint(&self) -> krr_core::footprint::FootprintReport {
+        let mut r = krr_core::footprint::FootprintReport::new();
+        r.add("shadow_olken", self.shadow.deep_bytes());
+        r
     }
 }
 

@@ -1,0 +1,655 @@
+//! Embedded HTTP/1.1 exposition server: point a scraper (or `curl`) at a
+//! running profiler.
+//!
+//! Everything the repo's observability layers produce — the
+//! `krr-metrics-v1` registry, the live MRC, the windowed stats timeline,
+//! the flight-recorder trace, the accuracy watchdog — was push/file-based
+//! until now. [`ExpoServer`] exposes the same data over plain HTTP with no
+//! dependencies: a blocking [`TcpListener`] in one background thread (the
+//! same style as the mini-Redis server), handling one request per
+//! connection.
+//!
+//! | Endpoint   | Content                                                |
+//! |------------|--------------------------------------------------------|
+//! | `/metrics` | [`MetricsRegistry`] as OpenMetrics/Prometheus text     |
+//! | `/mrc`     | latest published MRC as `krr-mrc-v1` JSON              |
+//! | `/stats`   | recent `krr-stats-v1` timeline rows as a JSON array    |
+//! | `/trace`   | flight-recorder drain as Chrome trace-event JSON       |
+//! | `/healthz` | watchdog drift + pipeline stall status (200 / 503)     |
+//!
+//! Endpoints whose source was not wired into [`ExpoSources`] answer 404;
+//! `/mrc` answers 503 until the first MRC is published; `/healthz` always
+//! answers. Requests are handled inline on the accept thread, so shutting
+//! the server down ([`ExpoServer::shutdown`], also run on [`Drop`]) joins
+//! exactly one thread and can never leak per-connection threads.
+//!
+//! ```
+//! use krr_core::expo::{http_get, ExpoServer, ExpoSources};
+//! use krr_core::metrics::MetricsRegistry;
+//! use std::sync::Arc;
+//!
+//! let reg = Arc::new(MetricsRegistry::new());
+//! reg.accesses.add(3);
+//! let sources = ExpoSources {
+//!     metrics: Some(Arc::clone(&reg)),
+//!     ..ExpoSources::default()
+//! };
+//! let server = ExpoServer::start("127.0.0.1:0", sources).unwrap();
+//! let (status, ctype, body) = http_get(server.addr(), "/metrics").unwrap();
+//! assert_eq!(status, 200);
+//! assert!(ctype.starts_with("application/openmetrics-text"));
+//! assert!(body.contains("krr_accesses_total 3"));
+//! assert!(body.trim_end().ends_with("# EOF"));
+//! ```
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::{bucket_bound, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+use crate::mrc::Mrc;
+use crate::obs::FlightRecorder;
+
+/// Content type of the `/metrics` endpoint.
+pub const OPENMETRICS_CONTENT_TYPE: &str =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// A shared slot holding the most recently published MRC, read by the
+/// `/mrc` endpoint. The profiling loop publishes at natural barriers
+/// (chunk boundaries, end of run); scrapes never block profiling for more
+/// than the copy under the mutex.
+#[derive(Debug, Default)]
+pub struct MrcCell(Mutex<Option<Mrc>>);
+
+impl MrcCell {
+    /// Creates an empty cell (readers see "not yet published").
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a new MRC, replacing any previous one.
+    pub fn publish(&self, mrc: Mrc) {
+        *self.0.lock().expect("mrc cell poisoned") = Some(mrc);
+    }
+
+    /// The latest published MRC, if any.
+    #[must_use]
+    pub fn get(&self) -> Option<Mrc> {
+        self.0.lock().expect("mrc cell poisoned").clone()
+    }
+}
+
+/// Capacity of a [`StatsRing`]: scrapes see at most this many recent rows.
+pub const STATS_RING_ROWS: usize = 64;
+
+/// A bounded ring of recent `krr-stats-v1` timeline rows (JSON objects,
+/// one per window), served by `/stats`. Push via [`StatsRing::push`] or by
+/// teeing a `StatsTimeline` writer through [`RingWriter`].
+#[derive(Debug, Default)]
+pub struct StatsRing(Mutex<VecDeque<String>>);
+
+impl StatsRing {
+    /// Creates an empty ring.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a row, dropping the oldest once [`STATS_RING_ROWS`] is
+    /// reached.
+    pub fn push(&self, row: String) {
+        let mut q = self.0.lock().expect("stats ring poisoned");
+        if q.len() == STATS_RING_ROWS {
+            q.pop_front();
+        }
+        q.push_back(row);
+    }
+
+    /// The retained rows, oldest first.
+    #[must_use]
+    pub fn rows(&self) -> Vec<String> {
+        self.0
+            .lock()
+            .expect("stats ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+/// A [`Write`] tee that forwards bytes to an optional inner writer while
+/// splitting the stream on `\n` into complete lines pushed to a
+/// [`StatsRing`]. Wrap a `StatsTimeline` output with this to make the
+/// JSONL rows scrapeable from `/stats` while still landing in the file.
+#[derive(Debug)]
+pub struct RingWriter<W: Write> {
+    inner: Option<W>,
+    ring: Arc<StatsRing>,
+    buf: Vec<u8>,
+}
+
+impl<W: Write> RingWriter<W> {
+    /// Tees into `ring`, forwarding to `inner` when present.
+    #[must_use]
+    pub fn new(inner: Option<W>, ring: Arc<StatsRing>) -> Self {
+        Self {
+            inner,
+            ring,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl<W: Write> Write for RingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(w) = &mut self.inner {
+            w.write_all(buf)?;
+        }
+        for &b in buf {
+            if b == b'\n' {
+                let line = String::from_utf8_lossy(&self.buf).into_owned();
+                if !line.is_empty() {
+                    self.ring.push(line);
+                }
+                self.buf.clear();
+            } else {
+                self.buf.push(b);
+            }
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match &mut self.inner {
+            Some(w) => w.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// What an [`ExpoServer`] serves. Every source is optional; endpoints
+/// without a source answer 404 so a scraper can tell "not wired" from
+/// "not yet ready" (503).
+#[derive(Debug, Default, Clone)]
+pub struct ExpoSources {
+    /// Registry behind `/metrics` (and the drift/stall half of `/healthz`).
+    pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Cell behind `/mrc`.
+    pub mrc: Option<Arc<MrcCell>>,
+    /// Ring behind `/stats`.
+    pub stats: Option<Arc<StatsRing>>,
+    /// Recorder behind `/trace`.
+    pub trace: Option<Arc<FlightRecorder>>,
+}
+
+/// Renders a metrics snapshot as OpenMetrics text (the format scraped by
+/// Prometheus): `# TYPE` lines, `_total`-suffixed counters, cumulative
+/// `_bucket{le="..."}` histogram series ending at `+Inf`, `{shard="i"}`
+/// labels for the per-shard series, and a final `# EOF` terminator.
+#[must_use]
+pub fn render_openmetrics(snap: &MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let counter = |s: &mut String, name: &str, v: u64| {
+        let _ = write!(s, "# TYPE krr_{name} counter\nkrr_{name}_total {v}\n");
+    };
+    let gauge = |s: &mut String, name: &str, v: u64| {
+        let _ = write!(s, "# TYPE krr_{name} gauge\nkrr_{name} {v}\n");
+    };
+    let hist = |s: &mut String, name: &str, h: &HistogramSnapshot| {
+        let _ = write!(s, "# TYPE krr_{name} histogram\n");
+        let mut cum = 0u64;
+        for (b, &c) in h.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            let _ = write!(s, "krr_{name}_bucket{{le=\"{}\"}} {cum}\n", bucket_bound(b));
+        }
+        // A scrape can race `Histogram::record`, whose bucket increment
+        // lands before its count increment — a snapshot may briefly hold
+        // more bucketed values than `count`. Clamp so the exposed series
+        // stays cumulative (`+Inf` >= every finite bucket == `_count`).
+        let total = h.count.max(cum);
+        let _ = write!(s, "krr_{name}_bucket{{le=\"+Inf\"}} {total}\n");
+        let _ = write!(s, "krr_{name}_count {total}\nkrr_{name}_sum {}\n", h.sum);
+    };
+    counter(&mut s, "accesses", snap.accesses);
+    counter(&mut s, "spatial_rejected", snap.spatial_rejected);
+    counter(&mut s, "hits", snap.hits);
+    counter(&mut s, "cold_misses", snap.cold_misses);
+    hist(&mut s, "chain_len", &snap.chain_len);
+    hist(&mut s, "positions_scanned", &snap.positions_scanned);
+    hist(&mut s, "access_ns", &snap.access_ns);
+    counter(&mut s, "merges", snap.merges);
+    counter(&mut s, "merge_ns", snap.merge_ns);
+    counter(&mut s, "evictions", snap.evictions);
+    hist(&mut s, "candidate_age", &snap.candidate_age);
+    counter(&mut s, "pipeline_batches", snap.pipeline_batches);
+    counter(&mut s, "pipeline_stalls", snap.pipeline_stalls);
+    counter(&mut s, "pipeline_keys_hashed", snap.pipeline_keys_hashed);
+    counter(
+        &mut s,
+        "pipeline_router_busy_ns",
+        snap.pipeline_router_busy_ns,
+    );
+    counter(
+        &mut s,
+        "pipeline_worker_busy_ns",
+        snap.pipeline_worker_busy_ns,
+    );
+    counter(&mut s, "watchdog_checks", snap.watchdog_checks);
+    counter(&mut s, "watchdog_shadow_refs", snap.watchdog_shadow_refs);
+    counter(&mut s, "watchdog_drift_events", snap.watchdog_drift_events);
+    gauge(&mut s, "watchdog_mae_ppm", snap.watchdog_mae_ppm);
+    gauge(&mut s, "footprint_stack_bytes", snap.footprint_stack_bytes);
+    gauge(&mut s, "footprint_hist_bytes", snap.footprint_hist_bytes);
+    gauge(&mut s, "footprint_sizes_bytes", snap.footprint_sizes_bytes);
+    gauge(
+        &mut s,
+        "footprint_pipeline_bytes",
+        snap.footprint_pipeline_bytes,
+    );
+    gauge(
+        &mut s,
+        "footprint_shadow_bytes",
+        snap.footprint_shadow_bytes,
+    );
+    gauge(&mut s, "footprint_total_bytes", snap.footprint_total_bytes);
+    gauge(&mut s, "heap_live_bytes", snap.heap_live_bytes);
+    gauge(&mut s, "heap_peak_bytes", snap.heap_peak_bytes);
+    let labeled = |s: &mut String, name: &str, kind: &str, suffix: &str, vals: &[u64]| {
+        if vals.is_empty() {
+            return;
+        }
+        let _ = write!(s, "# TYPE krr_{name} {kind}\n");
+        for (i, v) in vals.iter().enumerate() {
+            let _ = write!(s, "krr_{name}{suffix}{{shard=\"{i}\"}} {v}\n");
+        }
+    };
+    labeled(
+        &mut s,
+        "shard_accesses",
+        "counter",
+        "_total",
+        &snap.shard_accesses,
+    );
+    labeled(&mut s, "shard_resident", "gauge", "", &snap.shard_resident);
+    labeled(
+        &mut s,
+        "shard_depth_hwm",
+        "gauge",
+        "",
+        &snap.shard_depth_hwm,
+    );
+    labeled(
+        &mut s,
+        "shard_queue_depth_hwm",
+        "gauge",
+        "",
+        &snap.pipeline_queue_hwm,
+    );
+    s.push_str("# EOF\n");
+    s
+}
+
+/// Renders an MRC as `krr-mrc-v1` JSON:
+/// `{"schema":"krr-mrc-v1","points":[[cache_size,miss_ratio],...]}`.
+#[must_use]
+pub fn mrc_json(mrc: &Mrc) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("{\"schema\":\"krr-mrc-v1\",\"points\":[");
+    for (i, &(x, y)) in mrc.points().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "[{x},{y}]");
+    }
+    s.push_str("]}");
+    s
+}
+
+/// The exposition server: one listener, one background thread, requests
+/// handled inline. Dropping (or calling [`ExpoServer::shutdown`]) stops
+/// the thread and releases the port, so a later server — e.g. after a
+/// checkpoint restore — can rebind the same address.
+#[derive(Debug)]
+pub struct ExpoServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ExpoServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9090"`; port 0 picks a free port —
+    /// read it back from [`ExpoServer::addr`]) and starts serving
+    /// `sources` on a background thread.
+    pub fn start<A: ToSocketAddrs>(addr: A, sources: ExpoSources) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("krr-expo".into())
+            .spawn(move || serve_loop(&listener, &sources, &thread_stop))?;
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. Idempotent;
+    /// also run by [`Drop`], so tests and the CLI can never leak the
+    /// listener thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ExpoServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_loop(listener: &TcpListener, sources: &ExpoSources, stop: &AtomicBool) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Inline handling: a request is a snapshot + a render, so
+                // a dedicated thread per connection buys nothing and would
+                // complicate shutdown.
+                let _ = handle_conn(stream, sources);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn respond(
+    mut stream: TcpStream,
+    status: u16,
+    reason: &str,
+    ctype: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn handle_conn(mut stream: TcpStream, sources: &ExpoSources) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let mut req = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Read until the end of the header block (we never accept bodies).
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        req.extend_from_slice(&chunk[..n]);
+        if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 8192 {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&req);
+    let mut parts = text.lines().next().unwrap_or("").split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => return respond(stream, 400, "Bad Request", "text/plain", "bad request\n"),
+    };
+    if method != "GET" {
+        return respond(
+            stream,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n",
+        );
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    match path {
+        "/metrics" => match &sources.metrics {
+            Some(reg) => {
+                let body = render_openmetrics(&reg.snapshot());
+                respond(stream, 200, "OK", OPENMETRICS_CONTENT_TYPE, &body)
+            }
+            None => respond(
+                stream,
+                404,
+                "Not Found",
+                "text/plain",
+                "no metrics source\n",
+            ),
+        },
+        "/mrc" => match &sources.mrc {
+            Some(cell) => match cell.get() {
+                Some(mrc) => respond(stream, 200, "OK", "application/json", &mrc_json(&mrc)),
+                None => respond(
+                    stream,
+                    503,
+                    "Service Unavailable",
+                    "text/plain",
+                    "mrc not yet published\n",
+                ),
+            },
+            None => respond(stream, 404, "Not Found", "text/plain", "no mrc source\n"),
+        },
+        "/stats" => match &sources.stats {
+            Some(ring) => {
+                let rows = ring.rows();
+                let mut body = String::from("[");
+                for (i, r) in rows.iter().enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    body.push_str(r);
+                }
+                body.push(']');
+                respond(stream, 200, "OK", "application/json", &body)
+            }
+            None => respond(stream, 404, "Not Found", "text/plain", "no stats source\n"),
+        },
+        "/trace" => match &sources.trace {
+            Some(rec) => respond(
+                stream,
+                200,
+                "OK",
+                "application/json",
+                &rec.chrome_trace_json(),
+            ),
+            None => respond(stream, 404, "Not Found", "text/plain", "no trace source\n"),
+        },
+        "/healthz" => {
+            let (drift, mae, stalls) = match &sources.metrics {
+                Some(reg) => (
+                    reg.watchdog_drift_events.get(),
+                    reg.watchdog_mae_ppm.get(),
+                    reg.pipeline_stalls.get(),
+                ),
+                None => (0, 0, 0),
+            };
+            let status = if drift > 0 { "drift" } else { "ok" };
+            let body = format!(
+                "{{\"status\":\"{status}\",\"drift_events\":{drift},\"mae_ppm\":{mae},\"pipeline_stalls\":{stalls}}}"
+            );
+            if drift > 0 {
+                respond(
+                    stream,
+                    503,
+                    "Service Unavailable",
+                    "application/json",
+                    &body,
+                )
+            } else {
+                respond(stream, 200, "OK", "application/json", &body)
+            }
+        }
+        _ => respond(stream, 404, "Not Found", "text/plain", "unknown endpoint\n"),
+    }
+}
+
+/// Minimal HTTP/1.1 GET client for tests and examples: returns
+/// `(status, content_type, body)`. Not a general client — it assumes the
+/// `Connection: close` responses [`ExpoServer`] sends.
+pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, String, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let header_end = text
+        .find("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+    let head = &text[..header_end];
+    let body = text[header_end + 4..].to_string();
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let ctype = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case("content-type")
+                .then(|| v.trim().to_string())
+        })
+        .unwrap_or_default();
+    Ok((status, ctype, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mrc_cell_publishes_latest() {
+        let cell = MrcCell::new();
+        assert!(cell.get().is_none());
+        cell.publish(Mrc::from_points(vec![(0.0, 1.0), (10.0, 0.5)]));
+        cell.publish(Mrc::from_points(vec![(0.0, 1.0), (10.0, 0.25)]));
+        let got = cell.get().unwrap();
+        assert_eq!(got.points().len(), 2);
+        assert!((got.eval(10.0) - 0.25).abs() < 1e-12);
+        assert!(mrc_json(&got).starts_with("{\"schema\":\"krr-mrc-v1\""));
+    }
+
+    #[test]
+    fn ring_writer_splits_lines_and_forwards() {
+        let ring = Arc::new(StatsRing::new());
+        let mut file = Vec::new();
+        {
+            let mut w = RingWriter::new(Some(&mut file), Arc::clone(&ring));
+            w.write_all(b"{\"a\":1}").unwrap();
+            w.write_all(b"\n{\"b\":2}\n{\"c\"").unwrap();
+            w.write_all(b":3}\n").unwrap();
+            w.flush().unwrap();
+        }
+        assert_eq!(ring.rows(), vec!["{\"a\":1}", "{\"b\":2}", "{\"c\":3}"]);
+        assert_eq!(file, b"{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n");
+    }
+
+    #[test]
+    fn stats_ring_is_bounded() {
+        let ring = StatsRing::new();
+        for i in 0..(STATS_RING_ROWS + 10) {
+            ring.push(format!("{{\"i\":{i}}}"));
+        }
+        let rows = ring.rows();
+        assert_eq!(rows.len(), STATS_RING_ROWS);
+        assert_eq!(rows[0], "{\"i\":10}");
+    }
+
+    #[test]
+    fn openmetrics_render_shapes() {
+        let reg = MetricsRegistry::new();
+        reg.accesses.add(7);
+        reg.chain_len.record(0);
+        reg.chain_len.record(5);
+        reg.init_shards(2);
+        reg.shard_access_n(1, 3);
+        reg.set_shard_resident(0, 11);
+        let text = render_openmetrics(&reg.snapshot());
+        assert!(text.contains("# TYPE krr_accesses counter\nkrr_accesses_total 7\n"));
+        assert!(text.contains("# TYPE krr_chain_len histogram\n"));
+        // Cumulative: bucket 0 (le="0") holds 1, le=+Inf holds all 2.
+        assert!(text.contains("krr_chain_len_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("krr_chain_len_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("krr_chain_len_sum 5\n"));
+        assert!(text.contains("krr_shard_accesses_total{shard=\"1\"} 3\n"));
+        assert!(text.contains("krr_shard_resident{shard=\"0\"} 11\n"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn server_serves_and_shuts_down_cleanly() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.hits.add(5);
+        let sources = ExpoSources {
+            metrics: Some(Arc::clone(&reg)),
+            ..ExpoSources::default()
+        };
+        let mut server = ExpoServer::start("127.0.0.1:0", sources.clone()).unwrap();
+        let addr = server.addr();
+        let (status, ctype, body) = http_get(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(ctype.starts_with("application/openmetrics-text"));
+        assert!(body.contains("krr_hits_total 5"));
+        let (status, _, _) = http_get(addr, "/nope").unwrap();
+        assert_eq!(status, 404);
+        server.shutdown();
+        // The port is released: a new server can rebind the same address.
+        let server2 = ExpoServer::start(addr, sources).unwrap();
+        let (status, _, body) = http_get(server2.addr(), "/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""));
+    }
+
+    #[test]
+    fn unwired_sources_answer_404_and_empty_mrc_503() {
+        let sources = ExpoSources {
+            mrc: Some(Arc::new(MrcCell::new())),
+            ..ExpoSources::default()
+        };
+        let server = ExpoServer::start("127.0.0.1:0", sources).unwrap();
+        for path in ["/metrics", "/stats", "/trace"] {
+            let (status, _, _) = http_get(server.addr(), path).unwrap();
+            assert_eq!(status, 404, "{path}");
+        }
+        let (status, _, _) = http_get(server.addr(), "/mrc").unwrap();
+        assert_eq!(status, 503);
+    }
+}

@@ -191,6 +191,14 @@ impl SdHistogram {
     }
 }
 
+impl crate::footprint::Footprint for SdHistogram {
+    fn footprint(&self) -> crate::footprint::FootprintReport {
+        let mut r = crate::footprint::FootprintReport::new();
+        r.add("histogram", self.memory_bytes());
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

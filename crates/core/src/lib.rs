@@ -44,6 +44,12 @@
 //! * [`metrics`] — lock-free counters/histograms observing the pipeline.
 //! * [`obs`] — flight-recorder span tracing (Chrome trace export) and the
 //!   windowed stats timeline.
+//! * [`expo`] — embedded HTTP/1.1 exposition server (`/metrics` in
+//!   OpenMetrics text, `/mrc`, `/stats`, `/trace`, `/healthz`).
+//! * [`footprint`] — deep memory accounting ([`Footprint`] trait) for the
+//!   paper's §5.6–5.7 space-cost comparison.
+//! * [`heap`] — opt-in counting global allocator (`alloc-stats` feature)
+//!   behind the live/peak heap gauges.
 //! * [`persist`] — plain-text persistence for histograms, MRCs and
 //!   metrics snapshots.
 //! * [`checkpoint`] — the crash-safe `krr-ckpt-v1` binary checkpoint
@@ -55,7 +61,10 @@
 #![warn(clippy::all)]
 
 pub mod checkpoint;
+pub mod expo;
+pub mod footprint;
 pub mod hashing;
+pub mod heap;
 pub mod histogram;
 pub mod metrics;
 pub mod model;
@@ -74,6 +83,8 @@ pub mod update;
 pub mod windowed;
 
 pub use checkpoint::{CheckpointReader, CheckpointWriter};
+pub use expo::{ExpoServer, ExpoSources, MrcCell, StatsRing};
+pub use footprint::{Footprint, FootprintReport};
 pub use histogram::SdHistogram;
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use model::{KrrConfig, KrrModel, ModelStats, SizeMode};

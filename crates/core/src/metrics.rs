@@ -349,8 +349,33 @@ pub struct MetricsRegistry {
     /// Latest MAE between the KRR MRC and the shadow Olken MRC, in parts
     /// per million of miss ratio (MAE 0.0123 → 12300).
     pub watchdog_mae_ppm: Gauge,
+    /// Deep bytes of every KRR stack (entries + key index), summed across
+    /// shards; refreshed at footprint publish points (see
+    /// [`crate::footprint`]).
+    pub footprint_stack_bytes: Gauge,
+    /// Deep bytes of the stack-distance histograms, summed across shards.
+    pub footprint_hist_bytes: Gauge,
+    /// Deep bytes of the byte-level `sizeArray`s (0 in uniform-size mode).
+    pub footprint_sizes_bytes: Gauge,
+    /// Resident bytes of the streaming pipeline's routing buffers
+    /// (`shards × batch_size × 24 B`), set when a pipeline run starts and
+    /// retaining the most recent run's value.
+    pub footprint_pipeline_bytes: Gauge,
+    /// Deep bytes of the accuracy watchdog's shadow Olken profiler.
+    pub footprint_shadow_bytes: Gauge,
+    /// Sum of every published footprint gauge — the profiler's modeled
+    /// space cost (§5.6–5.7).
+    pub footprint_total_bytes: Gauge,
+    /// Live heap bytes from the counting allocator (0 unless the
+    /// `alloc-stats` feature is on and [`crate::heap::CountingAlloc`] is
+    /// installed).
+    pub heap_live_bytes: Gauge,
+    /// Peak heap bytes from the counting allocator (same caveat).
+    pub heap_peak_bytes: Gauge,
     shard_accesses: OnceLock<Box<[Counter]>>,
     queue_hwm: OnceLock<Box<[AtomicU64]>>,
+    shard_resident: OnceLock<Box<[AtomicU64]>>,
+    shard_depth: OnceLock<Box<[AtomicU64]>>,
 }
 
 impl MetricsRegistry {
@@ -369,6 +394,12 @@ impl MetricsRegistry {
             .set((0..n).map(|_| Counter::new()).collect());
         let _ = self
             .queue_hwm
+            .set((0..n).map(|_| AtomicU64::new(0)).collect());
+        let _ = self
+            .shard_resident
+            .set((0..n).map(|_| AtomicU64::new(0)).collect());
+        let _ = self
+            .shard_depth
             .set((0..n).map(|_| AtomicU64::new(0)).collect());
     }
 
@@ -420,6 +451,94 @@ impl MetricsRegistry {
             .unwrap_or_default()
     }
 
+    /// Sets shard `i`'s resident-object gauge — the number of distinct
+    /// objects its KRR stack currently tracks (no-op before
+    /// [`MetricsRegistry::init_shards`]). Workers publish this at batch
+    /// boundaries; the sequential path after every access.
+    #[inline]
+    pub fn set_shard_resident(&self, i: usize, objects: u64) {
+        if let Some(res) = self.shard_resident.get() {
+            if let Some(a) = res.get(i) {
+                a.store(objects, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Raises shard `i`'s stack-depth high-water mark to `depth` — the
+    /// deepest 1-based stack position a re-reference has hit on that shard
+    /// (no-op before [`MetricsRegistry::init_shards`]).
+    #[inline]
+    pub fn record_shard_depth(&self, i: usize, depth: u64) {
+        if let Some(d) = self.shard_depth.get() {
+            if let Some(a) = d.get(i) {
+                a.fetch_max(depth, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Per-shard resident-object gauges (empty before `init_shards`).
+    #[must_use]
+    pub fn shard_resident(&self) -> Vec<u64> {
+        self.shard_resident
+            .get()
+            .map(|s| s.iter().map(|a| a.load(Ordering::Relaxed)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Per-shard stack-depth high-water marks (empty before `init_shards`).
+    #[must_use]
+    pub fn shard_depth_hwm(&self) -> Vec<u64> {
+        self.shard_depth
+            .get()
+            .map(|s| s.iter().map(|a| a.load(Ordering::Relaxed)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Publishes a footprint breakdown (see [`crate::footprint`]) into the
+    /// memory gauges. Recognized part labels map onto the dedicated gauges
+    /// (`stack_entries`/`stack_index`/`stack_scratch` → stack,
+    /// `histogram` → hist, `size_array` → sizes, `shadow_*` → shadow); a
+    /// gauge is only overwritten when its labels appear in the report, so
+    /// independent publishers (the profiler, the watchdog's shadow) don't
+    /// stomp each other. The total gauge is recomputed as the sum of the
+    /// five component gauges after the update, and the heap gauges are
+    /// refreshed from [`crate::heap`] on every publish.
+    pub fn publish_footprint(&self, report: &crate::footprint::FootprintReport) {
+        let has = |label: &str| report.parts().iter().any(|&(l, _)| l == label);
+        if has("stack_entries") || has("stack_index") || has("stack_scratch") {
+            let stack = report.get("stack_entries")
+                + report.get("stack_index")
+                + report.get("stack_scratch");
+            self.footprint_stack_bytes.set(stack as u64);
+        }
+        if has("histogram") {
+            self.footprint_hist_bytes
+                .set(report.get("histogram") as u64);
+        }
+        if has("size_array") {
+            self.footprint_sizes_bytes
+                .set(report.get("size_array") as u64);
+        }
+        let shadow_parts: Vec<_> = report
+            .parts()
+            .iter()
+            .filter(|(l, _)| l.starts_with("shadow_"))
+            .collect();
+        if !shadow_parts.is_empty() {
+            let shadow: usize = shadow_parts.iter().map(|&&(_, b)| b).sum();
+            self.footprint_shadow_bytes.set(shadow as u64);
+        }
+        self.footprint_total_bytes.set(
+            self.footprint_stack_bytes.get()
+                + self.footprint_hist_bytes.get()
+                + self.footprint_sizes_bytes.get()
+                + self.footprint_shadow_bytes.get()
+                + self.footprint_pipeline_bytes.get(),
+        );
+        self.heap_live_bytes.set(crate::heap::live_bytes());
+        self.heap_peak_bytes.set(crate::heap::peak_bytes());
+    }
+
     /// Point-in-time copy of every metric.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -446,6 +565,25 @@ impl MetricsRegistry {
             watchdog_shadow_refs: self.watchdog_shadow_refs.get(),
             watchdog_drift_events: self.watchdog_drift_events.get(),
             watchdog_mae_ppm: self.watchdog_mae_ppm.get(),
+            shard_resident: self.shard_resident(),
+            shard_depth_hwm: self.shard_depth_hwm(),
+            footprint_stack_bytes: self.footprint_stack_bytes.get(),
+            footprint_hist_bytes: self.footprint_hist_bytes.get(),
+            footprint_sizes_bytes: self.footprint_sizes_bytes.get(),
+            footprint_pipeline_bytes: self.footprint_pipeline_bytes.get(),
+            footprint_shadow_bytes: self.footprint_shadow_bytes.get(),
+            // The pipeline sets its component gauge directly between
+            // publish_footprint calls, so the stored total can lag; a
+            // scrape must never read total < the live parts.
+            footprint_total_bytes: self.footprint_total_bytes.get().max(
+                self.footprint_stack_bytes.get()
+                    + self.footprint_hist_bytes.get()
+                    + self.footprint_sizes_bytes.get()
+                    + self.footprint_shadow_bytes.get()
+                    + self.footprint_pipeline_bytes.get(),
+            ),
+            heap_live_bytes: self.heap_live_bytes.get(),
+            heap_peak_bytes: self.heap_peak_bytes.get(),
         }
     }
 
@@ -487,6 +625,24 @@ impl MetricsRegistry {
         for (i, &d) in snap.pipeline_queue_hwm.iter().enumerate() {
             self.record_queue_depth(i, d);
         }
+        if !snap.shard_resident.is_empty() {
+            self.init_shards(snap.shard_resident.len());
+            for (i, &r) in snap.shard_resident.iter().enumerate() {
+                self.set_shard_resident(i, r);
+            }
+        }
+        for (i, &d) in snap.shard_depth_hwm.iter().enumerate() {
+            self.record_shard_depth(i, d);
+        }
+        self.footprint_stack_bytes.set(snap.footprint_stack_bytes);
+        self.footprint_hist_bytes.set(snap.footprint_hist_bytes);
+        self.footprint_sizes_bytes.set(snap.footprint_sizes_bytes);
+        self.footprint_pipeline_bytes
+            .set(snap.footprint_pipeline_bytes);
+        self.footprint_shadow_bytes.set(snap.footprint_shadow_bytes);
+        self.footprint_total_bytes.set(snap.footprint_total_bytes);
+        self.heap_live_bytes.set(snap.heap_live_bytes);
+        self.heap_peak_bytes.set(snap.heap_peak_bytes);
     }
 }
 
@@ -538,6 +694,26 @@ pub struct MetricsSnapshot {
     pub watchdog_drift_events: u64,
     /// See [`MetricsRegistry::watchdog_mae_ppm`].
     pub watchdog_mae_ppm: u64,
+    /// Per-shard resident-object gauges (empty when unsharded).
+    pub shard_resident: Vec<u64>,
+    /// Per-shard stack-depth high-water marks (empty when unsharded).
+    pub shard_depth_hwm: Vec<u64>,
+    /// See [`MetricsRegistry::footprint_stack_bytes`].
+    pub footprint_stack_bytes: u64,
+    /// See [`MetricsRegistry::footprint_hist_bytes`].
+    pub footprint_hist_bytes: u64,
+    /// See [`MetricsRegistry::footprint_sizes_bytes`].
+    pub footprint_sizes_bytes: u64,
+    /// See [`MetricsRegistry::footprint_pipeline_bytes`].
+    pub footprint_pipeline_bytes: u64,
+    /// See [`MetricsRegistry::footprint_shadow_bytes`].
+    pub footprint_shadow_bytes: u64,
+    /// See [`MetricsRegistry::footprint_total_bytes`].
+    pub footprint_total_bytes: u64,
+    /// See [`MetricsRegistry::heap_live_bytes`].
+    pub heap_live_bytes: u64,
+    /// See [`MetricsRegistry::heap_peak_bytes`].
+    pub heap_peak_bytes: u64,
 }
 
 impl MetricsSnapshot {
@@ -615,6 +791,18 @@ impl MetricsSnapshot {
         if let Some(im) = self.shard_imbalance() {
             let _ = write!(s, "shard_imbalance:{im:.4}\r\n");
         }
+        let list = |s: &mut String, name: &str, vals: &[u64]| {
+            let _ = write!(s, "{name}:");
+            for (i, c) in vals.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{c}");
+            }
+            s.push_str("\r\n");
+        };
+        list(&mut s, "shard_resident", &self.shard_resident);
+        list(&mut s, "shard_depth_hwm", &self.shard_depth_hwm);
         let _ = write!(
             s,
             "# pipeline\r\nbatches:{}\r\nstalls:{}\r\nkeys_hashed:{}\r\nrouter_busy_ns:{}\r\nworker_busy_ns:{}\r\n",
@@ -639,6 +827,18 @@ impl MetricsSnapshot {
             self.watchdog_shadow_refs,
             self.watchdog_drift_events,
             self.watchdog_mae_ppm
+        );
+        let _ = write!(
+            s,
+            "# memory\r\nstack_bytes:{}\r\nhist_bytes:{}\r\nsizes_bytes:{}\r\npipeline_bytes:{}\r\nshadow_bytes:{}\r\ntotal_bytes:{}\r\nheap_live_bytes:{}\r\nheap_peak_bytes:{}\r\n",
+            self.footprint_stack_bytes,
+            self.footprint_hist_bytes,
+            self.footprint_sizes_bytes,
+            self.footprint_pipeline_bytes,
+            self.footprint_shadow_bytes,
+            self.footprint_total_bytes,
+            self.heap_live_bytes,
+            self.heap_peak_bytes
         );
         let _ = write!(s, "# eviction\r\nevictions:{}\r\n", self.evictions);
         hist(&mut s, "candidate_age", &self.candidate_age);
@@ -691,12 +891,19 @@ impl MetricsSnapshot {
             "\"shards\":{{\"merges\":{},\"merge_ns\":{},\"accesses\":[",
             self.merges, self.merge_ns
         );
-        for (i, c) in self.shard_accesses.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
+        let arr = |s: &mut String, vals: &[u64]| {
+            for (i, c) in vals.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{c}");
             }
-            let _ = write!(s, "{c}");
-        }
+        };
+        arr(&mut s, &self.shard_accesses);
+        s.push_str("],\"resident\":[");
+        arr(&mut s, &self.shard_resident);
+        s.push_str("],\"depth_hwm\":[");
+        arr(&mut s, &self.shard_depth_hwm);
         s.push_str("]},");
         let _ = write!(
             s,
@@ -721,6 +928,18 @@ impl MetricsSnapshot {
             self.watchdog_shadow_refs,
             self.watchdog_drift_events,
             self.watchdog_mae_ppm
+        );
+        let _ = write!(
+            s,
+            "\"memory\":{{\"stack_bytes\":{},\"hist_bytes\":{},\"sizes_bytes\":{},\"pipeline_bytes\":{},\"shadow_bytes\":{},\"total_bytes\":{},\"heap_live_bytes\":{},\"heap_peak_bytes\":{}}},",
+            self.footprint_stack_bytes,
+            self.footprint_hist_bytes,
+            self.footprint_sizes_bytes,
+            self.footprint_pipeline_bytes,
+            self.footprint_shadow_bytes,
+            self.footprint_total_bytes,
+            self.heap_live_bytes,
+            self.heap_peak_bytes
         );
         let _ = write!(
             s,
@@ -763,6 +982,22 @@ impl MetricsSnapshot {
             .put_u64(self.watchdog_shadow_refs)
             .put_u64(self.watchdog_drift_events)
             .put_u64(self.watchdog_mae_ppm);
+        enc.put_u64(self.shard_resident.len() as u64);
+        for &c in &self.shard_resident {
+            enc.put_u64(c);
+        }
+        enc.put_u64(self.shard_depth_hwm.len() as u64);
+        for &c in &self.shard_depth_hwm {
+            enc.put_u64(c);
+        }
+        enc.put_u64(self.footprint_stack_bytes)
+            .put_u64(self.footprint_hist_bytes)
+            .put_u64(self.footprint_sizes_bytes)
+            .put_u64(self.footprint_pipeline_bytes)
+            .put_u64(self.footprint_shadow_bytes)
+            .put_u64(self.footprint_total_bytes)
+            .put_u64(self.heap_live_bytes)
+            .put_u64(self.heap_peak_bytes);
     }
 
     /// Reconstructs a snapshot from a [`MetricsSnapshot::save_state`]
@@ -815,6 +1050,28 @@ impl MetricsSnapshot {
             watchdog_shadow_refs: dec.u64()?,
             watchdog_drift_events: dec.u64()?,
             watchdog_mae_ppm: dec.u64()?,
+            shard_resident: {
+                let mut v = Vec::new();
+                for _ in 0..dec.u64()? {
+                    v.push(dec.u64()?);
+                }
+                v
+            },
+            shard_depth_hwm: {
+                let mut v = Vec::new();
+                for _ in 0..dec.u64()? {
+                    v.push(dec.u64()?);
+                }
+                v
+            },
+            footprint_stack_bytes: dec.u64()?,
+            footprint_hist_bytes: dec.u64()?,
+            footprint_sizes_bytes: dec.u64()?,
+            footprint_pipeline_bytes: dec.u64()?,
+            footprint_shadow_bytes: dec.u64()?,
+            footprint_total_bytes: dec.u64()?,
+            heap_live_bytes: dec.u64()?,
+            heap_peak_bytes: dec.u64()?,
         })
     }
 }
@@ -996,6 +1253,9 @@ mod tests {
         reg.init_shards(3);
         reg.shard_access_n(1, 17);
         reg.record_queue_depth(2, 5);
+        reg.set_shard_resident(1, 9);
+        reg.record_shard_depth(1, 33);
+        reg.footprint_total_bytes.set(4096);
         let snap = reg.snapshot();
 
         let mut enc = crate::checkpoint::Enc::new();
@@ -1016,6 +1276,44 @@ mod tests {
         assert_eq!(after.watchdog_mae_ppm, 1234);
         assert_eq!(after.shard_accesses, vec![0, 17, 0]);
         assert_eq!(after.pipeline_queue_hwm, vec![0, 0, 5]);
+        assert_eq!(after.shard_resident, vec![0, 9, 0]);
+        assert_eq!(after.shard_depth_hwm, vec![0, 33, 0]);
+        assert_eq!(after.footprint_total_bytes, 4096);
+    }
+
+    #[test]
+    fn footprint_publish_maps_labels_onto_gauges() {
+        let reg = MetricsRegistry::new();
+        reg.footprint_pipeline_bytes.set(100);
+        let mut r = crate::footprint::FootprintReport::new();
+        r.add("stack_entries", 10)
+            .add("stack_index", 20)
+            .add("stack_scratch", 5)
+            .add("histogram", 7)
+            .add("size_array", 3)
+            .add("shadow_tree", 40)
+            .add("shadow_index", 2);
+        reg.publish_footprint(&r);
+        assert_eq!(reg.footprint_stack_bytes.get(), 35);
+        assert_eq!(reg.footprint_hist_bytes.get(), 7);
+        assert_eq!(reg.footprint_sizes_bytes.get(), 3);
+        assert_eq!(reg.footprint_shadow_bytes.get(), 42);
+        assert_eq!(reg.footprint_total_bytes.get(), 87 + 100);
+        // A partial publish (shadow only) must not stomp the other gauges.
+        let mut shadow_only = crate::footprint::FootprintReport::new();
+        shadow_only.add("shadow_olken", 50);
+        reg.publish_footprint(&shadow_only);
+        assert_eq!(reg.footprint_stack_bytes.get(), 35);
+        assert_eq!(reg.footprint_shadow_bytes.get(), 50);
+        assert_eq!(reg.footprint_total_bytes.get(), 95 + 100);
+        let snap = reg.snapshot();
+        let info = snap.render_info();
+        assert!(info.contains("# memory"));
+        assert!(info.contains("total_bytes:195"));
+        let json = snap.to_json();
+        assert!(json.contains("\"memory\":{\"stack_bytes\":35"));
+        assert!(json.contains("\"total_bytes\":195"));
+        assert!(json.contains("\"resident\":[]"));
     }
 
     #[test]

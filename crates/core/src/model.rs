@@ -204,6 +204,10 @@ pub struct KrrModel {
     hist: SdHistogram,
     processed: u64,
     sampled: u64,
+    // Deepest stack position any re-reference has hit — a transient
+    // observability gauge (per-shard depth high-water mark), deliberately
+    // not checkpointed.
+    deepest_phi: u64,
     metrics: Option<Arc<MetricsRegistry>>,
     recorder: Option<ThreadRecorder>,
 }
@@ -220,6 +224,7 @@ impl Clone for KrrModel {
             hist: self.hist.clone(),
             processed: self.processed,
             sampled: self.sampled,
+            deepest_phi: self.deepest_phi,
             metrics: self.metrics.clone(),
             recorder: None,
         }
@@ -257,6 +262,7 @@ impl KrrModel {
             hist,
             processed: 0,
             sampled: 0,
+            deepest_phi: 0,
             metrics: None,
             recorder: None,
         }
@@ -368,6 +374,7 @@ impl KrrModel {
         match self.sizes {
             None => match self.stack.access(key, 1) {
                 crate::stack::Access::Hit { phi } => {
+                    self.deepest_phi = self.deepest_phi.max(phi);
                     self.hist.record(phi);
                     Outcome::Hit
                 }
@@ -379,6 +386,7 @@ impl KrrModel {
             Some(ref mut sa) => {
                 match self.stack.position_of(key) {
                     Some(phi) => {
+                        self.deepest_phi = self.deepest_phi.max(phi);
                         // Byte distance reflects the cache state before this
                         // access, so compute it before any resize.
                         let d = sa.distance(phi).max(1);
@@ -457,6 +465,14 @@ impl KrrModel {
         self.filter.rate()
     }
 
+    /// Deepest stack position any re-reference has hit so far (0 before
+    /// the first hit). Feeds the per-shard stack-depth high-water gauge;
+    /// transient — not part of checkpoints, resets to 0 on restore.
+    #[must_use]
+    pub fn deepest_hit(&self) -> u64 {
+        self.deepest_phi
+    }
+
     /// Estimated heap footprint of the whole profiler in bytes: stack +
     /// key index + histogram + optional sizeArray (§5.6).
     #[must_use]
@@ -513,6 +529,7 @@ impl KrrModel {
             hist,
             processed,
             sampled,
+            deepest_phi: 0,
             metrics: None,
             recorder: None,
         })
@@ -533,6 +550,20 @@ impl KrrModel {
     pub fn restore<R: std::io::Read>(r: R) -> std::io::Result<Self> {
         let ckpt = CheckpointReader::read_from(r)?;
         Self::load_state(&mut ckpt.require(SECTION_MODEL)?)
+    }
+}
+
+impl crate::footprint::Footprint for KrrModel {
+    /// Stack + key index + histogram + optional sizeArray — the same
+    /// composition as [`KrrModel::memory_bytes`] but with the per-field
+    /// breakdown the footprint gauges publish.
+    fn footprint(&self) -> crate::footprint::FootprintReport {
+        let mut r = self.stack.footprint();
+        r.merge(&self.hist.footprint());
+        if let Some(sa) = &self.sizes {
+            r.merge(&sa.footprint());
+        }
+        r
     }
 }
 

@@ -73,6 +73,19 @@ impl Default for PipelineConfig {
     }
 }
 
+impl PipelineConfig {
+    /// Resident bytes of the router's per-shard accumulation buffers for
+    /// `n_shards` shards: one `(key, size, hash)` entry is 24 bytes and
+    /// every shard keeps one `batch_size` buffer. In-flight batches (up to
+    /// `queue_depth` per worker) recycle from the same pool, so this is
+    /// the steady-state floor the `footprint_pipeline_bytes` gauge
+    /// reports.
+    #[must_use]
+    pub fn buffer_bytes(&self, n_shards: usize) -> usize {
+        n_shards * self.batch_size.max(1) * std::mem::size_of::<(u64, u32, u64)>()
+    }
+}
+
 /// One routed batch: references (with their precomputed key hashes) all
 /// belonging to `shard`.
 struct Batch {
@@ -99,6 +112,10 @@ where
     let threads = threads.clamp(1, n_shards);
     let batch_size = cfg.batch_size.max(1);
     let queue_depth = cfg.queue_depth.max(1);
+    if let Some(reg) = metrics {
+        reg.footprint_pipeline_bytes
+            .set(cfg.buffer_bytes(n_shards) as u64);
+    }
 
     // Worker w owns shards {s | s % threads == w}; shard s sits at local
     // slot s / threads in its group, so workers route batches to models in
@@ -147,6 +164,8 @@ where
                         depth[batch.shard].fetch_sub(1, Ordering::Relaxed);
                         if let Some(reg) = &metrics {
                             reg.shard_access_n(batch.shard, batch.refs.len() as u64);
+                            reg.set_shard_resident(batch.shard, model.stats().distinct);
+                            reg.record_shard_depth(batch.shard, model.deepest_hit());
                         }
                         busy_ns += t0.elapsed().as_nanos() as u64;
                         let mut buf = batch.refs;

@@ -136,6 +136,10 @@ impl ShardedKrr {
             m.shard_access(s);
         }
         self.shards[s].access_hashed(key, size, h);
+        if let Some(m) = &self.metrics {
+            m.set_shard_resident(s, self.shards[s].stats().distinct);
+            m.record_shard_depth(s, self.shards[s].deepest_hit());
+        }
     }
 
     /// Offers a uniform-size reference (sequential path).
@@ -175,6 +179,7 @@ impl ShardedKrr {
             self.metrics.as_ref(),
             self.recorder.as_ref(),
         );
+        self.publish_footprint();
     }
 
     /// The pre-pipeline parallel path, kept as a benchmark baseline: every
@@ -340,6 +345,33 @@ impl ShardedKrr {
     pub fn restore<R: std::io::Read>(r: R) -> std::io::Result<Self> {
         let ckpt = CheckpointReader::read_from(r)?;
         Self::load_state(&mut ckpt.require(SECTION_SHARDED)?)
+    }
+
+    /// Pushes the current footprint breakdown and every shard's
+    /// resident/depth gauges into the attached registry (no-op when
+    /// detached). Called automatically after a pipeline run; long
+    /// sequential loops may call it at their own cadence.
+    pub fn publish_footprint(&self) {
+        use crate::footprint::Footprint as _;
+        let Some(m) = &self.metrics else { return };
+        for (i, s) in self.shards.iter().enumerate() {
+            m.set_shard_resident(i, s.stats().distinct);
+            m.record_shard_depth(i, s.deepest_hit());
+        }
+        m.publish_footprint(&self.footprint());
+    }
+}
+
+impl crate::footprint::Footprint for ShardedKrr {
+    /// Label-wise sum of every shard model's footprint, so the breakdown
+    /// (`stack_entries`, `stack_index`, `histogram`, ...) stays per-field
+    /// while covering the whole bank.
+    fn footprint(&self) -> crate::footprint::FootprintReport {
+        let mut r = crate::footprint::FootprintReport::new();
+        for s in &self.shards {
+            r.merge(&s.footprint());
+        }
+        r
     }
 }
 

@@ -188,6 +188,14 @@ impl SizeArray {
     }
 }
 
+impl crate::footprint::Footprint for SizeArray {
+    fn footprint(&self) -> crate::footprint::FootprintReport {
+        let mut r = crate::footprint::FootprintReport::new();
+        r.add("size_array", self.memory_bytes());
+        r
+    }
+}
+
 #[inline]
 fn add_signed(value: u64, delta: i64) -> u64 {
     let out = value as i64 + delta;

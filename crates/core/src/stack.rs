@@ -284,6 +284,29 @@ impl KrrStack {
     }
 }
 
+impl crate::footprint::Footprint for KrrStack {
+    /// The §5.6 space breakdown: the entry array, the key index (same
+    /// model as [`KrrStack::memory_bytes`]), and the reusable swap-chain
+    /// scratch buffers.
+    fn footprint(&self) -> crate::footprint::FootprintReport {
+        let mut r = crate::footprint::FootprintReport::new();
+        r.add(
+            "stack_entries",
+            self.entries.capacity() * std::mem::size_of::<Entry>(),
+        )
+        .add(
+            "stack_index",
+            crate::footprint::map_bytes(self.index.capacity(), std::mem::size_of::<(u64, u32)>()),
+        )
+        .add(
+            "stack_scratch",
+            self.chain.capacity() * std::mem::size_of::<u64>()
+                + self.chain_sizes.capacity() * std::mem::size_of::<u32>(),
+        );
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -59,7 +59,7 @@ USAGE:
             [--metrics-out FILE] [--trace-out FILE]
             [--stats-every N] [--stats-out FILE]
             [--checkpoint-every N] [--checkpoint-out FILE]
-            [--resume FILE]
+            [--resume FILE] [--serve ADDR]
             (<trace.csv> | --workload <spec> ...)
             (with --shards > 1, trace files are streamed through the
              route-once pipeline and never fully materialized;
@@ -69,7 +69,10 @@ USAGE:
              --checkpoint-out writes an atomic krr-ckpt-v1 checkpoint
              every --checkpoint-every refs (default 1000000), and
              --resume restores one and finishes the same trace file
-             with bit-identical results)
+             with bit-identical results;
+             --serve binds a live exposition HTTP server, e.g.
+             127.0.0.1:9184, answering /metrics /mrc /stats /trace
+             /healthz while the run is in flight)
   krr simulate [--policy lru|klru:K|klfu:K] [--sizes N] [--bytes]
                (<trace.csv> | --workload <spec> ...)
   krr compare [--k K] [--sizes N] (<trace.csv> | --workload <spec> ...)
@@ -298,8 +301,18 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
     if stats_out.is_some() && stats_every == 0 {
         stats_every = 100_000;
     }
-    let want_metrics = f.flag("metrics") || f.get("metrics-out").is_some() || stats_every > 0;
+    let serve_addr = f.get("serve").map(str::to_string);
+    let want_metrics = f.flag("metrics")
+        || f.get("metrics-out").is_some()
+        || stats_every > 0
+        || serve_addr.is_some();
     let registry = want_metrics.then(|| std::sync::Arc::new(krr::core::MetricsRegistry::new()));
+    let mrc_cell = serve_addr
+        .as_ref()
+        .map(|_| std::sync::Arc::new(krr::core::MrcCell::new()));
+    let stats_ring = serve_addr
+        .as_ref()
+        .map(|_| std::sync::Arc::new(krr::core::StatsRing::new()));
     let recorder = trace_out
         .as_ref()
         .map(|_| std::sync::Arc::new(krr::core::FlightRecorder::new()));
@@ -339,6 +352,14 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
             }
             None => Box::new(std::io::stderr()),
         };
+        // Tee the JSONL rows into the /stats ring when serving.
+        let out: Box<dyn Write> = match &stats_ring {
+            Some(ring) => Box::new(krr::core::expo::RingWriter::new(
+                Some(out),
+                std::sync::Arc::clone(ring),
+            )),
+            None => out,
+        };
         Some(krr::core::StatsTimeline::new(
             std::sync::Arc::clone(reg),
             out,
@@ -350,6 +371,24 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
     if let (Some((seen0, _, _, rows)), Some(t)) = (resume_state, timeline.as_mut()) {
         t.resume_at(seen0, rows);
     }
+    // Start serving only after any checkpoint restore has been absorbed, so
+    // the first scrape of a resumed run already sees the restored counters
+    // (and a fresh process after a crash simply rebinds the address).
+    let mut expo = match &serve_addr {
+        Some(addr) => {
+            let sources = krr::core::ExpoSources {
+                metrics: registry.clone(),
+                mrc: mrc_cell.clone(),
+                stats: stats_ring.clone(),
+                trace: recorder.clone(),
+            };
+            let srv = krr::core::ExpoServer::start(addr.as_str(), sources)
+                .map_err(|e| format!("--serve {addr}: {e}"))?;
+            eprintln!("serving live metrics on http://{}/metrics", srv.addr());
+            Some(srv)
+        }
+        None => None,
+    };
     let default_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -430,6 +469,10 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
                     if let Some(e) = read_err {
                         return Err(e.to_string());
                     }
+                    // Chunk boundary: refresh the live /mrc view.
+                    if let Some(cell) = &mrc_cell {
+                        cell.publish(bank.mrc());
+                    }
                     let advanced = seen - before;
                     if let Some(out) = &ckpt_out {
                         if advanced > 0 {
@@ -491,8 +534,15 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
                 }
             }
         }
+        if let Some(reg) = &registry {
+            use krr::core::Footprint as _;
+            reg.publish_footprint(&model.footprint());
+        }
         (model.mrc(), model.stats())
     };
+    if let Some(cell) = &mrc_cell {
+        cell.publish(mrc.clone());
+    }
     if let Some(t) = timeline.as_mut() {
         if let Err(e) = t.finish(seen) {
             stats_err.get_or_insert(e);
@@ -549,6 +599,11 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
         rec.write_chrome_trace(std::io::BufWriter::new(file))
             .map_err(|e| e.to_string())?;
         eprintln!("wrote Chrome trace to {path} (open it in ui.perfetto.dev)");
+    }
+    // Explicit shutdown (Drop would too) so the listener thread is joined
+    // and the port released before the process reports success.
+    if let Some(srv) = expo.as_mut() {
+        srv.shutdown();
     }
     Ok(())
 }

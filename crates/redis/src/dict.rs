@@ -371,6 +371,29 @@ impl<V> Dict<V> {
     }
 }
 
+impl<V> krr_core::footprint::Footprint for Dict<V> {
+    /// Node slab (at capacity), free list, and both tables' bucket arrays —
+    /// table 1 is non-empty only mid-rehash, exactly when the dict briefly
+    /// holds two bucket arrays like real Redis.
+    fn footprint(&self) -> krr_core::footprint::FootprintReport {
+        let mut r = krr_core::footprint::FootprintReport::new();
+        r.add(
+            "dict_nodes",
+            self.nodes.capacity() * std::mem::size_of::<Node<V>>(),
+        )
+        .add(
+            "dict_free",
+            self.free.capacity() * std::mem::size_of::<u32>(),
+        )
+        .add(
+            "dict_buckets",
+            (self.tables[0].buckets.capacity() + self.tables[1].buckets.capacity())
+                * std::mem::size_of::<u32>(),
+        );
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,7 +5,17 @@
 //! reached through an actual wire protocol (§5.7 ran against a live Redis
 //! instance). Supported commands: `GET`, `SET`, `DEL`, `DBSIZE`, `INFO`,
 //! `METRICS`, `MRC`, `PING`, `SHUTDOWN`, `BGSAVE`, `TRACE DUMP`,
-//! `SLOWLOG GET|LEN|RESET`, and `CONFIG GET|SET slowlog-log-slower-than`.
+//! `SLOWLOG GET|LEN|RESET`, and `CONFIG GET|SET` for
+//! `slowlog-log-slower-than` and `expo-port`.
+//!
+//! `CONFIG SET expo-port <port>` starts an embedded
+//! [`krr_core::expo::ExpoServer`] on `127.0.0.1:<port>` serving the store's
+//! metrics registry as OpenMetrics text (`/metrics`), the live profiler
+//! curve (`/mrc`, refreshed every
+//! [`crate::store::EXPO_REFRESH_EVERY`] GETs), the flight recorder
+//! (`/trace`), and `/healthz`; `CONFIG SET expo-port 0` stops it. The
+//! same data also lands in `INFO`'s `# memory` section via the shared
+//! registry.
 //!
 //! `BGSAVE` writes an atomic `krr-ckpt-v1` checkpoint of the whole store
 //! (keyspace, counters, profiler, watchdog) to the path configured with
@@ -32,6 +42,7 @@
 
 use crate::resp::{read_value, write_value, Value};
 use crate::store::MiniRedis;
+use krr_core::expo::{ExpoServer, ExpoSources, MrcCell};
 use krr_core::obs::{FlightRecorder, Phase};
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter};
@@ -95,6 +106,10 @@ struct ServerObs {
     recorder: Arc<FlightRecorder>,
     slowlog: SlowLog,
     next_conn: AtomicU64,
+    /// Sources handed to the exposition server when `expo-port` is set.
+    expo_sources: ExpoSources,
+    /// The running exposition server, if `CONFIG SET expo-port` started one.
+    expo: Mutex<Option<ExpoServer>>,
 }
 
 /// Handle to a running server.
@@ -103,6 +118,7 @@ pub struct Server {
     store: Arc<Mutex<MiniRedis>>,
     stop: Arc<AtomicBool>,
     recorder: Arc<FlightRecorder>,
+    obs: Arc<ServerObs>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -115,15 +131,26 @@ impl Server {
         let addr = listener.local_addr()?;
         let recorder = Arc::new(FlightRecorder::new());
         store.set_recorder(Arc::clone(&recorder));
+        let mrc_cell = Arc::new(MrcCell::new());
+        store.set_mrc_cell(Arc::clone(&mrc_cell));
+        let expo_sources = ExpoSources {
+            metrics: Some(Arc::clone(store.metrics())),
+            mrc: Some(mrc_cell),
+            stats: None,
+            trace: Some(Arc::clone(&recorder)),
+        };
         let store = Arc::new(Mutex::new(store));
         let stop = Arc::new(AtomicBool::new(false));
         let obs = Arc::new(ServerObs {
             recorder: Arc::clone(&recorder),
             slowlog: SlowLog::new(),
             next_conn: AtomicU64::new(0),
+            expo_sources,
+            expo: Mutex::new(None),
         });
         let accept_store = Arc::clone(&store);
         let accept_stop = Arc::clone(&stop);
+        let accept_obs = Arc::clone(&obs);
         let accept_thread = std::thread::spawn(move || {
             // Non-blocking accept loop so SHUTDOWN can terminate us.
             listener.set_nonblocking(true).expect("set_nonblocking");
@@ -133,7 +160,7 @@ impl Server {
                     Ok((conn, _)) => {
                         let store = Arc::clone(&accept_store);
                         let stop = Arc::clone(&accept_stop);
-                        let obs = Arc::clone(&obs);
+                        let obs = Arc::clone(&accept_obs);
                         workers.push(std::thread::spawn(move || {
                             let _ = serve_connection(conn, &store, &stop, &obs);
                         }));
@@ -153,8 +180,21 @@ impl Server {
             store,
             stop,
             recorder,
+            obs,
             accept_thread: Some(accept_thread),
         })
+    }
+
+    /// The exposition server's address, if `CONFIG SET expo-port` started
+    /// one.
+    #[must_use]
+    pub fn expo_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obs
+            .expo
+            .lock()
+            .expect("expo poisoned")
+            .as_ref()
+            .map(ExpoServer::addr)
     }
 
     /// The server's flight recorder (drained by `TRACE DUMP`, or directly
@@ -176,11 +216,15 @@ impl Server {
         self.store.lock().expect("store poisoned").stats()
     }
 
-    /// Stops the accept loop and waits for workers.
+    /// Stops the accept loop, waits for workers, and shuts down the
+    /// exposition server if one is running (releasing its port).
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        if let Some(mut expo) = self.obs.expo.lock().expect("expo poisoned").take() {
+            expo.shutdown();
         }
     }
 }
@@ -324,6 +368,7 @@ fn handle(request: &Value, store: &Mutex<MiniRedis>, stop: &AtomicBool, obs: &Se
         b"DBSIZE" => Value::Integer(store.lock().expect("store poisoned").len() as i64),
         b"INFO" => {
             let s = store.lock().expect("store poisoned");
+            s.publish_footprint();
             let stats = s.stats();
             let mut body = format!(
                 "# mini-redis\r\nkeys:{}\r\nused_memory:{}\r\nhits:{}\r\nmisses:{}\r\nevictions:{}\r\n",
@@ -338,7 +383,9 @@ fn handle(request: &Value, store: &Mutex<MiniRedis>, stop: &AtomicBool, obs: &Se
             Value::bulk(body.into_bytes())
         }
         b"METRICS" => {
-            let snap = store.lock().expect("store poisoned").metrics().snapshot();
+            let s = store.lock().expect("store poisoned");
+            s.publish_footprint();
+            let snap = s.metrics().snapshot();
             Value::bulk(snap.to_json().into_bytes())
         }
         b"MRC" => match store.lock().expect("store poisoned").mrc_profile() {
@@ -424,23 +471,63 @@ fn handle(request: &Value, store: &Mutex<MiniRedis>, stop: &AtomicBool, obs: &Se
                         Value::bulk(b"slowlog-log-slower-than".to_vec()),
                         Value::bulk(v.to_string().into_bytes()),
                     ])
+                } else if param.eq_ignore_ascii_case(b"expo-port") {
+                    let port = obs
+                        .expo
+                        .lock()
+                        .expect("expo poisoned")
+                        .as_ref()
+                        .map_or(0, |e| e.addr().port());
+                    Value::Array(vec![
+                        Value::bulk(b"expo-port".to_vec()),
+                        Value::bulk(port.to_string().into_bytes()),
+                    ])
                 } else {
                     Value::Array(Vec::new())
                 }
             }
             [sub, param, value] if sub.eq_ignore_ascii_case(b"SET") => {
-                if !param.eq_ignore_ascii_case(b"slowlog-log-slower-than") {
-                    return Value::Error("ERR unknown CONFIG parameter".into());
+                if param.eq_ignore_ascii_case(b"slowlog-log-slower-than") {
+                    return match std::str::from_utf8(value).ok().and_then(|s| s.parse().ok()) {
+                        Some(us) => {
+                            obs.slowlog.threshold_us.store(us, Ordering::Relaxed);
+                            Value::Simple("OK".into())
+                        }
+                        None => Value::Error("ERR value must be microseconds (u64)".into()),
+                    };
                 }
-                match std::str::from_utf8(value).ok().and_then(|s| s.parse().ok()) {
-                    Some(us) => {
-                        obs.slowlog.threshold_us.store(us, Ordering::Relaxed);
-                        Value::Simple("OK".into())
+                if param.eq_ignore_ascii_case(b"expo-port") {
+                    let Some(port) = std::str::from_utf8(value)
+                        .ok()
+                        .and_then(|s| s.parse::<u16>().ok())
+                    else {
+                        return Value::Error("ERR expo-port must be a u16 (0 stops)".into());
+                    };
+                    // Stop any running server first so the old port is
+                    // released before a new bind (and so port 0 = stop).
+                    let mut slot = obs.expo.lock().expect("expo poisoned");
+                    if let Some(mut running) = slot.take() {
+                        running.shutdown();
                     }
-                    None => Value::Error("ERR value must be microseconds (u64)".into()),
+                    if port == 0 {
+                        return Value::Simple("OK".into());
+                    }
+                    // Refresh the gauges so the first scrape has data.
+                    store.lock().expect("store poisoned").publish_footprint();
+                    match ExpoServer::start(("127.0.0.1", port), obs.expo_sources.clone()) {
+                        Ok(server) => {
+                            *slot = Some(server);
+                            Value::Simple("OK".into())
+                        }
+                        Err(e) => Value::Error(format!("ERR expo-port bind: {e}")),
+                    }
+                } else {
+                    Value::Error("ERR unknown CONFIG parameter".into())
                 }
             }
-            _ => Value::Error("ERR usage: CONFIG GET|SET slowlog-log-slower-than [us]".into()),
+            _ => Value::Error(
+                "ERR usage: CONFIG GET|SET slowlog-log-slower-than|expo-port [value]".into(),
+            ),
         },
         other => Value::Error(format!(
             "ERR unknown command {:?}",
@@ -559,6 +646,51 @@ mod tests {
         let mut client = Client::connect(server.addr()).unwrap();
         assert!(client.bgsave().is_err());
         assert!(client.ping().unwrap(), "connection survives the error");
+        server.shutdown();
+    }
+
+    #[test]
+    fn expo_port_serves_openmetrics_and_stops_cleanly() {
+        let mut store = MiniRedis::new(1_000_000, 5, 40);
+        store.enable_mrc_profiling(&krr_core::KrrConfig::new(5.0).seed(7), 2);
+        let mut server = Server::start(store).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        for key in 0..500u64 {
+            let _ = client.access(key, 50).unwrap();
+        }
+        // Find a free port, then ask the server to bind it.
+        let probe = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let port = probe.local_addr().unwrap().port();
+        drop(probe);
+        let reply = client
+            .raw(&[b"CONFIG", b"SET", b"expo-port", port.to_string().as_bytes()])
+            .unwrap();
+        assert!(
+            matches!(&reply, Value::Simple(s) if s == "OK"),
+            "CONFIG SET expo-port failed: {reply:?}"
+        );
+        let addr = server.expo_addr().expect("expo server running");
+        assert_eq!(addr.port(), port);
+        let (status, ctype, body) = krr_core::expo::http_get(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(ctype.starts_with("application/openmetrics-text"));
+        assert!(body.contains("krr_accesses_total"), "{body}");
+        assert!(body.contains("krr_footprint_total_bytes"), "{body}");
+        assert!(body.ends_with("# EOF\n"));
+        // INFO shares the same registry, so the gauges show up there too.
+        let info = client.info().unwrap();
+        assert!(info.contains("# memory"), "{info}");
+        // Port 0 stops the server and releases the port.
+        let reply = client
+            .raw(&[b"CONFIG", b"SET", b"expo-port", b"0"])
+            .unwrap();
+        assert!(matches!(&reply, Value::Simple(s) if s == "OK"));
+        assert!(server.expo_addr().is_none());
+        assert!(
+            std::net::TcpStream::connect_timeout(&addr, std::time::Duration::from_millis(200))
+                .is_err(),
+            "expo port should be closed after expo-port 0"
+        );
         server.shutdown();
     }
 

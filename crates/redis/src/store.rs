@@ -42,6 +42,9 @@ pub enum SamplingMode {
 
 /// Size of Redis's eviction pool (`EVPOOL_SIZE`).
 pub const EVICTION_POOL_SIZE: usize = 16;
+/// GETs between periodic exposition refreshes (MRC cell + footprint
+/// gauges) while an expo consumer is attached.
+pub const EXPO_REFRESH_EVERY: u64 = 10_000;
 /// Width of the LRU clock in bits (`LRU_BITS`).
 pub const LRU_BITS: u32 = 24;
 const LRU_CLOCK_MAX: u64 = (1 << LRU_BITS) - 1;
@@ -112,6 +115,9 @@ pub struct MiniRedis {
     watchdog: Option<AccuracyWatchdog>,
     /// Optional flight recorder shared with the profiler and watchdog.
     recorder: Option<Arc<FlightRecorder>>,
+    /// Live-MRC cell for the exposition server; refreshed every
+    /// [`EXPO_REFRESH_EVERY`] GETs while profiling is enabled.
+    mrc_cell: Option<Arc<krr_core::expo::MrcCell>>,
 }
 
 impl MiniRedis {
@@ -144,6 +150,7 @@ impl MiniRedis {
             profiler: None,
             watchdog: None,
             recorder: None,
+            mrc_cell: None,
         }
     }
 
@@ -200,6 +207,37 @@ impl MiniRedis {
     #[must_use]
     pub fn mrc_profile(&self) -> Option<Mrc> {
         self.profiler.as_ref().map(ShardedKrr::mrc)
+    }
+
+    /// Attaches a live-MRC cell (the `/mrc` source of an exposition
+    /// server). The store republishes the profiler's curve into it every
+    /// [`EXPO_REFRESH_EVERY`] GETs, plus immediately if a curve exists.
+    pub fn set_mrc_cell(&mut self, cell: Arc<krr_core::expo::MrcCell>) {
+        if let Some(p) = &self.profiler {
+            cell.publish(p.mrc());
+        }
+        self.mrc_cell = Some(cell);
+    }
+
+    /// Pushes the profiler's current memory-footprint breakdown (and the
+    /// watchdog's shadow bytes) into the metrics registry so `INFO`'s
+    /// `# memory` section and a scrape of `/metrics` see fresh gauges.
+    pub fn publish_footprint(&self) {
+        use krr_core::footprint::Footprint as _;
+        if let Some(p) = &self.profiler {
+            p.publish_footprint();
+        }
+        if let Some(d) = &self.watchdog {
+            self.metrics.publish_footprint(&d.footprint());
+        }
+    }
+
+    /// Periodic exposition refresh driven by the GET stream.
+    fn refresh_expo(&self) {
+        self.publish_footprint();
+        if let (Some(p), Some(cell)) = (&self.profiler, &self.mrc_cell) {
+            cell.publish(p.mrc());
+        }
     }
 
     /// The store's always-on metrics registry: GET outcomes, evictions,
@@ -290,6 +328,9 @@ impl MiniRedis {
                     dog.check(&p.mrc());
                 }
             }
+        }
+        if self.ticks % EXPO_REFRESH_EVERY == 0 && self.mrc_cell.is_some() {
+            self.refresh_expo();
         }
         hit
     }
@@ -572,6 +613,29 @@ impl MiniRedis {
         }
         store.checkpoint_path = Some(path.as_ref().to_path_buf());
         Ok(store)
+    }
+}
+
+impl krr_core::footprint::Footprint for MiniRedis {
+    /// Keyspace (dict slab + buckets), eviction scratch state, and — when
+    /// enabled — the profiler bank and watchdog shadow.
+    fn footprint(&self) -> krr_core::footprint::FootprintReport {
+        let mut r = self.dict.footprint();
+        r.add(
+            "evict_pool",
+            self.pool.capacity() * std::mem::size_of::<PoolSlot>(),
+        )
+        .add(
+            "evict_scratch",
+            self.scratch.capacity() * std::mem::size_of::<(u64, Entry)>(),
+        );
+        if let Some(p) = &self.profiler {
+            r.merge(&p.footprint());
+        }
+        if let Some(d) = &self.watchdog {
+            r.merge(&d.footprint());
+        }
+        r
     }
 }
 

@@ -13,13 +13,24 @@ cargo fmt --check
 # links, rendered cleanly.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
+# Live-exposition smoke on the default build: the example profiles a
+# drifting-Zipf trace while scraping its own /metrics (it asserts inside
+# that footprint gauges are nonzero and scrapes are # EOF-terminated);
+# here we additionally pin the §5.7 space table to the output.
+cargo run --release --offline -q -p krr --example live_scrape > /tmp/krr_live_scrape.out
+grep -q "krr / olken space ratio" /tmp/krr_live_scrape.out
+grep -q "serving live metrics on http://" /tmp/krr_live_scrape.out
+
 # Optional perf tracking: KRR_CI_BENCH=1 refreshes BENCH_pipeline.json
-# (sequential vs rescan vs route-once pipeline throughput) and
-# BENCH_obs.json (flight-recorder off vs on; the obs bench exits nonzero
-# if tracing costs more than its 5% budget).
+# (sequential vs rescan vs route-once pipeline throughput), BENCH_obs.json
+# (flight-recorder off vs on; exits nonzero if tracing costs more than its
+# 5% budget), and BENCH_space.json (KRR vs Olken/SHARDS/CounterStacks deep
+# footprint at M=1e6 — exits nonzero unless KRR < Olken — plus the
+# /metrics scrape-overhead gate, also 5%).
 if [ "${KRR_CI_BENCH:-0}" = "1" ]; then
     cargo bench -q --offline -p krr-bench --bench pipeline
     cargo bench -q --offline -p krr-bench --bench obs
+    cargo bench -q --offline -p krr-bench --bench space
 fi
 
 echo "ci: OK"

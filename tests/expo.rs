@@ -1,0 +1,266 @@
+//! Wire tests for the embedded exposition server.
+//!
+//! Covers the HTTP surface end to end: status codes and content types per
+//! endpoint, method/parse rejection, the `/healthz` drift path, shutdown
+//! and same-address rebind, and — the load-bearing one — scraping
+//! `/metrics` concurrently with a multi-threaded pipeline run, asserting
+//! every scrape is valid OpenMetrics and that being scraped does not
+//! perturb the resulting MRC by a single bit.
+
+mod support;
+
+use krr::core::expo::{http_get, ExpoServer, ExpoSources, MrcCell, StatsRing};
+use krr::core::obs::FlightRecorder;
+use krr::core::sharded::ShardedKrr;
+use krr::core::{KrrConfig, MetricsRegistry, Mrc};
+use krr::trace::ycsb;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use support::json;
+use support::openmetrics;
+
+/// A server with every source wired, plus handles to feed them.
+fn full_server() -> (
+    ExpoServer,
+    Arc<MetricsRegistry>,
+    Arc<MrcCell>,
+    Arc<StatsRing>,
+) {
+    let reg = Arc::new(MetricsRegistry::new());
+    let mrc = Arc::new(MrcCell::new());
+    let stats = Arc::new(StatsRing::new());
+    let sources = ExpoSources {
+        metrics: Some(Arc::clone(&reg)),
+        mrc: Some(Arc::clone(&mrc)),
+        stats: Some(Arc::clone(&stats)),
+        trace: Some(Arc::new(FlightRecorder::new())),
+    };
+    let server = ExpoServer::start("127.0.0.1:0", sources).unwrap();
+    (server, reg, mrc, stats)
+}
+
+/// Sends a raw request (caller includes the blank line) and returns the
+/// response status code — for the malformed-request paths `http_get`
+/// cannot produce.
+fn raw_request(addr: SocketAddr, request: &str) -> u16 {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    text.lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line")
+}
+
+#[test]
+fn endpoints_report_expected_statuses_and_content_types() {
+    let (server, reg, mrc, stats) = full_server();
+    let addr = server.addr();
+    reg.accesses.add(42);
+
+    let (status, ctype, body) = http_get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(ctype, krr::core::expo::OPENMETRICS_CONTENT_TYPE);
+    openmetrics::validate(&body).expect("/metrics must be valid OpenMetrics");
+
+    // /mrc: 503 until the first publish, then 200 with krr-mrc-v1 JSON.
+    let (status, _, _) = http_get(addr, "/mrc").unwrap();
+    assert_eq!(status, 503);
+    mrc.publish(Mrc::from_points(vec![(0.0, 1.0), (100.0, 0.25)]));
+    let (status, ctype, body) = http_get(addr, "/mrc").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(ctype, "application/json");
+    let doc = json::parse(&body).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(json::Json::as_str),
+        Some("krr-mrc-v1")
+    );
+
+    stats.push("{\"requests\":10}".into());
+    stats.push("{\"requests\":20}".into());
+    let (status, ctype, body) = http_get(addr, "/stats").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(ctype, "application/json");
+    assert_eq!(body, "[{\"requests\":10},{\"requests\":20}]");
+    json::parse(&body).expect("/stats must be valid JSON");
+
+    let (status, ctype, body) = http_get(addr, "/trace").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(ctype, "application/json");
+    json::parse(&body).expect("/trace must be valid JSON");
+
+    let (status, ctype, body) = http_get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(ctype, "application/json");
+    assert!(body.contains("\"status\":\"ok\""));
+
+    let (status, _, _) = http_get(addr, "/no-such-endpoint").unwrap();
+    assert_eq!(status, 404);
+    // Query strings are ignored, not 404ed.
+    let (status, _, _) = http_get(addr, "/metrics?format=openmetrics").unwrap();
+    assert_eq!(status, 200);
+}
+
+#[test]
+fn non_get_and_malformed_requests_are_rejected() {
+    let (server, _reg, _mrc, _stats) = full_server();
+    let addr = server.addr();
+    let status = raw_request(addr, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 405);
+    let status = raw_request(addr, "NONSENSE\r\n\r\n");
+    assert_eq!(status, 400);
+    // The server survives malformed traffic: a normal scrape still works.
+    let (status, _, _) = http_get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+}
+
+#[test]
+fn healthz_reports_drift_as_503() {
+    let (server, reg, _mrc, _stats) = full_server();
+    reg.watchdog_drift_events.add(1);
+    let (status, _, body) = http_get(server.addr(), "/healthz").unwrap();
+    assert_eq!(status, 503);
+    assert!(body.contains("\"status\":\"drift\""));
+    assert!(body.contains("\"drift_events\":1"));
+}
+
+#[test]
+fn endpoints_without_sources_answer_404() {
+    let server = ExpoServer::start("127.0.0.1:0", ExpoSources::default()).unwrap();
+    for path in ["/metrics", "/mrc", "/stats", "/trace"] {
+        let (status, _, _) = http_get(server.addr(), path).unwrap();
+        assert_eq!(status, 404, "{path} without a source");
+    }
+    // /healthz always answers, even with nothing wired.
+    let (status, _, _) = http_get(server.addr(), "/healthz").unwrap();
+    assert_eq!(status, 200);
+}
+
+#[test]
+fn shutdown_releases_port_for_rebind() {
+    // Checkpoint/restore composition: a restored run must be able to
+    // rebind the address its predecessor served on. Cycle several times
+    // to also catch leaked listener threads holding the port.
+    let mut server = ExpoServer::start("127.0.0.1:0", ExpoSources::default()).unwrap();
+    let addr = server.addr();
+    for round in 0..4 {
+        server.shutdown();
+        server = ExpoServer::start(addr, ExpoSources::default())
+            .unwrap_or_else(|e| panic!("rebind round {round}: {e}"));
+        assert_eq!(server.addr(), addr);
+        let (status, _, _) = http_get(addr, "/healthz").unwrap();
+        assert_eq!(status, 200, "round {round}");
+    }
+}
+
+/// One sharded run over a fixed trace; scraped == whether an ExpoServer
+/// is attached and hammered during the run.
+fn pipeline_run(scraped: bool) -> Mrc {
+    let trace = ycsb::WorkloadC::new(2_000, 0.9).generate(150_000, 7);
+    let reg = Arc::new(MetricsRegistry::new());
+    let mut bank = ShardedKrr::new(&KrrConfig::new(5.0).seed(11), 4);
+    bank.set_metrics(Arc::clone(&reg));
+
+    let mut server_and_scraper = None;
+    if scraped {
+        let sources = ExpoSources {
+            metrics: Some(Arc::clone(&reg)),
+            ..ExpoSources::default()
+        };
+        let server = ExpoServer::start("127.0.0.1:0", sources).unwrap();
+        let addr = server.addr();
+        let done = Arc::new(AtomicBool::new(false));
+        let scraper_done = Arc::clone(&done);
+        let scraper = std::thread::spawn(move || {
+            let mut scrapes = 0u32;
+            loop {
+                let (status, ctype, body) = http_get(addr, "/metrics").expect("scrape");
+                assert_eq!(status, 200);
+                assert!(ctype.starts_with("application/openmetrics-text"));
+                if let Err(e) = openmetrics::validate(&body) {
+                    panic!("scrape {scrapes} produced invalid OpenMetrics: {e}");
+                }
+                scrapes += 1;
+                if scraper_done.load(Ordering::Acquire) {
+                    return scrapes;
+                }
+            }
+        });
+        server_and_scraper = Some((server, done, scraper));
+    }
+
+    bank.process_stream(trace.iter().map(|r| (r.key, r.size)), 3);
+
+    if let Some((mut server, done, scraper)) = server_and_scraper {
+        done.store(true, Ordering::Release);
+        let scrapes = scraper.join().expect("scraper thread");
+        assert!(scrapes >= 2, "expected repeated scrapes, got {scrapes}");
+        server.shutdown();
+    }
+    bank.mrc()
+}
+
+#[test]
+fn concurrent_scraping_is_valid_and_preserves_bit_identity() {
+    let quiet = pipeline_run(false);
+    let scraped = pipeline_run(true);
+    assert_eq!(
+        quiet.points().len(),
+        scraped.points().len(),
+        "scraping changed the MRC point count"
+    );
+    for (i, (a, b)) in quiet.points().iter().zip(scraped.points()).enumerate() {
+        assert_eq!(a.0.to_bits(), b.0.to_bits(), "x diverged at point {i}");
+        assert_eq!(a.1.to_bits(), b.1.to_bits(), "y diverged at point {i}");
+    }
+}
+
+#[test]
+fn openmetrics_validator_rejects_malformed_documents() {
+    let cases: &[(&str, &str)] = &[
+        ("# TYPE a counter\na_total 1\n", "missing # EOF"),
+        ("orphan 1\n# EOF\n", "sample without TYPE"),
+        ("# TYPE a counter\na_total -1\n# EOF\n", "negative counter"),
+        ("# TYPE a counter\na_total nope\n# EOF\n", "non-numeric value"),
+        (
+            "# TYPE a gauge\na{le=unquoted} 1\n# EOF\n",
+            "unquoted label value",
+        ),
+        (
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_count 3\nh_sum 9\n# EOF\n",
+            "non-cumulative buckets",
+        ),
+        (
+            "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 4\nh_sum 9\n# EOF\n",
+            "+Inf bucket != _count",
+        ),
+        ("# TYPE a counter\n# EOF\nafter 1\n", "content after EOF"),
+    ];
+    for (doc, why) in cases {
+        assert!(
+            openmetrics::validate(doc).is_err(),
+            "validator accepted a bad document ({why}): {doc:?}"
+        );
+    }
+    // And the shape it must accept: the real renderer output.
+    let reg = MetricsRegistry::new();
+    reg.accesses.add(3);
+    reg.chain_len.record(2);
+    reg.chain_len.record(9);
+    reg.init_shards(2);
+    reg.shard_access_n(0, 2);
+    let text = krr::core::expo::render_openmetrics(&reg.snapshot());
+    let doc = openmetrics::validate(&text).expect("renderer output must validate");
+    assert_eq!(doc.value("krr_accesses_total"), Some(3.0));
+    assert_eq!(doc.series("krr_shard_accesses_total").len(), 2);
+}

@@ -36,6 +36,15 @@ const GOLDEN: &[(&str, &str)] = &[
     ("latency.access_ns.mean", "num"),
     ("latency.access_ns.p99", "num"),
     ("latency.access_ns.sum", "num"),
+    ("memory", "obj"),
+    ("memory.heap_live_bytes", "num"),
+    ("memory.heap_peak_bytes", "num"),
+    ("memory.hist_bytes", "num"),
+    ("memory.pipeline_bytes", "num"),
+    ("memory.shadow_bytes", "num"),
+    ("memory.sizes_bytes", "num"),
+    ("memory.stack_bytes", "num"),
+    ("memory.total_bytes", "num"),
     ("model", "obj"),
     ("model.accesses", "num"),
     ("model.cold_misses", "num"),
@@ -51,8 +60,10 @@ const GOLDEN: &[(&str, &str)] = &[
     ("schema", "str"),
     ("shards", "obj"),
     ("shards.accesses", "arr"),
+    ("shards.depth_hwm", "arr"),
     ("shards.merge_ns", "num"),
     ("shards.merges", "num"),
+    ("shards.resident", "arr"),
     ("updater", "obj"),
     ("updater.chain_len", "obj"),
     ("updater.chain_len.buckets", "arr"),

@@ -13,6 +13,7 @@
 #![allow(dead_code)]
 
 pub mod json;
+pub mod openmetrics;
 
 use krr::core::rng::{mix64, Xoshiro256};
 
