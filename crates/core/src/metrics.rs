@@ -233,6 +233,35 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// Percentile estimate with linear interpolation inside the winning
+    /// log2 bucket. [`HistogramSnapshot::percentile`] quantizes to bucket
+    /// upper bounds, so adjacent runs of the same workload can disagree by
+    /// a full power of two; interpolating by rank position within the
+    /// bucket smooths that out, which matters when two runs are *compared*
+    /// (the load harness gates A/B p99 deltas on this). Still a bucket
+    /// estimate — not more accurate, just continuous.
+    #[must_use]
+    pub fn percentile_interp(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= target {
+                let lower = if b == 0 { 0 } else { bucket_bound(b - 1) + 1 };
+                let upper = bucket_bound(b).min(self.max);
+                let frac = (target - cum) as f64 / c as f64;
+                return lower as f64 + frac * (upper.saturating_sub(lower)) as f64;
+            }
+            cum += c;
+        }
+        self.max as f64
+    }
+
     /// Windowed difference `self - earlier` for two snapshots of the same
     /// histogram: bucket counts, count and sum subtract (saturating, so a
     /// mismatched pair degrades to zeros instead of wrapping); `max` stays
@@ -1351,5 +1380,36 @@ mod tests {
         let open = json.matches(['{', '[']).count();
         let close = json.matches(['}', ']']).count();
         assert_eq!(open, close);
+    }
+
+    #[test]
+    fn percentile_interp_is_continuous_within_a_bucket() {
+        let h = LogHistogram::new();
+        // 100 values spread through the [64, 127] bucket.
+        for i in 0..100u64 {
+            h.record(64 + (i * 63) / 99);
+        }
+        let snap = h.snapshot();
+        // The quantized estimate can only report the bucket bound...
+        assert_eq!(snap.percentile(0.5), 127);
+        // ...while the interpolated one moves with the rank.
+        let p10 = snap.percentile_interp(0.10);
+        let p50 = snap.percentile_interp(0.50);
+        let p90 = snap.percentile_interp(0.90);
+        assert!(p10 < p50 && p50 < p90, "{p10} {p50} {p90}");
+        assert!((64.0..=127.0).contains(&p10));
+        assert!((64.0..=127.0).contains(&p90));
+        // Extremes behave.
+        assert_eq!(LogHistogram::new().snapshot().percentile_interp(0.99), 0.0);
+        assert!(snap.percentile_interp(1.0) <= snap.max as f64);
+    }
+
+    #[test]
+    fn percentile_interp_caps_at_observed_max() {
+        let h = LogHistogram::new();
+        h.record(1000); // bucket [512, 1023], max 1000
+        let snap = h.snapshot();
+        assert!(snap.percentile_interp(0.99) <= 1000.0);
+        assert!(snap.percentile_interp(0.01) >= 512.0);
     }
 }

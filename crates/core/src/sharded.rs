@@ -158,11 +158,14 @@ impl ShardedKrr {
     /// `threads` worker threads (plus the calling thread as router). The
     /// trace never needs to be materialized; results are bit-identical to
     /// the sequential [`ShardedKrr::access`] loop at any thread count.
+    /// Pipeline tuning scales with the worker count
+    /// ([`PipelineConfig::for_threads`]): wide pools get bigger batches
+    /// and deeper queues so the single router keeps up.
     pub fn process_stream<I>(&mut self, refs: I, threads: usize)
     where
         I: Iterator<Item = (u64, u32)>,
     {
-        self.process_stream_with(refs, threads, &PipelineConfig::default());
+        self.process_stream_with(refs, threads, &PipelineConfig::for_threads(threads));
     }
 
     /// [`ShardedKrr::process_stream`] with explicit pipeline tuning.

@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(rest),
         "plot" => cmd_plot(rest),
         "partition" => cmd_partition(rest),
+        "load" => cmd_load(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -79,6 +80,17 @@ USAGE:
   krr analyze (<trace.csv> | --workload <spec> ...)
   krr plot [--width W] [--height H] <mrc.csv> [<mrc.csv> ...]
   krr partition --budget B [--quantum Q] <mrc.csv> [<mrc.csv> ...]
+  krr load [--qps Q] [--arrival constant|poisson|ramp|burst] [--seed X]
+           [--connections C] [--pipeline D] [--addr HOST:PORT] [--ab]
+           [--maxmemory BYTES] [--samples S] [--no-prefill] [--json FILE]
+           (<trace.csv> | --workload <spec> [--requests N] ...)
+           (open-loop RESP load run against mini-Redis: every arrival
+            time is fixed up front from --qps/--arrival/--seed, so a
+            slow server inflates the measured tail instead of thinning
+            the load; without --addr an embedded server is started;
+            --ab replays the identical schedule twice — MRC profiling
+            plus live /metrics scraping off, then on — and reports the
+            p99 delta; --json writes the krr-load-v1 report)
 
 WORKLOAD SPECS:
   msr:<web|src1|src2|proj|usr|hm|rsrch|mds|prn|prxy|stg|ts|wdev>
@@ -98,7 +110,12 @@ impl Flags {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                if name == "var-size" || name == "bytes" || name == "metrics" {
+                if name == "var-size"
+                    || name == "bytes"
+                    || name == "metrics"
+                    || name == "ab"
+                    || name == "no-prefill"
+                {
                     pairs.push((name.to_string(), "true".to_string()));
                 } else {
                     let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
@@ -833,5 +850,73 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         "total weighted miss:  greedy {:.4}   optimal {:.4}",
         greedy.total_miss_rate, optimal.total_miss_rate
     );
+    Ok(())
+}
+
+fn cmd_load(args: &[String]) -> Result<(), String> {
+    use krr::load::{AbConfig, Arrival, LoadConfig, Schedule};
+    let f = Flags::parse(args)?;
+    let trace = load_trace(&f)?;
+    if trace.is_empty() {
+        return Err("trace is empty".into());
+    }
+    let qps: f64 = f.num("qps", 20_000.0)?;
+    if !(qps > 0.0 && qps.is_finite()) {
+        return Err("--qps must be positive".into());
+    }
+    let arrival = Arrival::parse(f.get("arrival").unwrap_or("poisson"))?;
+    let seed: u64 = f.num("seed", 42)?;
+    let load_cfg = LoadConfig {
+        connections: f.num("connections", 4usize)?.max(1),
+        pipeline_depth: f.num("pipeline", 32usize)?.max(1),
+    };
+    let schedule = Schedule::generate(arrival, qps, trace.len(), seed);
+    let prefill = !f.flag("no-prefill");
+
+    let report = if let Some(addr) = f.get("addr") {
+        // External server: plain one-sided run.
+        if f.flag("ab") {
+            return Err("--ab needs embedded servers; drop --addr".into());
+        }
+        let addr: std::net::SocketAddr = addr
+            .parse()
+            .map_err(|_| format!("--addr: cannot parse {addr:?}"))?;
+        if prefill {
+            let keys = krr::load::prefill(addr, &trace).map_err(|e| e.to_string())?;
+            eprintln!("prefilled {keys} keys");
+        }
+        krr::load::run(addr, &schedule, &trace, &load_cfg).map_err(|e| e.to_string())?
+    } else {
+        let maxmemory: u64 = f.num("maxmemory", 64u64 << 20)?;
+        let samples: usize = f.num("samples", 5usize)?;
+        let ab_cfg = AbConfig {
+            maxmemory,
+            samples,
+            seed,
+            prefill,
+            ..AbConfig::default()
+        };
+        if f.flag("ab") {
+            krr::load::run_ab(&schedule, &trace, &load_cfg, &ab_cfg).map_err(|e| e.to_string())?
+        } else {
+            let mut server =
+                krr::redis::Server::start(krr::redis::MiniRedis::new(maxmemory, samples, seed))
+                    .map_err(|e| e.to_string())?;
+            if prefill {
+                let keys = krr::load::prefill(server.addr(), &trace).map_err(|e| e.to_string())?;
+                eprintln!("prefilled {keys} keys");
+            }
+            let report = krr::load::run(server.addr(), &schedule, &trace, &load_cfg)
+                .map_err(|e| e.to_string())?;
+            server.shutdown();
+            report
+        }
+    };
+
+    print!("{}", report.render_text());
+    if let Some(path) = f.get("json") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote krr-load-v1 report to {path}");
+    }
     Ok(())
 }

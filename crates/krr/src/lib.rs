@@ -11,6 +11,8 @@
 //! * [`trace`] — synthetic MSR/YCSB/Twitter-like workloads.
 //! * [`sim`] — ground-truth exact-LRU and K-LRU simulators.
 //! * [`redis`] — a mini-Redis with the real eviction machinery.
+//! * [`load`] — an open-loop RESP load harness with seeded arrival
+//!   schedules and tail-latency reports.
 //! * [`baselines`] — Olken, SHARDS and AET LRU baselines.
 //!
 //! ## Example: model a Redis cache (maxmemory-samples = 5)
@@ -32,6 +34,7 @@
 
 pub use krr_baselines as baselines;
 pub use krr_core as core;
+pub use krr_load as load;
 pub use krr_redis as redis;
 pub use krr_sim as sim;
 pub use krr_trace as trace;

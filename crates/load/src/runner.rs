@@ -1,0 +1,332 @@
+//! The open-loop dispatcher: N real RESP connections driven by a timed
+//! schedule.
+//!
+//! Each connection gets two threads. The *sender* walks its slice of the
+//! schedule (round-robin striped, so every connection sees every phase),
+//! sleeps/spins until each arrival time, writes the RESP command, and
+//! moves on — it never waits for a response, so a slow server cannot
+//! throttle the offered load. The *receiver* drains replies in order and
+//! records `reply_time − scheduled_time` into log2 histograms: when the
+//! sender falls behind schedule, the lag lands in the measured latency
+//! instead of disappearing (the coordinated-omission correction that
+//! motivates open-loop harnesses).
+//!
+//! Writes are pipelined: the sender flushes after
+//! [`LoadConfig::pipeline_depth`] buffered commands, or earlier whenever
+//! the next arrival is still in the future (never holding a command
+//! hostage to batching while the wire is idle).
+
+use crate::report::{AbReport, LatencySummary, LoadReport, PhaseReport};
+use crate::schedule::Schedule;
+use krr_core::metrics::LogHistogram;
+use krr_redis::resp::{read_value, write_value, Value};
+use krr_trace::{Op, Request};
+use std::collections::HashSet;
+use std::io::{self, BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Barrier, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Real TCP connections to open (each gets a sender + receiver
+    /// thread).
+    pub connections: usize,
+    /// Maximum commands buffered before a flush. 1 disables pipelining;
+    /// the sender always flushes early when it is ahead of schedule.
+    pub pipeline_depth: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            connections: 4,
+            pipeline_depth: 32,
+        }
+    }
+}
+
+/// Per-phase shared aggregation, written by receivers and senders.
+struct PhaseAgg {
+    hist: LogHistogram,
+    resp_errors: AtomicU64,
+    sent: AtomicU64,
+    first_send_ns: AtomicU64,
+    last_send_ns: AtomicU64,
+}
+
+impl PhaseAgg {
+    fn new() -> Self {
+        Self {
+            hist: LogHistogram::new(),
+            resp_errors: AtomicU64::new(0),
+            sent: AtomicU64::new(0),
+            first_send_ns: AtomicU64::new(u64::MAX),
+            last_send_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Sleeps (coarsely) then yields/spins until `target_ns` on the shared
+/// run clock.
+fn wait_until(t0: Instant, target_ns: u64) {
+    loop {
+        let now = t0.elapsed().as_nanos() as u64;
+        if now >= target_ns {
+            return;
+        }
+        let rem = target_ns - now;
+        if rem > 1_500_000 {
+            // Leave ~0.5ms of slack for sleep overshoot.
+            std::thread::sleep(Duration::from_nanos(rem - 500_000));
+        } else if rem > 100_000 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Blocks until the shared start instant is published.
+fn shared_t0(start: &OnceLock<Instant>) -> Instant {
+    loop {
+        if let Some(t) = start.get() {
+            return *t;
+        }
+        std::hint::spin_loop();
+    }
+}
+
+/// Drives `schedule` against the RESP server at `addr`, replaying `reqs`
+/// (cycled if shorter than the schedule). Returns the per-run report;
+/// I/O errors during the run are folded into its error counts, while
+/// connection-setup failures are returned directly.
+pub fn run(
+    addr: SocketAddr,
+    schedule: &Schedule,
+    reqs: &[Request],
+    cfg: &LoadConfig,
+) -> io::Result<LoadReport> {
+    let n = schedule.len();
+    let conns = cfg.connections.max(1);
+    let depth = cfg.pipeline_depth.max(1);
+    let phases: Vec<PhaseAgg> = schedule.phases.iter().map(|_| PhaseAgg::new()).collect();
+    let mut scheduled_per_phase = vec![0u64; schedule.phases.len()];
+    for &p in &schedule.phase_of {
+        scheduled_per_phase[p as usize] += 1;
+    }
+    let last_event_ns = AtomicU64::new(0);
+
+    if n > 0 {
+        assert!(!reqs.is_empty(), "a non-empty schedule needs requests");
+        // Connect everything up front so setup cost stays off the clock.
+        let mut streams = Vec::with_capacity(conns);
+        for _ in 0..conns {
+            let s = TcpStream::connect(addr)?;
+            s.set_nodelay(true)?;
+            streams.push(s);
+        }
+        let barrier = Barrier::new(2 * conns + 1);
+        let start: OnceLock<Instant> = OnceLock::new();
+        // Largest SET payload in the workload, shared by every sender.
+        let payload = vec![
+            b'x';
+            reqs.iter()
+                .filter(|r| r.op == Op::Set)
+                .map(|r| r.size as usize)
+                .max()
+                .unwrap_or(0)
+        ];
+
+        std::thread::scope(|scope| {
+            for (c, stream) in streams.into_iter().enumerate() {
+                let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                let writer = BufWriter::new(stream);
+                let (tx, rx) = mpsc::channel::<(u64, u8)>();
+                let (barrier, start) = (&barrier, &start);
+                let (phases, last_event_ns, payload) = (&phases, &last_event_ns, &payload);
+
+                scope.spawn(move || {
+                    let mut w = writer;
+                    barrier.wait();
+                    let t0 = shared_t0(start);
+                    let mut pending = 0usize;
+                    let mut i = c;
+                    while i < n {
+                        let t_sched = schedule.arrivals[i];
+                        let p = schedule.phase_of[i] as usize;
+                        let r = &reqs[i % reqs.len()];
+                        wait_until(t0, t_sched);
+                        let key = r.key.to_string();
+                        let cmd = match r.op {
+                            Op::Get => Value::command(&[b"GET", key.as_bytes()]),
+                            Op::Set => Value::command(&[
+                                b"SET",
+                                key.as_bytes(),
+                                &payload[..r.size as usize],
+                            ]),
+                        };
+                        if write_value(&mut w, &cmd).is_err() {
+                            break; // connection died; the missing replies count as errors
+                        }
+                        let now = t0.elapsed().as_nanos() as u64;
+                        let agg = &phases[p];
+                        agg.sent.fetch_add(1, Ordering::Relaxed);
+                        agg.first_send_ns.fetch_min(now, Ordering::Relaxed);
+                        agg.last_send_ns.fetch_max(now, Ordering::Relaxed);
+                        last_event_ns.fetch_max(now, Ordering::Relaxed);
+                        if tx.send((t_sched, schedule.phase_of[i])).is_err() {
+                            break;
+                        }
+                        pending += 1;
+                        i += conns;
+                        // Flush on a full pipeline, at the end, or whenever
+                        // the wire would otherwise sit idle.
+                        if pending >= depth || i >= n || schedule.arrivals[i] > now {
+                            if w.flush().is_err() {
+                                break;
+                            }
+                            pending = 0;
+                        }
+                    }
+                    let _ = w.flush();
+                    // tx drops here: the receiver drains and exits.
+                });
+
+                scope.spawn(move || {
+                    let mut r = reader;
+                    barrier.wait();
+                    let t0 = shared_t0(start);
+                    for (t_sched, p) in &rx {
+                        match read_value(&mut r) {
+                            Ok(v) => {
+                                let now = t0.elapsed().as_nanos() as u64;
+                                let agg = &phases[p as usize];
+                                agg.hist.record(now.saturating_sub(t_sched));
+                                if matches!(v, Value::Error(_)) {
+                                    agg.resp_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                                last_event_ns.fetch_max(now, Ordering::Relaxed);
+                            }
+                            // Reply stream broke: every outstanding and
+                            // future token on this connection is lost,
+                            // which the sent-vs-replies balance reports.
+                            Err(_) => break,
+                        }
+                    }
+                });
+            }
+            barrier.wait();
+            start.set(Instant::now()).expect("start published once");
+        });
+    }
+
+    // ---- Aggregate ----
+    let total_hist = LogHistogram::new();
+    let mut phase_reports = Vec::with_capacity(phases.len());
+    let mut total_errors = 0u64;
+    let (mut first_send, mut last_send, mut total_sent) = (u64::MAX, 0u64, 0u64);
+    for (i, agg) in phases.iter().enumerate() {
+        let snap = agg.hist.snapshot();
+        total_hist.absorb(&snap);
+        let sent = agg.sent.load(Ordering::Relaxed);
+        let errors = agg.resp_errors.load(Ordering::Relaxed)
+            + scheduled_per_phase[i].saturating_sub(snap.count);
+        total_errors += errors;
+        total_sent += sent;
+        let (f, l) = (
+            agg.first_send_ns.load(Ordering::Relaxed),
+            agg.last_send_ns.load(Ordering::Relaxed),
+        );
+        first_send = first_send.min(f);
+        last_send = last_send.max(l);
+        let span_ns = l.saturating_sub(f).max(1);
+        phase_reports.push(PhaseReport {
+            name: schedule.phases[i].name.clone(),
+            target_qps: schedule.phases[i].target_qps,
+            achieved_qps: if sent > 1 {
+                (sent - 1) as f64 * 1e9 / span_ns as f64
+            } else {
+                0.0
+            },
+            requests: scheduled_per_phase[i],
+            errors,
+            latency_ns: LatencySummary::from_snapshot(&snap),
+        });
+    }
+    let send_span_ns = last_send.saturating_sub(first_send.min(last_send)).max(1);
+    Ok(LoadReport {
+        arrival: schedule.arrival.name().to_string(),
+        target_qps: schedule.target_qps,
+        achieved_qps: if total_sent > 1 {
+            (total_sent - 1) as f64 * 1e9 / send_span_ns as f64
+        } else {
+            0.0
+        },
+        requests: n as u64,
+        connections: conns as u64,
+        pipeline_depth: depth as u64,
+        duration_ns: last_event_ns.load(Ordering::Relaxed),
+        errors: total_errors,
+        latency_ns: LatencySummary::from_snapshot(&total_hist.snapshot()),
+        phases: phase_reports,
+        ab: AbReport::disabled(),
+    })
+}
+
+/// Populates the store with every distinct key of `reqs` (first-seen
+/// order, one `SET` each) over a single deeply pipelined connection, so a
+/// measured run starts from a warm cache instead of a cold-miss wall.
+/// Returns the number of keys written.
+pub fn prefill(addr: SocketAddr, reqs: &[Request]) -> io::Result<u64> {
+    const CHUNK: usize = 512;
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut seen = HashSet::new();
+    let mut written = 0u64;
+    let mut chunk = Vec::with_capacity(CHUNK);
+    let mut payload: Vec<u8> = Vec::new();
+    let flush_chunk = |chunk: &mut Vec<(u64, u32)>,
+                       writer: &mut BufWriter<TcpStream>,
+                       reader: &mut BufReader<TcpStream>,
+                       payload: &mut Vec<u8>|
+     -> io::Result<u64> {
+        // Write the whole chunk, then read its replies: bounding the
+        // outstanding window keeps both socket buffers from filling up
+        // and deadlocking writer against writer.
+        for &(key, size) in chunk.iter() {
+            let size = size as usize;
+            if payload.len() < size {
+                payload.resize(size, b'x');
+            }
+            let key = key.to_string();
+            write_value(
+                writer,
+                &Value::command(&[b"SET", key.as_bytes(), &payload[..size]]),
+            )?;
+        }
+        writer.flush()?;
+        let mut ok = 0u64;
+        for _ in 0..chunk.len() {
+            if !matches!(read_value(reader)?, Value::Error(_)) {
+                ok += 1;
+            }
+        }
+        chunk.clear();
+        Ok(ok)
+    };
+    for r in reqs {
+        if seen.insert(r.key) {
+            chunk.push((r.key, r.size.max(1)));
+            if chunk.len() == CHUNK {
+                written += flush_chunk(&mut chunk, &mut writer, &mut reader, &mut payload)?;
+            }
+        }
+    }
+    written += flush_chunk(&mut chunk, &mut writer, &mut reader, &mut payload)?;
+    Ok(written)
+}

@@ -1,0 +1,329 @@
+//! Timed arrival schedules for open-loop load generation.
+//!
+//! An open-loop generator decides *when* each request is sent before the
+//! run starts, from a target rate and an inter-arrival process — never
+//! from the responses. A slow server therefore cannot throttle the
+//! offered load, which is exactly the property that avoids coordinated
+//! omission: queueing delay accumulates into the measured latency instead
+//! of silently stretching the schedule.
+//!
+//! Schedules are generated eagerly and deterministically from a `u64`
+//! seed, so a test (or an A/B benchmark) can replay bit-identical arrival
+//! timestamps across runs and machines.
+
+use krr_core::rng::Xoshiro256;
+
+/// Inter-arrival process of a load schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrival {
+    /// Fixed gap of `1/qps` between requests.
+    Constant,
+    /// Memoryless exponential inter-arrivals with mean `1/qps` — the
+    /// classic open-loop model of independent clients.
+    Poisson,
+    /// Diurnal ramp: six equal-duration segments whose rates climb from
+    /// `0.5×` to `1.5×` the target (mean exactly `1×`).
+    Ramp,
+    /// Flash crowd: a steady `0.5×` baseline with a `5.5×` spike in the
+    /// middle 10% of the run (mean exactly `1×`).
+    Burst,
+}
+
+impl Arrival {
+    /// Every arrival process, for sweeps.
+    pub const ALL: [Arrival; 4] = [
+        Arrival::Constant,
+        Arrival::Poisson,
+        Arrival::Ramp,
+        Arrival::Burst,
+    ];
+
+    /// Stable lowercase name (the CLI spelling).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Arrival::Constant => "constant",
+            Arrival::Poisson => "poisson",
+            Arrival::Ramp => "ramp",
+            Arrival::Burst => "burst",
+        }
+    }
+
+    /// Parses a CLI spelling (`constant|poisson|ramp|burst`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "constant" => Ok(Arrival::Constant),
+            "poisson" => Ok(Arrival::Poisson),
+            "ramp" => Ok(Arrival::Ramp),
+            "burst" => Ok(Arrival::Burst),
+            other => Err(format!(
+                "unknown arrival process {other:?} (constant|poisson|ramp|burst)"
+            )),
+        }
+    }
+}
+
+/// One named segment of a schedule with its own target rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Human-readable label (`steady`, `ramp-0.9x`, `burst`, ...).
+    pub name: String,
+    /// The rate this phase aims for, in requests/second.
+    pub target_qps: f64,
+}
+
+/// A fully materialized arrival schedule.
+///
+/// `arrivals[i]` is the nanosecond offset from run start at which request
+/// `i` must be dispatched; `phase_of[i]` indexes [`Schedule::phases`].
+/// Timestamps are nondecreasing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// The arrival process that generated this schedule.
+    pub arrival: Arrival,
+    /// Overall target rate in requests/second.
+    pub target_qps: f64,
+    /// Dispatch time of each request, in ns since run start.
+    pub arrivals: Vec<u64>,
+    /// Phase index of each request.
+    pub phase_of: Vec<u8>,
+    /// The schedule's phases, in time order.
+    pub phases: Vec<Phase>,
+}
+
+/// `(rate multiplier, duration fraction)` per segment of the ramp.
+const RAMP_SEGMENTS: [(f64, f64); 6] = [
+    (0.5, 1.0 / 6.0),
+    (0.7, 1.0 / 6.0),
+    (0.9, 1.0 / 6.0),
+    (1.1, 1.0 / 6.0),
+    (1.3, 1.0 / 6.0),
+    (1.5, 1.0 / 6.0),
+];
+
+/// `(rate multiplier, duration fraction)` for the flash crowd; the mean
+/// is exactly 1.0 (`0.5·0.45 + 5.5·0.10 + 0.5·0.45`).
+const BURST_SEGMENTS: [(f64, f64); 3] = [(0.5, 0.45), (5.5, 0.10), (0.5, 0.45)];
+
+impl Schedule {
+    /// Generates a schedule of `n` arrivals targeting `target_qps`
+    /// requests/second overall. Identical inputs produce bit-identical
+    /// schedules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_qps` is not strictly positive and finite.
+    #[must_use]
+    pub fn generate(arrival: Arrival, target_qps: f64, n: usize, seed: u64) -> Schedule {
+        assert!(
+            target_qps > 0.0 && target_qps.is_finite(),
+            "target QPS must be positive and finite"
+        );
+        match arrival {
+            Arrival::Constant => Self::steady(arrival, target_qps, n, None),
+            Arrival::Poisson => Self::steady(
+                arrival,
+                target_qps,
+                n,
+                Some(Xoshiro256::seed_from_u64(seed)),
+            ),
+            Arrival::Ramp => {
+                let names: Vec<String> = RAMP_SEGMENTS
+                    .iter()
+                    .map(|(m, _)| format!("ramp-{m:.1}x"))
+                    .collect();
+                Self::segmented(arrival, target_qps, n, &RAMP_SEGMENTS, &names)
+            }
+            Arrival::Burst => {
+                let names = [
+                    "base".to_string(),
+                    "burst".to_string(),
+                    "recover".to_string(),
+                ];
+                Self::segmented(arrival, target_qps, n, &BURST_SEGMENTS, &names)
+            }
+        }
+    }
+
+    /// Single-phase schedule: constant spacing, or exponential gaps when
+    /// an RNG is supplied.
+    fn steady(arrival: Arrival, qps: f64, n: usize, mut rng: Option<Xoshiro256>) -> Schedule {
+        let gap_ns = 1e9 / qps;
+        let mut arrivals = Vec::with_capacity(n);
+        let mut t = 0.0f64;
+        for i in 0..n {
+            match rng.as_mut() {
+                // Deterministic grid: arrival i sits exactly at i·gap.
+                None => arrivals.push((i as f64 * gap_ns) as u64),
+                Some(rng) => {
+                    arrivals.push(t as u64);
+                    // unit_open_low() ∈ (0,1] keeps ln() finite.
+                    t += -rng.unit_open_low().ln() * gap_ns;
+                }
+            }
+        }
+        Schedule {
+            arrival,
+            target_qps: qps,
+            arrivals,
+            phase_of: vec![0; n],
+            phases: vec![Phase {
+                name: "steady".to_string(),
+                target_qps: qps,
+            }],
+        }
+    }
+
+    /// Piecewise-constant-rate schedule: each `(multiplier, fraction)`
+    /// segment spans `fraction` of the total duration `n/qps` at rate
+    /// `multiplier·qps`, with evenly spaced arrivals inside the segment.
+    fn segmented(
+        arrival: Arrival,
+        qps: f64,
+        n: usize,
+        segments: &[(f64, f64)],
+        names: &[String],
+    ) -> Schedule {
+        let total_ns = n as f64 * 1e9 / qps;
+        let mut arrivals = Vec::with_capacity(n);
+        let mut phase_of = Vec::with_capacity(n);
+        let mut phases = Vec::with_capacity(segments.len());
+        let mut start_ns = 0.0f64;
+        let mut emitted = 0usize;
+        for (p, (&(mult, frac), name)) in segments.iter().zip(names).enumerate() {
+            let dur_ns = total_ns * frac;
+            let last = p == segments.len() - 1;
+            // Request share = rate share; the last segment absorbs
+            // rounding so the schedule always holds exactly n arrivals.
+            let quota = if last {
+                n - emitted
+            } else {
+                ((mult * frac * n as f64).round() as usize).min(n - emitted)
+            };
+            let gap = dur_ns / quota.max(1) as f64;
+            for k in 0..quota {
+                arrivals.push((start_ns + k as f64 * gap) as u64);
+                phase_of.push(p as u8);
+            }
+            phases.push(Phase {
+                name: name.clone(),
+                target_qps: mult * qps,
+            });
+            emitted += quota;
+            start_ns += dur_ns;
+        }
+        debug_assert_eq!(arrivals.len(), n);
+        Schedule {
+            arrival,
+            target_qps: qps,
+            arrivals,
+            phase_of,
+            phases,
+        }
+    }
+
+    /// Number of scheduled arrivals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True when the schedule holds no arrivals.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Nominal span of the schedule in nanoseconds: the last arrival plus
+    /// one mean gap (so an empty schedule has duration 0 and a full one
+    /// approximates `n/qps`).
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        match self.arrivals.last() {
+            None => 0,
+            Some(&last) => last + (1e9 / self.target_qps) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_arrivals_sit_on_the_exact_grid() {
+        let s = Schedule::generate(Arrival::Constant, 1_000.0, 4, 9);
+        assert_eq!(s.arrivals, vec![0, 1_000_000, 2_000_000, 3_000_000]);
+        assert_eq!(s.phases.len(), 1);
+        assert_eq!(s.phases[0].name, "steady");
+    }
+
+    #[test]
+    fn all_processes_are_nondecreasing_and_sized() {
+        for arrival in Arrival::ALL {
+            let s = Schedule::generate(arrival, 10_000.0, 5_000, 7);
+            assert_eq!(s.len(), 5_000, "{arrival:?}");
+            assert_eq!(s.phase_of.len(), 5_000);
+            assert!(
+                s.arrivals.windows(2).all(|w| w[0] <= w[1]),
+                "{arrival:?} not sorted"
+            );
+            let max_phase = *s.phase_of.iter().max().unwrap() as usize;
+            assert!(max_phase < s.phases.len());
+        }
+    }
+
+    #[test]
+    fn mean_rate_matches_target_for_every_process() {
+        for arrival in Arrival::ALL {
+            let qps = 20_000.0;
+            let s = Schedule::generate(arrival, qps, 40_000, 11);
+            let measured = s.len() as f64 * 1e9 / s.duration_ns() as f64;
+            let tol = if arrival == Arrival::Poisson {
+                0.05
+            } else {
+                0.01
+            };
+            assert!(
+                (measured / qps - 1.0).abs() < tol,
+                "{arrival:?}: measured {measured} vs target {qps}"
+            );
+        }
+    }
+
+    #[test]
+    fn burst_middle_phase_is_the_hot_one() {
+        let s = Schedule::generate(Arrival::Burst, 10_000.0, 30_000, 3);
+        assert_eq!(s.phases.len(), 3);
+        assert!(s.phases[1].target_qps > 5.0 * s.phases[0].target_qps);
+        let burst_count = s.phase_of.iter().filter(|&&p| p == 1).count();
+        // 5.5x rate over 10% of the time = 55% of the requests.
+        assert!((burst_count as f64 / s.len() as f64 - 0.55).abs() < 0.01);
+    }
+
+    #[test]
+    fn ramp_rates_increase_monotonically() {
+        let s = Schedule::generate(Arrival::Ramp, 8_000.0, 24_000, 5);
+        assert_eq!(s.phases.len(), 6);
+        for w in s.phases.windows(2) {
+            assert!(w[0].target_qps < w[1].target_qps);
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_fine() {
+        for arrival in Arrival::ALL {
+            let s = Schedule::generate(arrival, 1_000.0, 0, 1);
+            assert!(s.is_empty());
+            assert_eq!(s.duration_ns(), 0);
+        }
+    }
+
+    #[test]
+    fn arrival_names_roundtrip() {
+        for arrival in Arrival::ALL {
+            assert_eq!(Arrival::parse(arrival.name()), Ok(arrival));
+        }
+        assert!(Arrival::parse("sinusoid").is_err());
+    }
+}

@@ -5,7 +5,37 @@
 //! GET/SET/DEL/DBSIZE/INFO between [`crate::server`] and
 //! [`crate::client`]. Implemented from scratch on `BufRead`/`Write`.
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, ErrorKind, Write};
+
+/// Largest accepted bulk-string payload (mirrors redis's
+/// `proto-max-bulk-len` default of 512 MB). Larger claims are rejected
+/// *before* any allocation, so a hostile `$` header cannot balloon
+/// memory.
+pub const MAX_BULK_LEN: u64 = 512 << 20;
+
+/// Largest accepted array arity (mirrors redis's multibulk limit).
+pub const MAX_ARRAY_LEN: u64 = 1 << 20;
+
+/// Maximum array nesting depth; deeper input is rejected instead of
+/// recursing toward a stack overflow.
+pub const MAX_DEPTH: u32 = 32;
+
+/// Longest accepted header/simple line (tag + digits or short text).
+const MAX_LINE_LEN: usize = 64 << 10;
+
+/// Consecutive timeout-flavored stalls tolerated mid-value before giving
+/// up. With the server's 50ms socket read timeout this allows ~10s of
+/// dead air *inside* one value; idle gaps between values never get here
+/// (the server probes for a first byte before calling [`read_value`]).
+const MAX_STALLS: u32 = 200;
+
+/// True for errors that mean "no data yet", not "connection broken".
+fn retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+    )
+}
 
 /// A RESP2 value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,23 +94,94 @@ pub fn write_value<W: Write>(w: &mut W, v: &Value) -> io::Result<()> {
     }
 }
 
+/// Reads one CRLF-terminated line, surviving timeout-flavored errors
+/// mid-line.
+///
+/// `BufRead::read_line` into a fresh buffer would *drop* the bytes read
+/// so far whenever the socket's read timeout fires between two bytes of
+/// a command — desyncing the stream for every later command on the
+/// connection. This loop works the `fill_buf`/`consume` interface
+/// directly so partial progress lives in the `BufRead`'s own buffer (and
+/// in `buf`) across retries.
 fn read_line<R: BufRead>(r: &mut R) -> io::Result<String> {
-    let mut line = String::new();
-    let n = r.read_line(&mut line)?;
-    if n == 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "connection closed",
-        ));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut stalls = 0u32;
+    loop {
+        let available = match r.fill_buf() {
+            Ok(a) => a,
+            Err(e) if retryable(&e) => {
+                stalls += 1;
+                if stalls > MAX_STALLS {
+                    return Err(io::Error::new(ErrorKind::TimedOut, "stalled mid-line"));
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Err(io::Error::new(
+                ErrorKind::UnexpectedEof,
+                if buf.is_empty() {
+                    "connection closed"
+                } else {
+                    "connection closed mid-line"
+                },
+            ));
+        }
+        stalls = 0;
+        match available.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                buf.extend_from_slice(&available[..=i]);
+                r.consume(i + 1);
+            }
+            None => {
+                let n = available.len();
+                buf.extend_from_slice(available);
+                r.consume(n);
+            }
+        }
+        if buf.len() > MAX_LINE_LEN {
+            return Err(invalid("line exceeds maximum length"));
+        }
+        if buf.ends_with(b"\n") {
+            break;
+        }
     }
-    if !line.ends_with("\r\n") {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "line not CRLF-terminated",
-        ));
+    if !buf.ends_with(b"\r\n") {
+        return Err(invalid("line not CRLF-terminated"));
     }
-    line.truncate(line.len() - 2);
-    Ok(line)
+    buf.truncate(buf.len() - 2);
+    String::from_utf8(buf).map_err(|_| invalid("line not UTF-8"))
+}
+
+/// `read_exact` that keeps its fill position across timeout-flavored
+/// errors instead of losing already-read bytes (std's contract leaves the
+/// buffer contents unspecified after an error).
+fn read_exact_retry<R: BufRead>(r: &mut R, buf: &mut [u8]) -> io::Result<()> {
+    let mut filled = 0usize;
+    let mut stalls = 0u32;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed mid-bulk",
+                ));
+            }
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e) if retryable(&e) => {
+                stalls += 1;
+                if stalls > MAX_STALLS {
+                    return Err(io::Error::new(ErrorKind::TimedOut, "stalled mid-bulk"));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
@@ -88,8 +189,25 @@ fn invalid(msg: impl Into<String>) -> io::Error {
 }
 
 /// Reads one RESP value.
+///
+/// Hardened against hostile or fragmented input: bulk and array length
+/// claims are validated against [`MAX_BULK_LEN`] / [`MAX_ARRAY_LEN`]
+/// before any allocation, nesting is capped at [`MAX_DEPTH`], and values
+/// split across an arbitrary number of socket reads (including reads
+/// interrupted by a socket timeout) parse identically to a single
+/// contiguous buffer.
 pub fn read_value<R: BufRead>(r: &mut R) -> io::Result<Value> {
+    read_value_at(r, 0)
+}
+
+fn read_value_at<R: BufRead>(r: &mut R, depth: u32) -> io::Result<Value> {
+    if depth >= MAX_DEPTH {
+        return Err(invalid("array nesting too deep"));
+    }
     let line = read_line(r)?;
+    if line.is_empty() {
+        return Err(invalid("empty RESP line"));
+    }
     let (tag, rest) = line.split_at(1);
     match tag {
         "+" => Ok(Value::Simple(rest.to_string())),
@@ -103,10 +221,15 @@ pub fn read_value<R: BufRead>(r: &mut R) -> io::Result<Value> {
             if len < 0 {
                 return Ok(Value::Bulk(None));
             }
+            if len as u64 > MAX_BULK_LEN {
+                return Err(invalid(format!(
+                    "bulk length {len} exceeds cap {MAX_BULK_LEN}"
+                )));
+            }
             let mut data = vec![0u8; len as usize];
-            r.read_exact(&mut data)?;
+            read_exact_retry(r, &mut data)?;
             let mut crlf = [0u8; 2];
-            r.read_exact(&mut crlf)?;
+            read_exact_retry(r, &mut crlf)?;
             if &crlf != b"\r\n" {
                 return Err(invalid("bulk not CRLF-terminated"));
             }
@@ -117,9 +240,16 @@ pub fn read_value<R: BufRead>(r: &mut R) -> io::Result<Value> {
             if len < 0 {
                 return Ok(Value::Array(Vec::new()));
             }
-            let mut items = Vec::with_capacity(len as usize);
+            if len as u64 > MAX_ARRAY_LEN {
+                return Err(invalid(format!(
+                    "array length {len} exceeds cap {MAX_ARRAY_LEN}"
+                )));
+            }
+            // Reserve modestly: the *claim* is attacker-controlled until
+            // the elements actually arrive.
+            let mut items = Vec::with_capacity((len as usize).min(4096));
             for _ in 0..len {
-                items.push(read_value(r)?);
+                items.push(read_value_at(r, depth + 1)?);
             }
             Ok(Value::Array(items))
         }
@@ -191,5 +321,114 @@ mod tests {
         assert!(read_value(&mut "$5\r\nab\r\n".as_bytes()).is_err());
         assert!(read_value(&mut ":notanum\r\n".as_bytes()).is_err());
         assert!(read_value(&mut "+no-crlf".as_bytes()).is_err());
+        assert!(read_value(&mut "\r\n".as_bytes()).is_err());
+    }
+
+    /// Yields one byte per read and a `WouldBlock` error between every
+    /// byte — the worst-case fragmentation a socket read timeout can
+    /// produce.
+    struct Trickle<'a> {
+        data: &'a [u8],
+        pos: usize,
+        block_next: bool,
+        blocks: u64,
+    }
+
+    impl<'a> Trickle<'a> {
+        fn new(data: &'a [u8]) -> Self {
+            Self {
+                data,
+                pos: 0,
+                block_next: true,
+                blocks: 0,
+            }
+        }
+    }
+
+    impl io::Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.block_next && self.pos < self.data.len() {
+                self.block_next = false;
+                self.blocks += 1;
+                return Err(io::Error::new(ErrorKind::WouldBlock, "trickle"));
+            }
+            self.block_next = true;
+            if self.pos == self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    impl BufRead for Trickle<'_> {
+        fn fill_buf(&mut self) -> io::Result<&[u8]> {
+            if self.block_next && self.pos < self.data.len() {
+                self.block_next = false;
+                self.blocks += 1;
+                return Err(io::Error::new(ErrorKind::WouldBlock, "trickle"));
+            }
+            self.block_next = true;
+            Ok(&self.data[self.pos..(self.pos + 1).min(self.data.len())])
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.pos += amt;
+        }
+    }
+
+    #[test]
+    fn survives_wouldblock_at_every_byte_boundary() {
+        let mut wire = Vec::new();
+        let cmd = Value::command(&[b"SET", b"key1", b"a value with spaces"]);
+        write_value(&mut wire, &cmd).unwrap();
+        write_value(&mut wire, &Value::Integer(-7)).unwrap();
+        let mut r = Trickle::new(&wire);
+        assert_eq!(read_value(&mut r).unwrap(), cmd);
+        assert_eq!(read_value(&mut r).unwrap(), Value::Integer(-7));
+        // Every byte really was preceded by a timeout-flavored error.
+        assert_eq!(r.blocks, wire.len() as u64);
+    }
+
+    #[test]
+    fn oversized_claims_rejected_before_allocation() {
+        let huge_bulk = format!("${}\r\n", MAX_BULK_LEN + 1);
+        let e = read_value(&mut huge_bulk.as_bytes()).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::InvalidData);
+        let huge_array = format!("*{}\r\n", MAX_ARRAY_LEN + 1);
+        let e = read_value(&mut huge_array.as_bytes()).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::InvalidData);
+        // At the cap the *claim* is fine; missing payload is EOF, not
+        // InvalidData, proving the length check passed.
+        let at_cap = format!("*{MAX_ARRAY_LEN}\r\n");
+        let e = read_value(&mut at_cap.as_bytes()).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn nesting_bomb_is_rejected_not_overflowed() {
+        let bomb = "*1\r\n".repeat(10_000);
+        let e = read_value(&mut bomb.as_bytes()).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn zero_length_bulk_roundtrips_and_mid_value_eof_is_eof() {
+        assert_eq!(
+            read_value(&mut "$0\r\n\r\n".as_bytes()).unwrap(),
+            Value::bulk(Vec::new())
+        );
+        for partial in ["$10\r\nhel", "*2\r\n$3\r\nGET\r\n", "+OK\r", "$4\r\nhost\r"] {
+            let e = read_value(&mut partial.as_bytes()).unwrap_err();
+            assert_eq!(e.kind(), ErrorKind::UnexpectedEof, "{partial:?}");
+        }
+    }
+
+    #[test]
+    fn overlong_line_is_rejected() {
+        let line = format!("+{}\r\n", "x".repeat(80 << 10));
+        let e = read_value(&mut line.as_bytes()).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::InvalidData);
     }
 }

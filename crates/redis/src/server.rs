@@ -274,6 +274,18 @@ fn serve_connection(
         let request = match read_value(&mut reader) {
             Ok(v) => v,
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Protocol violation (oversized claim, bad tag, broken
+                // framing): report it like redis does, then hang up —
+                // the byte stream cannot be resynchronized.
+                use std::io::Write;
+                let _ = write_value(
+                    &mut writer,
+                    &Value::Error(format!("ERR Protocol error: {e}")),
+                );
+                let _ = writer.flush();
+                return Ok(());
+            }
             Err(e) => return Err(e),
         };
         let t0 = rec.now_ns();

@@ -21,16 +21,27 @@ cargo run --release --offline -q -p krr --example live_scrape > /tmp/krr_live_sc
 grep -q "krr / olken space ratio" /tmp/krr_live_scrape.out
 grep -q "serving live metrics on http://" /tmp/krr_live_scrape.out
 
+# Loopback load smoke: the flash-crowd example replays a burst schedule
+# over real RESP connections against a profiled mini-Redis while scraping
+# /metrics, and asserts inside (zero errors, complete histograms, the
+# burst tail no better than steady state).
+cargo run --release --offline -q -p krr --example flash_crowd > /tmp/krr_flash_crowd.out
+grep -q "flash crowd amplified p99" /tmp/krr_flash_crowd.out
+grep -q "errors 0" /tmp/krr_flash_crowd.out
+
 # Optional perf tracking: KRR_CI_BENCH=1 refreshes BENCH_pipeline.json
 # (sequential vs rescan vs route-once pipeline throughput), BENCH_obs.json
 # (flight-recorder off vs on; exits nonzero if tracing costs more than its
 # 5% budget), and BENCH_space.json (KRR vs Olken/SHARDS/CounterStacks deep
 # footprint at M=1e6 — exits nonzero unless KRR < Olken — plus the
-# /metrics scrape-overhead gate, also 5%).
+# /metrics scrape-overhead gate, also 5%) and BENCH_load.json (open-loop
+# RESP load A/B: p99 with MRC profiling + live scraping on vs off — exits
+# nonzero past a 10% tail budget).
 if [ "${KRR_CI_BENCH:-0}" = "1" ]; then
     cargo bench -q --offline -p krr-bench --bench pipeline
     cargo bench -q --offline -p krr-bench --bench obs
     cargo bench -q --offline -p krr-bench --bench space
+    cargo bench -q --offline -p krr-bench --bench load
 fi
 
 echo "ci: OK"

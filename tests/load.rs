@@ -1,0 +1,138 @@
+//! Integration: the open-loop load harness end-to-end — deterministic
+//! schedule generation through the public facade, and real loopback runs
+//! against an in-process mini-Redis server.
+
+use krr::load::{run, Arrival, LoadConfig, Schedule};
+use krr::redis::{MiniRedis, Server};
+use krr::trace::ycsb;
+
+#[test]
+fn seeded_schedules_are_bit_identical_across_runs() {
+    for arrival in Arrival::ALL {
+        let a = Schedule::generate(arrival, 25_000.0, 10_000, 77);
+        let b = Schedule::generate(arrival, 25_000.0, 10_000, 77);
+        assert_eq!(a.arrivals, b.arrivals, "{arrival:?} not deterministic");
+        assert_eq!(a.phase_of, b.phase_of, "{arrival:?} phases drifted");
+    }
+    // The seed actually matters for the stochastic process.
+    let a = Schedule::generate(Arrival::Poisson, 25_000.0, 10_000, 77);
+    let b = Schedule::generate(Arrival::Poisson, 25_000.0, 10_000, 78);
+    assert_ne!(a.arrivals, b.arrivals, "poisson ignored its seed");
+}
+
+#[test]
+fn constant_schedule_is_an_exact_grid() {
+    // A test (or an A/B bench) can assert exact arrival timestamps: the
+    // constant process puts request i at exactly i/qps seconds.
+    let s = Schedule::generate(Arrival::Constant, 1_000.0, 5, 123);
+    assert_eq!(
+        s.arrivals,
+        vec![0, 1_000_000, 2_000_000, 3_000_000, 4_000_000]
+    );
+    // And the seed is irrelevant to the deterministic processes.
+    let t = Schedule::generate(Arrival::Constant, 1_000.0, 5, 456);
+    assert_eq!(s.arrivals, t.arrivals);
+}
+
+#[test]
+fn every_arrival_process_respects_its_target_rate() {
+    for arrival in Arrival::ALL {
+        let qps = 50_000.0;
+        let s = Schedule::generate(arrival, qps, 100_000, 9);
+        let measured = s.len() as f64 * 1e9 / s.duration_ns() as f64;
+        assert!(
+            (measured / qps - 1.0).abs() < 0.05,
+            "{arrival:?}: schedule encodes {measured} qps, wanted {qps}"
+        );
+    }
+}
+
+#[test]
+fn loopback_smoke_every_arrival_process() {
+    // Modest rate so a debug build on a loaded CI box keeps up: the
+    // assertion is zero errors and complete histograms, not raw speed.
+    let trace = ycsb::WorkloadC::new(500, 0.9).generate(4_000, 21);
+    let distinct = trace
+        .iter()
+        .map(|r| r.key)
+        .collect::<std::collections::HashSet<_>>()
+        .len() as u64;
+    for arrival in Arrival::ALL {
+        let mut server = Server::start(MiniRedis::new(8 << 20, 5, 17)).unwrap();
+        let written = krr::load::prefill(server.addr(), &trace).unwrap();
+        assert_eq!(written, distinct, "{arrival:?}: one SET per distinct key");
+        let schedule = Schedule::generate(arrival, 10_000.0, trace.len(), 5);
+        let cfg = LoadConfig {
+            connections: 2,
+            pipeline_depth: 16,
+        };
+        let report = run(server.addr(), &schedule, &trace, &cfg).unwrap();
+        server.shutdown();
+
+        assert_eq!(report.errors, 0, "{arrival:?}: {report:?}");
+        assert_eq!(report.requests, trace.len() as u64, "{arrival:?}");
+        assert_eq!(
+            report.latency_ns.count,
+            trace.len() as u64,
+            "{arrival:?}: every dispatched request must be measured"
+        );
+        assert!(report.latency_ns.max_ns > 0, "{arrival:?}: empty histogram");
+        assert!(
+            report.latency_ns.p50_ns <= report.latency_ns.p99_ns
+                && report.latency_ns.p99_ns <= report.latency_ns.max_ns as f64,
+            "{arrival:?}: percentiles out of order: {:?}",
+            report.latency_ns
+        );
+        let phase_reqs: u64 = report.phases.iter().map(|p| p.requests).sum();
+        assert_eq!(
+            phase_reqs, report.requests,
+            "{arrival:?}: phases don't tile"
+        );
+        let phase_measured: u64 = report.phases.iter().map(|p| p.latency_ns.count).sum();
+        assert_eq!(phase_measured, report.latency_ns.count, "{arrival:?}");
+        assert_eq!(report.arrival, arrival.name());
+    }
+}
+
+#[test]
+fn achieved_qps_tracks_the_schedule() {
+    let trace = ycsb::WorkloadC::new(300, 0.9).generate(5_000, 31);
+    let mut server = Server::start(MiniRedis::new(8 << 20, 5, 19)).unwrap();
+    krr::load::prefill(server.addr(), &trace).unwrap();
+    let schedule = Schedule::generate(Arrival::Constant, 10_000.0, trace.len(), 1);
+    let report = run(server.addr(), &schedule, &trace, &LoadConfig::default()).unwrap();
+    server.shutdown();
+    assert!(
+        (report.achieved_qps / report.target_qps - 1.0).abs() < 0.10,
+        "target {} vs achieved {}",
+        report.target_qps,
+        report.achieved_qps
+    );
+    // Half a second of schedule must take roughly half a second of wall
+    // time — the dispatcher paces, it does not blast.
+    let nominal = schedule.duration_ns() as f64;
+    assert!(
+        report.duration_ns as f64 > 0.8 * nominal,
+        "run finished implausibly fast: {} vs nominal {}",
+        report.duration_ns,
+        nominal
+    );
+}
+
+#[test]
+fn unpipelined_runs_work_too() {
+    let trace = ycsb::WorkloadC::new(200, 0.9).generate(1_500, 41);
+    let mut server = Server::start(MiniRedis::new(8 << 20, 5, 23)).unwrap();
+    krr::load::prefill(server.addr(), &trace).unwrap();
+    let schedule = Schedule::generate(Arrival::Poisson, 5_000.0, trace.len(), 3);
+    let cfg = LoadConfig {
+        connections: 1,
+        pipeline_depth: 1,
+    };
+    let report = run(server.addr(), &schedule, &trace, &cfg).unwrap();
+    server.shutdown();
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert_eq!(report.latency_ns.count, trace.len() as u64);
+    assert_eq!(report.connections, 1);
+    assert_eq!(report.pipeline_depth, 1);
+}

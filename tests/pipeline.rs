@@ -138,6 +138,48 @@ fn route_once_hashes_each_key_exactly_once() {
 }
 
 #[test]
+fn wide_pools_get_scaled_tuning_with_fewer_stalls() {
+    // At 8+ workers the default 4096×4 tuning leaves the lone router
+    // behind the fan-out; `for_threads` widens batches and queue credit.
+    let tuned = PipelineConfig::for_threads(8);
+    let narrow = PipelineConfig::for_threads(4);
+    assert!(tuned.batch_size > narrow.batch_size);
+    assert!(tuned.queue_depth > narrow.queue_depth);
+
+    let refs = skewed(20_000, 400_000, 9);
+    let cfg = KrrConfig::new(5.0).seed(9);
+    let stalls_with = |pcfg: &PipelineConfig| {
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut bank = ShardedKrr::new(&cfg, 8);
+        bank.set_metrics(Arc::clone(&reg));
+        bank.process_stream_with(refs.iter().copied(), 8, pcfg);
+        (reg.snapshot().pipeline_stalls, bank)
+    };
+    // A deliberately starved config stalls the router constantly; the
+    // 8-thread tuning must beat it decisively, not marginally.
+    let (stalls_starved, starved) = stalls_with(&PipelineConfig {
+        batch_size: 64,
+        queue_depth: 1,
+    });
+    let (stalls_tuned, tuned_bank) = stalls_with(&PipelineConfig::for_threads(8));
+    assert!(stalls_starved > 0, "starved config should stall the router");
+    assert!(
+        stalls_tuned * 10 <= stalls_starved,
+        "tuned config still stalling: {stalls_tuned} vs starved {stalls_starved}"
+    );
+    // Tuning changes scheduling only — results stay bit-identical.
+    assert_eq!(tuned_bank.mrc().points(), starved.mrc().points());
+    assert_eq!(tuned_bank.stats(), starved.stats());
+
+    // The default entry point picks up the scaled tuning automatically.
+    let seq = sequential(&cfg, 8, &refs);
+    let mut auto = ShardedKrr::new(&cfg, 8);
+    auto.process_stream(refs.iter().copied(), 8);
+    assert_eq!(auto.mrc().points(), seq.mrc().points());
+    assert_eq!(auto.stats(), seq.stats());
+}
+
+#[test]
 fn pipeline_metrics_flow_to_renderings() {
     let refs = skewed(4_000, 50_000, 8);
     let cfg = KrrConfig::new(5.0).seed(8);

@@ -218,6 +218,183 @@ fn metrics_command_counters_monotone_and_match_info() {
 
 mod support;
 
+// ---------------------------------------------------------------------------
+// Adversarial wire cases: hostile framing against a live server socket.
+// Exhaustive per-byte-boundary coverage lives in the codec's unit tests
+// (`resp::tests`); these exercise the same paths through real TCP,
+// including the server's 50ms socket read timeout.
+// ---------------------------------------------------------------------------
+
+use krr::redis::resp::{self, Value};
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+
+/// Raw socket + buffered reader pair, bypassing the `Client` wrapper so a
+/// test controls exactly which bytes hit the wire and when.
+fn raw_conn(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+#[test]
+fn pipelined_burst_in_one_tcp_segment() {
+    let mut server = Server::start(MiniRedis::new(100_000, 5, 29)).unwrap();
+    let (mut stream, mut reader) = raw_conn(server.addr());
+    // 100 SET+GET pairs encoded into one buffer and one write call: the
+    // server must frame every command itself instead of relying on
+    // message-per-read.
+    let mut wire = Vec::new();
+    for key in 0..100u64 {
+        let k = key.to_string();
+        resp::write_value(
+            &mut wire,
+            &Value::command(&[b"SET", k.as_bytes(), b"xxxxxxxx"]),
+        )
+        .unwrap();
+        resp::write_value(&mut wire, &Value::command(&[b"GET", k.as_bytes()])).unwrap();
+    }
+    stream.write_all(&wire).unwrap();
+    stream.flush().unwrap();
+    for key in 0..100u64 {
+        let set_reply = resp::read_value(&mut reader).unwrap();
+        assert!(
+            matches!(&set_reply, Value::Simple(s) if s == "OK"),
+            "SET {key}: {set_reply:?}"
+        );
+        let get_reply = resp::read_value(&mut reader).unwrap();
+        assert_eq!(get_reply, Value::bulk(b"1".to_vec()), "GET {key}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn command_split_across_reads_survives_socket_timeouts() {
+    let mut server = Server::start(MiniRedis::new(10_000, 5, 31)).unwrap();
+    let (mut stream, mut reader) = raw_conn(server.addr());
+    // One byte per write, with a pause longer than the server's 50ms read
+    // timeout between each: every byte boundary of the command doubles as
+    // a timeout boundary. The old line reader lost its partial state on
+    // the first timeout and desynced the stream.
+    let cmd = b"*1\r\n$4\r\nPING\r\n";
+    for &b in cmd.iter() {
+        stream.write_all(&[b]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(60));
+    }
+    let reply = resp::read_value(&mut reader).unwrap();
+    assert!(
+        matches!(&reply, Value::Simple(s) if s == "PONG"),
+        "{reply:?}"
+    );
+    // Same split mid-bulk-payload: the value "hello" arrives in two
+    // fragments with a >timeout gap, then the connection keeps working.
+    let (head, tail) = (
+        b"*3\r\n$3\r\nSET\r\n$2\r\n77\r\n$5\r\nhel" as &[u8],
+        b"lo\r\n" as &[u8],
+    );
+    stream.write_all(head).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    stream.write_all(tail).unwrap();
+    stream.flush().unwrap();
+    let reply = resp::read_value(&mut reader).unwrap();
+    assert!(matches!(&reply, Value::Simple(s) if s == "OK"), "{reply:?}");
+    stream
+        .write_all(b"*2\r\n$3\r\nGET\r\n$2\r\n77\r\n")
+        .unwrap();
+    stream.flush().unwrap();
+    assert_eq!(
+        resp::read_value(&mut reader).unwrap(),
+        Value::bulk(b"1".to_vec())
+    );
+    server.shutdown();
+}
+
+#[test]
+fn oversized_and_zero_length_bulk_strings() {
+    let mut server = Server::start(MiniRedis::new(10_000, 5, 37)).unwrap();
+
+    // A 600MB bulk claim must be refused before allocation: the server
+    // answers with a protocol error and hangs up instead of reserving
+    // attacker-chosen memory.
+    let (mut stream, mut reader) = raw_conn(server.addr());
+    stream
+        .write_all(format!("*2\r\n$3\r\nGET\r\n${}\r\n", 600u64 << 20).as_bytes())
+        .unwrap();
+    stream.flush().unwrap();
+    let reply = resp::read_value(&mut reader).unwrap();
+    assert!(
+        matches!(&reply, Value::Error(e) if e.contains("Protocol error")),
+        "{reply:?}"
+    );
+    assert!(
+        resp::read_value(&mut reader).is_err(),
+        "connection must close after a protocol error"
+    );
+
+    // Same for a hostile array arity claim.
+    let (mut stream, mut reader) = raw_conn(server.addr());
+    stream.write_all(b"*999999999\r\n").unwrap();
+    stream.flush().unwrap();
+    let reply = resp::read_value(&mut reader).unwrap();
+    assert!(
+        matches!(&reply, Value::Error(e) if e.contains("Protocol error")),
+        "{reply:?}"
+    );
+
+    // Zero-length bulks are *valid* RESP: an empty SET value stores a
+    // zero-byte object, and an empty key is merely a command-level error
+    // (keys are u64 here), never a hangup.
+    let (mut stream, mut reader) = raw_conn(server.addr());
+    stream
+        .write_all(b"*3\r\n$3\r\nSET\r\n$1\r\n5\r\n$0\r\n\r\n")
+        .unwrap();
+    stream.write_all(b"*2\r\n$3\r\nGET\r\n$0\r\n\r\n").unwrap();
+    stream.write_all(b"*1\r\n$4\r\nPING\r\n").unwrap();
+    stream.flush().unwrap();
+    assert!(matches!(
+        resp::read_value(&mut reader).unwrap(),
+        Value::Simple(_)
+    ));
+    assert!(matches!(
+        resp::read_value(&mut reader).unwrap(),
+        Value::Error(_)
+    ));
+    assert!(
+        matches!(&resp::read_value(&mut reader).unwrap(), Value::Simple(s) if s == "PONG"),
+        "connection must survive command-level errors"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn abrupt_mid_command_disconnect_leaves_server_healthy() {
+    let mut server = Server::start(MiniRedis::new(10_000, 5, 41)).unwrap();
+    // Sever connections at several cut points inside a command; each
+    // abandoned fragment must be contained to its own connection.
+    for cut in [
+        b"*3\r\n" as &[u8],
+        b"*3\r\n$3\r\nSE",
+        b"*3\r\n$3\r\nSET\r\n$2\r\n10\r\n$5\r\nhe",
+        b"$12\r\nnever-arrive",
+    ] {
+        let (mut stream, _reader) = raw_conn(server.addr());
+        stream.write_all(cut).unwrap();
+        stream.flush().unwrap();
+        drop(stream); // RST/FIN mid-command
+    }
+    // The accept loop and store are unaffected.
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert!(client.ping().unwrap());
+    for i in 0..50u64 {
+        client.access(i, 50).unwrap();
+    }
+    assert_eq!(client.dbsize().unwrap(), 50);
+    server.shutdown();
+}
+
 #[test]
 fn slowlog_over_the_wire() {
     let mut server = Server::start(MiniRedis::new(100_000, 5, 17)).unwrap();
