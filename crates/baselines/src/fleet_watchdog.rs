@@ -1,0 +1,360 @@
+//! Fleet-scale accuracy watchdog: shadow only the tenants that matter.
+//!
+//! A [`FleetArena`](krr_core::fleet::FleetArena) hosts thousands of KRR
+//! instances, but running an [`AccuracyWatchdog`] (a spatially-sampled
+//! shadow Olken profiler) beside *every* tenant would multiply the fleet's
+//! memory by the shadow cost. The observation behind [`FleetWatchdog`] is
+//! that drift detection follows traffic: a tenant whose model drifts but
+//! receives a trickle of references misestimates a trickle of decisions,
+//! while the hottest tenants dominate both the aggregate miss ratio and
+//! the bytes a wrong partitioning would waste. So the fleet watchdog
+//! shadows only the **top-K tenants by reference count**, re-electing that
+//! set periodically as traffic shifts, and writes each shadow comparison
+//! back into the arena's per-tenant rows
+//! ([`FleetArena::record_check`](krr_core::fleet::FleetArena::record_check))
+//! where `/tenants`, `/healthz` and the `krr_tenant_mae_ppm` series pick
+//! it up.
+//!
+//! Tenants that cool off keep their accumulated `drift_events` (the row
+//! counter is monotone) but stop paying shadow cost; tenants that heat up
+//! start a fresh shadow from empty, which needs `check_every` references
+//! before its first verdict — the usual warm-up for any shadow profiler.
+//!
+//! ```
+//! use krr_baselines::fleet_watchdog::{FleetWatchdog, FleetWatchdogConfig};
+//! use krr_baselines::watchdog::WatchdogConfig;
+//! use krr_core::fleet::{FleetArena, FleetConfig};
+//! use krr_core::KrrConfig;
+//!
+//! let mut arena = FleetArena::new(FleetConfig::new(KrrConfig::new(5.0)));
+//! let mut dog = FleetWatchdog::new(FleetWatchdogConfig {
+//!     top_k: 2,
+//!     elect_every: 1_000,
+//!     shadow: WatchdogConfig { rate: 1.0, check_every: 500, ..WatchdogConfig::default() },
+//! });
+//! for i in 0..4_000u64 {
+//!     let (tenant, key) = (i % 3, i % 97);
+//!     arena.access(tenant, key, 1);
+//!     dog.observe(&mut arena, tenant, key);
+//! }
+//! assert!(dog.shadowed_tenants().len() <= 2);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use krr_core::fleet::FleetArena;
+use krr_core::hashing::hash_key;
+use krr_core::metrics::MetricsRegistry;
+
+use crate::watchdog::{AccuracyWatchdog, WatchdogConfig, WatchdogReport};
+
+/// Tuning for a [`FleetWatchdog`].
+#[derive(Debug, Clone)]
+pub struct FleetWatchdogConfig {
+    /// How many of the hottest tenants carry a shadow profiler
+    /// (default 8). `0` disables shadowing entirely.
+    pub top_k: usize,
+    /// Fleet-wide references between top-K re-elections (default 100 000).
+    pub elect_every: u64,
+    /// Per-tenant shadow tuning; each elected tenant gets its own
+    /// [`AccuracyWatchdog`] built from this.
+    pub shadow: WatchdogConfig,
+}
+
+impl Default for FleetWatchdogConfig {
+    fn default() -> Self {
+        Self {
+            top_k: 8,
+            elect_every: 100_000,
+            shadow: WatchdogConfig::default(),
+        }
+    }
+}
+
+/// Top-K shadow watchdogs over a [`FleetArena`]. See the module docs.
+#[derive(Debug)]
+pub struct FleetWatchdog {
+    config: FleetWatchdogConfig,
+    dogs: HashMap<u64, AccuracyWatchdog>,
+    observed: u64,
+    next_election: u64,
+    elections: u64,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl FleetWatchdog {
+    /// Creates a fleet watchdog; per-tenant shadows are created lazily at
+    /// the first election.
+    #[must_use]
+    pub fn new(config: FleetWatchdogConfig) -> Self {
+        let next_election = config.elect_every.max(1);
+        Self {
+            config,
+            dogs: HashMap::new(),
+            observed: 0,
+            next_election,
+            elections: 0,
+            metrics: None,
+        }
+    }
+
+    /// Publishes per-check results into `metrics` (`watchdog_*` fields
+    /// aggregate across all shadowed tenants).
+    pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Tenant ids currently carrying a shadow profiler, in no particular
+    /// order.
+    #[must_use]
+    pub fn shadowed_tenants(&self) -> Vec<u64> {
+        self.dogs.keys().copied().collect()
+    }
+
+    /// Fleet-wide references observed so far (shadowed or not).
+    #[must_use]
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Top-K elections run so far.
+    #[must_use]
+    pub fn elections(&self) -> u64 {
+        self.elections
+    }
+
+    /// Offers one reference. Hashes `key` once; prefer
+    /// [`FleetWatchdog::observe_hashed`] when the caller already routed.
+    pub fn observe(&mut self, arena: &mut FleetArena, tenant: u64, key: u64) -> bool {
+        self.observe_hashed(arena, tenant, key, hash_key(key))
+    }
+
+    /// [`FleetWatchdog::observe`] with a precomputed
+    /// [`hash_key`] value (route-once callers). Returns whether the
+    /// tenant's shadow admitted the reference. Runs due per-tenant checks
+    /// and the periodic top-K election inline.
+    pub fn observe_hashed(
+        &mut self,
+        arena: &mut FleetArena,
+        tenant: u64,
+        key: u64,
+        key_hash: u64,
+    ) -> bool {
+        self.observed += 1;
+        let mut admitted = false;
+        if let Some(dog) = self.dogs.get_mut(&tenant) {
+            admitted = dog.observe_hashed(key, key_hash);
+            if dog.check_due() {
+                if let Some(mrc) = arena.tenant_mrc(tenant) {
+                    let report = dog.check(&mrc);
+                    Self::publish(arena, self.metrics.as_ref(), tenant, report);
+                }
+            }
+        }
+        if self.observed >= self.next_election {
+            self.elect(arena);
+        }
+        admitted
+    }
+
+    /// Forces a shadow comparison for every shadowed tenant now, regardless
+    /// of each shadow's schedule. Returns `(tenant, report)` pairs.
+    pub fn check_all(&mut self, arena: &mut FleetArena) -> Vec<(u64, WatchdogReport)> {
+        let mut out = Vec::with_capacity(self.dogs.len());
+        let mut tenants: Vec<u64> = self.dogs.keys().copied().collect();
+        tenants.sort_unstable();
+        for tenant in tenants {
+            let Some(mrc) = arena.tenant_mrc(tenant) else {
+                continue;
+            };
+            let dog = self.dogs.get_mut(&tenant).expect("tenant key held");
+            let report = dog.check(&mrc);
+            Self::publish(arena, self.metrics.as_ref(), tenant, report);
+            out.push((tenant, report));
+        }
+        out
+    }
+
+    /// Re-elects the shadowed set to the arena's current top-K tenants by
+    /// traffic: newly-hot tenants get fresh shadows, cooled tenants drop
+    /// theirs (keeping their monotone drift counters in the arena rows).
+    /// Runs automatically every `elect_every` observed references; callers
+    /// that batch (e.g. after [`FleetArena::process_parallel`]) can invoke
+    /// it directly.
+    pub fn elect(&mut self, arena: &mut FleetArena) {
+        self.elections += 1;
+        self.next_election =
+            (self.observed / self.config.elect_every.max(1) + 1) * self.config.elect_every.max(1);
+        let hot: Vec<u64> = arena
+            .hottest(self.config.top_k)
+            .into_iter()
+            .map(|row| row.id)
+            .collect();
+        let dropped: Vec<u64> = self
+            .dogs
+            .keys()
+            .copied()
+            .filter(|id| !hot.contains(id))
+            .collect();
+        for id in dropped {
+            self.dogs.remove(&id);
+            arena.set_shadowed(id, false);
+        }
+        for id in hot {
+            if !self.dogs.contains_key(&id) {
+                let mut dog = AccuracyWatchdog::new(self.config.shadow.clone());
+                if let Some(m) = &self.metrics {
+                    dog.set_metrics(Arc::clone(m));
+                }
+                self.dogs.insert(id, dog);
+            }
+            arena.set_shadowed(id, true);
+        }
+    }
+
+    fn publish(
+        arena: &mut FleetArena,
+        metrics: Option<&Arc<MetricsRegistry>>,
+        tenant: u64,
+        report: WatchdogReport,
+    ) {
+        arena.record_check(tenant, (report.mae * 1e6).round() as u64, report.drifted);
+        // Per-tenant ppm lands in the arena row; the shared watchdog_*
+        // counters were already bumped by the inner AccuracyWatchdog when
+        // metrics are attached, so nothing further to do here.
+        let _ = metrics;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krr_core::fleet::{FleetConfig, FleetView};
+    use krr_core::KrrConfig;
+
+    fn arena() -> FleetArena {
+        FleetArena::new(FleetConfig::new(KrrConfig::new(5.0)).budget(256.0))
+    }
+
+    /// Tenant 0 gets 4x the traffic of tenants 1..4.
+    fn drive(arena: &mut FleetArena, dog: &mut FleetWatchdog, n: u64) {
+        for i in 0..n {
+            let tenant = if i % 2 == 0 { 0 } else { 1 + (i / 2) % 3 };
+            let key = i % 101;
+            arena.access(tenant, key, 1);
+            dog.observe(arena, tenant, key);
+        }
+    }
+
+    #[test]
+    fn elects_hottest_tenants_and_marks_rows() {
+        let mut arena = arena();
+        let mut dog = FleetWatchdog::new(FleetWatchdogConfig {
+            top_k: 2,
+            elect_every: 2_000,
+            shadow: WatchdogConfig {
+                rate: 1.0,
+                check_every: 1_000,
+                ..WatchdogConfig::default()
+            },
+        });
+        drive(&mut arena, &mut dog, 10_000);
+        assert!(dog.elections() >= 1);
+        let shadowed = dog.shadowed_tenants();
+        assert!(shadowed.len() <= 2);
+        assert!(shadowed.contains(&0), "hottest tenant must be shadowed");
+        let rows = arena.summary();
+        let row0 = rows.iter().find(|r| r.id == 0).unwrap();
+        assert!(row0.shadowed);
+        let unshadowed = rows.iter().filter(|r| !r.shadowed).count();
+        assert!(unshadowed >= 2, "cool tenants must not pay shadow cost");
+    }
+
+    #[test]
+    fn checks_flow_back_into_arena_rows() {
+        let mut arena = arena();
+        let mut dog = FleetWatchdog::new(FleetWatchdogConfig {
+            top_k: 1,
+            elect_every: 500,
+            shadow: WatchdogConfig {
+                rate: 1.0,
+                check_every: 500,
+                ..WatchdogConfig::default()
+            },
+        });
+        drive(&mut arena, &mut dog, 8_000);
+        let reports = dog.check_all(&mut arena);
+        assert!(!reports.is_empty());
+        let rows = arena.summary();
+        let shadowed: Vec<_> = rows.iter().filter(|r| r.shadowed).collect();
+        assert_eq!(shadowed.len(), 1);
+        // A stationary workload with K=5 tracks the shadow reasonably; the
+        // row must carry the latest MAE from the check we just forced.
+        let (tenant, report) = reports[0];
+        let row = rows.iter().find(|r| r.id == tenant).unwrap();
+        assert_eq!(row.mae_ppm, (report.mae * 1e6).round() as u64);
+    }
+
+    #[test]
+    fn cooled_tenant_keeps_drift_counter_but_loses_shadow() {
+        let mut arena = arena();
+        let mut dog = FleetWatchdog::new(FleetWatchdogConfig {
+            top_k: 1,
+            elect_every: 1_000,
+            shadow: WatchdogConfig {
+                rate: 1.0,
+                check_every: 200,
+                mae_threshold: 0.0, // every check is a "drift event"
+                ..WatchdogConfig::default()
+            },
+        });
+        // Phase 1: tenant 7 is the only (hence hottest) tenant.
+        for i in 0..3_000u64 {
+            arena.access(7, i % 64, 1);
+            dog.observe(&mut arena, 7, i % 64);
+        }
+        let drift_before = arena.tenant_drift_events(7).unwrap();
+        assert!(drift_before >= 1, "threshold 0 must record drift");
+        // Phase 2: tenant 9 floods; 7 goes quiet and loses the election.
+        for i in 0..20_000u64 {
+            arena.access(9, i % 64, 1);
+            dog.observe(&mut arena, 9, i % 64);
+        }
+        assert_eq!(dog.shadowed_tenants(), vec![9]);
+        let rows = arena.summary();
+        let row7 = rows.iter().find(|r| r.id == 7).unwrap();
+        assert!(!row7.shadowed);
+        assert_eq!(row7.drift_events, drift_before, "counter stays monotone");
+    }
+
+    #[test]
+    fn top_k_zero_disables_shadowing() {
+        let mut arena = arena();
+        let mut dog = FleetWatchdog::new(FleetWatchdogConfig {
+            top_k: 0,
+            elect_every: 100,
+            ..FleetWatchdogConfig::default()
+        });
+        drive(&mut arena, &mut dog, 2_000);
+        assert!(dog.shadowed_tenants().is_empty());
+        assert!(arena.summary().iter().all(|r| !r.shadowed));
+    }
+
+    #[test]
+    fn shadowed_rows_survive_into_fleet_view() {
+        let mut arena = arena();
+        let mut dog = FleetWatchdog::new(FleetWatchdogConfig {
+            top_k: 2,
+            elect_every: 1_000,
+            shadow: WatchdogConfig {
+                rate: 1.0,
+                check_every: 500,
+                ..WatchdogConfig::default()
+            },
+        });
+        drive(&mut arena, &mut dog, 6_000);
+        let view: FleetView = arena.view();
+        assert!(view.rows.iter().any(|r| r.shadowed));
+    }
+}

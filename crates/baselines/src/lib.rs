@@ -12,6 +12,8 @@
 //! * [`mimir`] — MIMIR's bucketed LRU stack (§6.1).
 //! * [`watchdog`] — online accuracy watchdog: a spatially-sampled shadow
 //!   Olken profiler that tracks a live KRR model's drift.
+//! * [`fleet_watchdog`] — the fleet-scale variant: shadows only the top-K
+//!   tenants of a [`krr_core::fleet::FleetArena`] by traffic.
 //!
 //! All of these model *exact* LRU; the paper's point (Fig 5.2a) is that for
 //! Type A workloads and small K they misestimate a K-LRU cache badly, which
@@ -22,6 +24,7 @@
 
 pub mod aet;
 pub mod counterstacks;
+pub mod fleet_watchdog;
 pub mod hll;
 pub mod mimir;
 pub mod olken;
@@ -32,6 +35,7 @@ pub mod watchdog;
 
 pub use aet::Aet;
 pub use counterstacks::CounterStacks;
+pub use fleet_watchdog::{FleetWatchdog, FleetWatchdogConfig};
 pub use hll::HyperLogLog;
 pub use mimir::Mimir;
 pub use olken::OlkenLru;

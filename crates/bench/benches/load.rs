@@ -22,6 +22,7 @@ fn main() {
     let load = LoadConfig {
         connections: 4,
         pipeline_depth: 32,
+        ..LoadConfig::default()
     };
     let ab = AbConfig {
         limit_pct: P99_LIMIT_PCT,

@@ -73,7 +73,7 @@ fn bench_metrics_overhead(suite: &mut Suite, trace: &[u64], dump: bool) -> f64 {
     let registry = Arc::new(MetricsRegistry::new());
     let reg = Arc::clone(&registry);
     let on = suite.bench("model/metrics=on/K=5", move || run(Some(Arc::clone(&reg))));
-    let overhead = (on.median_ns as f64 / off.median_ns as f64 - 1.0) * 100.0;
+    let overhead = (on.median_ns / off.median_ns - 1.0) * 100.0;
     println!(
         "metrics overhead: {overhead:+.2}% (median {} -> {} ns)",
         off.median_ns, on.median_ns

@@ -9,16 +9,23 @@
 //! same style as the mini-Redis server), handling one request per
 //! connection.
 //!
-//! | Endpoint   | Content                                                |
-//! |------------|--------------------------------------------------------|
-//! | `/metrics` | [`MetricsRegistry`] as OpenMetrics/Prometheus text     |
-//! | `/mrc`     | latest published MRC as `krr-mrc-v1` JSON              |
-//! | `/stats`   | recent `krr-stats-v1` timeline rows as a JSON array    |
-//! | `/trace`   | flight-recorder drain as Chrome trace-event JSON       |
-//! | `/healthz` | watchdog drift + pipeline stall status (200 / 503)     |
+//! | Endpoint          | Content                                                |
+//! |-------------------|--------------------------------------------------------|
+//! | `/metrics`        | [`MetricsRegistry`] as OpenMetrics/Prometheus text     |
+//! | `/mrc`            | latest published MRC as `krr-mrc-v1` JSON              |
+//! | `/mrc?tenant=ID`  | one tenant's MRC from the published [`FleetCell`] view |
+//! |                   | (both accept `&format=csv` for `persist::write_mrc`    |
+//! |                   | bytes, round-tripping through `persist::read_mrc`)     |
+//! | `/tenants`        | fleet summary as `krr-tenants-v1` JSON (`?format=csv`  |
+//! |                   | for CSV rows, `?top=K` to keep only the K hottest)     |
+//! | `/stats`          | recent `krr-stats-v1` timeline rows as a JSON array    |
+//! | `/trace`          | flight-recorder drain as Chrome trace-event JSON       |
+//! | `/healthz`        | JSON health detail: watchdog drift, pipeline stalls,   |
+//! |                   | per-tenant drift count (200, or 503 on any drift)      |
 //!
 //! Endpoints whose source was not wired into [`ExpoSources`] answer 404;
-//! `/mrc` answers 503 until the first MRC is published; `/healthz` always
+//! `/mrc` answers 503 until the first MRC is published (and
+//! `/mrc?tenant=ID` 404s for an unknown tenant); `/healthz` always
 //! answers. Requests are handled inline on the accept thread, so shutting
 //! the server down ([`ExpoServer::shutdown`], also run on [`Drop`]) joins
 //! exactly one thread and can never leak per-connection threads.
@@ -50,7 +57,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::metrics::{bucket_bound, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+use crate::fleet::{FleetCell, FleetView};
+use crate::metrics::{
+    bucket_bound, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, TenantRow,
+};
 use crate::mrc::Mrc;
 use crate::obs::FlightRecorder;
 
@@ -185,6 +195,8 @@ pub struct ExpoSources {
     pub stats: Option<Arc<StatsRing>>,
     /// Recorder behind `/trace`.
     pub trace: Option<Arc<FlightRecorder>>,
+    /// Fleet view behind `/tenants` and `/mrc?tenant=ID`.
+    pub tenants: Option<Arc<FleetCell>>,
 }
 
 /// Renders a metrics snapshot as OpenMetrics text (the format scraped by
@@ -194,7 +206,10 @@ pub struct ExpoSources {
 #[must_use]
 pub fn render_openmetrics(snap: &MetricsSnapshot) -> String {
     use std::fmt::Write as _;
-    let mut s = String::new();
+    // Labeled fleets dominate the document (~6 series per tenant at
+    // ~50 B each); reserving up front avoids repeated growth copies of a
+    // multi-hundred-KB string on every scrape.
+    let mut s = String::with_capacity(4096 + snap.tenant_rows.len() * 320);
     let counter = |s: &mut String, name: &str, v: u64| {
         let _ = write!(s, "# TYPE krr_{name} counter\nkrr_{name}_total {v}\n");
     };
@@ -202,21 +217,21 @@ pub fn render_openmetrics(snap: &MetricsSnapshot) -> String {
         let _ = write!(s, "# TYPE krr_{name} gauge\nkrr_{name} {v}\n");
     };
     let hist = |s: &mut String, name: &str, h: &HistogramSnapshot| {
-        let _ = write!(s, "# TYPE krr_{name} histogram\n");
+        let _ = writeln!(s, "# TYPE krr_{name} histogram");
         let mut cum = 0u64;
         for (b, &c) in h.buckets.iter().enumerate() {
             if c == 0 {
                 continue;
             }
             cum += c;
-            let _ = write!(s, "krr_{name}_bucket{{le=\"{}\"}} {cum}\n", bucket_bound(b));
+            let _ = writeln!(s, "krr_{name}_bucket{{le=\"{}\"}} {cum}", bucket_bound(b));
         }
         // A scrape can race `Histogram::record`, whose bucket increment
         // lands before its count increment — a snapshot may briefly hold
         // more bucketed values than `count`. Clamp so the exposed series
         // stays cumulative (`+Inf` >= every finite bucket == `_count`).
         let total = h.count.max(cum);
-        let _ = write!(s, "krr_{name}_bucket{{le=\"+Inf\"}} {total}\n");
+        let _ = writeln!(s, "krr_{name}_bucket{{le=\"+Inf\"}} {total}");
         let _ = write!(s, "krr_{name}_count {total}\nkrr_{name}_sum {}\n", h.sum);
     };
     counter(&mut s, "accesses", snap.accesses);
@@ -267,9 +282,9 @@ pub fn render_openmetrics(snap: &MetricsSnapshot) -> String {
         if vals.is_empty() {
             return;
         }
-        let _ = write!(s, "# TYPE krr_{name} {kind}\n");
+        let _ = writeln!(s, "# TYPE krr_{name} {kind}");
         for (i, v) in vals.iter().enumerate() {
-            let _ = write!(s, "krr_{name}{suffix}{{shard=\"{i}\"}} {v}\n");
+            let _ = writeln!(s, "krr_{name}{suffix}{{shard=\"{i}\"}} {v}");
         }
     };
     labeled(
@@ -294,7 +309,122 @@ pub fn render_openmetrics(snap: &MetricsSnapshot) -> String {
         "",
         &snap.pipeline_queue_hwm,
     );
+    if !snap.tenant_rows.is_empty() {
+        gauge(&mut s, "tenant_count", snap.tenant_rows.len() as u64);
+        let (t_total, t_mean, t_max) = snap.tenant_memory();
+        gauge(&mut s, "footprint_tenant_total_bytes", t_total);
+        gauge(&mut s, "footprint_tenant_mean_bytes", t_mean);
+        gauge(&mut s, "footprint_tenant_max_bytes", t_max);
+        let tenant_labeled = |s: &mut String,
+                              name: &str,
+                              kind: &str,
+                              suffix: &str,
+                              get: &dyn Fn(&TenantRow) -> u64| {
+            let _ = writeln!(s, "# TYPE krr_{name} {kind}");
+            for t in &snap.tenant_rows {
+                let _ = writeln!(s, "krr_{name}{suffix}{{tenant=\"{}\"}} {}", t.id, get(t));
+            }
+        };
+        tenant_labeled(&mut s, "tenant_refs", "counter", "_total", &|t| t.refs);
+        tenant_labeled(&mut s, "tenant_resident", "gauge", "", &|t| t.resident);
+        tenant_labeled(&mut s, "tenant_resident_bytes", "gauge", "", &|t| {
+            t.resident_bytes
+        });
+        tenant_labeled(&mut s, "tenant_miss_ratio_ppm", "gauge", "", &|t| {
+            t.miss_ratio_ppm
+        });
+        tenant_labeled(&mut s, "tenant_drift_events", "counter", "_total", &|t| {
+            t.drift_events
+        });
+        tenant_labeled(&mut s, "tenant_mae_ppm", "gauge", "", &|t| t.mae_ppm);
+    }
     s.push_str("# EOF\n");
+    s
+}
+
+/// Renders a [`FleetView`] as `krr-tenants-v1` JSON: fleet rollups, one
+/// row per tenant (optionally capped to the `top` hottest by refs), and
+/// top-10 `hottest` / `most_drifted` tenant-id views.
+#[must_use]
+pub fn tenants_json(view: &FleetView, top: Option<usize>) -> String {
+    use std::fmt::Write as _;
+    let drifted = view.rows.iter().filter(|t| t.drift_events > 0).count();
+    let shadowed = view.rows.iter().filter(|t| t.shadowed).count();
+    let refs: u64 = view.rows.iter().map(|t| t.refs).sum();
+    let mut hottest: Vec<&TenantRow> = view.rows.iter().collect();
+    hottest.sort_by_key(|t| (std::cmp::Reverse(t.refs), t.id));
+    let mut most_drifted: Vec<&TenantRow> = view.rows.iter().collect();
+    most_drifted.sort_by_key(|t| {
+        (
+            std::cmp::Reverse(t.drift_events),
+            std::cmp::Reverse(t.mae_ppm),
+            t.id,
+        )
+    });
+    let mut s = String::from("{\"schema\":\"krr-tenants-v1\"");
+    let _ = write!(
+        s,
+        ",\"count\":{},\"budget\":{},\"refs\":{refs},\"drifted\":{drifted},\"shadowed\":{shadowed}",
+        view.rows.len(),
+        view.budget
+    );
+    s.push_str(",\"hottest\":[");
+    for (i, t) in hottest.iter().take(10).enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{}", t.id);
+    }
+    s.push_str("],\"most_drifted\":[");
+    for (i, t) in most_drifted.iter().take(10).enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{}", t.id);
+    }
+    s.push_str("],\"tenants\":[");
+    let rows: Vec<&TenantRow> = match top {
+        Some(k) => hottest.iter().take(k).copied().collect(),
+        None => view.rows.iter().collect(),
+    };
+    for (i, t) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&t.to_json());
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Renders a [`FleetView`] as CSV — the machine-simple form `krr
+/// partition --live` scrapes. One header line, then one row per tenant
+/// (optionally capped to the `top` hottest by refs).
+#[must_use]
+pub fn tenants_csv(view: &FleetView, top: Option<usize>) -> String {
+    use std::fmt::Write as _;
+    let mut rows: Vec<&TenantRow> = view.rows.iter().collect();
+    if let Some(k) = top {
+        rows.sort_by_key(|t| (std::cmp::Reverse(t.refs), t.id));
+        rows.truncate(k);
+    }
+    let mut s = String::from(
+        "id,refs,resident,resident_bytes,miss_ratio_ppm,drift_events,mae_ppm,shadowed\n",
+    );
+    for t in rows {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{},{}",
+            t.id,
+            t.refs,
+            t.resident,
+            t.resident_bytes,
+            t.miss_ratio_ppm,
+            t.drift_events,
+            t.mae_ppm,
+            u8::from(t.shadowed)
+        );
+    }
     s
 }
 
@@ -385,6 +515,15 @@ fn serve_loop(listener: &TcpListener, sources: &ExpoSources, stop: &AtomicBool) 
     }
 }
 
+/// First value of `key` in an `a=1&b=2` query string (no percent
+/// decoding — tenant ids and knob values are plain integers/words).
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
 fn respond(
     mut stream: TcpStream,
     status: u16,
@@ -433,7 +572,10 @@ fn handle_conn(mut stream: TcpStream, sources: &ExpoSources) -> io::Result<()> {
             "only GET is supported\n",
         );
     }
-    let path = target.split('?').next().unwrap_or(target);
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
     match path {
         "/metrics" => match &sources.metrics {
             Some(reg) => {
@@ -448,18 +590,82 @@ fn handle_conn(mut stream: TcpStream, sources: &ExpoSources) -> io::Result<()> {
                 "no metrics source\n",
             ),
         },
-        "/mrc" => match &sources.mrc {
+        "/mrc" => {
+            // `format=csv` serves the exact bytes `persist::write_mrc`
+            // produces, so a scraper round-trips curves bit-for-bit
+            // through `persist::read_mrc` (the `krr partition --live`
+            // contract).
+            let as_csv = query_param(query, "format") == Some("csv");
+            let render = |stream: TcpStream, mrc: &crate::mrc::Mrc| {
+                if as_csv {
+                    let mut buf = Vec::new();
+                    crate::persist::write_mrc(&mut buf, mrc).expect("vec write");
+                    let body = String::from_utf8(buf).expect("mrc csv is utf-8");
+                    respond(stream, 200, "OK", "text/csv", &body)
+                } else {
+                    respond(stream, 200, "OK", "application/json", &mrc_json(mrc))
+                }
+            };
+            if let Some(tenant) = query_param(query, "tenant") {
+                let Ok(id) = tenant.parse::<u64>() else {
+                    return respond(stream, 400, "Bad Request", "text/plain", "bad tenant id\n");
+                };
+                let Some(cell) = &sources.tenants else {
+                    return respond(stream, 404, "Not Found", "text/plain", "no tenant source\n");
+                };
+                return match cell.get() {
+                    Some(view) => match view.mrc_for(id) {
+                        Some(mrc) => render(stream, mrc),
+                        None => respond(stream, 404, "Not Found", "text/plain", "unknown tenant\n"),
+                    },
+                    None => respond(
+                        stream,
+                        503,
+                        "Service Unavailable",
+                        "text/plain",
+                        "fleet view not yet published\n",
+                    ),
+                };
+            }
+            match &sources.mrc {
+                Some(cell) => match cell.get() {
+                    Some(mrc) => render(stream, &mrc),
+                    None => respond(
+                        stream,
+                        503,
+                        "Service Unavailable",
+                        "text/plain",
+                        "mrc not yet published\n",
+                    ),
+                },
+                None => respond(stream, 404, "Not Found", "text/plain", "no mrc source\n"),
+            }
+        }
+        "/tenants" => match &sources.tenants {
             Some(cell) => match cell.get() {
-                Some(mrc) => respond(stream, 200, "OK", "application/json", &mrc_json(&mrc)),
+                Some(view) => {
+                    let top = query_param(query, "top").and_then(|v| v.parse::<usize>().ok());
+                    if query_param(query, "format") == Some("csv") {
+                        respond(stream, 200, "OK", "text/csv", &tenants_csv(&view, top))
+                    } else {
+                        respond(
+                            stream,
+                            200,
+                            "OK",
+                            "application/json",
+                            &tenants_json(&view, top),
+                        )
+                    }
+                }
                 None => respond(
                     stream,
                     503,
                     "Service Unavailable",
                     "text/plain",
-                    "mrc not yet published\n",
+                    "fleet view not yet published\n",
                 ),
             },
-            None => respond(stream, 404, "Not Found", "text/plain", "no mrc source\n"),
+            None => respond(stream, 404, "Not Found", "text/plain", "no tenant source\n"),
         },
         "/stats" => match &sources.stats {
             Some(ring) => {
@@ -487,19 +693,30 @@ fn handle_conn(mut stream: TcpStream, sources: &ExpoSources) -> io::Result<()> {
             None => respond(stream, 404, "Not Found", "text/plain", "no trace source\n"),
         },
         "/healthz" => {
-            let (drift, mae, stalls) = match &sources.metrics {
+            let (drift, mae, stalls, tenants_drifted) = match &sources.metrics {
                 Some(reg) => (
                     reg.watchdog_drift_events.get(),
                     reg.watchdog_mae_ppm.get(),
                     reg.pipeline_stalls.get(),
+                    reg.tenant_rows()
+                        .iter()
+                        .filter(|t| t.drift_events > 0)
+                        .count() as u64,
                 ),
-                None => (0, 0, 0),
+                None => (0, 0, 0, 0),
             };
-            let status = if drift > 0 { "drift" } else { "ok" };
+            let unhealthy = drift > 0 || tenants_drifted > 0;
+            let status = if unhealthy { "drift" } else { "ok" };
+            // Subsystem detail: *which* part is unhealthy. Stalls are
+            // back-pressure (expected under load), so they are surfaced
+            // but never flip the health code.
+            let watchdog = if drift > 0 { "drift" } else { "ok" };
+            let pipeline = if stalls > 0 { "stalls" } else { "ok" };
+            let tenants = if tenants_drifted > 0 { "drift" } else { "ok" };
             let body = format!(
-                "{{\"status\":\"{status}\",\"drift_events\":{drift},\"mae_ppm\":{mae},\"pipeline_stalls\":{stalls}}}"
+                "{{\"status\":\"{status}\",\"drift_events\":{drift},\"mae_ppm\":{mae},\"pipeline_stalls\":{stalls},\"tenants_drifted\":{tenants_drifted},\"subsystems\":{{\"watchdog\":\"{watchdog}\",\"pipeline\":\"{pipeline}\",\"tenants\":\"{tenants}\"}}}}"
             );
-            if drift > 0 {
+            if unhealthy {
                 respond(
                     stream,
                     503,

@@ -40,6 +40,8 @@
 //! * [`histogram`] / [`mrc`] — stack-distance histograms and MRCs.
 //! * [`model`] — the assembled one-pass profiler.
 //! * [`sharded`] — thread-parallel profiling over hash shards.
+//! * [`fleet`] — multi-tenant arena: thousands of per-tenant models in one
+//!   process, with per-tenant metrics rows and MRC exposition.
 //! * [`pipeline`] — streaming route-once batched router/worker pipeline.
 //! * [`metrics`] — lock-free counters/histograms observing the pipeline.
 //! * [`obs`] — flight-recorder span tracing (Chrome trace export) and the
@@ -62,6 +64,7 @@
 
 pub mod checkpoint;
 pub mod expo;
+pub mod fleet;
 pub mod footprint;
 pub mod hashing;
 pub mod heap;
@@ -84,9 +87,10 @@ pub mod windowed;
 
 pub use checkpoint::{CheckpointReader, CheckpointWriter};
 pub use expo::{ExpoServer, ExpoSources, MrcCell, StatsRing};
+pub use fleet::{FleetArena, FleetCell, FleetConfig, FleetView};
 pub use footprint::{Footprint, FootprintReport};
 pub use histogram::SdHistogram;
-pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use metrics::{MetricsRegistry, MetricsSnapshot, TenantRow};
 pub use model::{KrrConfig, KrrModel, ModelStats, SizeMode};
 pub use mrc::{even_sizes, Mrc};
 pub use obs::{FlightRecorder, Phase, SpanEvent, StatsTimeline, ThreadRecorder};

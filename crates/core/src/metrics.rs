@@ -31,7 +31,7 @@
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Number of buckets in a [`LogHistogram`]: bucket 0 holds value 0, bucket
 /// `b >= 1` holds values with `ilog2(v) == b - 1`, i.e. `[2^(b-1), 2^b)`.
@@ -315,6 +315,51 @@ impl HistogramSnapshot {
     }
 }
 
+/// One tenant's observability row, published by a
+/// [`crate::fleet::FleetArena`] at its publish cadence and carried through
+/// every export format (JSON `tenant.rows`, `INFO # tenant`, OpenMetrics
+/// `{tenant="..."}` labels).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantRow {
+    /// Tenant id.
+    pub id: u64,
+    /// References routed to this tenant's model.
+    pub refs: u64,
+    /// Distinct sampled objects resident in the tenant's model.
+    pub resident: u64,
+    /// Deep bytes of the tenant's model ([`crate::footprint`] accounting).
+    pub resident_bytes: u64,
+    /// Modeled miss ratio at the fleet's budget, in parts per million.
+    pub miss_ratio_ppm: u64,
+    /// Watchdog drift events recorded against this tenant.
+    pub drift_events: u64,
+    /// Latest watchdog MAE for this tenant, in parts per million (0 when
+    /// the tenant is not shadowed).
+    pub mae_ppm: u64,
+    /// Whether the accuracy watchdog currently shadows this tenant (only
+    /// the top-K tenants by traffic are).
+    pub shadowed: bool,
+}
+
+impl TenantRow {
+    /// The row as one JSON object — the element shape of the snapshot's
+    /// `tenant.rows` array and of `/tenants`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"refs\":{},\"resident\":{},\"resident_bytes\":{},\"miss_ratio_ppm\":{},\"drift_events\":{},\"mae_ppm\":{},\"shadowed\":{}}}",
+            self.id,
+            self.refs,
+            self.resident,
+            self.resident_bytes,
+            self.miss_ratio_ppm,
+            self.drift_events,
+            self.mae_ppm,
+            self.shadowed
+        )
+    }
+}
+
 /// The shared registry: one instance observes a whole pipeline.
 ///
 /// Sections (mirrored by [`MetricsSnapshot`] and the export formats):
@@ -405,6 +450,10 @@ pub struct MetricsRegistry {
     queue_hwm: OnceLock<Box<[AtomicU64]>>,
     shard_resident: OnceLock<Box<[AtomicU64]>>,
     shard_depth: OnceLock<Box<[AtomicU64]>>,
+    // Per-tenant rows, replaced wholesale by a fleet arena at its publish
+    // cadence — Mutex, not atomics, because this is never on the access
+    // hot path.
+    tenant_rows: Mutex<Vec<TenantRow>>,
 }
 
 impl MetricsRegistry {
@@ -503,6 +552,22 @@ impl MetricsRegistry {
                 a.fetch_max(depth, Ordering::Relaxed);
             }
         }
+    }
+
+    /// Replaces the per-tenant observability rows wholesale. Called by a
+    /// [`crate::fleet::FleetArena`] when it publishes (batch boundaries /
+    /// refresh cadence), never per access.
+    pub fn set_tenant_rows(&self, rows: Vec<TenantRow>) {
+        *self.tenant_rows.lock().expect("tenant rows poisoned") = rows;
+    }
+
+    /// Copy of the current per-tenant rows (empty without a fleet arena).
+    #[must_use]
+    pub fn tenant_rows(&self) -> Vec<TenantRow> {
+        self.tenant_rows
+            .lock()
+            .expect("tenant rows poisoned")
+            .clone()
     }
 
     /// Per-shard resident-object gauges (empty before `init_shards`).
@@ -613,6 +678,7 @@ impl MetricsRegistry {
             ),
             heap_live_bytes: self.heap_live_bytes.get(),
             heap_peak_bytes: self.heap_peak_bytes.get(),
+            tenant_rows: self.tenant_rows(),
         }
     }
 
@@ -672,6 +738,9 @@ impl MetricsRegistry {
         self.footprint_total_bytes.set(snap.footprint_total_bytes);
         self.heap_live_bytes.set(snap.heap_live_bytes);
         self.heap_peak_bytes.set(snap.heap_peak_bytes);
+        if !snap.tenant_rows.is_empty() {
+            self.set_tenant_rows(snap.tenant_rows.clone());
+        }
     }
 }
 
@@ -743,9 +812,51 @@ pub struct MetricsSnapshot {
     pub heap_live_bytes: u64,
     /// See [`MetricsRegistry::heap_peak_bytes`].
     pub heap_peak_bytes: u64,
+    /// Per-tenant observability rows (empty without a fleet arena).
+    pub tenant_rows: Vec<TenantRow>,
 }
 
 impl MetricsSnapshot {
+    /// Sum of every tenant row's reference count.
+    #[must_use]
+    pub fn tenant_refs(&self) -> u64 {
+        self.tenant_rows.iter().map(|t| t.refs).sum()
+    }
+
+    /// Number of tenants with at least one recorded drift event.
+    #[must_use]
+    pub fn tenant_drifted(&self) -> u64 {
+        self.tenant_rows
+            .iter()
+            .filter(|t| t.drift_events > 0)
+            .count() as u64
+    }
+
+    /// Number of tenants currently shadowed by the accuracy watchdog.
+    #[must_use]
+    pub fn tenant_shadowed(&self) -> u64 {
+        self.tenant_rows.iter().filter(|t| t.shadowed).count() as u64
+    }
+
+    /// `(total, mean, max)` rollup of per-tenant resident bytes — the
+    /// `memory.tenant.*` gauges.
+    #[must_use]
+    pub fn tenant_memory(&self) -> (u64, u64, u64) {
+        let total: u64 = self.tenant_rows.iter().map(|t| t.resident_bytes).sum();
+        let max = self
+            .tenant_rows
+            .iter()
+            .map(|t| t.resident_bytes)
+            .max()
+            .unwrap_or(0);
+        let mean = if self.tenant_rows.is_empty() {
+            0
+        } else {
+            total / self.tenant_rows.len() as u64
+        };
+        (total, mean, max)
+    }
+
     /// Largest relative deviation of any shard's access count from the
     /// per-shard mean (0 = perfectly balanced; `None` when unsharded or
     /// idle).
@@ -859,7 +970,16 @@ impl MetricsSnapshot {
         );
         let _ = write!(
             s,
-            "# memory\r\nstack_bytes:{}\r\nhist_bytes:{}\r\nsizes_bytes:{}\r\npipeline_bytes:{}\r\nshadow_bytes:{}\r\ntotal_bytes:{}\r\nheap_live_bytes:{}\r\nheap_peak_bytes:{}\r\n",
+            "# tenant\r\ncount:{}\r\nrefs:{}\r\ndrifted:{}\r\nshadowed:{}\r\n",
+            self.tenant_rows.len(),
+            self.tenant_refs(),
+            self.tenant_drifted(),
+            self.tenant_shadowed()
+        );
+        let (t_total, t_mean, t_max) = self.tenant_memory();
+        let _ = write!(
+            s,
+            "# memory\r\nstack_bytes:{}\r\nhist_bytes:{}\r\nsizes_bytes:{}\r\npipeline_bytes:{}\r\nshadow_bytes:{}\r\ntotal_bytes:{}\r\nheap_live_bytes:{}\r\nheap_peak_bytes:{}\r\ntenant_count:{}\r\ntenant_total_bytes:{t_total}\r\ntenant_mean_bytes:{t_mean}\r\ntenant_max_bytes:{t_max}\r\n",
             self.footprint_stack_bytes,
             self.footprint_hist_bytes,
             self.footprint_sizes_bytes,
@@ -867,7 +987,8 @@ impl MetricsSnapshot {
             self.footprint_shadow_bytes,
             self.footprint_total_bytes,
             self.heap_live_bytes,
-            self.heap_peak_bytes
+            self.heap_peak_bytes,
+            self.tenant_rows.len()
         );
         let _ = write!(s, "# eviction\r\nevictions:{}\r\n", self.evictions);
         hist(&mut s, "candidate_age", &self.candidate_age);
@@ -960,7 +1081,23 @@ impl MetricsSnapshot {
         );
         let _ = write!(
             s,
-            "\"memory\":{{\"stack_bytes\":{},\"hist_bytes\":{},\"sizes_bytes\":{},\"pipeline_bytes\":{},\"shadow_bytes\":{},\"total_bytes\":{},\"heap_live_bytes\":{},\"heap_peak_bytes\":{}}},",
+            "\"tenant\":{{\"count\":{},\"refs\":{},\"drifted\":{},\"shadowed\":{},\"rows\":[",
+            self.tenant_rows.len(),
+            self.tenant_refs(),
+            self.tenant_drifted(),
+            self.tenant_shadowed()
+        );
+        for (i, t) in self.tenant_rows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&t.to_json());
+        }
+        s.push_str("]},");
+        let (t_total, t_mean, t_max) = self.tenant_memory();
+        let _ = write!(
+            s,
+            "\"memory\":{{\"stack_bytes\":{},\"hist_bytes\":{},\"sizes_bytes\":{},\"pipeline_bytes\":{},\"shadow_bytes\":{},\"total_bytes\":{},\"heap_live_bytes\":{},\"heap_peak_bytes\":{},\"tenant\":{{\"count\":{},\"total_bytes\":{t_total},\"mean_bytes\":{t_mean},\"max_bytes\":{t_max}}}}},",
             self.footprint_stack_bytes,
             self.footprint_hist_bytes,
             self.footprint_sizes_bytes,
@@ -968,7 +1105,8 @@ impl MetricsSnapshot {
             self.footprint_shadow_bytes,
             self.footprint_total_bytes,
             self.heap_live_bytes,
-            self.heap_peak_bytes
+            self.heap_peak_bytes,
+            self.tenant_rows.len()
         );
         let _ = write!(
             s,
@@ -1027,6 +1165,17 @@ impl MetricsSnapshot {
             .put_u64(self.footprint_total_bytes)
             .put_u64(self.heap_live_bytes)
             .put_u64(self.heap_peak_bytes);
+        enc.put_u64(self.tenant_rows.len() as u64);
+        for t in &self.tenant_rows {
+            enc.put_u64(t.id)
+                .put_u64(t.refs)
+                .put_u64(t.resident)
+                .put_u64(t.resident_bytes)
+                .put_u64(t.miss_ratio_ppm)
+                .put_u64(t.drift_events)
+                .put_u64(t.mae_ppm)
+                .put_u64(u64::from(t.shadowed));
+        }
     }
 
     /// Reconstructs a snapshot from a [`MetricsSnapshot::save_state`]
@@ -1101,6 +1250,22 @@ impl MetricsSnapshot {
             footprint_total_bytes: dec.u64()?,
             heap_live_bytes: dec.u64()?,
             heap_peak_bytes: dec.u64()?,
+            tenant_rows: {
+                let mut v = Vec::new();
+                for _ in 0..dec.u64()? {
+                    v.push(TenantRow {
+                        id: dec.u64()?,
+                        refs: dec.u64()?,
+                        resident: dec.u64()?,
+                        resident_bytes: dec.u64()?,
+                        miss_ratio_ppm: dec.u64()?,
+                        drift_events: dec.u64()?,
+                        mae_ppm: dec.u64()?,
+                        shadowed: dec.u64()? != 0,
+                    });
+                }
+                v
+            },
         })
     }
 }

@@ -218,7 +218,7 @@ impl Clone for KrrModel {
     fn clone(&self) -> Self {
         Self {
             config: self.config.clone(),
-            filter: self.filter.clone(),
+            filter: self.filter,
             stack: self.stack.clone(),
             sizes: self.sizes.clone(),
             hist: self.hist.clone(),

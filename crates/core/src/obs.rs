@@ -315,7 +315,7 @@ impl FlightRecorder {
 /// Validity tag stored in word 0's high bits so a drain can reject slots
 /// that were never written (all-zero word 0 would otherwise decode as a
 /// `RouterBatch` at t=0).
-const VALID_TAG: u64 = 0x0B5E_55;
+const VALID_TAG: u64 = 0x000B_5E55;
 
 /// One thread's handle into a [`FlightRecorder`]. Recording is two
 /// `Relaxed` stores per word plus a cursor bump — no locks, no allocation.

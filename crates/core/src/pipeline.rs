@@ -132,6 +132,40 @@ where
     I: Iterator<Item = (u64, u32)>,
 {
     let n_shards = models.len();
+    run_routed(
+        models,
+        refs.map(|(key, size)| {
+            let h = hash_key(key);
+            (shard_of_hash(h, n_shards), key, size, h)
+        }),
+        threads,
+        cfg,
+        metrics,
+        recorder,
+    )
+}
+
+/// The generalized router/worker topology over **pre-routed** items: each
+/// item carries its destination slot, key, size, and the key's
+/// already-computed [`hash_key`] value. [`run`] resolves slots by
+/// [`shard_of_hash`]; [`crate::fleet::FleetArena`] resolves them by tenant
+/// id. The contract is the same either way — the hash MUST be
+/// `hash_key(key)` (computed exactly once per reference, counted as
+/// `pipeline.keys_hashed`), slot `s` is owned by worker `s % threads`, and
+/// per-slot FIFO order makes results bit-identical to a sequential loop at
+/// any thread count.
+pub(crate) fn run_routed<I>(
+    models: Vec<KrrModel>,
+    items: I,
+    threads: usize,
+    cfg: &PipelineConfig,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    recorder: Option<&Arc<FlightRecorder>>,
+) -> Vec<KrrModel>
+where
+    I: Iterator<Item = (usize, u64, u32, u64)>,
+{
+    let n_shards = models.len();
     let threads = threads.clamp(1, n_shards);
     let batch_size = cfg.batch_size.max(1);
     let queue_depth = cfg.queue_depth.max(1);
@@ -206,9 +240,11 @@ where
         // ---- Router (this thread) ----
         let t_router = Instant::now();
         let router_rec = recorder.map(|r| r.register("router"));
-        let mut buffers: Vec<Vec<(u64, u32, u64)>> = (0..n_shards)
-            .map(|_| Vec::with_capacity(batch_size))
-            .collect();
+        // Buffers start empty and grow on demand: a fleet arena routes over
+        // thousands of slots, most of which may never see traffic, so
+        // reserving `batch_size` entries per slot up front would waste
+        // memory. Hot slots amortize to full capacity via recycling.
+        let mut buffers: Vec<Vec<(u64, u32, u64)>> = (0..n_shards).map(|_| Vec::new()).collect();
         let mut keys_hashed = 0u64;
         let mut batches = 0u64;
         let mut stalls = 0u64;
@@ -238,10 +274,8 @@ where
                 r.record_since(Phase::RouterBatch, b0, s as u64);
             }
         };
-        for (key, size) in refs {
-            let h = hash_key(key);
+        for (s, key, size, h) in items {
             keys_hashed += 1;
-            let s = shard_of_hash(h, n_shards);
             buffers[s].push((key, size, h));
             if buffers[s].len() >= batch_size {
                 let fresh = recycle_rx
@@ -256,8 +290,10 @@ where
                 dispatch(s, buf);
             }
         }
-        drop(dispatch);
-        drop(senders); // close the channels: workers drain and exit
+        // `dispatch` borrowed `senders`; its last call is above, so the
+        // borrow has ended and the channels can close: workers drain and
+        // exit.
+        drop(senders);
         if let Some(reg) = metrics {
             reg.pipeline_keys_hashed.add(keys_hashed);
             reg.pipeline_batches.add(batches);

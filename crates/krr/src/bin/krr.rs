@@ -60,7 +60,8 @@ USAGE:
             [--metrics-out FILE] [--trace-out FILE]
             [--stats-every N] [--stats-out FILE]
             [--checkpoint-every N] [--checkpoint-out FILE]
-            [--resume FILE] [--serve ADDR]
+            [--resume FILE] [--serve ADDR] [--serve-hold SECS]
+            [--tenants N] [--budget B] [--mrc-out DIR]
             (<trace.csv> | --workload <spec> ...)
             (with --shards > 1, trace files are streamed through the
              route-once pipeline and never fully materialized;
@@ -73,21 +74,37 @@ USAGE:
              with bit-identical results;
              --serve binds a live exposition HTTP server, e.g.
              127.0.0.1:9184, answering /metrics /mrc /stats /trace
-             /healthz while the run is in flight)
+             /healthz while the run is in flight; --serve-hold keeps
+             it up SECS seconds after the run so short traces can
+             still be scraped (default 0: shut down immediately);
+             --tenants N switches to fleet mode: the trace splits into
+             N tenants by key % N, each profiled by its own KRR model;
+             stdout becomes a per-tenant summary (miss ratio at
+             --budget, default 4096 objects), --mrc-out writes one
+             tenant-<id>.csv per tenant, and --serve additionally
+             answers /tenants and /mrc?tenant=ID)
   krr simulate [--policy lru|klru:K|klfu:K] [--sizes N] [--bytes]
                (<trace.csv> | --workload <spec> ...)
   krr compare [--k K] [--sizes N] (<trace.csv> | --workload <spec> ...)
   krr analyze (<trace.csv> | --workload <spec> ...)
   krr plot [--width W] [--height H] <mrc.csv> [<mrc.csv> ...]
-  krr partition --budget B [--quantum Q] <mrc.csv> [<mrc.csv> ...]
+  krr partition --budget B [--quantum Q]
+                (<mrc.csv> [<mrc.csv> ...] | --live HOST:PORT)
+                (--live scrapes a running exposition server's
+                 /tenants?format=csv and each /mrc?tenant=ID&format=csv
+                 and partitions the live fleet instead of trace files)
   krr load [--qps Q] [--arrival constant|poisson|ramp|burst] [--seed X]
            [--connections C] [--pipeline D] [--addr HOST:PORT] [--ab]
            [--maxmemory BYTES] [--samples S] [--no-prefill] [--json FILE]
+           [--tenants N]
            (<trace.csv> | --workload <spec> [--requests N] ...)
            (open-loop RESP load run against mini-Redis: every arrival
             time is fixed up front from --qps/--arrival/--seed, so a
             slow server inflates the measured tail instead of thinning
             the load; without --addr an embedded server is started;
+            --tenants N makes connection c TENANT-select tenant c%N
+            during setup, and an embedded server profiles each tenant
+            in a fleet arena;
             --ab replays the identical schedule twice — MRC profiling
             plus live /metrics scraping off, then on — and reports the
             p99 delta; --json writes the krr-load-v1 report)
@@ -284,6 +301,10 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
     if f.flag("bytes") {
         cfg = cfg.byte_level(2, 4096);
     }
+    let tenants: u64 = f.num("tenants", 0u64)?;
+    if tenants > 0 {
+        return cmd_model_fleet(&f, cfg, tenants);
+    }
     let shards: usize = f.num("shards", 1usize)?;
     if shards == 0 {
         return Err("--shards must be >= 1".into());
@@ -298,7 +319,7 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
     }
     let resume_path = f.get("resume").map(str::to_string);
     let checkpointing = ckpt_every > 0 || resume_path.is_some();
-    if checkpointing && f.positional.first().is_none() {
+    if checkpointing && f.positional.is_empty() {
         return Err(
             "checkpointing needs a positional trace file (resume offsets refer to it)".into(),
         );
@@ -398,6 +419,7 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
                 mrc: mrc_cell.clone(),
                 stats: stats_ring.clone(),
                 trace: recorder.clone(),
+                tenants: None,
             };
             let srv = krr::core::ExpoServer::start(addr.as_str(), sources)
                 .map_err(|e| format!("--serve {addr}: {e}"))?;
@@ -619,6 +641,151 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
     }
     // Explicit shutdown (Drop would too) so the listener thread is joined
     // and the port released before the process reports success.
+    serve_hold(&f, expo.is_some())?;
+    if let Some(srv) = expo.as_mut() {
+        srv.shutdown();
+    }
+    Ok(())
+}
+
+/// `--serve-hold SECS`: a fast run tears the `--serve` server down before
+/// anything can scrape it, so optionally keep it up after the trace ends.
+fn serve_hold(f: &Flags, serving: bool) -> Result<(), String> {
+    let Some(raw) = f.get("serve-hold") else {
+        return Ok(());
+    };
+    let secs: u64 = raw
+        .parse()
+        .map_err(|_| format!("--serve-hold {raw}: expected seconds"))?;
+    if !serving {
+        return Err("--serve-hold needs --serve".into());
+    }
+    if secs > 0 {
+        eprintln!("holding the exposition server for {secs}s");
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+    }
+    Ok(())
+}
+
+/// `krr model --tenants N`: fleet mode. The trace is split into `N`
+/// synthetic tenants by `key % N` (a stand-in for real tenant tags) and
+/// profiled by a [`krr::core::FleetArena`] — one KRR model per tenant,
+/// routed through the shared pipeline in one pass. Stdout is a per-tenant
+/// summary CSV; `--mrc-out DIR` writes each tenant's MRC as
+/// `tenant-<id>.csv` (the files `krr partition` consumes), and `--serve`
+/// exposes `/tenants` + `/mrc?tenant=ID` live while the run is in flight
+/// (`--serve-hold SECS` keeps the server up after it).
+fn cmd_model_fleet(f: &Flags, cfg: KrrConfig, tenants: u64) -> Result<(), String> {
+    use krr::core::fleet::{FleetArena, FleetCell, FleetConfig};
+    let trace = load_trace(f)?;
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads: usize = f.num("threads", default_threads)?;
+    if threads == 0 {
+        return Err("--threads must be >= 1".into());
+    }
+    let budget: f64 = f.num("budget", 4096.0f64)?;
+    if budget <= 0.0 || budget.is_nan() {
+        return Err("--budget must be positive".into());
+    }
+    let serve_addr = f.get("serve").map(str::to_string);
+    let want_metrics = f.flag("metrics") || f.get("metrics-out").is_some() || serve_addr.is_some();
+    let registry = want_metrics.then(|| std::sync::Arc::new(krr::core::MetricsRegistry::new()));
+    let mut arena = FleetArena::new(FleetConfig::new(cfg).budget(budget));
+    if let Some(reg) = &registry {
+        arena.set_metrics(std::sync::Arc::clone(reg));
+    }
+    let cell = serve_addr
+        .as_ref()
+        .map(|_| std::sync::Arc::new(FleetCell::new()));
+    let mut expo = match &serve_addr {
+        Some(addr) => {
+            let sources = krr::core::ExpoSources {
+                metrics: registry.clone(),
+                tenants: cell.clone(),
+                ..krr::core::ExpoSources::default()
+            };
+            let srv = krr::core::ExpoServer::start(addr.as_str(), sources)
+                .map_err(|e| format!("--serve {addr}: {e}"))?;
+            eprintln!("serving the fleet on http://{}/tenants", srv.addr());
+            Some(srv)
+        }
+        None => None,
+    };
+    let refs: Vec<(u64, u64, u32)> = trace
+        .iter()
+        .map(|r| (r.key % tenants, r.key, r.size))
+        .collect();
+    let t0 = std::time::Instant::now();
+    // Chunked so a live scraper watches the fleet converge mid-run.
+    for chunk in refs.chunks(1_000_000) {
+        arena.process_parallel(chunk, threads);
+        if let Some(cell) = &cell {
+            cell.publish(arena.view());
+        }
+    }
+    let elapsed = t0.elapsed();
+    if let Some(cell) = &cell {
+        cell.publish(arena.view());
+    }
+    if let Some(dir) = f.get("mrc-out") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+        let mut ids = arena.tenant_ids();
+        ids.sort_unstable();
+        for &id in &ids {
+            let mrc = arena.tenant_mrc(id).expect("registered tenant has an MRC");
+            let path = format!("{dir}/tenant-{id}.csv");
+            let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+            krr::core::persist::write_mrc(std::io::BufWriter::new(file), &mrc)
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+        eprintln!("wrote {} per-tenant MRCs to {dir}/", ids.len());
+    }
+    let mut rows = arena.summary();
+    rows.sort_unstable_by_key(|r| r.id);
+    let mut out = std::io::BufWriter::new(std::io::stdout().lock());
+    let _ = writeln!(
+        out,
+        "tenant,refs,resident,resident_bytes,miss_ratio_at_budget"
+    );
+    for r in &rows {
+        if writeln!(
+            out,
+            "{},{},{},{},{:.5}",
+            r.id,
+            r.refs,
+            r.resident,
+            r.resident_bytes,
+            r.miss_ratio_ppm as f64 / 1e6
+        )
+        .is_err()
+        {
+            break;
+        }
+    }
+    drop(out);
+    let st = arena.stats();
+    eprintln!(
+        "processed {} refs across {} tenants ({} sampled, {} distinct) in {elapsed:?}",
+        st.processed,
+        arena.len(),
+        st.sampled,
+        st.distinct
+    );
+    if let Some(reg) = &registry {
+        let snap = reg.snapshot();
+        if f.flag("metrics") {
+            eprintln!("{}", snap.render_info());
+        }
+        if let Some(path) = f.get("metrics-out") {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            krr::core::persist::write_metrics_json(std::io::BufWriter::new(file), &snap)
+                .map_err(|e| e.to_string())?;
+            eprintln!("wrote metrics snapshot to {path}");
+        }
+    }
+    serve_hold(f, expo.is_some())?;
     if let Some(srv) = expo.as_mut() {
         srv.shutdown();
     }
@@ -822,8 +989,15 @@ fn render_ascii_mrc(curves: &[(String, krr::Mrc)], width: usize, height: usize) 
 fn cmd_partition(args: &[String]) -> Result<(), String> {
     use krr::core::partition::{allocate_greedy, allocate_optimal, Tenant};
     let f = Flags::parse(args)?;
-    if f.positional.is_empty() {
-        return Err("partition needs one or more cache_size,miss_ratio CSV files".into());
+    let live = f.get("live").map(str::to_string);
+    if f.positional.is_empty() && live.is_none() {
+        return Err(
+            "partition needs one or more cache_size,miss_ratio CSV files or --live HOST:PORT"
+                .into(),
+        );
+    }
+    if !f.positional.is_empty() && live.is_some() {
+        return Err("--live and MRC files are mutually exclusive".into());
     }
     let budget: u64 = f.num("budget", 0)?;
     if budget == 0 {
@@ -831,6 +1005,49 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     }
     let quantum: u64 = f.num("quantum", (budget / 100).max(1))?;
     let mut tenants = Vec::new();
+    if let Some(live) = &live {
+        // Scrape the live fleet: tenant ids from /tenants?format=csv, then
+        // each curve as the exact persist::write_mrc bytes, so a live
+        // allocation is bit-for-bit the offline allocation over the same
+        // curves.
+        let addr: std::net::SocketAddr = live
+            .parse()
+            .map_err(|_| format!("--live: cannot parse {live:?}"))?;
+        let (status, _, body) = krr::core::expo::http_get(addr, "/tenants?format=csv")
+            .map_err(|e| format!("--live {live}: {e}"))?;
+        if status != 200 {
+            return Err(format!(
+                "--live {live}/tenants: HTTP {status}: {}",
+                body.trim()
+            ));
+        }
+        let mut ids = Vec::new();
+        for line in body.lines().skip(1).filter(|l| !l.trim().is_empty()) {
+            let id = line.split(',').next().unwrap_or("");
+            ids.push(
+                id.parse::<u64>()
+                    .map_err(|_| format!("/tenants row with bad id: {line:?}"))?,
+            );
+        }
+        ids.sort_unstable();
+        for id in ids {
+            let path = format!("/mrc?tenant={id}&format=csv");
+            let (status, _, body) = krr::core::expo::http_get(addr, &path)
+                .map_err(|e| format!("--live {live}{path}: {e}"))?;
+            if status != 200 {
+                return Err(format!(
+                    "--live {live}{path}: HTTP {status}: {}",
+                    body.trim()
+                ));
+            }
+            let mrc = krr::core::persist::read_mrc(body.as_bytes())
+                .map_err(|e| format!("{path}: {e}"))?;
+            tenants.push(Tenant::new(id.to_string(), mrc, 1.0));
+        }
+        if tenants.is_empty() {
+            return Err(format!("--live {live}: fleet has no tenants yet"));
+        }
+    }
     for path in &f.positional {
         let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
         let mrc = krr::core::persist::read_mrc(BufReader::new(file))
@@ -869,6 +1086,7 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
     let load_cfg = LoadConfig {
         connections: f.num("connections", 4usize)?.max(1),
         pipeline_depth: f.num("pipeline", 32usize)?.max(1),
+        tenants: f.num("tenants", 0usize)?,
     };
     let schedule = Schedule::generate(arrival, qps, trace.len(), seed);
     let prefill = !f.flag("no-prefill");
@@ -899,9 +1117,15 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
         if f.flag("ab") {
             krr::load::run_ab(&schedule, &trace, &load_cfg, &ab_cfg).map_err(|e| e.to_string())?
         } else {
-            let mut server =
-                krr::redis::Server::start(krr::redis::MiniRedis::new(maxmemory, samples, seed))
-                    .map_err(|e| e.to_string())?;
+            let mut store = krr::redis::MiniRedis::new(maxmemory, samples, seed);
+            if load_cfg.tenants > 0 {
+                // Tenant-selected connections should land somewhere: give
+                // the embedded server a fleet arena keyed by samples-as-K.
+                store.enable_fleet_profiling(krr::core::fleet::FleetConfig::new(KrrConfig::new(
+                    samples as f64,
+                )));
+            }
+            let mut server = krr::redis::Server::start(store).map_err(|e| e.to_string())?;
             if prefill {
                 let keys = krr::load::prefill(server.addr(), &trace).map_err(|e| e.to_string())?;
                 eprintln!("prefilled {keys} keys");

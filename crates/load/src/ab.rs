@@ -69,6 +69,12 @@ fn run_side(
     let mut store = MiniRedis::new(ab.maxmemory, ab.samples, ab.seed);
     if profiled {
         store.enable_mrc_profiling(&ab.krr, ab.shards.max(1));
+        if load.tenants > 0 {
+            // Multi-tenant mode: the runner TENANT-selects each
+            // connection, so the profiled side also pays per-tenant fleet
+            // accounting — the honest worst case again.
+            store.enable_fleet_profiling(krr_core::fleet::FleetConfig::new(ab.krr.clone()));
+        }
     }
     let mut server = Server::start(store)?;
     let stop = Arc::new(AtomicBool::new(false));

@@ -37,6 +37,11 @@ pub struct LoadConfig {
     /// Maximum commands buffered before a flush. 1 disables pipelining;
     /// the sender always flushes early when it is ahead of schedule.
     pub pipeline_depth: usize,
+    /// Multi-tenant mode: when > 0, connection `c` issues `TENANT c % N`
+    /// during setup (before the start barrier, so the round-trip stays off
+    /// the clock) and the server attributes its GETs to that tenant for
+    /// fleet profiling. 0 leaves connections unscoped.
+    pub tenants: usize,
 }
 
 impl Default for LoadConfig {
@@ -44,6 +49,7 @@ impl Default for LoadConfig {
         Self {
             connections: 4,
             pipeline_depth: 32,
+            tenants: 0,
         }
     }
 }
@@ -123,9 +129,26 @@ pub fn run(
         assert!(!reqs.is_empty(), "a non-empty schedule needs requests");
         // Connect everything up front so setup cost stays off the clock.
         let mut streams = Vec::with_capacity(conns);
-        for _ in 0..conns {
+        for c in 0..conns {
             let s = TcpStream::connect(addr)?;
             s.set_nodelay(true)?;
+            if cfg.tenants > 0 {
+                // Tenant selection is per-connection server state; do the
+                // round-trip here so it never lands in measured latency.
+                let mut r = BufReader::new(s.try_clone()?);
+                let mut w = BufWriter::new(s.try_clone()?);
+                let id = (c % cfg.tenants).to_string();
+                write_value(&mut w, &Value::command(&[b"TENANT", id.as_bytes()]))?;
+                w.flush()?;
+                match read_value(&mut r)? {
+                    Value::Simple(ref ok) if ok == "OK" => {}
+                    other => {
+                        return Err(io::Error::other(format!(
+                            "TENANT {id} rejected by server: {other:?}"
+                        )))
+                    }
+                }
+            }
             streams.push(s);
         }
         let barrier = Barrier::new(2 * conns + 1);

@@ -52,6 +52,19 @@ impl Client {
         }
     }
 
+    /// `TENANT id` — scopes this connection's subsequent GETs to `id` for
+    /// fleet profiling (like a Redis `SELECT`).
+    pub fn tenant(&mut self, id: u64) -> io::Result<()> {
+        let reply = self.raw(&[b"TENANT", id.to_string().as_bytes()])?;
+        self.expect_ok(reply)
+    }
+
+    /// `TENANT NONE` — back to unscoped (aggregate-only) profiling.
+    pub fn tenant_none(&mut self) -> io::Result<()> {
+        let reply = self.raw(&[b"TENANT", b"NONE"])?;
+        self.expect_ok(reply)
+    }
+
     /// `SET key <value of `size` bytes>`.
     pub fn set(&mut self, key: u64, size: u32) -> io::Result<()> {
         let payload = vec![b'x'; size as usize];

@@ -133,11 +133,14 @@ impl Server {
         store.set_recorder(Arc::clone(&recorder));
         let mrc_cell = Arc::new(MrcCell::new());
         store.set_mrc_cell(Arc::clone(&mrc_cell));
+        let fleet_cell = Arc::new(krr_core::fleet::FleetCell::new());
+        store.set_fleet_cell(Arc::clone(&fleet_cell));
         let expo_sources = ExpoSources {
             metrics: Some(Arc::clone(store.metrics())),
             mrc: Some(mrc_cell),
             stats: None,
             trace: Some(Arc::clone(&recorder)),
+            tenants: Some(fleet_cell),
         };
         let store = Arc::new(Mutex::new(store));
         let stop = Arc::new(AtomicBool::new(false));
@@ -254,6 +257,10 @@ fn serve_connection(
     conn.set_read_timeout(Some(std::time::Duration::from_millis(50)))?;
     let mut reader = BufReader::new(conn.try_clone()?);
     let mut writer = BufWriter::new(conn);
+    // Per-connection tenant selection (`TENANT` command), like a Redis
+    // `SELECT`ed database: it scopes this connection's GETs for fleet
+    // profiling and resets when the connection closes.
+    let mut tenant: Option<u64> = None;
     loop {
         if stop.load(Ordering::Relaxed) {
             return Ok(());
@@ -289,7 +296,7 @@ fn serve_connection(
             Err(e) => return Err(e),
         };
         let t0 = rec.now_ns();
-        let reply = handle(&request, store, stop, obs);
+        let reply = handle(&request, store, stop, obs, &mut tenant);
         let dur = rec.now_ns() - t0;
         if let Value::Array(parts) = &request {
             let argv: Vec<&[u8]> = parts
@@ -325,11 +332,18 @@ fn command_tag(cmd: &[u8]) -> u64 {
         b"SLOWLOG" => 11,
         b"CONFIG" => 12,
         b"BGSAVE" => 13,
+        b"TENANT" => 14,
         _ => 0,
     }
 }
 
-fn handle(request: &Value, store: &Mutex<MiniRedis>, stop: &AtomicBool, obs: &ServerObs) -> Value {
+fn handle(
+    request: &Value,
+    store: &Mutex<MiniRedis>,
+    stop: &AtomicBool,
+    obs: &ServerObs,
+    tenant: &mut Option<u64>,
+) -> Value {
     let Value::Array(parts) = request else {
         return Value::Error("ERR expected command array".into());
     };
@@ -352,7 +366,7 @@ fn handle(request: &Value, store: &Mutex<MiniRedis>, stop: &AtomicBool, obs: &Se
             let Some(key) = parse_key(key) else {
                 return Value::Error("ERR keys are u64 in mini-redis".into());
             };
-            let hit = store.lock().expect("store poisoned").get(key);
+            let hit = store.lock().expect("store poisoned").get_for(*tenant, key);
             if hit {
                 // The store tracks sizes, not payloads; return a marker.
                 Value::bulk(b"1".to_vec())
@@ -409,6 +423,27 @@ fn handle(request: &Value, store: &Mutex<MiniRedis>, stop: &AtomicBool, obs: &Se
                 Value::bulk(body.into_bytes())
             }
             None => Value::Error("ERR MRC profiling not enabled".into()),
+        },
+        b"TENANT" => match rest {
+            // TENANT        -> current selection (nil if none)
+            // TENANT <id>   -> scope this connection's GETs to tenant <id>
+            // TENANT NONE   -> back to unscoped (aggregate-only) profiling
+            [] => match tenant {
+                Some(id) => Value::bulk(id.to_string().into_bytes()),
+                None => Value::null(),
+            },
+            [arg] if arg.eq_ignore_ascii_case(b"NONE") => {
+                *tenant = None;
+                Value::Simple("OK".into())
+            }
+            [arg] => match parse_key(arg) {
+                Some(id) => {
+                    *tenant = Some(id);
+                    Value::Simple("OK".into())
+                }
+                None => Value::Error("ERR tenant ids are u64 in mini-redis".into()),
+            },
+            _ => Value::Error("ERR usage: TENANT [id|NONE]".into()),
         },
         b"SHUTDOWN" => {
             stop.store(true, Ordering::Relaxed);

@@ -19,11 +19,14 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::dict::Dict;
+use krr_baselines::fleet_watchdog::{FleetWatchdog, FleetWatchdogConfig};
 use krr_baselines::watchdog::{AccuracyWatchdog, WatchdogConfig, WatchdogReport};
 use krr_core::checkpoint::{
     CheckpointReader, CheckpointWriter, Dec, Enc, SECTION_METRICS, SECTION_SHARDED, SECTION_STORE,
     SECTION_WATCHDOG,
 };
+use krr_core::fleet::{FleetArena, FleetCell, FleetConfig};
+use krr_core::hashing::hash_key;
 use krr_core::metrics::{MetricsRegistry, MetricsSnapshot};
 use krr_core::model::KrrConfig;
 use krr_core::mrc::Mrc;
@@ -118,6 +121,14 @@ pub struct MiniRedis {
     /// Live-MRC cell for the exposition server; refreshed every
     /// [`EXPO_REFRESH_EVERY`] GETs while profiling is enabled.
     mrc_cell: Option<Arc<krr_core::expo::MrcCell>>,
+    /// Optional multi-tenant profiling arena, fed by GETs on connections
+    /// that selected a tenant (`TENANT` command).
+    fleet: Option<FleetArena>,
+    /// Optional top-K fleet watchdog shadowing the hottest tenants.
+    fleet_dog: Option<FleetWatchdog>,
+    /// Published fleet view for the exposition server's `/tenants` and
+    /// `/mrc?tenant=` endpoints; refreshed with the MRC cell.
+    fleet_cell: Option<Arc<FleetCell>>,
 }
 
 impl MiniRedis {
@@ -151,6 +162,9 @@ impl MiniRedis {
             watchdog: None,
             recorder: None,
             mrc_cell: None,
+            fleet: None,
+            fleet_dog: None,
+            fleet_cell: None,
         }
     }
 
@@ -180,6 +194,50 @@ impl MiniRedis {
             dog.set_recorder(rec.register("watchdog"));
         }
         self.watchdog = Some(dog);
+    }
+
+    /// Turns on multi-tenant fleet profiling: a per-tenant KRR arena
+    /// observes GETs issued on connections that selected a tenant with the
+    /// `TENANT` command, alongside (not instead of) the aggregate profiler.
+    /// Tenants materialize lazily at their first reference; per-tenant rows
+    /// land in the shared metrics registry (`# tenant` INFO section,
+    /// `krr_tenant_*` series) and, once a [`FleetCell`] is attached, in the
+    /// exposition server's `/tenants` and `/mrc?tenant=` endpoints.
+    pub fn enable_fleet_profiling(&mut self, config: FleetConfig) {
+        let mut arena = FleetArena::new(config);
+        arena.set_metrics(Arc::clone(&self.metrics));
+        if let Some(rec) = &self.recorder {
+            arena.set_recorder(Arc::clone(rec));
+        }
+        self.fleet = Some(arena);
+    }
+
+    /// Turns on the fleet watchdog: shadow Olken profilers beside the
+    /// top-K tenants by traffic (re-elected as traffic shifts), writing
+    /// MAE/drift verdicts back into the per-tenant rows. Requires
+    /// [`MiniRedis::enable_fleet_profiling`] to have been called — without
+    /// an arena there are no tenants to shadow.
+    pub fn enable_fleet_watchdog(&mut self, config: FleetWatchdogConfig) {
+        let mut dog = FleetWatchdog::new(config);
+        dog.set_metrics(Arc::clone(&self.metrics));
+        self.fleet_dog = Some(dog);
+    }
+
+    /// The fleet arena, if fleet profiling is enabled.
+    #[must_use]
+    pub fn fleet(&self) -> Option<&FleetArena> {
+        self.fleet.as_ref()
+    }
+
+    /// Attaches a fleet-view cell (the `/tenants` + `/mrc?tenant=` source
+    /// of an exposition server). Republished on the same
+    /// [`EXPO_REFRESH_EVERY`] cadence as the aggregate MRC cell, plus
+    /// immediately if the arena already has tenants.
+    pub fn set_fleet_cell(&mut self, cell: Arc<FleetCell>) {
+        if let Some(f) = &self.fleet {
+            cell.publish(f.view());
+        }
+        self.fleet_cell = Some(cell);
     }
 
     /// The watchdog's most recent comparison, if any have run.
@@ -237,6 +295,12 @@ impl MiniRedis {
         self.publish_footprint();
         if let (Some(p), Some(cell)) = (&self.profiler, &self.mrc_cell) {
             cell.publish(p.mrc());
+        }
+        if let Some(f) = &self.fleet {
+            f.publish_metrics();
+            if let Some(cell) = &self.fleet_cell {
+                cell.publish(f.view());
+            }
         }
     }
 
@@ -304,6 +368,16 @@ impl MiniRedis {
 
     /// GET: returns true on hit and refreshes the key's LRU stamp.
     pub fn get(&mut self, key: u64) -> bool {
+        self.get_for(None, key)
+    }
+
+    /// GET attributed to a tenant: the store lookup and aggregate profiler
+    /// behave exactly like [`MiniRedis::get`]; additionally, when fleet
+    /// profiling is enabled and `tenant` is `Some`, the reference feeds
+    /// that tenant's KRR instance (materializing it on first touch) and
+    /// its shadow watchdog if the fleet watchdog has elected it. The key is
+    /// hashed once and the hash shared by the arena and the shadow filter.
+    pub fn get_for(&mut self, tenant: Option<u64>, key: u64) -> bool {
         self.ticks += 1;
         self.metrics.accesses.inc();
         let clock = self.lru_clock();
@@ -329,7 +403,16 @@ impl MiniRedis {
                 }
             }
         }
-        if self.ticks % EXPO_REFRESH_EVERY == 0 && self.mrc_cell.is_some() {
+        if let (Some(t), Some(fleet)) = (tenant, &mut self.fleet) {
+            let h = hash_key(key);
+            fleet.access_hashed(t, key, size, h);
+            if let Some(dog) = &mut self.fleet_dog {
+                dog.observe_hashed(fleet, t, key, h);
+            }
+        }
+        if self.ticks % EXPO_REFRESH_EVERY == 0
+            && (self.mrc_cell.is_some() || self.fleet_cell.is_some())
+        {
             self.refresh_expo();
         }
         hit

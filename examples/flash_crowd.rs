@@ -53,6 +53,7 @@ fn main() {
     let cfg = LoadConfig {
         connections: 4,
         pipeline_depth: 16,
+        ..LoadConfig::default()
     };
     let report = run(server.addr(), &schedule, &trace, &cfg).expect("load run");
 

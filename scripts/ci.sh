@@ -9,6 +9,9 @@ cargo test -q --offline --workspace
 # contract and must keep compiling and passing on their own.
 cargo test -q --offline --workspace --doc
 cargo fmt --check
+# Lint gate: clippy across every target (tests, benches, examples too),
+# warnings are errors.
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
 # Documentation gate: every public item documented, no broken intra-doc
 # links, rendered cleanly.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
@@ -36,12 +39,16 @@ grep -q "errors 0" /tmp/krr_flash_crowd.out
 # footprint at M=1e6 — exits nonzero unless KRR < Olken — plus the
 # /metrics scrape-overhead gate, also 5%) and BENCH_load.json (open-loop
 # RESP load A/B: p99 with MRC profiling + live scraping on vs off — exits
-# nonzero past a 10% tail budget).
+# nonzero past a 10% tail budget) and BENCH_fleet.json (1000+-tenant
+# arena in one process: aggregate /metrics scrape overhead under the same
+# 5% budget, per-tenant resident bytes within 2x of the Footprint
+# prediction).
 if [ "${KRR_CI_BENCH:-0}" = "1" ]; then
     cargo bench -q --offline -p krr-bench --bench pipeline
     cargo bench -q --offline -p krr-bench --bench obs
     cargo bench -q --offline -p krr-bench --bench space
     cargo bench -q --offline -p krr-bench --bench load
+    cargo bench -q --offline -p krr-bench --bench fleet
 fi
 
 echo "ci: OK"

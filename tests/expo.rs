@@ -10,9 +10,10 @@
 mod support;
 
 use krr::core::expo::{http_get, ExpoServer, ExpoSources, MrcCell, StatsRing};
+use krr::core::fleet::{FleetArena, FleetCell, FleetConfig};
 use krr::core::obs::FlightRecorder;
 use krr::core::sharded::ShardedKrr;
-use krr::core::{KrrConfig, MetricsRegistry, Mrc};
+use krr::core::{KrrConfig, MetricsRegistry, Mrc, TenantRow};
 use krr::trace::ycsb;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -28,18 +29,21 @@ fn full_server() -> (
     Arc<MetricsRegistry>,
     Arc<MrcCell>,
     Arc<StatsRing>,
+    Arc<FleetCell>,
 ) {
     let reg = Arc::new(MetricsRegistry::new());
     let mrc = Arc::new(MrcCell::new());
     let stats = Arc::new(StatsRing::new());
+    let fleet = Arc::new(FleetCell::new());
     let sources = ExpoSources {
         metrics: Some(Arc::clone(&reg)),
         mrc: Some(Arc::clone(&mrc)),
         stats: Some(Arc::clone(&stats)),
         trace: Some(Arc::new(FlightRecorder::new())),
+        tenants: Some(Arc::clone(&fleet)),
     };
     let server = ExpoServer::start("127.0.0.1:0", sources).unwrap();
-    (server, reg, mrc, stats)
+    (server, reg, mrc, stats, fleet)
 }
 
 /// Sends a raw request (caller includes the blank line) and returns the
@@ -64,7 +68,7 @@ fn raw_request(addr: SocketAddr, request: &str) -> u16 {
 
 #[test]
 fn endpoints_report_expected_statuses_and_content_types() {
-    let (server, reg, mrc, stats) = full_server();
+    let (server, reg, mrc, stats, _fleet) = full_server();
     let addr = server.addr();
     reg.accesses.add(42);
 
@@ -113,7 +117,7 @@ fn endpoints_report_expected_statuses_and_content_types() {
 
 #[test]
 fn non_get_and_malformed_requests_are_rejected() {
-    let (server, _reg, _mrc, _stats) = full_server();
+    let (server, _reg, _mrc, _stats, _fleet) = full_server();
     let addr = server.addr();
     let status = raw_request(addr, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
     assert_eq!(status, 405);
@@ -126,7 +130,7 @@ fn non_get_and_malformed_requests_are_rejected() {
 
 #[test]
 fn healthz_reports_drift_as_503() {
-    let (server, reg, _mrc, _stats) = full_server();
+    let (server, reg, _mrc, _stats, _fleet) = full_server();
     reg.watchdog_drift_events.add(1);
     let (status, _, body) = http_get(server.addr(), "/healthz").unwrap();
     assert_eq!(status, 503);
@@ -135,9 +139,124 @@ fn healthz_reports_drift_as_503() {
 }
 
 #[test]
+fn healthz_details_which_subsystem_is_unhealthy() {
+    let (server, reg, _mrc, _stats, _fleet) = full_server();
+    let addr = server.addr();
+
+    // Pipeline stalls are back-pressure, not ill health: surfaced in the
+    // body but the status code stays 200.
+    reg.pipeline_stalls.add(7);
+    let (status, _, body) = http_get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "body: {body}");
+    assert!(body.contains("\"pipeline_stalls\":7"), "body: {body}");
+    assert!(body.contains("\"pipeline\":\"stalls\""), "body: {body}");
+    assert!(body.contains("\"watchdog\":\"ok\""), "body: {body}");
+    assert!(body.contains("\"tenants\":\"ok\""), "body: {body}");
+    json::parse(&body).expect("/healthz must be valid JSON");
+
+    // A single drifted tenant row flips health to 503 even with zero
+    // aggregate watchdog drift — and the body names the subsystem.
+    reg.set_tenant_rows(vec![TenantRow {
+        id: 4,
+        refs: 10,
+        resident: 5,
+        resident_bytes: 512,
+        miss_ratio_ppm: 250_000,
+        drift_events: 2,
+        mae_ppm: 90_000,
+        shadowed: true,
+    }]);
+    let (status, _, body) = http_get(addr, "/healthz").unwrap();
+    assert_eq!(status, 503);
+    assert!(body.contains("\"status\":\"drift\""), "body: {body}");
+    assert!(body.contains("\"tenants_drifted\":1"), "body: {body}");
+    assert!(body.contains("\"tenants\":\"drift\""), "body: {body}");
+    assert!(body.contains("\"watchdog\":\"ok\""), "body: {body}");
+}
+
+#[test]
+fn tenant_endpoints_serve_published_fleet_views() {
+    let (server, _reg, _mrc, _stats, fleet) = full_server();
+    let addr = server.addr();
+
+    // Both tenant endpoints answer 503 until the first published view.
+    let (status, _, _) = http_get(addr, "/tenants").unwrap();
+    assert_eq!(status, 503);
+    let (status, _, _) = http_get(addr, "/mrc?tenant=0").unwrap();
+    assert_eq!(status, 503);
+
+    let mut arena = FleetArena::new(FleetConfig::new(KrrConfig::new(64.0).seed(9)));
+    for i in 0..30_000u64 {
+        arena.access(i % 3, i.wrapping_mul(0x9E37_79B9_7F4A_7C15), 1);
+    }
+    fleet.publish(arena.view());
+
+    let (status, ctype, body) = http_get(addr, "/tenants").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(ctype, "application/json");
+    let doc = json::parse(&body).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(json::Json::as_str),
+        Some("krr-tenants-v1")
+    );
+    assert_eq!(doc.get("count").and_then(json::Json::as_num), Some(3.0));
+
+    // CSV: fixed header, one row per tenant; ?top=1 keeps only the
+    // hottest.
+    let (status, ctype, csv) = http_get(addr, "/tenants?format=csv").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(ctype, "text/csv");
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next(),
+        Some("id,refs,resident,resident_bytes,miss_ratio_ppm,drift_events,mae_ppm,shadowed")
+    );
+    assert_eq!(lines.count(), 3, "one CSV row per tenant");
+    let (_, _, top1) = http_get(addr, "/tenants?format=csv&top=1").unwrap();
+    assert_eq!(
+        top1.lines().count(),
+        2,
+        "header plus the single hottest row"
+    );
+
+    // Per-tenant MRC as JSON…
+    let (status, ctype, body) = http_get(addr, "/mrc?tenant=1").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(ctype, "application/json");
+    let doc = json::parse(&body).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(json::Json::as_str),
+        Some("krr-mrc-v1")
+    );
+
+    // …and as CSV that is byte-identical to `persist::write_mrc` output,
+    // so `krr partition --live` parses it with the existing reader.
+    let (status, ctype, csv) = http_get(addr, "/mrc?tenant=1&format=csv").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(ctype, "text/csv");
+    let direct = arena.tenant_mrc(1).expect("tenant 1 exists");
+    let mut expected = Vec::new();
+    krr::core::persist::write_mrc(&mut expected, &direct).unwrap();
+    assert_eq!(
+        csv.as_bytes(),
+        &expected[..],
+        "served CSV must match persist::write_mrc bytes exactly"
+    );
+    let served = krr::core::persist::read_mrc(csv.as_bytes()).expect("round-trip");
+    assert_eq!(served.points().len(), direct.points().len());
+
+    // Unknown tenants 404; junk ids 400.
+    let (status, _, _) = http_get(addr, "/mrc?tenant=999").unwrap();
+    assert_eq!(status, 404);
+    let (status, _, _) = http_get(addr, "/mrc?tenant=bogus").unwrap();
+    assert_eq!(status, 400);
+}
+
+#[test]
 fn endpoints_without_sources_answer_404() {
     let server = ExpoServer::start("127.0.0.1:0", ExpoSources::default()).unwrap();
-    for path in ["/metrics", "/mrc", "/stats", "/trace"] {
+    for path in ["/metrics", "/mrc", "/stats", "/trace", "/tenants"] {
         let (status, _, _) = http_get(server.addr(), path).unwrap();
         assert_eq!(status, 404, "{path} without a source");
     }

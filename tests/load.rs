@@ -65,6 +65,7 @@ fn loopback_smoke_every_arrival_process() {
         let cfg = LoadConfig {
             connections: 2,
             pipeline_depth: 16,
+            ..LoadConfig::default()
         };
         let report = run(server.addr(), &schedule, &trace, &cfg).unwrap();
         server.shutdown();
@@ -128,6 +129,7 @@ fn unpipelined_runs_work_too() {
     let cfg = LoadConfig {
         connections: 1,
         pipeline_depth: 1,
+        ..LoadConfig::default()
     };
     let report = run(server.addr(), &schedule, &trace, &cfg).unwrap();
     server.shutdown();

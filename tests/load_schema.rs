@@ -69,6 +69,7 @@ fn representative_load_json() -> String {
     let cfg = LoadConfig {
         connections: 2,
         pipeline_depth: 8,
+        ..LoadConfig::default()
     };
     let mut report = run(server.addr(), &schedule, &trace, &cfg).unwrap();
     server.shutdown();

@@ -44,6 +44,11 @@ const GOLDEN: &[(&str, &str)] = &[
     ("memory.shadow_bytes", "num"),
     ("memory.sizes_bytes", "num"),
     ("memory.stack_bytes", "num"),
+    ("memory.tenant", "obj"),
+    ("memory.tenant.count", "num"),
+    ("memory.tenant.max_bytes", "num"),
+    ("memory.tenant.mean_bytes", "num"),
+    ("memory.tenant.total_bytes", "num"),
     ("memory.total_bytes", "num"),
     ("model", "obj"),
     ("model.accesses", "num"),
@@ -64,6 +69,12 @@ const GOLDEN: &[(&str, &str)] = &[
     ("shards.merge_ns", "num"),
     ("shards.merges", "num"),
     ("shards.resident", "arr"),
+    ("tenant", "obj"),
+    ("tenant.count", "num"),
+    ("tenant.drifted", "num"),
+    ("tenant.refs", "num"),
+    ("tenant.rows", "arr"),
+    ("tenant.shadowed", "num"),
     ("updater", "obj"),
     ("updater.chain_len", "obj"),
     ("updater.chain_len.buckets", "arr"),
@@ -95,6 +106,15 @@ fn representative_metrics_json() -> String {
     let trace = ycsb::WorkloadC::new(500, 0.9).generate(5_000, 3);
     bank.process_stream(trace.iter().map(|r| (r.key, r.size)), 2);
     let _ = bank.mrc();
+    // A small fleet on the same registry populates the tenant sections
+    // (which are emitted even when empty, but should be exercised live).
+    let mut fleet =
+        krr::core::fleet::FleetArena::new(krr::core::fleet::FleetConfig::new(KrrConfig::new(4.0)));
+    fleet.set_metrics(Arc::clone(&reg));
+    for r in trace.iter().take(2_000) {
+        fleet.access(r.key % 3, r.key, r.size);
+    }
+    fleet.publish_metrics();
     let mut buf = Vec::new();
     krr::core::persist::write_metrics_json(&mut buf, &reg.snapshot()).unwrap();
     String::from_utf8(buf).unwrap()
