@@ -1,6 +1,6 @@
 //! Fleet-scale accuracy watchdog: shadow only the tenants that matter.
 //!
-//! A [`FleetArena`](krr_core::fleet::FleetArena) hosts thousands of KRR
+//! A [`FleetArena`] hosts thousands of KRR
 //! instances, but running an [`AccuracyWatchdog`] (a spatially-sampled
 //! shadow Olken profiler) beside *every* tenant would multiply the fleet's
 //! memory by the shadow cost. The observation behind [`FleetWatchdog`] is

@@ -258,6 +258,9 @@ pub fn render_openmetrics(snap: &MetricsSnapshot) -> String {
         "pipeline_worker_busy_ns",
         snap.pipeline_worker_busy_ns,
     );
+    counter(&mut s, "pipeline_ring_wraps", snap.pipeline_ring_wraps);
+    counter(&mut s, "pipeline_router_parks", snap.pipeline_router_parks);
+    counter(&mut s, "pipeline_worker_parks", snap.pipeline_worker_parks);
     counter(&mut s, "watchdog_checks", snap.watchdog_checks);
     counter(&mut s, "watchdog_shadow_refs", snap.watchdog_shadow_refs);
     counter(&mut s, "watchdog_drift_events", snap.watchdog_drift_events);
@@ -309,6 +312,16 @@ pub fn render_openmetrics(snap: &MetricsSnapshot) -> String {
         "",
         &snap.pipeline_queue_hwm,
     );
+    let ring_labeled = |s: &mut String, name: &str, vals: &[u64]| {
+        if vals.is_empty() {
+            return;
+        }
+        let _ = writeln!(s, "# TYPE krr_{name} gauge");
+        for (i, v) in vals.iter().enumerate() {
+            let _ = writeln!(s, "krr_{name}{{worker=\"{i}\"}} {v}");
+        }
+    };
+    ring_labeled(&mut s, "ring_depth_hwm", &snap.pipeline_ring_hwm);
     if !snap.tenant_rows.is_empty() {
         gauge(&mut s, "tenant_count", snap.tenant_rows.len() as u64);
         let (t_total, t_mean, t_max) = snap.tenant_memory();

@@ -249,9 +249,19 @@ impl FleetArena {
         let index = &self.index;
         self.models = pipeline::run_routed(
             models,
-            refs.iter().map(|&(tenant, key, size)| {
-                let h = hash_key(key);
-                (index[&tenant], key, size, h)
+            // Hash 8 keys per call (same ILP lever as the sharded router);
+            // hash_keys8 is bit-identical to scalar hash_key per lane.
+            refs.chunks(8).flat_map(move |chunk| {
+                let n = chunk.len();
+                let hashes: [u64; 8] = if n == 8 {
+                    crate::hashing::hash_keys8(std::array::from_fn(|i| chunk[i].1))
+                } else {
+                    std::array::from_fn(|i| hash_key(chunk[i % n].1))
+                };
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, &(tenant, key, size))| (index[&tenant], key, size, hashes[i]))
             }),
             threads,
             &cfg,
@@ -545,7 +555,7 @@ mod tests {
         for &(t, k, s) in &refs {
             seq.access(t, k, s);
         }
-        for threads in [1usize, 2, 4, 8] {
+        for threads in [1usize, 2, 4, 8, 16] {
             let mut par = FleetArena::new(cfg.clone());
             par.process_parallel(&refs, threads);
             assert_eq!(par.len(), seq.len());

@@ -18,6 +18,19 @@ pub fn hash_key(key: u64) -> u64 {
     mix64(key ^ 0x9E6C_63D0_876A_3F6B)
 }
 
+/// [`hash_key`] over a batch of 8 keys.
+///
+/// The eight mix chains are mutually independent, so a fixed-width batch
+/// lets the compiler unroll and interleave them: while one chain waits on
+/// its multiply, the others issue theirs (instruction-level parallelism the
+/// one-at-a-time router loop can't reach). Bit-identical to eight
+/// [`hash_key`] calls — batching changes scheduling, never values.
+#[inline]
+#[must_use]
+pub fn hash_keys8(keys: [u64; 8]) -> [u64; 8] {
+    keys.map(hash_key)
+}
+
 /// A `BuildHasher` for `u64` keys used by the stack's key→position index.
 ///
 /// `write_u64` applies [`hash_key`]; other write methods fall back to a
@@ -102,6 +115,17 @@ mod tests {
         for (i, &c) in counts.iter().enumerate() {
             let dev = (c as f64 - expected).abs() / expected;
             assert!(dev < 0.05, "residue {i} deviates by {dev}");
+        }
+    }
+
+    #[test]
+    fn hash_keys8_matches_scalar() {
+        for base in [0u64, 17, 1 << 40, u64::MAX - 7] {
+            let keys = std::array::from_fn(|i| base.wrapping_add(i as u64));
+            let batch = hash_keys8(keys);
+            for (i, &k) in keys.iter().enumerate() {
+                assert_eq!(batch[i], hash_key(k));
+            }
         }
     }
 

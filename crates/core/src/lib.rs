@@ -43,6 +43,7 @@
 //! * [`fleet`] — multi-tenant arena: thousands of per-tenant models in one
 //!   process, with per-tenant metrics rows and MRC exposition.
 //! * [`pipeline`] — streaming route-once batched router/worker pipeline.
+//! * [`ring`] — the lock-free SPSC ring transport under the pipeline.
 //! * [`metrics`] — lock-free counters/histograms observing the pipeline.
 //! * [`obs`] — flight-recorder span tracing (Chrome trace export) and the
 //!   windowed stats timeline.
@@ -77,6 +78,7 @@ pub mod partition;
 pub mod persist;
 pub mod pipeline;
 pub mod prob;
+pub mod ring;
 pub mod rng;
 pub mod sampling;
 pub mod sharded;

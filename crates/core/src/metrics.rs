@@ -414,6 +414,17 @@ pub struct MetricsRegistry {
     pub pipeline_router_busy_ns: Counter,
     /// Total nanoseconds workers spent draining batches into shard models.
     pub pipeline_worker_busy_ns: Counter,
+    /// Times the router exhausted its spin budget and parked on a full
+    /// worker ring (`crate::ring`) — sustained back-pressure, the SPSC
+    /// analogue of a blocking channel send. Near zero in a healthy run.
+    pub pipeline_router_parks: Counter,
+    /// Times a worker parked on an empty batch ring (starvation: the
+    /// router could not keep that worker fed).
+    pub pipeline_worker_parks: Counter,
+    /// Completed slot-buffer cycles summed over the router→worker rings
+    /// (`pushes / capacity` per ring) — how hard the bounded transport was
+    /// reused, the steady-state counterpart of allocating queue memory.
+    pub pipeline_ring_wraps: Counter,
     /// Shadow-vs-KRR comparisons performed by the accuracy watchdog.
     pub watchdog_checks: Counter,
     /// References admitted into the watchdog's shadow Olken profiler.
@@ -448,6 +459,7 @@ pub struct MetricsRegistry {
     pub heap_peak_bytes: Gauge,
     shard_accesses: OnceLock<Box<[Counter]>>,
     queue_hwm: OnceLock<Box<[AtomicU64]>>,
+    ring_hwm: OnceLock<Box<[AtomicU64]>>,
     shard_resident: OnceLock<Box<[AtomicU64]>>,
     shard_depth: OnceLock<Box<[AtomicU64]>>,
     // Per-tenant rows, replaced wholesale by a fleet arena at its publish
@@ -515,6 +527,38 @@ impl MetricsRegistry {
     #[must_use]
     pub fn queue_depth_hwm(&self) -> Vec<u64> {
         self.queue_hwm
+            .get()
+            .map(|s| s.iter().map(|a| a.load(Ordering::Relaxed)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Allocates `n` per-*worker* ring-occupancy high-water marks (one per
+    /// router→worker SPSC ring, unlike the per-*shard* queue gauges).
+    /// First caller wins, like [`MetricsRegistry::init_shards`].
+    pub fn init_rings(&self, n: usize) {
+        let _ = self
+            .ring_hwm
+            .set((0..n).map(|_| AtomicU64::new(0)).collect());
+    }
+
+    /// Raises worker `w`'s ring-occupancy high-water mark to `depth` if it
+    /// is a new maximum (no-op before [`MetricsRegistry::init_rings`]).
+    /// The pipeline publishes each ring's producer-side observation when a
+    /// run finishes.
+    #[inline]
+    pub fn record_ring_depth(&self, w: usize, depth: u64) {
+        if let Some(hwm) = self.ring_hwm.get() {
+            if let Some(a) = hwm.get(w) {
+                a.fetch_max(depth, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Per-worker ring-occupancy high-water marks (empty before
+    /// `init_rings`).
+    #[must_use]
+    pub fn ring_depth_hwm(&self) -> Vec<u64> {
+        self.ring_hwm
             .get()
             .map(|s| s.iter().map(|a| a.load(Ordering::Relaxed)).collect())
             .unwrap_or_default()
@@ -654,7 +698,11 @@ impl MetricsRegistry {
             pipeline_keys_hashed: self.pipeline_keys_hashed.get(),
             pipeline_router_busy_ns: self.pipeline_router_busy_ns.get(),
             pipeline_worker_busy_ns: self.pipeline_worker_busy_ns.get(),
+            pipeline_router_parks: self.pipeline_router_parks.get(),
+            pipeline_worker_parks: self.pipeline_worker_parks.get(),
+            pipeline_ring_wraps: self.pipeline_ring_wraps.get(),
             pipeline_queue_hwm: self.queue_depth_hwm(),
+            pipeline_ring_hwm: self.ring_depth_hwm(),
             watchdog_checks: self.watchdog_checks.get(),
             watchdog_shadow_refs: self.watchdog_shadow_refs.get(),
             watchdog_drift_events: self.watchdog_drift_events.get(),
@@ -707,6 +755,15 @@ impl MetricsRegistry {
             .add(snap.pipeline_router_busy_ns);
         self.pipeline_worker_busy_ns
             .add(snap.pipeline_worker_busy_ns);
+        self.pipeline_router_parks.add(snap.pipeline_router_parks);
+        self.pipeline_worker_parks.add(snap.pipeline_worker_parks);
+        self.pipeline_ring_wraps.add(snap.pipeline_ring_wraps);
+        if !snap.pipeline_ring_hwm.is_empty() {
+            self.init_rings(snap.pipeline_ring_hwm.len());
+            for (w, &d) in snap.pipeline_ring_hwm.iter().enumerate() {
+                self.record_ring_depth(w, d);
+            }
+        }
         self.watchdog_checks.add(snap.watchdog_checks);
         self.watchdog_shadow_refs.add(snap.watchdog_shadow_refs);
         self.watchdog_drift_events.add(snap.watchdog_drift_events);
@@ -782,8 +839,17 @@ pub struct MetricsSnapshot {
     pub pipeline_router_busy_ns: u64,
     /// See [`MetricsRegistry::pipeline_worker_busy_ns`].
     pub pipeline_worker_busy_ns: u64,
+    /// See [`MetricsRegistry::pipeline_router_parks`].
+    pub pipeline_router_parks: u64,
+    /// See [`MetricsRegistry::pipeline_worker_parks`].
+    pub pipeline_worker_parks: u64,
+    /// See [`MetricsRegistry::pipeline_ring_wraps`].
+    pub pipeline_ring_wraps: u64,
     /// Per-shard queue-depth high-water marks (empty when unsharded).
     pub pipeline_queue_hwm: Vec<u64>,
+    /// Per-worker ring-occupancy high-water marks (empty before a ring
+    /// pipeline run).
+    pub pipeline_ring_hwm: Vec<u64>,
     /// See [`MetricsRegistry::watchdog_checks`].
     pub watchdog_checks: u64,
     /// See [`MetricsRegistry::watchdog_shadow_refs`].
@@ -962,6 +1028,12 @@ impl MetricsSnapshot {
         s.push_str("\r\n");
         let _ = write!(
             s,
+            "ring_wraps:{}\r\nring_router_parks:{}\r\nring_worker_parks:{}\r\n",
+            self.pipeline_ring_wraps, self.pipeline_router_parks, self.pipeline_worker_parks
+        );
+        list(&mut s, "ring_depth_hwm", &self.pipeline_ring_hwm);
+        let _ = write!(
+            s,
             "# watchdog\r\nchecks:{}\r\nshadow_refs:{}\r\ndrift_events:{}\r\nmae_ppm:{}\r\n",
             self.watchdog_checks,
             self.watchdog_shadow_refs,
@@ -1070,7 +1142,13 @@ impl MetricsSnapshot {
             }
             let _ = write!(s, "{c}");
         }
-        s.push_str("]},");
+        let _ = write!(
+            s,
+            "],\"ring\":{{\"wraps\":{},\"router_parks\":{},\"worker_parks\":{},\"depth_hwm\":[",
+            self.pipeline_ring_wraps, self.pipeline_router_parks, self.pipeline_worker_parks
+        );
+        arr(&mut s, &self.pipeline_ring_hwm);
+        s.push_str("]}},");
         let _ = write!(
             s,
             "\"watchdog\":{{\"checks\":{},\"shadow_refs\":{},\"drift_events\":{},\"mae_ppm\":{}}},",
@@ -1176,6 +1254,15 @@ impl MetricsSnapshot {
                 .put_u64(t.mae_ppm)
                 .put_u64(u64::from(t.shadowed));
         }
+        // Ring-transport counters: appended at the end of the METR payload
+        // (the grow-at-end convention this section has always used).
+        enc.put_u64(self.pipeline_router_parks)
+            .put_u64(self.pipeline_worker_parks)
+            .put_u64(self.pipeline_ring_wraps);
+        enc.put_u64(self.pipeline_ring_hwm.len() as u64);
+        for &d in &self.pipeline_ring_hwm {
+            enc.put_u64(d);
+        }
     }
 
     /// Reconstructs a snapshot from a [`MetricsSnapshot::save_state`]
@@ -1263,6 +1350,18 @@ impl MetricsSnapshot {
                         mae_ppm: dec.u64()?,
                         shadowed: dec.u64()? != 0,
                     });
+                }
+                v
+            },
+            // Struct-literal fields decode in written order, so these read
+            // the ring counters appended at the payload's end.
+            pipeline_router_parks: dec.u64()?,
+            pipeline_worker_parks: dec.u64()?,
+            pipeline_ring_wraps: dec.u64()?,
+            pipeline_ring_hwm: {
+                let mut v = Vec::new();
+                for _ in 0..dec.u64()? {
+                    v.push(dec.u64()?);
                 }
                 v
             },
@@ -1450,6 +1549,11 @@ mod tests {
         reg.set_shard_resident(1, 9);
         reg.record_shard_depth(1, 33);
         reg.footprint_total_bytes.set(4096);
+        reg.pipeline_router_parks.add(2);
+        reg.pipeline_worker_parks.add(6);
+        reg.pipeline_ring_wraps.add(11);
+        reg.init_rings(2);
+        reg.record_ring_depth(1, 8);
         let snap = reg.snapshot();
 
         let mut enc = crate::checkpoint::Enc::new();
@@ -1473,6 +1577,32 @@ mod tests {
         assert_eq!(after.shard_resident, vec![0, 9, 0]);
         assert_eq!(after.shard_depth_hwm, vec![0, 33, 0]);
         assert_eq!(after.footprint_total_bytes, 4096);
+        assert_eq!(after.pipeline_router_parks, 2);
+        assert_eq!(after.pipeline_worker_parks, 6);
+        assert_eq!(after.pipeline_ring_wraps, 11);
+        assert_eq!(after.pipeline_ring_hwm, vec![0, 8]);
+    }
+
+    #[test]
+    fn ring_depth_high_water_marks() {
+        let reg = MetricsRegistry::new();
+        reg.record_ring_depth(0, 5); // no-op before init
+        assert!(reg.ring_depth_hwm().is_empty());
+        reg.init_rings(2);
+        reg.init_rings(7); // ignored: first caller wins
+        reg.record_ring_depth(0, 3);
+        reg.record_ring_depth(0, 9);
+        reg.record_ring_depth(0, 4); // below the mark: ignored
+        reg.record_ring_depth(5, 1); // out of range: ignored
+        assert_eq!(reg.ring_depth_hwm(), vec![9, 0]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.pipeline_ring_hwm, vec![9, 0]);
+        let info = snap.render_info();
+        assert!(info.contains("ring_depth_hwm:9,0"));
+        let json = snap.to_json();
+        assert!(json.contains(
+            "\"ring\":{\"wraps\":0,\"router_parks\":0,\"worker_parks\":0,\"depth_hwm\":[9,0]}"
+        ));
     }
 
     #[test]

@@ -248,11 +248,17 @@ impl KrrModel {
         } else {
             SpatialFilter::with_rate(config.sampling_rate)
         };
-        let stack = KrrStack::new(config.effective_k(), config.updater, config.seed);
+        let mut stack = KrrStack::new(config.effective_k(), config.updater, config.seed);
         let sizes = match config.size_mode {
             SizeMode::Uniform => None,
             SizeMode::ByteLevel { base } => Some(SizeArray::new(base)),
         };
+        // Only the sizeArray reads per-chain pre-update sizes; skip
+        // gathering them in uniform mode. Until metrics or a recorder is
+        // attached nothing observes the chain itself either, so the stack
+        // may use the fused backward update.
+        stack.set_record_chain_sizes(sizes.is_some());
+        stack.set_record_chain(sizes.is_some());
         let hist = SdHistogram::new(config.bin_width);
         Self {
             config,
@@ -271,6 +277,8 @@ impl KrrModel {
     /// Attaches a metrics registry; subsequent accesses record into it.
     /// The default (detached) hot path costs one branch.
     pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        // The chain_len metric observes chains; leave the fused path.
+        self.stack.set_record_chain(true);
         self.metrics = Some(metrics);
     }
 
@@ -288,12 +296,17 @@ impl KrrModel {
     /// bit-identical with or without a recorder. The default (detached)
     /// hot path costs one branch.
     pub fn set_recorder(&mut self, recorder: ThreadRecorder) {
+        // Stack-update spans carry the chain length; leave the fused path.
+        self.stack.set_record_chain(true);
         self.recorder = Some(recorder);
     }
 
     /// Detaches and returns the flight-recorder handle, if any.
     pub fn take_recorder(&mut self) -> Option<ThreadRecorder> {
-        self.recorder.take()
+        let rec = self.recorder.take();
+        self.stack
+            .set_record_chain(self.metrics.is_some() || self.sizes.is_some());
+        rec
     }
 
     /// The configuration in use.
@@ -364,6 +377,68 @@ impl KrrModel {
         }
     }
 
+    /// Offers a batch of `(key, size, key_hash)` references — the batched
+    /// pipeline hot path. Bit-identical to calling
+    /// [`KrrModel::access_hashed`] per element in order: batching only
+    /// restructures the admission filtering (8-wide branchless masks via
+    /// [`SpatialFilter::admits_hashed8`], skipped entirely at rate 1.0),
+    /// while stack accesses — the only RNG consumers — still happen one at
+    /// a time in reference order. Falls back to the per-reference path
+    /// whenever metrics, tracing, or byte-level mode need per-access
+    /// bookkeeping.
+    pub fn access_batch(&mut self, refs: &[(u64, u32, u64)]) {
+        if self.metrics.is_some() || self.recorder.is_some() || self.sizes.is_some() {
+            for &(key, size, key_hash) in refs {
+                self.access_hashed(key, size, key_hash);
+            }
+            return;
+        }
+        self.processed += refs.len() as u64;
+        if self.filter.admits_all() {
+            self.sampled += refs.len() as u64;
+            for &(key, _, _) in refs {
+                self.touch_uniform(key);
+            }
+            return;
+        }
+        let mut chunks = refs.chunks_exact(8);
+        for chunk in &mut chunks {
+            let hashes: [u64; 8] = std::array::from_fn(|i| chunk[i].2);
+            let mut mask = self.filter.admits_hashed8(&hashes);
+            self.sampled += u64::from(mask.count_ones());
+            // Drain set bits lowest-first: admitted references hit the
+            // stack in their original order, preserving the RNG stream.
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.touch_uniform(chunk[i].0);
+            }
+        }
+        for &(key, _, key_hash) in chunks.remainder() {
+            if self.filter.admits_hashed(key_hash) {
+                self.sampled += 1;
+                self.touch_uniform(key);
+            }
+        }
+    }
+
+    /// One admitted uniform-size stack access: the shared tail of the
+    /// scalar and batched paths.
+    #[inline]
+    fn touch_uniform(&mut self, key: u64) -> Outcome {
+        match self.stack.access(key, 1) {
+            crate::stack::Access::Hit { phi } => {
+                self.deepest_phi = self.deepest_phi.max(phi);
+                self.hist.record(phi);
+                Outcome::Hit
+            }
+            crate::stack::Access::Cold { .. } => {
+                self.hist.record_cold();
+                Outcome::Cold
+            }
+        }
+    }
+
     fn access_inner(&mut self, key: u64, size: u32, key_hash: u64) -> Outcome {
         self.processed += 1;
         if !self.filter.admits_hashed(key_hash) {
@@ -372,17 +447,7 @@ impl KrrModel {
         self.sampled += 1;
         let size = size.max(1);
         match self.sizes {
-            None => match self.stack.access(key, 1) {
-                crate::stack::Access::Hit { phi } => {
-                    self.deepest_phi = self.deepest_phi.max(phi);
-                    self.hist.record(phi);
-                    Outcome::Hit
-                }
-                crate::stack::Access::Cold { .. } => {
-                    self.hist.record_cold();
-                    Outcome::Cold
-                }
-            },
+            None => self.touch_uniform(key),
             Some(ref mut sa) => {
                 match self.stack.position_of(key) {
                     Some(phi) => {
@@ -513,11 +578,13 @@ impl KrrModel {
     pub fn load_state(dec: &mut Dec<'_>) -> std::io::Result<Self> {
         let config = KrrConfig::load_state(dec)?;
         let filter = SpatialFilter::new(dec.u64()?, dec.u64()?);
-        let stack = KrrStack::load_state(dec)?;
+        let mut stack = KrrStack::load_state(dec)?;
         let sizes = match dec.u8()? {
             0 => None,
             _ => Some(SizeArray::load_state(dec)?),
         };
+        stack.set_record_chain_sizes(sizes.is_some());
+        stack.set_record_chain(sizes.is_some());
         let hist = SdHistogram::load_state(dec)?;
         let processed = dec.u64()?;
         let sampled = dec.u64()?;
@@ -678,6 +745,32 @@ mod tests {
             }
             assert_eq!(a.stats(), b.stats());
             assert_eq!(a.mrc().points(), b.mrc().points());
+        }
+    }
+
+    #[test]
+    fn access_batch_matches_scalar_path() {
+        // Both with and without spatial sampling, through ragged chunk
+        // sizes (so the 8-wide body and the scalar remainder both run).
+        for rate in [1.0, 0.3, 0.01] {
+            let cfg = KrrConfig::new(5.0).sampling(rate).seed(9);
+            let mut a = KrrModel::new(cfg.clone());
+            let mut b = KrrModel::new(cfg);
+            let mut rng = Xoshiro256::seed_from_u64(8);
+            let refs: Vec<(u64, u32, u64)> = (0..10_013)
+                .map(|_| {
+                    let key = rng.below(700);
+                    (key, 1u32, crate::hashing::hash_key(key))
+                })
+                .collect();
+            for &(key, size, hash) in &refs {
+                a.access_hashed(key, size, hash);
+            }
+            for chunk in refs.chunks(97) {
+                b.access_batch(chunk);
+            }
+            assert_eq!(a.stats(), b.stats(), "rate {rate}");
+            assert_eq!(a.mrc().points(), b.mrc().points(), "rate {rate}");
         }
     }
 

@@ -1,4 +1,5 @@
-//! Streaming, route-once, batched profiling pipeline.
+//! Streaming, route-once, batched profiling pipeline over lock-free SPSC
+//! rings.
 //!
 //! The naive way to parallelize sharded profiling — every worker scans the
 //! whole trace and keeps its shards' keys — does `T·N` routing work for `T`
@@ -6,61 +7,85 @@
 //! memory. This module replaces it with a router/worker topology:
 //!
 //! ```text
-//!             ┌──────────┐  bounded channel   ┌──────────┐
-//!  refs ────► │  router  │ ─── Batch(s=0,3) ─►│ worker 0 │ shards {0,3}
-//!  (any       │ hash once│ ─── Batch(s=1,4) ─►│ worker 1 │ shards {1,4}
-//!  iterator)  │  batch   │ ─── Batch(s=2,5) ─►│ worker 2 │ shards {2,5}
-//!             └──────────┘ ◄── recycled Vecs ─┴──────────┘
+//!             ┌──────────┐   SPSC batch rings   ┌──────────┐
+//!  refs ────► │  router  │ ══ Batch(s=0,3) ════►│ worker 0 │ shards {0,3}
+//!  (any       │ hash 8   │ ══ Batch(s=1,4) ════►│ worker 1 │ shards {1,4}
+//!  iterator)  │ per call │ ══ Batch(s=2,5) ════►│ worker 2 │ shards {2,5}
+//!             │  batch   │ ◄═ SPSC freelist ════╡ (batched │
+//!             └──────────┘    (recycled Vecs)   │  access) │
+//!                                               └────┬─────┘
+//!                                      sharded merge ▼ (ShardedKrr::mrc,
+//!                                       per-shard histograms — the router
+//!                                       never participates or blocks)
 //! ```
 //!
 //! * **Route once.** The router computes `hash_key(key)` exactly once per
-//!   reference; the shard index comes from the hash's high bits and the
-//!   spatial filter later consumes its low bits, so the hash rides along in
-//!   the batch and no stage ever re-hashes. Total hash work is `N`, not
-//!   `T·N`.
+//!   reference — eight at a time via [`crate::hashing::hash_keys8`] so the
+//!   independent mix chains overlap in the pipeline; the shard index comes
+//!   from the hash's high bits and the spatial filter later consumes its
+//!   low bits, so the hash rides along in the batch and no stage ever
+//!   re-hashes. Total hash work is `N`, not `T·N`.
 //! * **Batching.** References are accumulated into per-shard buffers of
 //!   [`PipelineConfig::batch_size`] entries (default ~4K), amortizing
-//!   channel synchronization over thousands of references — the lever
+//!   transport synchronization over thousands of references — the lever
 //!   Inoue's multi-step LRU exploits for batched cache replacement.
-//! * **Bounded channels + recycling.** Workers receive batches over
-//!   `std::sync::mpsc::sync_channel` queues of
-//!   [`PipelineConfig::queue_depth`] batches; a full queue stalls the
-//!   router (recorded in metrics) instead of ballooning memory. Drained
-//!   buffers return to the router over an unbounded recycle channel, so the
-//!   steady state allocates nothing.
+//!   Workers drain a batch through [`KrrModel::access_batch`], which
+//!   filters admission 8-wide and branchlessly.
+//! * **Lock-free bounded transport + recycling.** Each worker is fed by
+//!   its own single-producer/single-consumer ring ([`crate::ring`]) of
+//!   [`PipelineConfig::queue_depth`] batch slots (rounded up to a power of
+//!   two): pushes and pops are one store plus a usually-core-local load,
+//!   no mutex, no syscall. A full ring stalls the router (spin, then park
+//!   — recorded in metrics) instead of ballooning memory. Drained buffers
+//!   return over a per-worker SPSC freelist ring; both freelist ends use
+//!   only the non-blocking operations, so recycling can never block the
+//!   router — at worst a buffer is dropped and reallocated.
 //! * **Streaming.** The input is any `Iterator<Item = (u64, u32)>`; traces
 //!   never need to be materialized as a slice, so multi-GB files profile in
 //!   constant memory.
 //!
-//! **Determinism.** Shard `s` is owned by exactly worker `s % threads`, the
-//! router emits a shard's batches in trace order, and the owning worker
-//! drains its FIFO channel in order — so every shard model observes exactly
-//! the subsequence it would see on the sequential path, in the same order.
-//! Results are bit-identical to [`crate::ShardedKrr::access`] loops at any
-//! thread count (tested in `sharded` and the `pipeline` integration suite).
+//! # Invariant: bit-identical MRCs at any thread count
+//!
+//! Shard `s` is owned by exactly worker `s % threads`, the router emits a
+//! shard's batches in trace order, and the owning worker drains its ring in
+//! FIFO order — so every shard model observes exactly the subsequence it
+//! would see on the sequential path, in the same order, and consumes its
+//! RNG stream identically. Batching never reorders admitted references
+//! ([`KrrModel::access_batch`] documents its half of the contract).
+//! Results are therefore bit-identical to [`crate::ShardedKrr::access`]
+//! loops at **any** thread count — not approximately equal: the same
+//! histogram bins, the same MRC bytes. Enforced by the `sharded`,
+//! `pipeline`, and `fleet` suites at 1/2/4/8/16 threads and by the
+//! `benches/pipeline.rs` golden comparison.
+//!
+//! The ring transport's own safety argument (Acquire/Release publication,
+//! single-writer rule) lives in [`crate::ring`]'s module docs.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::hashing::hash_key;
+use crate::hashing::{hash_key, hash_keys8};
 use crate::metrics::MetricsRegistry;
 use crate::model::KrrModel;
 use crate::obs::{FlightRecorder, Phase};
+use crate::ring::{ring, Consumer, Producer};
 use crate::sharded::shard_of_hash;
 
 /// Tuning knobs for the streaming pipeline.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
-    /// References per batch (default 4096). Larger batches amortize channel
-    /// overhead further but add latency before a shard sees its keys and
-    /// grow resident buffer memory (`shards × batch_size × 24 B` plus
-    /// whatever is in flight).
+    /// References per batch (default 4096). Larger batches amortize
+    /// transport overhead further but add latency before a shard sees its
+    /// keys and grow resident buffer memory (`shards × batch_size × 24 B`
+    /// plus whatever is in flight).
     pub batch_size: usize,
-    /// Bound of each worker's batch queue, in batches (default 4). When a
-    /// queue is full the router blocks — back-pressure instead of unbounded
-    /// buffering; each such event is recorded as a pipeline stall.
+    /// Bound of each worker's batch ring, in batches (default 4; rounded
+    /// up to a power of two, minimum 2, by the ring allocator). When a
+    /// ring is full the router spins then parks — back-pressure instead of
+    /// unbounded buffering; each such event is recorded as a pipeline
+    /// stall.
     pub queue_depth: usize,
 }
 
@@ -78,13 +103,13 @@ impl PipelineConfig {
     ///
     /// The defaults (4096 × 4) are sized for small worker pools. At 8+
     /// workers the single router becomes the bottleneck: with only 4
-    /// batches of queue credit per worker, the fan-out drains faster than
-    /// one thread can refill it, so the router spends its time blocked in
-    /// `send` (visible as `pipeline.stalls`) and throughput flatlines.
-    /// Doubling the batch (halving channel hand-offs per reference) and
-    /// quadrupling the queue bound (absorbing worker speed variance)
-    /// keeps the router ahead; memory cost is still only
-    /// `shards × 8192 × 24 B` of buffers.
+    /// batches of ring credit per worker, the fan-out drains faster than
+    /// one thread can refill it, so the router spends its time stalled
+    /// (visible as `pipeline.stalls`) and throughput flatlines. Doubling
+    /// the batch (halving ring hand-offs per reference) and quadrupling
+    /// the ring bound (absorbing worker speed variance) keeps the router
+    /// ahead; memory cost is still only `shards × 8192 × 24 B` of
+    /// buffers. See `docs/PERFORMANCE.md` for the full knob guide.
     #[must_use]
     pub fn for_threads(threads: usize) -> Self {
         if threads >= 8 {
@@ -109,11 +134,74 @@ impl PipelineConfig {
     }
 }
 
+/// One `(key, size, hash)` reference as carried between router and
+/// workers.
+type RoutedRef = (u64, u32, u64);
+
 /// One routed batch: references (with their precomputed key hashes) all
 /// belonging to `shard`.
 struct Batch {
     shard: usize,
-    refs: Vec<(u64, u32, u64)>,
+    refs: Vec<RoutedRef>,
+}
+
+/// Iterator adapter that hashes and routes in blocks of 8: pulls up to 8
+/// `(key, size)` pairs, runs [`hash_keys8`] over the full blocks (scalar
+/// [`hash_key`] on the final partial block — same values either way), and
+/// yields `(shard, key, size, hash)` in input order.
+struct Route8<I> {
+    inner: I,
+    n_shards: usize,
+    buf: [(usize, u64, u32, u64); 8],
+    len: usize,
+    pos: usize,
+}
+
+impl<I: Iterator<Item = (u64, u32)>> Iterator for Route8<I> {
+    type Item = (usize, u64, u32, u64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(usize, u64, u32, u64)> {
+        if self.pos == self.len {
+            let mut keys = [0u64; 8];
+            let mut sizes = [0u32; 8];
+            let mut n = 0;
+            while n < 8 {
+                match self.inner.next() {
+                    Some((k, s)) => {
+                        keys[n] = k;
+                        sizes[n] = s;
+                        n += 1;
+                    }
+                    None => break,
+                }
+            }
+            if n == 0 {
+                return None;
+            }
+            if n == 8 {
+                let hashes = hash_keys8(keys);
+                for i in 0..8 {
+                    self.buf[i] = (
+                        shard_of_hash(hashes[i], self.n_shards),
+                        keys[i],
+                        sizes[i],
+                        hashes[i],
+                    );
+                }
+            } else {
+                for i in 0..n {
+                    let h = hash_key(keys[i]);
+                    self.buf[i] = (shard_of_hash(h, self.n_shards), keys[i], sizes[i], h);
+                }
+            }
+            self.len = n;
+            self.pos = 0;
+        }
+        let item = self.buf[self.pos];
+        self.pos += 1;
+        Some(item)
+    }
 }
 
 /// Drives `refs` through `models` with `threads` workers plus the calling
@@ -134,10 +222,13 @@ where
     let n_shards = models.len();
     run_routed(
         models,
-        refs.map(|(key, size)| {
-            let h = hash_key(key);
-            (shard_of_hash(h, n_shards), key, size, h)
-        }),
+        Route8 {
+            inner: refs,
+            n_shards,
+            buf: [(0, 0, 0, 0); 8],
+            len: 0,
+            pos: 0,
+        },
         threads,
         cfg,
         metrics,
@@ -153,8 +244,224 @@ where
 /// `hash_key(key)` (computed exactly once per reference, counted as
 /// `pipeline.keys_hashed`), slot `s` is owned by worker `s % threads`, and
 /// per-slot FIFO order makes results bit-identical to a sequential loop at
-/// any thread count.
+/// any thread count (the module-level invariant).
 pub(crate) fn run_routed<I>(
+    models: Vec<KrrModel>,
+    items: I,
+    threads: usize,
+    cfg: &PipelineConfig,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    recorder: Option<&Arc<FlightRecorder>>,
+) -> Vec<KrrModel>
+where
+    I: Iterator<Item = (usize, u64, u32, u64)>,
+{
+    let n_shards = models.len();
+    let threads = threads.clamp(1, n_shards);
+    let batch_size = cfg.batch_size.max(1);
+    let ring_slots = cfg.queue_depth.max(1);
+    if let Some(reg) = metrics {
+        reg.footprint_pipeline_bytes
+            .set(cfg.buffer_bytes(n_shards) as u64);
+        reg.init_rings(threads);
+    }
+
+    // Worker w owns shards {s | s % threads == w}; shard s sits at local
+    // slot s / threads in its group, so workers route batches to models in
+    // O(1) without a scan.
+    let mut groups: Vec<Vec<KrrModel>> = (0..threads).map(|_| Vec::new()).collect();
+    for (s, m) in models.into_iter().enumerate() {
+        groups[s % threads].push(m);
+    }
+
+    // Batches in flight per shard, for the queue-depth high-water metric.
+    let depth: Vec<AtomicU64> = (0..n_shards).map(|_| AtomicU64::new(0)).collect();
+    let depth = &depth;
+
+    // Per worker: a batch ring (router is producer) and a freelist ring
+    // carrying drained buffers back (worker is producer). The freelist is
+    // sized 2× the batch ring so a worker can return every in-flight
+    // buffer plus a margin without dropping any.
+    let mut batch_txs: Vec<Producer<Batch>> = Vec::with_capacity(threads);
+    let mut batch_rxs: Vec<Option<Consumer<Batch>>> = Vec::with_capacity(threads);
+    let mut free_txs: Vec<Option<Producer<Vec<RoutedRef>>>> = Vec::with_capacity(threads);
+    let mut free_rxs: Vec<Consumer<Vec<RoutedRef>>> = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let (tx, rx) = ring::<Batch>(ring_slots);
+        batch_txs.push(tx);
+        batch_rxs.push(Some(rx));
+        let (ftx, frx) = ring::<Vec<RoutedRef>>(ring_slots * 2);
+        free_txs.push(Some(ftx));
+        free_rxs.push(frx);
+    }
+
+    let mut regrouped: Vec<Option<Vec<KrrModel>>> = (0..threads).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .zip(batch_rxs.iter_mut())
+            .zip(free_txs.iter_mut())
+            .enumerate()
+            .map(|(w, ((mut group, rx), ftx))| {
+                let mut rx = rx.take().expect("consumer moved once");
+                let mut ftx = ftx.take().expect("freelist producer moved once");
+                let metrics = metrics.cloned();
+                let rec = recorder.map(|r| r.register(&format!("worker-{w}")));
+                scope.spawn(move || {
+                    let mut busy_ns = 0u64;
+                    while let Some(batch) = rx.pop() {
+                        let t0 = Instant::now();
+                        let r0 = rec.as_ref().map(|r| r.now_ns());
+                        let model = &mut group[batch.shard / threads];
+                        model.access_batch(&batch.refs);
+                        if let (Some(r), Some(r0)) = (&rec, r0) {
+                            r.record_since(Phase::WorkerBatch, r0, batch.refs.len() as u64);
+                        }
+                        depth[batch.shard].fetch_sub(1, Ordering::Relaxed);
+                        if let Some(reg) = &metrics {
+                            reg.shard_access_n(batch.shard, batch.refs.len() as u64);
+                            reg.set_shard_resident(batch.shard, model.stats().distinct);
+                            reg.record_shard_depth(batch.shard, model.deepest_hit());
+                        }
+                        busy_ns += t0.elapsed().as_nanos() as u64;
+                        let mut buf = batch.refs;
+                        buf.clear();
+                        // Non-blocking recycle: a full freelist just drops
+                        // the buffer (the router allocates a fresh one).
+                        let _ = ftx.try_push(buf);
+                    }
+                    if let Some(reg) = &metrics {
+                        reg.pipeline_worker_busy_ns.add(busy_ns);
+                    }
+                    group
+                })
+            })
+            .collect();
+
+        // ---- Router (this thread) ----
+        let t_router = Instant::now();
+        let router_rec = recorder.map(|r| r.register("router"));
+        // Buffers start empty and grow on demand: a fleet arena routes over
+        // thousands of slots, most of which may never see traffic, so
+        // reserving `batch_size` entries per slot up front would waste
+        // memory. Hot slots amortize to full capacity via recycling.
+        let mut buffers: Vec<Vec<RoutedRef>> = (0..n_shards).map(|_| Vec::new()).collect();
+        let mut keys_hashed = 0u64;
+        let mut batches = 0u64;
+        let mut stalls = 0u64;
+        let mut dispatch = |s: usize, refs: Vec<RoutedRef>| {
+            let d = depth[s].fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(reg) = metrics {
+                reg.record_queue_depth(s, d);
+            }
+            batches += 1;
+            let b0 = router_rec.as_ref().map(|r| r.now_ns());
+            let tx = &mut batch_txs[s % threads];
+            if let Err(b) = tx.try_push(Batch { shard: s, refs }) {
+                // Ring full even after refreshing the cached head: the
+                // worker is behind. Spin/park until it drains one.
+                stalls += 1;
+                let s0 = router_rec.as_ref().map(|r| r.now_ns());
+                tx.push(b);
+                if let (Some(r), Some(s0)) = (&router_rec, s0) {
+                    r.record_since(Phase::RouterStall, s0, s as u64);
+                }
+            }
+            if let (Some(r), Some(b0)) = (&router_rec, b0) {
+                r.record_since(Phase::RouterBatch, b0, s as u64);
+            }
+        };
+        for (s, key, size, h) in items {
+            keys_hashed += 1;
+            buffers[s].push((key, size, h));
+            if buffers[s].len() >= batch_size {
+                let fresh = free_rxs[s % threads]
+                    .try_pop()
+                    .unwrap_or_else(|| Vec::with_capacity(batch_size));
+                let full = std::mem::replace(&mut buffers[s], fresh);
+                dispatch(s, full);
+            }
+        }
+        for (s, buf) in buffers.into_iter().enumerate() {
+            if !buf.is_empty() {
+                dispatch(s, buf);
+            }
+        }
+        // `dispatch` borrowed the producers; its last call is above, so the
+        // borrow has ended and the rings can close: workers drain the
+        // remaining batches and exit their pop loops.
+        for tx in &mut batch_txs {
+            tx.close();
+        }
+        if let Some(reg) = metrics {
+            reg.pipeline_keys_hashed.add(keys_hashed);
+            reg.pipeline_batches.add(batches);
+            reg.pipeline_stalls.add(stalls);
+            reg.pipeline_router_busy_ns
+                .add(t_router.elapsed().as_nanos() as u64);
+        }
+
+        for (w, h) in handles.into_iter().enumerate() {
+            regrouped[w] = Some(h.join().expect("pipeline worker panicked"));
+        }
+    });
+
+    // Producers outlive the workers, so ring statistics are read after the
+    // join — complete, race-free, and free on the hot path.
+    if let Some(reg) = metrics {
+        for (w, tx) in batch_txs.iter().enumerate() {
+            reg.record_ring_depth(w, tx.depth_hwm());
+            reg.pipeline_ring_wraps.add(tx.wraps());
+            reg.pipeline_router_parks.add(tx.producer_parks());
+            reg.pipeline_worker_parks.add(tx.consumer_parks());
+        }
+    }
+
+    // Undo the round-robin grouping: worker w's slot i is shard w + i·T.
+    let mut out: Vec<Option<KrrModel>> = (0..n_shards).map(|_| None).collect();
+    for (w, group) in regrouped.into_iter().enumerate() {
+        for (i, m) in group.expect("worker joined").into_iter().enumerate() {
+            out[w + i * threads] = Some(m);
+        }
+    }
+    out.into_iter()
+        .map(|m| m.expect("every shard returned"))
+        .collect()
+}
+
+/// [`run`] over the PR 6-era `sync_channel` transport — kept as the live
+/// A/B baseline the ring pipeline is benchmarked against
+/// (`benches/pipeline.rs`) and reachable via
+/// [`crate::ShardedKrr::process_stream_channels`]. Same topology, same
+/// bit-identity invariant; only the transport (bounded channels + an
+/// unbounded recycle channel) and the per-reference worker loop differ.
+pub(crate) fn run_channels<I>(
+    models: Vec<KrrModel>,
+    refs: I,
+    threads: usize,
+    cfg: &PipelineConfig,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    recorder: Option<&Arc<FlightRecorder>>,
+) -> Vec<KrrModel>
+where
+    I: Iterator<Item = (u64, u32)>,
+{
+    let n_shards = models.len();
+    run_routed_channels(
+        models,
+        refs.map(|(key, size)| {
+            let h = hash_key(key);
+            (shard_of_hash(h, n_shards), key, size, h)
+        }),
+        threads,
+        cfg,
+        metrics,
+        recorder,
+    )
+}
+
+/// The legacy channel transport behind [`run_channels`]; see there.
+pub(crate) fn run_routed_channels<I>(
     models: Vec<KrrModel>,
     items: I,
     threads: usize,
@@ -174,15 +481,11 @@ where
             .set(cfg.buffer_bytes(n_shards) as u64);
     }
 
-    // Worker w owns shards {s | s % threads == w}; shard s sits at local
-    // slot s / threads in its group, so workers route batches to models in
-    // O(1) without a scan.
     let mut groups: Vec<Vec<KrrModel>> = (0..threads).map(|_| Vec::new()).collect();
     for (s, m) in models.into_iter().enumerate() {
         groups[s % threads].push(m);
     }
 
-    // Batches in flight per shard, for the queue-depth high-water metric.
     let depth: Vec<AtomicU64> = (0..n_shards).map(|_| AtomicU64::new(0)).collect();
     let depth = &depth;
 
@@ -193,7 +496,7 @@ where
         senders.push(tx);
         receivers.push(Some(rx));
     }
-    let (recycle_tx, recycle_rx) = std::sync::mpsc::channel::<Vec<(u64, u32, u64)>>();
+    let (recycle_tx, recycle_rx) = std::sync::mpsc::channel::<Vec<RoutedRef>>();
 
     let mut regrouped: Vec<Option<Vec<KrrModel>>> = (0..threads).map(|_| None).collect();
     std::thread::scope(|scope| {
@@ -212,6 +515,8 @@ where
                         let t0 = Instant::now();
                         let r0 = rec.as_ref().map(|r| r.now_ns());
                         let model = &mut group[batch.shard / threads];
+                        // Per-reference drain: the PR 6 worker loop, kept
+                        // verbatim so the A/B isolates transport + batching.
                         for &(key, size, h) in &batch.refs {
                             model.access_hashed(key, size, h);
                         }
@@ -237,18 +542,13 @@ where
             })
             .collect();
 
-        // ---- Router (this thread) ----
         let t_router = Instant::now();
         let router_rec = recorder.map(|r| r.register("router"));
-        // Buffers start empty and grow on demand: a fleet arena routes over
-        // thousands of slots, most of which may never see traffic, so
-        // reserving `batch_size` entries per slot up front would waste
-        // memory. Hot slots amortize to full capacity via recycling.
-        let mut buffers: Vec<Vec<(u64, u32, u64)>> = (0..n_shards).map(|_| Vec::new()).collect();
+        let mut buffers: Vec<Vec<RoutedRef>> = (0..n_shards).map(|_| Vec::new()).collect();
         let mut keys_hashed = 0u64;
         let mut batches = 0u64;
         let mut stalls = 0u64;
-        let mut dispatch = |s: usize, refs: Vec<(u64, u32, u64)>| {
+        let mut dispatch = |s: usize, refs: Vec<RoutedRef>| {
             let d = depth[s].fetch_add(1, Ordering::Relaxed) + 1;
             if let Some(reg) = metrics {
                 reg.record_queue_depth(s, d);
@@ -290,9 +590,6 @@ where
                 dispatch(s, buf);
             }
         }
-        // `dispatch` borrowed `senders`; its last call is above, so the
-        // borrow has ended and the channels can close: workers drain and
-        // exit.
         drop(senders);
         if let Some(reg) = metrics {
             reg.pipeline_keys_hashed.add(keys_hashed);
@@ -307,7 +604,6 @@ where
         }
     });
 
-    // Undo the round-robin grouping: worker w's slot i is shard w + i·T.
     let mut out: Vec<Option<KrrModel>> = (0..n_shards).map(|_| None).collect();
     for (w, group) in regrouped.into_iter().enumerate() {
         for (i, m) in group.expect("worker joined").into_iter().enumerate() {
@@ -344,7 +640,7 @@ mod tests {
             seq.access(k, s);
         }
         // 16-entry batches over 60K refs exercise buffer recycling and
-        // queue back-pressure heavily.
+        // ring back-pressure heavily (queue_depth 1 -> 2-slot rings).
         let pcfg = PipelineConfig {
             batch_size: 16,
             queue_depth: 1,
@@ -370,5 +666,19 @@ mod tests {
         let mut par = ShardedKrr::new(&cfg, 3);
         par.process_stream_with(refs.iter().copied(), 99, &pcfg);
         assert_eq!(par.mrc().points(), seq.mrc().points());
+    }
+
+    #[test]
+    fn ring_and_channel_transports_agree_bit_for_bit() {
+        let refs = refs(40_000, 3_000, 13);
+        let cfg = KrrConfig::new(5.0).sampling(0.5).seed(6);
+        for threads in [1, 3] {
+            let mut rings = ShardedKrr::new(&cfg, 4);
+            rings.process_stream(refs.iter().copied(), threads);
+            let mut chans = ShardedKrr::new(&cfg, 4);
+            chans.process_stream_channels(refs.iter().copied(), threads);
+            assert_eq!(rings.mrc().points(), chans.mrc().points(), "{threads}t");
+            assert_eq!(rings.stats(), chans.stats(), "{threads}t");
+        }
     }
 }

@@ -1,0 +1,530 @@
+//! Lock-free single-producer/single-consumer rings — the transport under
+//! the streaming pipeline (`crate::pipeline`).
+//!
+//! This generalizes the single-writer ring machinery proven in
+//! [`crate::obs`] (the flight recorder) from "fixed 4-word slots, overwrite
+//! oldest" to "arbitrary `T`, bounded, blocking with back-pressure": the
+//! shape a router→worker queue needs. One [`Producer`] and one [`Consumer`]
+//! share a power-of-two slot buffer; each endpoint owns its position
+//! exclusively, so neither ever issues a compare-and-swap — pushes and pops
+//! are one store plus one (usually cached) load.
+//!
+//! # Memory-ordering contract
+//!
+//! The ring's correctness rests on two Acquire/Release pairs and one
+//! single-writer invariant:
+//!
+//! * **`tail` (publish):** the producer writes the slot *then* stores the
+//!   advanced `tail` with `Release`; the consumer loads `tail` with
+//!   `Acquire` before reading the slot. The pair guarantees the consumer
+//!   observes a fully-written slot — a torn read would require observing a
+//!   `tail` that was published *before* the slot write, which `Release`
+//!   forbids.
+//! * **`head` (reclaim):** the consumer moves the value out of the slot
+//!   *then* stores the advanced `head` with `Release`; the producer loads
+//!   `head` with `Acquire` before reusing the slot. The pair guarantees the
+//!   producer never overwrites a slot still being read.
+//! * **Single-writer invariant:** `tail` is stored by exactly one thread
+//!   (the producer) and `head` by exactly one thread (the consumer). Both
+//!   endpoints take `&mut self` and are not `Clone`, so the type system
+//!   enforces this — it is why plain stores suffice where an MPMC queue
+//!   would need RMWs.
+//!
+//! Each endpoint also keeps a *cached* copy of the opposite position and
+//! only reloads it (the one cross-core Acquire load) when the cache says
+//! the ring looks full/empty — the "cached head/tail" optimization, which
+//! makes the common case entirely core-local.
+//!
+//! # Blocking: spin budget, then park
+//!
+//! [`Producer::push`] and [`Consumer::pop`] spin [`SPIN_BUDGET`] times
+//! before parking the thread. Wakeups are batch-amortized: a push only
+//! unparks the consumer when its parked flag is raised, so a worker that is
+//! keeping up costs the router one relaxed load per batch, not a syscall.
+//! The park itself uses the flag-raise → re-check → `park_timeout` pattern
+//! (with a 1 ms timeout as a belt-and-braces bound on any lost-wakeup
+//! window), with `SeqCst` fences ordering the flag against the position
+//! stores on both sides.
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::Thread;
+use std::time::Duration;
+
+/// Failed `try_push`/`try_pop` attempts before a blocking call parks.
+pub const SPIN_BUDGET: u32 = 256;
+
+/// Upper bound on a single park: even a lost wakeup (impossible under the
+/// fence protocol, but cheap to insure against) costs at most this long.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Pads the head and tail words onto separate cache lines so the
+/// producer's `tail` stores never invalidate the consumer's `head` line
+/// (false sharing is the classic SPSC throughput killer).
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct CachePadded<T>(T);
+
+/// One thread's parking spot. Only ever parked on by a single thread (the
+/// ring's producer or consumer respectively), so a `OnceLock<Thread>` pins
+/// the handle on first use.
+#[derive(Debug, Default)]
+struct WaitCell {
+    /// Raised by the waiter before its final re-check; cleared by whoever
+    /// acts on it. `wake` only syscalls when this is set.
+    parked: AtomicBool,
+    /// Times the owning thread actually parked (diagnostic counter).
+    parks: AtomicU64,
+    thread: OnceLock<Thread>,
+}
+
+impl WaitCell {
+    /// Registers the calling thread and raises the parked flag. The caller
+    /// must re-check the ring state *after* this and either [`Self::park`]
+    /// or [`Self::cancel`]; the `SeqCst` fence orders the flag store before
+    /// that re-check so it cannot race past the peer's position store.
+    fn prepare(&self) {
+        self.thread.get_or_init(std::thread::current);
+        self.parked.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+    }
+
+    /// Withdraws a [`Self::prepare`] whose re-check found progress. A wake
+    /// that already fired just leaves a stale unpark token, which the next
+    /// park consumes harmlessly.
+    fn cancel(&self) {
+        self.parked.store(false, Ordering::SeqCst);
+    }
+
+    /// Parks the calling thread (bounded by [`PARK_TIMEOUT`]).
+    fn park(&self) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        std::thread::park_timeout(PARK_TIMEOUT);
+        self.parked.store(false, Ordering::SeqCst);
+    }
+
+    /// Unparks the waiter iff its flag is raised. The fence pairs with the
+    /// one in [`Self::prepare`]: either the waker sees the flag, or the
+    /// waiter's re-check sees the position store that preceded this call.
+    fn wake(&self) {
+        fence(Ordering::SeqCst);
+        if self.parked.load(Ordering::Relaxed) && self.parked.swap(false, Ordering::SeqCst) {
+            if let Some(t) = self.thread.get() {
+                t.unpark();
+            }
+        }
+    }
+
+    fn parks(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared state. Positions are monotonically increasing counters (slot =
+/// `pos & mask`), so "full" is `tail - head == capacity` and empty is
+/// `tail == head` with no ambiguity at wrap-around.
+#[derive(Debug)]
+struct Inner<T> {
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next position the consumer will pop. Written only by the consumer.
+    head: CachePadded<AtomicUsize>,
+    /// Next position the producer will push. Written only by the producer.
+    tail: CachePadded<AtomicUsize>,
+    closed: AtomicBool,
+    /// Where the consumer parks when the ring is empty.
+    consumer_wait: WaitCell,
+    /// Where the producer parks when the ring is full.
+    producer_wait: WaitCell,
+}
+
+// SAFETY: the single-writer protocol (documented at module level) ensures a
+// slot is accessed by at most one thread at a time; `T: Send` is all that
+// moving values across the ring requires.
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // `&mut self` proves both endpoints are gone, so the positions are
+        // stable and the undrained range [head, tail) holds live values.
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        let mut pos = head;
+        while pos != tail {
+            unsafe { (*self.slots[pos & self.mask].get()).assume_init_drop() };
+            pos = pos.wrapping_add(1);
+        }
+    }
+}
+
+/// Creates a bounded SPSC ring with at least `capacity` slots (rounded up
+/// to a power of two, minimum 2). The endpoints are the only handles; drop
+/// the [`Producer`] (or call [`Producer::close`]) to end the stream.
+#[must_use]
+pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let inner = Arc::new(Inner {
+        mask: cap - 1,
+        slots: (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect(),
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        closed: AtomicBool::new(false),
+        consumer_wait: WaitCell::default(),
+        producer_wait: WaitCell::default(),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+            tail: 0,
+            cached_head: 0,
+            depth_hwm: 0,
+            closed: false,
+        },
+        Consumer {
+            inner,
+            head: 0,
+            cached_tail: 0,
+        },
+    )
+}
+
+/// The write end. Not `Clone` — exactly one thread may push (the
+/// single-writer invariant the memory-ordering contract rests on).
+#[derive(Debug)]
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+    /// Local mirror of `inner.tail` (we are its only writer).
+    tail: usize,
+    cached_head: usize,
+    depth_hwm: usize,
+    closed: bool,
+}
+
+impl<T: Send> Producer<T> {
+    /// Attempts a non-blocking push; returns the value back when the ring
+    /// is full even after refreshing the cached head.
+    pub fn try_push(&mut self, value: T) -> Result<(), T> {
+        let cap = self.inner.mask + 1;
+        if self.tail.wrapping_sub(self.cached_head) == cap {
+            self.cached_head = self.inner.head.0.load(Ordering::Acquire);
+            if self.tail.wrapping_sub(self.cached_head) == cap {
+                return Err(value);
+            }
+        }
+        unsafe { (*self.inner.slots[self.tail & self.inner.mask].get()).write(value) };
+        self.tail = self.tail.wrapping_add(1);
+        self.inner.tail.0.store(self.tail, Ordering::Release);
+        let depth = self.tail.wrapping_sub(self.cached_head);
+        if depth > self.depth_hwm {
+            self.depth_hwm = depth;
+        }
+        self.inner.consumer_wait.wake();
+        Ok(())
+    }
+
+    /// Pushes, spinning [`SPIN_BUDGET`] times and then parking until the
+    /// consumer frees a slot.
+    pub fn push(&mut self, value: T) {
+        let mut value = match self.try_push(value) {
+            Ok(()) => return,
+            Err(v) => v,
+        };
+        let mut spins = 0u32;
+        loop {
+            if spins < SPIN_BUDGET {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                self.inner.producer_wait.prepare();
+                // Final re-check under the raised flag: a pop that raced
+                // past the flag store is caught here instead of lost.
+                match self.try_push(value) {
+                    Ok(()) => {
+                        self.inner.producer_wait.cancel();
+                        return;
+                    }
+                    Err(v) => value = v,
+                }
+                self.inner.producer_wait.park();
+            }
+            match self.try_push(value) {
+                Ok(()) => return,
+                Err(v) => value = v,
+            }
+        }
+    }
+
+    /// Marks the stream finished and wakes the consumer; [`Consumer::pop`]
+    /// returns `None` once the remaining slots drain. Dropping the producer
+    /// closes implicitly.
+    pub fn close(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            self.inner.closed.store(true, Ordering::Release);
+            self.inner.consumer_wait.wake();
+        }
+    }
+
+    /// Slot count (the rounded-up capacity).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.mask + 1
+    }
+
+    /// Total values pushed over the ring's lifetime.
+    #[must_use]
+    pub fn pushes(&self) -> u64 {
+        self.tail as u64
+    }
+
+    /// Times the slot buffer has been fully cycled (`pushes / capacity`).
+    #[must_use]
+    pub fn wraps(&self) -> u64 {
+        (self.tail / (self.inner.mask + 1)) as u64
+    }
+
+    /// Deepest occupancy observed at push time (an upper bound: measured
+    /// against the cached, possibly stale, head).
+    #[must_use]
+    pub fn depth_hwm(&self) -> u64 {
+        self.depth_hwm as u64
+    }
+
+    /// Times this end parked waiting for a free slot (back-pressure).
+    #[must_use]
+    pub fn producer_parks(&self) -> u64 {
+        self.inner.producer_wait.parks()
+    }
+
+    /// Times the consumer end parked waiting for data (starvation).
+    #[must_use]
+    pub fn consumer_parks(&self) -> u64 {
+        self.inner.consumer_wait.parks()
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            self.inner.closed.store(true, Ordering::Release);
+            self.inner.consumer_wait.wake();
+        }
+    }
+}
+
+/// The read end. Not `Clone` — exactly one thread may pop.
+#[derive(Debug)]
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+    /// Local mirror of `inner.head` (we are its only writer).
+    head: usize,
+    cached_tail: usize,
+}
+
+impl<T: Send> Consumer<T> {
+    /// Attempts a non-blocking pop; `None` means the ring is currently
+    /// empty (closed or not — use [`Self::pop`] to distinguish).
+    pub fn try_pop(&mut self) -> Option<T> {
+        if self.head == self.cached_tail {
+            self.cached_tail = self.inner.tail.0.load(Ordering::Acquire);
+            if self.head == self.cached_tail {
+                return None;
+            }
+        }
+        let value =
+            unsafe { (*self.inner.slots[self.head & self.inner.mask].get()).assume_init_read() };
+        self.head = self.head.wrapping_add(1);
+        self.inner.head.0.store(self.head, Ordering::Release);
+        self.inner.producer_wait.wake();
+        Some(value)
+    }
+
+    /// Pops, spinning then parking while the ring is empty. Returns `None`
+    /// only after the producer closed *and* every pushed value has been
+    /// drained — the `closed` flag is checked with `Acquire` so all pushes
+    /// sequenced before the close are visible first.
+    pub fn pop(&mut self) -> Option<T> {
+        if let Some(v) = self.try_pop() {
+            return Some(v);
+        }
+        let mut spins = 0u32;
+        loop {
+            if let Some(v) = self.try_pop() {
+                return Some(v);
+            }
+            if self.inner.closed.load(Ordering::Acquire) {
+                // One last drain: pushes race the close flag, never follow it.
+                return self.try_pop();
+            }
+            if spins < SPIN_BUDGET {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                self.inner.consumer_wait.prepare();
+                if let Some(v) = self.try_pop() {
+                    self.inner.consumer_wait.cancel();
+                    return Some(v);
+                }
+                if self.inner.closed.load(Ordering::Acquire) {
+                    self.inner.consumer_wait.cancel();
+                    return self.try_pop();
+                }
+                self.inner.consumer_wait.park();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_survives_wraparound() {
+        let (mut tx, mut rx) = ring::<u64>(4);
+        assert_eq!(tx.capacity(), 4);
+        for i in 0..1000u64 {
+            tx.try_push(i).unwrap();
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert!(
+            tx.wraps() >= 200,
+            "4-slot ring must have wrapped many times"
+        );
+        assert_eq!(tx.pushes(), 1000);
+    }
+
+    #[test]
+    fn full_and_empty_edges() {
+        let (mut tx, mut rx) = ring::<u32>(2);
+        assert_eq!(rx.try_pop(), None);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        assert_eq!(tx.try_push(3), Err(3));
+        assert_eq!(rx.try_pop(), Some(1));
+        tx.try_push(3).unwrap();
+        assert_eq!(tx.try_push(4), Err(4));
+        assert_eq!(rx.try_pop(), Some(2));
+        assert_eq!(rx.try_pop(), Some(3));
+        assert_eq!(rx.try_pop(), None);
+        assert_eq!(tx.depth_hwm(), 2);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, _rx) = ring::<u8>(5);
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = ring::<u8>(0);
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let (mut tx, mut rx) = ring::<u64>(8);
+        for i in 0..5 {
+            tx.try_push(i).unwrap();
+        }
+        tx.close();
+        for i in 0..5 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn dropping_producer_closes() {
+        let (mut tx, mut rx) = ring::<u64>(8);
+        tx.try_push(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop(), Some(7));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn undrained_values_are_dropped_with_the_ring() {
+        use std::sync::atomic::AtomicU64;
+        static DROPS: AtomicU64 = AtomicU64::new(0);
+        #[derive(Debug)]
+        struct Tracked;
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (mut tx, mut rx) = ring::<Tracked>(8);
+        for _ in 0..5 {
+            tx.try_push(Tracked).unwrap();
+        }
+        drop(rx.try_pop()); // one value dropped by the consumer
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 5);
+    }
+
+    /// The single-writer rule makes a torn publish impossible: the consumer
+    /// must never observe a value whose fields disagree, at any wrap count,
+    /// with both ends blocking (so the park/wake protocol is exercised).
+    fn stress(n: u64, cap: usize) {
+        let (mut tx, mut rx) = ring::<(u64, u64, u64)>(cap);
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                // Composite payload: fields are functions of each other, so
+                // any torn read is detectable.
+                tx.push((i, i.wrapping_mul(31), i ^ 0xDEAD_BEEF));
+            }
+            tx.close();
+            (tx.wraps(), tx.producer_parks())
+        });
+        let mut expect = 0u64;
+        while let Some((a, b, c)) = rx.pop() {
+            assert_eq!(a, expect, "FIFO order violated");
+            assert_eq!(b, a.wrapping_mul(31), "torn publish: field b");
+            assert_eq!(c, a ^ 0xDEAD_BEEF, "torn publish: field c");
+            expect += 1;
+        }
+        assert_eq!(expect, n, "values lost or duplicated");
+        let (wraps, _parks) = producer.join().unwrap();
+        assert!(wraps >= n / cap as u64, "ring must have wrapped");
+    }
+
+    #[test]
+    fn threaded_stress_tiny_ring() {
+        stress(200_000, 4);
+    }
+
+    #[test]
+    fn threaded_stress_typical_ring() {
+        stress(200_000, 64);
+    }
+
+    /// Long-running variant for the `KRR_CI_BENCH=1` CI hook.
+    #[test]
+    #[ignore = "long stress run; exercised by scripts/ci.sh under KRR_CI_BENCH=1"]
+    fn ring_stress_long() {
+        stress(5_000_000, 4);
+        stress(5_000_000, 1024);
+    }
+
+    #[test]
+    fn pop_blocks_until_data_arrives() {
+        let (mut tx, mut rx) = ring::<u64>(4);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = rx.pop() {
+                got.push(v);
+            }
+            got
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        for i in 0..100 {
+            tx.push(i);
+        }
+        tx.close();
+        assert_eq!(consumer.join().unwrap(), (0..100).collect::<Vec<_>>());
+    }
+}

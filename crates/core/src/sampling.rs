@@ -60,6 +60,29 @@ impl SpatialFilter {
         key_hash % self.modulus < self.threshold
     }
 
+    /// [`SpatialFilter::admits_hashed`] over a batch of 8 pre-hashed keys,
+    /// returning a bitmask (bit `i` set ⇔ `hashes[i]` admitted). Branchless:
+    /// each lane is one compare folded into the mask, so the batched
+    /// pipeline hot path takes no data-dependent branches while filtering.
+    /// Bit-identical to eight scalar calls by construction.
+    #[inline]
+    #[must_use]
+    pub fn admits_hashed8(&self, hashes: &[u64; 8]) -> u8 {
+        let mut mask = 0u8;
+        for (i, &h) in hashes.iter().enumerate() {
+            mask |= u8::from(h % self.modulus < self.threshold) << i;
+        }
+        mask
+    }
+
+    /// True when the filter admits every key (rate 1.0) — lets batch
+    /// processing skip per-reference admission entirely.
+    #[inline]
+    #[must_use]
+    pub fn admits_all(&self) -> bool {
+        self.threshold >= self.modulus
+    }
+
     /// Admission threshold `T` (checkpointing: a filter round-trips exactly
     /// via `SpatialFilter::new(threshold(), modulus())`).
     #[must_use]
@@ -137,6 +160,20 @@ mod tests {
         let f = SpatialFilter::all();
         assert!((0..10_000u64).all(|k| f.admits(k)));
         assert_eq!(f.scale(), 1.0);
+        assert!(f.admits_all());
+        assert!(!SpatialFilter::with_rate(0.5).admits_all());
+    }
+
+    #[test]
+    fn admits_hashed8_matches_scalar() {
+        let f = SpatialFilter::with_rate(0.3);
+        for base in 0..200u64 {
+            let hashes = std::array::from_fn(|i| hash_key(base * 8 + i as u64));
+            let mask = f.admits_hashed8(&hashes);
+            for (i, &h) in hashes.iter().enumerate() {
+                assert_eq!(mask >> i & 1 == 1, f.admits_hashed(h), "lane {i}");
+            }
+        }
     }
 
     #[test]

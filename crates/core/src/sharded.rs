@@ -18,8 +18,9 @@
 //!
 //! The parallel path ([`ShardedKrr::process_stream`]) is a streaming,
 //! route-once, batched pipeline: a router thread hashes and batches
-//! references per shard, and per-shard workers drain batches over bounded
-//! channels. Total routing work is O(N) regardless of thread count, and
+//! references per shard, and per-shard workers drain batches over
+//! lock-free SPSC rings ([`crate::ring`]). Total routing work is O(N)
+//! regardless of thread count, and
 //! per-shard RNG seeds plus deterministic per-shard order keep results
 //! bit-identical at any thread count.
 
@@ -179,6 +180,28 @@ impl ShardedKrr {
             refs,
             threads,
             cfg,
+            self.metrics.as_ref(),
+            self.recorder.as_ref(),
+        );
+        self.publish_footprint();
+    }
+
+    /// [`ShardedKrr::process_stream`] over the PR 6-era transport: bounded
+    /// `sync_channel`s instead of lock-free SPSC rings, scalar hashing
+    /// instead of 8-wide, and a per-reference worker drain instead of
+    /// [`KrrModel::access_batch`]. Kept as the live A/B baseline for
+    /// `benches/pipeline.rs`; results are bit-identical to
+    /// [`ShardedKrr::process_stream`], just slower.
+    pub fn process_stream_channels<I>(&mut self, refs: I, threads: usize)
+    where
+        I: Iterator<Item = (u64, u32)>,
+    {
+        let shards = std::mem::take(&mut self.shards);
+        self.shards = pipeline::run_channels(
+            shards,
+            refs,
+            threads,
+            &PipelineConfig::for_threads(threads),
             self.metrics.as_ref(),
             self.recorder.as_ref(),
         );

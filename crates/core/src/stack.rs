@@ -1,18 +1,24 @@
 //! The KRR stack: an array-backed priority stack with a hash index
 //! (§4.4 "Implementation").
 //!
-//! Objects live in a flat array ordered by stack position (index 0 is the
-//! stack top, position 1 in the paper's 1-based notation). A hash table maps
-//! each key to its array slot, so the stack distance of a reference is an
-//! O(1) lookup. A stack *update* moves only the objects on the swap chain
-//! produced by one of the [`crate::update`] strategies, which is what makes
-//! KRR cheap: the expected chain length is `O(K·logM)` (Corollary 1).
+//! Objects live in a flat slot array indexed by a stable per-object *id*
+//! (assigned at first reference, never changed), and the stack order is a
+//! permutation over those ids: `perm[pos] = id` with its inverse
+//! `inv[id] = pos`. A hash table maps each key to its id — and because ids
+//! are stable, the hash table is written exactly once per distinct object,
+//! at cold insertion. A stack *update* moves only the objects on the swap
+//! chain produced by one of the [`crate::update`] strategies, and applying
+//! the chain touches nothing but the two flat permutation arrays (no hash
+//! writes on the hot path), which is what makes KRR cheap: the expected
+//! chain length is `O(K·logM)` (Corollary 1).
 
 use crate::checkpoint::{Dec, Enc};
 use crate::hashing::KeyMap;
 use crate::rng::Xoshiro256;
+use crate::update::lut::{self, InvCdfTable};
 use crate::update::{self, UpdaterKind};
 use std::io;
+use std::sync::Arc;
 
 /// One object resident on the stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,13 +72,32 @@ impl Access {
 /// `K′ = K^1.4` (see [`crate::prob::k_prime`]).
 #[derive(Debug, Clone)]
 pub struct KrrStack {
-    entries: Vec<Entry>,
+    /// Objects by stable id (insertion order). `slots[id]` never moves.
+    slots: Vec<Entry>,
+    /// Stack order: `perm[pos] = id` (0-based positions, top first).
+    perm: Vec<u32>,
+    /// Inverse permutation: `inv[id] = pos` (0-based).
+    inv: Vec<u32>,
+    /// Key → id. Written once per distinct object, at cold insertion —
+    /// never on the swap-chain hot path.
     index: KeyMap<u32>,
     k: f64,
     updater: UpdaterKind,
     rng: Xoshiro256,
     chain: Vec<u64>,
     chain_sizes: Vec<u32>,
+    /// Whether updates capture [`Self::last_chain_sizes`]. Only the
+    /// byte-level `sizeArray` maintenance needs them; uniform-size callers
+    /// turn this off to skip the per-chain-element size gather.
+    record_chain_sizes: bool,
+    /// Whether updates materialize [`Self::last_chain`]. On by default;
+    /// [`crate::KrrModel`] turns it off when nothing observes chains
+    /// (no metrics, no recorder, no `sizeArray`), unlocking the fused
+    /// backward update that samples and applies each swap in one pass.
+    record_chain: bool,
+    /// Shared small-`c` inverse-CDF cutoff table ([`InvCdfTable`]), built
+    /// lazily on the first fused update and cached process-wide per `k`.
+    lut: Option<Arc<InvCdfTable>>,
     last_scanned: u64,
 }
 
@@ -83,27 +108,52 @@ impl KrrStack {
     pub fn new(k: f64, updater: UpdaterKind, seed: u64) -> Self {
         assert!(k >= 1.0, "effective sampling size must be >= 1, got {k}");
         Self {
-            entries: Vec::new(),
+            slots: Vec::new(),
+            perm: Vec::new(),
+            inv: Vec::new(),
             index: KeyMap::default(),
             k,
             updater,
             rng: Xoshiro256::seed_from_u64(seed),
             chain: Vec::new(),
             chain_sizes: Vec::new(),
+            record_chain_sizes: true,
+            record_chain: true,
+            lut: None,
             last_scanned: 0,
         }
+    }
+
+    /// Enables or disables capturing [`Self::last_chain_sizes`] on each
+    /// update (on by default). Uniform-size profiling never reads them, so
+    /// [`crate::KrrModel`] switches this off unless a `sizeArray` is
+    /// attached.
+    pub fn set_record_chain_sizes(&mut self, on: bool) {
+        self.record_chain_sizes = on;
+    }
+
+    /// Enables or disables materializing [`Self::last_chain`] on each
+    /// update (on by default). With chains unobserved (off, and chain
+    /// sizes off too) the backward updater runs *fused*: each inverse-CDF
+    /// draw is applied to the permutation immediately, skipping the chain
+    /// buffer, its reversal, and the second pass — same RNG stream, same
+    /// swaps, measurably faster. [`Self::last_chain`] reads empty for
+    /// accesses that took the fused path ([`Self::last_scanned`] is still
+    /// maintained).
+    pub fn set_record_chain(&mut self, on: bool) {
+        self.record_chain = on;
     }
 
     /// Number of distinct objects on the stack (the paper's `γ_t` / `M`).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.slots.len()
     }
 
     /// True if no object has been referenced yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.slots.is_empty()
     }
 
     /// Effective sampling size `K′` in use.
@@ -115,13 +165,17 @@ impl KrrStack {
     /// Current 1-based stack position of `key`, if present.
     #[must_use]
     pub fn position_of(&self, key: u64) -> Option<u64> {
-        self.index.get(&key).map(|&i| u64::from(i) + 1)
+        self.index
+            .get(&key)
+            .map(|&id| u64::from(self.inv[id as usize]) + 1)
     }
 
     /// Entry at 1-based stack position `pos`.
     #[must_use]
     pub fn entry_at(&self, pos: u64) -> Option<&Entry> {
-        self.entries.get(pos as usize - 1)
+        self.perm
+            .get(pos as usize - 1)
+            .map(|&id| &self.slots[id as usize])
     }
 
     /// The swap chain of the most recent [`KrrStack::access`]: strictly
@@ -155,18 +209,22 @@ impl KrrStack {
     /// that moves the referenced object to the stack top.
     pub fn access(&mut self, key: u64, size: u32) -> Access {
         let (phi, result) = match self.index.get(&key) {
-            Some(&i) => {
-                let phi = u64::from(i) + 1;
+            Some(&id) => {
+                let phi = u64::from(self.inv[id as usize]) + 1;
                 // An object's recorded size may change on re-reference
                 // (e.g. an overwriting SET); keep the stack's view current.
-                self.entries[i as usize].size = size;
+                self.slots[id as usize].size = size;
                 (phi, Access::Hit { phi })
             }
             None => {
-                let pos = self.entries.len() as u64 + 1;
+                let pos = self.slots.len() as u64 + 1;
                 assert!(pos <= u64::from(u32::MAX), "stack exceeds u32 index space");
-                self.entries.push(Entry { key, size });
-                self.index.insert(key, (pos - 1) as u32);
+                // A new object's id equals its initial (bottom) position.
+                let id = (pos - 1) as u32;
+                self.slots.push(Entry { key, size });
+                self.perm.push(id);
+                self.inv.push(id);
+                self.index.insert(key, id);
                 (pos, Access::Cold { stack_len: pos })
             }
         };
@@ -183,50 +241,105 @@ impl KrrStack {
         if phi <= 1 {
             return;
         }
+        if !self.record_chain && !self.record_chain_sizes && self.updater == UpdaterKind::Backward {
+            self.update_fused_backward(phi);
+            return;
+        }
         self.last_scanned =
             update::swap_chain(self.updater, phi, self.k, &mut self.rng, &mut self.chain);
         debug_assert!(self.chain.first() == Some(&1));
         debug_assert!(self.chain.windows(2).all(|w| w[0] < w[1]));
         debug_assert!(*self.chain.last().unwrap() < phi);
 
-        // Record pre-update sizes for sizeArray maintenance, then perform the
-        // cyclic shift: entry at chain[j] moves down to chain[j+1] (the last
-        // one moves to φ) and the referenced object moves to the top.
-        self.chain_sizes.extend(
-            self.chain
-                .iter()
-                .map(|&p| self.entries[p as usize - 1].size),
-        );
+        // Record pre-update sizes for sizeArray maintenance (skipped in
+        // uniform-size mode), then perform the cyclic shift: the entry at
+        // chain[j] moves down to chain[j+1] (the last one moves to φ) and
+        // the referenced object moves to the top. Only the two permutation
+        // arrays are touched — ids are stable, so the key index needs no
+        // updates here.
+        if self.record_chain_sizes {
+            self.chain_sizes.extend(
+                self.chain
+                    .iter()
+                    .map(|&p| self.slots[self.perm[p as usize - 1] as usize].size),
+            );
+        }
 
-        let referenced = self.entries[phi as usize - 1];
-        let mut dest = phi;
+        let id_ref = self.perm[phi as usize - 1];
+        let mut dest = phi as usize;
         for &src in self.chain.iter().rev() {
-            let moved = self.entries[src as usize - 1];
-            self.entries[dest as usize - 1] = moved;
-            self.index.insert(moved.key, (dest - 1) as u32);
+            let src = src as usize;
+            let id = self.perm[src - 1];
+            self.perm[dest - 1] = id;
+            self.inv[id as usize] = (dest - 1) as u32;
             dest = src;
         }
         debug_assert_eq!(dest, 1);
-        self.entries[0] = referenced;
-        self.index.insert(referenced.key, 0);
+        self.perm[0] = id_ref;
+        self.inv[id_ref as usize] = 0;
+    }
+
+    /// The backward update with sampling and application fused into one
+    /// pass: Algorithm 2 generates swap positions from `φ` back toward the
+    /// top — exactly the order the cyclic shift applies them in — so when
+    /// no observer needs the chain materialized, each draw moves its entry
+    /// immediately. Draw-for-draw identical to `backward_chain` + the
+    /// two-pass apply (same `unit_open_low` stream, same
+    /// `⌈r^{1/K}·(i−1)⌉` positions), which `fused_update_is_bit_identical`
+    /// locks in.
+    fn update_fused_backward(&mut self, phi: u64) {
+        if self.lut.is_none() {
+            self.lut = Some(InvCdfTable::for_k(self.k));
+        }
+        let table = self.lut.as_deref().expect("table just built");
+        let inv_k = 1.0 / self.k;
+        let id_ref = self.perm[phi as usize - 1];
+        let mut dest = phi;
+        let mut scanned = 0u64;
+        while dest > 1 {
+            let c = dest - 1;
+            // One 53-bit draw per jump, answered three ways that are all
+            // bit-identical to `unit_open_low` + the powf formula: c = 1 is
+            // always position 1, small c comes from the integer cutoff
+            // table, large c evaluates the float pipeline directly.
+            let m = self.rng.next_u64() >> 11;
+            let x = if c == 1 {
+                1
+            } else if c <= lut::CMAX {
+                table.position(m, c)
+            } else {
+                let r = 1.0 - m as f64 * (1.0 / (1u64 << 53) as f64);
+                ((r.powf(inv_k) * c as f64).ceil() as u64).clamp(1, c)
+            };
+            scanned += 1;
+            let id = self.perm[x as usize - 1];
+            self.perm[dest as usize - 1] = id;
+            self.inv[id as usize] = (dest - 1) as u32;
+            dest = x;
+        }
+        self.perm[0] = id_ref;
+        self.inv[id_ref as usize] = 0;
+        self.last_scanned = scanned;
     }
 
     /// Iterates entries from stack top to bottom (test/diagnostic use).
     pub fn iter(&self) -> impl Iterator<Item = &Entry> {
-        self.entries.iter()
+        self.perm.iter().map(|&id| &self.slots[id as usize])
     }
 
     /// Serializes the stack into a `krr-ckpt-v1` payload: `k`, updater tag,
-    /// RNG state, and the entry array in stack order. The key index is
-    /// derivable and not stored; per-access scratch (the last swap chain) is
+    /// RNG state, and the entry array in stack order. The id/permutation
+    /// split and the key index are in-memory layout, re-derivable from
+    /// stack order, and not stored — the wire bytes are identical to the
+    /// pre-permutation format. Per-access scratch (the last swap chain) is
     /// transient and not stored.
     pub fn save_state(&self, enc: &mut Enc) {
         enc.put_f64(self.k).put_u8(self.updater.to_tag());
         for w in self.rng.state() {
             enc.put_u64(w);
         }
-        enc.put_u64(self.entries.len() as u64);
-        for e in &self.entries {
+        enc.put_u64(self.perm.len() as u64);
+        for e in self.iter() {
             enc.put_u64(e.key).put_u32(e.size);
         }
     }
@@ -246,37 +359,47 @@ impl KrrStack {
         let n = dec.u64()?;
         let n = usize::try_from(n)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "stack length overflow"))?;
-        let mut entries = Vec::with_capacity(n);
+        // The payload lists entries in stack order; assign ids in that
+        // order, so the restored permutation starts out as the identity.
+        let mut slots = Vec::with_capacity(n);
         let mut index = KeyMap::default();
         for i in 0..n {
             let key = dec.u64()?;
             let size = dec.u32()?;
-            entries.push(Entry { key, size });
+            slots.push(Entry { key, size });
             index.insert(key, i as u32);
         }
-        if index.len() != entries.len() {
+        if index.len() != slots.len() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "duplicate key in checkpointed stack",
             ));
         }
         Ok(Self {
-            entries,
+            perm: (0..n as u32).collect(),
+            inv: (0..n as u32).collect(),
+            slots,
             index,
             k,
             updater,
             rng,
             chain: Vec::new(),
             chain_sizes: Vec::new(),
+            record_chain_sizes: true,
+            record_chain: true,
+            lut: None,
             last_scanned: 0,
         })
     }
 
-    /// Estimated heap footprint in bytes: the entry array plus the key
-    /// index (§5.6's space-cost accounting).
+    /// Estimated heap footprint in bytes: the slot array, the two
+    /// permutation arrays, and the key index (§5.6's space-cost
+    /// accounting).
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
-        let entries = self.entries.capacity() * std::mem::size_of::<Entry>();
+        let entries = self.slots.capacity() * std::mem::size_of::<Entry>()
+            + self.perm.capacity() * std::mem::size_of::<u32>()
+            + self.inv.capacity() * std::mem::size_of::<u32>();
         // hashbrown stores (key, value) pairs plus one control byte per
         // slot at ~8/7 slack.
         let index = self.index.capacity() * (std::mem::size_of::<(u64, u32)>() + 1) * 8 / 7;
@@ -285,14 +408,17 @@ impl KrrStack {
 }
 
 impl crate::footprint::Footprint for KrrStack {
-    /// The §5.6 space breakdown: the entry array, the key index (same
-    /// model as [`KrrStack::memory_bytes`]), and the reusable swap-chain
-    /// scratch buffers.
+    /// The §5.6 space breakdown: the entry storage (slots plus both
+    /// permutation arrays), the key index (same model as
+    /// [`KrrStack::memory_bytes`]), and the reusable swap-chain scratch
+    /// buffers.
     fn footprint(&self) -> crate::footprint::FootprintReport {
         let mut r = crate::footprint::FootprintReport::new();
         r.add(
             "stack_entries",
-            self.entries.capacity() * std::mem::size_of::<Entry>(),
+            self.slots.capacity() * std::mem::size_of::<Entry>()
+                + self.perm.capacity() * std::mem::size_of::<u32>()
+                + self.inv.capacity() * std::mem::size_of::<u32>(),
         )
         .add(
             "stack_index",
@@ -432,6 +558,27 @@ mod tests {
             let eb: Vec<_> = b.iter().collect();
             assert_eq!(ea, eb, "{updater:?}");
         }
+    }
+
+    #[test]
+    fn fused_update_is_bit_identical() {
+        // Same seed, same reference sequence: the fused backward update
+        // must consume the identical RNG stream and land every object on
+        // the identical position as the materialize-then-apply path.
+        let k = 5.0f64.powf(1.4);
+        let mut generic = stack(k, UpdaterKind::Backward);
+        let mut fused = stack(k, UpdaterKind::Backward);
+        fused.set_record_chain(false);
+        fused.set_record_chain_sizes(false);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..20_000 {
+            let key = rng.below(800);
+            assert_eq!(generic.access(key, 1), fused.access(key, 1));
+            assert_eq!(generic.last_scanned(), fused.last_scanned());
+        }
+        let a: Vec<_> = generic.iter().collect();
+        let b: Vec<_> = fused.iter().collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Integer inverse-CDF lookup for small backward jumps.
+//!
+//! The backward updater's hot operation is `x = ⌈r^{1/K}·c⌉` with
+//! `r = 1 − m·2⁻⁵³` drawn on the RNG's dyadic grid (`m` is the raw 53-bit
+//! draw). Because each jump shrinks `c` by only ≈ `K/(K+1)`, a walk from
+//! `φ` to 1 spends most of its draws at *small* `c` — and for small `c`
+//! the result takes only values `1..=c`, so the whole powf-ceil pipeline
+//! collapses to "which bucket does `m` fall in": precompute, for every
+//! `c ≤ CMAX` and `j < c`, the smallest `m` whose position is `≤ j`, and
+//! answer a draw with a couple of integer compares instead of a ~20 ns
+//! `powf`.
+//!
+//! # Bit-exactness
+//!
+//! The cutoffs are found by binary-searching `m` over the full `2^53`
+//! grid, evaluating the *original* float expression at each probe — so
+//! wherever the float pipeline is locally monotone the table reproduces
+//! it exactly. `powf`'s last-ulp wobble could only reorder results within
+//! a few grid points of a cutoff (the boundary's slope bounds the
+//! ambiguous window to ≲ 2K grid points; see `GUARD`'s margin), so any
+//! draw landing within the `GUARD` band of a cutoff falls back to the original
+//! float expression itself. Outside the bands the two computations
+//! provably agree; inside them we never trust the table. The
+//! `table_matches_float_pipeline_exhaustively` test hammers this across
+//! the grid, and `fused_update_is_bit_identical` (stack suite) locks in
+//! end-to-end equality.
+//!
+//! Tables depend only on `K`, so they are built once per distinct `K`
+//! and shared process-wide (16 shards and every clone reuse one ~16 KiB
+//! table).
+
+use std::sync::{Arc, Mutex};
+
+/// Largest jump base `c` the table covers; larger jumps use `powf`
+/// directly. 64 captures the long small-`c` tail of every walk (expected
+/// draws at `c ≤ 64` is `Σ min(1, K/c)` ≈ half the chain for typical
+/// `K'`) while keeping the table at `Σ_{c≤64}(c−1) = 2016` entries.
+pub const CMAX: u64 = 64;
+
+/// Half-width, in grid points of `m`, of the band around each cutoff
+/// inside which the table defers to the float pipeline. The genuinely
+/// ambiguous window is ≲ `2K` points (≈ 19 for the default `K′ = 5^1.4`);
+/// 4096 gives a ~200× margin and still makes fallbacks a ~10⁻⁹ event.
+const GUARD: u64 = 1 << 12;
+
+const M_SPAN: u64 = 1 << 53;
+
+/// Precomputed inverse-CDF cutoffs for one effective sampling size `K`.
+#[derive(Debug)]
+pub struct InvCdfTable {
+    inv_k: f64,
+    /// Rows for `c = 2..=CMAX`, flattened; row `c` holds `c − 1` cutoffs
+    /// in descending order: entry `j − 1` is the smallest `m` with
+    /// position `≤ j` (`M_SPAN` when no such `m` exists).
+    rows: Vec<u64>,
+    /// `offsets[c]` = start of row `c` in `rows`.
+    offsets: Vec<u32>,
+}
+
+/// The original float pipeline, verbatim: `⌈r^{1/K}·c⌉` clamped to
+/// `[1, c]`, with `r` reconstructed from the raw draw exactly as
+/// `Xoshiro256::unit_open_low` does.
+#[inline]
+fn position_float(m: u64, c: u64, inv_k: f64) -> u64 {
+    let r = 1.0 - m as f64 * (1.0 / M_SPAN as f64);
+    ((r.powf(inv_k) * c as f64).ceil() as u64).clamp(1, c)
+}
+
+impl InvCdfTable {
+    fn build(k: f64) -> Self {
+        let inv_k = 1.0 / k;
+        let mut rows = Vec::with_capacity(((CMAX - 1) * CMAX / 2) as usize);
+        let mut offsets = vec![0u32; CMAX as usize + 1];
+        for c in 2..=CMAX {
+            offsets[c as usize] = rows.len() as u32;
+            for j in 1..c {
+                // Smallest m with position(m) <= j; position is
+                // nonincreasing in m (r falls as m rises).
+                let (mut lo, mut hi) = (0u64, M_SPAN);
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if position_float(mid, c, inv_k) <= j {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                rows.push(lo);
+            }
+            let row = &rows[offsets[c as usize] as usize..];
+            debug_assert!(row.windows(2).all(|w| w[0] >= w[1]), "cutoffs descend");
+        }
+        Self {
+            inv_k,
+            rows,
+            offsets,
+        }
+    }
+
+    /// Shared table for sampling size `k`, built on first request and
+    /// cached process-wide by `k`'s bit pattern.
+    pub fn for_k(k: f64) -> Arc<Self> {
+        static CACHE: Mutex<Vec<(u64, Arc<InvCdfTable>)>> = Mutex::new(Vec::new());
+        let bits = k.to_bits();
+        let mut cache = CACHE.lock().expect("table cache poisoned");
+        if let Some((_, t)) = cache.iter().find(|(b, _)| *b == bits) {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(Self::build(k));
+        cache.push((bits, Arc::clone(&t)));
+        t
+    }
+
+    /// The jump position for raw draw `m` at base `c` (`2 ≤ c ≤ CMAX`):
+    /// bit-identical to the original float pipeline, via integer compares
+    /// except within the `GUARD` band of a cutoff.
+    #[inline]
+    pub fn position(&self, m: u64, c: u64) -> u64 {
+        debug_assert!((2..=CMAX).contains(&c));
+        let start = self.offsets[c as usize] as usize;
+        let row = &self.rows[start..start + (c - 1) as usize];
+        // Cutoffs descend, so {j : m < cutoff_j} is a prefix; the expected
+        // scan from the high end is c/(K+1) ≈ a couple of steps.
+        let mut count = row.len();
+        while count > 0 && row[count - 1] <= m {
+            count -= 1;
+        }
+        let near_lo = count < row.len() && m - row[count] < GUARD;
+        let near_hi = count > 0 && row[count - 1] - m < GUARD;
+        if near_lo || near_hi {
+            return position_float(m, c, self.inv_k);
+        }
+        count as u64 + 1
+    }
+
+    /// Heap bytes of this (shared) table.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.capacity() * std::mem::size_of::<u64>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn table_matches_float_pipeline_exhaustively() {
+        let k = 5.0f64.powf(1.4);
+        let t = InvCdfTable::for_k(k);
+        let inv_k = 1.0 / k;
+        let mut rng = Xoshiro256::seed_from_u64(42);
+        for c in 2..=CMAX {
+            for _ in 0..4_000 {
+                let m = rng.next_u64() >> 11;
+                assert_eq!(t.position(m, c), position_float(m, c, inv_k), "c={c} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_neighborhoods_agree() {
+        // The guard band must hand every near-cutoff draw to the float
+        // pipeline; probe each cutoff's immediate neighborhood.
+        let k = 3.0;
+        let t = InvCdfTable::for_k(k);
+        let inv_k = 1.0 / k;
+        for c in 2..=CMAX {
+            let start = t.offsets[c as usize] as usize;
+            for &cut in &t.rows[start..start + (c - 1) as usize] {
+                for d in 0..4u64 {
+                    for m in [cut.saturating_sub(d), (cut + d).min(M_SPAN - 1)] {
+                        assert_eq!(t.position(m, c), position_float(m, c, inv_k));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tables_are_shared_per_k() {
+        let a = InvCdfTable::for_k(7.25);
+        let b = InvCdfTable::for_k(7.25);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.memory_bytes() > 0);
+    }
+}

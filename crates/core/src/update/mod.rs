@@ -19,6 +19,7 @@
 //! implicit terminal swap at `φ`.
 
 mod backward;
+pub mod lut;
 mod naive;
 mod topdown;
 

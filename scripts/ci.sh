@@ -16,6 +16,27 @@ cargo clippy -q --offline --workspace --all-targets -- -D warnings
 # links, rendered cleanly.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
+# Markdown link gate: every relative link target in the handbook set must
+# exist on disk (fragments are stripped; external schemes are skipped).
+# Keeps README/docs cross-references from rotting as files move.
+link_errors=0
+for doc in README.md EXPERIMENTS.md DESIGN.md ROADMAP.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    for link in $(grep -oE '\]\([^)]+\)' "$doc" | sed -e 's/^](//' -e 's/)$//'); do
+        case "$link" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        target=${link%%#*}
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "ci: dead link in $doc -> $link" >&2
+            link_errors=$((link_errors + 1))
+        fi
+    done
+done
+[ "$link_errors" -eq 0 ] || { echo "ci: $link_errors dead doc link(s)" >&2; exit 1; }
+
 # Live-exposition smoke on the default build: the example profiles a
 # drifting-Zipf trace while scraping its own /metrics (it asserts inside
 # that footprint gauges are nonzero and scrapes are # EOF-terminated);
@@ -44,6 +65,9 @@ grep -q "errors 0" /tmp/krr_flash_crowd.out
 # 5% budget, per-tenant resident bytes within 2x of the Footprint
 # prediction).
 if [ "${KRR_CI_BENCH:-0}" = "1" ]; then
+    # Long-running SPSC ring stress (ignored by default): hammers
+    # push/pop/park/close across capacities from both sides.
+    cargo test -q --offline --release -p krr-core ring_stress_long -- --ignored
     cargo bench -q --offline -p krr-bench --bench pipeline
     cargo bench -q --offline -p krr-bench --bench obs
     cargo bench -q --offline -p krr-bench --bench space

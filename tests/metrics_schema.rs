@@ -59,6 +59,11 @@ const GOLDEN: &[(&str, &str)] = &[
     ("pipeline.batches", "num"),
     ("pipeline.keys_hashed", "num"),
     ("pipeline.queue_depth_hwm", "arr"),
+    ("pipeline.ring", "obj"),
+    ("pipeline.ring.depth_hwm", "arr"),
+    ("pipeline.ring.router_parks", "num"),
+    ("pipeline.ring.worker_parks", "num"),
+    ("pipeline.ring.wraps", "num"),
     ("pipeline.router_busy_ns", "num"),
     ("pipeline.stalls", "num"),
     ("pipeline.worker_busy_ns", "num"),

@@ -206,6 +206,12 @@ fn pipeline_metrics_flow_to_renderings() {
     assert!(snap.pipeline_queue_hwm.iter().all(|&d| d >= 1));
     assert!(snap.pipeline_router_busy_ns > 0);
     assert!(snap.pipeline_worker_busy_ns > 0);
+    // Ring transport statistics: one depth high-water mark per worker,
+    // and with ~100 batches per worker pushed through 2-slot rings the
+    // positions must have wrapped many times.
+    assert_eq!(snap.pipeline_ring_hwm.len(), 2);
+    assert!(snap.pipeline_ring_hwm.iter().all(|&d| d >= 1));
+    assert!(snap.pipeline_ring_wraps > 0, "tiny rings must wrap");
     // Per-shard access counters cover the whole trace.
     assert_eq!(snap.shard_accesses.iter().sum::<u64>(), refs.len() as u64);
     let info = snap.render_info();
@@ -216,4 +222,25 @@ fn pipeline_metrics_flow_to_renderings() {
     );
     let json = snap.to_json();
     assert!(json.contains("\"pipeline\":{\"batches\":"), "{json}");
+    assert!(json.contains("\"ring\":{\"wraps\":"), "{json}");
+    assert!(info.contains("ring_wraps:"), "{info}");
+}
+
+#[test]
+fn channel_baseline_matches_ring_pipeline() {
+    // The PR 6 sync_channel transport stays live as the A/B benchmark
+    // baseline; both transports must produce the same bits at every
+    // thread count, including threads > shards.
+    let refs = skewed(6_000, 90_000, 11);
+    let cfg = KrrConfig::new(5.0).seed(11).sampling(0.4);
+    let seq = sequential(&cfg, 5, &refs);
+    for threads in [1, 2, 5, 16] {
+        let mut rings = ShardedKrr::new(&cfg, 5);
+        rings.process_stream(refs.iter().copied(), threads);
+        let mut chans = ShardedKrr::new(&cfg, 5);
+        chans.process_stream_channels(refs.iter().copied(), threads);
+        assert_eq!(rings.mrc().points(), seq.mrc().points(), "t={threads}");
+        assert_eq!(chans.mrc().points(), seq.mrc().points(), "t={threads}");
+        assert_eq!(rings.stats(), chans.stats());
+    }
 }
