@@ -1,0 +1,130 @@
+//! Forensics-overhead gate: the always-on tail forensics (request-id
+//! allocation, p99 exemplar sampling, phase profiler) must cost less
+//! than 3% of RESP p99 versus a recorder-only baseline (`CONFIG SET
+//! forensics off` on an otherwise identical profiled server), and must
+//! leave the MRC bit-identical.
+//!
+//! Measurement is paired, not side-by-side: one long zipfian GET stream
+//! runs against a single live server while `CONFIG SET forensics`
+//! toggles every 500 requests, and each chunk's client-observed
+//! latencies land in its mode's pool. Both pools therefore share the
+//! same server warmth, the same evolving store, and — because scheduler
+//! hiccups fall into chunks of either mode with equal probability — the
+//! same noise floor, so the pooled-p99 delta isolates the forensics
+//! cost itself. (Two fresh-server runs compared side by side swing
+//! ±10% pass to pass from scheduling alone; the paired design does
+//! not.) MRC bit-identity is checked separately on two fresh servers,
+//! one per mode. Writes `BENCH_doctor.json` at the repo root for CI
+//! perf tracking (`KRR_CI_BENCH=1` in scripts/ci.sh); the artifact is
+//! validated against its own `krr-bench-doctor-v1` schema before it
+//! lands — the bench eats the doctor's food first.
+
+use krr_core::doctor::validate_artifact;
+use krr_core::json::parse;
+use krr_core::KrrConfig;
+use krr_redis::resp::Value;
+use krr_redis::{Client, MiniRedis, Server};
+use krr_trace::ycsb;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const OVERHEAD_LIMIT_PCT: f64 = 3.0;
+/// Absolute slack: sequential loopback round-trips have p99s in the
+/// tens of microseconds, where a couple of microseconds of scheduling
+/// jitter already reads as several percent.
+const P99_SLACK_NS: f64 = 150_000.0;
+const CHUNK: usize = 500;
+
+fn new_server() -> (Server, Client) {
+    let mut store = MiniRedis::new(1_000_000, 5, 11);
+    store.enable_mrc_profiling(&KrrConfig::new(5.0).seed(7), 2);
+    let server = Server::start(store).expect("loopback server");
+    let client = Client::connect(server.addr()).expect("loopback client");
+    (server, client)
+}
+
+fn set_forensics(client: &mut Client, on: bool) {
+    let arg: &[u8] = if on { b"on" } else { b"off" };
+    let reply = client
+        .raw(&[b"CONFIG", b"SET", b"forensics", arg])
+        .expect("toggle forensics");
+    assert!(matches!(&reply, Value::Simple(s) if s == "OK"));
+}
+
+fn p99(lat: &mut [u64]) -> f64 {
+    lat.sort_unstable();
+    lat[(lat.len() * 99) / 100] as f64
+}
+
+/// One full run per mode on a fresh server: the bit-identity check.
+fn mrc_side(forensics_on: bool, trace: &[krr_trace::Request]) -> String {
+    let (mut server, mut client) = new_server();
+    if !forensics_on {
+        set_forensics(&mut client, false);
+    }
+    for r in trace {
+        let _ = client.access(r.key, r.size.max(1)).expect("access");
+    }
+    let csv = client.mrc().expect("mrc");
+    server.shutdown();
+    csv
+}
+
+fn main() {
+    let trace = ycsb::WorkloadC::new(2_000, 0.9).generate(120_000, 13);
+
+    // The hard invariant first: forensics on/off must not move the MRC.
+    let mrc_on = mrc_side(true, &trace[..30_000]);
+    let mrc_off = mrc_side(false, &trace[..30_000]);
+    assert!(mrc_on.lines().count() > 1, "MRC has no data: {mrc_on:?}");
+    assert_eq!(mrc_on, mrc_off, "forensics changed the model's MRC");
+
+    // Paired overhead measurement on one live server.
+    let (mut server, mut client) = new_server();
+    for r in &trace[..8_000] {
+        // Discarded warm-up: page faults, lazy init, TCP stack.
+        let _ = client.access(r.key, r.size.max(1)).expect("access");
+    }
+    let mut pool_on: Vec<u64> = Vec::new();
+    let mut pool_off: Vec<u64> = Vec::new();
+    for (i, chunk) in trace[8_000..].chunks(CHUNK).enumerate() {
+        let on = i % 2 == 0;
+        set_forensics(&mut client, on);
+        let pool = if on { &mut pool_on } else { &mut pool_off };
+        for r in chunk {
+            let t0 = Instant::now();
+            let _ = client.access(r.key, r.size.max(1)).expect("access");
+            pool.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+    server.shutdown();
+
+    let requests = pool_on.len() + pool_off.len();
+    let (base_p99, forensics_p99) = (p99(&mut pool_off), p99(&mut pool_on));
+    let overhead = (forensics_p99 / base_p99 - 1.0) * 100.0;
+    println!(
+        "forensics tail cost: p99 {overhead:+.2}% (baseline {base_p99:.0}ns -> \
+         forensics {forensics_p99:.0}ns over {requests} paired requests, \
+         budget {OVERHEAD_LIMIT_PCT}% or {P99_SLACK_NS:.0}ns absolute)"
+    );
+
+    let mut json = String::from("{\"schema\":\"krr-bench-doctor-v1\",");
+    let _ = write!(
+        json,
+        "\"requests\":{requests},\"chunk\":{CHUNK},\
+         \"p99_baseline_ns\":{base_p99:.1},\"p99_forensics_ns\":{forensics_p99:.1},\
+         \"overhead_pct\":{overhead:.3},\"overhead_limit_pct\":{OVERHEAD_LIMIT_PCT},\
+         \"p99_slack_ns\":{P99_SLACK_NS},\"mrc_identical\":true}}",
+    );
+    let doc = parse(&json).expect("artifact is valid JSON");
+    let schema = validate_artifact(&doc).expect("artifact passes its own schema");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_doctor.json");
+    std::fs::write(out, &json).expect("write BENCH_doctor.json");
+    println!("wrote {out} ({schema})\n");
+
+    assert!(
+        overhead < OVERHEAD_LIMIT_PCT || forensics_p99 - base_p99 < P99_SLACK_NS,
+        "forensics p99 cost {overhead:+.2}% exceeds the {OVERHEAD_LIMIT_PCT}% budget \
+         (baseline {base_p99:.0}ns -> forensics {forensics_p99:.0}ns)"
+    );
+}

@@ -12,6 +12,9 @@
 //! | Endpoint          | Content                                                |
 //! |-------------------|--------------------------------------------------------|
 //! | `/metrics`        | [`MetricsRegistry`] as OpenMetrics/Prometheus text     |
+//! |                   | (`?format=json` for the `krr-metrics-v1` snapshot;     |
+//! |                   | with an exemplar source, the command-latency histogram |
+//! |                   | carries OpenMetrics exemplars on its bucket lines)     |
 //! | `/mrc`            | latest published MRC as `krr-mrc-v1` JSON              |
 //! | `/mrc?tenant=ID`  | one tenant's MRC from the published [`FleetCell`] view |
 //! |                   | (both accept `&format=csv` for `persist::write_mrc`    |
@@ -20,8 +23,12 @@
 //! |                   | for CSV rows, `?top=K` to keep only the K hottest)     |
 //! | `/stats`          | recent `krr-stats-v1` timeline rows as a JSON array    |
 //! | `/trace`          | flight-recorder drain as Chrome trace-event JSON       |
+//! | `/exemplars`      | tail-request exemplar ring as `krr-exemplars-v1` JSON  |
+//! | `/profile`        | self-profiler totals as collapsed-stack folded text    |
+//! |                   | (pipe into `flamegraph.pl` / speedscope)               |
 //! | `/healthz`        | JSON health detail: watchdog drift, pipeline stalls,   |
-//! |                   | per-tenant drift count (200, or 503 on any drift)      |
+//! |                   | exemplar/profiler ring losses, per-tenant drift count  |
+//! |                   | (200, or 503 on any drift)                             |
 //!
 //! Endpoints whose source was not wired into [`ExpoSources`] answer 404;
 //! `/mrc` answers 503 until the first MRC is published (and
@@ -58,11 +65,13 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::fleet::{FleetCell, FleetView};
+use crate::forensics::ExemplarRing;
 use crate::metrics::{
-    bucket_bound, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, TenantRow,
+    bucket_bound, bucket_of, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, TenantRow,
 };
 use crate::mrc::Mrc;
 use crate::obs::FlightRecorder;
+use crate::profiler::PhaseProfiler;
 
 /// Content type of the `/metrics` endpoint.
 pub const OPENMETRICS_CONTENT_TYPE: &str =
@@ -197,6 +206,11 @@ pub struct ExpoSources {
     pub trace: Option<Arc<FlightRecorder>>,
     /// Fleet view behind `/tenants` and `/mrc?tenant=ID`.
     pub tenants: Option<Arc<FleetCell>>,
+    /// Exemplar ring behind `/exemplars` and the `/metrics` exemplar
+    /// suffixes (also flagged as "scrape in progress" during `/metrics`).
+    pub exemplars: Option<Arc<ExemplarRing>>,
+    /// Self-profiler behind `/profile`.
+    pub profiler: Option<Arc<PhaseProfiler>>,
 }
 
 /// Renders a metrics snapshot as OpenMetrics text (the format scraped by
@@ -352,6 +366,76 @@ pub fn render_openmetrics(snap: &MetricsSnapshot) -> String {
         tenant_labeled(&mut s, "tenant_mae_ppm", "gauge", "", &|t| t.mae_ppm);
     }
     s.push_str("# EOF\n");
+    s
+}
+
+/// Renders the forensics families appended to `/metrics` when an
+/// exemplar ring (and optionally a profiler) is wired: the
+/// `krr_command_latency_ns` histogram with OpenMetrics exemplar suffixes
+/// (`<sample> # {request_id="..",tenant=".."} <latency>`) on its bucket
+/// lines — each finite bucket carries the most recent tail request that
+/// landed in it — plus the forensics loss counters. Returned *without* a
+/// trailing `# EOF` (the caller splices it into the main document).
+#[must_use]
+pub fn render_forensics_block(
+    exemplars: &ExemplarRing,
+    profiler: Option<&PhaseProfiler>,
+) -> String {
+    use std::fmt::Write as _;
+    let dump = exemplars.snapshot();
+    // Most recent exemplar per finite bucket (dump is oldest-first).
+    let mut by_bucket: std::collections::BTreeMap<usize, &crate::forensics::Exemplar> =
+        std::collections::BTreeMap::new();
+    for e in &dump.exemplars {
+        by_bucket.insert(bucket_of(e.latency_ns), e);
+    }
+    let h = exemplars.latency_histogram();
+    let mut s = String::with_capacity(1024);
+    let _ = writeln!(s, "# TYPE krr_command_latency_ns histogram");
+    let mut cum = 0u64;
+    for (b, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cum += c;
+        let _ = write!(
+            s,
+            "krr_command_latency_ns_bucket{{le=\"{}\"}} {cum}",
+            bucket_bound(b)
+        );
+        if let Some(e) = by_bucket.get(&b) {
+            // OpenMetrics exemplar: the exemplar value (the request's
+            // latency) is always <= the bucket's le bound by construction.
+            let _ = write!(s, " # {{request_id=\"{}\"", e.request_id);
+            if let Some(t) = e.tenant {
+                let _ = write!(s, ",tenant=\"{t}\"");
+            }
+            let _ = write!(s, "}} {}", e.latency_ns);
+        }
+        s.push('\n');
+    }
+    let total = h.count.max(cum);
+    let _ = writeln!(s, "krr_command_latency_ns_bucket{{le=\"+Inf\"}} {total}");
+    let _ = write!(
+        s,
+        "krr_command_latency_ns_count {total}\nkrr_command_latency_ns_sum {}\n",
+        h.sum
+    );
+    let _ = write!(
+        s,
+        "# TYPE krr_exemplars_captured counter\nkrr_exemplars_captured_total {}\n\
+         # TYPE krr_exemplars_dropped counter\nkrr_exemplars_dropped_total {}\n",
+        dump.captured, dump.dropped
+    );
+    if let Some(p) = profiler {
+        let _ = write!(
+            s,
+            "# TYPE krr_profiler_samples counter\nkrr_profiler_samples_total {}\n\
+             # TYPE krr_profiler_dropped counter\nkrr_profiler_dropped_total {}\n",
+            p.samples_total(),
+            p.dropped()
+        );
+    }
     s
 }
 
@@ -592,7 +676,22 @@ fn handle_conn(mut stream: TcpStream, sources: &ExpoSources) -> io::Result<()> {
     match path {
         "/metrics" => match &sources.metrics {
             Some(reg) => {
-                let body = render_openmetrics(&reg.snapshot());
+                // Mark the scrape for the exemplar ring: tail requests
+                // captured while we render carry scrape_in_progress.
+                let _guard = sources.exemplars.as_ref().map(|e| e.scrape_guard());
+                if query_param(query, "format") == Some("json") {
+                    // The krr-metrics-v1 snapshot (what `--metrics-out`
+                    // writes) — the machine-readable side `krr doctor
+                    // --live` scrapes.
+                    let body = reg.snapshot().to_json();
+                    return respond(stream, 200, "OK", "application/json", &body);
+                }
+                let mut body = render_openmetrics(&reg.snapshot());
+                if let Some(ring) = &sources.exemplars {
+                    body.truncate(body.len() - "# EOF\n".len());
+                    body.push_str(&render_forensics_block(ring, sources.profiler.as_deref()));
+                    body.push_str("# EOF\n");
+                }
                 respond(stream, 200, "OK", OPENMETRICS_CONTENT_TYPE, &body)
             }
             None => respond(
@@ -601,6 +700,26 @@ fn handle_conn(mut stream: TcpStream, sources: &ExpoSources) -> io::Result<()> {
                 "Not Found",
                 "text/plain",
                 "no metrics source\n",
+            ),
+        },
+        "/exemplars" => match &sources.exemplars {
+            Some(ring) => respond(stream, 200, "OK", "application/json", &ring.to_json()),
+            None => respond(
+                stream,
+                404,
+                "Not Found",
+                "text/plain",
+                "no exemplar source\n",
+            ),
+        },
+        "/profile" => match &sources.profiler {
+            Some(p) => respond(stream, 200, "OK", "text/plain", &p.folded()),
+            None => respond(
+                stream,
+                404,
+                "Not Found",
+                "text/plain",
+                "no profiler source\n",
             ),
         },
         "/mrc" => {
@@ -726,8 +845,19 @@ fn handle_conn(mut stream: TcpStream, sources: &ExpoSources) -> io::Result<()> {
             let watchdog = if drift > 0 { "drift" } else { "ok" };
             let pipeline = if stalls > 0 { "stalls" } else { "ok" };
             let tenants = if tenants_drifted > 0 { "drift" } else { "ok" };
+            // Forensics ring losses: overwrite-oldest is by design
+            // (bounded memory), so loss is surfaced but never flips the
+            // health code either — silent loss is the failure mode this
+            // guards against.
+            let exemplar_drops = sources.exemplars.as_ref().map_or(0, |e| e.dropped());
+            let profiler_drops = sources.profiler.as_ref().map_or(0, |p| p.dropped());
+            let forensics = if exemplar_drops > 0 || profiler_drops > 0 {
+                "lossy"
+            } else {
+                "ok"
+            };
             let body = format!(
-                "{{\"status\":\"{status}\",\"drift_events\":{drift},\"mae_ppm\":{mae},\"pipeline_stalls\":{stalls},\"tenants_drifted\":{tenants_drifted},\"subsystems\":{{\"watchdog\":\"{watchdog}\",\"pipeline\":\"{pipeline}\",\"tenants\":\"{tenants}\"}}}}"
+                "{{\"status\":\"{status}\",\"drift_events\":{drift},\"mae_ppm\":{mae},\"pipeline_stalls\":{stalls},\"tenants_drifted\":{tenants_drifted},\"exemplar_drops\":{exemplar_drops},\"profiler_drops\":{profiler_drops},\"subsystems\":{{\"watchdog\":\"{watchdog}\",\"pipeline\":\"{pipeline}\",\"tenants\":\"{tenants}\",\"forensics\":\"{forensics}\"}}}}"
             );
             if unhealthy {
                 respond(
@@ -845,6 +975,57 @@ mod tests {
     }
 
     #[test]
+    fn forensics_block_renders_exemplars_and_losses() {
+        use crate::forensics::Exemplar;
+        let ring = ExemplarRing::new();
+        assert!(ring.observe(900));
+        ring.capture(&Exemplar {
+            request_id: 12,
+            tenant: Some(3),
+            latency_ns: 900,
+            ..Exemplar::default()
+        });
+        let block = render_forensics_block(&ring, None);
+        assert!(
+            block.contains("krr_command_latency_ns_bucket{le=\"1023\"} 1 # {request_id=\"12\",tenant=\"3\"} 900\n"),
+            "{block}"
+        );
+        assert!(block.contains("krr_command_latency_ns_bucket{le=\"+Inf\"} 1\n"));
+        assert!(block.contains("krr_exemplars_dropped_total 0\n"));
+
+        // Wired into /metrics: the scrape carries the exemplar suffix and
+        // still terminates with # EOF.
+        let reg = Arc::new(MetricsRegistry::new());
+        let sources = ExpoSources {
+            metrics: Some(Arc::clone(&reg)),
+            exemplars: Some(Arc::new(ExemplarRing::new())),
+            profiler: Some(Arc::new(PhaseProfiler::new())),
+            ..ExpoSources::default()
+        };
+        sources.exemplars.as_ref().unwrap().capture(&Exemplar {
+            request_id: 1,
+            latency_ns: 5,
+            ..Exemplar::default()
+        });
+        let server = ExpoServer::start("127.0.0.1:0", sources).unwrap();
+        let (status, _, body) = http_get(server.addr(), "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("krr_profiler_dropped_total 0\n"));
+        assert!(body.trim_end().ends_with("# EOF"));
+        let (status, ctype, body) = http_get(server.addr(), "/metrics?format=json").unwrap();
+        assert_eq!(status, 200);
+        assert!(ctype.starts_with("application/json"));
+        assert!(body.starts_with("{\"schema\":\"krr-metrics-v1\""));
+        let (status, _, body) = http_get(server.addr(), "/exemplars").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.starts_with("{\"schema\":\"krr-exemplars-v1\""));
+        let (status, _, body) = http_get(server.addr(), "/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"exemplar_drops\":0"), "{body}");
+        assert!(body.contains("\"forensics\":\"ok\""), "{body}");
+    }
+
+    #[test]
     fn server_serves_and_shuts_down_cleanly() {
         let reg = Arc::new(MetricsRegistry::new());
         reg.hits.add(5);
@@ -875,7 +1056,7 @@ mod tests {
             ..ExpoSources::default()
         };
         let server = ExpoServer::start("127.0.0.1:0", sources).unwrap();
-        for path in ["/metrics", "/stats", "/trace"] {
+        for path in ["/metrics", "/stats", "/trace", "/exemplars", "/profile"] {
             let (status, _, _) = http_get(server.addr(), path).unwrap();
             assert_eq!(status, 404, "{path}");
         }

@@ -47,8 +47,18 @@
 //! * [`metrics`] — lock-free counters/histograms observing the pipeline.
 //! * [`obs`] — flight-recorder span tracing (Chrome trace export) and the
 //!   windowed stats timeline.
+//! * [`profiler`] — always-on self-profiler: per-thread phase-attribution
+//!   rings behind the flight recorder, exported as folded flamegraph text.
+//! * [`forensics`] — tail-request exemplars: a lock-free ring of p99+
+//!   requests with their counter context (`krr-exemplars-v1`).
+//! * [`doctor`] — the PERFORMANCE.md counter-signature playbook as
+//!   machine-checked rules (`krr-doctor-v1`) plus the CI artifact
+//!   schema validator.
+//! * [`json`] — minimal std-only JSON parser for reading the repo's own
+//!   artifacts back.
 //! * [`expo`] — embedded HTTP/1.1 exposition server (`/metrics` in
-//!   OpenMetrics text, `/mrc`, `/stats`, `/trace`, `/healthz`).
+//!   OpenMetrics text, `/mrc`, `/stats`, `/trace`, `/exemplars`,
+//!   `/profile`, `/healthz`).
 //! * [`footprint`] — deep memory accounting ([`Footprint`] trait) for the
 //!   paper's §5.6–5.7 space-cost comparison.
 //! * [`heap`] — opt-in counting global allocator (`alloc-stats` feature)
@@ -64,12 +74,15 @@
 #![warn(clippy::all)]
 
 pub mod checkpoint;
+pub mod doctor;
 pub mod expo;
 pub mod fleet;
 pub mod footprint;
+pub mod forensics;
 pub mod hashing;
 pub mod heap;
 pub mod histogram;
+pub mod json;
 pub mod metrics;
 pub mod model;
 pub mod mrc;
@@ -78,6 +91,7 @@ pub mod partition;
 pub mod persist;
 pub mod pipeline;
 pub mod prob;
+pub mod profiler;
 pub mod ring;
 pub mod rng;
 pub mod sampling;
@@ -88,15 +102,18 @@ pub mod update;
 pub mod windowed;
 
 pub use checkpoint::{CheckpointReader, CheckpointWriter};
+pub use doctor::{diagnose, DoctorCounters, DoctorReport, Finding};
 pub use expo::{ExpoServer, ExpoSources, MrcCell, StatsRing};
 pub use fleet::{FleetArena, FleetCell, FleetConfig, FleetView};
 pub use footprint::{Footprint, FootprintReport};
+pub use forensics::{Exemplar, ExemplarRing};
 pub use histogram::SdHistogram;
 pub use metrics::{MetricsRegistry, MetricsSnapshot, TenantRow};
 pub use model::{KrrConfig, KrrModel, ModelStats, SizeMode};
 pub use mrc::{even_sizes, Mrc};
 pub use obs::{FlightRecorder, Phase, SpanEvent, StatsTimeline, ThreadRecorder};
 pub use pipeline::PipelineConfig;
+pub use profiler::{PhaseProfiler, ProfPhase};
 pub use sampling::SpatialFilter;
 pub use sharded::{shard_of_hash, ShardedKrr};
 pub use sizearray::SizeArray;

@@ -44,6 +44,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+use crate::profiler::{PhaseProfiler, ProfPhase, ProfilerHandle};
 
 /// Default ring capacity in events per registered thread.
 pub const DEFAULT_RING_CAPACITY: usize = 8192;
@@ -79,6 +80,8 @@ pub enum Phase {
     StatsTick = 8,
     /// Accuracy-watchdog shadow comparison (arg = MAE in ppm).
     WatchdogCheck = 9,
+    /// Worker blocked waiting on an empty ring (arg = worker index).
+    RingWait = 10,
 }
 
 impl Phase {
@@ -96,6 +99,7 @@ impl Phase {
             Phase::Command => "command",
             Phase::StatsTick => "stats_tick",
             Phase::WatchdogCheck => "watchdog_check",
+            Phase::RingWait => "ring_wait",
         }
     }
 
@@ -111,6 +115,7 @@ impl Phase {
             7 => Phase::Command,
             8 => Phase::StatsTick,
             9 => Phase::WatchdogCheck,
+            10 => Phase::RingWait,
             _ => return None,
         })
     }
@@ -161,6 +166,10 @@ pub struct FlightRecorder {
     epoch: Instant,
     capacity: usize,
     rings: Mutex<Vec<Arc<Ring>>>,
+    /// Embedded self-profiler: every recorded span is also attributed to
+    /// a [`ProfPhase`] bucket on the recording thread, so instrumented
+    /// code gets phase attribution for free (see [`crate::profiler`]).
+    profiler: Arc<PhaseProfiler>,
 }
 
 impl Default for FlightRecorder {
@@ -186,7 +195,14 @@ impl FlightRecorder {
             epoch: Instant::now(),
             capacity: capacity.max(16).next_power_of_two(),
             rings: Mutex::new(Vec::new()),
+            profiler: Arc::new(PhaseProfiler::new()),
         }
+    }
+
+    /// The embedded phase-attribution profiler (source of `/profile`).
+    #[must_use]
+    pub fn profiler(&self) -> &Arc<PhaseProfiler> {
+        &self.profiler
     }
 
     /// Registers a new logical thread and returns its recording handle.
@@ -203,9 +219,11 @@ impl FlightRecorder {
                 .collect(),
         });
         rings.push(Arc::clone(&ring));
+        drop(rings);
         ThreadRecorder {
             ring,
             epoch: self.epoch,
+            prof: self.profiler.register(label),
         }
     }
 
@@ -281,18 +299,29 @@ impl FlightRecorder {
         drop(rings);
         for e in &events {
             sep(&mut w, &mut first)?;
+            // Command spans pack `tag | (tenant_id + 1) << 8` so fleet-mode
+            // slow commands stay attributable; decode the tenant back out.
+            let args = if e.phase == Phase::Command && e.arg >> 8 != 0 {
+                format!(
+                    "{{\"arg\":{},\"tenant\":{}}}",
+                    e.arg & 0xFF,
+                    (e.arg >> 8) - 1
+                )
+            } else {
+                format!("{{\"arg\":{}}}", e.arg)
+            };
             // ts/dur are microseconds with ns precision kept as decimals.
             write!(
                 w,
                 "{{\"name\":\"{}\",\"cat\":\"krr\",\"ph\":\"X\",\"ts\":{}.{:03},\
-                 \"dur\":{}.{:03},\"pid\":1,\"tid\":{},\"args\":{{\"arg\":{}}}}}",
+                 \"dur\":{}.{:03},\"pid\":1,\"tid\":{},\"args\":{}}}",
                 e.phase.name(),
                 e.start_ns / 1_000,
                 e.start_ns % 1_000,
                 e.dur_ns / 1_000,
                 e.dur_ns % 1_000,
                 e.tid,
-                e.arg
+                args
             )?;
         }
         write!(
@@ -325,6 +354,7 @@ const VALID_TAG: u64 = 0x000B_5E55;
 pub struct ThreadRecorder {
     ring: Arc<Ring>,
     epoch: Instant,
+    prof: ProfilerHandle,
 }
 
 impl ThreadRecorder {
@@ -350,6 +380,9 @@ impl ThreadRecorder {
         // Release-publish the slot before advancing the cursor so a drain
         // that sees the new cursor sees the completed words.
         self.ring.cursor.store(i + 1, Ordering::Release);
+        // Piggyback phase attribution for the self-profiler: every span
+        // is also a profile sample on this thread.
+        self.prof.sample(ProfPhase::from_span(phase), dur_ns);
     }
 
     /// Records a span that started at `start_ns` and ends now.
@@ -369,9 +402,17 @@ impl ThreadRecorder {
     pub fn tid(&self) -> u32 {
         self.ring.tid
     }
+
+    /// Attributes `ns` to a profiler bucket without recording a span —
+    /// for stretches no span covers (the router's hashing time between
+    /// dispatches samples [`ProfPhase::Hash`] this way).
+    #[inline]
+    pub fn profile(&self, phase: ProfPhase, ns: u64) {
+        self.prof.sample(phase, ns);
+    }
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -70,6 +70,7 @@ use crate::hashing::{hash_key, hash_keys8};
 use crate::metrics::MetricsRegistry;
 use crate::model::KrrModel;
 use crate::obs::{FlightRecorder, Phase};
+use crate::profiler::ProfPhase;
 use crate::ring::{ring, Consumer, Producer};
 use crate::sharded::shard_of_hash;
 
@@ -309,7 +310,21 @@ where
                 let rec = recorder.map(|r| r.register(&format!("worker-{w}")));
                 scope.spawn(move || {
                     let mut busy_ns = 0u64;
-                    while let Some(batch) = rx.pop() {
+                    loop {
+                        let w0 = rec.as_ref().map(|r| r.now_ns());
+                        let Some(batch) = rx.pop() else { break };
+                        // Attribute the time spent inside pop() (spin +
+                        // park on an empty ring) to ring-wait: long waits
+                        // become trace spans, short ones only profiler
+                        // samples, so the timeline stays readable.
+                        if let (Some(r), Some(w0)) = (&rec, w0) {
+                            let wait = r.now_ns().saturating_sub(w0);
+                            if wait >= 1_000 {
+                                r.record(Phase::RingWait, w0, wait, w as u64);
+                            } else {
+                                r.profile(ProfPhase::RingWait, wait);
+                            }
+                        }
                         let t0 = Instant::now();
                         let r0 = rec.as_ref().map(|r| r.now_ns());
                         let model = &mut group[batch.shard / threads];
@@ -349,6 +364,9 @@ where
         let mut keys_hashed = 0u64;
         let mut batches = 0u64;
         let mut stalls = 0u64;
+        // Self-profiler hash attribution: the stretch between dispatches
+        // is hashing + buffering, which no span covers.
+        let mut hash_mark = router_rec.as_ref().map(|r| r.now_ns());
         let mut dispatch = |s: usize, refs: Vec<RoutedRef>| {
             let d = depth[s].fetch_add(1, Ordering::Relaxed) + 1;
             if let Some(reg) = metrics {
@@ -356,6 +374,9 @@ where
             }
             batches += 1;
             let b0 = router_rec.as_ref().map(|r| r.now_ns());
+            if let (Some(r), Some(m), Some(b0)) = (&router_rec, hash_mark, b0) {
+                r.profile(ProfPhase::Hash, b0.saturating_sub(m));
+            }
             let tx = &mut batch_txs[s % threads];
             if let Err(b) = tx.try_push(Batch { shard: s, refs }) {
                 // Ring full even after refreshing the cached head: the
@@ -369,6 +390,7 @@ where
             }
             if let (Some(r), Some(b0)) = (&router_rec, b0) {
                 r.record_since(Phase::RouterBatch, b0, s as u64);
+                hash_mark = Some(r.now_ns());
             }
         };
         for (s, key, size, h) in items {

@@ -33,6 +33,7 @@ fn main() -> ExitCode {
         "plot" => cmd_plot(rest),
         "partition" => cmd_partition(rest),
         "load" => cmd_load(rest),
+        "doctor" => cmd_doctor(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -107,7 +108,20 @@ USAGE:
             in a fleet arena;
             --ab replays the identical schedule twice — MRC profiling
             plus live /metrics scraping off, then on — and reports the
-            p99 delta; --json writes the krr-load-v1 report)
+            p99 delta and a krr doctor diagnosis of the profiled side;
+            --json writes the krr-load-v1 report)
+  krr doctor (--live HOST:PORT | --offline [DIR]
+              | [--metrics-in FILE] [--exemplars FILE] [--bench FILE])
+             [--json FILE]
+             (counter-signature diagnosis from docs/PERFORMANCE.md as
+              machine-checked rules; --live scrapes a running exposition
+              server's /metrics?format=json and /exemplars, --offline
+              validates every BENCH_*.json and krr-*-v1 artifact under
+              DIR (default .) against its schema and then diagnoses
+              BENCH_pipeline.json, --metrics-in/--exemplars/--bench read
+              dumped artifacts; --json writes the krr-doctor-v1 report;
+              exit status is nonzero when an --offline artifact fails
+              schema validation — diagnoses themselves are advisory)
 
 WORKLOAD SPECS:
   msr:<web|src1|src2|proj|usr|hm|rsrch|mds|prn|prxy|stg|ts|wdev>
@@ -132,6 +146,7 @@ impl Flags {
                     || name == "metrics"
                     || name == "ab"
                     || name == "no-prefill"
+                    || name == "offline"
                 {
                     pairs.push((name.to_string(), "true".to_string()));
                 } else {
@@ -420,6 +435,10 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
                 stats: stats_ring.clone(),
                 trace: recorder.clone(),
                 tenants: None,
+                exemplars: None,
+                profiler: recorder
+                    .as_ref()
+                    .map(|r| std::sync::Arc::clone(r.profiler())),
             };
             let srv = krr::core::ExpoServer::start(addr.as_str(), sources)
                 .map_err(|e| format!("--serve {addr}: {e}"))?;
@@ -1115,7 +1134,19 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
             ..AbConfig::default()
         };
         if f.flag("ab") {
-            krr::load::run_ab(&schedule, &trace, &load_cfg, &ab_cfg).map_err(|e| e.to_string())?
+            let (report, metrics_json) =
+                krr::load::run_ab_forensics(&schedule, &trace, &load_cfg, &ab_cfg)
+                    .map_err(|e| e.to_string())?;
+            // Post-mortem the profiled side: the same counter-signature
+            // rules `krr doctor` runs, on the run we just measured.
+            if let Some(doc) = metrics_json
+                .as_deref()
+                .and_then(|s| krr::core::json::parse(s).ok())
+            {
+                let counters = krr::core::doctor::DoctorCounters::from_metrics_json(&doc);
+                eprint!("{}", krr::core::doctor::diagnose(&counters).render_text());
+            }
+            report
         } else {
             let mut store = krr::redis::MiniRedis::new(maxmemory, samples, seed);
             if load_cfg.tenants > 0 {
@@ -1141,6 +1172,112 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
     if let Some(path) = f.get("json") {
         std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("wrote krr-load-v1 report to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_doctor(args: &[String]) -> Result<(), String> {
+    use krr::core::doctor::{diagnose, validate_artifact, DoctorCounters};
+    use krr::core::json;
+    let f = Flags::parse(args)?;
+
+    let read_json = |path: &str| -> Result<json::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+
+    let report = if let Some(live) = f.get("live") {
+        // Live mode: the exposition server's JSON snapshot is the exact
+        // krr-metrics-v1 document the offline path reads from a file.
+        let addr: std::net::SocketAddr = live
+            .parse()
+            .map_err(|_| format!("--live: cannot parse {live:?}"))?;
+        let (status, _, body) = krr::core::expo::http_get(addr, "/metrics?format=json")
+            .map_err(|e| format!("--live {live}: {e}"))?;
+        if status != 200 {
+            return Err(format!("--live {live}/metrics: HTTP {status}"));
+        }
+        let doc = json::parse(&body).map_err(|e| format!("--live {live}/metrics: {e}"))?;
+        let mut counters = DoctorCounters::from_metrics_json(&doc);
+        // Exemplars are optional: a model-only server has no ring.
+        if let Ok((200, _, body)) = krr::core::expo::http_get(addr, "/exemplars") {
+            if let Ok(doc) = json::parse(&body) {
+                counters.join_exemplars(&doc);
+            }
+        }
+        diagnose(&counters)
+    } else if f.flag("offline") {
+        // Offline mode: sweep the artifact directory, hold every
+        // committed krr-*-v1 document to its grow-only schema, then
+        // diagnose the pipeline bench the same way a live scrape would be.
+        let dir = f.positional.first().map_or(".", String::as_str);
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("{dir}: {e}"))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                name.ends_with(".json") && (name.starts_with("BENCH_") || name.contains("krr-"))
+            })
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(format!("{dir}: no BENCH_*.json artifacts to validate"));
+        }
+        let mut invalid = 0usize;
+        let mut pipeline_doc = None;
+        for path in &paths {
+            let shown = path.display();
+            match std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| json::parse(&text))
+                .and_then(|doc| {
+                    let schema = validate_artifact(&doc)?;
+                    Ok((doc, schema))
+                }) {
+                Ok((doc, schema)) => {
+                    println!("valid   {shown} ({schema})");
+                    if schema == "krr-bench-pipeline-v2" {
+                        pipeline_doc = Some(doc);
+                    }
+                }
+                Err(e) => {
+                    println!("INVALID {shown}: {e}");
+                    invalid += 1;
+                }
+            }
+        }
+        if invalid > 0 {
+            return Err(format!("{invalid} artifact(s) failed schema validation"));
+        }
+        let Some(doc) = pipeline_doc else {
+            println!("all artifacts valid; no pipeline bench to diagnose");
+            return Ok(());
+        };
+        diagnose(&DoctorCounters::from_bench_pipeline(&doc))
+    } else {
+        let mut counters = None;
+        if let Some(path) = f.get("metrics-in") {
+            counters = Some(DoctorCounters::from_metrics_json(&read_json(path)?));
+        }
+        if let Some(path) = f.get("bench") {
+            if counters.is_some() {
+                return Err("--metrics-in and --bench are mutually exclusive".into());
+            }
+            counters = Some(DoctorCounters::from_bench_pipeline(&read_json(path)?));
+        }
+        let Some(mut counters) = counters else {
+            return Err("need --live, --offline, --metrics-in, or --bench".into());
+        };
+        if let Some(path) = f.get("exemplars") {
+            counters.join_exemplars(&read_json(path)?);
+        }
+        diagnose(&counters)
+    };
+
+    print!("{}", report.render_text());
+    if let Some(path) = f.get("json") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote krr-doctor-v1 report to {path}");
     }
     Ok(())
 }

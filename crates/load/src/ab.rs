@@ -58,14 +58,15 @@ impl Default for AbConfig {
 }
 
 /// Runs one side of the experiment against a fresh server and returns its
-/// report.
+/// report, plus the profiled side's end-of-run `/metrics?format=json`
+/// snapshot (the input `krr doctor` wants).
 fn run_side(
     profiled: bool,
     schedule: &Schedule,
     reqs: &[Request],
     load: &LoadConfig,
     ab: &AbConfig,
-) -> io::Result<LoadReport> {
+) -> io::Result<(LoadReport, Option<String>)> {
     let mut store = MiniRedis::new(ab.maxmemory, ab.samples, ab.seed);
     if profiled {
         store.enable_mrc_profiling(&ab.krr, ab.shards.max(1));
@@ -115,8 +116,17 @@ fn run_side(
     if let Some(t) = scraper {
         let _ = t.join();
     }
+    // Grab the final counter snapshot before the server goes away so the
+    // caller can run post-mortem diagnosis on the exact run it measured.
+    let metrics_json = match (result.is_ok(), server.expo_addr()) {
+        (true, Some(addr)) => krr_core::expo::http_get(addr, "/metrics?format=json")
+            .ok()
+            .filter(|(status, _, _)| *status == 200)
+            .map(|(_, _, body)| body),
+        _ => None,
+    };
     server.shutdown();
-    result
+    result.map(|r| (r, metrics_json))
 }
 
 /// Replays `schedule` twice — profiling + scraping off, then on — and
@@ -127,8 +137,20 @@ pub fn run_ab(
     load: &LoadConfig,
     ab: &AbConfig,
 ) -> io::Result<LoadReport> {
-    let off = run_side(false, schedule, reqs, load, ab)?;
-    let mut on = run_side(true, schedule, reqs, load, ab)?;
+    run_ab_forensics(schedule, reqs, load, ab).map(|(report, _)| report)
+}
+
+/// Like [`run_ab`], but also returns the profiled side's end-of-run
+/// `krr-metrics-v1` JSON snapshot so `krr doctor` can diagnose the run
+/// without a second experiment.
+pub fn run_ab_forensics(
+    schedule: &Schedule,
+    reqs: &[Request],
+    load: &LoadConfig,
+    ab: &AbConfig,
+) -> io::Result<(LoadReport, Option<String>)> {
+    let (off, _) = run_side(false, schedule, reqs, load, ab)?;
+    let (mut on, metrics_json) = run_side(true, schedule, reqs, load, ab)?;
     on.ab = AbReport::compare(off.latency_ns.p99_ns, on.latency_ns.p99_ns, ab.limit_pct);
-    Ok(on)
+    Ok((on, metrics_json))
 }

@@ -149,7 +149,7 @@ impl Client {
     /// `SLOWLOG GET` — newest-first entries as
     /// `(id, start_µs_since_server_start, duration_µs, argv)`.
     #[allow(clippy::type_complexity)]
-    pub fn slowlog_get(&mut self) -> io::Result<Vec<(i64, i64, i64, Vec<Vec<u8>>)>> {
+    pub fn slowlog_get(&mut self) -> io::Result<Vec<(i64, i64, i64, Vec<Vec<u8>>, Option<i64>)>> {
         let Value::Array(items) = self.raw(&[b"SLOWLOG", b"GET"])? else {
             return Err(io::Error::other("SLOWLOG GET: expected array"));
         };
@@ -158,10 +158,15 @@ impl Client {
             let Value::Array(fields) = item else {
                 return Err(io::Error::other("SLOWLOG entry: expected array"));
             };
-            let [Value::Integer(id), Value::Integer(ts), Value::Integer(dur), Value::Array(argv)] =
+            let [Value::Integer(id), Value::Integer(ts), Value::Integer(dur), Value::Array(argv), tenant] =
                 fields.as_slice()
             else {
                 return Err(io::Error::other("SLOWLOG entry: bad shape"));
+            };
+            let tenant = match tenant {
+                Value::Integer(t) => Some(*t),
+                Value::Bulk(None) => None,
+                _ => return Err(io::Error::other("SLOWLOG tenant: bad shape")),
             };
             let argv = argv
                 .iter()
@@ -170,7 +175,7 @@ impl Client {
                     _ => Err(io::Error::other("SLOWLOG argv: expected bulk")),
                 })
                 .collect::<io::Result<Vec<_>>>()?;
-            out.push((*id, *ts, *dur, argv));
+            out.push((*id, *ts, *dur, argv, tenant));
         }
         Ok(out)
     }

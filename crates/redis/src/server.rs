@@ -6,16 +6,27 @@
 //! instance). Supported commands: `GET`, `SET`, `DEL`, `DBSIZE`, `INFO`,
 //! `METRICS`, `MRC`, `PING`, `SHUTDOWN`, `BGSAVE`, `TRACE DUMP`,
 //! `SLOWLOG GET|LEN|RESET`, and `CONFIG GET|SET` for
-//! `slowlog-log-slower-than` and `expo-port`.
+//! `slowlog-log-slower-than`, `expo-port`, and `forensics`.
 //!
 //! `CONFIG SET expo-port <port>` starts an embedded
 //! [`krr_core::expo::ExpoServer`] on `127.0.0.1:<port>` serving the store's
-//! metrics registry as OpenMetrics text (`/metrics`), the live profiler
-//! curve (`/mrc`, refreshed every
+//! metrics registry as OpenMetrics text (`/metrics`, with tail-latency
+//! exemplars), the live profiler curve (`/mrc`, refreshed every
 //! [`crate::store::EXPO_REFRESH_EVERY`] GETs), the flight recorder
-//! (`/trace`), and `/healthz`; `CONFIG SET expo-port 0` stops it. The
+//! (`/trace`), the exemplar ring (`/exemplars`), the phase profiler
+//! (`/profile`), and `/healthz`; `CONFIG SET expo-port 0` stops it. The
 //! same data also lands in `INFO`'s `# memory` section via the shared
 //! registry.
+//!
+//! Tail-latency forensics: every command draws a request id from an
+//! [`krr_core::forensics::ExemplarRing`]; commands whose latency lands in
+//! the top histogram bucket (≈p99+) are captured with their tenant,
+//! command tag, and a counter-context join (ring parks, deep-chain work,
+//! scrape-in-progress). `CONFIG SET forensics off` disables both the
+//! exemplar ring and the phase profiler, leaving only the flight
+//! recorder — the baseline side of `BENCH_doctor.json`. Slow-log entries
+//! and `Command` trace spans carry the connection's tenant so fleet-mode
+//! tails are attributable.
 //!
 //! `BGSAVE` writes an atomic `krr-ckpt-v1` checkpoint of the whole store
 //! (keyspace, counters, profiler, watchdog) to the path configured with
@@ -43,6 +54,7 @@
 use crate::resp::{read_value, write_value, Value};
 use crate::store::MiniRedis;
 use krr_core::expo::{ExpoServer, ExpoSources, MrcCell};
+use krr_core::forensics::{Exemplar, ExemplarRing};
 use krr_core::obs::{FlightRecorder, Phase};
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter};
@@ -63,6 +75,9 @@ struct SlowEntry {
     start_us: u64,
     dur_us: u64,
     argv: Vec<Vec<u8>>,
+    /// Tenant selected on the connection when the command ran, so
+    /// fleet-mode slow queries are attributable.
+    tenant: Option<u64>,
 }
 
 /// The server's slow log: commands whose handling exceeded the threshold.
@@ -83,7 +98,7 @@ impl SlowLog {
         }
     }
 
-    fn offer(&self, start_ns: u64, dur_ns: u64, argv: &[&[u8]]) {
+    fn offer(&self, start_ns: u64, dur_ns: u64, argv: &[&[u8]], tenant: Option<u64>) {
         if dur_ns <= self.threshold_us.load(Ordering::Relaxed) * 1_000 {
             return;
         }
@@ -92,6 +107,7 @@ impl SlowLog {
             start_us: start_ns / 1_000,
             dur_us: dur_ns / 1_000,
             argv: argv.iter().map(|a| a.to_vec()).collect(),
+            tenant,
         };
         let mut entries = self.entries.lock().expect("slowlog poisoned");
         if entries.len() == SLOWLOG_MAX_LEN {
@@ -105,6 +121,9 @@ impl SlowLog {
 struct ServerObs {
     recorder: Arc<FlightRecorder>,
     slowlog: SlowLog,
+    /// Tail-request exemplar ring: every command gets a request id, p99+
+    /// commands are captured with their counter context.
+    exemplars: Arc<ExemplarRing>,
     next_conn: AtomicU64,
     /// Sources handed to the exposition server when `expo-port` is set.
     expo_sources: ExpoSources,
@@ -135,18 +154,22 @@ impl Server {
         store.set_mrc_cell(Arc::clone(&mrc_cell));
         let fleet_cell = Arc::new(krr_core::fleet::FleetCell::new());
         store.set_fleet_cell(Arc::clone(&fleet_cell));
+        let exemplars = Arc::new(ExemplarRing::new());
         let expo_sources = ExpoSources {
             metrics: Some(Arc::clone(store.metrics())),
             mrc: Some(mrc_cell),
             stats: None,
             trace: Some(Arc::clone(&recorder)),
             tenants: Some(fleet_cell),
+            exemplars: Some(Arc::clone(&exemplars)),
+            profiler: Some(Arc::clone(recorder.profiler())),
         };
         let store = Arc::new(Mutex::new(store));
         let stop = Arc::new(AtomicBool::new(false));
         let obs = Arc::new(ServerObs {
             recorder: Arc::clone(&recorder),
             slowlog: SlowLog::new(),
+            exemplars,
             next_conn: AtomicU64::new(0),
             expo_sources,
             expo: Mutex::new(None),
@@ -250,6 +273,8 @@ fn serve_connection(
 ) -> io::Result<()> {
     let conn_id = obs.next_conn.fetch_add(1, Ordering::Relaxed);
     let rec = obs.recorder.register(&format!("conn-{conn_id}"));
+    // Grabbed once so the exemplar capture path never takes the store lock.
+    let metrics = Arc::clone(store.lock().expect("store poisoned").metrics());
     conn.set_nodelay(true)?;
     // A read timeout lets idle workers notice the stop flag instead of
     // blocking forever in `read` (which would deadlock `shutdown` while a
@@ -295,9 +320,17 @@ fn serve_connection(
             }
             Err(e) => return Err(e),
         };
+        let request_id = obs.exemplars.next_request_id();
         let t0 = rec.now_ns();
         let reply = handle(&request, store, stop, obs, &mut tenant);
         let dur = rec.now_ns() - t0;
+        write_value(&mut writer, &reply)?;
+        use std::io::Write;
+        writer.flush()?;
+        // Forensics run strictly after the reply is on the wire: the
+        // capture cost (it lands on exactly the tail requests) must not
+        // inflate the latency the client observes. `dur` was taken
+        // before the write, so it remains pure service time.
         if let Value::Array(parts) = &request {
             let argv: Vec<&[u8]> = parts
                 .iter()
@@ -307,12 +340,30 @@ fn serve_connection(
                 })
                 .collect();
             let tag = argv.first().map_or(0, |c| command_tag(c));
-            rec.record(Phase::Command, t0, dur, tag);
-            obs.slowlog.offer(t0, dur, &argv);
+            // Pack the tenant into the span arg (0 = none) so trace spans
+            // are attributable in fleet mode; the trace writer unpacks it.
+            let span_arg = match tenant {
+                Some(t) => tag | ((t + 1) << 8),
+                None => tag,
+            };
+            rec.record(Phase::Command, t0, dur, span_arg);
+            obs.slowlog.offer(t0, dur, &argv, tenant);
+            if obs.exemplars.observe(dur) {
+                // Tail request: join the span key with the counter context
+                // a post-mortem needs. All reads are lock-free.
+                obs.exemplars.capture(&Exemplar {
+                    request_id,
+                    tenant,
+                    latency_ns: dur,
+                    start_ns: t0,
+                    command_tag: tag as u8,
+                    scrape_in_progress: obs.exemplars.scrape_in_progress(),
+                    router_parks: metrics.pipeline_router_parks.get(),
+                    worker_parks: metrics.pipeline_worker_parks.get(),
+                    deep_chains: metrics.chain_len.count(),
+                });
+            }
         }
-        write_value(&mut writer, &reply)?;
-        use std::io::Write;
-        writer.flush()?;
     }
 }
 
@@ -491,6 +542,10 @@ fn handle(
                                 Value::Array(
                                     e.argv.iter().map(|a| Value::bulk(a.clone())).collect(),
                                 ),
+                                match e.tenant {
+                                    Some(t) => Value::Integer(t as i64),
+                                    None => Value::Bulk(None),
+                                },
                             ])
                         })
                         .collect();
@@ -528,6 +583,12 @@ fn handle(
                     Value::Array(vec![
                         Value::bulk(b"expo-port".to_vec()),
                         Value::bulk(port.to_string().into_bytes()),
+                    ])
+                } else if param.eq_ignore_ascii_case(b"forensics") {
+                    let on = obs.exemplars.enabled();
+                    Value::Array(vec![
+                        Value::bulk(b"forensics".to_vec()),
+                        Value::bulk(if on { b"on".to_vec() } else { b"off".to_vec() }),
                     ])
                 } else {
                     Value::Array(Vec::new())
@@ -568,12 +629,25 @@ fn handle(
                         }
                         Err(e) => Value::Error(format!("ERR expo-port bind: {e}")),
                     }
+                } else if param.eq_ignore_ascii_case(b"forensics") {
+                    // One switch for both forensic subsystems: the exemplar
+                    // ring and the phase profiler. Used by the overhead
+                    // bench to get a recorder-only baseline.
+                    let on = match value.to_ascii_lowercase().as_slice() {
+                        b"on" => true,
+                        b"off" => false,
+                        _ => return Value::Error("ERR forensics must be on|off".into()),
+                    };
+                    obs.exemplars.set_enabled(on);
+                    obs.recorder.profiler().set_enabled(on);
+                    Value::Simple("OK".into())
                 } else {
                     Value::Error("ERR unknown CONFIG parameter".into())
                 }
             }
             _ => Value::Error(
-                "ERR usage: CONFIG GET|SET slowlog-log-slower-than|expo-port [value]".into(),
+                "ERR usage: CONFIG GET|SET slowlog-log-slower-than|expo-port|forensics [value]"
+                    .into(),
             ),
         },
         other => Value::Error(format!(
@@ -738,6 +812,66 @@ mod tests {
                 .is_err(),
             "expo port should be closed after expo-port 0"
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn slowlog_entries_carry_the_connection_tenant() {
+        let mut store = MiniRedis::new(1_000_000, 5, 8);
+        store.enable_fleet_profiling(krr_core::fleet::FleetConfig::new(
+            krr_core::KrrConfig::new(5.0).seed(7),
+        ));
+        let mut server = Server::start(store).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        client.set_slowlog_threshold_us(0).unwrap();
+        client.tenant(3).unwrap();
+        let _ = client.get(42).unwrap();
+        client.tenant_none().unwrap();
+        let _ = client.get(42).unwrap();
+        let entries = client.slowlog_get().unwrap();
+        let gets: Vec<Option<i64>> = entries
+            .iter()
+            .filter(|e| e.3.first().map(Vec::as_slice) == Some(b"GET"))
+            .map(|e| e.4)
+            .collect();
+        // Newest first: the tenant-less GET, then the tenant-3 GET.
+        assert_eq!(gets, [None, Some(3)], "slowlog tenants: {entries:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn forensics_toggle_and_exemplar_capture() {
+        let mut server = Server::start(MiniRedis::new(1_000_000, 5, 6)).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        // The threshold starts at 0 (everything is "tail" until the
+        // histogram warms up), so early commands capture exemplars.
+        for key in 0..50u64 {
+            let _ = client.access(key, 50).unwrap();
+        }
+        let reply = client.raw(&[b"CONFIG", b"GET", b"forensics"]).unwrap();
+        let Value::Array(kv) = &reply else {
+            panic!("CONFIG GET forensics: {reply:?}")
+        };
+        assert!(matches!(&kv[1], Value::Bulk(Some(v)) if v == b"on"));
+        // Toggle off: no new exemplars are recorded, and the connection
+        // round-trips both states.
+        let reply = client
+            .raw(&[b"CONFIG", b"SET", b"forensics", b"off"])
+            .unwrap();
+        assert!(matches!(&reply, Value::Simple(s) if s == "OK"));
+        let reply = client.raw(&[b"CONFIG", b"GET", b"forensics"]).unwrap();
+        let Value::Array(kv) = &reply else {
+            panic!("CONFIG GET forensics: {reply:?}")
+        };
+        assert!(matches!(&kv[1], Value::Bulk(Some(v)) if v == b"off"));
+        let reply = client
+            .raw(&[b"CONFIG", b"SET", b"forensics", b"banana"])
+            .unwrap();
+        assert!(matches!(reply, Value::Error(_)));
+        let reply = client
+            .raw(&[b"CONFIG", b"SET", b"forensics", b"on"])
+            .unwrap();
+        assert!(matches!(&reply, Value::Simple(s) if s == "OK"));
         server.shutdown();
     }
 

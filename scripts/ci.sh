@@ -53,6 +53,14 @@ cargo run --release --offline -q -p krr --example flash_crowd > /tmp/krr_flash_c
 grep -q "flash crowd amplified p99" /tmp/krr_flash_crowd.out
 grep -q "errors 0" /tmp/krr_flash_crowd.out
 
+# Artifact gate: every committed BENCH_*.json / krr-*-v* document must
+# carry a known schema tag and its required keys (`krr doctor --offline`
+# exits nonzero on any validation failure; its diagnoses are advisory
+# and never gate).
+cargo run --release --offline -q -p krr --bin krr -- doctor --offline . > /tmp/krr_doctor.out
+grep -q "BENCH_pipeline.json (krr-bench-pipeline-v2)" /tmp/krr_doctor.out
+grep -q "BENCH_doctor.json (krr-bench-doctor-v1)" /tmp/krr_doctor.out
+
 # Optional perf tracking: KRR_CI_BENCH=1 refreshes BENCH_pipeline.json
 # (sequential vs rescan vs route-once pipeline throughput), BENCH_obs.json
 # (flight-recorder off vs on; exits nonzero if tracing costs more than its
@@ -63,7 +71,8 @@ grep -q "errors 0" /tmp/krr_flash_crowd.out
 # nonzero past a 10% tail budget) and BENCH_fleet.json (1000+-tenant
 # arena in one process: aggregate /metrics scrape overhead under the same
 # 5% budget, per-tenant resident bytes within 2x of the Footprint
-# prediction).
+# prediction) and BENCH_doctor.json (paired forensics on/off RESP A/B:
+# exemplar+profiler p99 cost under a 3% budget, MRC bit-identical).
 if [ "${KRR_CI_BENCH:-0}" = "1" ]; then
     # Long-running SPSC ring stress (ignored by default): hammers
     # push/pop/park/close across capacities from both sides.
@@ -73,6 +82,7 @@ if [ "${KRR_CI_BENCH:-0}" = "1" ]; then
     cargo bench -q --offline -p krr-bench --bench space
     cargo bench -q --offline -p krr-bench --bench load
     cargo bench -q --offline -p krr-bench --bench fleet
+    cargo bench -q --offline -p krr-bench --bench doctor
 fi
 
 echo "ci: OK"

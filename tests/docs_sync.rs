@@ -1,0 +1,120 @@
+//! Doc-sync: the architecture document must name every metric.
+//!
+//! `docs/ARCHITECTURE.md` carries the "krr-metrics-v1 key → meaning"
+//! table operators navigate by; a metric that exists in the snapshot but
+//! not in the docs is invisible at 3am. This test walks a representative
+//! live snapshot (the same construction as the golden-schema test) and
+//! asserts every dotted key appears verbatim in the document. Histogram
+//! internals (`buckets`/`count`/`sum`/…) are the generic
+//! `HistogramSnapshot` shape documented once, so only the histogram's own
+//! path is required, not its subfields.
+
+mod support;
+
+use krr::core::sharded::ShardedKrr;
+use krr::core::{KrrConfig, MetricsRegistry};
+use krr::trace::ycsb;
+use std::sync::Arc;
+use support::json::{parse, Json};
+
+/// Same representative snapshot as `tests/metrics_schema.rs`: sharded run
+/// plus a small fleet, so every section is populated.
+fn representative_metrics_json() -> String {
+    let reg = Arc::new(MetricsRegistry::new());
+    let mut bank = ShardedKrr::new(&KrrConfig::new(5.0).seed(3), 4);
+    bank.set_metrics(Arc::clone(&reg));
+    let trace = ycsb::WorkloadC::new(500, 0.9).generate(5_000, 3);
+    bank.process_stream(trace.iter().map(|r| (r.key, r.size)), 2);
+    let _ = bank.mrc();
+    let mut fleet =
+        krr::core::fleet::FleetArena::new(krr::core::fleet::FleetConfig::new(KrrConfig::new(4.0)));
+    fleet.set_metrics(Arc::clone(&reg));
+    for r in trace.iter().take(2_000) {
+        fleet.access(r.key % 3, r.key, r.size);
+    }
+    fleet.publish_metrics();
+    let mut buf = Vec::new();
+    krr::core::persist::write_metrics_json(&mut buf, &reg.snapshot()).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+/// Collects the dotted paths the docs must mention: every key, except
+/// descents into histogram objects (an object with a `buckets` child).
+fn doc_required_paths(v: &Json, path: &str, out: &mut Vec<String>) {
+    if !path.is_empty() {
+        out.push(path.to_string());
+    }
+    let Some(fields) = v.as_obj() else { return };
+    if fields.iter().any(|(k, _)| k == "buckets") {
+        return; // histogram: its subfields are the generic snapshot shape
+    }
+    for (k, child) in fields {
+        let p = if path.is_empty() {
+            k.clone()
+        } else {
+            format!("{path}.{k}")
+        };
+        doc_required_paths(child, &p, out);
+    }
+}
+
+#[test]
+fn architecture_doc_names_every_metrics_key() {
+    let doc_text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../docs/ARCHITECTURE.md"
+    ))
+    .expect("docs/ARCHITECTURE.md exists");
+    let snapshot = parse(&representative_metrics_json()).expect("valid snapshot JSON");
+    let mut required = Vec::new();
+    doc_required_paths(&snapshot, "", &mut required);
+    assert!(
+        required.iter().any(|p| p == "pipeline.ring.router_parks"),
+        "representative snapshot lost its pipeline section: {required:?}"
+    );
+    let missing: Vec<&String> = required
+        .iter()
+        .filter(|p| !doc_text.contains(p.as_str()))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "krr-metrics-v1 keys missing from docs/ARCHITECTURE.md \
+         (add them to the metric table): {missing:?}"
+    );
+}
+
+#[test]
+fn observability_doc_names_every_http_endpoint() {
+    let doc_text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../docs/OBSERVABILITY.md"
+    ))
+    .expect("docs/OBSERVABILITY.md exists");
+    for endpoint in [
+        "/metrics",
+        "/mrc",
+        "/stats",
+        "/trace",
+        "/tenants",
+        "/exemplars",
+        "/profile",
+        "/healthz",
+    ] {
+        assert!(
+            doc_text.contains(endpoint),
+            "endpoint {endpoint} missing from docs/OBSERVABILITY.md"
+        );
+    }
+    for artifact in [
+        "krr-metrics-v1",
+        "krr-exemplars-v1",
+        "krr-doctor-v1",
+        "krr-trace-v1",
+        "krr-stats-v1",
+    ] {
+        assert!(
+            doc_text.contains(artifact),
+            "artifact schema {artifact} missing from docs/OBSERVABILITY.md"
+        );
+    }
+}

@@ -11,6 +11,7 @@ mod support;
 
 use krr::core::expo::{http_get, ExpoServer, ExpoSources, MrcCell, StatsRing};
 use krr::core::fleet::{FleetArena, FleetCell, FleetConfig};
+use krr::core::forensics::{Exemplar, ExemplarRing};
 use krr::core::obs::FlightRecorder;
 use krr::core::sharded::ShardedKrr;
 use krr::core::{KrrConfig, MetricsRegistry, Mrc, TenantRow};
@@ -24,26 +25,32 @@ use support::json;
 use support::openmetrics;
 
 /// A server with every source wired, plus handles to feed them.
+#[allow(clippy::type_complexity)]
 fn full_server() -> (
     ExpoServer,
     Arc<MetricsRegistry>,
     Arc<MrcCell>,
     Arc<StatsRing>,
     Arc<FleetCell>,
+    Arc<ExemplarRing>,
 ) {
     let reg = Arc::new(MetricsRegistry::new());
     let mrc = Arc::new(MrcCell::new());
     let stats = Arc::new(StatsRing::new());
     let fleet = Arc::new(FleetCell::new());
+    let exemplars = Arc::new(ExemplarRing::new());
+    let recorder = Arc::new(FlightRecorder::new());
     let sources = ExpoSources {
         metrics: Some(Arc::clone(&reg)),
         mrc: Some(Arc::clone(&mrc)),
         stats: Some(Arc::clone(&stats)),
-        trace: Some(Arc::new(FlightRecorder::new())),
+        trace: Some(Arc::clone(&recorder)),
         tenants: Some(Arc::clone(&fleet)),
+        exemplars: Some(Arc::clone(&exemplars)),
+        profiler: Some(Arc::clone(recorder.profiler())),
     };
     let server = ExpoServer::start("127.0.0.1:0", sources).unwrap();
-    (server, reg, mrc, stats, fleet)
+    (server, reg, mrc, stats, fleet, exemplars)
 }
 
 /// Sends a raw request (caller includes the blank line) and returns the
@@ -68,7 +75,7 @@ fn raw_request(addr: SocketAddr, request: &str) -> u16 {
 
 #[test]
 fn endpoints_report_expected_statuses_and_content_types() {
-    let (server, reg, mrc, stats, _fleet) = full_server();
+    let (server, reg, mrc, stats, _fleet, _ex) = full_server();
     let addr = server.addr();
     reg.accesses.add(42);
 
@@ -117,7 +124,7 @@ fn endpoints_report_expected_statuses_and_content_types() {
 
 #[test]
 fn non_get_and_malformed_requests_are_rejected() {
-    let (server, _reg, _mrc, _stats, _fleet) = full_server();
+    let (server, _reg, _mrc, _stats, _fleet, _ex) = full_server();
     let addr = server.addr();
     let status = raw_request(addr, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
     assert_eq!(status, 405);
@@ -130,7 +137,7 @@ fn non_get_and_malformed_requests_are_rejected() {
 
 #[test]
 fn healthz_reports_drift_as_503() {
-    let (server, reg, _mrc, _stats, _fleet) = full_server();
+    let (server, reg, _mrc, _stats, _fleet, _ex) = full_server();
     reg.watchdog_drift_events.add(1);
     let (status, _, body) = http_get(server.addr(), "/healthz").unwrap();
     assert_eq!(status, 503);
@@ -140,7 +147,7 @@ fn healthz_reports_drift_as_503() {
 
 #[test]
 fn healthz_details_which_subsystem_is_unhealthy() {
-    let (server, reg, _mrc, _stats, _fleet) = full_server();
+    let (server, reg, _mrc, _stats, _fleet, _ex) = full_server();
     let addr = server.addr();
 
     // Pipeline stalls are back-pressure, not ill health: surfaced in the
@@ -177,7 +184,7 @@ fn healthz_details_which_subsystem_is_unhealthy() {
 
 #[test]
 fn tenant_endpoints_serve_published_fleet_views() {
-    let (server, _reg, _mrc, _stats, fleet) = full_server();
+    let (server, _reg, _mrc, _stats, fleet, _ex) = full_server();
     let addr = server.addr();
 
     // Both tenant endpoints answer 503 until the first published view.
@@ -256,13 +263,101 @@ fn tenant_endpoints_serve_published_fleet_views() {
 #[test]
 fn endpoints_without_sources_answer_404() {
     let server = ExpoServer::start("127.0.0.1:0", ExpoSources::default()).unwrap();
-    for path in ["/metrics", "/mrc", "/stats", "/trace", "/tenants"] {
+    for path in [
+        "/metrics",
+        "/mrc",
+        "/stats",
+        "/trace",
+        "/tenants",
+        "/exemplars",
+        "/profile",
+    ] {
         let (status, _, _) = http_get(server.addr(), path).unwrap();
         assert_eq!(status, 404, "{path} without a source");
     }
     // /healthz always answers, even with nothing wired.
     let (status, _, _) = http_get(server.addr(), "/healthz").unwrap();
     assert_eq!(status, 200);
+}
+
+#[test]
+fn forensics_endpoints_serve_exemplars_and_profile() {
+    let (server, _reg, _mrc, _stats, _fleet, exemplars) = full_server();
+    let addr = server.addr();
+
+    // The profiler source is wired but empty: /profile answers 200 with
+    // an empty folded document until a registered thread samples.
+    let (status, ctype, body) = http_get(addr, "/profile").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(ctype, "text/plain");
+    assert!(body.is_empty(), "unexpected folded lines: {body:?}");
+
+    // Feed the exemplar ring the way the RESP server does: observe every
+    // latency, capture the ones the threshold flags.
+    for i in 0..200u64 {
+        let id = exemplars.next_request_id();
+        let latency = if i % 50 == 49 { 900_000 } else { 700 };
+        if exemplars.observe(latency) {
+            exemplars.capture(&Exemplar {
+                request_id: id,
+                tenant: Some(i % 3),
+                latency_ns: latency,
+                start_ns: i,
+                command_tag: 2,
+                ..Exemplar::default()
+            });
+        }
+    }
+    assert!(exemplars.captured() > 0, "no exemplars captured");
+
+    // /metrics carries the latency histogram with exemplar suffixes that
+    // the extended validator both accepts and bound-checks.
+    let (status, _, body) = http_get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    let doc = openmetrics::validate(&body).expect("exemplars must validate");
+    let with_exemplar: Vec<_> = doc
+        .series("krr_command_latency_ns_bucket")
+        .into_iter()
+        .filter(|s| s.exemplar.is_some())
+        .collect();
+    assert!(!with_exemplar.is_empty(), "no exemplar suffix rendered");
+    let (labels, value) = with_exemplar[0].exemplar.as_ref().unwrap();
+    assert!(labels.iter().any(|(k, _)| k == "request_id"));
+    assert!(*value > 0.0);
+
+    // /exemplars: the krr-exemplars-v1 dump, newest state of the ring.
+    let (status, ctype, body) = http_get(addr, "/exemplars").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(ctype, "application/json");
+    let doc = json::parse(&body).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(json::Json::as_str),
+        Some("krr-exemplars-v1")
+    );
+    assert!(
+        doc.get("exemplars")
+            .and_then(json::Json::as_arr)
+            .is_some_and(|a| !a.is_empty()),
+        "{body}"
+    );
+
+    // /metrics?format=json serves the krr-metrics-v1 snapshot (the
+    // `krr doctor --live` input).
+    let (status, ctype, body) = http_get(addr, "/metrics?format=json").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(ctype, "application/json");
+    let doc = json::parse(&body).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(json::Json::as_str),
+        Some("krr-metrics-v1")
+    );
+
+    // /healthz surfaces forensic ring losses without flipping health.
+    let (status, _, body) = http_get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"exemplar_drops\":"), "body: {body}");
+    assert!(body.contains("\"profiler_drops\":"), "body: {body}");
+    assert!(body.contains("\"forensics\":\"ok\""), "body: {body}");
 }
 
 #[test]

@@ -227,6 +227,79 @@ fn pipeline_metrics_flow_to_renderings() {
 }
 
 #[test]
+fn park_storm_keeps_ring_stats_consistent_across_thread_counts() {
+    // A deliberately starved tuning (tiny batches, one-slot rings) turns
+    // every run into a park storm: the router blocks on full rings and
+    // the workers nap on empty ones. The post-join ring statistics must
+    // stay internally consistent at every thread count, and none of the
+    // parking may leak into the model's results.
+    let refs = skewed(8_000, 120_000, 21);
+    let cfg = KrrConfig::new(5.0).seed(21);
+    let seq = sequential(&cfg, 8, &refs);
+    let storm = PipelineConfig {
+        batch_size: 16,
+        queue_depth: 1,
+    };
+    let mut prev_batches = 0u64;
+    for threads in [1usize, 2, 8] {
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut bank = ShardedKrr::new(&cfg, 8);
+        bank.set_metrics(Arc::clone(&reg));
+        bank.process_stream_with(refs.iter().copied(), threads, &storm);
+        let snap = reg.snapshot();
+        // One depth high-water mark per worker, each within the one-slot
+        // ring's capacity and touched at least once.
+        assert_eq!(snap.pipeline_ring_hwm.len(), threads, "t={threads}");
+        // queue_depth 1 rounds up to a 2-slot ring; under a storm the
+        // router keeps it pinned at capacity.
+        assert!(
+            snap.pipeline_ring_hwm.iter().all(|&d| (1..=2).contains(&d)),
+            "t={threads}: starved rings must pin depth_hwm at capacity, got {:?}",
+            snap.pipeline_ring_hwm
+        );
+        // 16-key batches over 120k refs: thousands of batches, so the
+        // one-slot rings wrapped constantly and parking happened on both
+        // sides (a single worker still parks: it drains faster than the
+        // router refills).
+        assert!(
+            snap.pipeline_batches >= (refs.len() / storm.batch_size) as u64,
+            "t={threads}: batches {}",
+            snap.pipeline_batches
+        );
+        // Wraps count full trips around each ring (batches ÷ capacity,
+        // capacity 2 here), so across all rings they sum to about half
+        // the batch count.
+        assert!(
+            snap.pipeline_ring_wraps * 2 >= snap.pipeline_batches - 2 * threads as u64,
+            "t={threads}: wraps {} vs batches {}",
+            snap.pipeline_ring_wraps,
+            snap.pipeline_batches
+        );
+        assert!(
+            snap.pipeline_worker_parks > 0,
+            "t={threads}: starved workers never parked"
+        );
+        // Parks are bounded by what could have happened: the router can
+        // park at most once per attempted push, a worker at most once per
+        // pop attempt that found nothing.
+        assert!(
+            snap.pipeline_router_parks <= snap.pipeline_stalls + snap.pipeline_batches,
+            "t={threads}: router parks {} exceed push attempts",
+            snap.pipeline_router_parks
+        );
+        // Batch count is a pure function of the trace and batch size —
+        // identical across thread counts.
+        if prev_batches > 0 {
+            assert_eq!(snap.pipeline_batches, prev_batches, "t={threads}");
+        }
+        prev_batches = snap.pipeline_batches;
+        // And the storm is scheduling-only: bits match the sequential run.
+        assert_eq!(bank.mrc().points(), seq.mrc().points(), "t={threads}");
+        assert_eq!(bank.stats(), seq.stats(), "t={threads}");
+    }
+}
+
+#[test]
 fn channel_baseline_matches_ring_pipeline() {
     // The PR 6 sync_channel transport stays live as the A/B benchmark
     // baseline; both transports must produce the same bits at every

@@ -431,6 +431,9 @@ fn slowlog_over_the_wire() {
     let get_entry = entries.iter().find(|e| e.3[0] == b"GET").unwrap();
     assert_eq!(get_entry.3[1], b"1", "GET argument not preserved");
     assert!(get_entry.1 >= 0 && get_entry.2 >= 0, "negative timestamps");
+    // No TENANT was selected on this connection, so every entry is
+    // unattributed (RESP nil in the 5th field).
+    assert!(entries.iter().all(|e| e.4.is_none()), "{entries:?}");
     // RESET clears history; with threshold 0 the RESET itself is the
     // only survivor when LEN next looks.
     client.slowlog_reset().unwrap();

@@ -11,11 +11,14 @@
 //!   `\` or newline inside values,
 //! * sample values parse as finite-or-+Inf-bound numbers,
 //! * histogram `_bucket` series are cumulative in `le` order and end with
-//!   an `le="+Inf"` bucket equal to `_count`.
+//!   an `le="+Inf"` bucket equal to `_count`,
+//! * exemplars (`... # {labels} value`) appear only on histogram
+//!   `_bucket` lines, carry well-formed labels, and their value respects
+//!   the bucket's `le` bound.
 //!
-//! Intentionally not a full parser — exemplars, timestamps, and escape
-//! sequences are rejected rather than handled, because the server never
-//! produces them; seeing one is a bug.
+//! Intentionally not a full parser — timestamps and escape sequences are
+//! rejected rather than handled, because the server never produces them;
+//! seeing one is a bug.
 
 /// One parsed sample line.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +29,8 @@ pub struct Sample {
     pub labels: Vec<(String, String)>,
     /// The sample value.
     pub value: f64,
+    /// Trailing exemplar, if any: its label pairs and value.
+    pub exemplar: Option<(Vec<(String, String)>, f64)>,
 }
 
 /// A validated OpenMetrics document.
@@ -103,6 +108,27 @@ fn parse_labels(block: &str) -> Result<Vec<(String, String)>, String> {
     Ok(labels)
 }
 
+/// Parses the part after `" # "`: `{labels} value`.
+fn parse_exemplar(ex: &str) -> Result<(Vec<(String, String)>, f64), String> {
+    let rest = ex
+        .strip_prefix('{')
+        .ok_or_else(|| format!("exemplar must start with a label block: {ex:?}"))?;
+    let (block, value_str) = rest
+        .split_once("} ")
+        .ok_or_else(|| format!("exemplar needs a value after its labels: {ex:?}"))?;
+    let labels = parse_labels(block)?;
+    if labels.is_empty() {
+        return Err(format!("exemplar label block is empty: {ex:?}"));
+    }
+    let value: f64 = value_str
+        .parse()
+        .map_err(|_| format!("bad exemplar value {value_str:?}"))?;
+    if !value.is_finite() {
+        return Err(format!("exemplar value must be finite: {value_str:?}"));
+    }
+    Ok((labels, value))
+}
+
 /// Parses and validates `text`; returns the document or the first error.
 pub fn validate(text: &str) -> Result<Exposition, String> {
     if !text.ends_with("# EOF\n") {
@@ -149,12 +175,16 @@ pub fn validate(text: &str) -> Result<Exposition, String> {
             }
             continue;
         }
-        // Sample line: name[{labels}] value
-        let (name_and_labels, value_str) = line
+        // Sample line: name[{labels}] value [# {labels} exemplar_value]
+        let (sample_part, exemplar) = match line.split_once(" # ") {
+            Some((s, ex)) => (s, Some(parse_exemplar(ex).map_err(ctx)?)),
+            None => (line, None),
+        };
+        let (name_and_labels, value_str) = sample_part
             .rsplit_once(' ')
             .ok_or_else(|| ctx("sample line needs a value".into()))?;
         if value_str.contains('#') || name_and_labels.contains(' ') {
-            return Err(ctx("timestamps/exemplars are not supported".into()));
+            return Err(ctx("timestamps are not supported".into()));
         }
         let (name, labels) = match name_and_labels.split_once('{') {
             Some((n, rest)) => {
@@ -183,10 +213,14 @@ pub fn validate(text: &str) -> Result<Exposition, String> {
         if family_type == "counter" && value < 0.0 {
             return Err(ctx(format!("counter {name:?} is negative")));
         }
+        if exemplar.is_some() && !(family_type == "histogram" && name.ends_with("_bucket")) {
+            return Err(ctx(format!("exemplar on non-bucket sample {name:?}")));
+        }
         doc.samples.push(Sample {
             name: name.to_string(),
             labels,
             value,
+            exemplar,
         });
     }
     // Histogram checks: per family, buckets cumulative and +Inf == _count.
@@ -216,6 +250,13 @@ pub fn validate(text: &str) -> Result<Exposition, String> {
             }
             if b.value < prev_count {
                 return Err(format!("{family}: bucket counts not cumulative at {le:?}"));
+            }
+            if let Some((_, ex_value)) = &b.exemplar {
+                if *ex_value > bound {
+                    return Err(format!(
+                        "{family}: exemplar {ex_value} exceeds le bound {le:?}"
+                    ));
+                }
             }
             last = bound;
             prev_count = b.value;
